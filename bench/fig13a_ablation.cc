@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Reproduces paper Fig. 13(a): JUNO's speed-up over the FAISS-style
+ * baseline at fixed recall targets, with each optimization ablated:
+ *  - full JUNO (best of the three modes, pipelined),
+ *  - w/o pipelining (strictly sequential stages),
+ *  - w/o hit-count selection (always exact distances).
+ *
+ * QPS uses the RTX 4090 re-pricing of the RT stage (see
+ * fig12_qps_recall.cc header); the paper's shape is: hit-count
+ * selection drives the low-recall advantage and is harmless to ablate
+ * at the highest recall (it cannot reach that quality anyway), while
+ * pipelining contributes across the range.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baseline/ivfpq_index.h"
+#include "bench_common.h"
+#include "core/juno_index.h"
+#include "harness/reporter.h"
+#include "harness/workload.h"
+#include "rtcore/device.h"
+
+using namespace juno;
+
+namespace {
+
+struct Operating {
+    double recall = 0.0;
+    double qps = 0.0;
+};
+
+double
+rtAccel4090()
+{
+    return rt::costModelRtx4090().rt_throughput /
+           rt::costModelA100().rt_throughput;
+}
+
+/** One pass over the nprobs sweep, collecting operating points. */
+template <typename IndexT>
+std::vector<Operating>
+collect(Workload &workload, IndexT &index, bool reprice_rt)
+{
+    const double q_count =
+        static_cast<double>(workload.queries().rows());
+    std::vector<Operating> points;
+    for (idx_t np : {1, 2, 4, 8, 16, 32, 64}) {
+        if (np > index.ivf().numClusters())
+            break;
+        index.setNprobs(np);
+        const auto point = evaluate(workload, index, 100);
+        double qps = point.qps;
+        if (reprice_rt) {
+            const double rt = point.timers.seconds("rt_lut");
+            const double total = q_count / point.qps;
+            qps = q_count / (total - rt + rt / rtAccel4090());
+        }
+        points.push_back({point.recall1_at_k, qps});
+    }
+    return points;
+}
+
+/** Best QPS among cached points whose recall reaches @p target. */
+Operating
+bestAtRecall(const std::vector<Operating> &points, double target)
+{
+    Operating best;
+    for (const auto &p : points)
+        if (p.recall >= target && p.qps > best.qps)
+            best = p;
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner("Fig. 13(a): speed-up breakdown vs FAISS baseline "
+                "(DEEP-like, QPS_rt4090)");
+    const auto spec = bench::deepSpec();
+    Workload workload(spec, 100);
+    const int clusters = bench::clustersFor(spec.num_points);
+
+    IvfPqIndex::Params bp;
+    bp.clusters = clusters;
+    bp.pq_subspaces = 48;
+    bp.pq_entries = 256;
+    bp.max_training_points = 10000;
+    IvfPqIndex baseline(workload.metric(), workload.base(), bp);
+    const auto base_points = collect(workload, baseline, false);
+
+    JunoParams jp;
+    jp.clusters = clusters;
+    jp.pq_entries = 256;
+    jp.max_training_points = 10000;
+    jp.policy.ref_samples = 4000;
+    JunoIndex index(workload.metric(), workload.base(), jp);
+
+    // Collect one sweep per (mode, pipelined) configuration.
+    struct ModeSweep {
+        SearchMode mode;
+        bool pipelined;
+        std::vector<Operating> points;
+    };
+    std::vector<ModeSweep> sweeps;
+    for (SearchMode mode : {SearchMode::kExactDistance,
+                            SearchMode::kRewardPenalty,
+                            SearchMode::kHitCount}) {
+        for (bool pipelined : {true, false}) {
+            index.setSearchMode(mode);
+            index.setPipelined(pipelined);
+            index.setThresholdScale(mode == SearchMode::kExactDistance
+                                        ? 1.0
+                                        : 0.7);
+            sweeps.push_back(
+                {mode, pipelined, collect(workload, index, true)});
+        }
+    }
+
+    auto best_of = [&](bool allow_hitcount, bool pipelined,
+                       double target) {
+        Operating best;
+        for (const auto &sweep : sweeps) {
+            if (sweep.pipelined != pipelined)
+                continue;
+            if (!allow_hitcount &&
+                sweep.mode != SearchMode::kExactDistance)
+                continue;
+            const auto got = bestAtRecall(sweep.points, target);
+            if (got.qps > best.qps)
+                best = got;
+        }
+        return best;
+    };
+
+    TablePrinter table({"recall target", "FAISS_qps", "JUNO_qps",
+                        "JUNO_wo_pipeline_qps", "JUNO_wo_hitcount_qps",
+                        "speedup", "speedup_wo_pipe", "speedup_wo_hc"});
+    for (double target : {0.95, 0.9, 0.8, 0.65}) {
+        const auto base = bestAtRecall(base_points, target);
+        if (base.qps == 0.0)
+            continue;
+        const auto full = best_of(true, true, target);
+        const auto wo_pipe = best_of(true, false, target);
+        const auto wo_hc = best_of(false, true, target);
+        table.addRow(
+            {TablePrinter::num(target), TablePrinter::num(base.qps),
+             TablePrinter::num(full.qps), TablePrinter::num(wo_pipe.qps),
+             TablePrinter::num(wo_hc.qps),
+             TablePrinter::num(full.qps / base.qps),
+             TablePrinter::num(wo_pipe.qps / base.qps),
+             TablePrinter::num(wo_hc.qps / base.qps)});
+    }
+    table.print();
+    std::printf("\npaper: hit-count selection drives the low-recall "
+                "advantage; its ablation is harmless\nat the top recall "
+                "band. Pipelining contributes across the range (bounded "
+                "on a\nsingle-core host; see DESIGN.md).\n");
+    return 0;
+}

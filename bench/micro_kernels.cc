@@ -1,0 +1,135 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot kernels every figure
+ * rests on: distance kernels, top-k selection, BVH traversal and the
+ * selective-LUT ray pass. Useful for spotting regressions that would
+ * silently distort the figure benches.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/distance.h"
+#include "common/rng.h"
+#include "common/topk.h"
+#include "rtcore/bvh.h"
+
+namespace juno {
+namespace {
+
+void
+BM_L2Sqr(benchmark::State &state)
+{
+    const idx_t d = state.range(0);
+    Rng rng(1);
+    std::vector<float> a(static_cast<std::size_t>(d)),
+        b(static_cast<std::size_t>(d));
+    for (idx_t i = 0; i < d; ++i) {
+        a[static_cast<std::size_t>(i)] = rng.uniform(-1.0f, 1.0f);
+        b[static_cast<std::size_t>(i)] = rng.uniform(-1.0f, 1.0f);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(l2Sqr(a.data(), b.data(), d));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L2Sqr)->Arg(2)->Arg(96)->Arg(128)->Arg(200);
+
+void
+BM_InnerProduct(benchmark::State &state)
+{
+    const idx_t d = state.range(0);
+    Rng rng(2);
+    std::vector<float> a(static_cast<std::size_t>(d)),
+        b(static_cast<std::size_t>(d));
+    for (idx_t i = 0; i < d; ++i) {
+        a[static_cast<std::size_t>(i)] = rng.uniform(-1.0f, 1.0f);
+        b[static_cast<std::size_t>(i)] = rng.uniform(-1.0f, 1.0f);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(innerProduct(a.data(), b.data(), d));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InnerProduct)->Arg(96)->Arg(128)->Arg(200);
+
+void
+BM_TopK(benchmark::State &state)
+{
+    const idx_t n = state.range(0);
+    const idx_t k = state.range(1);
+    Rng rng(3);
+    std::vector<float> scores(static_cast<std::size_t>(n));
+    for (auto &s : scores)
+        s = rng.uniform(0.0f, 1.0f);
+    for (auto _ : state) {
+        TopK top(k, Metric::kL2);
+        for (idx_t i = 0; i < n; ++i)
+            top.push(i, scores[static_cast<std::size_t>(i)]);
+        benchmark::DoNotOptimize(top.take());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TopK)->Args({1000, 10})->Args({10000, 100})
+    ->Args({10000, 1000});
+
+void
+BM_BvhTraversal(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(4);
+    std::vector<rt::Sphere> spheres(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        spheres[i].center = {rng.uniform(-1.0f, 1.0f),
+                             rng.uniform(-1.0f, 1.0f), 1.0f};
+        spheres[i].radius = 1.0f;
+        spheres[i].user_id = i;
+    }
+    rt::Bvh bvh;
+    bvh.build(spheres);
+    rt::Ray ray;
+    ray.origin = {0.1f, -0.1f, 0.0f};
+    ray.dir = {0, 0, 1};
+    ray.tmax = 0.3f;
+    rt::TraversalStats stats;
+    for (auto _ : state) {
+        int hits = 0;
+        bvh.traverse(ray, spheres, stats, [&](const rt::Hit &) {
+            ++hits;
+            return true;
+        });
+        benchmark::DoNotOptimize(hits);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BvhTraversal)->Arg(256)->Arg(4096)->Arg(65536);
+
+void
+BM_LinearTraversal(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(5);
+    std::vector<rt::Sphere> spheres(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        spheres[i].center = {rng.uniform(-1.0f, 1.0f),
+                             rng.uniform(-1.0f, 1.0f), 1.0f};
+        spheres[i].radius = 1.0f;
+        spheres[i].user_id = i;
+    }
+    rt::Ray ray;
+    ray.origin = {0.1f, -0.1f, 0.0f};
+    ray.dir = {0, 0, 1};
+    ray.tmax = 0.3f;
+    rt::TraversalStats stats;
+    for (auto _ : state) {
+        int hits = 0;
+        rt::Bvh::traverseLinear(ray, spheres, stats, [&](const rt::Hit &) {
+            ++hits;
+            return true;
+        });
+        benchmark::DoNotOptimize(hits);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinearTraversal)->Arg(256)->Arg(4096)->Arg(65536);
+
+} // namespace
+} // namespace juno
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Image-retrieval scenario (the paper's SIFT workload): descriptor
+ * vectors, an accuracy/latency service-level target, and a comparison
+ * of JUNO against the FAISS-style IVFPQ baseline the paper evaluates.
+ *
+ * Demonstrates: choosing presets per SLO, reading per-stage timers,
+ * and falling back to real .fvecs corpora when available.
+ *
+ *   ./build/examples/image_search [base.fvecs query.fvecs]
+ */
+#include <cstdio>
+
+#include "baseline/ivfpq_index.h"
+#include "core/juno_index.h"
+#include "dataset/ground_truth.h"
+#include "dataset/io.h"
+#include "dataset/recall.h"
+#include "dataset/synthetic.h"
+
+using namespace juno;
+
+int
+main(int argc, char **argv)
+{
+    // Load real SIFT descriptors when provided, else synthesise.
+    FloatMatrix base, queries;
+    if (argc == 3) {
+        std::printf("loading %s / %s\n", argv[1], argv[2]);
+        base = readFvecs(argv[1]);
+        queries = readFvecs(argv[2]);
+    } else {
+        SyntheticSpec spec;
+        spec.kind = DatasetKind::kSiftLike; // D = 128 descriptors
+        spec.num_points = 20000;
+        spec.num_queries = 50;
+        spec.seed = 7;
+        auto data = makeDataset(spec);
+        base = std::move(data.base);
+        queries = std::move(data.queries);
+        std::printf("synthetic SIFT-like corpus: %lld descriptors\n",
+                    static_cast<long long>(base.rows()));
+    }
+
+    const GroundTruth gt = computeGroundTruth(Metric::kL2, base.view(),
+                                              queries.view(), 100);
+
+    // The FAISS-style baseline at the paper's PQ64 configuration.
+    IvfPqIndex::Params bp;
+    bp.clusters = 256;
+    bp.pq_subspaces = 64;
+    bp.pq_entries = 128;
+    bp.nprobs = 32;
+    IvfPqIndex baseline(Metric::kL2, base.view(), bp);
+
+    JunoParams jp = junoPresetH();
+    jp.clusters = 256;
+    jp.pq_entries = 128;
+    jp.nprobs = 32;
+    JunoIndex index(Metric::kL2, base.view(), jp);
+
+    auto report = [&](AnnIndex &idx) {
+        idx.resetStageTimers();
+        Timer timer;
+        const auto results = idx.search(queries.view(), 100);
+        const double secs = timer.seconds();
+        std::printf("%-16s  QPS=%7.0f  R1@100=%.3f  stages:",
+                    idx.name().c_str(),
+                    static_cast<double>(queries.rows()) / secs,
+                    recall1AtK(gt, results));
+        for (const auto &stage : idx.stageTimers().names())
+            std::printf(" %s=%.1fms", stage.c_str(),
+                        idx.stageTimers().seconds(stage) * 1e3);
+        std::printf("\n");
+    };
+
+    std::printf("\n-- high-quality retrieval (JUNO-H vs IVFPQ) --\n");
+    report(baseline);
+    report(index);
+
+    std::printf("\n-- recall/latency sweep on one build --\n");
+    for (double scale : {1.0, 0.8, 0.6, 0.4}) {
+        index.setThresholdScale(scale);
+        Timer timer;
+        const auto results = index.search(queries.view(), 100);
+        const double secs = timer.seconds();
+        std::printf("scale=%.1f  QPS=%7.0f  R1@100=%.3f\n", scale,
+                    static_cast<double>(queries.rows()) / secs,
+                    recall1AtK(gt, results));
+    }
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: build a JUNO index over synthetic vectors, search it,
+ * and score the result against exact ground truth.
+ *
+ *   ./build/examples/quickstart
+ */
+#include <cstdio>
+
+#include "core/juno_index.h"
+#include "dataset/ground_truth.h"
+#include "dataset/recall.h"
+#include "dataset/synthetic.h"
+
+using namespace juno;
+
+int
+main()
+{
+    // 1. Get some vectors. Real corpora load via readFvecs(); here we
+    //    synthesise a DEEP-like clustered embedding set.
+    SyntheticSpec spec;
+    spec.kind = DatasetKind::kDeepLike; // D = 96, L2 metric
+    spec.num_points = 20000;
+    spec.num_queries = 50;
+    spec.seed = 1;
+    const Dataset data = makeDataset(spec);
+    std::printf("dataset: %s, %lld points, D=%lld, metric=%s\n",
+                data.name.c_str(),
+                static_cast<long long>(data.base.rows()),
+                static_cast<long long>(data.base.cols()),
+                metricName(data.metric));
+
+    // 2. Configure and build the index. The constructor runs the whole
+    //    offline phase: IVF clustering, PQ codebooks, the entry->points
+    //    inverted index, density maps, threshold regressors, and the
+    //    ray-traced entry scene.
+    JunoParams params = junoPresetH(); // exact-distance quality preset
+    params.clusters = 256;
+    params.pq_entries = 128;
+    params.nprobs = 32;
+    JunoIndex index(data.metric, data.base.view(), params);
+    std::printf("built %s over %lld vectors\n", index.name().c_str(),
+                static_cast<long long>(index.size()));
+
+    // 3. Search.
+    Timer timer;
+    const SearchResults results = index.search(data.queries.view(), 100);
+    const double seconds = timer.seconds();
+    std::printf("searched %lld queries in %.1f ms (%.0f QPS)\n",
+                static_cast<long long>(data.queries.rows()),
+                seconds * 1e3,
+                static_cast<double>(data.queries.rows()) / seconds);
+
+    // 4. Score against exact ground truth.
+    const GroundTruth gt = computeGroundTruth(
+        data.metric, data.base.view(), data.queries.view(), 100);
+    std::printf("R1@100   = %.3f\n", recall1AtK(gt, results));
+    std::printf("R100@100 = %.3f\n", recallMAtK(gt, results, 100));
+
+    // 5. Trade quality for throughput without rebuilding: switch to the
+    //    hit-count preset and tighten the threshold scale.
+    index.setSearchMode(SearchMode::kHitCount);
+    index.setThresholdScale(0.7);
+    timer.reset();
+    const auto fast_results = index.search(data.queries.view(), 100);
+    const double fast_seconds = timer.seconds();
+    std::printf("JUNO-L: %.0f QPS, R1@100 = %.3f\n",
+                static_cast<double>(data.queries.rows()) / fast_seconds,
+                recall1AtK(gt, fast_results));
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Operating-point tuning walkthrough: how a deployment picks between
+ * JUNO-L / JUNO-M / JUNO-H and the threshold scaling factor to hit a
+ * recall target at maximum throughput — the knobs of paper Sec. 4.1
+ * and 5.4, all adjustable on one build.
+ *
+ *   ./build/examples/tune_tradeoff [target_recall]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/juno_index.h"
+#include "dataset/ground_truth.h"
+#include "dataset/recall.h"
+#include "dataset/synthetic.h"
+
+using namespace juno;
+
+int
+main(int argc, char **argv)
+{
+    const double target = argc > 1 ? std::atof(argv[1]) : 0.9;
+
+    SyntheticSpec spec;
+    spec.kind = DatasetKind::kDeepLike;
+    spec.num_points = 15000;
+    spec.num_queries = 40;
+    spec.seed = 5;
+    const auto data = makeDataset(spec);
+    const auto gt = computeGroundTruth(data.metric, data.base.view(),
+                                       data.queries.view(), 100);
+
+    JunoParams params;
+    params.clusters = 192;
+    params.pq_entries = 128;
+    JunoIndex index(data.metric, data.base.view(), params);
+    std::printf("tuning for R1@100 >= %.2f\n\n", target);
+
+    struct Candidate {
+        std::string label;
+        double recall;
+        double qps;
+    };
+    std::vector<Candidate> feasible;
+
+    for (SearchMode mode : {SearchMode::kHitCount,
+                            SearchMode::kRewardPenalty,
+                            SearchMode::kExactDistance}) {
+        index.setSearchMode(mode);
+        for (double scale : {0.5, 0.75, 1.0}) {
+            index.setThresholdScale(scale);
+            for (idx_t nprobs : {8, 32, 128}) {
+                index.setNprobs(nprobs);
+                Timer timer;
+                const auto results =
+                    index.search(data.queries.view(), 100);
+                const double secs = timer.seconds();
+                const double recall = recall1AtK(gt, results);
+                const double qps =
+                    static_cast<double>(data.queries.rows()) / secs;
+                const std::string label =
+                    std::string(searchModeName(mode)) + " scale=" +
+                    std::to_string(scale).substr(0, 4) +
+                    " nprobs=" + std::to_string(nprobs);
+                std::printf("  %-38s recall=%.3f qps=%7.0f%s\n",
+                            label.c_str(), recall, qps,
+                            recall >= target ? "  <- feasible" : "");
+                if (recall >= target)
+                    feasible.push_back({label, recall, qps});
+            }
+        }
+    }
+
+    if (feasible.empty()) {
+        std::printf("\nno configuration reached %.2f; raise nprobs or "
+                    "use JUNO-H with scale 1.0\n", target);
+        return 1;
+    }
+    const Candidate *best = &feasible[0];
+    for (const auto &cand : feasible)
+        if (cand.qps > best->qps)
+            best = &cand;
+    std::printf("\nselected operating point: %s (recall %.3f, %.0f "
+                "QPS)\n",
+                best->label.c_str(), best->recall, best->qps);
+    return 0;
+}

@@ -1,0 +1,43 @@
+#include "baseline/flat_index.h"
+
+#include <algorithm>
+
+#include "common/distance.h"
+#include "common/logging.h"
+
+namespace juno {
+
+FlatIndex::FlatIndex(Metric metric, FloatMatrixView points)
+    : metric_(metric), points_(points.rows(), points.cols())
+{
+    JUNO_REQUIRE(points.rows() > 0, "empty point set");
+    std::copy_n(points.data(),
+                static_cast<std::size_t>(points.rows() * points.cols()),
+                points_.data());
+}
+
+std::string
+FlatIndex::name() const
+{
+    return std::string("Flat-") + metricName(metric_);
+}
+
+SearchResults
+FlatIndex::search(FloatMatrixView queries, idx_t k)
+{
+    JUNO_REQUIRE(queries.cols() == points_.cols(), "dimension mismatch");
+    JUNO_REQUIRE(k > 0, "k must be positive");
+    SearchResults results(static_cast<std::size_t>(queries.rows()));
+    ScopedStageTimer scan_timer(timers_, "scan");
+    const idx_t d = points_.cols();
+    for (idx_t qi = 0; qi < queries.rows(); ++qi) {
+        const float *q = queries.row(qi);
+        TopK top(std::min(k, points_.rows()), metric_);
+        for (idx_t pi = 0; pi < points_.rows(); ++pi)
+            top.push(pi, score(metric_, q, points_.row(pi), d));
+        results[static_cast<std::size_t>(qi)] = top.take();
+    }
+    return results;
+}
+
+} // namespace juno

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Exact brute-force index (FAISS "Flat"): the accuracy oracle and the
+ * lossless-search fallback discussed in paper Sec. 6.5.
+ */
+#ifndef JUNO_BASELINE_FLAT_INDEX_H
+#define JUNO_BASELINE_FLAT_INDEX_H
+
+#include "baseline/index.h"
+
+namespace juno {
+
+/** Linear-scan exact nearest neighbour index. */
+class FlatIndex : public AnnIndex {
+  public:
+    /** Copies @p points (N x D). */
+    FlatIndex(Metric metric, FloatMatrixView points);
+
+    std::string name() const override;
+    Metric metric() const override { return metric_; }
+    idx_t size() const override { return points_.rows(); }
+
+    SearchResults search(FloatMatrixView queries, idx_t k) override;
+
+  private:
+    Metric metric_;
+    FloatMatrix points_;
+};
+
+} // namespace juno
+
+#endif // JUNO_BASELINE_FLAT_INDEX_H

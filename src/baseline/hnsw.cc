@@ -1,0 +1,245 @@
+#include "baseline/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "common/distance.h"
+#include "common/logging.h"
+
+namespace juno {
+
+float
+Hnsw::scoreOf(const float *query, idx_t node) const
+{
+    return score(metric_, query, points_.row(node), points_.cols());
+}
+
+void
+Hnsw::build(Metric metric, FloatMatrixView points, const Params &params)
+{
+    JUNO_REQUIRE(points.rows() > 0, "empty point set");
+    JUNO_REQUIRE(params.m >= 2, "HNSW m must be >= 2");
+    JUNO_REQUIRE(params.ef_construction >= params.m,
+                 "ef_construction must be >= m");
+
+    metric_ = metric;
+    params_ = params;
+    points_ = FloatMatrix(points.rows(), points.cols());
+    std::copy_n(points.data(),
+                static_cast<std::size_t>(points.rows() * points.cols()),
+                points_.data());
+
+    const idx_t n = points.rows();
+    Rng rng(params.seed);
+    const double level_mult = 1.0 / std::log(static_cast<double>(params.m));
+
+    node_level_.resize(static_cast<std::size_t>(n));
+    layers_.clear();
+    entry_point_ = -1;
+    max_level_ = -1;
+
+    for (idx_t node = 0; node < n; ++node) {
+        // Exponentially distributed level (standard HNSW draw).
+        double u;
+        do {
+            u = rng.uniform();
+        } while (u <= 0.0);
+        const int level =
+            static_cast<int>(std::floor(-std::log(u) * level_mult));
+        node_level_[static_cast<std::size_t>(node)] = level;
+
+        while (static_cast<int>(layers_.size()) <= level)
+            layers_.emplace_back(static_cast<std::size_t>(n));
+
+        if (entry_point_ < 0) {
+            entry_point_ = node;
+            max_level_ = level;
+            continue;
+        }
+
+        idx_t entry = entry_point_;
+        // Greedy descent through levels above the node's level.
+        for (int l = max_level_; l > level; --l)
+            entry = greedyDescend(points_.row(node), entry, l);
+
+        // Beam-search insert on each level from min(level, max) down.
+        for (int l = std::min(level, max_level_); l >= 0; --l) {
+            auto candidates = searchLayer(points_.row(node), entry,
+                                          params.ef_construction, l);
+            const int m = l == 0 ? 2 * params.m : params.m;
+            connect(node, l, candidates, m);
+            if (!candidates.empty())
+                entry = candidates[0].id;
+        }
+
+        if (level > max_level_) {
+            max_level_ = level;
+            entry_point_ = node;
+        }
+    }
+}
+
+idx_t
+Hnsw::greedyDescend(const float *query, idx_t entry, int level) const
+{
+    float best = scoreOf(query, entry);
+    bool improved = true;
+    while (improved) {
+        improved = false;
+        for (idx_t nb :
+             layers_[static_cast<std::size_t>(level)]
+                    [static_cast<std::size_t>(entry)]) {
+            const float s = scoreOf(query, nb);
+            if (isBetter(metric_, s, best)) {
+                best = s;
+                entry = nb;
+                improved = true;
+            }
+        }
+    }
+    return entry;
+}
+
+std::vector<Neighbor>
+Hnsw::searchLayer(const float *query, idx_t entry, int ef, int level) const
+{
+    // Candidate frontier with the *best* candidate at top(): the
+    // comparator must order worse elements first.
+    auto worse = [this](const Neighbor &a, const Neighbor &b) {
+        return isBetter(metric_, b.score, a.score);
+    };
+    std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(worse)>
+        best_frontier(worse);
+
+    std::unordered_set<idx_t> visited;
+    const Neighbor start{entry, scoreOf(query, entry)};
+    best_frontier.push(start);
+    visited.insert(entry);
+
+    TopK results(ef, metric_);
+    results.push(start.id, start.score);
+
+    while (!best_frontier.empty()) {
+        const Neighbor cand = best_frontier.top();
+        best_frontier.pop();
+        // Stop when the best remaining candidate is worse than the
+        // worst accepted result and the result set is full.
+        if (results.full() &&
+            !isBetter(metric_, cand.score, results.worstAccepted()))
+            break;
+        for (idx_t nb :
+             layers_[static_cast<std::size_t>(level)]
+                    [static_cast<std::size_t>(cand.id)]) {
+            if (!visited.insert(nb).second)
+                continue;
+            const float s = scoreOf(query, nb);
+            if (!results.full() ||
+                isBetter(metric_, s, results.worstAccepted())) {
+                results.push(nb, s);
+                best_frontier.push({nb, s});
+            }
+        }
+    }
+    return results.take();
+}
+
+std::vector<idx_t>
+Hnsw::selectHeuristic(idx_t base, const std::vector<Neighbor> &candidates,
+                      int m) const
+{
+    // Algorithm 4 of the HNSW paper: accept a candidate only if it is
+    // closer to the base than to every already-accepted neighbour.
+    // This spreads edges across directions and keeps clustered data
+    // connected (plain closest-m creates disconnected cliques).
+    std::vector<idx_t> selected;
+    for (const auto &cand : candidates) {
+        if (cand.id == base)
+            continue;
+        if (static_cast<int>(selected.size()) >= m)
+            break;
+        bool diverse = true;
+        for (idx_t kept : selected) {
+            const float cand_to_kept =
+                scoreOf(points_.row(cand.id), kept);
+            if (isBetter(metric_, cand_to_kept, cand.score)) {
+                diverse = false;
+                break;
+            }
+        }
+        if (diverse)
+            selected.push_back(cand.id);
+    }
+    // Backfill with the closest skipped candidates if diversity left
+    // slots unused (keepPrunedConnections in the reference code).
+    if (static_cast<int>(selected.size()) < m) {
+        for (const auto &cand : candidates) {
+            if (static_cast<int>(selected.size()) >= m)
+                break;
+            if (cand.id == base)
+                continue;
+            if (std::find(selected.begin(), selected.end(), cand.id) ==
+                selected.end())
+                selected.push_back(cand.id);
+        }
+    }
+    return selected;
+}
+
+void
+Hnsw::connect(idx_t node, int level,
+              const std::vector<Neighbor> &candidates, int m)
+{
+    auto &layer = layers_[static_cast<std::size_t>(level)];
+    auto &adj = layer[static_cast<std::size_t>(node)];
+    for (idx_t chosen : selectHeuristic(node, candidates, m)) {
+        adj.push_back(chosen);
+        auto &back = layer[static_cast<std::size_t>(chosen)];
+        back.push_back(node);
+        // Prune the reverse list if it overflows, re-applying the
+        // diversity heuristic from the overflowing node's viewpoint.
+        if (static_cast<int>(back.size()) > m) {
+            std::vector<Neighbor> back_cands;
+            back_cands.reserve(back.size());
+            for (idx_t nb : back)
+                back_cands.push_back(
+                    {nb, scoreOf(points_.row(chosen), nb)});
+            std::sort(back_cands.begin(), back_cands.end(),
+                      [this](const Neighbor &a, const Neighbor &b) {
+                          if (a.score != b.score)
+                              return isBetter(metric_, a.score, b.score);
+                          return a.id < b.id;
+                      });
+            back = selectHeuristic(chosen, back_cands, m);
+        }
+    }
+}
+
+std::vector<Neighbor>
+Hnsw::search(const float *query, idx_t k, int ef) const
+{
+    JUNO_REQUIRE(built(), "search before build");
+    JUNO_REQUIRE(k > 0, "k must be positive");
+    ef = std::max<int>(ef, static_cast<int>(k));
+
+    idx_t entry = entry_point_;
+    for (int l = max_level_; l > 0; --l)
+        entry = greedyDescend(query, entry, l);
+    auto found = searchLayer(query, entry, ef, 0);
+    if (static_cast<idx_t>(found.size()) > k)
+        found.resize(static_cast<std::size_t>(k));
+    return found;
+}
+
+const std::vector<idx_t> &
+Hnsw::neighbors(int level, idx_t node) const
+{
+    JUNO_REQUIRE(level >= 0 &&
+                     level < static_cast<int>(layers_.size()),
+                 "bad level " << level);
+    return layers_[static_cast<std::size_t>(level)]
+                  [static_cast<std::size_t>(node)];
+}
+
+} // namespace juno

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Hierarchical Navigable Small World graph (Malkov & Yashunin, 2018).
+ *
+ * The paper's strongest baseline configuration is IVFx_HNSWy,PQz: an
+ * IVFPQ index whose coarse-centroid lookup is routed through an HNSW
+ * graph instead of brute force (FAISS index_factory semantics). This
+ * implementation supports that role (graph over the C centroids) and
+ * doubles as a standalone graph index for tests.
+ */
+#ifndef JUNO_BASELINE_HNSW_H
+#define JUNO_BASELINE_HNSW_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/topk.h"
+#include "common/types.h"
+
+namespace juno {
+
+/** HNSW graph over a fixed point set. */
+class Hnsw {
+  public:
+    struct Params {
+        /** Max out-degree per node on layers > 0 (2M on layer 0). */
+        int m = 16;
+        /** Beam width during construction. */
+        int ef_construction = 100;
+        std::uint64_t seed = 97;
+    };
+
+    /**
+     * Builds the graph over @p points (copied). @p metric governs both
+     * construction and search ordering.
+     */
+    void build(Metric metric, FloatMatrixView points, const Params &params);
+
+    bool built() const { return !layers_.empty(); }
+    idx_t size() const { return points_.rows(); }
+    int maxLevel() const { return max_level_; }
+
+    /**
+     * Beam search: returns the best-first top-@p k with beam width
+     * @p ef (clamped up to k).
+     */
+    std::vector<Neighbor> search(const float *query, idx_t k, int ef) const;
+
+    /** Out-neighbours of @p node on @p level (for tests/inspection). */
+    const std::vector<idx_t> &neighbors(int level, idx_t node) const;
+
+  private:
+    /** Greedy descent to the closest node on a single level. */
+    idx_t greedyDescend(const float *query, idx_t entry, int level) const;
+
+    /** Beam search on one level. */
+    std::vector<Neighbor> searchLayer(const float *query, idx_t entry,
+                                      int ef, int level) const;
+
+    /**
+     * Diversity-aware neighbour selection (Algorithm 4 of the HNSW
+     * paper): keeps a candidate only when it is closer to @p base than
+     * to every already-kept neighbour; backfills remaining slots with
+     * the closest skipped candidates.
+     */
+    std::vector<idx_t> selectHeuristic(
+        idx_t base, const std::vector<Neighbor> &candidates, int m) const;
+
+    /** Connects @p node on @p level to heuristically chosen neighbours. */
+    void connect(idx_t node, int level,
+                 const std::vector<Neighbor> &candidates, int m);
+
+    float scoreOf(const float *query, idx_t node) const;
+
+    Metric metric_ = Metric::kL2;
+    FloatMatrix points_;
+    Params params_;
+    /** layers_[l][node] = adjacency list (empty if node absent). */
+    std::vector<std::vector<std::vector<idx_t>>> layers_;
+    std::vector<int> node_level_;
+    idx_t entry_point_ = -1;
+    int max_level_ = -1;
+};
+
+} // namespace juno
+
+#endif // JUNO_BASELINE_HNSW_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Abstract ANN index interface shared by the baselines and JUNO, so the
+ * harness can sweep heterogeneous indexes through one code path.
+ */
+#ifndef JUNO_BASELINE_INDEX_H
+#define JUNO_BASELINE_INDEX_H
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/timer.h"
+#include "common/topk.h"
+#include "common/types.h"
+
+namespace juno {
+
+/** Retrieved results: one best-first Neighbor list per query. */
+using SearchResults = std::vector<std::vector<Neighbor>>;
+
+/** Common interface of every searchable index in this repository. */
+class AnnIndex {
+  public:
+    virtual ~AnnIndex() = default;
+
+    /** Human-readable configuration name (used in bench tables). */
+    virtual std::string name() const = 0;
+
+    /** Metric the index was built for. */
+    virtual Metric metric() const = 0;
+
+    /** Number of indexed points. */
+    virtual idx_t size() const = 0;
+
+    /**
+     * Retrieves the top-@p k neighbours of every row of @p queries.
+     * Implementations accumulate per-stage wall time into stageTimers()
+     * so benches can report breakdowns.
+     */
+    virtual SearchResults search(FloatMatrixView queries, idx_t k) = 0;
+
+    /** Per-stage timing ledger of all searches since the last reset. */
+    const StageTimers &stageTimers() const { return timers_; }
+    void resetStageTimers() { timers_.reset(); }
+
+  protected:
+    StageTimers timers_;
+};
+
+} // namespace juno
+
+#endif // JUNO_BASELINE_INDEX_H

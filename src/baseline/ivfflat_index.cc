@@ -1,0 +1,55 @@
+#include "baseline/ivfflat_index.h"
+
+#include <algorithm>
+
+#include "common/distance.h"
+#include "common/logging.h"
+
+namespace juno {
+
+IvfFlatIndex::IvfFlatIndex(Metric metric, FloatMatrixView points,
+                           const Params &params)
+    : metric_(metric), points_(points.rows(), points.cols()),
+      nprobs_(params.nprobs)
+{
+    JUNO_REQUIRE(params.nprobs > 0, "nprobs must be positive");
+    std::copy_n(points.data(),
+                static_cast<std::size_t>(points.rows() * points.cols()),
+                points_.data());
+    InvertedFileIndex::Params ivf_params;
+    ivf_params.clusters = params.clusters;
+    ivf_params.seed = params.seed;
+    ivf_.build(points_.view(), ivf_params);
+}
+
+std::string
+IvfFlatIndex::name() const
+{
+    return "IVF" + std::to_string(ivf_.numClusters()) + ",Flat";
+}
+
+SearchResults
+IvfFlatIndex::search(FloatMatrixView queries, idx_t k)
+{
+    JUNO_REQUIRE(queries.cols() == points_.cols(), "dimension mismatch");
+    SearchResults results(static_cast<std::size_t>(queries.rows()));
+    const idx_t d = points_.cols();
+    for (idx_t qi = 0; qi < queries.rows(); ++qi) {
+        const float *q = queries.row(qi);
+        std::vector<Neighbor> probes;
+        {
+            ScopedStageTimer t(timers_, "filter");
+            probes = ivf_.probe(metric_, q, nprobs_);
+        }
+        ScopedStageTimer t(timers_, "scan");
+        TopK top(std::min(k, points_.rows()), metric_);
+        for (const auto &probe : probes) {
+            for (idx_t pid : ivf_.list(static_cast<cluster_t>(probe.id)))
+                top.push(pid, score(metric_, q, points_.row(pid), d));
+        }
+        results[static_cast<std::size_t>(qi)] = top.take();
+    }
+    return results;
+}
+
+} // namespace juno

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * IVF-Flat: coarse filtering plus exact distances within the probed
+ * clusters. Sits between Flat and IVFPQ on the accuracy/speed curve
+ * and isolates the effect of quantization error in experiments.
+ */
+#ifndef JUNO_BASELINE_IVFFLAT_INDEX_H
+#define JUNO_BASELINE_IVFFLAT_INDEX_H
+
+#include "baseline/index.h"
+#include "ivf/ivf.h"
+
+namespace juno {
+
+/** IVF with exact in-cluster scan. */
+class IvfFlatIndex : public AnnIndex {
+  public:
+    struct Params {
+        int clusters = 256;
+        idx_t nprobs = 8;
+        std::uint64_t seed = 31;
+    };
+
+    IvfFlatIndex(Metric metric, FloatMatrixView points, const Params &params);
+
+    std::string name() const override;
+    Metric metric() const override { return metric_; }
+    idx_t size() const override { return points_.rows(); }
+
+    idx_t nprobs() const { return nprobs_; }
+    void setNprobs(idx_t nprobs) { nprobs_ = nprobs; }
+    const InvertedFileIndex &ivf() const { return ivf_; }
+
+    SearchResults search(FloatMatrixView queries, idx_t k) override;
+
+  private:
+    Metric metric_;
+    FloatMatrix points_;
+    InvertedFileIndex ivf_;
+    idx_t nprobs_;
+};
+
+} // namespace juno
+
+#endif // JUNO_BASELINE_IVFFLAT_INDEX_H

@@ -1,0 +1,170 @@
+#include "baseline/ivfpq_index.h"
+
+#include <algorithm>
+
+#include "common/distance.h"
+#include "common/logging.h"
+
+namespace juno {
+
+IvfPqIndex::IvfPqIndex(Metric metric, FloatMatrixView points,
+                       const Params &params)
+    : metric_(metric), num_points_(points.rows()), dim_(points.cols()),
+      nprobs_(params.nprobs)
+{
+    JUNO_REQUIRE(params.nprobs > 0, "nprobs must be positive");
+
+    // Offline step 1: coarse clustering + inverted lists.
+    InvertedFileIndex::Params ivf_params;
+    ivf_params.clusters = params.clusters;
+    ivf_params.seed = params.seed;
+    ivf_params.max_training_points = params.max_training_points;
+    ivf_.build(points, ivf_params);
+
+    // Offline steps 2-3: train the PQ codebook on residuals against
+    // the assigned coarse centroid (paper Fig. 1 top).
+    FloatMatrix residuals(points.rows(), points.cols());
+    for (idx_t p = 0; p < points.rows(); ++p)
+        ivf_.residual(points.row(p), ivf_.label(p), residuals.row(p));
+
+    PQParams pq_params;
+    pq_params.num_subspaces = params.pq_subspaces;
+    pq_params.entries = params.pq_entries;
+    pq_params.seed = params.seed + 1;
+    pq_params.max_training_points = params.max_training_points;
+    pq_.train(residuals.view(), pq_params);
+
+    // Offline step 4: encode all points.
+    codes_ = pq_.encode(residuals.view());
+
+    if (params.use_hnsw_router) {
+        router_ = std::make_unique<Hnsw>();
+        Hnsw::Params hp;
+        hp.m = params.hnsw_m;
+        hp.seed = params.seed + 2;
+        router_->build(metric_, ivf_.centroids().view(), hp);
+        hnsw_ef_search_ = params.hnsw_ef_search;
+    }
+}
+
+std::string
+IvfPqIndex::name() const
+{
+    std::string n = "IVF" + std::to_string(ivf_.numClusters());
+    if (router_)
+        n += "_HNSW";
+    n += ",PQ" + std::to_string(pq_.numSubspaces());
+    return n;
+}
+
+std::vector<Neighbor>
+IvfPqIndex::probe(const float *query, idx_t nprobs) const
+{
+    if (router_) {
+        return router_->search(query, std::min(nprobs, ivf_.numClusters()),
+                               std::max<int>(hnsw_ef_search_,
+                                             static_cast<int>(nprobs)));
+    }
+    return ivf_.probe(metric_, query, nprobs);
+}
+
+void
+IvfPqIndex::buildLut(const float *query, cluster_t cluster, FloatMatrix &lut,
+                     float &base) const
+{
+    if (metric_ == Metric::kL2) {
+        // L2 ADC on residuals: dist ~= sum_s L2(residual_s, entry_s).
+        std::vector<float> residual(static_cast<std::size_t>(dim_));
+        ivf_.residual(query, cluster, residual.data());
+        pq_.computeLut(Metric::kL2, residual.data(), lut);
+        base = 0.0f;
+    } else {
+        // IP decomposes as IP(q, c) + IP(q, residual-decode); the LUT
+        // is built on the raw query, the centroid term is the base.
+        pq_.computeLut(Metric::kInnerProduct, query, lut);
+        base = innerProduct(query, ivf_.centroid(cluster), dim_);
+    }
+}
+
+SearchResults
+IvfPqIndex::search(FloatMatrixView queries, idx_t k)
+{
+    JUNO_REQUIRE(queries.cols() == dim_, "dimension mismatch");
+    JUNO_REQUIRE(k > 0, "k must be positive");
+    SearchResults results(static_cast<std::size_t>(queries.rows()));
+
+    const int subspaces = pq_.numSubspaces();
+    FloatMatrix lut;
+    for (idx_t qi = 0; qi < queries.rows(); ++qi) {
+        const float *q = queries.row(qi);
+
+        std::vector<Neighbor> probes;
+        {
+            ScopedStageTimer t(timers_, "filter");
+            probes = probe(q, nprobs_);
+        }
+
+        TopK top(std::min(k, num_points_), metric_);
+        for (const auto &pr : probes) {
+            const cluster_t c = static_cast<cluster_t>(pr.id);
+            float base = 0.0f;
+            {
+                ScopedStageTimer t(timers_, "lut");
+                buildLut(q, c, lut, base);
+            }
+            ScopedStageTimer t(timers_, "scan");
+            for (idx_t pid : ivf_.list(c)) {
+                const entry_t *pc = codes_.row(pid);
+                float acc = base;
+                for (int s = 0; s < subspaces; ++s)
+                    acc += lut.at(s, pc[s]);
+                top.push(pid, acc);
+            }
+        }
+        results[static_cast<std::size_t>(qi)] = top.take();
+    }
+    return results;
+}
+
+std::vector<Neighbor>
+IvfPqIndex::searchOneRecordingUsage(
+    const float *query, idx_t k,
+    std::vector<std::vector<std::uint32_t>> *entry_usage) const
+{
+    const int subspaces = pq_.numSubspaces();
+    if (entry_usage != nullptr) {
+        entry_usage->assign(
+            static_cast<std::size_t>(subspaces),
+            std::vector<std::uint32_t>(
+                static_cast<std::size_t>(pq_.entries()), 0));
+    }
+
+    auto probes = probe(query, nprobs_);
+    TopK top(std::min(k, num_points_), metric_);
+    FloatMatrix lut;
+    for (const auto &pr : probes) {
+        const cluster_t c = static_cast<cluster_t>(pr.id);
+        float base = 0.0f;
+        buildLut(query, c, lut, base);
+        for (idx_t pid : ivf_.list(c)) {
+            const entry_t *pc = codes_.row(pid);
+            float acc = base;
+            for (int s = 0; s < subspaces; ++s)
+                acc += lut.at(s, pc[s]);
+            top.push(pid, acc);
+        }
+    }
+    auto result = top.take();
+    if (entry_usage != nullptr) {
+        // Count, per subspace, how often each entry encodes a returned
+        // neighbour (the Fig. 3(b) heatmap row for this query).
+        for (const auto &nb : result) {
+            const entry_t *pc = codes_.row(nb.id);
+            for (int s = 0; s < subspaces; ++s)
+                ++(*entry_usage)[static_cast<std::size_t>(s)][pc[s]];
+        }
+    }
+    return result;
+}
+
+} // namespace juno

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * FAISS-style IVFPQ index — the paper's baseline (Sec. 2.1).
+ *
+ * Online search runs the three stages the paper instruments:
+ *   A. filtering          — query vs. all C coarse centroids, keep nprobs;
+ *   B+C. L2-LUT construction — per probed cluster, *dense* pairwise
+ *        scores between the query residual projection and every one of
+ *        the E codebook entries in every subspace;
+ *   D. distance calculation — for each point in the probed clusters,
+ *        accumulate LUT entries addressed by its PQ codes; top-k.
+ *
+ * Per-stage wall time accumulates into stageTimers() under the names
+ * "filter", "lut" and "scan" (Fig. 3(a) reproduces from these).
+ *
+ * An optional HNSW router replaces the brute-force centroid scan in
+ * stage A, reproducing FAISS's IVFx_HNSWy,PQz factory string.
+ */
+#ifndef JUNO_BASELINE_IVFPQ_INDEX_H
+#define JUNO_BASELINE_IVFPQ_INDEX_H
+
+#include <memory>
+#include <optional>
+
+#include "baseline/hnsw.h"
+#include "baseline/index.h"
+#include "ivf/ivf.h"
+#include "quant/product_quantizer.h"
+
+namespace juno {
+
+/** IVF + residual PQ with asymmetric distance computation. */
+class IvfPqIndex : public AnnIndex {
+  public:
+    struct Params {
+        int clusters = 256;          ///< C coarse clusters
+        int pq_subspaces = 48;       ///< the x of "PQx"
+        int pq_entries = 256;        ///< E codebook entries per subspace
+        idx_t nprobs = 8;            ///< probed clusters per query
+        bool use_hnsw_router = false;///< route stage A through HNSW
+        int hnsw_m = 16;
+        int hnsw_ef_search = 64;
+        std::uint64_t seed = 31;
+        idx_t max_training_points = 0;
+    };
+
+    /** Trains IVF + PQ offline and encodes every point. */
+    IvfPqIndex(Metric metric, FloatMatrixView points, const Params &params);
+
+    std::string name() const override;
+    Metric metric() const override { return metric_; }
+    idx_t size() const override { return num_points_; }
+
+    idx_t nprobs() const { return nprobs_; }
+    void setNprobs(idx_t nprobs) { nprobs_ = nprobs; }
+
+    const InvertedFileIndex &ivf() const { return ivf_; }
+    const ProductQuantizer &pq() const { return pq_; }
+    const PQCodes &codes() const { return codes_; }
+    bool hasHnswRouter() const { return router_ != nullptr; }
+
+    SearchResults search(FloatMatrixView queries, idx_t k) override;
+
+    /**
+     * Filtering stage only (public so JUNO and the motivation benches
+     * can reuse the identical stage-A implementation).
+     */
+    std::vector<Neighbor> probe(const float *query, idx_t nprobs) const;
+
+    /**
+     * Searches a single query and optionally reports which (cluster,
+     * subspace, entry) cells the returned top-k actually addressed.
+     * Used by the Fig. 3(b)/4/5 sparsity characterisation benches.
+     */
+    std::vector<Neighbor> searchOneRecordingUsage(
+        const float *query, idx_t k,
+        std::vector<std::vector<std::uint32_t>> *entry_usage) const;
+
+  private:
+    /** Computes the per-cluster LUT and base score for one query. */
+    void buildLut(const float *query, cluster_t cluster, FloatMatrix &lut,
+                  float &base) const;
+
+    Metric metric_;
+    idx_t num_points_ = 0;
+    idx_t dim_ = 0;
+    InvertedFileIndex ivf_;
+    ProductQuantizer pq_;
+    PQCodes codes_;
+    idx_t nprobs_;
+    std::unique_ptr<Hnsw> router_;
+    int hnsw_ef_search_ = 64;
+};
+
+} // namespace juno
+
+#endif // JUNO_BASELINE_IVFPQ_INDEX_H

@@ -1,0 +1,219 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/distance.h"
+#include "common/logging.h"
+
+namespace juno {
+namespace {
+
+/** k-means++ seeding: D^2-weighted sequential centroid choice. */
+FloatMatrix
+seedPlusPlus(FloatMatrixView points, int k, Rng &rng)
+{
+    const idx_t n = points.rows(), d = points.cols();
+    FloatMatrix centroids(k, d);
+
+    // First centroid uniformly at random.
+    idx_t first = static_cast<idx_t>(rng.below(static_cast<std::uint64_t>(n)));
+    std::copy_n(points.row(first), d, centroids.row(0));
+
+    std::vector<double> dist2(static_cast<std::size_t>(n),
+                              std::numeric_limits<double>::max());
+    for (int c = 1; c < k; ++c) {
+        // Update shortest distance to any chosen centroid.
+        const float *last = centroids.row(c - 1);
+        double total = 0.0;
+        for (idx_t i = 0; i < n; ++i) {
+            const double d2 =
+                static_cast<double>(l2Sqr(points.row(i), last, d));
+            auto &slot = dist2[static_cast<std::size_t>(i)];
+            slot = std::min(slot, d2);
+            total += slot;
+        }
+        idx_t chosen = n - 1;
+        if (total > 0.0) {
+            double u = rng.uniform() * total;
+            for (idx_t i = 0; i < n; ++i) {
+                u -= dist2[static_cast<std::size_t>(i)];
+                if (u <= 0.0) {
+                    chosen = i;
+                    break;
+                }
+            }
+        } else {
+            // All points coincide with chosen centroids; any pick works.
+            chosen = static_cast<idx_t>(
+                rng.below(static_cast<std::uint64_t>(n)));
+        }
+        std::copy_n(points.row(chosen), d, centroids.row(c));
+    }
+    return centroids;
+}
+
+/** One assignment pass; returns the objective (sum of squared dist). */
+double
+assignPass(FloatMatrixView points, const FloatMatrix &centroids,
+           std::vector<cluster_t> &labels)
+{
+    const idx_t n = points.rows(), d = points.cols();
+    const idx_t k = centroids.rows();
+    double objective = 0.0;
+    for (idx_t i = 0; i < n; ++i) {
+        const float *p = points.row(i);
+        float best = std::numeric_limits<float>::max();
+        cluster_t best_c = 0;
+        for (idx_t c = 0; c < k; ++c) {
+            const float d2 = l2Sqr(p, centroids.row(c), d);
+            if (d2 < best) {
+                best = d2;
+                best_c = static_cast<cluster_t>(c);
+            }
+        }
+        labels[static_cast<std::size_t>(i)] = best_c;
+        objective += best;
+    }
+    return objective;
+}
+
+/** Recomputes centroids as cluster means; returns per-cluster counts. */
+std::vector<idx_t>
+updatePass(FloatMatrixView points, const std::vector<cluster_t> &labels,
+           FloatMatrix &centroids)
+{
+    const idx_t n = points.rows(), d = points.cols();
+    const idx_t k = centroids.rows();
+    std::vector<idx_t> counts(static_cast<std::size_t>(k), 0);
+    for (idx_t c = 0; c < k; ++c)
+        std::fill_n(centroids.row(c), d, 0.0f);
+    for (idx_t i = 0; i < n; ++i) {
+        const cluster_t c = labels[static_cast<std::size_t>(i)];
+        ++counts[static_cast<std::size_t>(c)];
+        const float *p = points.row(i);
+        float *ctr = centroids.row(c);
+        for (idx_t j = 0; j < d; ++j)
+            ctr[j] += p[j];
+    }
+    for (idx_t c = 0; c < k; ++c) {
+        const idx_t cnt = counts[static_cast<std::size_t>(c)];
+        if (cnt > 0) {
+            float *ctr = centroids.row(c);
+            const float inv = 1.0f / static_cast<float>(cnt);
+            for (idx_t j = 0; j < d; ++j)
+                ctr[j] *= inv;
+        }
+    }
+    return counts;
+}
+
+/**
+ * Splits the largest cluster into any empty one by copying its centroid
+ * with a small symmetric perturbation (FAISS's repair strategy).
+ */
+void
+repairEmpty(FloatMatrix &centroids, std::vector<idx_t> &counts, Rng &rng)
+{
+    const idx_t k = centroids.rows(), d = centroids.cols();
+    for (idx_t c = 0; c < k; ++c) {
+        if (counts[static_cast<std::size_t>(c)] > 0)
+            continue;
+        idx_t donor = static_cast<idx_t>(std::distance(
+            counts.begin(), std::max_element(counts.begin(), counts.end())));
+        if (counts[static_cast<std::size_t>(donor)] < 2)
+            continue; // nothing to split
+        const float eps = 1e-4f;
+        for (idx_t j = 0; j < d; ++j) {
+            const float v = centroids.at(donor, j);
+            const float delta = eps * (rng.uniform() < 0.5 ? -1.0f : 1.0f) *
+                                (std::abs(v) + 1.0f);
+            centroids.at(c, j) = v + delta;
+            centroids.at(donor, j) = v - delta;
+        }
+        // Approximate count split; corrected on the next assign pass.
+        counts[static_cast<std::size_t>(c)] =
+            counts[static_cast<std::size_t>(donor)] / 2;
+        counts[static_cast<std::size_t>(donor)] -=
+            counts[static_cast<std::size_t>(c)];
+    }
+}
+
+} // namespace
+
+KMeansResult
+kmeans(FloatMatrixView points, const KMeansParams &params)
+{
+    JUNO_REQUIRE(params.clusters > 0, "clusters must be positive");
+    JUNO_REQUIRE(points.rows() > 0, "cannot cluster an empty point set");
+    JUNO_REQUIRE(points.rows() >= params.clusters,
+                 "need at least as many points (" << points.rows()
+                 << ") as clusters (" << params.clusters << ")");
+
+    Rng rng(params.seed);
+
+    // Optional training subsample.
+    FloatMatrix sample_storage;
+    FloatMatrixView train = points;
+    if (params.max_training_points > 0 &&
+        points.rows() > params.max_training_points) {
+        const auto ids = rng.sampleWithoutReplacement(
+            points.rows(), params.max_training_points);
+        sample_storage = FloatMatrix(params.max_training_points,
+                                     points.cols());
+        for (idx_t i = 0; i < params.max_training_points; ++i)
+            std::copy_n(points.row(ids[static_cast<std::size_t>(i)]),
+                        points.cols(), sample_storage.row(i));
+        train = sample_storage.view();
+    }
+
+    KMeansResult result;
+    result.centroids = seedPlusPlus(train, params.clusters, rng);
+    std::vector<cluster_t> train_labels(
+        static_cast<std::size_t>(train.rows()));
+
+    double prev_obj = std::numeric_limits<double>::max();
+    for (int it = 0; it < params.max_iters; ++it) {
+        const double obj = assignPass(train, result.centroids, train_labels);
+        auto counts = updatePass(train, train_labels, result.centroids);
+        repairEmpty(result.centroids, counts, rng);
+        result.iterations = it + 1;
+        if (params.verbose)
+            std::fprintf(stderr, "kmeans iter %d objective %.6g\n", it, obj);
+        if (prev_obj < std::numeric_limits<double>::max() &&
+            prev_obj - obj <= params.tol * std::abs(prev_obj))
+            break;
+        prev_obj = obj;
+    }
+
+    // Final assignment of *all* input points to the trained centroids.
+    result.labels.resize(static_cast<std::size_t>(points.rows()));
+    result.objective = assignPass(points, result.centroids, result.labels);
+    return result;
+}
+
+std::vector<cluster_t>
+assignToNearest(FloatMatrixView points, FloatMatrixView centroids)
+{
+    JUNO_REQUIRE(points.cols() == centroids.cols(), "dimension mismatch");
+    std::vector<cluster_t> labels(static_cast<std::size_t>(points.rows()));
+    const idx_t d = points.cols();
+    for (idx_t i = 0; i < points.rows(); ++i) {
+        const float *p = points.row(i);
+        float best = std::numeric_limits<float>::max();
+        cluster_t best_c = 0;
+        for (idx_t c = 0; c < centroids.rows(); ++c) {
+            const float d2 = l2Sqr(p, centroids.row(c), d);
+            if (d2 < best) {
+                best = d2;
+                best_c = static_cast<cluster_t>(c);
+            }
+        }
+        labels[static_cast<std::size_t>(i)] = best_c;
+    }
+    return labels;
+}
+
+} // namespace juno

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Lloyd k-means with k-means++ seeding — the workhorse behind both the
+ * coarse IVF clustering (C clusters over full-D points, paper step 1)
+ * and the per-subspace codebook training (E entries over M-dim
+ * residual projections, paper step 3).
+ */
+#ifndef JUNO_CLUSTER_KMEANS_H
+#define JUNO_CLUSTER_KMEANS_H
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace juno {
+
+/** Tuning knobs for KMeans::train. */
+struct KMeansParams {
+    int clusters = 16;
+    int max_iters = 25;
+    /** Stop when relative objective improvement drops below this. */
+    double tol = 1e-4;
+    std::uint64_t seed = 123;
+    /**
+     * Train on at most this many points (sampled without replacement);
+     * 0 trains on everything. Mirrors FAISS's training subsampling for
+     * large corpora.
+     */
+    idx_t max_training_points = 0;
+    /** Enables verbose per-iteration objective logging to stderr. */
+    bool verbose = false;
+};
+
+/** Result of a k-means run. */
+struct KMeansResult {
+    /** clusters x dim centroid matrix. */
+    FloatMatrix centroids;
+    /** Assignment of every *input* point to its nearest centroid. */
+    std::vector<cluster_t> labels;
+    /** Final sum of squared distances to assigned centroids. */
+    double objective = 0.0;
+    /** Iterations actually executed. */
+    int iterations = 0;
+};
+
+/**
+ * Runs k-means++ initialisation followed by Lloyd iterations.
+ * Empty clusters are repaired by splitting the most populous cluster
+ * (FAISS-style), so every returned centroid owns at least one point
+ * whenever clusters <= N.
+ */
+KMeansResult kmeans(FloatMatrixView points, const KMeansParams &params);
+
+/** Assigns each row of @p points to the nearest centroid (L2). */
+std::vector<cluster_t> assignToNearest(FloatMatrixView points,
+                                       FloatMatrixView centroids);
+
+} // namespace juno
+
+#endif // JUNO_CLUSTER_KMEANS_H

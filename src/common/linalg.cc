@@ -1,0 +1,171 @@
+#include "common/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace juno {
+
+FloatMatrix
+transpose(FloatMatrixView a)
+{
+    FloatMatrix out(a.cols(), a.rows());
+    for (idx_t r = 0; r < a.rows(); ++r)
+        for (idx_t c = 0; c < a.cols(); ++c)
+            out.at(c, r) = a.at(r, c);
+    return out;
+}
+
+FloatMatrix
+matmul(FloatMatrixView a, FloatMatrixView b)
+{
+    JUNO_REQUIRE(a.cols() == b.rows(), "matmul shape mismatch");
+    FloatMatrix out(a.rows(), b.cols(), 0.0f);
+    for (idx_t i = 0; i < a.rows(); ++i) {
+        const float *arow = a.row(i);
+        float *orow = out.row(i);
+        for (idx_t k = 0; k < a.cols(); ++k) {
+            const float aik = arow[k];
+            if (aik == 0.0f)
+                continue;
+            const float *brow = b.row(k);
+            for (idx_t j = 0; j < b.cols(); ++j)
+                orow[j] += aik * brow[j];
+        }
+    }
+    return out;
+}
+
+FloatMatrix
+identity(idx_t n)
+{
+    FloatMatrix out(n, n, 0.0f);
+    for (idx_t i = 0; i < n; ++i)
+        out.at(i, i) = 1.0f;
+    return out;
+}
+
+float
+maxAbsDiff(FloatMatrixView a, FloatMatrixView b)
+{
+    JUNO_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                 "shape mismatch");
+    float worst = 0.0f;
+    for (idx_t r = 0; r < a.rows(); ++r)
+        for (idx_t c = 0; c < a.cols(); ++c)
+            worst = std::max(worst, std::abs(a.at(r, c) - b.at(r, c)));
+    return worst;
+}
+
+bool
+isOrthonormal(FloatMatrixView q, float tol)
+{
+    const auto qt = transpose(q);
+    const auto gram = matmul(qt.view(), q);
+    return maxAbsDiff(gram.view(), identity(q.cols()).view()) <= tol;
+}
+
+Svd
+jacobiSvd(FloatMatrixView a, int max_sweeps, float tol)
+{
+    JUNO_REQUIRE(a.rows() >= a.cols(),
+                 "jacobiSvd requires m >= n; transpose the input");
+    const idx_t m = a.rows(), n = a.cols();
+
+    // Work on a copy U that rotates towards orthogonal columns while V
+    // accumulates the rotations.
+    FloatMatrix u(m, n);
+    std::copy_n(a.data(), static_cast<std::size_t>(m * n), u.data());
+    FloatMatrix v = identity(n);
+
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        double off = 0.0;
+        for (idx_t p = 0; p < n - 1; ++p) {
+            for (idx_t q = p + 1; q < n; ++q) {
+                // Column inner products.
+                double app = 0.0, aqq = 0.0, apq = 0.0;
+                for (idx_t r = 0; r < m; ++r) {
+                    const double up = u.at(r, p), uq = u.at(r, q);
+                    app += up * up;
+                    aqq += uq * uq;
+                    apq += up * uq;
+                }
+                off = std::max(off, std::abs(apq) /
+                                        (std::sqrt(app * aqq) + 1e-30));
+                if (std::abs(apq) <=
+                    tol * std::sqrt(app * aqq) + 1e-30)
+                    continue;
+                // Jacobi rotation zeroing the (p, q) column product.
+                const double tau = (aqq - app) / (2.0 * apq);
+                const double t = (tau >= 0 ? 1.0 : -1.0) /
+                                 (std::abs(tau) +
+                                  std::sqrt(1.0 + tau * tau));
+                const double c = 1.0 / std::sqrt(1.0 + t * t);
+                const double s = c * t;
+                for (idx_t r = 0; r < m; ++r) {
+                    const double up = u.at(r, p), uq = u.at(r, q);
+                    u.at(r, p) = static_cast<float>(c * up - s * uq);
+                    u.at(r, q) = static_cast<float>(s * up + c * uq);
+                }
+                for (idx_t r = 0; r < n; ++r) {
+                    const double vp = v.at(r, p), vq = v.at(r, q);
+                    v.at(r, p) = static_cast<float>(c * vp - s * vq);
+                    v.at(r, q) = static_cast<float>(s * vp + c * vq);
+                }
+            }
+        }
+        if (off <= tol)
+            break;
+    }
+
+    // Column norms are the singular values; normalise U.
+    Svd result;
+    result.s.resize(static_cast<std::size_t>(n));
+    for (idx_t c = 0; c < n; ++c) {
+        double norm = 0.0;
+        for (idx_t r = 0; r < m; ++r)
+            norm += static_cast<double>(u.at(r, c)) * u.at(r, c);
+        norm = std::sqrt(norm);
+        result.s[static_cast<std::size_t>(c)] = static_cast<float>(norm);
+        if (norm > 1e-30)
+            for (idx_t r = 0; r < m; ++r)
+                u.at(r, c) = static_cast<float>(u.at(r, c) / norm);
+    }
+
+    // Sort singular values descending, permuting U and V columns.
+    std::vector<idx_t> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](idx_t x, idx_t y) {
+        return result.s[static_cast<std::size_t>(x)] >
+               result.s[static_cast<std::size_t>(y)];
+    });
+    FloatMatrix u_sorted(m, n), v_sorted(n, n);
+    std::vector<float> s_sorted(static_cast<std::size_t>(n));
+    for (idx_t c = 0; c < n; ++c) {
+        const idx_t src = order[static_cast<std::size_t>(c)];
+        s_sorted[static_cast<std::size_t>(c)] =
+            result.s[static_cast<std::size_t>(src)];
+        for (idx_t r = 0; r < m; ++r)
+            u_sorted.at(r, c) = u.at(r, src);
+        for (idx_t r = 0; r < n; ++r)
+            v_sorted.at(r, c) = v.at(r, src);
+    }
+    result.u = std::move(u_sorted);
+    result.v = std::move(v_sorted);
+    result.s = std::move(s_sorted);
+    return result;
+}
+
+FloatMatrix
+procrustes(FloatMatrixView x, FloatMatrixView y)
+{
+    JUNO_REQUIRE(x.rows() == y.rows() && x.cols() == y.cols(),
+                 "procrustes shape mismatch");
+    const auto xty = matmul(transpose(x).view(), y);
+    const auto svd = jacobiSvd(xty.view());
+    return matmul(svd.u.view(), transpose(svd.v.view()).view());
+}
+
+} // namespace juno

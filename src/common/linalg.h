@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small dense linear-algebra routines needed by OPQ (quant/opq.h):
+ * matrix transpose/multiply on FloatMatrix, and a one-sided Jacobi SVD
+ * for the orthogonal Procrustes step. Sizes are D x D with D <= a few
+ * hundred, so simplicity beats sophistication here.
+ */
+#ifndef JUNO_COMMON_LINALG_H
+#define JUNO_COMMON_LINALG_H
+
+#include "common/matrix.h"
+
+namespace juno {
+
+/** Returns a^T. */
+FloatMatrix transpose(FloatMatrixView a);
+
+/** Returns a * b (shapes must agree). */
+FloatMatrix matmul(FloatMatrixView a, FloatMatrixView b);
+
+/** Returns the n x n identity. */
+FloatMatrix identity(idx_t n);
+
+/** Max |a - b| over all elements; shapes must match. */
+float maxAbsDiff(FloatMatrixView a, FloatMatrixView b);
+
+/** True when q^T q is within @p tol of the identity. */
+bool isOrthonormal(FloatMatrixView q, float tol = 1e-3f);
+
+/** Result of a singular value decomposition a = u * diag(s) * v^T. */
+struct Svd {
+    FloatMatrix u; ///< m x n, orthonormal columns
+    std::vector<float> s; ///< n singular values, descending
+    FloatMatrix v; ///< n x n orthogonal
+};
+
+/**
+ * One-sided Jacobi SVD of a (m x n, m >= n). Iterates plane rotations
+ * until column pairs are orthogonal. Accurate and simple; O(n^2 m) per
+ * sweep, fine for the D x D matrices OPQ produces.
+ */
+Svd jacobiSvd(FloatMatrixView a, int max_sweeps = 30, float tol = 1e-7f);
+
+/**
+ * Orthogonal Procrustes: the orthogonal matrix R minimising
+ * ||X R - Y||_F, namely R = U V^T for svd(X^T Y) = U S V^T.
+ * X, Y are (n x d); returns a (d x d) orthogonal matrix.
+ */
+FloatMatrix procrustes(FloatMatrixView x, FloatMatrixView y);
+
+} // namespace juno
+
+#endif // JUNO_COMMON_LINALG_H

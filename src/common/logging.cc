@@ -1,0 +1,42 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace juno {
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "juno: panic: %s\n", msg.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw ConfigError(msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "juno: warn: %s\n", msg.c_str());
+}
+
+namespace detail {
+
+std::string
+checkMessage(const char *cond, const char *file, int line,
+             const std::string &extra)
+{
+    std::ostringstream oss;
+    oss << cond << " failed at " << file << ":" << line;
+    if (!extra.empty())
+        oss << ": " << extra;
+    return oss.str();
+}
+
+} // namespace detail
+} // namespace juno

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's panic()/fatal().
+ *
+ * panic(): an internal invariant was violated (a JUNO bug) -> abort.
+ * fatal(): the user supplied an impossible configuration -> exception.
+ */
+#ifndef JUNO_COMMON_LOGGING_H
+#define JUNO_COMMON_LOGGING_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace juno {
+
+/** Thrown by fatal() and JUNO_REQUIRE on invalid user configuration. */
+class ConfigError : public std::runtime_error {
+  public:
+    explicit ConfigError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Aborts the process after printing @p msg; use for internal bugs. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Throws ConfigError; use for invalid user-provided configuration. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Prints a one-time warning to stderr. */
+void warn(const std::string &msg);
+
+namespace detail {
+
+/** Builds the "cond failed at file:line: extra" message for the macros. */
+std::string checkMessage(const char *cond, const char *file, int line,
+                         const std::string &extra);
+
+} // namespace detail
+
+/**
+ * Validates a user-facing precondition; throws ConfigError on failure.
+ * The message expression is only evaluated when the check fails.
+ */
+#define JUNO_REQUIRE(cond, msg)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream juno_require_oss_;                           \
+            juno_require_oss_ << msg;                                       \
+            ::juno::fatal(::juno::detail::checkMessage(                     \
+                #cond, __FILE__, __LINE__, juno_require_oss_.str()));       \
+        }                                                                   \
+    } while (false)
+
+/** Validates an internal invariant; aborts on failure (a JUNO bug). */
+#define JUNO_ASSERT(cond, msg)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream juno_assert_oss_;                            \
+            juno_assert_oss_ << msg;                                        \
+            ::juno::panic(::juno::detail::checkMessage(                     \
+                #cond, __FILE__, __LINE__, juno_assert_oss_.str()));        \
+        }                                                                   \
+    } while (false)
+
+} // namespace juno
+
+#endif // JUNO_COMMON_LOGGING_H

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Row-major float matrix used for point sets, centroids and LUTs.
+ *
+ * A FloatMatrix owns its storage; FloatMatrixView is a cheap non-owning
+ * (rows x cols) window used to pass sub-ranges without copying.
+ */
+#ifndef JUNO_COMMON_MATRIX_H
+#define JUNO_COMMON_MATRIX_H
+
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace juno {
+
+/** Non-owning view of a row-major float matrix. */
+class FloatMatrixView {
+  public:
+    FloatMatrixView() = default;
+
+    FloatMatrixView(const float *data, idx_t rows, idx_t cols)
+        : data_(data), rows_(rows), cols_(cols)
+    {
+        JUNO_ASSERT(rows >= 0 && cols >= 0, "negative shape");
+    }
+
+    idx_t rows() const { return rows_; }
+    idx_t cols() const { return cols_; }
+    bool empty() const { return rows_ == 0 || cols_ == 0; }
+    const float *data() const { return data_; }
+
+    /** Pointer to the first element of row @p r. */
+    const float *
+    row(idx_t r) const
+    {
+        JUNO_ASSERT(r >= 0 && r < rows_, "row " << r << " of " << rows_);
+        return data_ + r * cols_;
+    }
+
+    float
+    at(idx_t r, idx_t c) const
+    {
+        JUNO_ASSERT(c >= 0 && c < cols_, "col " << c << " of " << cols_);
+        return row(r)[c];
+    }
+
+    /** View of rows [begin, begin+count). */
+    FloatMatrixView
+    slice(idx_t begin, idx_t count) const
+    {
+        JUNO_ASSERT(begin >= 0 && begin + count <= rows_, "bad slice");
+        return FloatMatrixView(data_ + begin * cols_, count, cols_);
+    }
+
+  private:
+    const float *data_ = nullptr;
+    idx_t rows_ = 0;
+    idx_t cols_ = 0;
+};
+
+/** Owning row-major float matrix. */
+class FloatMatrix {
+  public:
+    FloatMatrix() = default;
+
+    FloatMatrix(idx_t rows, idx_t cols, float fill = 0.0f)
+        : rows_(rows), cols_(cols),
+          data_(static_cast<std::size_t>(rows * cols), fill)
+    {
+        JUNO_REQUIRE(rows >= 0 && cols >= 0, "negative matrix shape");
+    }
+
+    idx_t rows() const { return rows_; }
+    idx_t cols() const { return cols_; }
+    bool empty() const { return data_.empty(); }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    float *
+    row(idx_t r)
+    {
+        JUNO_ASSERT(r >= 0 && r < rows_, "row " << r << " of " << rows_);
+        return data_.data() + r * cols_;
+    }
+
+    const float *
+    row(idx_t r) const
+    {
+        JUNO_ASSERT(r >= 0 && r < rows_, "row " << r << " of " << rows_);
+        return data_.data() + r * cols_;
+    }
+
+    float &at(idx_t r, idx_t c) { return row(r)[c]; }
+    float at(idx_t r, idx_t c) const { return row(r)[c]; }
+
+    /** Implicit view of the whole matrix. */
+    operator FloatMatrixView() const
+    {
+        return FloatMatrixView(data_.data(), rows_, cols_);
+    }
+
+    FloatMatrixView
+    view() const
+    {
+        return FloatMatrixView(data_.data(), rows_, cols_);
+    }
+
+    /** Reshapes in place; total element count must be preserved. */
+    void
+    reshape(idx_t rows, idx_t cols)
+    {
+        JUNO_REQUIRE(rows * cols == rows_ * cols_,
+                     "reshape must preserve element count");
+        rows_ = rows;
+        cols_ = cols;
+    }
+
+  private:
+    idx_t rows_ = 0;
+    idx_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace juno
+
+#endif // JUNO_COMMON_MATRIX_H

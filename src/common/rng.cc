@@ -1,0 +1,131 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace juno {
+namespace {
+
+/** SplitMix64 step; used only to expand the user seed into state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &lane : s_)
+        lane = splitmix64(sm);
+    // All-zero state is the one invalid xoshiro state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+float
+Rng::uniform(float lo, float hi)
+{
+    return lo + static_cast<float>(uniform()) * (hi - lo);
+}
+
+std::uint64_t
+Rng::below(std::uint64_t n)
+{
+    JUNO_ASSERT(n > 0, "below(0) is undefined");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = max() - max() % n;
+    std::uint64_t v;
+    do {
+        v = (*this)();
+    } while (v >= limit);
+    return v % n;
+}
+
+double
+Rng::gaussian()
+{
+    if (has_cached_gauss_) {
+        has_cached_gauss_ = false;
+        return cached_gauss_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    cached_gauss_ = mag * std::sin(2.0 * M_PI * u2);
+    has_cached_gauss_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+std::vector<idx_t>
+Rng::sampleWithoutReplacement(idx_t n, idx_t k)
+{
+    JUNO_REQUIRE(k <= n, "cannot sample " << k << " from " << n);
+    // Robert Floyd's algorithm: k iterations, each inserts one index.
+    std::unordered_set<idx_t> chosen;
+    std::vector<idx_t> out;
+    out.reserve(static_cast<std::size_t>(k));
+    for (idx_t j = n - k; j < n; ++j) {
+        idx_t t = static_cast<idx_t>(below(static_cast<std::uint64_t>(j) + 1));
+        if (chosen.count(t)) {
+            chosen.insert(j);
+            out.push_back(j);
+        } else {
+            chosen.insert(t);
+            out.push_back(t);
+        }
+    }
+    return out;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng((*this)());
+}
+
+} // namespace juno

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Every stochastic component in JUNO (dataset synthesis, k-means init,
+ * sampling for the threshold regressor) takes an explicit Rng so that
+ * experiments are reproducible from a single seed.
+ */
+#ifndef JUNO_COMMON_RNG_H
+#define JUNO_COMMON_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace juno {
+
+/**
+ * Small, fast, seedable PRNG (xoshiro256** by Blackman & Vigna).
+ *
+ * Satisfies the essentials of UniformRandomBitGenerator so it can be
+ * handed to <random> distributions, but we provide the distributions we
+ * need directly to keep results identical across standard libraries.
+ */
+class Rng {
+  public:
+    using result_type = std::uint64_t;
+
+    /** Seeds the four 64-bit lanes from @p seed via SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit output. */
+    result_type operator()();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform float in [lo, hi). */
+    float uniform(float lo, float hi);
+
+    /** Uniform integer in [0, n); @p n must be positive. */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Standard normal via Box-Muller (cached second sample). */
+    double gaussian();
+
+    /** Normal with explicit mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /**
+     * Samples @p k distinct indices from [0, n) without replacement.
+     * Uses Floyd's algorithm; O(k) expected time. Requires k <= n.
+     */
+    std::vector<idx_t> sampleWithoutReplacement(idx_t n, idx_t k);
+
+    /** Fisher-Yates shuffle of @p items. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            std::size_t j = below(i);
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+    /** Forks an independent stream (for per-thread determinism). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+    double cached_gauss_ = 0.0;
+    bool has_cached_gauss_ = false;
+};
+
+} // namespace juno
+
+#endif // JUNO_COMMON_RNG_H

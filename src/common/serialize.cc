@@ -1,0 +1,107 @@
+#include "common/serialize.h"
+
+#include <cstring>
+
+namespace juno {
+namespace {
+
+/** Upper bound on any single container payload: 16 GiB. */
+constexpr std::uint64_t kMaxPayloadBytes = 16ull << 30;
+
+} // namespace
+
+BinaryWriter::BinaryWriter(const std::string &path, const char magic[8],
+                           std::uint32_t version)
+    : out_(path, std::ios::binary), path_(path)
+{
+    if (!out_)
+        fatal("cannot open " + path + " for writing");
+    out_.write(magic, 8);
+    writePod(version);
+}
+
+void
+BinaryWriter::check()
+{
+    if (!out_)
+        fatal("short write to " + path_);
+}
+
+void
+BinaryWriter::writeString(const std::string &s)
+{
+    writePod<std::uint64_t>(s.size());
+    out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+    check();
+}
+
+void
+BinaryWriter::writeMatrix(FloatMatrixView m)
+{
+    writePod<std::int64_t>(m.rows());
+    writePod<std::int64_t>(m.cols());
+    out_.write(reinterpret_cast<const char *>(m.data()),
+               static_cast<std::streamsize>(sizeof(float)) * m.rows() *
+                   m.cols());
+    check();
+}
+
+BinaryReader::BinaryReader(const std::string &path, const char magic[8],
+                           std::uint32_t expected_version)
+    : in_(path, std::ios::binary), path_(path)
+{
+    if (!in_)
+        fatal("cannot open " + path);
+    char got[8];
+    in_.read(got, 8);
+    if (!in_ || std::memcmp(got, magic, 8) != 0)
+        fatal(path + ": bad magic (not a JUNO index file?)");
+    const auto version = readPod<std::uint32_t>();
+    if (version != expected_version)
+        fatal(path + ": version " + std::to_string(version) +
+              " unsupported (expected " +
+              std::to_string(expected_version) + ")");
+}
+
+void
+BinaryReader::check()
+{
+    if (!in_)
+        fatal(path_ + ": truncated or corrupt stream");
+}
+
+void
+BinaryReader::boundCheck(std::uint64_t bytes) const
+{
+    if (bytes > kMaxPayloadBytes)
+        fatal(path_ + ": implausible payload size (corrupt file)");
+}
+
+std::string
+BinaryReader::readString()
+{
+    const auto count = readPod<std::uint64_t>();
+    boundCheck(count);
+    std::string s(static_cast<std::size_t>(count), '\0');
+    in_.read(s.data(), static_cast<std::streamsize>(count));
+    check();
+    return s;
+}
+
+FloatMatrix
+BinaryReader::readMatrix()
+{
+    const auto rows = readPod<std::int64_t>();
+    const auto cols = readPod<std::int64_t>();
+    if (rows < 0 || cols < 0)
+        fatal(path_ + ": negative matrix shape (corrupt file)");
+    boundCheck(static_cast<std::uint64_t>(rows) *
+               static_cast<std::uint64_t>(cols) * sizeof(float));
+    FloatMatrix m(rows, cols);
+    in_.read(reinterpret_cast<char *>(m.data()),
+             static_cast<std::streamsize>(sizeof(float)) * rows * cols);
+    check();
+    return m;
+}
+
+} // namespace juno

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Minimal versioned binary serialization for index persistence.
+ *
+ * Format: every stream starts with a caller-chosen 8-byte magic and a
+ * u32 version; primitives are little-endian PODs, containers are a
+ * u64 count followed by elements. Readers validate counts against a
+ * sanity bound so corrupt files fail fast with ConfigError instead of
+ * attempting gigabyte allocations.
+ */
+#ifndef JUNO_COMMON_SERIALIZE_H
+#define JUNO_COMMON_SERIALIZE_H
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/matrix.h"
+
+namespace juno {
+
+/** Streaming binary writer. */
+class BinaryWriter {
+  public:
+    /** Opens @p path and writes the header. Throws on failure. */
+    BinaryWriter(const std::string &path, const char magic[8],
+                 std::uint32_t version);
+
+    ~BinaryWriter() = default;
+
+    template <typename T>
+    void
+    writePod(const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        out_.write(reinterpret_cast<const char *>(&value), sizeof(T));
+        check();
+    }
+
+    template <typename T>
+    void
+    writeVector(const std::vector<T> &values)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        writePod<std::uint64_t>(values.size());
+        out_.write(reinterpret_cast<const char *>(values.data()),
+                   static_cast<std::streamsize>(values.size() * sizeof(T)));
+        check();
+    }
+
+    void writeString(const std::string &s);
+    void writeMatrix(FloatMatrixView m);
+
+  private:
+    void check();
+
+    std::ofstream out_;
+    std::string path_;
+};
+
+/** Streaming binary reader with validation. */
+class BinaryReader {
+  public:
+    /** Opens @p path and validates magic + version. */
+    BinaryReader(const std::string &path, const char magic[8],
+                 std::uint32_t expected_version);
+
+    template <typename T>
+    T
+    readPod()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value{};
+        in_.read(reinterpret_cast<char *>(&value), sizeof(T));
+        check();
+        return value;
+    }
+
+    template <typename T>
+    std::vector<T>
+    readVector()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const auto count = readPod<std::uint64_t>();
+        boundCheck(count * sizeof(T));
+        std::vector<T> values(static_cast<std::size_t>(count));
+        in_.read(reinterpret_cast<char *>(values.data()),
+                 static_cast<std::streamsize>(count * sizeof(T)));
+        check();
+        return values;
+    }
+
+    std::string readString();
+    FloatMatrix readMatrix();
+
+  private:
+    void check();
+    void boundCheck(std::uint64_t bytes) const;
+
+    std::ifstream in_;
+    std::string path_;
+};
+
+} // namespace juno
+
+#endif // JUNO_COMMON_SERIALIZE_H

@@ -1,0 +1,110 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace juno {
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw == 0 ? 1 : static_cast<int>(hw);
+    }
+    thread_count_ = threads;
+    if (thread_count_ == 1)
+        return; // inline mode: no workers
+    workers_.reserve(static_cast<std::size_t>(thread_count_));
+    for (int i = 0; i < thread_count_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_job_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    if (thread_count_ == 1) {
+        job();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+        ++in_flight_;
+    }
+    cv_job_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    if (thread_count_ == 1)
+        return;
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_job_.wait(lock,
+                         [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --in_flight_;
+            if (in_flight_ == 0)
+                cv_done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(idx_t n, const std::function<void(idx_t)> &fn)
+{
+    if (n <= 0)
+        return;
+    if (thread_count_ == 1) {
+        for (idx_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    const idx_t chunks = std::min<idx_t>(n, thread_count_);
+    const idx_t per = (n + chunks - 1) / chunks;
+    for (idx_t c = 0; c < chunks; ++c) {
+        const idx_t begin = c * per;
+        const idx_t end = std::min(n, begin + per);
+        if (begin >= end)
+            break;
+        submit([begin, end, &fn] {
+            for (idx_t i = begin; i < end; ++i)
+                fn(i);
+        });
+    }
+    wait();
+}
+
+} // namespace juno

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool with a parallel-for helper.
+ *
+ * On single-core hosts the pool degrades gracefully (size 1 executes
+ * inline), but the pipelined executor (core/pipeline.h) still relies on
+ * real threads to overlap the RT-LUT and accumulation stages the way
+ * the paper overlaps RT and Tensor cores.
+ */
+#ifndef JUNO_COMMON_THREAD_POOL_H
+#define JUNO_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace juno {
+
+/** Fixed-size worker pool executing enqueued std::function jobs. */
+class ThreadPool {
+  public:
+    /**
+     * @param threads worker count; 0 picks hardware_concurrency(), and a
+     * pool of size 1 runs jobs inline in submit() (no thread spawned).
+     */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threadCount() const { return thread_count_; }
+
+    /** Enqueues a job. */
+    void submit(std::function<void()> job);
+
+    /** Blocks until every submitted job has finished. */
+    void wait();
+
+    /**
+     * Runs fn(i) for i in [0, n) split into contiguous chunks across the
+     * pool, blocking until done. fn must be safe to call concurrently
+     * for distinct i.
+     */
+    void parallelFor(idx_t n, const std::function<void(idx_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    int thread_count_;
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_job_;
+    std::condition_variable cv_done_;
+    int in_flight_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace juno
+
+#endif // JUNO_COMMON_THREAD_POOL_H

@@ -1,0 +1,54 @@
+#include "common/timer.h"
+
+namespace juno {
+
+double
+Timer::seconds() const
+{
+    const auto now = Clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+}
+
+void
+StageTimers::add(const std::string &name, double seconds)
+{
+    auto it = acc_.find(name);
+    if (it == acc_.end()) {
+        acc_.emplace(name, seconds);
+        order_.push_back(name);
+    } else {
+        it->second += seconds;
+    }
+}
+
+double
+StageTimers::seconds(const std::string &name) const
+{
+    auto it = acc_.find(name);
+    return it == acc_.end() ? 0.0 : it->second;
+}
+
+double
+StageTimers::totalSeconds() const
+{
+    double total = 0.0;
+    for (const auto &[name, secs] : acc_)
+        total += secs;
+    return total;
+}
+
+void
+StageTimers::reset()
+{
+    acc_.clear();
+    order_.clear();
+}
+
+void
+StageTimers::merge(const StageTimers &other)
+{
+    for (const auto &name : other.names())
+        add(name, other.seconds(name));
+}
+
+} // namespace juno

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Wall-clock timers and the per-stage timing ledger used by the
+ * three-stage search pipeline (filter / LUT construction / distance
+ * calculation) to reproduce the paper's breakdown figures.
+ */
+#ifndef JUNO_COMMON_TIMER_H
+#define JUNO_COMMON_TIMER_H
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace juno {
+
+/** Simple monotonic wall-clock stopwatch. */
+class Timer {
+  public:
+    Timer() { reset(); }
+
+    /** Restarts the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double seconds() const;
+
+    /** Milliseconds elapsed. */
+    double millis() const { return seconds() * 1e3; }
+
+    /** Microseconds elapsed. */
+    double micros() const { return seconds() * 1e6; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * Accumulates wall time per named stage across many queries.
+ *
+ * The FAISS-style pipeline reports `filter`, `lut` and `scan` stages;
+ * JUNO reports `filter`, `rt_lut` and `scan`. StageTimers is how the
+ * Fig. 3(a)/11(a)/13(a) benches obtain stage breakdowns.
+ */
+class StageTimers {
+  public:
+    /** Adds @p seconds to stage @p name. */
+    void add(const std::string &name, double seconds);
+
+    /** Total accumulated seconds for @p name (0 if never recorded). */
+    double seconds(const std::string &name) const;
+
+    /** Sum over all stages. */
+    double totalSeconds() const;
+
+    /** Stage names in insertion order. */
+    const std::vector<std::string> &names() const { return order_; }
+
+    /** Clears all accumulated values. */
+    void reset();
+
+    /** Merges another ledger into this one (stage-wise sum). */
+    void merge(const StageTimers &other);
+
+  private:
+    std::map<std::string, double> acc_;
+    std::vector<std::string> order_;
+};
+
+/** RAII helper: adds the scope's elapsed time to a StageTimers entry. */
+class ScopedStageTimer {
+  public:
+    ScopedStageTimer(StageTimers &timers, std::string name)
+        : timers_(timers), name_(std::move(name))
+    {
+    }
+
+    ~ScopedStageTimer() { timers_.add(name_, timer_.seconds()); }
+
+    ScopedStageTimer(const ScopedStageTimer &) = delete;
+    ScopedStageTimer &operator=(const ScopedStageTimer &) = delete;
+
+  private:
+    StageTimers &timers_;
+    std::string name_;
+    Timer timer_;
+};
+
+} // namespace juno
+
+#endif // JUNO_COMMON_TIMER_H

@@ -1,0 +1,117 @@
+#include "common/topk.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace juno {
+
+float
+worstScore(Metric metric)
+{
+    return metric == Metric::kL2 ? std::numeric_limits<float>::max()
+                                 : std::numeric_limits<float>::lowest();
+}
+
+TopK::TopK(idx_t k, Metric metric) : k_(k), metric_(metric)
+{
+    JUNO_REQUIRE(k > 0, "top-k requires k > 0, got " << k);
+    heap_.reserve(static_cast<std::size_t>(k));
+}
+
+bool
+TopK::heapWorse(const Neighbor &a, const Neighbor &b) const
+{
+    // True when a is strictly worse than b (belongs nearer the root).
+    if (a.score != b.score)
+        return isBetter(metric_, b.score, a.score);
+    // Tie-break on id for deterministic results across insert orders.
+    return a.id > b.id;
+}
+
+void
+TopK::siftUp(std::size_t i)
+{
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (!heapWorse(heap_[i], heap_[parent]))
+            break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
+    }
+}
+
+void
+TopK::siftDown(std::size_t i)
+{
+    const std::size_t n = heap_.size();
+    while (true) {
+        std::size_t worst = i;
+        const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+        if (l < n && heapWorse(heap_[l], heap_[worst]))
+            worst = l;
+        if (r < n && heapWorse(heap_[r], heap_[worst]))
+            worst = r;
+        if (worst == i)
+            break;
+        std::swap(heap_[i], heap_[worst]);
+        i = worst;
+    }
+}
+
+void
+TopK::push(idx_t id, float score)
+{
+    if (!full()) {
+        heap_.push_back({id, score});
+        siftUp(heap_.size() - 1);
+        return;
+    }
+    const Neighbor cand{id, score};
+    // Replace the root (current worst) only if the candidate is better.
+    if (heapWorse(cand, heap_[0]))
+        return;
+    heap_[0] = cand;
+    siftDown(0);
+}
+
+float
+TopK::worstAccepted() const
+{
+    if (!full())
+        return worstScore(metric_);
+    return heap_[0].score;
+}
+
+std::vector<Neighbor>
+TopK::take()
+{
+    std::vector<Neighbor> out = std::move(heap_);
+    heap_.clear();
+    std::sort(out.begin(), out.end(),
+              [this](const Neighbor &a, const Neighbor &b) {
+                  if (a.score != b.score)
+                      return isBetter(metric_, a.score, b.score);
+                  return a.id < b.id;
+              });
+    return out;
+}
+
+std::vector<Neighbor>
+TopK::results() const
+{
+    TopK copy = *this;
+    return copy.take();
+}
+
+std::vector<Neighbor>
+selectTopK(Metric metric, const float *scores, idx_t n, idx_t k)
+{
+    TopK top(std::min(k, std::max<idx_t>(n, 1)), metric);
+    for (idx_t i = 0; i < n; ++i)
+        top.push(i, scores[i]);
+    return top.take();
+}
+
+} // namespace juno

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Bounded top-k selection under either metric.
+ *
+ * Every index's search path funnels candidate (id, score) pairs through
+ * a TopK accumulator; `results()` returns them best-first. For L2 the
+ * internal heap is a max-heap on distance (evict the worst), for inner
+ * product a min-heap on similarity.
+ */
+#ifndef JUNO_COMMON_TOPK_H
+#define JUNO_COMMON_TOPK_H
+
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace juno {
+
+/** One search hit: point id plus its score under the active metric. */
+struct Neighbor {
+    idx_t id = -1;
+    float score = 0.0f;
+
+    bool
+    operator==(const Neighbor &other) const
+    {
+        return id == other.id && score == other.score;
+    }
+};
+
+/** Bounded best-k accumulator. Not thread-safe. */
+class TopK {
+  public:
+    /** @param k capacity (k > 0); @param metric decides the ordering. */
+    TopK(idx_t k, Metric metric);
+
+    /** Offers a candidate; keeps it only if it beats the current worst. */
+    void push(idx_t id, float score);
+
+    /**
+     * Score of the current k-th best, or the metric's worst score while
+     * fewer than k candidates have been accepted. Useful as an
+     * early-termination bound.
+     */
+    float worstAccepted() const;
+
+    /** True once k candidates are held. */
+    bool full() const { return heap_.size() == static_cast<std::size_t>(k_); }
+
+    idx_t k() const { return k_; }
+    idx_t size() const { return static_cast<idx_t>(heap_.size()); }
+
+    /** Extracts results best-first; the accumulator is left empty. */
+    std::vector<Neighbor> take();
+
+    /** Copy of the results best-first; accumulator unchanged. */
+    std::vector<Neighbor> results() const;
+
+  private:
+    bool heapWorse(const Neighbor &a, const Neighbor &b) const;
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    idx_t k_;
+    Metric metric_;
+    // Binary heap with the *worst* accepted element at heap_[0].
+    std::vector<Neighbor> heap_;
+};
+
+/**
+ * Convenience: select the top-k of a dense score row (size n), e.g. to
+ * pick the nprobs closest IVF centroids in the filtering stage.
+ */
+std::vector<Neighbor> selectTopK(Metric metric, const float *scores, idx_t n,
+                                 idx_t k);
+
+} // namespace juno
+
+#endif // JUNO_COMMON_TOPK_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fundamental scalar and index types shared across all JUNO modules.
+ */
+#ifndef JUNO_COMMON_TYPES_H
+#define JUNO_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace juno {
+
+/** Index of a search point inside a dataset. 32 bits covers our scales. */
+using idx_t = std::int64_t;
+
+/** Identifier of a coarse (IVF) cluster. */
+using cluster_t = std::int32_t;
+
+/** Identifier of a PQ codebook entry within one subspace (E <= 256). */
+using entry_t = std::uint16_t;
+
+/** Identifier of a 2-D PQ subspace (s in the paper, s < D/M). */
+using subspace_t = std::int32_t;
+
+/** Similarity metric used throughout the system (Equ. 2.1 in the paper). */
+enum class Metric {
+    /** Squared Euclidean distance; lower is better. */
+    kL2,
+    /** Inner product similarity (MIPS); higher is better. */
+    kInnerProduct,
+};
+
+/** Returns a short human-readable name for @p metric. */
+inline const char *
+metricName(Metric metric)
+{
+    return metric == Metric::kL2 ? "L2" : "IP";
+}
+
+/**
+ * True when @p a is a better score than @p b under @p metric.
+ * L2 is lower-is-better, inner product is higher-is-better.
+ */
+inline bool
+isBetter(Metric metric, float a, float b)
+{
+    return metric == Metric::kL2 ? a < b : a > b;
+}
+
+/** The worst possible score under @p metric (used as sentinel). */
+float worstScore(Metric metric);
+
+} // namespace juno
+
+#endif // JUNO_COMMON_TYPES_H

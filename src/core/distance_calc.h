@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Distance-calculation stage over the sparse LUT (paper Sec. 5.3-5.4).
+ *
+ * Given the entries the RT pass selected, the calculator walks the
+ * subspace-level inverted index and accumulates scores only for the
+ * *interested* points. Three scoring modes implement the paper's
+ * quality presets:
+ *
+ *  - kExactDistance (JUNO-H): accumulate the recovered per-subspace
+ *    scores; subspaces where a point's entry was not selected are
+ *    charged the gate-boundary miss score.
+ *  - kHitCount (JUNO-L): score = number of subspaces whose entry
+ *    sphere was hit; no floating-point distance at all.
+ *  - kRewardPenalty (JUNO-M): +1 if the inner (half) sphere was hit,
+ *    0 if only the outer, -1 if neither (Fig. 11(b) blue triangles).
+ */
+#ifndef JUNO_CORE_DISTANCE_CALC_H
+#define JUNO_CORE_DISTANCE_CALC_H
+
+#include <vector>
+
+#include "common/topk.h"
+#include "core/interest_index.h"
+#include "core/selective_lut.h"
+
+namespace juno {
+
+/** Scoring mode; selects the JUNO-H/M/L behaviour. */
+enum class SearchMode {
+    kExactDistance,
+    kHitCount,
+    kRewardPenalty,
+};
+
+/** Short preset name ("JUNO-H" etc.) for reports. */
+const char *searchModeName(SearchMode mode);
+
+/** Accumulates sparse-LUT scores into a top-k per query. */
+class DistanceCalculator {
+  public:
+    /** @p ivf and @p interest must outlive the calculator. */
+    DistanceCalculator(const InvertedFileIndex &ivf,
+                       const InterestIndex &interest);
+
+    /**
+     * Scores the points of the probed clusters and returns the best-k.
+     *
+     * In kExactDistance mode results carry approximate distances under
+     * @p metric; in the hit-count modes results carry counts (higher
+     * is better regardless of metric).
+     */
+    std::vector<Neighbor> run(Metric metric, SearchMode mode,
+                              const std::vector<Neighbor> &probes,
+                              const SparseLut &lut, idx_t k);
+
+    /**
+     * Per-point scores of one cluster (for the Fig. 11(b) correlation
+     * bench): returns pairs of (point id, score) for every point of
+     * @p probe_ordinal's cluster that was touched at least once.
+     */
+    std::vector<Neighbor> scoreCluster(Metric metric, SearchMode mode,
+                                       const std::vector<Neighbor> &probes,
+                                       std::size_t probe_ordinal,
+                                       const SparseLut &lut);
+
+  private:
+    /** Accumulates one cluster into scratch; appends to @p out. */
+    void accumulateCluster(Metric metric, SearchMode mode,
+                           const std::vector<Neighbor> &probes,
+                           std::size_t probe_ordinal, const SparseLut &lut,
+                           std::vector<Neighbor> &out);
+
+    const InvertedFileIndex &ivf_;
+    const InterestIndex &interest_;
+
+    // Scratch sized to the largest cluster; densely reset per cluster.
+    std::vector<float> acc_;
+    std::vector<std::int32_t> hit_count_;
+};
+
+} // namespace juno
+
+#endif // JUNO_CORE_DISTANCE_CALC_H

@@ -1,0 +1,56 @@
+#include "core/interest_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace juno {
+
+void
+InterestIndex::build(const InvertedFileIndex &ivf, const PQCodes &codes,
+                     int entries)
+{
+    JUNO_REQUIRE(ivf.built(), "IVF not built");
+    JUNO_REQUIRE(codes.num_points > 0, "no PQ codes");
+    JUNO_REQUIRE(entries > 0, "entries must be positive");
+
+    num_subspaces_ = codes.num_subspaces;
+    entries_ = entries;
+    max_cluster_size_ = 0;
+    buckets_.assign(static_cast<std::size_t>(ivf.numClusters()), {});
+
+    for (cluster_t c = 0; c < ivf.numClusters(); ++c) {
+        const auto &list = ivf.list(c);
+        max_cluster_size_ = std::max(max_cluster_size_,
+                                     static_cast<idx_t>(list.size()));
+        auto &per_subspace = buckets_[static_cast<std::size_t>(c)];
+        per_subspace.assign(static_cast<std::size_t>(num_subspaces_), {});
+
+        const std::uint32_t n = static_cast<std::uint32_t>(list.size());
+        for (int s = 0; s < num_subspaces_; ++s) {
+            auto &bucket = per_subspace[static_cast<std::size_t>(s)];
+            // Counting sort of ordinals by entry id: one pass to count,
+            // prefix-sum to offsets, one pass to scatter.
+            bucket.offsets.assign(static_cast<std::size_t>(entries_) + 1,
+                                  0);
+            for (std::uint32_t ord = 0; ord < n; ++ord) {
+                const entry_t e = codes.at(list[ord], s);
+                JUNO_REQUIRE(e < entries_,
+                             "code " << e << " out of range E=" << entries_);
+                ++bucket.offsets[static_cast<std::size_t>(e) + 1];
+            }
+            for (int e = 0; e < entries_; ++e)
+                bucket.offsets[static_cast<std::size_t>(e) + 1] +=
+                    bucket.offsets[static_cast<std::size_t>(e)];
+            bucket.ords.resize(n);
+            std::vector<std::uint32_t> cursor(bucket.offsets.begin(),
+                                              bucket.offsets.end() - 1);
+            for (std::uint32_t ord = 0; ord < n; ++ord) {
+                const entry_t e = codes.at(list[ord], s);
+                bucket.ords[cursor[static_cast<std::size_t>(e)]++] = ord;
+            }
+        }
+    }
+}
+
+} // namespace juno

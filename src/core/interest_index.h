@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Subspace-level inverted index from codebook entries to search points
+ * (paper Alg. 1 lines 12-14): Map[c][s][e] lists every point that
+ * belongs to coarse cluster c *and* whose subspace-s projection is
+ * encoded with entry e. The distance-calculation stage iterates only
+ * these lists for the entries the RT pass selected.
+ *
+ * Representation: per (cluster, subspace), a CSR layout — point
+ * *ordinals* (positions within the cluster's IVF list) sorted by entry
+ * id plus an offsets array of E+1 entries — giving O(1) lookups on the
+ * scan stage's critical path.
+ */
+#ifndef JUNO_CORE_INTEREST_INDEX_H
+#define JUNO_CORE_INTEREST_INDEX_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "ivf/ivf.h"
+#include "quant/product_quantizer.h"
+
+namespace juno {
+
+/** entry -> points inverted index, per cluster and subspace. */
+class InterestIndex {
+  public:
+    /** Contiguous run of point ordinals sharing one entry. */
+    struct Range {
+        const std::uint32_t *begin = nullptr;
+        const std::uint32_t *end = nullptr;
+
+        std::size_t size() const { return static_cast<std::size_t>(end - begin); }
+        bool empty() const { return begin == end; }
+    };
+
+    /**
+     * Builds from the IVF assignment and the PQ codes of all points.
+     * @param entries codebook entry count E (codes must be < E).
+     */
+    void build(const InvertedFileIndex &ivf, const PQCodes &codes,
+               int entries);
+
+    bool built() const { return num_subspaces_ > 0; }
+    int numSubspaces() const { return num_subspaces_; }
+    idx_t numClusters() const { return static_cast<idx_t>(buckets_.size()); }
+
+    /** Size of the largest IVF cluster (scratch sizing for the scan). */
+    idx_t maxClusterSize() const { return max_cluster_size_; }
+
+    /**
+     * Ordinals (positions within ivf.list(c)) of the points encoded by
+     * @p e in subspace @p s of cluster @p c. O(1).
+     */
+    Range
+    lookup(cluster_t c, int s, entry_t e) const
+    {
+        const Bucket &b = bucket(c, s);
+        Range range;
+        if (e >= entries_) {
+            range.begin = range.end = b.ords.data();
+            return range;
+        }
+        range.begin =
+            b.ords.data() + b.offsets[static_cast<std::size_t>(e)];
+        range.end =
+            b.ords.data() + b.offsets[static_cast<std::size_t>(e) + 1];
+        return range;
+    }
+
+  private:
+    struct Bucket {
+        /** offsets[e]..offsets[e+1] delimit entry e's ordinals. */
+        std::vector<std::uint32_t> offsets;
+        /** Point ordinals within the cluster's IVF list. */
+        std::vector<std::uint32_t> ords;
+    };
+
+    const Bucket &
+    bucket(cluster_t c, int s) const
+    {
+        JUNO_ASSERT(built(), "interest index not built");
+        JUNO_ASSERT(c >= 0 && c < numClusters(), "cluster " << c);
+        JUNO_ASSERT(s >= 0 && s < num_subspaces_, "subspace " << s);
+        return buckets_[static_cast<std::size_t>(c)]
+                       [static_cast<std::size_t>(s)];
+    }
+
+    int num_subspaces_ = 0;
+    int entries_ = 0;
+    idx_t max_cluster_size_ = 0;
+    /** buckets_[c][s]. */
+    std::vector<std::vector<Bucket>> buckets_;
+};
+
+} // namespace juno
+
+#endif // JUNO_CORE_INTEREST_INDEX_H

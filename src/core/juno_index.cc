@@ -1,0 +1,315 @@
+#include "core/juno_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace juno {
+
+JunoParams
+junoPresetH(JunoParams base)
+{
+    base.mode = SearchMode::kExactDistance;
+    base.threshold_scale = 1.0;
+    return base;
+}
+
+JunoParams
+junoPresetM(JunoParams base)
+{
+    base.mode = SearchMode::kRewardPenalty;
+    base.threshold_scale = 1.0;
+    return base;
+}
+
+JunoParams
+junoPresetL(JunoParams base)
+{
+    base.mode = SearchMode::kHitCount;
+    base.threshold_scale = 0.8;
+    return base;
+}
+
+JunoIndex::JunoIndex(Metric metric, FloatMatrixView points,
+                     const JunoParams &params)
+    : metric_(metric), num_points_(points.rows()), dim_(points.cols()),
+      params_(params),
+      device_(params.use_rt_core ? rt::ExecMode::kRtCore
+                                 : rt::ExecMode::kCudaFallback)
+{
+    JUNO_REQUIRE(dim_ % 2 == 0,
+                 "JUNO requires an even dimension (2-D subspaces), got "
+                     << dim_);
+    JUNO_REQUIRE(params.nprobs > 0, "nprobs must be positive");
+    JUNO_REQUIRE(params.threshold_scale > 0.0 &&
+                     params.threshold_scale <= 1.0,
+                 "threshold_scale must be in (0, 1]");
+
+    const int subspaces = static_cast<int>(dim_ / 2);
+
+    // Offline step 1: coarse clustering + inverted lists (Alg. 1, 2-3).
+    InvertedFileIndex::Params ivf_params;
+    ivf_params.clusters = params.clusters;
+    ivf_params.seed = params.seed;
+    ivf_params.max_training_points = params.max_training_points;
+    ivf_.build(points, ivf_params);
+
+    // Offline steps 2-3: residuals + per-subspace codebooks (Alg. 1,
+    // 4-9). M = 2 is mandatory for the RT mapping.
+    FloatMatrix residuals(num_points_, dim_);
+    for (idx_t p = 0; p < num_points_; ++p)
+        ivf_.residual(points.row(p), ivf_.label(p), residuals.row(p));
+
+    PQParams pq_params;
+    pq_params.num_subspaces = subspaces;
+    pq_params.entries = params.pq_entries;
+    pq_params.seed = params.seed + 1;
+    pq_params.max_training_points = params.max_training_points;
+    pq_.train(residuals.view(), pq_params);
+    codes_ = pq_.encode(residuals.view());
+
+    // Offline step 4: density map + threshold regressors. L2 thresholds
+    // live in residual space (rays start at residual projections); IP
+    // thresholds live in raw query space (the LUT is probe-invariant).
+    const FloatMatrixView policy_domain =
+        metric_ == Metric::kL2 ? residuals.view() : points;
+    density_.build(policy_domain, subspaces, params.density_grid);
+    ThresholdPolicy::Params policy_params = params.policy;
+    policy_params.seed = params.seed + 2;
+    policy_.train(metric_, policy_domain, subspaces, density_,
+                  policy_params);
+    policy_.setMode(params.threshold_mode);
+
+    finishConstruction();
+}
+
+void
+JunoIndex::finishConstruction()
+{
+    // Subspace-level inverted index (Alg. 1, 12-14) and the traversable
+    // scene (Alg. 1, 10-11); both derive deterministically from the
+    // trained state, so load() rebuilds them instead of storing them.
+    interest_.build(ivf_, codes_, params_.pq_entries);
+    scene_.build(metric_, pq_, policy_, params_.scene);
+    device_.setMode(params_.use_rt_core ? rt::ExecMode::kRtCore
+                                        : rt::ExecMode::kCudaFallback);
+    lut_builder_ = std::make_unique<SelectiveLutBuilder>(scene_, policy_,
+                                                         ivf_, device_);
+    calc_ = std::make_unique<DistanceCalculator>(ivf_, interest_);
+}
+
+namespace {
+constexpr char kIndexMagic[8] = {'J', 'U', 'N', 'O', 'I', 'D', 'X', '1'};
+constexpr std::uint32_t kIndexVersion = 1;
+} // namespace
+
+void
+JunoIndex::save(const std::string &path) const
+{
+    BinaryWriter writer(path, kIndexMagic, kIndexVersion);
+    writer.writePod<std::int32_t>(metric_ == Metric::kL2 ? 0 : 1);
+    writer.writePod<std::int64_t>(num_points_);
+    writer.writePod<std::int64_t>(dim_);
+
+    writer.writePod<std::int32_t>(params_.clusters);
+    writer.writePod<std::int32_t>(params_.pq_entries);
+    writer.writePod<std::int64_t>(params_.nprobs);
+    writer.writePod<std::int32_t>(static_cast<std::int32_t>(params_.mode));
+    writer.writePod(params_.threshold_scale);
+    writer.writePod<std::int32_t>(
+        static_cast<std::int32_t>(params_.threshold_mode));
+    writer.writePod(params_.miss_penalty);
+    writer.writePod<std::uint8_t>(params_.use_rt_core ? 1 : 0);
+    writer.writePod<std::int32_t>(params_.density_grid);
+    writer.writePod(params_.scene.gate_radius);
+    writer.writePod(params_.scene.max_gate_fraction);
+
+    ivf_.save(writer);
+    pq_.save(writer);
+    writer.writePod<std::int64_t>(codes_.num_points);
+    writer.writePod<std::int32_t>(codes_.num_subspaces);
+    writer.writeVector(codes_.codes);
+    density_.save(writer);
+    policy_.save(writer);
+}
+
+std::unique_ptr<JunoIndex>
+JunoIndex::load(const std::string &path)
+{
+    BinaryReader reader(path, kIndexMagic, kIndexVersion);
+    std::unique_ptr<JunoIndex> index(new JunoIndex());
+    index->metric_ = reader.readPod<std::int32_t>() == 0
+                         ? Metric::kL2
+                         : Metric::kInnerProduct;
+    index->num_points_ = reader.readPod<std::int64_t>();
+    index->dim_ = reader.readPod<std::int64_t>();
+    JUNO_REQUIRE(index->num_points_ > 0 && index->dim_ > 0 &&
+                     index->dim_ % 2 == 0,
+                 "corrupt index header");
+
+    index->params_.clusters = reader.readPod<std::int32_t>();
+    index->params_.pq_entries = reader.readPod<std::int32_t>();
+    index->params_.nprobs = reader.readPod<std::int64_t>();
+    index->params_.mode =
+        static_cast<SearchMode>(reader.readPod<std::int32_t>());
+    index->params_.threshold_scale = reader.readPod<double>();
+    index->params_.threshold_mode =
+        static_cast<ThresholdMode>(reader.readPod<std::int32_t>());
+    index->params_.miss_penalty = reader.readPod<double>();
+    index->params_.use_rt_core = reader.readPod<std::uint8_t>() != 0;
+    index->params_.density_grid = reader.readPod<std::int32_t>();
+    index->params_.scene.gate_radius = reader.readPod<float>();
+    index->params_.scene.max_gate_fraction = reader.readPod<float>();
+
+    index->ivf_.load(reader);
+    index->pq_.load(reader);
+    index->codes_.num_points = reader.readPod<std::int64_t>();
+    index->codes_.num_subspaces = reader.readPod<std::int32_t>();
+    index->codes_.codes = reader.readVector<entry_t>();
+    JUNO_REQUIRE(index->codes_.codes.size() ==
+                     static_cast<std::size_t>(index->codes_.num_points) *
+                         static_cast<std::size_t>(
+                             index->codes_.num_subspaces),
+                 "corrupt PQ codes payload");
+    index->density_.load(reader);
+    index->policy_.load(reader, index->density_);
+    index->policy_.setMode(index->params_.threshold_mode);
+
+    index->finishConstruction();
+    return index;
+}
+
+std::string
+JunoIndex::name() const
+{
+    std::string n = searchModeName(params_.mode);
+    n += "(C=" + std::to_string(ivf_.numClusters());
+    n += ",E=" + std::to_string(pq_.entries());
+    n += ",scale=" + std::to_string(params_.threshold_scale).substr(0, 4);
+    if (!params_.use_rt_core)
+        n += ",noRT";
+    n += ")";
+    return n;
+}
+
+void
+JunoIndex::setNprobs(idx_t nprobs)
+{
+    JUNO_REQUIRE(nprobs > 0, "nprobs must be positive");
+    params_.nprobs = nprobs;
+}
+
+void
+JunoIndex::setThresholdScale(double scale)
+{
+    JUNO_REQUIRE(scale > 0.0 && scale <= 1.0,
+                 "threshold_scale must be in (0, 1]");
+    params_.threshold_scale = scale;
+}
+
+void
+JunoIndex::setThresholdMode(ThresholdMode mode)
+{
+    params_.threshold_mode = mode;
+    policy_.setMode(mode);
+}
+
+void
+JunoIndex::setUseRtCore(bool use_rt)
+{
+    params_.use_rt_core = use_rt;
+    device_.setMode(use_rt ? rt::ExecMode::kRtCore
+                           : rt::ExecMode::kCudaFallback);
+}
+
+void
+JunoIndex::setMissPenalty(double penalty)
+{
+    JUNO_REQUIRE(penalty >= 0.0, "miss_penalty must be non-negative");
+    params_.miss_penalty = penalty;
+}
+
+SelectiveLutParams
+JunoIndex::lutParams() const
+{
+    SelectiveLutParams lp;
+    lp.threshold_scale = params_.threshold_scale;
+    lp.miss_penalty = params_.miss_penalty;
+    lp.inner_gate = params_.mode == SearchMode::kRewardPenalty;
+    return lp;
+}
+
+std::vector<Neighbor>
+JunoIndex::probe(const float *query) const
+{
+    return ivf_.probe(metric_, query, params_.nprobs);
+}
+
+SparseLut
+JunoIndex::buildLut(const float *query,
+                    const std::vector<Neighbor> &probes) const
+{
+    return lut_builder_->build(query, probes, lutParams());
+}
+
+std::vector<Neighbor>
+JunoIndex::searchOne(const float *query, idx_t k)
+{
+    std::vector<Neighbor> probes;
+    {
+        ScopedStageTimer t(timers_, "filter");
+        probes = probe(query);
+    }
+    {
+        ScopedStageTimer t(timers_, "rt_lut");
+        lut_builder_->buildInto(query, probes, lutParams(), lut_scratch_);
+    }
+    ScopedStageTimer t(timers_, "scan");
+    return calc_->run(metric_, params_.mode, probes, lut_scratch_,
+                      std::min(k, num_points_));
+}
+
+SearchResults
+JunoIndex::search(FloatMatrixView queries, idx_t k)
+{
+    JUNO_REQUIRE(queries.cols() == dim_, "dimension mismatch");
+    JUNO_REQUIRE(k > 0, "k must be positive");
+    SearchResults results(static_cast<std::size_t>(queries.rows()));
+
+    if (!params_.pipelined) {
+        for (idx_t qi = 0; qi < queries.rows(); ++qi)
+            results[static_cast<std::size_t>(qi)] =
+                searchOne(queries.row(qi), k);
+        return results;
+    }
+
+    // Pipelined mode: stage 1 = filter + RT LUT (the paper's RT-core
+    // side), stage 2 = distance calculation (the Tensor-core side).
+    // Per-query intermediates are buffered; stages touch disjoint
+    // timing accumulators merged afterwards.
+    std::vector<std::vector<Neighbor>> probes_buf(
+        static_cast<std::size_t>(queries.rows()));
+    std::vector<SparseLut> lut_buf(
+        static_cast<std::size_t>(queries.rows()));
+
+    auto stage1 = [&](idx_t qi) {
+        probes_buf[static_cast<std::size_t>(qi)] = probe(queries.row(qi));
+        lut_buf[static_cast<std::size_t>(qi)] =
+            buildLut(queries.row(qi),
+                     probes_buf[static_cast<std::size_t>(qi)]);
+    };
+    auto stage2 = [&](idx_t qi) {
+        results[static_cast<std::size_t>(qi)] = calc_->run(
+            metric_, params_.mode, probes_buf[static_cast<std::size_t>(qi)],
+            lut_buf[static_cast<std::size_t>(qi)],
+            std::min(k, num_points_));
+    };
+    const auto pipe =
+        runTwoStagePipeline(queries.rows(), stage1, stage2, true);
+    timers_.add("rt_lut", pipe.stage1_seconds);
+    timers_.add("scan", pipe.stage2_seconds);
+    timers_.add("pipeline_wall", pipe.wall_seconds);
+    return results;
+}
+
+} // namespace juno

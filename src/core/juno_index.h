@@ -1,0 +1,151 @@
+/**
+ * @file
+ * JUNO: the end-to-end ANN search engine (paper Sec. 5, Fig. 10).
+ *
+ * Offline (constructor):
+ *  1. coarse k-means -> IVF (identical to the baseline);
+ *  2. per-subspace codebooks on residuals (PQ with M = 2);
+ *  3. subspace-level inverted index entry -> points;
+ *  4. density map + per-subspace threshold regressors;
+ *  5. traversable RT scene of entry spheres.
+ *
+ * Online (search):
+ *  A. filtering identical to IVFPQ;
+ *  B. threshold-based selective LUT construction on the RT device
+ *     (rays with dynamic tmax; thit -> score recovery);
+ *  C. distance calculation over interested points only, in one of the
+ *     three quality presets (JUNO-H / -M / -L).
+ *
+ * The stage pair (B, C) optionally runs as a two-stage pipeline across
+ * query batches, modelling the paper's RT/Tensor core co-run.
+ */
+#ifndef JUNO_CORE_JUNO_INDEX_H
+#define JUNO_CORE_JUNO_INDEX_H
+
+#include <memory>
+
+#include "baseline/index.h"
+#include "core/density_map.h"
+#include "core/distance_calc.h"
+#include "core/interest_index.h"
+#include "core/pipeline.h"
+#include "core/scene_builder.h"
+#include "core/selective_lut.h"
+#include "core/threshold_policy.h"
+#include "ivf/ivf.h"
+#include "quant/product_quantizer.h"
+#include "rtcore/device.h"
+
+namespace juno {
+
+/** Build- and search-time configuration of a JunoIndex. */
+struct JunoParams {
+    int clusters = 256;                    ///< C coarse clusters
+    int pq_entries = 256;                  ///< E entries per subspace
+    idx_t nprobs = 8;                      ///< probed clusters
+    SearchMode mode = SearchMode::kExactDistance;
+    double threshold_scale = 1.0;          ///< user knob (Fig. 7(b))
+    ThresholdMode threshold_mode = ThresholdMode::kDynamic;
+    double miss_penalty = 1.0;             ///< miss-score multiplier
+    bool use_rt_core = true;               ///< false = linear fallback
+    bool pipelined = false;                ///< overlap LUT and scan
+    int density_grid = 100;                ///< density map resolution
+    ThresholdPolicy::Params policy;        ///< regressor training
+    JunoScene::Params scene;               ///< sphere radius / BVH
+    std::uint64_t seed = 31;
+    idx_t max_training_points = 0;         ///< k-means subsampling
+};
+
+/** Convenience presets matching the paper's three configurations. */
+JunoParams junoPresetH(JunoParams base = {});
+JunoParams junoPresetM(JunoParams base = {});
+JunoParams junoPresetL(JunoParams base = {});
+
+/** The JUNO search engine. */
+class JunoIndex : public AnnIndex {
+  public:
+    JunoIndex(Metric metric, FloatMatrixView points,
+              const JunoParams &params);
+
+    /**
+     * Persists the whole trained index (IVF, codebooks, codes, density
+     * maps, regressors and search parameters) to @p path. The RT scene
+     * and interest index are rebuilt deterministically on load().
+     */
+    void save(const std::string &path) const;
+
+    /** Restores an index previously written by save(). */
+    static std::unique_ptr<JunoIndex> load(const std::string &path);
+
+    std::string name() const override;
+    Metric metric() const override { return metric_; }
+    idx_t size() const override { return num_points_; }
+
+    SearchResults search(FloatMatrixView queries, idx_t k) override;
+
+    /** Single-query search (no pipelining). */
+    std::vector<Neighbor> searchOne(const float *query, idx_t k);
+
+    // ---- Search-time knobs (no rebuild required) ----
+    void setNprobs(idx_t nprobs);
+    void setSearchMode(SearchMode mode) { params_.mode = mode; }
+    void setThresholdScale(double scale);
+    void setThresholdMode(ThresholdMode mode);
+    void setUseRtCore(bool use_rt);
+    void setPipelined(bool pipelined) { params_.pipelined = pipelined; }
+    void setMissPenalty(double penalty);
+
+    const JunoParams &params() const { return params_; }
+
+    // ---- Component access (benches, tests, diagnostics) ----
+    const InvertedFileIndex &ivf() const { return ivf_; }
+    const ProductQuantizer &pq() const { return pq_; }
+    const PQCodes &codes() const { return codes_; }
+    const DensityMap &densityMap() const { return density_; }
+    const ThresholdPolicy &thresholdPolicy() const { return policy_; }
+    const JunoScene &junoScene() const { return scene_; }
+    const InterestIndex &interestIndex() const { return interest_; }
+    rt::RtDevice &device() { return device_; }
+    const rt::TraversalStats &rtStats() const { return device_.totalStats(); }
+
+    /** Filtering stage (stage A) for one query. */
+    std::vector<Neighbor> probe(const float *query) const;
+
+    /** RT pass (stage B) for one query against given probes. */
+    SparseLut buildLut(const float *query,
+                       const std::vector<Neighbor> &probes) const;
+
+    /** Scoring stage (stage C); exposed for the analysis benches. */
+    DistanceCalculator &calculator() { return *calc_; }
+
+  private:
+    /** For load(): members are filled by the loader. */
+    JunoIndex() : metric_(Metric::kL2) {}
+
+    /** Rebuilds the derived structures (interest index, scene, ...). */
+    void finishConstruction();
+
+    SelectiveLutParams lutParams() const;
+
+    Metric metric_;
+    idx_t num_points_ = 0;
+    idx_t dim_ = 0;
+    JunoParams params_;
+
+    InvertedFileIndex ivf_;
+    ProductQuantizer pq_;
+    PQCodes codes_;
+    InterestIndex interest_;
+    DensityMap density_;
+    ThresholdPolicy policy_;
+    JunoScene scene_;
+    mutable rt::RtDevice device_;
+    std::unique_ptr<SelectiveLutBuilder> lut_builder_;
+    std::unique_ptr<DistanceCalculator> calc_;
+    /** Reused per-query sparse LUT (hot-path allocation avoidance). */
+    SparseLut lut_scratch_;
+};
+
+} // namespace juno
+
+#endif // JUNO_CORE_JUNO_INDEX_H

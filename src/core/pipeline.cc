@@ -1,0 +1,81 @@
+#include "core/pipeline.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/timer.h"
+
+namespace juno {
+
+PipelineResult
+runTwoStagePipeline(idx_t n, const std::function<void(idx_t)> &stage1,
+                    const std::function<void(idx_t)> &stage2, bool pipelined)
+{
+    PipelineResult result;
+    Timer wall;
+
+    if (!pipelined || n <= 1) {
+        for (idx_t i = 0; i < n; ++i) {
+            Timer t1;
+            stage1(i);
+            result.stage1_seconds += t1.seconds();
+            Timer t2;
+            stage2(i);
+            result.stage2_seconds += t2.seconds();
+        }
+        result.wall_seconds = wall.seconds();
+        return result;
+    }
+
+    // Bounded hand-off queue of ready items (depth 2 keeps at most one
+    // batch in flight per stage, like the MPS co-run).
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<idx_t> ready;
+    bool done = false;
+    constexpr std::size_t kDepth = 2;
+
+    double stage2_busy = 0.0;
+    std::thread consumer([&] {
+        while (true) {
+            idx_t item;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                cv.wait(lock, [&] { return !ready.empty() || done; });
+                if (ready.empty())
+                    return;
+                item = ready.front();
+                ready.pop_front();
+            }
+            cv.notify_all();
+            Timer t2;
+            stage2(item);
+            stage2_busy += t2.seconds();
+        }
+    });
+
+    for (idx_t i = 0; i < n; ++i) {
+        Timer t1;
+        stage1(i);
+        result.stage1_seconds += t1.seconds();
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock, [&] { return ready.size() < kDepth; });
+            ready.push_back(i);
+        }
+        cv.notify_all();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        done = true;
+    }
+    cv.notify_all();
+    consumer.join();
+    result.stage2_seconds = stage2_busy;
+    result.wall_seconds = wall.seconds();
+    return result;
+}
+
+} // namespace juno

@@ -1,0 +1,150 @@
+#include "core/poly_regressor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace juno {
+namespace {
+
+/**
+ * Solves the symmetric positive-definite system a*x = b in place via
+ * Gaussian elimination with partial pivoting. a is (n x n) row-major.
+ */
+std::vector<double>
+solveLinear(std::vector<double> a, std::vector<double> b, int n)
+{
+    for (int col = 0; col < n; ++col) {
+        // Partial pivot.
+        int pivot = col;
+        for (int r = col + 1; r < n; ++r)
+            if (std::abs(a[static_cast<std::size_t>(r) * n + col]) >
+                std::abs(a[static_cast<std::size_t>(pivot) * n + col]))
+                pivot = r;
+        if (pivot != col) {
+            for (int c = 0; c < n; ++c)
+                std::swap(a[static_cast<std::size_t>(col) * n + c],
+                          a[static_cast<std::size_t>(pivot) * n + c]);
+            std::swap(b[static_cast<std::size_t>(col)],
+                      b[static_cast<std::size_t>(pivot)]);
+        }
+        const double diag = a[static_cast<std::size_t>(col) * n + col];
+        JUNO_REQUIRE(std::abs(diag) > 1e-12,
+                     "singular normal equations; add more samples or "
+                     "lower the polynomial degree");
+        for (int r = col + 1; r < n; ++r) {
+            const double f =
+                a[static_cast<std::size_t>(r) * n + col] / diag;
+            if (f == 0.0)
+                continue;
+            for (int c = col; c < n; ++c)
+                a[static_cast<std::size_t>(r) * n + c] -=
+                    f * a[static_cast<std::size_t>(col) * n + c];
+            b[static_cast<std::size_t>(r)] -=
+                f * b[static_cast<std::size_t>(col)];
+        }
+    }
+    std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+    for (int r = n - 1; r >= 0; --r) {
+        double acc = b[static_cast<std::size_t>(r)];
+        for (int c = r + 1; c < n; ++c)
+            acc -= a[static_cast<std::size_t>(r) * n + c] *
+                   x[static_cast<std::size_t>(c)];
+        x[static_cast<std::size_t>(r)] =
+            acc / a[static_cast<std::size_t>(r) * n + r];
+    }
+    return x;
+}
+
+} // namespace
+
+double
+PolyRegressor::transform(double density)
+{
+    // Densities span orders of magnitude (paper Fig. 7(a) is log-x);
+    // log1p keeps zero-density cells finite.
+    return std::log1p(std::max(0.0, density));
+}
+
+void
+PolyRegressor::fit(const std::vector<double> &densities,
+                   const std::vector<double> &thresholds, int degree)
+{
+    JUNO_REQUIRE(degree >= 0, "degree must be non-negative");
+    JUNO_REQUIRE(densities.size() == thresholds.size(),
+                 "sample size mismatch");
+    const int n = degree + 1;
+    JUNO_REQUIRE(static_cast<int>(densities.size()) >= n,
+                 "need at least " << n << " samples, got "
+                                  << densities.size());
+
+    // Normal equations: (X^T X) c = X^T y with X the Vandermonde matrix.
+    std::vector<double> xtx(static_cast<std::size_t>(n) * n, 0.0);
+    std::vector<double> xty(static_cast<std::size_t>(n), 0.0);
+    for (std::size_t i = 0; i < densities.size(); ++i) {
+        const double x = transform(densities[i]);
+        std::vector<double> powers(static_cast<std::size_t>(n), 1.0);
+        for (int p = 1; p < n; ++p)
+            powers[static_cast<std::size_t>(p)] =
+                powers[static_cast<std::size_t>(p - 1)] * x;
+        for (int r = 0; r < n; ++r) {
+            for (int c = 0; c < n; ++c)
+                xtx[static_cast<std::size_t>(r) * n + c] +=
+                    powers[static_cast<std::size_t>(r)] *
+                    powers[static_cast<std::size_t>(c)];
+            xty[static_cast<std::size_t>(r)] +=
+                powers[static_cast<std::size_t>(r)] * thresholds[i];
+        }
+    }
+    coef_ = solveLinear(std::move(xtx), std::move(xty), n);
+
+    clamp_lo_ = *std::min_element(thresholds.begin(), thresholds.end());
+    clamp_hi_ = *std::max_element(thresholds.begin(), thresholds.end());
+}
+
+double
+PolyRegressor::predict(double density) const
+{
+    JUNO_REQUIRE(fitted(), "predict before fit");
+    const double x = transform(density);
+    double acc = 0.0;
+    // Horner evaluation.
+    for (int p = degree(); p >= 0; --p)
+        acc = acc * x + coef_[static_cast<std::size_t>(p)];
+    return std::clamp(acc, clamp_lo_, clamp_hi_);
+}
+
+void
+PolyRegressor::save(BinaryWriter &writer) const
+{
+    JUNO_REQUIRE(fitted(), "save before fit");
+    writer.writeVector(coef_);
+    writer.writePod(clamp_lo_);
+    writer.writePod(clamp_hi_);
+}
+
+void
+PolyRegressor::load(BinaryReader &reader)
+{
+    coef_ = reader.readVector<double>();
+    clamp_lo_ = reader.readPod<double>();
+    clamp_hi_ = reader.readPod<double>();
+    JUNO_REQUIRE(!coef_.empty(), "corrupt regressor (no coefficients)");
+}
+
+double
+PolyRegressor::mse(const std::vector<double> &densities,
+                   const std::vector<double> &thresholds) const
+{
+    JUNO_REQUIRE(densities.size() == thresholds.size() && !densities.empty(),
+                 "bad sample set");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < densities.size(); ++i) {
+        const double err = predict(densities[i]) - thresholds[i];
+        acc += err * err;
+    }
+    return acc / static_cast<double>(densities.size());
+}
+
+} // namespace juno

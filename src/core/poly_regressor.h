@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Polynomial regression of the per-subspace distance threshold against
+ * local point density (paper Sec. 4.1, Fig. 7(a)).
+ *
+ * The paper observes a negative correlation between the radius needed
+ * to contain the top-100 projections and the density of the region a
+ * query falls into, and fits "a simple polynomial regression model".
+ * We regress threshold on log1p(density) with a configurable degree
+ * and solve the normal equations directly (the problem is tiny).
+ */
+#ifndef JUNO_CORE_POLY_REGRESSOR_H
+#define JUNO_CORE_POLY_REGRESSOR_H
+
+#include <vector>
+
+#include "common/serialize.h"
+
+namespace juno {
+
+/** Least-squares polynomial y = sum_i coef[i] * x^i with x=log1p(d). */
+class PolyRegressor {
+  public:
+    /**
+     * Fits a degree-@p degree polynomial through (density, threshold)
+     * samples. Requires at least degree+1 samples.
+     */
+    void fit(const std::vector<double> &densities,
+             const std::vector<double> &thresholds, int degree = 3);
+
+    bool fitted() const { return !coef_.empty(); }
+    int degree() const { return static_cast<int>(coef_.size()) - 1; }
+    const std::vector<double> &coefficients() const { return coef_; }
+
+    /**
+     * Predicted threshold for @p density, clamped to the [min, max]
+     * threshold range seen during fitting (polynomials misbehave when
+     * extrapolating).
+     */
+    double predict(double density) const;
+
+    /** Mean squared error on a sample set (for tests/diagnostics). */
+    double mse(const std::vector<double> &densities,
+               const std::vector<double> &thresholds) const;
+
+    /** Serializes a fitted regressor. */
+    void save(BinaryWriter &writer) const;
+
+    /** Restores a fitted regressor. */
+    void load(BinaryReader &reader);
+
+  private:
+    static double transform(double density);
+
+    std::vector<double> coef_;
+    double clamp_lo_ = 0.0;
+    double clamp_hi_ = 0.0;
+};
+
+} // namespace juno
+
+#endif // JUNO_CORE_POLY_REGRESSOR_H

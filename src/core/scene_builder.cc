@@ -1,0 +1,145 @@
+#include "core/scene_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace juno {
+
+void
+JunoScene::build(Metric metric, const ProductQuantizer &pq,
+                 const ThresholdPolicy &policy, const Params &params)
+{
+    JUNO_REQUIRE(pq.trained(), "product quantizer not trained");
+    JUNO_REQUIRE(pq.subDim() == 2,
+                 "the RT mapping requires 2-D subspaces (M = 2), got M = "
+                     << pq.subDim());
+    JUNO_REQUIRE(policy.trained(), "threshold policy not trained");
+    JUNO_REQUIRE(policy.numSubspaces() == pq.numSubspaces(),
+                 "policy/pq subspace count mismatch");
+    JUNO_REQUIRE(params.gate_radius > 0.0f && params.gate_radius <= 1.0f,
+                 "gate_radius must be in (0, 1]");
+    JUNO_REQUIRE(params.max_gate_fraction > 0.0f &&
+                     params.max_gate_fraction < 1.0f,
+                 "max_gate_fraction must be in (0, 1)");
+
+    metric_ = metric;
+    num_subspaces_ = pq.numSubspaces();
+    radius_ = params.gate_radius;
+    max_gate_fraction_ = params.max_gate_fraction;
+    coord_scale_.assign(static_cast<std::size_t>(num_subspaces_), 1.0f);
+    tmin_.assign(static_cast<std::size_t>(num_subspaces_), 0.0f);
+    scene_ = rt::Scene();
+
+    for (int s = 0; s < num_subspaces_; ++s) {
+        const FloatMatrix &cb = pq.codebook(s);
+
+        // Choose kappa_s.
+        float kappa;
+        if (metric == Metric::kL2) {
+            // The largest threshold the policy can emit must map under
+            // R * max_gate_fraction.
+            const double max_thr = std::max(policy.maxThreshold(s), 1e-9);
+            kappa = static_cast<float>(
+                radius_ * max_gate_fraction_ / max_thr);
+        } else {
+            // IP gates via tmax, not the sphere surface; kappa only
+            // conditions the geometry. Normalise by the largest entry
+            // norm so inflated radii stay near sqrt(2) * R.
+            float max_norm = 1e-9f;
+            for (idx_t e = 0; e < cb.rows(); ++e) {
+                const float nx = cb.at(e, 0), ny = cb.at(e, 1);
+                max_norm = std::max(max_norm,
+                                    std::sqrt(nx * nx + ny * ny));
+            }
+            kappa = 1.0f / max_norm;
+        }
+        coord_scale_[static_cast<std::size_t>(s)] = kappa;
+
+        // Place the spheres of subspace s at z = kZSpacing * s + 1.
+        const float z = kZSpacing * static_cast<float>(s) + 1.0f;
+        float max_radius = radius_;
+        for (idx_t e = 0; e < cb.rows(); ++e) {
+            rt::Sphere sphere;
+            sphere.center = {cb.at(e, 0) * kappa, cb.at(e, 1) * kappa, z};
+            if (metric == Metric::kL2) {
+                sphere.radius = radius_;
+            } else {
+                // Offline radius inflation (paper Sec. 4.2, IP support).
+                const float norm2 = sphere.center.x * sphere.center.x +
+                                    sphere.center.y * sphere.center.y;
+                sphere.radius = std::sqrt(radius_ * radius_ + norm2);
+            }
+            max_radius = std::max(max_radius, sphere.radius);
+            sphere.user_id = packId(s, static_cast<entry_t>(e));
+            scene_.addSphere(sphere);
+        }
+
+        // The earliest possible entry-root hit time is 1 - max_radius;
+        // rays must admit it (negative in IP mode).
+        tmin_[static_cast<std::size_t>(s)] = 1.0f - max_radius - 1e-4f;
+    }
+
+    scene_.build(params.bvh);
+}
+
+float
+JunoScene::coordScale(int s) const
+{
+    JUNO_REQUIRE(s >= 0 && s < num_subspaces_, "subspace " << s);
+    return coord_scale_[static_cast<std::size_t>(s)];
+}
+
+float
+JunoScene::rayTmin(int s) const
+{
+    JUNO_REQUIRE(s >= 0 && s < num_subspaces_, "subspace " << s);
+    return tmin_[static_cast<std::size_t>(s)];
+}
+
+float
+JunoScene::gateTmax(int s, float x, float y, double threshold) const
+{
+    const float k = coordScale(s);
+    const float r2 = radius_ * radius_;
+    if (metric_ == Metric::kL2) {
+        if (threshold <= 0.0)
+            return -std::numeric_limits<float>::infinity();
+        // Clamp the scaled radius under R so tmax stays real; the
+        // clamp only binds when the user asks for a looser gate than
+        // the scene was sized for.
+        double r = std::min(threshold * k,
+                            static_cast<double>(radius_ *
+                                                max_gate_fraction_));
+        return static_cast<float>(1.0 - std::sqrt(r2 - r * r));
+    }
+    // IP floor tau: thit <= tmax <=> IP >= tau (see header derivation).
+    const double qn2 = static_cast<double>(x) * x * k * k +
+                       static_cast<double>(y) * y * k * k;
+    const double arg = r2 - qn2 + 2.0 * threshold * k * k;
+    if (arg <= 0.0) {
+        // Floor so low that every hit on the inflated spheres passes.
+        return 1.0f;
+    }
+    return static_cast<float>(1.0 - std::sqrt(arg));
+}
+
+bool
+JunoScene::makeRay(int s, float x, float y, double threshold,
+                   rt::Ray &out) const
+{
+    JUNO_REQUIRE(built(), "scene not built");
+    const float k = coordScale(s);
+    const float tmax = gateTmax(s, x, y, threshold);
+    if (std::isinf(tmax) && tmax < 0.0f)
+        return false;
+    out.origin = {x * k, y * k, kZSpacing * static_cast<float>(s)};
+    out.dir = {0.0f, 0.0f, 1.0f};
+    out.tmin = rayTmin(s);
+    out.tmax = tmax;
+    return true;
+}
+
+} // namespace juno

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Builds the traversable RT scene from the PQ codebooks and provides
+ * the coordinate mapping between ANN quantities and ray-tracing
+ * quantities (paper Sec. 4.2, Alg. 1 lines 10-11, Fig. 8/9).
+ *
+ * Layout:
+ *  - every codebook entry of subspace s becomes a sphere at
+ *    (kappa_s * x_e, kappa_s * y_e, Z_SPACING * s + 1);
+ *  - L2 metric: all spheres share the constant radius R, and the
+ *    dynamic threshold r maps to tmax = 1 - sqrt(R^2 - (kappa*r)^2);
+ *  - inner product: radii are inflated offline to
+ *    R'_e = sqrt(R^2 + ||e||^2 kappa^2) so IP(e, q) is recoverable
+ *    from thit alone, and a similarity floor tau maps to
+ *    tmax = 1 - sqrt(R^2 - ||q||^2 kappa^2 + 2 tau kappa^2).
+ *
+ * kappa_s is a per-subspace coordinate scale chosen so every useful
+ * threshold fits under the constant radius R (L2), keeping runtime
+ * scene edits unnecessary exactly as the paper requires.
+ *
+ * Note: the paper spaces subspace planes at z = 2s + 1 with R <= 1.
+ * We use a spacing of 4 so that inner-product radius inflation
+ * (R' up to sqrt(2)R) can never leak across neighbouring subspaces,
+ * and additionally verify the subspace id in the hit shader.
+ */
+#ifndef JUNO_CORE_SCENE_BUILDER_H
+#define JUNO_CORE_SCENE_BUILDER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/threshold_policy.h"
+#include "quant/product_quantizer.h"
+#include "rtcore/scene.h"
+
+namespace juno {
+
+/** Codebook-entry scene plus the ANN <-> RT coordinate mapping. */
+class JunoScene {
+  public:
+    /** Distance between consecutive subspace planes along z. */
+    static constexpr float kZSpacing = 4.0f;
+
+    struct Params {
+        /** Constant sphere radius R (L2 mode); must be <= 1. */
+        float gate_radius = 1.0f;
+        /** Thresholds are clamped to this fraction of R after scaling. */
+        float max_gate_fraction = 0.95f;
+        rt::BvhBuildParams bvh;
+    };
+
+    /**
+     * Places one sphere per (subspace, entry) and builds the BVH.
+     * @p policy supplies the per-subspace threshold ranges that
+     * determine the coordinate scales kappa_s.
+     */
+    void build(Metric metric, const ProductQuantizer &pq,
+               const ThresholdPolicy &policy, const Params &params);
+
+    /** build() with default Params. */
+    void
+    build(Metric metric, const ProductQuantizer &pq,
+          const ThresholdPolicy &policy)
+    {
+        build(metric, pq, policy, Params());
+    }
+
+    bool built() const { return scene_.built(); }
+    Metric metric() const { return metric_; }
+    int numSubspaces() const { return num_subspaces_; }
+    float radius() const { return radius_; }
+    const rt::Scene &scene() const { return scene_; }
+
+    /** Coordinate scale kappa of subspace @p s. */
+    float coordScale(int s) const;
+
+    /** Ray tmin for subspace @p s (negative in IP mode). */
+    float rayTmin(int s) const;
+
+    /** Packs (subspace, entry) into a sphere user id. */
+    static std::uint64_t
+    packId(int s, entry_t e)
+    {
+        return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(s))
+                << 32) |
+               e;
+    }
+
+    static void
+    unpackId(std::uint64_t id, int &s, entry_t &e)
+    {
+        s = static_cast<int>(id >> 32);
+        e = static_cast<entry_t>(id & 0xFFFFu);
+    }
+
+    /**
+     * Builds the ray for a query projection (x, y) in *original* units
+     * in subspace @p s, gated by @p threshold (L2 radius or IP floor,
+     * original units). Returns false when the gate admits no hits.
+     */
+    bool makeRay(int s, float x, float y, double threshold,
+                 rt::Ray &out) const;
+
+    /**
+     * tmax value corresponding to @p threshold for a ray already made
+     * by makeRay (used for the reward/penalty inner gate). Returns
+     * -inf when the gate is empty.
+     */
+    float gateTmax(int s, float x, float y, double threshold) const;
+
+    /** L2^2(entry, projection) in original units from a hit time. */
+    float
+    lutValueL2(int s, float thit) const
+    {
+        const float k = coordScale(s);
+        const float one_minus = 1.0f - thit;
+        const float d2_scaled = radius_ * radius_ - one_minus * one_minus;
+        return d2_scaled / (k * k);
+    }
+
+    /**
+     * IP(entry, projection) in original units from a hit time;
+     * @p qnorm_scaled_sqr is ||(kx, ky)||^2 of the ray's origin.
+     */
+    float
+    lutValueIp(int s, float qnorm_scaled_sqr, float thit) const
+    {
+        const float k = coordScale(s);
+        const float one_minus = 1.0f - thit;
+        const float ip_scaled = 0.5f * (qnorm_scaled_sqr -
+                                        radius_ * radius_ +
+                                        one_minus * one_minus);
+        return ip_scaled / (k * k);
+    }
+
+  private:
+    Metric metric_ = Metric::kL2;
+    int num_subspaces_ = 0;
+    float radius_ = 1.0f;
+    float max_gate_fraction_ = 0.95f;
+    std::vector<float> coord_scale_;
+    std::vector<float> tmin_;
+    rt::Scene scene_;
+};
+
+} // namespace juno
+
+#endif // JUNO_CORE_SCENE_BUILDER_H

@@ -1,0 +1,37 @@
+#include "dataset/ground_truth.h"
+
+#include "common/distance.h"
+#include "common/logging.h"
+
+namespace juno {
+
+GroundTruth
+computeGroundTruth(Metric metric, FloatMatrixView base,
+                   FloatMatrixView queries, idx_t k, ThreadPool *pool)
+{
+    JUNO_REQUIRE(base.cols() == queries.cols(), "dimension mismatch");
+    JUNO_REQUIRE(k > 0 && k <= base.rows(),
+                 "k=" << k << " out of range for N=" << base.rows());
+
+    GroundTruth gt;
+    gt.k = k;
+    gt.neighbors.resize(static_cast<std::size_t>(queries.rows()));
+
+    const idx_t d = base.cols();
+    auto scan_one = [&](idx_t qi) {
+        const float *q = queries.row(qi);
+        TopK top(k, metric);
+        for (idx_t pi = 0; pi < base.rows(); ++pi)
+            top.push(pi, score(metric, q, base.row(pi), d));
+        gt.neighbors[static_cast<std::size_t>(qi)] = top.take();
+    };
+
+    if (pool != nullptr)
+        pool->parallelFor(queries.rows(), scan_one);
+    else
+        for (idx_t qi = 0; qi < queries.rows(); ++qi)
+            scan_one(qi);
+    return gt;
+}
+
+} // namespace juno

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Exact brute-force k-nearest-neighbour ground truth, needed to score
+ * recall (R1@100, R100@1000) for every evaluation figure.
+ */
+#ifndef JUNO_DATASET_GROUND_TRUTH_H
+#define JUNO_DATASET_GROUND_TRUTH_H
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/thread_pool.h"
+#include "common/topk.h"
+#include "common/types.h"
+
+namespace juno {
+
+/** Ground truth: for each query, the exact top-k ids best-first. */
+struct GroundTruth {
+    idx_t k = 0;
+    /** neighbors[q] holds k Neighbor entries best-first. */
+    std::vector<std::vector<Neighbor>> neighbors;
+};
+
+/**
+ * Computes exact top-@p k neighbours of every query by linear scan.
+ * O(Q * N * D); run once per (dataset, metric) and reuse.
+ *
+ * @param pool optional thread pool for query-level parallelism.
+ */
+GroundTruth computeGroundTruth(Metric metric, FloatMatrixView base,
+                               FloatMatrixView queries, idx_t k,
+                               ThreadPool *pool = nullptr);
+
+} // namespace juno
+
+#endif // JUNO_DATASET_GROUND_TRUTH_H

@@ -1,0 +1,144 @@
+#include "dataset/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace juno {
+namespace {
+
+std::ifstream
+openBinary(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open " + path);
+    return in;
+}
+
+std::int32_t
+readDim(std::ifstream &in, const std::string &path)
+{
+    std::int32_t d = 0;
+    in.read(reinterpret_cast<char *>(&d), sizeof(d));
+    if (!in)
+        return -1; // clean EOF handled by caller
+    if (d <= 0 || d > (1 << 20))
+        fatal(path + ": implausible vector dimension " + std::to_string(d));
+    return d;
+}
+
+} // namespace
+
+FloatMatrix
+readFvecs(const std::string &path)
+{
+    auto in = openBinary(path);
+    std::vector<float> data;
+    std::int32_t dim = 0;
+    idx_t rows = 0;
+    while (true) {
+        const std::int32_t d = readDim(in, path);
+        if (d < 0)
+            break;
+        if (dim == 0)
+            dim = d;
+        else if (d != dim)
+            fatal(path + ": inconsistent dimensions");
+        const std::size_t old = data.size();
+        data.resize(old + static_cast<std::size_t>(d));
+        in.read(reinterpret_cast<char *>(data.data() + old),
+                static_cast<std::streamsize>(sizeof(float)) * d);
+        if (!in)
+            fatal(path + ": truncated vector record");
+        ++rows;
+    }
+    FloatMatrix m(rows, dim);
+    std::copy(data.begin(), data.end(), m.data());
+    return m;
+}
+
+FloatMatrix
+readBvecs(const std::string &path)
+{
+    auto in = openBinary(path);
+    std::vector<float> data;
+    std::int32_t dim = 0;
+    idx_t rows = 0;
+    std::vector<std::uint8_t> buf;
+    while (true) {
+        const std::int32_t d = readDim(in, path);
+        if (d < 0)
+            break;
+        if (dim == 0)
+            dim = d;
+        else if (d != dim)
+            fatal(path + ": inconsistent dimensions");
+        buf.resize(static_cast<std::size_t>(d));
+        in.read(reinterpret_cast<char *>(buf.data()), d);
+        if (!in)
+            fatal(path + ": truncated vector record");
+        for (std::uint8_t b : buf)
+            data.push_back(static_cast<float>(b));
+        ++rows;
+    }
+    FloatMatrix m(rows, dim);
+    std::copy(data.begin(), data.end(), m.data());
+    return m;
+}
+
+std::vector<std::vector<std::int32_t>>
+readIvecs(const std::string &path)
+{
+    auto in = openBinary(path);
+    std::vector<std::vector<std::int32_t>> rows;
+    while (true) {
+        const std::int32_t d = readDim(in, path);
+        if (d < 0)
+            break;
+        std::vector<std::int32_t> row(static_cast<std::size_t>(d));
+        in.read(reinterpret_cast<char *>(row.data()),
+                static_cast<std::streamsize>(sizeof(std::int32_t)) * d);
+        if (!in)
+            fatal(path + ": truncated vector record");
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+void
+writeFvecs(const std::string &path, FloatMatrixView m)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot open " + path + " for writing");
+    const std::int32_t d = static_cast<std::int32_t>(m.cols());
+    for (idx_t r = 0; r < m.rows(); ++r) {
+        out.write(reinterpret_cast<const char *>(&d), sizeof(d));
+        out.write(reinterpret_cast<const char *>(m.row(r)),
+                  static_cast<std::streamsize>(sizeof(float)) * d);
+    }
+    if (!out)
+        fatal("short write to " + path);
+}
+
+void
+writeIvecs(const std::string &path,
+           const std::vector<std::vector<std::int32_t>> &rows)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot open " + path + " for writing");
+    for (const auto &row : rows) {
+        const std::int32_t d = static_cast<std::int32_t>(row.size());
+        out.write(reinterpret_cast<const char *>(&d), sizeof(d));
+        out.write(reinterpret_cast<const char *>(row.data()),
+                  static_cast<std::streamsize>(sizeof(std::int32_t)) * d);
+    }
+    if (!out)
+        fatal("short write to " + path);
+}
+
+} // namespace juno

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Readers/writers for the TEXMEX vector file formats (fvecs / ivecs /
+ * bvecs) used by SIFT1M, DEEP1B and friends, so real corpora drop into
+ * the benches unchanged when available.
+ *
+ * Format: each vector is stored as a 4-byte little-endian int32 d
+ * followed by d components (float32 for fvecs, int32 for ivecs, uint8
+ * for bvecs).
+ */
+#ifndef JUNO_DATASET_IO_H
+#define JUNO_DATASET_IO_H
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/types.h"
+
+namespace juno {
+
+/** Reads an entire .fvecs file. Throws ConfigError on malformed input. */
+FloatMatrix readFvecs(const std::string &path);
+
+/** Reads a .bvecs file, widening uint8 components to float. */
+FloatMatrix readBvecs(const std::string &path);
+
+/** Reads an .ivecs file (e.g. ground-truth neighbour ids). */
+std::vector<std::vector<std::int32_t>> readIvecs(const std::string &path);
+
+/** Writes @p m as .fvecs. */
+void writeFvecs(const std::string &path, FloatMatrixView m);
+
+/** Writes integer id lists as .ivecs. */
+void writeIvecs(const std::string &path,
+                const std::vector<std::vector<std::int32_t>> &rows);
+
+} // namespace juno
+
+#endif // JUNO_DATASET_IO_H

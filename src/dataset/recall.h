@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Recall metrics exactly as defined in paper Sec. 6.1:
+ *
+ *  - R1@k   ("Recall-1@k"): fraction of queries whose k retrieved
+ *    neighbours contain the single true nearest neighbour.
+ *  - Rm@k   ("Recall-m@k", e.g. R100@1000): averaged count of the m
+ *    true nearest neighbours found among the k retrieved, divided by m.
+ */
+#ifndef JUNO_DATASET_RECALL_H
+#define JUNO_DATASET_RECALL_H
+
+#include <vector>
+
+#include "common/topk.h"
+#include "dataset/ground_truth.h"
+
+namespace juno {
+
+/** Retrieved results: one best-first Neighbor list per query. */
+using ResultSet = std::vector<std::vector<Neighbor>>;
+
+/**
+ * R1@k: @p results[q] may hold any number of ids; only membership of
+ * gt's rank-0 id matters.
+ */
+double recall1AtK(const GroundTruth &gt, const ResultSet &results);
+
+/**
+ * Rm@k: fraction of the first @p m ground-truth ids present in each
+ * result list, averaged over queries. Requires gt.k >= m.
+ */
+double recallMAtK(const GroundTruth &gt, const ResultSet &results, idx_t m);
+
+} // namespace juno
+
+#endif // JUNO_DATASET_RECALL_H

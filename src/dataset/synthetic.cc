@@ -1,0 +1,215 @@
+#include "dataset/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/distance.h"
+#include "common/logging.h"
+
+namespace juno {
+namespace {
+
+/** Mixture component: a center, per-axis scales and a weight. */
+struct Component {
+    std::vector<float> center;
+    std::vector<float> scale;
+    double weight;
+};
+
+/**
+ * Builds @p count anisotropic Gaussian components. Component weights
+ * follow a Zipf-like power law so that some regions of the space are
+ * dense and others sparse -- the precondition for the density-adaptive
+ * threshold of paper Sec. 4.1 to matter.
+ */
+std::vector<Component>
+makeComponents(int count, idx_t dim, float center_spread,
+               float scale_lo, float scale_hi, Rng &rng)
+{
+    std::vector<Component> comps(static_cast<std::size_t>(count));
+    double weight_sum = 0.0;
+    for (int c = 0; c < count; ++c) {
+        auto &comp = comps[static_cast<std::size_t>(c)];
+        comp.center.resize(static_cast<std::size_t>(dim));
+        comp.scale.resize(static_cast<std::size_t>(dim));
+        for (idx_t d = 0; d < dim; ++d) {
+            comp.center[static_cast<std::size_t>(d)] =
+                static_cast<float>(rng.gaussian(0.0, center_spread));
+            comp.scale[static_cast<std::size_t>(d)] =
+                rng.uniform(scale_lo, scale_hi);
+        }
+        comp.weight = 1.0 / std::pow(static_cast<double>(c) + 1.0, 0.7);
+        weight_sum += comp.weight;
+    }
+    for (auto &comp : comps)
+        comp.weight /= weight_sum;
+    return comps;
+}
+
+/** Samples a component index proportional to weight. */
+int
+sampleComponent(const std::vector<Component> &comps, Rng &rng)
+{
+    double u = rng.uniform();
+    for (std::size_t c = 0; c < comps.size(); ++c) {
+        u -= comps[c].weight;
+        if (u <= 0.0)
+            return static_cast<int>(c);
+    }
+    return static_cast<int>(comps.size()) - 1;
+}
+
+/** Draws one point from component @p comp into @p out. */
+void
+samplePoint(const Component &comp, idx_t dim, Rng &rng, float *out)
+{
+    for (idx_t d = 0; d < dim; ++d) {
+        const std::size_t sd = static_cast<std::size_t>(d);
+        out[d] = comp.center[sd] +
+                 comp.scale[sd] * static_cast<float>(rng.gaussian());
+    }
+}
+
+/** SIFT-like post-processing: shift positive, clip to [0, 255]. */
+void
+siftify(float *row, idx_t dim)
+{
+    for (idx_t d = 0; d < dim; ++d) {
+        float v = row[d] * 24.0f + 32.0f; // typical SIFT bin statistics
+        row[d] = std::clamp(v, 0.0f, 255.0f);
+    }
+}
+
+/** DEEP-like post-processing: L2-normalise the row. */
+void
+deepify(float *row, idx_t dim)
+{
+    const float norm = std::sqrt(l2NormSqr(row, dim));
+    if (norm > 1e-12f)
+        for (idx_t d = 0; d < dim; ++d)
+            row[d] /= norm;
+}
+
+/** TTI-like post-processing: heavy-tail a random subset of axes. */
+void
+ttify(float *row, idx_t dim, Rng &rng)
+{
+    for (idx_t d = 0; d < dim; ++d) {
+        if (rng.uniform() < 0.05)
+            row[d] *= 4.0f; // rare large coordinates (heavy tail)
+    }
+}
+
+void
+fillMatrix(FloatMatrix &m, const std::vector<Component> &comps,
+           DatasetKind kind, Rng &rng)
+{
+    const idx_t dim = m.cols();
+    for (idx_t i = 0; i < m.rows(); ++i) {
+        float *row = m.row(i);
+        if (kind == DatasetKind::kUniform) {
+            for (idx_t d = 0; d < dim; ++d)
+                row[d] = rng.uniform(-1.0f, 1.0f);
+            continue;
+        }
+        const auto &comp =
+            comps[static_cast<std::size_t>(sampleComponent(comps, rng))];
+        samplePoint(comp, dim, rng, row);
+        switch (kind) {
+          case DatasetKind::kSiftLike:
+            siftify(row, dim);
+            break;
+          case DatasetKind::kDeepLike:
+            deepify(row, dim);
+            break;
+          case DatasetKind::kTtiLike:
+            ttify(row, dim, rng);
+            break;
+          case DatasetKind::kUniform:
+            break;
+        }
+    }
+}
+
+} // namespace
+
+idx_t
+nativeDim(DatasetKind kind)
+{
+    switch (kind) {
+      case DatasetKind::kSiftLike:
+        return 128;
+      case DatasetKind::kDeepLike:
+        return 96;
+      case DatasetKind::kTtiLike:
+        return 200;
+      case DatasetKind::kUniform:
+        return 64;
+    }
+    return 64;
+}
+
+Metric
+nativeMetric(DatasetKind kind)
+{
+    return kind == DatasetKind::kTtiLike ? Metric::kInnerProduct
+                                         : Metric::kL2;
+}
+
+const char *
+kindName(DatasetKind kind)
+{
+    switch (kind) {
+      case DatasetKind::kSiftLike:
+        return "sift";
+      case DatasetKind::kDeepLike:
+        return "deep";
+      case DatasetKind::kTtiLike:
+        return "tti";
+      case DatasetKind::kUniform:
+        return "uniform";
+    }
+    return "unknown";
+}
+
+Dataset
+makeDataset(const SyntheticSpec &spec)
+{
+    JUNO_REQUIRE(spec.num_points > 0, "num_points must be positive");
+    JUNO_REQUIRE(spec.num_queries >= 0, "num_queries must be >= 0");
+    JUNO_REQUIRE(spec.components > 0, "components must be positive");
+
+    const idx_t dim = spec.dim > 0 ? spec.dim : nativeDim(spec.kind);
+    Rng rng(spec.seed);
+
+    // Component geometry tuned per family: SIFT-like clusters are
+    // tighter; TTI-like ones broader with larger spread.
+    float spread = 1.0f, lo = 0.15f, hi = 0.5f;
+    if (spec.kind == DatasetKind::kSiftLike) {
+        spread = 1.2f;
+        lo = 0.2f;
+        hi = 0.6f;
+    } else if (spec.kind == DatasetKind::kTtiLike) {
+        spread = 1.5f;
+        lo = 0.25f;
+        hi = 0.8f;
+    }
+    JUNO_REQUIRE(spec.noise_scale > 0.0f, "noise_scale must be positive");
+    lo *= spec.noise_scale;
+    hi *= spec.noise_scale;
+    const auto comps =
+        makeComponents(spec.components, dim, spread, lo, hi, rng);
+
+    Dataset ds;
+    ds.metric = nativeMetric(spec.kind);
+    ds.name = std::string(kindName(spec.kind)) +
+              std::to_string(spec.num_points / 1000) + "k";
+    ds.base = FloatMatrix(spec.num_points, dim);
+    ds.queries = FloatMatrix(spec.num_queries, dim);
+    fillMatrix(ds.base, comps, spec.kind, rng);
+    fillMatrix(ds.queries, comps, spec.kind, rng);
+    return ds;
+}
+
+} // namespace juno

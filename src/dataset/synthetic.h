@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Synthetic dataset generators standing in for the paper's SIFT, DEEP
+ * and TTI corpora (DESIGN.md Sec. 2 documents the substitution).
+ *
+ * Each generator produces a clustered embedding distribution whose
+ * salient statistics match the real dataset it replaces:
+ *  - kSiftLike: non-negative, byte-ranged gradient histograms, D=128;
+ *  - kDeepLike: L2-normalised CNN descriptors, D=96;
+ *  - kTtiLike:  heavy-tailed text-to-image embeddings used with the
+ *    inner-product metric, D=200;
+ *  - kUniform:  unstructured control distribution (no clusters), useful
+ *    in tests as the "no locality" counterexample.
+ *
+ * Clusteredness is what gives rise to the sparsity / spatial-locality
+ * phenomena of paper Sec. 3, so all three *Like generators are mixtures
+ * of anisotropic Gaussians with power-law component weights.
+ */
+#ifndef JUNO_DATASET_SYNTHETIC_H
+#define JUNO_DATASET_SYNTHETIC_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace juno {
+
+/** Family of synthetic embedding distributions. */
+enum class DatasetKind {
+    kSiftLike,
+    kDeepLike,
+    kTtiLike,
+    kUniform,
+};
+
+/** Parameters controlling synthesis. */
+struct SyntheticSpec {
+    DatasetKind kind = DatasetKind::kDeepLike;
+    /** Number of base (database) vectors. */
+    idx_t num_points = 10000;
+    /** Number of query vectors (drawn from the same mixture). */
+    idx_t num_queries = 100;
+    /** Dimensionality; 0 picks the dataset family's native D. */
+    idx_t dim = 0;
+    /** Number of mixture components (latent clusters). */
+    int components = 64;
+    /**
+     * Multiplier on the per-component spread. 1.0 keeps components
+     * well-separated (easy coarse filtering); values around 2-3 blur
+     * component boundaries so nprobs genuinely trades recall for
+     * speed, as on real embedding corpora.
+     */
+    float noise_scale = 1.0f;
+    /** Seed for full reproducibility. */
+    std::uint64_t seed = 42;
+};
+
+/** A generated dataset: base vectors plus queries, and its metric. */
+struct Dataset {
+    FloatMatrix base;    ///< num_points x dim
+    FloatMatrix queries; ///< num_queries x dim
+    Metric metric = Metric::kL2;
+    std::string name;
+};
+
+/** Native dimensionality of a dataset family (128/96/200/64). */
+idx_t nativeDim(DatasetKind kind);
+
+/** Default metric of a family (TTI uses inner product, rest L2). */
+Metric nativeMetric(DatasetKind kind);
+
+/** Short name ("sift", "deep", "tti", "uniform"). */
+const char *kindName(DatasetKind kind);
+
+/** Generates a dataset according to @p spec. */
+Dataset makeDataset(const SyntheticSpec &spec);
+
+} // namespace juno
+
+#endif // JUNO_DATASET_SYNTHETIC_H

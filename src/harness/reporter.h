@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table/CSV output helpers so every bench prints its figure data in a
+ * uniform, diff-able format (rows mirror the paper's plots).
+ */
+#ifndef JUNO_HARNESS_REPORTER_H
+#define JUNO_HARNESS_REPORTER_H
+
+#include <string>
+#include <vector>
+
+namespace juno {
+
+/** Fixed-column text table accumulated row by row. */
+class TablePrinter {
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Adds a data row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Formats numbers consistently (6 significant digits). */
+    static std::string num(double v);
+
+    /** Renders the table to a string (header, rule, rows). */
+    std::string render() const;
+
+    /** Renders and writes to stdout. */
+    void print() const;
+
+    /** Renders as CSV. */
+    std::string csv() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Prints a section banner ("== Fig. 12: ... ==") to stdout. */
+void printBanner(const std::string &title);
+
+} // namespace juno
+
+#endif // JUNO_HARNESS_REPORTER_H

@@ -1,0 +1,48 @@
+#include "harness/sweep.h"
+
+#include <algorithm>
+
+namespace juno {
+
+std::vector<ParetoPoint>
+sweepOperatingPoints(Workload &workload, AnnIndex &index, idx_t k, int steps,
+                     const std::function<std::string(int)> &configure,
+                     idx_t recall_m)
+{
+    std::vector<ParetoPoint> points;
+    points.reserve(static_cast<std::size_t>(steps));
+    for (int i = 0; i < steps; ++i) {
+        ParetoPoint p;
+        p.label = configure(i);
+        const auto eval = evaluate(workload, index, k, recall_m);
+        p.recall = recall_m > 0 ? eval.recallm_at_k : eval.recall1_at_k;
+        p.qps = eval.qps;
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+std::vector<ParetoPoint>
+paretoFrontier(std::vector<ParetoPoint> points)
+{
+    std::sort(points.begin(), points.end(),
+              [](const ParetoPoint &a, const ParetoPoint &b) {
+                  if (a.recall != b.recall)
+                      return a.recall < b.recall;
+                  return a.qps > b.qps;
+              });
+    // Scan from the highest recall down, keeping points whose QPS
+    // strictly exceeds every higher-recall point.
+    std::vector<ParetoPoint> frontier;
+    double best_qps = -1.0;
+    for (auto it = points.rbegin(); it != points.rend(); ++it) {
+        if (it->qps > best_qps) {
+            frontier.push_back(*it);
+            best_qps = it->qps;
+        }
+    }
+    std::reverse(frontier.begin(), frontier.end());
+    return frontier;
+}
+
+} // namespace juno

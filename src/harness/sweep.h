@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Parameter sweeps and Pareto-frontier extraction for the QPS/recall
+ * plots (paper Fig. 12).
+ */
+#ifndef JUNO_HARNESS_SWEEP_H
+#define JUNO_HARNESS_SWEEP_H
+
+#include <functional>
+#include <vector>
+
+#include "harness/workload.h"
+
+namespace juno {
+
+/** A (recall, qps) operating point with its configuration label. */
+struct ParetoPoint {
+    double recall = 0.0;
+    double qps = 0.0;
+    std::string label;
+};
+
+/**
+ * Runs @p configure(i) for i in [0, steps), evaluating the index after
+ * each configuration, and returns all operating points.
+ */
+std::vector<ParetoPoint> sweepOperatingPoints(
+    Workload &workload, AnnIndex &index, idx_t k, int steps,
+    const std::function<std::string(int)> &configure, idx_t recall_m = 0);
+
+/**
+ * Filters to the Pareto frontier: keeps points not dominated in both
+ * recall and QPS, sorted by recall ascending (the paper's bold grey
+ * "JUNO" line aggregates configurations exactly this way).
+ */
+std::vector<ParetoPoint> paretoFrontier(std::vector<ParetoPoint> points);
+
+} // namespace juno
+
+#endif // JUNO_HARNESS_SWEEP_H

@@ -1,0 +1,36 @@
+#include "harness/workload.h"
+
+#include "common/timer.h"
+
+namespace juno {
+
+Workload::Workload(const SyntheticSpec &spec, idx_t gt_k)
+    : data_(makeDataset(spec)),
+      gt_(computeGroundTruth(data_.metric, data_.base.view(),
+                             data_.queries.view(), gt_k))
+{
+}
+
+EvalPoint
+evaluate(Workload &workload, AnnIndex &index, idx_t k, idx_t recall_m)
+{
+    index.resetStageTimers();
+    Timer timer;
+    const auto results = index.search(workload.queries(), k);
+    const double seconds = timer.seconds();
+
+    EvalPoint point;
+    point.index_name = index.name();
+    point.k = k;
+    point.qps = seconds > 0.0
+        ? static_cast<double>(workload.queries().rows()) / seconds
+        : 0.0;
+    point.recall1_at_k = recall1AtK(workload.groundTruth(), results);
+    if (recall_m > 0)
+        point.recallm_at_k =
+            recallMAtK(workload.groundTruth(), results, recall_m);
+    point.timers = index.stageTimers();
+    return point;
+}
+
+} // namespace juno

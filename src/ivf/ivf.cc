@@ -1,0 +1,83 @@
+#include "ivf/ivf.h"
+
+#include <algorithm>
+
+#include "common/distance.h"
+#include "common/logging.h"
+
+namespace juno {
+
+void
+InvertedFileIndex::build(FloatMatrixView points, const Params &params)
+{
+    JUNO_REQUIRE(points.rows() >= params.clusters,
+                 "fewer points than clusters");
+    KMeansParams km;
+    km.clusters = params.clusters;
+    km.max_iters = params.max_iters;
+    km.seed = params.seed;
+    km.max_training_points = params.max_training_points;
+    auto res = kmeans(points, km);
+
+    centroids_ = std::move(res.centroids);
+    labels_ = std::move(res.labels);
+    lists_.assign(static_cast<std::size_t>(params.clusters), {});
+    for (idx_t p = 0; p < points.rows(); ++p)
+        lists_[static_cast<std::size_t>(labels_[static_cast<std::size_t>(p)])]
+            .push_back(p);
+}
+
+const std::vector<idx_t> &
+InvertedFileIndex::list(cluster_t c) const
+{
+    JUNO_ASSERT(c >= 0 && c < numClusters(), "cluster " << c);
+    return lists_[static_cast<std::size_t>(c)];
+}
+
+std::vector<Neighbor>
+InvertedFileIndex::probe(Metric metric, const float *query,
+                         idx_t nprobs) const
+{
+    JUNO_REQUIRE(built(), "probe before build");
+    JUNO_REQUIRE(nprobs > 0, "nprobs must be positive");
+    nprobs = std::min(nprobs, numClusters());
+    TopK top(nprobs, metric);
+    for (idx_t c = 0; c < numClusters(); ++c)
+        top.push(c, score(metric, query, centroids_.row(c),
+                          centroids_.cols()));
+    return top.take();
+}
+
+void
+InvertedFileIndex::residual(const float *x, cluster_t c, float *out) const
+{
+    const float *ctr = centroid(c);
+    for (idx_t j = 0; j < dim(); ++j)
+        out[j] = x[j] - ctr[j];
+}
+
+void
+InvertedFileIndex::save(BinaryWriter &writer) const
+{
+    JUNO_REQUIRE(built(), "save before build");
+    writer.writeMatrix(centroids_.view());
+    writer.writeVector(labels_);
+    writer.writePod<std::uint64_t>(lists_.size());
+    for (const auto &list : lists_)
+        writer.writeVector(list);
+}
+
+void
+InvertedFileIndex::load(BinaryReader &reader)
+{
+    centroids_ = reader.readMatrix();
+    labels_ = reader.readVector<cluster_t>();
+    const auto count = reader.readPod<std::uint64_t>();
+    JUNO_REQUIRE(count == static_cast<std::uint64_t>(centroids_.rows()),
+                 "inverted list count mismatch (corrupt file)");
+    lists_.assign(static_cast<std::size_t>(count), {});
+    for (auto &list : lists_)
+        list = reader.readVector<idx_t>();
+}
+
+} // namespace juno

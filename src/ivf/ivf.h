@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Inverted file index (paper Sec. 2.1, step 1 and stage A).
+ *
+ * k-means over full-dimension points produces C coarse centroids; the
+ * IVF stores, per centroid, the ids of the points assigned to it. The
+ * online filtering stage scores a query against all C centroids and
+ * keeps the nprobs closest clusters.
+ */
+#ifndef JUNO_IVF_IVF_H
+#define JUNO_IVF_IVF_H
+
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "common/matrix.h"
+#include "common/serialize.h"
+#include "common/topk.h"
+#include "common/types.h"
+
+namespace juno {
+
+/** Coarse IVF built over a point set. */
+class InvertedFileIndex {
+  public:
+    /** Training configuration. */
+    struct Params {
+        int clusters = 256;
+        int max_iters = 20;
+        std::uint64_t seed = 31;
+        idx_t max_training_points = 0;
+    };
+
+    /** Trains centroids and populates the inverted lists. */
+    void build(FloatMatrixView points, const Params &params);
+
+    bool built() const { return centroids_.rows() > 0; }
+    idx_t numClusters() const { return centroids_.rows(); }
+    idx_t dim() const { return centroids_.cols(); }
+
+    const FloatMatrix &centroids() const { return centroids_; }
+    const float *centroid(cluster_t c) const { return centroids_.row(c); }
+
+    /** Point ids assigned to cluster @p c. */
+    const std::vector<idx_t> &list(cluster_t c) const;
+
+    /** Cluster label of point @p p (index into the build-time matrix). */
+    cluster_t label(idx_t p) const { return labels_.at(static_cast<std::size_t>(p)); }
+
+    const std::vector<cluster_t> &labels() const { return labels_; }
+
+    /**
+     * Filtering stage (paper stage A): returns the nprobs closest
+     * centroids best-first under @p metric. For inner-product search
+     * the centroid similarity is the inner product (paper Sec. 4.2,
+     * "change metric of the cluster in filtering").
+     */
+    std::vector<Neighbor> probe(Metric metric, const float *query,
+                                idx_t nprobs) const;
+
+    /**
+     * Residual r = x - centroid(c) of vector @p x against cluster c
+     * (paper stage B), written into @p out (dim floats).
+     */
+    void residual(const float *x, cluster_t c, float *out) const;
+
+    /** Serializes the trained index. */
+    void save(BinaryWriter &writer) const;
+
+    /** Restores a trained index (replaces current state). */
+    void load(BinaryReader &reader);
+
+  private:
+    FloatMatrix centroids_;
+    std::vector<cluster_t> labels_;
+    std::vector<std::vector<idx_t>> lists_;
+};
+
+} // namespace juno
+
+#endif // JUNO_IVF_IVF_H

@@ -1,0 +1,110 @@
+#include "quant/opq.h"
+
+#include <algorithm>
+
+#include "common/distance.h"
+#include "common/logging.h"
+
+namespace juno {
+
+void
+OptimizedProductQuantizer::train(FloatMatrixView vectors,
+                                 const Params &params)
+{
+    JUNO_REQUIRE(vectors.rows() > 0, "empty training set");
+    const idx_t n = vectors.rows(), d = vectors.cols();
+    JUNO_REQUIRE(params.opq_iters >= 1, "opq_iters must be >= 1");
+
+    rotation_ = identity(d);
+    FloatMatrix rotated(n, d);
+
+    for (int iter = 0; iter < params.opq_iters; ++iter) {
+        // Step 1: rotate and (re)train the PQ on the rotated data.
+        for (idx_t i = 0; i < n; ++i)
+            rotateOne(vectors.row(i), rotated.row(i));
+        PQParams pq_params = params.pq;
+        pq_params.seed = params.seed + static_cast<std::uint64_t>(iter);
+        pq_.train(rotated.view(), pq_params);
+
+        if (iter + 1 == params.opq_iters)
+            break;
+
+        // Step 2: reconstruct in rotated space and re-solve for R.
+        const auto codes = pq_.encode(rotated.view());
+        FloatMatrix recon(n, d);
+        for (idx_t i = 0; i < n; ++i) {
+            const auto rec = pq_.decode(codes.row(i));
+            std::copy(rec.begin(), rec.end(), recon.row(i));
+        }
+        // R = argmin ||X R - recon||: Procrustes on (X, recon).
+        rotation_ = procrustes(vectors, recon.view());
+    }
+}
+
+void
+OptimizedProductQuantizer::rotateOne(const float *vec, float *out) const
+{
+    const idx_t d = rotation_.rows();
+    for (idx_t c = 0; c < d; ++c)
+        out[c] = 0.0f;
+    // out = vec * R: accumulate row-by-row for cache friendliness.
+    for (idx_t r = 0; r < d; ++r) {
+        const float v = vec[r];
+        if (v == 0.0f)
+            continue;
+        const float *rrow = rotation_.row(r);
+        for (idx_t c = 0; c < d; ++c)
+            out[c] += v * rrow[c];
+    }
+}
+
+FloatMatrix
+OptimizedProductQuantizer::rotate(FloatMatrixView vectors) const
+{
+    JUNO_REQUIRE(vectors.cols() == dim(), "dimension mismatch");
+    FloatMatrix out(vectors.rows(), vectors.cols());
+    for (idx_t i = 0; i < vectors.rows(); ++i)
+        rotateOne(vectors.row(i), out.row(i));
+    return out;
+}
+
+PQCodes
+OptimizedProductQuantizer::encode(FloatMatrixView vectors) const
+{
+    const auto rotated = rotate(vectors);
+    return pq_.encode(rotated.view());
+}
+
+std::vector<float>
+OptimizedProductQuantizer::decode(const entry_t *codes) const
+{
+    // decode in rotated space, then rotate back: x ~= y R^T.
+    const auto rotated = pq_.decode(codes);
+    const idx_t d = dim();
+    std::vector<float> out(static_cast<std::size_t>(d), 0.0f);
+    for (idx_t c = 0; c < d; ++c) {
+        const float y = rotated[static_cast<std::size_t>(c)];
+        if (y == 0.0f)
+            continue;
+        for (idx_t r = 0; r < d; ++r)
+            out[static_cast<std::size_t>(r)] += y * rotation_.at(r, c);
+    }
+    return out;
+}
+
+double
+OptimizedProductQuantizer::reconstructionError(FloatMatrixView vectors) const
+{
+    JUNO_REQUIRE(trained(), "reconstructionError before train");
+    const auto codes = encode(vectors);
+    double total = 0.0;
+    for (idx_t i = 0; i < vectors.rows(); ++i) {
+        const auto rec = decode(codes.row(i));
+        total += static_cast<double>(
+            l2Sqr(vectors.row(i), rec.data(), vectors.cols()));
+    }
+    return vectors.rows() ? total / static_cast<double>(vectors.rows())
+                          : 0.0;
+}
+
+} // namespace juno

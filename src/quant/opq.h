@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Optimized Product Quantization (Ge et al., CVPR 2013; cited by the
+ * paper as a codebook-quality improvement orthogonal to JUNO's
+ * contribution). OPQ learns an orthogonal rotation R of the input
+ * space so that the rotated data quantizes with lower distortion, then
+ * trains a plain PQ on the rotated vectors.
+ *
+ * Training alternates:
+ *   1. fix R, train/encode PQ on X R;
+ *   2. fix the codes, solve the orthogonal Procrustes problem
+ *      R = argmin ||X R - decode(codes)||_F.
+ *
+ * Because the rotation is orthogonal, L2 distances are preserved, so
+ * an OPQ-rotated index (including JUNO's RT scene, which only sees the
+ * rotated subspace projections) searches the original metric exactly.
+ */
+#ifndef JUNO_QUANT_OPQ_H
+#define JUNO_QUANT_OPQ_H
+
+#include "common/linalg.h"
+#include "quant/product_quantizer.h"
+
+namespace juno {
+
+/** Rotation + product quantizer pair. */
+class OptimizedProductQuantizer {
+  public:
+    struct Params {
+        PQParams pq;
+        /** Alternating-minimisation iterations. */
+        int opq_iters = 5;
+        std::uint64_t seed = 17;
+    };
+
+    /** Trains R and the PQ on @p vectors (N x D). */
+    void train(FloatMatrixView vectors, const Params &params);
+
+    bool trained() const { return pq_.trained(); }
+    const FloatMatrix &rotation() const { return rotation_; }
+    const ProductQuantizer &pq() const { return pq_; }
+    idx_t dim() const { return rotation_.rows(); }
+
+    /** Applies the learned rotation: out = vec * R (row vector form). */
+    void rotateOne(const float *vec, float *out) const;
+
+    /** Rotates every row of @p vectors. */
+    FloatMatrix rotate(FloatMatrixView vectors) const;
+
+    /** Encodes (rotating first). */
+    PQCodes encode(FloatMatrixView vectors) const;
+
+    /** Decodes to the *original* (un-rotated) space. */
+    std::vector<float> decode(const entry_t *codes) const;
+
+    /** Mean squared reconstruction error in the original space. */
+    double reconstructionError(FloatMatrixView vectors) const;
+
+  private:
+    FloatMatrix rotation_; ///< D x D orthogonal
+    ProductQuantizer pq_;
+};
+
+} // namespace juno
+
+#endif // JUNO_QUANT_OPQ_H

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Product quantization (paper Sec. 2.1, steps 2-4).
+ *
+ * The D-dimensional space is split into D/M subspaces of M dimensions
+ * each; within each subspace, E "second-level" clusters are trained on
+ * residual projections and their centroids form the codebook. A point
+ * is encoded as one entry id per subspace, compressing D floats to
+ * (D/M)*log2(E) bits.
+ *
+ * JUNO's RT mapping requires M == 2 (spheres live in 2-D subspace
+ * planes), but the quantizer itself supports any M dividing D so the
+ * FAISS-style baseline can sweep PQ8..PQ64 configurations.
+ */
+#ifndef JUNO_QUANT_PRODUCT_QUANTIZER_H
+#define JUNO_QUANT_PRODUCT_QUANTIZER_H
+
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "common/matrix.h"
+#include "common/serialize.h"
+#include "common/types.h"
+
+namespace juno {
+
+/** Training/encoding configuration. */
+struct PQParams {
+    /** Number of subspaces (the x in "PQx"); must divide dim. */
+    int num_subspaces = 48;
+    /** Codebook entries per subspace (E in the paper; <= 65536). */
+    int entries = 256;
+    /** k-means settings for per-subspace codebook training. */
+    int max_iters = 20;
+    std::uint64_t seed = 7;
+    idx_t max_training_points = 0;
+};
+
+/** PQ codes of a point set: row-major (N x num_subspaces) entry ids. */
+struct PQCodes {
+    idx_t num_points = 0;
+    int num_subspaces = 0;
+    std::vector<entry_t> codes;
+
+    const entry_t *
+    row(idx_t p) const
+    {
+        return codes.data() + p * num_subspaces;
+    }
+
+    entry_t
+    at(idx_t p, int s) const
+    {
+        return row(p)[s];
+    }
+};
+
+/** Trained product quantizer. */
+class ProductQuantizer {
+  public:
+    ProductQuantizer() = default;
+
+    /**
+     * Trains per-subspace codebooks on @p vectors (typically residuals
+     * against the coarse centroids). @p dim must be divisible by
+     * params.num_subspaces.
+     */
+    void train(FloatMatrixView vectors, const PQParams &params);
+
+    bool trained() const { return !codebooks_.empty(); }
+    int numSubspaces() const { return num_subspaces_; }
+    int entries() const { return entries_; }
+    /** Dimensions per subspace (M in the paper). */
+    int subDim() const { return sub_dim_; }
+    idx_t dim() const { return static_cast<idx_t>(num_subspaces_) * sub_dim_; }
+
+    /** Codebook of subspace @p s: an (E x subDim) matrix. */
+    const FloatMatrix &codebook(int s) const;
+
+    /** Pointer to entry @p e of subspace @p s (subDim floats). */
+    const float *entry(int s, entry_t e) const;
+
+    /** Encodes every row of @p vectors. */
+    PQCodes encode(FloatMatrixView vectors) const;
+
+    /** Encodes a single vector into @p out (num_subspaces entries). */
+    void encodeOne(const float *vec, entry_t *out) const;
+
+    /** Reconstructs a vector from its codes. */
+    std::vector<float> decode(const entry_t *codes) const;
+
+    /** Mean squared reconstruction error over @p vectors. */
+    double reconstructionError(FloatMatrixView vectors) const;
+
+    /**
+     * Dense look-up table for one query vector: out[s][e] is the score
+     * between the query's subspace-s projection and entry e. This is
+     * the baseline's L2-LUT construction stage (paper stage C); JUNO
+     * replaces it with the selective RT-core version.
+     */
+    void computeLut(Metric metric, const float *vec, FloatMatrix &out) const;
+
+    /**
+     * Accumulated score of an encoded point from a dense LUT:
+     * sum over s of lut[s][code[s]] (paper stage D).
+     */
+    float
+    lutScore(const FloatMatrix &lut, const entry_t *codes) const
+    {
+        float acc = 0.0f;
+        for (int s = 0; s < num_subspaces_; ++s)
+            acc += lut.at(s, codes[s]);
+        return acc;
+    }
+
+    /** Serializes a trained quantizer. */
+    void save(BinaryWriter &writer) const;
+
+    /** Restores a trained quantizer (replaces current state). */
+    void load(BinaryReader &reader);
+
+  private:
+    int num_subspaces_ = 0;
+    int entries_ = 0;
+    int sub_dim_ = 0;
+    /** One (E x subDim) codebook per subspace. */
+    std::vector<FloatMatrix> codebooks_;
+};
+
+} // namespace juno
+
+#endif // JUNO_QUANT_PRODUCT_QUANTIZER_H

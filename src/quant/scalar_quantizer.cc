@@ -1,0 +1,129 @@
+#include "quant/scalar_quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/distance.h"
+#include "common/logging.h"
+
+namespace juno {
+
+void
+ScalarQuantizer::train(FloatMatrixView vectors, RangeMode mode)
+{
+    JUNO_REQUIRE(vectors.rows() > 0, "empty training set");
+    const idx_t n = vectors.rows(), d = vectors.cols();
+    lo_.assign(static_cast<std::size_t>(d), 0.0f);
+    step_.assign(static_cast<std::size_t>(d), 0.0f);
+
+    for (idx_t c = 0; c < d; ++c) {
+        float lo, hi;
+        if (mode == RangeMode::kMinMax) {
+            lo = hi = vectors.at(0, c);
+            for (idx_t r = 1; r < n; ++r) {
+                lo = std::min(lo, vectors.at(r, c));
+                hi = std::max(hi, vectors.at(r, c));
+            }
+        } else {
+            double mean = 0.0;
+            for (idx_t r = 0; r < n; ++r)
+                mean += vectors.at(r, c);
+            mean /= static_cast<double>(n);
+            double var = 0.0;
+            for (idx_t r = 0; r < n; ++r) {
+                const double dvt = vectors.at(r, c) - mean;
+                var += dvt * dvt;
+            }
+            const double sigma =
+                std::sqrt(var / static_cast<double>(std::max<idx_t>(
+                                    1, n - 1)));
+            lo = static_cast<float>(mean - 3.0 * sigma);
+            hi = static_cast<float>(mean + 3.0 * sigma);
+        }
+        if (hi <= lo)
+            hi = lo + 1e-6f; // constant dimension: degenerate range
+        lo_[static_cast<std::size_t>(c)] = lo;
+        step_[static_cast<std::size_t>(c)] = (hi - lo) / 255.0f;
+    }
+}
+
+void
+ScalarQuantizer::encodeOne(const float *vec, std::uint8_t *out) const
+{
+    JUNO_ASSERT(trained(), "encode before train");
+    for (idx_t c = 0; c < dim(); ++c) {
+        const float lo = lo_[static_cast<std::size_t>(c)];
+        const float step = step_[static_cast<std::size_t>(c)];
+        const float t = (vec[c] - lo) / step;
+        out[c] = static_cast<std::uint8_t>(
+            std::clamp(std::lround(t), 0L, 255L));
+    }
+}
+
+std::vector<std::uint8_t>
+ScalarQuantizer::encode(FloatMatrixView vectors) const
+{
+    JUNO_REQUIRE(vectors.cols() == dim(), "dimension mismatch");
+    std::vector<std::uint8_t> out(
+        static_cast<std::size_t>(vectors.rows() * dim()));
+    for (idx_t r = 0; r < vectors.rows(); ++r)
+        encodeOne(vectors.row(r), out.data() + r * dim());
+    return out;
+}
+
+void
+ScalarQuantizer::decodeOne(const std::uint8_t *codes, float *out) const
+{
+    for (idx_t c = 0; c < dim(); ++c)
+        out[c] = lo_[static_cast<std::size_t>(c)] +
+                 step_[static_cast<std::size_t>(c)] *
+                     static_cast<float>(codes[c]);
+}
+
+float
+ScalarQuantizer::l2SqrToCode(const float *query,
+                             const std::uint8_t *codes) const
+{
+    float acc = 0.0f;
+    for (idx_t c = 0; c < dim(); ++c) {
+        const float rec = lo_[static_cast<std::size_t>(c)] +
+                          step_[static_cast<std::size_t>(c)] *
+                              static_cast<float>(codes[c]);
+        const float diff = query[c] - rec;
+        acc += diff * diff;
+    }
+    return acc;
+}
+
+float
+ScalarQuantizer::ipToCode(const float *query,
+                          const std::uint8_t *codes) const
+{
+    float acc = 0.0f;
+    for (idx_t c = 0; c < dim(); ++c) {
+        const float rec = lo_[static_cast<std::size_t>(c)] +
+                          step_[static_cast<std::size_t>(c)] *
+                              static_cast<float>(codes[c]);
+        acc += query[c] * rec;
+    }
+    return acc;
+}
+
+double
+ScalarQuantizer::reconstructionError(FloatMatrixView vectors) const
+{
+    JUNO_REQUIRE(vectors.cols() == dim(), "dimension mismatch");
+    std::vector<std::uint8_t> codes(static_cast<std::size_t>(dim()));
+    std::vector<float> rec(static_cast<std::size_t>(dim()));
+    double total = 0.0;
+    for (idx_t r = 0; r < vectors.rows(); ++r) {
+        encodeOne(vectors.row(r), codes.data());
+        decodeOne(codes.data(), rec.data());
+        total += static_cast<double>(
+            l2Sqr(vectors.row(r), rec.data(), dim()));
+    }
+    return vectors.rows() ? total / static_cast<double>(vectors.rows())
+                          : 0.0;
+}
+
+} // namespace juno

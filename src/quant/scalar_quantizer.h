@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Scalar quantization (paper Sec. 7 related work): each vector
+ * component is quantized independently to 8 bits via a per-dimension
+ * affine map. Simpler and weaker than PQ, it serves as a second
+ * encoding baseline and as the compression layer for memory-bound
+ * deployments.
+ */
+#ifndef JUNO_QUANT_SCALAR_QUANTIZER_H
+#define JUNO_QUANT_SCALAR_QUANTIZER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/types.h"
+
+namespace juno {
+
+/** Per-dimension 8-bit affine quantizer. */
+class ScalarQuantizer {
+  public:
+    /** How the per-dimension range is estimated. */
+    enum class RangeMode {
+        /** [min, max] of the training data per dimension. */
+        kMinMax,
+        /** mean +- 3 sigma per dimension (robust to outliers). */
+        kThreeSigma,
+    };
+
+    /** Learns per-dimension ranges from @p vectors. */
+    void train(FloatMatrixView vectors,
+               RangeMode mode = RangeMode::kMinMax);
+
+    bool trained() const { return !lo_.empty(); }
+    idx_t dim() const { return static_cast<idx_t>(lo_.size()); }
+
+    /** Encodes one vector to @p out (dim bytes). */
+    void encodeOne(const float *vec, std::uint8_t *out) const;
+
+    /** Encodes every row; returns N x dim bytes, row-major. */
+    std::vector<std::uint8_t> encode(FloatMatrixView vectors) const;
+
+    /** Decodes one code row back to floats. */
+    void decodeOne(const std::uint8_t *codes, float *out) const;
+
+    /** Squared L2 between a float query and an encoded point. */
+    float l2SqrToCode(const float *query, const std::uint8_t *codes) const;
+
+    /** Inner product between a float query and an encoded point. */
+    float ipToCode(const float *query, const std::uint8_t *codes) const;
+
+    /** Mean squared reconstruction error on @p vectors. */
+    double reconstructionError(FloatMatrixView vectors) const;
+
+  private:
+    std::vector<float> lo_;   ///< per-dimension lower bound
+    std::vector<float> step_; ///< per-dimension step ((hi-lo)/255)
+};
+
+} // namespace juno
+
+#endif // JUNO_QUANT_SCALAR_QUANTIZER_H

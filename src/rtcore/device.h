@@ -1,0 +1,117 @@
+/**
+ * @file
+ * OptiX-like launch facade over the software ray tracer.
+ *
+ * The paper evaluates JUNO on three GPUs (Sec. 6.4): RTX 4090 (Gen-3
+ * RT cores), A40 (Gen-2) and A100 (no RT cores; OptiX silently falls
+ * back to CUDA-core traversal). RtDevice models exactly that choice:
+ * an execution mode (BVH vs. linear fallback) plus a throughput cost
+ * model so Fig. 14's sensitivity study can be regenerated from the
+ * traversal counters.
+ */
+#ifndef JUNO_RTCORE_DEVICE_H
+#define JUNO_RTCORE_DEVICE_H
+
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "rtcore/scene.h"
+
+namespace juno {
+namespace rt {
+
+/** Where "traversal" executes. */
+enum class ExecMode {
+    /** Hardware-style BVH traversal (RT cores present). */
+    kRtCore,
+    /** Linear primitive scan (OptiX CUDA-core fallback, A100). */
+    kCudaFallback,
+};
+
+/**
+ * Relative cost weights of traversal operations, used to translate
+ * counter totals into modelled time for a hypothetical device. The
+ * defaults are unit-less relatives; what matters for Fig. 14(b) is the
+ * *ratio* between devices, controlled by rt_throughput.
+ */
+struct RtCostModel {
+    std::string name = "generic";
+    /** Cost per BVH node visit (AABB test + traversal step). */
+    double node_visit_cost = 1.0;
+    /** Cost per primitive intersection test. */
+    double prim_test_cost = 2.0;
+    /** Cost to set up one ray. */
+    double ray_setup_cost = 4.0;
+    /** RT throughput multiplier (Gen-3 = 2x Gen-2 per the Ada paper). */
+    double rt_throughput = 1.0;
+
+    /** Modelled cost of a traversal counter total. */
+    double
+    cost(const TraversalStats &stats) const
+    {
+        const double raw =
+            static_cast<double>(stats.node_visits) * node_visit_cost +
+            static_cast<double>(stats.prim_tests) * prim_test_cost +
+            static_cast<double>(stats.rays) * ray_setup_cost;
+        return raw / rt_throughput;
+    }
+};
+
+/** Cost model presets for the paper's three evaluation GPUs. */
+RtCostModel costModelRtx4090();
+RtCostModel costModelA40();
+RtCostModel costModelA100();
+
+/** Launch outcome: counters plus wall time. */
+struct LaunchResult {
+    TraversalStats stats;
+    double seconds = 0.0;
+};
+
+/**
+ * Stateless launcher: binds an execution mode and accumulates global
+ * statistics across launches (like a CUDA context would).
+ */
+class RtDevice {
+  public:
+    explicit RtDevice(ExecMode mode = ExecMode::kRtCore) : mode_(mode) {}
+
+    ExecMode mode() const { return mode_; }
+    void setMode(ExecMode mode) { mode_ = mode; }
+
+    const TraversalStats &totalStats() const { return total_; }
+    void resetStats() { total_.reset(); }
+
+    /**
+     * Traces every ray in @p rays against @p scene, invoking
+     * fn(const Ray&, const Hit&) -> bool per intersection (false
+     * terminates that ray). Returns per-launch counters and wall time.
+     */
+    template <typename AnyHitFn>
+    LaunchResult
+    launch(const Scene &scene, const std::vector<Ray> &rays, AnyHitFn &&fn)
+    {
+        Timer timer;
+        LaunchResult result;
+        for (const Ray &ray : rays) {
+            auto per_hit = [&](const Hit &hit) { return fn(ray, hit); };
+            if (mode_ == ExecMode::kRtCore)
+                scene.trace(ray, result.stats, per_hit);
+            else
+                scene.traceLinear(ray, result.stats, per_hit);
+        }
+        result.seconds = timer.seconds();
+        total_.merge(result.stats);
+        return result;
+    }
+
+  private:
+    ExecMode mode_;
+    TraversalStats total_;
+};
+
+} // namespace rt
+} // namespace juno
+
+#endif // JUNO_RTCORE_DEVICE_H

@@ -1,0 +1,32 @@
+#include "rtcore/scene.h"
+
+#include "common/logging.h"
+
+namespace juno {
+namespace rt {
+
+std::uint32_t
+Scene::addSphere(const Sphere &s)
+{
+    JUNO_REQUIRE(s.radius > 0.0f, "sphere radius must be positive");
+    spheres_.push_back(s);
+    built_ = false;
+    return static_cast<std::uint32_t>(spheres_.size() - 1);
+}
+
+void
+Scene::addSpheres(const std::vector<Sphere> &spheres)
+{
+    for (const auto &s : spheres)
+        addSphere(s);
+}
+
+void
+Scene::build(const BvhBuildParams &params)
+{
+    bvh_.build(spheres_, params);
+    built_ = true;
+}
+
+} // namespace rt
+} // namespace juno

@@ -1,0 +1,225 @@
+/** @file Unit + property tests for the distance kernels. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/distance.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace juno {
+namespace {
+
+TEST(Distance, L2SqrBasic)
+{
+    const float a[] = {1.0f, 2.0f, 3.0f};
+    const float b[] = {4.0f, 6.0f, 3.0f};
+    EXPECT_FLOAT_EQ(l2Sqr(a, b, 3), 9.0f + 16.0f);
+}
+
+TEST(Distance, L2SqrZeroForIdentical)
+{
+    const float a[] = {1.5f, -2.5f, 0.0f, 7.0f};
+    EXPECT_FLOAT_EQ(l2Sqr(a, a, 4), 0.0f);
+}
+
+TEST(Distance, InnerProductBasic)
+{
+    const float a[] = {1.0f, 2.0f, 3.0f};
+    const float b[] = {4.0f, 5.0f, 6.0f};
+    EXPECT_FLOAT_EQ(innerProduct(a, b, 3), 32.0f);
+}
+
+TEST(Distance, NormSqrIsSelfInnerProduct)
+{
+    const float a[] = {3.0f, 4.0f};
+    EXPECT_FLOAT_EQ(l2NormSqr(a, 2), 25.0f);
+}
+
+TEST(Distance, ScoreDispatchesOnMetric)
+{
+    const float a[] = {1.0f, 0.0f};
+    const float b[] = {0.0f, 1.0f};
+    EXPECT_FLOAT_EQ(score(Metric::kL2, a, b, 2), 2.0f);
+    EXPECT_FLOAT_EQ(score(Metric::kInnerProduct, a, b, 2), 0.0f);
+}
+
+TEST(Distance, HandlesOddTailLengths)
+{
+    // Exercise the scalar remainder loop for d % 4 != 0.
+    for (idx_t d = 1; d <= 9; ++d) {
+        std::vector<float> a(static_cast<std::size_t>(d), 1.0f);
+        std::vector<float> b(static_cast<std::size_t>(d), 3.0f);
+        EXPECT_FLOAT_EQ(l2Sqr(a.data(), b.data(), d),
+                        4.0f * static_cast<float>(d));
+        EXPECT_FLOAT_EQ(innerProduct(a.data(), b.data(), d),
+                        3.0f * static_cast<float>(d));
+    }
+}
+
+TEST(Distance, L2DecompositionIdentity)
+{
+    // ||x - q||^2 == ||x||^2 - 2<x,q> + ||q||^2 (the Tensor-core path).
+    Rng rng(5);
+    std::vector<float> x(64), q(64);
+    for (auto &v : x)
+        v = rng.uniform(-2.0f, 2.0f);
+    for (auto &v : q)
+        v = rng.uniform(-2.0f, 2.0f);
+    const float direct = l2Sqr(x.data(), q.data(), 64);
+    const float decomposed = l2NormSqr(x.data(), 64) -
+                             2.0f * innerProduct(x.data(), q.data(), 64) +
+                             l2NormSqr(q.data(), 64);
+    EXPECT_NEAR(direct, decomposed, 1e-3f * std::max(1.0f, direct));
+}
+
+TEST(Distance, PairwiseScoresMatchScalarL2)
+{
+    Rng rng(7);
+    FloatMatrix queries(3, 16), points(5, 16);
+    for (idx_t i = 0; i < 3; ++i)
+        for (idx_t j = 0; j < 16; ++j)
+            queries.at(i, j) = rng.uniform(-1.0f, 1.0f);
+    for (idx_t i = 0; i < 5; ++i)
+        for (idx_t j = 0; j < 16; ++j)
+            points.at(i, j) = rng.uniform(-1.0f, 1.0f);
+
+    FloatMatrix out;
+    pairwiseScores(Metric::kL2, queries.view(), points.view(),
+                   rowNormsSqr(points.view()), out);
+    ASSERT_EQ(out.rows(), 3);
+    ASSERT_EQ(out.cols(), 5);
+    for (idx_t qi = 0; qi < 3; ++qi)
+        for (idx_t pi = 0; pi < 5; ++pi)
+            EXPECT_NEAR(out.at(qi, pi),
+                        l2Sqr(queries.row(qi), points.row(pi), 16), 1e-4f);
+}
+
+TEST(Distance, PairwiseScoresMatchScalarIp)
+{
+    Rng rng(9);
+    FloatMatrix queries(2, 8), points(4, 8);
+    for (idx_t i = 0; i < 2; ++i)
+        for (idx_t j = 0; j < 8; ++j)
+            queries.at(i, j) = rng.uniform(-1.0f, 1.0f);
+    for (idx_t i = 0; i < 4; ++i)
+        for (idx_t j = 0; j < 8; ++j)
+            points.at(i, j) = rng.uniform(-1.0f, 1.0f);
+
+    FloatMatrix out;
+    pairwiseScores(Metric::kInnerProduct, queries.view(), points.view(), {},
+                   out);
+    for (idx_t qi = 0; qi < 2; ++qi)
+        for (idx_t pi = 0; pi < 4; ++pi)
+            EXPECT_NEAR(out.at(qi, pi),
+                        innerProduct(queries.row(qi), points.row(pi), 8),
+                        1e-5f);
+}
+
+TEST(Distance, PairwiseScoresWithoutPrecomputedNorms)
+{
+    Rng rng(11);
+    FloatMatrix queries(1, 4), points(2, 4);
+    for (idx_t j = 0; j < 4; ++j) {
+        queries.at(0, j) = rng.uniform(-1.0f, 1.0f);
+        points.at(0, j) = rng.uniform(-1.0f, 1.0f);
+        points.at(1, j) = rng.uniform(-1.0f, 1.0f);
+    }
+    FloatMatrix with_norms, without_norms;
+    pairwiseScores(Metric::kL2, queries.view(), points.view(),
+                   rowNormsSqr(points.view()), with_norms);
+    pairwiseScores(Metric::kL2, queries.view(), points.view(), {},
+                   without_norms);
+    for (idx_t pi = 0; pi < 2; ++pi)
+        EXPECT_FLOAT_EQ(with_norms.at(0, pi), without_norms.at(0, pi));
+}
+
+TEST(Distance, PairwiseScoresL2NeverNegative)
+{
+    Rng rng(13);
+    FloatMatrix pts(8, 32);
+    for (idx_t i = 0; i < 8; ++i)
+        for (idx_t j = 0; j < 32; ++j)
+            pts.at(i, j) = rng.uniform(-1.0f, 1.0f);
+    FloatMatrix out;
+    pairwiseScores(Metric::kL2, pts.view(), pts.view(),
+                   rowNormsSqr(pts.view()), out);
+    for (idx_t i = 0; i < 8; ++i)
+        for (idx_t j = 0; j < 8; ++j)
+            EXPECT_GE(out.at(i, j), 0.0f);
+}
+
+TEST(Distance, PairwiseScoresRejectsDimMismatch)
+{
+    FloatMatrix a(1, 4), b(1, 5), out;
+    EXPECT_THROW(pairwiseScores(Metric::kL2, a.view(), b.view(), {}, out),
+                 ConfigError);
+}
+
+TEST(Distance, GemmMatchesManual)
+{
+    FloatMatrix a(2, 3), b(3, 2), c;
+    // a = [[1,2,3],[4,5,6]]; b = [[7,8],[9,10],[11,12]]
+    float av[] = {1, 2, 3, 4, 5, 6};
+    float bv[] = {7, 8, 9, 10, 11, 12};
+    std::copy_n(av, 6, a.data());
+    std::copy_n(bv, 6, b.data());
+    gemm(a.view(), b.view(), c);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Distance, GemmOnesColumnSumsRows)
+{
+    // The paper's Tensor-core accumulation trick: A * ones = row sums.
+    Rng rng(17);
+    FloatMatrix a(4, 6), ones(6, 1), c;
+    float expect[4] = {0, 0, 0, 0};
+    for (idx_t i = 0; i < 4; ++i)
+        for (idx_t j = 0; j < 6; ++j) {
+            a.at(i, j) = rng.uniform(-1.0f, 1.0f);
+            expect[i] += a.at(i, j);
+        }
+    for (idx_t j = 0; j < 6; ++j)
+        ones.at(j, 0) = 1.0f;
+    gemm(a.view(), ones.view(), c);
+    for (idx_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(c.at(i, 0), expect[i], 1e-5f);
+}
+
+TEST(Distance, GemmRejectsShapeMismatch)
+{
+    FloatMatrix a(2, 3), b(2, 2), c;
+    EXPECT_THROW(gemm(a.view(), b.view(), c), ConfigError);
+}
+
+/** Property: L2 symmetry and triangle-ish behaviour on random data. */
+class DistanceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistanceProperty, L2SymmetricAndNonNegative)
+{
+    const int d = GetParam();
+    Rng rng(100 + static_cast<std::uint64_t>(d));
+    std::vector<float> a(static_cast<std::size_t>(d)),
+        b(static_cast<std::size_t>(d));
+    for (int trial = 0; trial < 20; ++trial) {
+        for (auto &v : a)
+            v = rng.uniform(-3.0f, 3.0f);
+        for (auto &v : b)
+            v = rng.uniform(-3.0f, 3.0f);
+        const float ab = l2Sqr(a.data(), b.data(), d);
+        const float ba = l2Sqr(b.data(), a.data(), d);
+        EXPECT_FLOAT_EQ(ab, ba);
+        EXPECT_GE(ab, 0.0f);
+        EXPECT_FLOAT_EQ(innerProduct(a.data(), b.data(), d),
+                        innerProduct(b.data(), a.data(), d));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DistanceProperty,
+                         ::testing::Values(1, 2, 3, 7, 16, 96, 128, 200));
+
+} // namespace
+} // namespace juno

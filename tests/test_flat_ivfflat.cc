@@ -1,0 +1,130 @@
+/** @file Tests for the Flat and IVF-Flat baselines. */
+#include <gtest/gtest.h>
+
+#include "baseline/flat_index.h"
+#include "baseline/ivfflat_index.h"
+#include "common/logging.h"
+#include "dataset/ground_truth.h"
+#include "dataset/recall.h"
+#include "dataset/synthetic.h"
+
+namespace juno {
+namespace {
+
+Dataset
+makeSmall(Metric metric = Metric::kL2)
+{
+    SyntheticSpec spec;
+    spec.kind = metric == Metric::kL2 ? DatasetKind::kDeepLike
+                                      : DatasetKind::kTtiLike;
+    spec.num_points = 600;
+    spec.num_queries = 15;
+    spec.dim = 16;
+    spec.components = 12;
+    spec.seed = 33;
+    return makeDataset(spec);
+}
+
+TEST(FlatIndex, MatchesGroundTruthExactly)
+{
+    const auto ds = makeSmall();
+    FlatIndex index(Metric::kL2, ds.base.view());
+    const auto results = index.search(ds.queries.view(), 10);
+    const auto gt = computeGroundTruth(Metric::kL2, ds.base.view(),
+                                       ds.queries.view(), 10);
+    for (std::size_t q = 0; q < results.size(); ++q)
+        EXPECT_EQ(results[q], gt.neighbors[q]);
+}
+
+TEST(FlatIndex, IpMatchesGroundTruth)
+{
+    const auto ds = makeSmall(Metric::kInnerProduct);
+    FlatIndex index(Metric::kInnerProduct, ds.base.view());
+    const auto results = index.search(ds.queries.view(), 5);
+    const auto gt = computeGroundTruth(Metric::kInnerProduct,
+                                       ds.base.view(), ds.queries.view(), 5);
+    for (std::size_t q = 0; q < results.size(); ++q)
+        EXPECT_EQ(results[q], gt.neighbors[q]);
+}
+
+TEST(FlatIndex, RecordsScanStageTime)
+{
+    const auto ds = makeSmall();
+    FlatIndex index(Metric::kL2, ds.base.view());
+    index.search(ds.queries.view(), 3);
+    EXPECT_GT(index.stageTimers().seconds("scan"), 0.0);
+}
+
+TEST(FlatIndex, NameAndSize)
+{
+    const auto ds = makeSmall();
+    FlatIndex index(Metric::kL2, ds.base.view());
+    EXPECT_EQ(index.name(), "Flat-L2");
+    EXPECT_EQ(index.size(), 600);
+    EXPECT_EQ(index.metric(), Metric::kL2);
+}
+
+TEST(FlatIndex, RejectsBadInput)
+{
+    const auto ds = makeSmall();
+    FlatIndex index(Metric::kL2, ds.base.view());
+    EXPECT_THROW(index.search(ds.queries.view(), 0), ConfigError);
+    FloatMatrix wrong(1, 7);
+    EXPECT_THROW(index.search(wrong.view(), 1), ConfigError);
+}
+
+TEST(IvfFlat, FullProbeIsExact)
+{
+    const auto ds = makeSmall();
+    IvfFlatIndex::Params params;
+    params.clusters = 16;
+    params.nprobs = 16; // probe everything -> exact search
+    IvfFlatIndex index(Metric::kL2, ds.base.view(), params);
+    const auto results = index.search(ds.queries.view(), 8);
+    const auto gt = computeGroundTruth(Metric::kL2, ds.base.view(),
+                                       ds.queries.view(), 8);
+    for (std::size_t q = 0; q < results.size(); ++q)
+        EXPECT_EQ(results[q], gt.neighbors[q]);
+}
+
+TEST(IvfFlat, RecallImprovesWithNprobs)
+{
+    const auto ds = makeSmall();
+    IvfFlatIndex::Params params;
+    params.clusters = 32;
+    params.nprobs = 1;
+    IvfFlatIndex index(Metric::kL2, ds.base.view(), params);
+    const auto gt = computeGroundTruth(Metric::kL2, ds.base.view(),
+                                       ds.queries.view(), 10);
+
+    index.setNprobs(1);
+    const double r1 = recall1AtK(gt, index.search(ds.queries.view(), 10));
+    index.setNprobs(32);
+    const double r32 = recall1AtK(gt, index.search(ds.queries.view(), 10));
+    EXPECT_GE(r32, r1);
+    EXPECT_DOUBLE_EQ(r32, 1.0); // probing all clusters is exact
+}
+
+TEST(IvfFlat, StageTimersIncludeFilterAndScan)
+{
+    const auto ds = makeSmall();
+    IvfFlatIndex::Params params;
+    params.clusters = 8;
+    params.nprobs = 2;
+    IvfFlatIndex index(Metric::kL2, ds.base.view(), params);
+    index.search(ds.queries.view(), 5);
+    EXPECT_GT(index.stageTimers().seconds("filter"), 0.0);
+    EXPECT_GT(index.stageTimers().seconds("scan"), 0.0);
+}
+
+TEST(IvfFlat, NameEncodesClusterCount)
+{
+    const auto ds = makeSmall();
+    IvfFlatIndex::Params params;
+    params.clusters = 8;
+    IvfFlatIndex index(Metric::kL2, ds.base.view(), params);
+    EXPECT_EQ(index.name(), "IVF8,Flat");
+}
+
+} // namespace
+} // namespace juno

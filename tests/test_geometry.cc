@@ -1,0 +1,207 @@
+/** @file Tests for rays, spheres, AABBs and the thit identities. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rtcore/geometry.h"
+
+namespace juno {
+namespace rt {
+namespace {
+
+TEST(Vec3, Arithmetic)
+{
+    const Vec3 a{1, 2, 3}, b{4, 5, 6};
+    const Vec3 sum = a + b;
+    EXPECT_FLOAT_EQ(sum.x, 5);
+    EXPECT_FLOAT_EQ(sum.y, 7);
+    EXPECT_FLOAT_EQ(sum.z, 9);
+    EXPECT_FLOAT_EQ(a.dot(b), 32);
+    EXPECT_FLOAT_EQ((a * 2).y, 4);
+    EXPECT_FLOAT_EQ((Vec3{3, 4, 0}).length(), 5);
+}
+
+TEST(Aabb, GrowAndValidity)
+{
+    Aabb b;
+    EXPECT_FALSE(b.valid());
+    b.grow(Vec3{0, 0, 0});
+    b.grow(Vec3{1, 2, 3});
+    EXPECT_TRUE(b.valid());
+    EXPECT_FLOAT_EQ(b.hi.y, 2);
+    EXPECT_FLOAT_EQ(b.surfaceArea(), 2 * (1 * 2 + 2 * 3 + 3 * 1));
+}
+
+TEST(Aabb, OfSphereBoundsIt)
+{
+    Sphere s;
+    s.center = {1, 2, 3};
+    s.radius = 0.5f;
+    const Aabb b = Aabb::of(s);
+    EXPECT_FLOAT_EQ(b.lo.x, 0.5f);
+    EXPECT_FLOAT_EQ(b.hi.z, 3.5f);
+}
+
+TEST(Aabb, SlabTestHitsAndMisses)
+{
+    Aabb b;
+    b.grow(Vec3{-1, -1, 4});
+    b.grow(Vec3{1, 1, 6});
+    Ray through;
+    through.origin = {0, 0, 0};
+    through.dir = {0, 0, 1};
+    Vec3 inv{1e30f, 1e30f, 1.0f};
+    EXPECT_TRUE(b.hitBy(through, inv));
+
+    Ray miss = through;
+    miss.origin = {5, 0, 0};
+    EXPECT_FALSE(b.hitBy(miss, inv));
+
+    Ray capped = through;
+    capped.tmax = 3.0f; // box starts at z = 4
+    EXPECT_FALSE(b.hitBy(capped, inv));
+
+    Ray behind = through;
+    behind.origin = {0, 0, 10};
+    EXPECT_FALSE(b.hitBy(behind, inv));
+
+    Ray behind_ok = behind;
+    behind_ok.tmin = -20.0f; // negative interval reaches backwards
+    EXPECT_TRUE(b.hitBy(behind_ok, inv));
+}
+
+TEST(Sphere, IntersectStraightThrough)
+{
+    Sphere s;
+    s.center = {0, 0, 5};
+    s.radius = 1.0f;
+    Ray ray;
+    ray.origin = {0, 0, 0};
+    ray.dir = {0, 0, 1};
+    float thit;
+    ASSERT_TRUE(intersectSphere(ray, s, thit));
+    EXPECT_FLOAT_EQ(thit, 4.0f); // entry at z = 4
+}
+
+TEST(Sphere, MissesWhenOffset)
+{
+    Sphere s;
+    s.center = {3, 0, 5};
+    s.radius = 1.0f;
+    Ray ray;
+    ray.origin = {0, 0, 0};
+    ray.dir = {0, 0, 1};
+    float thit;
+    EXPECT_FALSE(intersectSphere(ray, s, thit));
+}
+
+TEST(Sphere, TmaxGatesHit)
+{
+    Sphere s;
+    s.center = {0, 0, 5};
+    s.radius = 1.0f;
+    Ray ray;
+    ray.origin = {0, 0, 0};
+    ray.dir = {0, 0, 1};
+    ray.tmax = 3.9f;
+    float thit;
+    EXPECT_FALSE(intersectSphere(ray, s, thit));
+    ray.tmax = 4.1f;
+    EXPECT_TRUE(intersectSphere(ray, s, thit));
+}
+
+TEST(Sphere, InsideOriginReportsExitWithDefaultTmin)
+{
+    Sphere s;
+    s.center = {0, 0, 0};
+    s.radius = 2.0f;
+    Ray ray;
+    ray.origin = {0, 0, 0};
+    ray.dir = {0, 0, 1};
+    float thit;
+    ASSERT_TRUE(intersectSphere(ray, s, thit));
+    EXPECT_FLOAT_EQ(thit, 2.0f); // exit root, entry is behind tmin=0
+}
+
+TEST(Sphere, NegativeTminReportsEntryRoot)
+{
+    Sphere s;
+    s.center = {0, 0, 0};
+    s.radius = 2.0f;
+    Ray ray;
+    ray.origin = {0, 0, 0};
+    ray.dir = {0, 0, 1};
+    ray.tmin = -10.0f;
+    float thit;
+    ASSERT_TRUE(intersectSphere(ray, s, thit));
+    EXPECT_FLOAT_EQ(thit, -2.0f); // true entry root admitted
+}
+
+TEST(Sphere, TangentRayCounts)
+{
+    Sphere s;
+    s.center = {1, 0, 5};
+    s.radius = 1.0f;
+    Ray ray;
+    ray.origin = {0, 0, 0};
+    ray.dir = {0, 0, 1};
+    float thit;
+    ASSERT_TRUE(intersectSphere(ray, s, thit));
+    EXPECT_NEAR(thit, 5.0f, 1e-4f);
+}
+
+/**
+ * The identity the whole JUNO distance recovery rests on (paper Fig. 9
+ * left): for a +z unit ray at distance 1 from the sphere plane,
+ * L2^2(q, e) == R^2 - (1 - thit)^2.
+ */
+class ThitIdentity : public ::testing::TestWithParam<float> {};
+
+TEST_P(ThitIdentity, RecoversPlanarDistance)
+{
+    const float d = GetParam(); // 2-D distance between ray and center
+    const float R = 1.0f;
+    if (d >= R)
+        return; // no hit expected
+    Sphere s;
+    s.center = {d, 0, 1};
+    s.radius = R;
+    Ray ray;
+    ray.origin = {0, 0, 0};
+    ray.dir = {0, 0, 1};
+    float thit;
+    ASSERT_TRUE(intersectSphere(ray, s, thit));
+    const float recovered = R * R - (1 - thit) * (1 - thit);
+    EXPECT_NEAR(recovered, d * d, 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, ThitIdentity,
+                         ::testing::Values(0.0f, 0.1f, 0.25f, 0.5f, 0.7f,
+                                           0.9f, 0.99f));
+
+/**
+ * The inner-product identity (paper Sec. 4.2): with radius inflated to
+ * R' = sqrt(R^2 + ||e||^2), IP(e, q) == (||q||^2 - R^2 + (1-thit)^2)/2.
+ */
+TEST(ThitIdentityIp, RecoversInnerProduct)
+{
+    const float R = 1.0f;
+    const float ex = 0.4f, ey = -0.3f; // entry coordinates
+    const float qx = 0.2f, qy = 0.5f;  // query projection
+    Sphere s;
+    s.center = {ex, ey, 1};
+    s.radius = std::sqrt(R * R + ex * ex + ey * ey);
+    Ray ray;
+    ray.origin = {qx, qy, 0};
+    ray.dir = {0, 0, 1};
+    ray.tmin = -10.0f; // entry root may be negative
+    float thit;
+    ASSERT_TRUE(intersectSphere(ray, s, thit));
+    const float q2 = qx * qx + qy * qy;
+    const float recovered = 0.5f * (q2 - R * R + (1 - thit) * (1 - thit));
+    EXPECT_NEAR(recovered, ex * qx + ey * qy, 1e-5f);
+}
+
+} // namespace
+} // namespace rt
+} // namespace juno

@@ -1,0 +1,148 @@
+/** @file Tests for the bench harness (workload, reporter, sweep). */
+#include <gtest/gtest.h>
+
+#include "baseline/flat_index.h"
+#include "baseline/ivfflat_index.h"
+#include "common/logging.h"
+#include "core/juno_index.h"
+#include "harness/reporter.h"
+#include "harness/sweep.h"
+#include "harness/workload.h"
+
+namespace juno {
+namespace {
+
+SyntheticSpec
+tinySpec()
+{
+    SyntheticSpec spec;
+    spec.kind = DatasetKind::kDeepLike;
+    spec.num_points = 500;
+    spec.num_queries = 10;
+    spec.dim = 8;
+    spec.seed = 111;
+    return spec;
+}
+
+TEST(Workload, BuildsDatasetAndGroundTruth)
+{
+    Workload wl(tinySpec(), 20);
+    EXPECT_EQ(wl.base().rows(), 500);
+    EXPECT_EQ(wl.queries().rows(), 10);
+    EXPECT_EQ(wl.groundTruth().k, 20);
+    EXPECT_EQ(wl.metric(), Metric::kL2);
+}
+
+TEST(Workload, EvaluateFlatIsPerfect)
+{
+    Workload wl(tinySpec(), 20);
+    FlatIndex flat(wl.metric(), wl.base());
+    const auto point = evaluate(wl, flat, 20, 10);
+    EXPECT_DOUBLE_EQ(point.recall1_at_k, 1.0);
+    EXPECT_DOUBLE_EQ(point.recallm_at_k, 1.0);
+    EXPECT_GT(point.qps, 0.0);
+    EXPECT_EQ(point.index_name, "Flat-L2");
+}
+
+TEST(Workload, EvaluateWithoutRecallM)
+{
+    Workload wl(tinySpec(), 5);
+    FlatIndex flat(wl.metric(), wl.base());
+    const auto point = evaluate(wl, flat, 5);
+    EXPECT_DOUBLE_EQ(point.recallm_at_k, 0.0); // not requested
+}
+
+TEST(TablePrinter, RendersAlignedTable)
+{
+    TablePrinter table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "22"});
+    const auto out = table.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvOutput)
+{
+    TablePrinter table({"a", "b"});
+    table.addRow({"1", "2"});
+    EXPECT_EQ(table.csv(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, RejectsMismatchedRow)
+{
+    TablePrinter table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), ConfigError);
+}
+
+TEST(TablePrinter, NumFormatsCompactly)
+{
+    EXPECT_EQ(TablePrinter::num(1.0), "1");
+    EXPECT_EQ(TablePrinter::num(0.5), "0.5");
+}
+
+TEST(Sweep, OperatingPointsFollowConfiguration)
+{
+    Workload wl(tinySpec(), 20);
+    IvfFlatIndex::Params params;
+    params.clusters = 8;
+    params.nprobs = 1;
+    IvfFlatIndex index(wl.metric(), wl.base(), params);
+    const auto points = sweepOperatingPoints(
+        wl, index, 20, 3,
+        [&](int i) {
+            index.setNprobs(1 + 3 * i);
+            return "nprobs=" + std::to_string(1 + 3 * i);
+        },
+        0);
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_EQ(points[0].label, "nprobs=1");
+    // Recall must be non-decreasing as nprobs grows.
+    EXPECT_GE(points[2].recall, points[0].recall - 1e-9);
+}
+
+TEST(Sweep, ParetoFrontierRemovesDominated)
+{
+    std::vector<ParetoPoint> points{
+        {0.5, 100.0, "a"}, {0.6, 200.0, "b"}, // b dominates a
+        {0.9, 50.0, "c"},  {0.95, 10.0, "d"},
+    };
+    const auto frontier = paretoFrontier(points);
+    ASSERT_EQ(frontier.size(), 3u);
+    EXPECT_EQ(frontier[0].label, "b");
+    EXPECT_EQ(frontier[1].label, "c");
+    EXPECT_EQ(frontier[2].label, "d");
+}
+
+TEST(Workload, EvaluateJunoReportsStageTimers)
+{
+    Workload wl(tinySpec(), 20);
+    JunoParams params = junoPresetH();
+    params.clusters = 8;
+    params.pq_entries = 16;
+    params.nprobs = 4;
+    params.density_grid = 20;
+    params.policy.train_samples = 40;
+    params.policy.ref_samples = 300;
+    params.policy.contain_topk = 20;
+    JunoIndex index(wl.metric(), wl.base(), params);
+    const auto point = evaluate(wl, index, 20, 10);
+    EXPECT_GT(point.qps, 0.0);
+    EXPECT_GT(point.recall1_at_k, 0.0);
+    EXPECT_GT(point.timers.seconds("rt_lut"), 0.0);
+    EXPECT_GT(point.timers.seconds("scan"), 0.0);
+    EXPECT_NE(point.index_name.find("JUNO-H"), std::string::npos);
+}
+
+TEST(Sweep, ParetoFrontierSortedByRecall)
+{
+    std::vector<ParetoPoint> points{
+        {0.9, 10.0, "hi"}, {0.1, 1000.0, "lo"}, {0.5, 100.0, "mid"}};
+    const auto frontier = paretoFrontier(points);
+    for (std::size_t i = 1; i < frontier.size(); ++i)
+        EXPECT_GE(frontier[i].recall, frontier[i - 1].recall);
+}
+
+} // namespace
+} // namespace juno

@@ -1,0 +1,137 @@
+/** @file Tests for the HNSW graph index. */
+#include <gtest/gtest.h>
+
+#include "baseline/hnsw.h"
+#include "common/logging.h"
+#include "dataset/ground_truth.h"
+#include "dataset/recall.h"
+#include "dataset/synthetic.h"
+
+namespace juno {
+namespace {
+
+Dataset
+smallData(idx_t n = 800)
+{
+    SyntheticSpec spec;
+    spec.kind = DatasetKind::kDeepLike;
+    spec.num_points = n;
+    spec.num_queries = 20;
+    spec.dim = 12;
+    spec.components = 10;
+    spec.seed = 55;
+    return makeDataset(spec);
+}
+
+TEST(Hnsw, HighRecallWithWideBeam)
+{
+    const auto ds = smallData();
+    Hnsw hnsw;
+    Hnsw::Params params;
+    params.m = 12;
+    params.ef_construction = 80;
+    hnsw.build(Metric::kL2, ds.base.view(), params);
+
+    const auto gt = computeGroundTruth(Metric::kL2, ds.base.view(),
+                                       ds.queries.view(), 10);
+    ResultSet results;
+    for (idx_t q = 0; q < ds.queries.rows(); ++q)
+        results.push_back(hnsw.search(ds.queries.row(q), 10, 128));
+    EXPECT_GE(recall1AtK(gt, results), 0.9);
+}
+
+TEST(Hnsw, SelfQueryReturnsSelf)
+{
+    const auto ds = smallData(300);
+    Hnsw hnsw;
+    hnsw.build(Metric::kL2, ds.base.view(), {});
+    for (idx_t p = 0; p < 20; ++p) {
+        const auto found = hnsw.search(ds.base.row(p), 1, 64);
+        ASSERT_FALSE(found.empty());
+        EXPECT_EQ(found[0].id, p);
+    }
+}
+
+TEST(Hnsw, ResultsAreBestFirst)
+{
+    const auto ds = smallData(300);
+    Hnsw hnsw;
+    hnsw.build(Metric::kL2, ds.base.view(), {});
+    const auto found = hnsw.search(ds.queries.row(0), 10, 64);
+    for (std::size_t i = 1; i < found.size(); ++i)
+        EXPECT_LE(found[i - 1].score, found[i].score);
+}
+
+TEST(Hnsw, InnerProductSearchWorks)
+{
+    SyntheticSpec spec;
+    spec.kind = DatasetKind::kTtiLike;
+    spec.num_points = 500;
+    spec.num_queries = 10;
+    spec.dim = 12;
+    spec.seed = 56;
+    const auto ds = makeDataset(spec);
+
+    Hnsw hnsw;
+    hnsw.build(Metric::kInnerProduct, ds.base.view(), {});
+    const auto gt = computeGroundTruth(Metric::kInnerProduct,
+                                       ds.base.view(), ds.queries.view(), 5);
+    ResultSet results;
+    for (idx_t q = 0; q < ds.queries.rows(); ++q)
+        results.push_back(hnsw.search(ds.queries.row(q), 5, 128));
+    EXPECT_GE(recall1AtK(gt, results), 0.7);
+}
+
+TEST(Hnsw, WiderBeamNeverHurtsMuch)
+{
+    const auto ds = smallData();
+    Hnsw hnsw;
+    hnsw.build(Metric::kL2, ds.base.view(), {});
+    const auto gt = computeGroundTruth(Metric::kL2, ds.base.view(),
+                                       ds.queries.view(), 10);
+    ResultSet narrow, wide;
+    for (idx_t q = 0; q < ds.queries.rows(); ++q) {
+        narrow.push_back(hnsw.search(ds.queries.row(q), 10, 10));
+        wide.push_back(hnsw.search(ds.queries.row(q), 10, 200));
+    }
+    EXPECT_GE(recall1AtK(gt, wide), recall1AtK(gt, narrow) - 0.05);
+}
+
+TEST(Hnsw, DegreeBoundsRespected)
+{
+    const auto ds = smallData(400);
+    Hnsw hnsw;
+    Hnsw::Params params;
+    params.m = 6;
+    params.ef_construction = 40;
+    hnsw.build(Metric::kL2, ds.base.view(), params);
+    // Layer-0 degree bound is 2m; pruning keeps lists within bound + m
+    // slack (insertion order effects).
+    for (idx_t p = 0; p < 400; ++p)
+        EXPECT_LE(hnsw.neighbors(0, p).size(),
+                  static_cast<std::size_t>(3 * params.m));
+}
+
+TEST(Hnsw, MaxLevelIsLogarithmicish)
+{
+    const auto ds = smallData(1000);
+    Hnsw hnsw;
+    hnsw.build(Metric::kL2, ds.base.view(), {});
+    EXPECT_GE(hnsw.maxLevel(), 0);
+    EXPECT_LE(hnsw.maxLevel(), 12);
+}
+
+TEST(Hnsw, RejectsBadParamsAndUse)
+{
+    Hnsw hnsw;
+    const float q[4] = {0, 0, 0, 0};
+    EXPECT_THROW(hnsw.search(q, 1, 10), ConfigError);
+    const auto ds = smallData(50);
+    Hnsw::Params params;
+    params.m = 1;
+    EXPECT_THROW(hnsw.build(Metric::kL2, ds.base.view(), params),
+                 ConfigError);
+}
+
+} // namespace
+} // namespace juno

@@ -1,0 +1,113 @@
+/** @file Tests for the entry -> points inverted index. */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/interest_index.h"
+#include "dataset/synthetic.h"
+
+namespace juno {
+namespace {
+
+struct Fixture {
+    Dataset ds;
+    InvertedFileIndex ivf;
+    ProductQuantizer pq;
+    PQCodes codes;
+    InterestIndex interest;
+
+    Fixture()
+    {
+        SyntheticSpec spec;
+        spec.kind = DatasetKind::kDeepLike;
+        spec.num_points = 600;
+        spec.num_queries = 0;
+        spec.dim = 8;
+        spec.seed = 61;
+        ds = makeDataset(spec);
+
+        InvertedFileIndex::Params ivf_params;
+        ivf_params.clusters = 8;
+        ivf.build(ds.base.view(), ivf_params);
+
+        FloatMatrix residuals(ds.base.rows(), ds.base.cols());
+        for (idx_t p = 0; p < ds.base.rows(); ++p)
+            ivf.residual(ds.base.row(p), ivf.label(p), residuals.row(p));
+        PQParams pq_params;
+        pq_params.num_subspaces = 4;
+        pq_params.entries = 16;
+        pq.train(residuals.view(), pq_params);
+        codes = pq.encode(residuals.view());
+
+        interest.build(ivf, codes, 16);
+    }
+};
+
+TEST(InterestIndex, BuildState)
+{
+    Fixture fx;
+    EXPECT_TRUE(fx.interest.built());
+    EXPECT_EQ(fx.interest.numSubspaces(), 4);
+    EXPECT_EQ(fx.interest.numClusters(), 8);
+    EXPECT_GT(fx.interest.maxClusterSize(), 0);
+}
+
+TEST(InterestIndex, LookupReturnsExactlyMatchingPoints)
+{
+    Fixture fx;
+    for (cluster_t c = 0; c < 8; ++c) {
+        const auto &list = fx.ivf.list(c);
+        for (int s = 0; s < 4; ++s) {
+            for (entry_t e = 0; e < 16; ++e) {
+                const auto range = fx.interest.lookup(c, s, e);
+                // Everything in the range must actually match.
+                std::set<std::uint32_t> in_range;
+                for (const std::uint32_t *it = range.begin;
+                     it != range.end; ++it) {
+                    EXPECT_EQ(fx.codes.at(list[*it], s), e);
+                    in_range.insert(*it);
+                }
+                // Everything matching must be in the range.
+                for (std::uint32_t ord = 0; ord < list.size(); ++ord)
+                    if (fx.codes.at(list[ord], s) == e)
+                        EXPECT_TRUE(in_range.count(ord));
+            }
+        }
+    }
+}
+
+TEST(InterestIndex, RangesPartitionTheCluster)
+{
+    Fixture fx;
+    for (cluster_t c = 0; c < 8; ++c) {
+        for (int s = 0; s < 4; ++s) {
+            std::size_t total = 0;
+            for (entry_t e = 0; e < 16; ++e)
+                total += fx.interest.lookup(c, s, e).size();
+            EXPECT_EQ(total, fx.ivf.list(c).size());
+        }
+    }
+}
+
+TEST(InterestIndex, UnusedEntryGivesEmptyRange)
+{
+    Fixture fx;
+    // Entry beyond the trained range can never appear.
+    const auto range = fx.interest.lookup(0, 0, 9999);
+    EXPECT_TRUE(range.empty());
+    EXPECT_EQ(range.size(), 0u);
+}
+
+TEST(InterestIndex, MaxClusterSizeIsTight)
+{
+    Fixture fx;
+    idx_t max_size = 0;
+    for (cluster_t c = 0; c < 8; ++c)
+        max_size = std::max(max_size,
+                            static_cast<idx_t>(fx.ivf.list(c).size()));
+    EXPECT_EQ(fx.interest.maxClusterSize(), max_size);
+}
+
+} // namespace
+} // namespace juno

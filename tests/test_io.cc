@@ -1,0 +1,126 @@
+/** @file Round-trip and failure tests for the fvecs/ivecs readers. */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/logging.h"
+#include "dataset/io.h"
+
+namespace juno {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Io, FvecsRoundTrip)
+{
+    FloatMatrix m(3, 4);
+    for (idx_t r = 0; r < 3; ++r)
+        for (idx_t c = 0; c < 4; ++c)
+            m.at(r, c) = static_cast<float>(r * 10 + c);
+    const auto path = tempPath("roundtrip.fvecs");
+    writeFvecs(path, m.view());
+    const auto back = readFvecs(path);
+    ASSERT_EQ(back.rows(), 3);
+    ASSERT_EQ(back.cols(), 4);
+    for (idx_t r = 0; r < 3; ++r)
+        for (idx_t c = 0; c < 4; ++c)
+            EXPECT_FLOAT_EQ(back.at(r, c), m.at(r, c));
+    std::remove(path.c_str());
+}
+
+TEST(Io, IvecsRoundTrip)
+{
+    std::vector<std::vector<std::int32_t>> rows{{1, 2, 3}, {4, 5, 6}};
+    const auto path = tempPath("roundtrip.ivecs");
+    writeIvecs(path, rows);
+    const auto back = readIvecs(path);
+    EXPECT_EQ(back, rows);
+    std::remove(path.c_str());
+}
+
+TEST(Io, BvecsWidensToFloat)
+{
+    // Hand-craft a bvecs file: dim=3, bytes {1, 128, 255}.
+    const auto path = tempPath("mini.bvecs");
+    {
+        std::ofstream out(path, std::ios::binary);
+        const std::int32_t d = 3;
+        out.write(reinterpret_cast<const char *>(&d), 4);
+        const unsigned char bytes[3] = {1, 128, 255};
+        out.write(reinterpret_cast<const char *>(bytes), 3);
+    }
+    const auto m = readBvecs(path);
+    ASSERT_EQ(m.rows(), 1);
+    ASSERT_EQ(m.cols(), 3);
+    EXPECT_FLOAT_EQ(m.at(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(m.at(0, 1), 128.0f);
+    EXPECT_FLOAT_EQ(m.at(0, 2), 255.0f);
+    std::remove(path.c_str());
+}
+
+TEST(Io, MissingFileThrows)
+{
+    EXPECT_THROW(readFvecs("/nonexistent/path.fvecs"), ConfigError);
+}
+
+TEST(Io, TruncatedRecordThrows)
+{
+    const auto path = tempPath("truncated.fvecs");
+    {
+        std::ofstream out(path, std::ios::binary);
+        const std::int32_t d = 8;
+        out.write(reinterpret_cast<const char *>(&d), 4);
+        const float one = 1.0f; // only 1 of 8 components present
+        out.write(reinterpret_cast<const char *>(&one), 4);
+    }
+    EXPECT_THROW(readFvecs(path), ConfigError);
+    std::remove(path.c_str());
+}
+
+TEST(Io, ImplausibleDimensionThrows)
+{
+    const auto path = tempPath("baddim.fvecs");
+    {
+        std::ofstream out(path, std::ios::binary);
+        const std::int32_t d = -4;
+        out.write(reinterpret_cast<const char *>(&d), 4);
+    }
+    EXPECT_THROW(readFvecs(path), ConfigError);
+    std::remove(path.c_str());
+}
+
+TEST(Io, InconsistentDimensionThrows)
+{
+    const auto path = tempPath("mixed.fvecs");
+    {
+        std::ofstream out(path, std::ios::binary);
+        std::int32_t d = 2;
+        const float vals[2] = {1.0f, 2.0f};
+        out.write(reinterpret_cast<const char *>(&d), 4);
+        out.write(reinterpret_cast<const char *>(vals), 8);
+        d = 3;
+        const float vals3[3] = {1.0f, 2.0f, 3.0f};
+        out.write(reinterpret_cast<const char *>(&d), 4);
+        out.write(reinterpret_cast<const char *>(vals3), 12);
+    }
+    EXPECT_THROW(readFvecs(path), ConfigError);
+    std::remove(path.c_str());
+}
+
+TEST(Io, EmptyFileGivesEmptyMatrix)
+{
+    const auto path = tempPath("empty.fvecs");
+    { std::ofstream out(path, std::ios::binary); }
+    const auto m = readFvecs(path);
+    EXPECT_EQ(m.rows(), 0);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace juno

@@ -1,0 +1,139 @@
+/** @file Tests for the inverted file index (filtering stage A). */
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/distance.h"
+#include "common/logging.h"
+#include "dataset/synthetic.h"
+#include "ivf/ivf.h"
+
+namespace juno {
+namespace {
+
+Dataset
+smallDataset(idx_t n = 400, idx_t dim = 8)
+{
+    SyntheticSpec spec;
+    spec.kind = DatasetKind::kUniform;
+    spec.num_points = n;
+    spec.num_queries = 10;
+    spec.dim = dim;
+    spec.seed = 21;
+    return makeDataset(spec);
+}
+
+TEST(Ivf, ListsPartitionAllPoints)
+{
+    const auto ds = smallDataset();
+    InvertedFileIndex ivf;
+    InvertedFileIndex::Params params;
+    params.clusters = 16;
+    ivf.build(ds.base.view(), params);
+
+    idx_t total = 0;
+    std::set<idx_t> seen;
+    for (cluster_t c = 0; c < ivf.numClusters(); ++c) {
+        for (idx_t p : ivf.list(c)) {
+            EXPECT_TRUE(seen.insert(p).second) << "duplicate point " << p;
+            EXPECT_EQ(ivf.label(p), c);
+        }
+        total += static_cast<idx_t>(ivf.list(c).size());
+    }
+    EXPECT_EQ(total, ds.base.rows());
+}
+
+TEST(Ivf, ProbeReturnsNearestCentroidsL2)
+{
+    const auto ds = smallDataset();
+    InvertedFileIndex ivf;
+    InvertedFileIndex::Params params;
+    params.clusters = 16;
+    ivf.build(ds.base.view(), params);
+
+    const float *q = ds.queries.row(0);
+    const auto probes = ivf.probe(Metric::kL2, q, 4);
+    ASSERT_EQ(probes.size(), 4u);
+    // Best-first order and genuinely the closest 4.
+    for (std::size_t i = 1; i < probes.size(); ++i)
+        EXPECT_LE(probes[i - 1].score, probes[i].score);
+    std::vector<float> dists;
+    for (cluster_t c = 0; c < 16; ++c)
+        dists.push_back(l2Sqr(q, ivf.centroid(c), ds.base.cols()));
+    std::sort(dists.begin(), dists.end());
+    EXPECT_FLOAT_EQ(probes[0].score, dists[0]);
+    EXPECT_FLOAT_EQ(probes[3].score, dists[3]);
+}
+
+TEST(Ivf, ProbeIpOrdersDescending)
+{
+    const auto ds = smallDataset();
+    InvertedFileIndex ivf;
+    InvertedFileIndex::Params params;
+    params.clusters = 8;
+    ivf.build(ds.base.view(), params);
+    const auto probes =
+        ivf.probe(Metric::kInnerProduct, ds.queries.row(1), 5);
+    for (std::size_t i = 1; i < probes.size(); ++i)
+        EXPECT_GE(probes[i - 1].score, probes[i].score);
+}
+
+TEST(Ivf, ProbeClampsNprobsToClusterCount)
+{
+    const auto ds = smallDataset(100);
+    InvertedFileIndex ivf;
+    InvertedFileIndex::Params params;
+    params.clusters = 4;
+    ivf.build(ds.base.view(), params);
+    const auto probes = ivf.probe(Metric::kL2, ds.queries.row(0), 100);
+    EXPECT_EQ(probes.size(), 4u);
+}
+
+TEST(Ivf, ResidualIsPointMinusCentroid)
+{
+    const auto ds = smallDataset(100, 4);
+    InvertedFileIndex ivf;
+    InvertedFileIndex::Params params;
+    params.clusters = 4;
+    ivf.build(ds.base.view(), params);
+    std::vector<float> res(4);
+    ivf.residual(ds.base.row(7), 2, res.data());
+    for (idx_t j = 0; j < 4; ++j)
+        EXPECT_FLOAT_EQ(res[static_cast<std::size_t>(j)],
+                        ds.base.at(7, j) - ivf.centroid(2)[j]);
+}
+
+TEST(Ivf, ResidualOfOwnCentroidAssignmentIsSmall)
+{
+    const auto ds = smallDataset();
+    InvertedFileIndex ivf;
+    InvertedFileIndex::Params params;
+    params.clusters = 32;
+    ivf.build(ds.base.view(), params);
+    // Residual against own centroid must be no longer than against a
+    // random other centroid (definition of nearest assignment).
+    std::vector<float> res(ds.base.cols());
+    for (idx_t p = 0; p < 50; ++p) {
+        ivf.residual(ds.base.row(p), ivf.label(p), res.data());
+        const float own = l2NormSqr(res.data(), ds.base.cols());
+        const cluster_t other = (ivf.label(p) + 1) % 32;
+        ivf.residual(ds.base.row(p), other, res.data());
+        EXPECT_LE(own, l2NormSqr(res.data(), ds.base.cols()) + 1e-5f);
+    }
+}
+
+TEST(Ivf, RejectsProbeBeforeBuildAndBadNprobs)
+{
+    InvertedFileIndex ivf;
+    const float q[4] = {0, 0, 0, 0};
+    EXPECT_THROW(ivf.probe(Metric::kL2, q, 1), ConfigError);
+    const auto ds = smallDataset(50, 4);
+    InvertedFileIndex::Params params;
+    params.clusters = 4;
+    ivf.build(ds.base.view(), params);
+    EXPECT_THROW(ivf.probe(Metric::kL2, q, 0), ConfigError);
+}
+
+} // namespace
+} // namespace juno

@@ -1,0 +1,174 @@
+/** @file Tests for Lloyd k-means with k-means++ seeding. */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/kmeans.h"
+#include "common/distance.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace juno {
+namespace {
+
+/** Four well-separated 2-D blobs. */
+FloatMatrix
+fourBlobs(idx_t per_blob, Rng &rng)
+{
+    const float centers[4][2] = {{0, 0}, {10, 0}, {0, 10}, {10, 10}};
+    FloatMatrix pts(4 * per_blob, 2);
+    for (int b = 0; b < 4; ++b)
+        for (idx_t i = 0; i < per_blob; ++i) {
+            const idx_t row = b * per_blob + i;
+            pts.at(row, 0) =
+                centers[b][0] + static_cast<float>(rng.gaussian(0, 0.3));
+            pts.at(row, 1) =
+                centers[b][1] + static_cast<float>(rng.gaussian(0, 0.3));
+        }
+    return pts;
+}
+
+TEST(KMeans, RecoversSeparatedBlobs)
+{
+    Rng rng(5);
+    const auto pts = fourBlobs(50, rng);
+    KMeansParams params;
+    params.clusters = 4;
+    params.max_iters = 30;
+    const auto res = kmeans(pts.view(), params);
+
+    ASSERT_EQ(res.centroids.rows(), 4);
+    // Every centroid should sit near one blob center and all four blobs
+    // should be claimed.
+    std::set<int> claimed;
+    const float centers[4][2] = {{0, 0}, {10, 0}, {0, 10}, {10, 10}};
+    for (idx_t c = 0; c < 4; ++c) {
+        float best = 1e30f;
+        int best_b = -1;
+        for (int b = 0; b < 4; ++b) {
+            const float d2 = l2Sqr(res.centroids.row(c), centers[b], 2);
+            if (d2 < best) {
+                best = d2;
+                best_b = b;
+            }
+        }
+        EXPECT_LT(best, 1.0f);
+        claimed.insert(best_b);
+    }
+    EXPECT_EQ(claimed.size(), 4u);
+}
+
+TEST(KMeans, LabelsCoverAllInputPoints)
+{
+    Rng rng(7);
+    const auto pts = fourBlobs(25, rng);
+    KMeansParams params;
+    params.clusters = 4;
+    const auto res = kmeans(pts.view(), params);
+    ASSERT_EQ(res.labels.size(), 100u);
+    for (cluster_t l : res.labels) {
+        EXPECT_GE(l, 0);
+        EXPECT_LT(l, 4);
+    }
+}
+
+TEST(KMeans, LabelsMatchNearestCentroid)
+{
+    Rng rng(9);
+    const auto pts = fourBlobs(25, rng);
+    KMeansParams params;
+    params.clusters = 4;
+    const auto res = kmeans(pts.view(), params);
+    const auto reassigned = assignToNearest(pts.view(),
+                                            res.centroids.view());
+    EXPECT_EQ(res.labels, reassigned);
+}
+
+TEST(KMeans, ObjectiveImprovesOverSingleIteration)
+{
+    Rng rng(11);
+    const auto pts = fourBlobs(50, rng);
+    KMeansParams one;
+    one.clusters = 4;
+    one.max_iters = 1;
+    one.tol = 0.0;
+    KMeansParams many = one;
+    many.max_iters = 25;
+    const auto res_one = kmeans(pts.view(), one);
+    const auto res_many = kmeans(pts.view(), many);
+    EXPECT_LE(res_many.objective, res_one.objective + 1e-9);
+}
+
+TEST(KMeans, NoEmptyClustersOnDegenerateData)
+{
+    // 10 identical points, 4 clusters: repair must still assign all.
+    FloatMatrix pts(10, 2, 1.0f);
+    KMeansParams params;
+    params.clusters = 4;
+    const auto res = kmeans(pts.view(), params);
+    EXPECT_EQ(res.centroids.rows(), 4);
+    // All points land in some cluster and the objective is ~0.
+    EXPECT_NEAR(res.objective, 0.0, 1e-6);
+}
+
+TEST(KMeans, TrainingSubsampleStillAssignsEveryone)
+{
+    Rng rng(13);
+    const auto pts = fourBlobs(100, rng);
+    KMeansParams params;
+    params.clusters = 4;
+    params.max_training_points = 40;
+    const auto res = kmeans(pts.view(), params);
+    EXPECT_EQ(res.labels.size(), 400u);
+    // Subsampled training should still find the blob structure.
+    EXPECT_LT(res.objective / 400.0, 1.0);
+}
+
+TEST(KMeans, DeterministicForSeed)
+{
+    Rng rng(15);
+    const auto pts = fourBlobs(30, rng);
+    KMeansParams params;
+    params.clusters = 3;
+    params.seed = 2024;
+    const auto a = kmeans(pts.view(), params);
+    const auto b = kmeans(pts.view(), params);
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_DOUBLE_EQ(a.objective, b.objective);
+}
+
+TEST(KMeans, KEqualsNPinsEachPoint)
+{
+    Rng rng(17);
+    FloatMatrix pts(8, 2);
+    for (idx_t i = 0; i < 8; ++i) {
+        pts.at(i, 0) = static_cast<float>(i) * 5.0f;
+        pts.at(i, 1) = 0.0f;
+    }
+    KMeansParams params;
+    params.clusters = 8;
+    params.max_iters = 20;
+    const auto res = kmeans(pts.view(), params);
+    EXPECT_NEAR(res.objective, 0.0, 1e-6);
+    std::set<cluster_t> distinct(res.labels.begin(), res.labels.end());
+    EXPECT_EQ(distinct.size(), 8u);
+}
+
+TEST(KMeans, RejectsBadConfigs)
+{
+    FloatMatrix pts(5, 2, 0.0f);
+    KMeansParams params;
+    params.clusters = 0;
+    EXPECT_THROW(kmeans(pts.view(), params), ConfigError);
+    params.clusters = 6;
+    EXPECT_THROW(kmeans(pts.view(), params), ConfigError);
+}
+
+TEST(KMeans, AssignToNearestRejectsDimMismatch)
+{
+    FloatMatrix pts(2, 3), centroids(2, 2);
+    EXPECT_THROW(assignToNearest(pts.view(), centroids.view()), ConfigError);
+}
+
+} // namespace
+} // namespace juno

@@ -1,0 +1,131 @@
+/** @file Tests for the small linear-algebra routines behind OPQ. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/distance.h"
+#include "common/linalg.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace juno {
+namespace {
+
+FloatMatrix
+randomMatrix(idx_t rows, idx_t cols, std::uint64_t seed)
+{
+    Rng rng(seed);
+    FloatMatrix m(rows, cols);
+    for (idx_t r = 0; r < rows; ++r)
+        for (idx_t c = 0; c < cols; ++c)
+            m.at(r, c) = rng.uniform(-1.0f, 1.0f);
+    return m;
+}
+
+TEST(Linalg, TransposeBasic)
+{
+    FloatMatrix m(2, 3);
+    for (idx_t r = 0; r < 2; ++r)
+        for (idx_t c = 0; c < 3; ++c)
+            m.at(r, c) = static_cast<float>(r * 3 + c);
+    const auto t = transpose(m.view());
+    EXPECT_EQ(t.rows(), 3);
+    EXPECT_EQ(t.cols(), 2);
+    EXPECT_FLOAT_EQ(t.at(2, 1), m.at(1, 2));
+}
+
+TEST(Linalg, MatmulAgainstGemm)
+{
+    const auto a = randomMatrix(4, 5, 1);
+    const auto b = randomMatrix(5, 3, 2);
+    const auto c = matmul(a.view(), b.view());
+    FloatMatrix ref;
+    gemm(a.view(), b.view(), ref);
+    EXPECT_LT(maxAbsDiff(c.view(), ref.view()), 1e-5f);
+}
+
+TEST(Linalg, IdentityIsOrthonormal)
+{
+    EXPECT_TRUE(isOrthonormal(identity(5).view()));
+}
+
+TEST(Linalg, JacobiSvdReconstructs)
+{
+    const auto a = randomMatrix(8, 5, 3);
+    const auto svd = jacobiSvd(a.view());
+    ASSERT_EQ(svd.u.rows(), 8);
+    ASSERT_EQ(svd.u.cols(), 5);
+    ASSERT_EQ(svd.v.rows(), 5);
+    // Reassemble u * diag(s) * v^T.
+    FloatMatrix us(8, 5);
+    for (idx_t r = 0; r < 8; ++r)
+        for (idx_t c = 0; c < 5; ++c)
+            us.at(r, c) = svd.u.at(r, c) *
+                          svd.s[static_cast<std::size_t>(c)];
+    const auto rec = matmul(us.view(), transpose(svd.v.view()).view());
+    EXPECT_LT(maxAbsDiff(rec.view(), a.view()), 1e-3f);
+}
+
+TEST(Linalg, SvdSingularValuesDescendingNonNegative)
+{
+    const auto a = randomMatrix(10, 6, 4);
+    const auto svd = jacobiSvd(a.view());
+    for (std::size_t i = 0; i < svd.s.size(); ++i) {
+        EXPECT_GE(svd.s[i], 0.0f);
+        if (i > 0) {
+            EXPECT_LE(svd.s[i], svd.s[i - 1] + 1e-6f);
+        }
+    }
+}
+
+TEST(Linalg, SvdFactorsAreOrthonormal)
+{
+    const auto a = randomMatrix(9, 6, 5);
+    const auto svd = jacobiSvd(a.view());
+    EXPECT_TRUE(isOrthonormal(svd.u.view(), 5e-3f));
+    EXPECT_TRUE(isOrthonormal(svd.v.view(), 5e-3f));
+}
+
+TEST(Linalg, SvdOfDiagonalIsExact)
+{
+    FloatMatrix d(3, 3, 0.0f);
+    d.at(0, 0) = 3.0f;
+    d.at(1, 1) = 2.0f;
+    d.at(2, 2) = 1.0f;
+    const auto svd = jacobiSvd(d.view());
+    EXPECT_NEAR(svd.s[0], 3.0f, 1e-5f);
+    EXPECT_NEAR(svd.s[1], 2.0f, 1e-5f);
+    EXPECT_NEAR(svd.s[2], 1.0f, 1e-5f);
+}
+
+TEST(Linalg, SvdRejectsWideMatrix)
+{
+    FloatMatrix wide(2, 5);
+    EXPECT_THROW(jacobiSvd(wide.view()), ConfigError);
+}
+
+TEST(Linalg, ProcrustesRecoversKnownRotation)
+{
+    // Build a random orthogonal R from SVD, rotate X, recover it.
+    const auto seed_m = randomMatrix(6, 6, 7);
+    const auto base_svd = jacobiSvd(seed_m.view());
+    const auto r_true =
+        matmul(base_svd.u.view(), transpose(base_svd.v.view()).view());
+    ASSERT_TRUE(isOrthonormal(r_true.view(), 5e-3f));
+
+    const auto x = randomMatrix(50, 6, 8);
+    const auto y = matmul(x.view(), r_true.view());
+    const auto r_est = procrustes(x.view(), y.view());
+    EXPECT_LT(maxAbsDiff(r_est.view(), r_true.view()), 1e-2f);
+}
+
+TEST(Linalg, ProcrustesResultIsOrthogonal)
+{
+    const auto x = randomMatrix(40, 5, 9);
+    const auto y = randomMatrix(40, 5, 10);
+    const auto r = procrustes(x.view(), y.view());
+    EXPECT_TRUE(isOrthonormal(r.view(), 5e-3f));
+}
+
+} // namespace
+} // namespace juno

@@ -1,0 +1,85 @@
+/** @file Unit tests for the matrix containers. */
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/matrix.h"
+
+namespace juno {
+namespace {
+
+TEST(FloatMatrix, ConstructsWithFill)
+{
+    FloatMatrix m(3, 4, 2.5f);
+    EXPECT_EQ(m.rows(), 3);
+    EXPECT_EQ(m.cols(), 4);
+    for (idx_t r = 0; r < 3; ++r)
+        for (idx_t c = 0; c < 4; ++c)
+            EXPECT_FLOAT_EQ(m.at(r, c), 2.5f);
+}
+
+TEST(FloatMatrix, DefaultIsEmpty)
+{
+    FloatMatrix m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.rows(), 0);
+}
+
+TEST(FloatMatrix, RowPointersAreContiguous)
+{
+    FloatMatrix m(2, 3);
+    EXPECT_EQ(m.row(1), m.row(0) + 3);
+}
+
+TEST(FloatMatrix, MutableAccess)
+{
+    FloatMatrix m(2, 2);
+    m.at(1, 1) = 9.0f;
+    EXPECT_FLOAT_EQ(m.at(1, 1), 9.0f);
+}
+
+TEST(FloatMatrix, ReshapePreservesData)
+{
+    FloatMatrix m(2, 6);
+    for (idx_t i = 0; i < 12; ++i)
+        m.data()[i] = static_cast<float>(i);
+    m.reshape(3, 4);
+    EXPECT_EQ(m.rows(), 3);
+    EXPECT_EQ(m.cols(), 4);
+    EXPECT_FLOAT_EQ(m.at(2, 3), 11.0f);
+}
+
+TEST(FloatMatrix, ReshapeRejectsSizeChange)
+{
+    FloatMatrix m(2, 6);
+    EXPECT_THROW(m.reshape(3, 5), ConfigError);
+}
+
+TEST(FloatMatrixView, ViewsOwnStorage)
+{
+    FloatMatrix m(2, 2);
+    m.at(0, 1) = 4.0f;
+    FloatMatrixView v = m.view();
+    EXPECT_EQ(v.rows(), 2);
+    EXPECT_FLOAT_EQ(v.at(0, 1), 4.0f);
+}
+
+TEST(FloatMatrixView, SliceSelectsRows)
+{
+    FloatMatrix m(4, 2);
+    for (idx_t r = 0; r < 4; ++r)
+        m.at(r, 0) = static_cast<float>(r);
+    const auto slice = m.view().slice(1, 2);
+    EXPECT_EQ(slice.rows(), 2);
+    EXPECT_FLOAT_EQ(slice.at(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(slice.at(1, 0), 2.0f);
+}
+
+TEST(FloatMatrixView, ImplicitConversion)
+{
+    FloatMatrix m(1, 1, 3.0f);
+    FloatMatrixView v = m;
+    EXPECT_FLOAT_EQ(v.at(0, 0), 3.0f);
+}
+
+} // namespace
+} // namespace juno

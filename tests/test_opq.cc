@@ -1,0 +1,117 @@
+/** @file Tests for Optimized Product Quantization. */
+#include <gtest/gtest.h>
+
+#include "common/distance.h"
+#include "common/linalg.h"
+#include "common/rng.h"
+#include "quant/opq.h"
+
+namespace juno {
+namespace {
+
+/** Correlated data where a rotation helps: y = x * A with skewed A. */
+FloatMatrix
+correlatedData(idx_t n, idx_t d, std::uint64_t seed)
+{
+    Rng rng(seed);
+    // A dense mixing matrix correlates adjacent dimensions, which hurts
+    // subspace-independent PQ until OPQ re-rotates.
+    FloatMatrix mix(d, d);
+    for (idx_t r = 0; r < d; ++r)
+        for (idx_t c = 0; c < d; ++c)
+            mix.at(r, c) = static_cast<float>(
+                rng.gaussian(0.0, r == c ? 1.0 : 0.45));
+    FloatMatrix latent(n, d);
+    for (idx_t i = 0; i < n; ++i)
+        for (idx_t j = 0; j < d; ++j)
+            latent.at(i, j) = static_cast<float>(
+                rng.gaussian(0.0, j < d / 2 ? 1.0 : 0.15));
+    return matmul(latent.view(), mix.view());
+}
+
+OptimizedProductQuantizer::Params
+smallParams()
+{
+    OptimizedProductQuantizer::Params params;
+    params.pq.num_subspaces = 4;
+    params.pq.entries = 16;
+    params.pq.max_iters = 10;
+    params.opq_iters = 4;
+    return params;
+}
+
+TEST(Opq, RotationIsOrthogonal)
+{
+    const auto data = correlatedData(400, 8, 1);
+    OptimizedProductQuantizer opq;
+    opq.train(data.view(), smallParams());
+    EXPECT_TRUE(opq.trained());
+    EXPECT_TRUE(isOrthonormal(opq.rotation().view(), 1e-2f));
+}
+
+TEST(Opq, RotationPreservesDistances)
+{
+    const auto data = correlatedData(100, 8, 2);
+    OptimizedProductQuantizer opq;
+    opq.train(data.view(), smallParams());
+    const auto rotated = opq.rotate(data.view());
+    for (idx_t i = 0; i < 20; ++i)
+        for (idx_t j = i + 1; j < 20; ++j) {
+            const float orig = l2Sqr(data.row(i), data.row(j), 8);
+            const float rot = l2Sqr(rotated.row(i), rotated.row(j), 8);
+            EXPECT_NEAR(rot, orig, 1e-2f * (1.0f + orig));
+        }
+}
+
+TEST(Opq, ImprovesOverPlainPqOnCorrelatedData)
+{
+    const auto data = correlatedData(600, 8, 3);
+
+    ProductQuantizer plain;
+    PQParams pq_params = smallParams().pq;
+    plain.train(data.view(), pq_params);
+    const double plain_err = plain.reconstructionError(data.view());
+
+    OptimizedProductQuantizer opq;
+    opq.train(data.view(), smallParams());
+    const double opq_err = opq.reconstructionError(data.view());
+
+    EXPECT_LT(opq_err, plain_err * 1.02)
+        << "OPQ " << opq_err << " vs PQ " << plain_err;
+}
+
+TEST(Opq, DecodeRoundTripsThroughRotation)
+{
+    const auto data = correlatedData(200, 8, 4);
+    OptimizedProductQuantizer opq;
+    opq.train(data.view(), smallParams());
+    const auto codes = opq.encode(data.view());
+    const auto rec = opq.decode(codes.row(0));
+    ASSERT_EQ(rec.size(), 8u);
+    // Reconstruction error bounded by the subspace quantisation error.
+    const float err = l2Sqr(data.row(0), rec.data(), 8);
+    EXPECT_LT(err, l2NormSqr(data.row(0), 8) + 1.0f);
+}
+
+TEST(Opq, EncodeMatchesRotatedPqEncode)
+{
+    const auto data = correlatedData(150, 8, 5);
+    OptimizedProductQuantizer opq;
+    opq.train(data.view(), smallParams());
+    const auto direct = opq.encode(data.view());
+    const auto rotated = opq.rotate(data.view());
+    const auto via_pq = opq.pq().encode(rotated.view());
+    EXPECT_EQ(direct.codes, via_pq.codes);
+}
+
+TEST(Opq, RejectsBadConfig)
+{
+    const auto data = correlatedData(50, 8, 6);
+    OptimizedProductQuantizer opq;
+    auto params = smallParams();
+    params.opq_iters = 0;
+    EXPECT_THROW(opq.train(data.view(), params), ConfigError);
+}
+
+} // namespace
+} // namespace juno

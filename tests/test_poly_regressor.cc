@@ -1,0 +1,101 @@
+/** @file Tests for the polynomial threshold regressor. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/poly_regressor.h"
+
+namespace juno {
+namespace {
+
+TEST(PolyRegressor, FitsConstant)
+{
+    PolyRegressor reg;
+    reg.fit({1.0, 10.0, 100.0}, {5.0, 5.0, 5.0}, 0);
+    EXPECT_NEAR(reg.predict(3.0), 5.0, 1e-9);
+    EXPECT_NEAR(reg.predict(1000.0), 5.0, 1e-9);
+}
+
+TEST(PolyRegressor, FitsLinearInLogDensity)
+{
+    // y = 2 - 0.5 * log1p(d): exactly representable at degree 1.
+    std::vector<double> d, y;
+    for (double v : {0.0, 1.0, 5.0, 20.0, 100.0, 1000.0}) {
+        d.push_back(v);
+        y.push_back(2.0 - 0.5 * std::log1p(v));
+    }
+    PolyRegressor reg;
+    reg.fit(d, y, 1);
+    for (std::size_t i = 0; i < d.size(); ++i)
+        EXPECT_NEAR(reg.predict(d[i]), y[i], 1e-6);
+}
+
+TEST(PolyRegressor, CapturesNegativeCorrelation)
+{
+    // The paper's observation: denser regions need smaller thresholds.
+    Rng rng(3);
+    std::vector<double> d, y;
+    for (int i = 0; i < 200; ++i) {
+        const double dens = std::pow(10.0, rng.uniform(0.0f, 5.0f));
+        d.push_back(dens);
+        y.push_back(150.0 / (1.0 + 0.4 * std::log1p(dens)) +
+                    rng.gaussian(0.0, 2.0));
+    }
+    PolyRegressor reg;
+    reg.fit(d, y, 3);
+    EXPECT_GT(reg.predict(1.0), reg.predict(1e5));
+    EXPECT_LT(reg.mse(d, y), 30.0);
+}
+
+TEST(PolyRegressor, PredictionClampedToTrainingRange)
+{
+    PolyRegressor reg;
+    reg.fit({1.0, 10.0, 100.0, 1000.0}, {4.0, 3.0, 2.0, 1.0}, 2);
+    // Far extrapolations stay within [1, 4].
+    EXPECT_GE(reg.predict(0.0), 1.0);
+    EXPECT_LE(reg.predict(0.0), 4.0);
+    EXPECT_GE(reg.predict(1e12), 1.0);
+    EXPECT_LE(reg.predict(1e12), 4.0);
+}
+
+TEST(PolyRegressor, DegreeZeroIsMeanLike)
+{
+    PolyRegressor reg;
+    reg.fit({1.0, 2.0, 3.0, 4.0}, {1.0, 2.0, 3.0, 4.0}, 0);
+    const double p = reg.predict(2.5);
+    EXPECT_GT(p, 1.0);
+    EXPECT_LT(p, 4.0);
+}
+
+TEST(PolyRegressor, RejectsBadInputs)
+{
+    PolyRegressor reg;
+    EXPECT_THROW(reg.fit({1.0}, {1.0, 2.0}, 1), ConfigError);
+    EXPECT_THROW(reg.fit({1.0, 2.0}, {1.0, 2.0}, 2), ConfigError);
+    EXPECT_THROW(reg.fit({1.0, 2.0}, {1.0, 2.0}, -1), ConfigError);
+    EXPECT_THROW(reg.predict(1.0), ConfigError);
+}
+
+TEST(PolyRegressor, MseIsZeroForPerfectFit)
+{
+    std::vector<double> d{0.0, 1.0, 4.0};
+    std::vector<double> y;
+    for (double v : d)
+        y.push_back(1.0 + std::log1p(v));
+    PolyRegressor reg;
+    reg.fit(d, y, 1);
+    EXPECT_NEAR(reg.mse(d, y), 0.0, 1e-10);
+}
+
+TEST(PolyRegressor, CoefficientsExposeDegree)
+{
+    PolyRegressor reg;
+    reg.fit({1.0, 2.0, 3.0, 4.0, 5.0}, {1.0, 2.0, 3.0, 4.0, 5.0}, 3);
+    EXPECT_EQ(reg.degree(), 3);
+    EXPECT_EQ(reg.coefficients().size(), 4u);
+}
+
+} // namespace
+} // namespace juno

@@ -1,0 +1,199 @@
+/** @file Tests for the product quantizer (paper Sec. 2.1 offline). */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/distance.h"
+#include "common/logging.h"
+#include "dataset/synthetic.h"
+#include "quant/product_quantizer.h"
+
+namespace juno {
+namespace {
+
+FloatMatrix
+randomVectors(idx_t n, idx_t d, std::uint64_t seed)
+{
+    Rng rng(seed);
+    FloatMatrix m(n, d);
+    for (idx_t i = 0; i < n; ++i)
+        for (idx_t j = 0; j < d; ++j)
+            m.at(i, j) = rng.uniform(-1.0f, 1.0f);
+    return m;
+}
+
+ProductQuantizer
+trainSmall(const FloatMatrix &data, int subspaces, int entries)
+{
+    ProductQuantizer pq;
+    PQParams params;
+    params.num_subspaces = subspaces;
+    params.entries = entries;
+    params.max_iters = 15;
+    pq.train(data.view(), params);
+    return pq;
+}
+
+TEST(Pq, TrainSetsShape)
+{
+    const auto data = randomVectors(300, 8, 1);
+    const auto pq = trainSmall(data, 4, 16);
+    EXPECT_TRUE(pq.trained());
+    EXPECT_EQ(pq.numSubspaces(), 4);
+    EXPECT_EQ(pq.entries(), 16);
+    EXPECT_EQ(pq.subDim(), 2);
+    EXPECT_EQ(pq.dim(), 8);
+    for (int s = 0; s < 4; ++s) {
+        EXPECT_EQ(pq.codebook(s).rows(), 16);
+        EXPECT_EQ(pq.codebook(s).cols(), 2);
+    }
+}
+
+TEST(Pq, EncodePicksNearestEntry)
+{
+    const auto data = randomVectors(200, 6, 2);
+    const auto pq = trainSmall(data, 3, 8);
+    const auto codes = pq.encode(data.view());
+    ASSERT_EQ(codes.num_points, 200);
+    for (idx_t p = 0; p < 20; ++p) {
+        for (int s = 0; s < 3; ++s) {
+            const float *proj = data.row(p) + 2 * s;
+            const entry_t chosen = codes.at(p, s);
+            const float chosen_d =
+                l2Sqr(proj, pq.entry(s, chosen), 2);
+            for (entry_t e = 0; e < 8; ++e)
+                EXPECT_LE(chosen_d, l2Sqr(proj, pq.entry(s, e), 2) + 1e-6f)
+                    << "point " << p << " subspace " << s;
+        }
+    }
+}
+
+TEST(Pq, DecodeIsConcatenationOfEntries)
+{
+    const auto data = randomVectors(150, 4, 3);
+    const auto pq = trainSmall(data, 2, 8);
+    const auto codes = pq.encode(data.view());
+    const auto rec = pq.decode(codes.row(0));
+    ASSERT_EQ(rec.size(), 4u);
+    EXPECT_FLOAT_EQ(rec[0], pq.entry(0, codes.at(0, 0))[0]);
+    EXPECT_FLOAT_EQ(rec[1], pq.entry(0, codes.at(0, 0))[1]);
+    EXPECT_FLOAT_EQ(rec[2], pq.entry(1, codes.at(0, 1))[0]);
+    EXPECT_FLOAT_EQ(rec[3], pq.entry(1, codes.at(0, 1))[1]);
+}
+
+TEST(Pq, MoreEntriesReduceReconstructionError)
+{
+    const auto data = randomVectors(500, 8, 4);
+    const auto pq_small = trainSmall(data, 4, 4);
+    const auto pq_large = trainSmall(data, 4, 64);
+    EXPECT_LT(pq_large.reconstructionError(data.view()),
+              pq_small.reconstructionError(data.view()));
+}
+
+TEST(Pq, LutMatchesDirectScoresL2)
+{
+    const auto data = randomVectors(200, 6, 5);
+    const auto pq = trainSmall(data, 3, 16);
+    const auto query = randomVectors(1, 6, 99);
+    FloatMatrix lut;
+    pq.computeLut(Metric::kL2, query.row(0), lut);
+    ASSERT_EQ(lut.rows(), 3);
+    ASSERT_EQ(lut.cols(), 16);
+    for (int s = 0; s < 3; ++s)
+        for (entry_t e = 0; e < 16; ++e)
+            EXPECT_NEAR(lut.at(s, e),
+                        l2Sqr(query.row(0) + 2 * s, pq.entry(s, e), 2),
+                        1e-5f);
+}
+
+TEST(Pq, LutMatchesDirectScoresIp)
+{
+    const auto data = randomVectors(200, 6, 6);
+    const auto pq = trainSmall(data, 3, 16);
+    const auto query = randomVectors(1, 6, 98);
+    FloatMatrix lut;
+    pq.computeLut(Metric::kInnerProduct, query.row(0), lut);
+    for (int s = 0; s < 3; ++s)
+        for (entry_t e = 0; e < 16; ++e)
+            EXPECT_NEAR(
+                lut.at(s, e),
+                innerProduct(query.row(0) + 2 * s, pq.entry(s, e), 2),
+                1e-5f);
+}
+
+TEST(Pq, LutScoreSumsSubspaceCells)
+{
+    const auto data = randomVectors(100, 4, 7);
+    const auto pq = trainSmall(data, 2, 8);
+    const auto codes = pq.encode(data.view());
+    FloatMatrix lut;
+    pq.computeLut(Metric::kL2, data.row(0), lut);
+    const float total = pq.lutScore(lut, codes.row(1));
+    EXPECT_NEAR(total,
+                lut.at(0, codes.at(1, 0)) + lut.at(1, codes.at(1, 1)),
+                1e-6f);
+}
+
+TEST(Pq, AdcApproximatesTrueDistance)
+{
+    // ADC distance (sum of per-subspace LUT cells at the point's codes)
+    // must approximate the true L2^2 within the quantisation error.
+    const auto data = randomVectors(400, 8, 8);
+    const auto pq = trainSmall(data, 4, 64);
+    const auto codes = pq.encode(data.view());
+    const auto query = randomVectors(1, 8, 97);
+    FloatMatrix lut;
+    pq.computeLut(Metric::kL2, query.row(0), lut);
+    double total_err = 0.0;
+    for (idx_t p = 0; p < 100; ++p) {
+        const float adc = pq.lutScore(lut, codes.row(p));
+        const float exact = l2Sqr(query.row(0), data.row(p), 8);
+        total_err += std::abs(adc - exact);
+    }
+    // Average ADC error well below the average distance scale (~ d/3).
+    EXPECT_LT(total_err / 100.0, 0.8);
+}
+
+TEST(Pq, SupportsNonTwoSubDims)
+{
+    const auto data = randomVectors(200, 12, 9);
+    ProductQuantizer pq;
+    PQParams params;
+    params.num_subspaces = 3; // subDim = 4
+    params.entries = 8;
+    pq.train(data.view(), params);
+    EXPECT_EQ(pq.subDim(), 4);
+    const auto codes = pq.encode(data.view());
+    EXPECT_EQ(codes.num_subspaces, 3);
+}
+
+TEST(Pq, RejectsIndivisibleDim)
+{
+    const auto data = randomVectors(50, 7, 10);
+    ProductQuantizer pq;
+    PQParams params;
+    params.num_subspaces = 2;
+    params.entries = 4;
+    EXPECT_THROW(pq.train(data.view(), params), ConfigError);
+}
+
+TEST(Pq, RejectsBadEntryCount)
+{
+    const auto data = randomVectors(50, 4, 11);
+    ProductQuantizer pq;
+    PQParams params;
+    params.num_subspaces = 2;
+    params.entries = 1;
+    EXPECT_THROW(pq.train(data.view(), params), ConfigError);
+}
+
+TEST(Pq, EncodeRejectsWrongDim)
+{
+    const auto data = randomVectors(100, 4, 12);
+    const auto pq = trainSmall(data, 2, 8);
+    const auto wrong = randomVectors(3, 6, 13);
+    EXPECT_THROW(pq.encode(wrong.view()), ConfigError);
+}
+
+} // namespace
+} // namespace juno

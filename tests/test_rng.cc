@@ -1,0 +1,149 @@
+/** @file Unit tests for the deterministic PRNG. */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace juno {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a() == b();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const float v = rng.uniform(-2.5f, 7.5f);
+        EXPECT_GE(v, -2.5f);
+        EXPECT_LT(v, 7.5f);
+    }
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, GaussianMomentsMatch)
+{
+    Rng rng(13);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianMeanStddevShift)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, SampleWithoutReplacementUnique)
+{
+    Rng rng(19);
+    const auto sample = rng.sampleWithoutReplacement(100, 30);
+    EXPECT_EQ(sample.size(), 30u);
+    std::set<idx_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 30u);
+    for (idx_t id : sample) {
+        EXPECT_GE(id, 0);
+        EXPECT_LT(id, 100);
+    }
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet)
+{
+    Rng rng(23);
+    const auto sample = rng.sampleWithoutReplacement(10, 10);
+    std::set<idx_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleRejectsOversizedRequest)
+{
+    Rng rng(29);
+    EXPECT_THROW(rng.sampleWithoutReplacement(5, 6), ConfigError);
+}
+
+TEST(Rng, ShufflePreservesMultiset)
+{
+    Rng rng(31);
+    std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+    auto copy = items;
+    rng.shuffle(copy);
+    std::sort(copy.begin(), copy.end());
+    EXPECT_EQ(copy, items);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(37);
+    Rng b = a.fork();
+    // The fork should not replay the parent's sequence.
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a() == b();
+    EXPECT_LT(same, 2);
+}
+
+} // namespace
+} // namespace juno

@@ -1,0 +1,84 @@
+/** @file Tests for the lossless RT search mode (paper Sec. 6.5). */
+#include <gtest/gtest.h>
+
+#include "baseline/flat_index.h"
+#include "common/logging.h"
+#include "core/rt_exact_index.h"
+#include "dataset/synthetic.h"
+
+namespace juno {
+namespace {
+
+Dataset
+smallData(idx_t n = 400, idx_t dim = 8)
+{
+    SyntheticSpec spec;
+    spec.kind = DatasetKind::kDeepLike;
+    spec.num_points = n;
+    spec.num_queries = 12;
+    spec.dim = dim;
+    spec.components = 6;
+    spec.seed = 777;
+    return makeDataset(spec);
+}
+
+TEST(RtExact, MatchesFlatExactly)
+{
+    const auto ds = smallData();
+    RtExactIndex rt_index(ds.base.view());
+    FlatIndex flat(Metric::kL2, ds.base.view());
+
+    const auto rt_results = rt_index.search(ds.queries.view(), 10);
+    const auto flat_results = flat.search(ds.queries.view(), 10);
+    for (std::size_t q = 0; q < rt_results.size(); ++q) {
+        ASSERT_EQ(rt_results[q].size(), flat_results[q].size());
+        for (std::size_t i = 0; i < rt_results[q].size(); ++i) {
+            EXPECT_EQ(rt_results[q][i].id, flat_results[q][i].id)
+                << "query " << q << " rank " << i;
+            EXPECT_NEAR(rt_results[q][i].score, flat_results[q][i].score,
+                        2e-2f * (1.0f + flat_results[q][i].score));
+        }
+    }
+}
+
+TEST(RtExact, SelfQueryScoresNearZero)
+{
+    const auto ds = smallData(200);
+    RtExactIndex index(ds.base.view());
+    const auto results = index.search(ds.base.view().slice(0, 5), 1);
+    for (std::size_t q = 0; q < results.size(); ++q) {
+        ASSERT_FALSE(results[q].empty());
+        EXPECT_EQ(results[q][0].id, static_cast<idx_t>(q));
+        EXPECT_NEAR(results[q][0].score, 0.0f, 1e-3f);
+    }
+}
+
+TEST(RtExact, EveryPointHitInEverySubspace)
+{
+    // Traversal must report exactly N * S hits per query.
+    const auto ds = smallData(150, 6);
+    RtExactIndex index(ds.base.view());
+    index.search(ds.queries.view().slice(0, 1), 5);
+    EXPECT_EQ(index.rtStats().hits, 150u * 3u);
+}
+
+TEST(RtExact, RejectsOddDimension)
+{
+    SyntheticSpec spec;
+    spec.kind = DatasetKind::kUniform;
+    spec.num_points = 50;
+    spec.dim = 7;
+    const auto ds = makeDataset(spec);
+    EXPECT_THROW(RtExactIndex(ds.base.view()), ConfigError);
+}
+
+TEST(RtExact, StageTimerRecorded)
+{
+    const auto ds = smallData(100);
+    RtExactIndex index(ds.base.view());
+    index.search(ds.queries.view(), 3);
+    EXPECT_GT(index.stageTimers().seconds("rt_exact"), 0.0);
+}
+
+} // namespace
+} // namespace juno

@@ -1,0 +1,149 @@
+/** @file Tests for the 8-bit scalar quantizer. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/distance.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "quant/scalar_quantizer.h"
+
+namespace juno {
+namespace {
+
+FloatMatrix
+randomVectors(idx_t n, idx_t d, std::uint64_t seed)
+{
+    Rng rng(seed);
+    FloatMatrix m(n, d);
+    for (idx_t i = 0; i < n; ++i)
+        for (idx_t j = 0; j < d; ++j)
+            m.at(i, j) = rng.uniform(-2.0f, 2.0f);
+    return m;
+}
+
+TEST(ScalarQuantizer, TrainSetsDim)
+{
+    const auto data = randomVectors(100, 16, 1);
+    ScalarQuantizer sq;
+    sq.train(data.view());
+    EXPECT_TRUE(sq.trained());
+    EXPECT_EQ(sq.dim(), 16);
+}
+
+TEST(ScalarQuantizer, ReconstructionErrorBoundedByStep)
+{
+    const auto data = randomVectors(300, 8, 2);
+    ScalarQuantizer sq;
+    sq.train(data.view());
+    // Max error per dim is step/2 ~= 4/255/2; squared and summed over 8
+    // dims gives a tight bound.
+    const double bound = 8 * std::pow(4.0 / 255.0 / 2.0 * 1.01, 2.0);
+    std::vector<std::uint8_t> codes(8);
+    std::vector<float> rec(8);
+    for (idx_t i = 0; i < data.rows(); ++i) {
+        sq.encodeOne(data.row(i), codes.data());
+        sq.decodeOne(codes.data(), rec.data());
+        EXPECT_LE(l2Sqr(data.row(i), rec.data(), 8), bound);
+    }
+}
+
+TEST(ScalarQuantizer, EncodeBatchShape)
+{
+    const auto data = randomVectors(50, 4, 3);
+    ScalarQuantizer sq;
+    sq.train(data.view());
+    const auto codes = sq.encode(data.view());
+    EXPECT_EQ(codes.size(), 200u);
+}
+
+TEST(ScalarQuantizer, L2ToCodeMatchesDecodedDistance)
+{
+    const auto data = randomVectors(100, 8, 4);
+    ScalarQuantizer sq;
+    sq.train(data.view());
+    const auto query = randomVectors(1, 8, 99);
+    std::vector<std::uint8_t> codes(8);
+    std::vector<float> rec(8);
+    for (idx_t i = 0; i < 20; ++i) {
+        sq.encodeOne(data.row(i), codes.data());
+        sq.decodeOne(codes.data(), rec.data());
+        EXPECT_NEAR(sq.l2SqrToCode(query.row(0), codes.data()),
+                    l2Sqr(query.row(0), rec.data(), 8), 1e-4f);
+        EXPECT_NEAR(sq.ipToCode(query.row(0), codes.data()),
+                    innerProduct(query.row(0), rec.data(), 8), 1e-4f);
+    }
+}
+
+TEST(ScalarQuantizer, RankingMostlyPreserved)
+{
+    // SQ distortion must not destroy coarse ranking: the true NN stays
+    // within the top few by quantized distance.
+    const auto data = randomVectors(500, 16, 5);
+    ScalarQuantizer sq;
+    sq.train(data.view());
+    const auto codes = sq.encode(data.view());
+    const auto query = randomVectors(1, 16, 98);
+
+    idx_t true_nn = 0;
+    float best = 1e30f;
+    for (idx_t i = 0; i < 500; ++i) {
+        const float d = l2Sqr(query.row(0), data.row(i), 16);
+        if (d < best) {
+            best = d;
+            true_nn = i;
+        }
+    }
+    // Rank of the true NN under quantized distances.
+    const float nn_qd =
+        sq.l2SqrToCode(query.row(0), codes.data() + true_nn * 16);
+    int better = 0;
+    for (idx_t i = 0; i < 500; ++i)
+        better += sq.l2SqrToCode(query.row(0), codes.data() + i * 16) <
+                  nn_qd;
+    EXPECT_LE(better, 3);
+}
+
+TEST(ScalarQuantizer, ThreeSigmaModeHandlesOutliers)
+{
+    Rng rng(6);
+    FloatMatrix data(300, 4);
+    for (idx_t i = 0; i < 300; ++i)
+        for (idx_t j = 0; j < 4; ++j)
+            data.at(i, j) = static_cast<float>(rng.gaussian(0.0, 1.0));
+    data.at(0, 0) = 1000.0f; // single wild outlier
+
+    ScalarQuantizer minmax, robust;
+    minmax.train(data.view(), ScalarQuantizer::RangeMode::kMinMax);
+    robust.train(data.view(), ScalarQuantizer::RangeMode::kThreeSigma);
+    // The robust range gives far lower error on the inliers.
+    const auto inliers = data.view().slice(1, 299);
+    EXPECT_LT(robust.reconstructionError(inliers),
+              minmax.reconstructionError(inliers) * 0.5);
+}
+
+TEST(ScalarQuantizer, ConstantDimensionSurvives)
+{
+    FloatMatrix data(10, 2, 3.0f);
+    ScalarQuantizer sq;
+    sq.train(data.view());
+    std::vector<std::uint8_t> codes(2);
+    std::vector<float> rec(2);
+    sq.encodeOne(data.row(0), codes.data());
+    sq.decodeOne(codes.data(), rec.data());
+    EXPECT_NEAR(rec[0], 3.0f, 1e-4f);
+}
+
+TEST(ScalarQuantizer, RejectsMisuse)
+{
+    ScalarQuantizer sq;
+    FloatMatrix empty;
+    EXPECT_THROW(sq.train(empty.view()), ConfigError);
+    const auto data = randomVectors(10, 4, 7);
+    sq.train(data.view());
+    FloatMatrix wrong(2, 6);
+    EXPECT_THROW(sq.encode(wrong.view()), ConfigError);
+}
+
+} // namespace
+} // namespace juno

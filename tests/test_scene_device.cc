@@ -1,0 +1,151 @@
+/** @file Tests for Scene and the OptiX-like RtDevice facade. */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "rtcore/device.h"
+
+namespace juno {
+namespace rt {
+namespace {
+
+Scene
+gridScene(int side, float radius = 0.2f)
+{
+    Scene scene;
+    for (int i = 0; i < side; ++i)
+        for (int j = 0; j < side; ++j) {
+            Sphere s;
+            s.center = {static_cast<float>(i), static_cast<float>(j), 1.0f};
+            s.radius = radius;
+            s.user_id =
+                static_cast<std::uint64_t>(i * side + j);
+            scene.addSphere(s);
+        }
+    scene.build();
+    return scene;
+}
+
+TEST(Scene, AddAndBuild)
+{
+    const auto scene = gridScene(4);
+    EXPECT_TRUE(scene.built());
+    EXPECT_EQ(scene.sphereCount(), 16u);
+    EXPECT_EQ(scene.sphere(5).user_id, 5u);
+}
+
+TEST(Scene, RejectsNonPositiveRadius)
+{
+    Scene scene;
+    Sphere s;
+    s.radius = 0.0f;
+    EXPECT_THROW(scene.addSphere(s), ConfigError);
+}
+
+TEST(RtDevice, LaunchHitsExpectedSphere)
+{
+    const auto scene = gridScene(4);
+    RtDevice device;
+    std::vector<Ray> rays(1);
+    rays[0].origin = {2.0f, 3.0f, 0.0f};
+    rays[0].dir = {0, 0, 1};
+
+    std::vector<std::uint64_t> hit_ids;
+    device.launch(scene, rays, [&](const Ray &, const Hit &hit) {
+        hit_ids.push_back(hit.user_id);
+        return true;
+    });
+    ASSERT_EQ(hit_ids.size(), 1u);
+    EXPECT_EQ(hit_ids[0], 2u * 4 + 3);
+}
+
+TEST(RtDevice, FallbackModeMatchesRtMode)
+{
+    const auto scene = gridScene(8, 0.45f);
+    std::vector<Ray> rays;
+    Rng rng(3);
+    for (int i = 0; i < 40; ++i) {
+        Ray ray;
+        ray.origin = {rng.uniform(-0.5f, 7.5f), rng.uniform(-0.5f, 7.5f),
+                      0.0f};
+        ray.dir = {0, 0, 1};
+        ray.payload = static_cast<std::uint64_t>(i);
+        rays.push_back(ray);
+    }
+
+    auto collect = [&](ExecMode mode) {
+        RtDevice device(mode);
+        std::set<std::pair<std::uint64_t, std::uint64_t>> hits;
+        device.launch(scene, rays, [&](const Ray &ray, const Hit &hit) {
+            hits.insert({ray.payload, hit.user_id});
+            return true;
+        });
+        return hits;
+    };
+    EXPECT_EQ(collect(ExecMode::kRtCore),
+              collect(ExecMode::kCudaFallback));
+}
+
+TEST(RtDevice, StatsAccumulateAcrossLaunches)
+{
+    const auto scene = gridScene(4);
+    RtDevice device;
+    std::vector<Ray> rays(3);
+    for (auto &r : rays) {
+        r.origin = {0, 0, 0};
+        r.dir = {0, 0, 1};
+    }
+    device.launch(scene, rays, [](const Ray &, const Hit &) { return true; });
+    device.launch(scene, rays, [](const Ray &, const Hit &) { return true; });
+    EXPECT_EQ(device.totalStats().rays, 6u);
+    device.resetStats();
+    EXPECT_EQ(device.totalStats().rays, 0u);
+}
+
+TEST(RtDevice, LaunchReturnsPerLaunchStats)
+{
+    const auto scene = gridScene(4);
+    RtDevice device;
+    std::vector<Ray> rays(2);
+    for (auto &r : rays) {
+        r.origin = {1, 1, 0};
+        r.dir = {0, 0, 1};
+    }
+    const auto result = device.launch(
+        scene, rays, [](const Ray &, const Hit &) { return true; });
+    EXPECT_EQ(result.stats.rays, 2u);
+    EXPECT_EQ(result.stats.hits, 2u);
+    EXPECT_GE(result.seconds, 0.0);
+}
+
+TEST(RtCostModel, PresetsOrderAsExpected)
+{
+    // Gen-3 (4090) > Gen-2 (A40) > no-RT (A100) throughput.
+    TraversalStats stats;
+    stats.rays = 100;
+    stats.node_visits = 1000;
+    stats.prim_tests = 500;
+    const double t4090 = costModelRtx4090().cost(stats);
+    const double ta40 = costModelA40().cost(stats);
+    const double ta100 = costModelA100().cost(stats);
+    EXPECT_LT(t4090, ta40);
+    EXPECT_LT(ta40, ta100);
+    EXPECT_NEAR(ta40 / t4090, 2.0, 1e-9);
+}
+
+TEST(RtCostModel, CostScalesWithCounters)
+{
+    RtCostModel m;
+    TraversalStats small, big;
+    small.node_visits = 10;
+    big.node_visits = 100;
+    EXPECT_LT(m.cost(small), m.cost(big));
+}
+
+} // namespace
+} // namespace rt
+} // namespace juno

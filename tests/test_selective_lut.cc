@@ -1,0 +1,255 @@
+/** @file Tests for the RT-based selective LUT construction. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/distance.h"
+#include "common/rng.h"
+#include "core/selective_lut.h"
+#include "dataset/synthetic.h"
+
+namespace juno {
+namespace {
+
+/** Full JUNO offline stack over a small dataset. */
+struct Fixture {
+    Dataset ds;
+    InvertedFileIndex ivf;
+    ProductQuantizer pq;
+    DensityMap density;
+    ThresholdPolicy policy;
+    JunoScene scene;
+    rt::RtDevice device;
+    std::unique_ptr<SelectiveLutBuilder> builder;
+
+    explicit Fixture(Metric metric)
+    {
+        SyntheticSpec spec;
+        spec.kind = metric == Metric::kL2 ? DatasetKind::kDeepLike
+                                          : DatasetKind::kTtiLike;
+        spec.num_points = 1200;
+        spec.num_queries = 10;
+        spec.dim = 8;
+        spec.components = 10;
+        spec.seed = 66;
+        ds = makeDataset(spec);
+
+        InvertedFileIndex::Params ivf_params;
+        ivf_params.clusters = 12;
+        ivf.build(ds.base.view(), ivf_params);
+
+        FloatMatrix residuals(ds.base.rows(), ds.base.cols());
+        for (idx_t p = 0; p < ds.base.rows(); ++p)
+            ivf.residual(ds.base.row(p), ivf.label(p), residuals.row(p));
+        PQParams pq_params;
+        pq_params.num_subspaces = 4;
+        pq_params.entries = 16;
+        pq.train(residuals.view(), pq_params);
+
+        const FloatMatrixView domain =
+            metric == Metric::kL2 ? residuals.view() : ds.base.view();
+        density.build(domain, 4, 30);
+        ThresholdPolicy::Params tp;
+        tp.train_samples = 80;
+        tp.ref_samples = 600;
+        tp.contain_topk = 40;
+        policy.train(metric, domain, 4, density, tp);
+
+        scene.build(metric, pq, policy);
+        builder = std::make_unique<SelectiveLutBuilder>(scene, policy, ivf,
+                                                        device);
+    }
+};
+
+TEST(SelectiveLut, L2HitsMatchBruteForceSelection)
+{
+    Fixture fx(Metric::kL2);
+    SelectiveLutParams params;
+    const float *q = fx.ds.queries.row(0);
+    const auto probes = fx.ivf.probe(Metric::kL2, q, 4);
+    const auto lut = fx.builder->build(q, probes, params);
+
+    ASSERT_EQ(lut.hits.size(), 4u);
+    EXPECT_FALSE(lut.shared_across_probes);
+
+    std::vector<float> residual(8);
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+        fx.ivf.residual(q, static_cast<cluster_t>(probes[p].id),
+                        residual.data());
+        for (int s = 0; s < 4; ++s) {
+            const float qx = residual[static_cast<std::size_t>(2 * s)];
+            const float qy = residual[static_cast<std::size_t>(2 * s + 1)];
+            const double thr = fx.policy.threshold(s, qx, qy);
+
+            std::set<entry_t> expected;
+            for (entry_t e = 0; e < 16; ++e) {
+                const float *ec = fx.pq.entry(s, e);
+                const double dx = ec[0] - qx, dy = ec[1] - qy;
+                if (std::sqrt(dx * dx + dy * dy) <= thr * (1.0 - 1e-5))
+                    expected.insert(e);
+            }
+            std::set<entry_t> got;
+            for (const auto &hit : lut.hits[p][static_cast<std::size_t>(s)])
+                got.insert(hit.entry);
+            // All strictly-inside entries must appear; boundary entries
+            // may differ by FP rounding.
+            for (entry_t e : expected)
+                EXPECT_TRUE(got.count(e))
+                    << "probe " << p << " subspace " << s << " entry " << e;
+        }
+    }
+}
+
+TEST(SelectiveLut, L2ValuesAreSquaredSubspaceDistances)
+{
+    Fixture fx(Metric::kL2);
+    const float *q = fx.ds.queries.row(1);
+    const auto probes = fx.ivf.probe(Metric::kL2, q, 2);
+    const auto lut = fx.builder->build(q, probes, {});
+
+    std::vector<float> residual(8);
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+        fx.ivf.residual(q, static_cast<cluster_t>(probes[p].id),
+                        residual.data());
+        for (int s = 0; s < 4; ++s) {
+            for (const auto &hit :
+                 lut.hits[p][static_cast<std::size_t>(s)]) {
+                const float *ec = fx.pq.entry(s, hit.entry);
+                const float dx =
+                    ec[0] - residual[static_cast<std::size_t>(2 * s)];
+                const float dy =
+                    ec[1] - residual[static_cast<std::size_t>(2 * s + 1)];
+                EXPECT_NEAR(hit.value, dx * dx + dy * dy,
+                            5e-3f * (1.0f + dx * dx + dy * dy));
+            }
+        }
+    }
+}
+
+TEST(SelectiveLut, IpSharesLutAcrossProbes)
+{
+    Fixture fx(Metric::kInnerProduct);
+    const float *q = fx.ds.queries.row(0);
+    const auto probes = fx.ivf.probe(Metric::kInnerProduct, q, 4);
+    const auto lut = fx.builder->build(q, probes, {});
+    EXPECT_TRUE(lut.shared_across_probes);
+    EXPECT_EQ(lut.hits.size(), 1u);
+    EXPECT_EQ(lut.base.size(), 4u);
+    // The base term must equal IP(q, centroid).
+    for (std::size_t p = 0; p < probes.size(); ++p)
+        EXPECT_NEAR(lut.base[p],
+                    innerProduct(q,
+                                 fx.ivf.centroid(static_cast<cluster_t>(
+                                     probes[p].id)),
+                                 8),
+                    1e-3f);
+}
+
+TEST(SelectiveLut, IpValuesAreSubspaceInnerProducts)
+{
+    Fixture fx(Metric::kInnerProduct);
+    const float *q = fx.ds.queries.row(2);
+    const auto probes = fx.ivf.probe(Metric::kInnerProduct, q, 2);
+    const auto lut = fx.builder->build(q, probes, {});
+    for (int s = 0; s < 4; ++s) {
+        for (const auto &hit : lut.hits[0][static_cast<std::size_t>(s)]) {
+            const float *ec = fx.pq.entry(s, hit.entry);
+            const float ip = ec[0] * q[2 * s] + ec[1] * q[2 * s + 1];
+            EXPECT_NEAR(hit.value, ip, 5e-2f * (1.0f + std::abs(ip)));
+        }
+    }
+}
+
+TEST(SelectiveLut, SmallerScaleNeverAddsHits)
+{
+    Fixture fx(Metric::kL2);
+    const float *q = fx.ds.queries.row(3);
+    const auto probes = fx.ivf.probe(Metric::kL2, q, 3);
+    SelectiveLutParams full, half;
+    full.threshold_scale = 1.0;
+    half.threshold_scale = 0.5;
+    const auto lut_full = fx.builder->build(q, probes, full);
+    const auto lut_half = fx.builder->build(q, probes, half);
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+        for (int s = 0; s < 4; ++s) {
+            std::set<entry_t> full_set, half_set;
+            for (const auto &h :
+                 lut_full.hits[p][static_cast<std::size_t>(s)])
+                full_set.insert(h.entry);
+            for (const auto &h :
+                 lut_half.hits[p][static_cast<std::size_t>(s)])
+                half_set.insert(h.entry);
+            for (entry_t e : half_set)
+                EXPECT_TRUE(full_set.count(e));
+            EXPECT_LE(half_set.size(), full_set.size());
+        }
+    }
+}
+
+TEST(SelectiveLut, InnerFlagImpliesTighterDistance)
+{
+    Fixture fx(Metric::kL2);
+    const float *q = fx.ds.queries.row(4);
+    const auto probes = fx.ivf.probe(Metric::kL2, q, 3);
+    SelectiveLutParams params;
+    params.inner_gate = true;
+    const auto lut = fx.builder->build(q, probes, params);
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+        for (int s = 0; s < 4; ++s) {
+            float max_inner = -1.0f, min_outer = 1e30f;
+            for (const auto &h :
+                 lut.hits[p][static_cast<std::size_t>(s)]) {
+                if (h.inner)
+                    max_inner = std::max(max_inner, h.value);
+                else
+                    min_outer = std::min(min_outer, h.value);
+            }
+            // Inner hits are all at most as far as any outer-only hit.
+            if (max_inner >= 0.0f && min_outer < 1e30f)
+                EXPECT_LE(max_inner, min_outer + 1e-4f);
+        }
+    }
+}
+
+TEST(SelectiveLut, MissValueIsGateBoundaryL2)
+{
+    Fixture fx(Metric::kL2);
+    const float *q = fx.ds.queries.row(5);
+    const auto probes = fx.ivf.probe(Metric::kL2, q, 2);
+    SelectiveLutParams params;
+    params.miss_penalty = 1.0;
+    const auto lut = fx.builder->build(q, probes, params);
+    std::vector<float> residual(8);
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+        fx.ivf.residual(q, static_cast<cluster_t>(probes[p].id),
+                        residual.data());
+        for (int s = 0; s < 4; ++s) {
+            const double thr = fx.policy.threshold(
+                s, residual[static_cast<std::size_t>(2 * s)],
+                residual[static_cast<std::size_t>(2 * s + 1)]);
+            EXPECT_NEAR(lut.missFor(p, s), thr * thr, 1e-4 * thr * thr);
+        }
+    }
+}
+
+TEST(SelectiveLut, SparsitySavesWorkVsDenseLut)
+{
+    // The headline claim: far fewer selected entries than E per
+    // subspace on clustered data.
+    Fixture fx(Metric::kL2);
+    const float *q = fx.ds.queries.row(6);
+    const auto probes = fx.ivf.probe(Metric::kL2, q, 4);
+    const auto lut = fx.builder->build(q, probes, {});
+    std::size_t selected = 0, cells = 0;
+    for (std::size_t p = 0; p < lut.hits.size(); ++p)
+        for (int s = 0; s < 4; ++s) {
+            selected += lut.hits[p][static_cast<std::size_t>(s)].size();
+            cells += 16;
+        }
+    EXPECT_LT(static_cast<double>(selected) / static_cast<double>(cells),
+              0.8);
+}
+
+} // namespace
+} // namespace juno

@@ -1,0 +1,151 @@
+/** @file Tests for the synthetic dataset generators. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/distance.h"
+#include "common/logging.h"
+#include "dataset/synthetic.h"
+
+namespace juno {
+namespace {
+
+TEST(Synthetic, NativeDimsAndMetrics)
+{
+    EXPECT_EQ(nativeDim(DatasetKind::kSiftLike), 128);
+    EXPECT_EQ(nativeDim(DatasetKind::kDeepLike), 96);
+    EXPECT_EQ(nativeDim(DatasetKind::kTtiLike), 200);
+    EXPECT_EQ(nativeMetric(DatasetKind::kTtiLike), Metric::kInnerProduct);
+    EXPECT_EQ(nativeMetric(DatasetKind::kSiftLike), Metric::kL2);
+}
+
+TEST(Synthetic, ShapesMatchSpec)
+{
+    SyntheticSpec spec;
+    spec.kind = DatasetKind::kDeepLike;
+    spec.num_points = 500;
+    spec.num_queries = 20;
+    const auto ds = makeDataset(spec);
+    EXPECT_EQ(ds.base.rows(), 500);
+    EXPECT_EQ(ds.base.cols(), 96);
+    EXPECT_EQ(ds.queries.rows(), 20);
+    EXPECT_EQ(ds.queries.cols(), 96);
+    EXPECT_EQ(ds.metric, Metric::kL2);
+}
+
+TEST(Synthetic, DimOverride)
+{
+    SyntheticSpec spec;
+    spec.kind = DatasetKind::kUniform;
+    spec.num_points = 50;
+    spec.dim = 10;
+    const auto ds = makeDataset(spec);
+    EXPECT_EQ(ds.base.cols(), 10);
+}
+
+TEST(Synthetic, DeterministicForSeed)
+{
+    SyntheticSpec spec;
+    spec.num_points = 100;
+    spec.num_queries = 5;
+    spec.seed = 77;
+    const auto a = makeDataset(spec);
+    const auto b = makeDataset(spec);
+    for (idx_t i = 0; i < a.base.rows(); ++i)
+        for (idx_t j = 0; j < a.base.cols(); ++j)
+            EXPECT_FLOAT_EQ(a.base.at(i, j), b.base.at(i, j));
+}
+
+TEST(Synthetic, SeedChangesData)
+{
+    SyntheticSpec spec;
+    spec.num_points = 100;
+    spec.seed = 1;
+    const auto a = makeDataset(spec);
+    spec.seed = 2;
+    const auto b = makeDataset(spec);
+    int identical = 0;
+    for (idx_t i = 0; i < 100; ++i)
+        identical += a.base.at(i, 0) == b.base.at(i, 0);
+    EXPECT_LT(identical, 5);
+}
+
+TEST(Synthetic, SiftLikeIsByteRanged)
+{
+    SyntheticSpec spec;
+    spec.kind = DatasetKind::kSiftLike;
+    spec.num_points = 300;
+    const auto ds = makeDataset(spec);
+    for (idx_t i = 0; i < ds.base.rows(); ++i)
+        for (idx_t j = 0; j < ds.base.cols(); ++j) {
+            EXPECT_GE(ds.base.at(i, j), 0.0f);
+            EXPECT_LE(ds.base.at(i, j), 255.0f);
+        }
+}
+
+TEST(Synthetic, DeepLikeIsUnitNorm)
+{
+    SyntheticSpec spec;
+    spec.kind = DatasetKind::kDeepLike;
+    spec.num_points = 200;
+    const auto ds = makeDataset(spec);
+    for (idx_t i = 0; i < ds.base.rows(); ++i)
+        EXPECT_NEAR(std::sqrt(l2NormSqr(ds.base.row(i), ds.base.cols())),
+                    1.0f, 1e-4f);
+}
+
+TEST(Synthetic, ClusteredFamiliesAreNotUniform)
+{
+    // Clustered data should have markedly lower mean nearest-neighbour
+    // distance than a uniform scatter in the same bounding box.
+    SyntheticSpec spec;
+    spec.kind = DatasetKind::kDeepLike;
+    spec.num_points = 400;
+    spec.components = 8;
+    const auto ds = makeDataset(spec);
+
+    double nn_sum = 0.0;
+    for (idx_t i = 0; i < 50; ++i) {
+        float best = std::numeric_limits<float>::max();
+        for (idx_t j = 0; j < ds.base.rows(); ++j) {
+            if (i == j)
+                continue;
+            best = std::min(best, l2Sqr(ds.base.row(i), ds.base.row(j),
+                                        ds.base.cols()));
+        }
+        nn_sum += std::sqrt(best);
+    }
+    // Pairwise mean distance for comparison.
+    double pair_sum = 0.0;
+    int pairs = 0;
+    for (idx_t i = 0; i < 50; ++i)
+        for (idx_t j = i + 1; j < 50; ++j) {
+            pair_sum += std::sqrt(l2Sqr(ds.base.row(i), ds.base.row(j),
+                                        ds.base.cols()));
+            ++pairs;
+        }
+    EXPECT_LT(nn_sum / 50.0, 0.5 * pair_sum / pairs);
+}
+
+TEST(Synthetic, RejectsBadSpecs)
+{
+    SyntheticSpec spec;
+    spec.num_points = 0;
+    EXPECT_THROW(makeDataset(spec), ConfigError);
+    spec.num_points = 10;
+    spec.components = 0;
+    EXPECT_THROW(makeDataset(spec), ConfigError);
+}
+
+TEST(Synthetic, NameEncodesKindAndScale)
+{
+    SyntheticSpec spec;
+    spec.kind = DatasetKind::kSiftLike;
+    spec.num_points = 2000;
+    const auto ds = makeDataset(spec);
+    EXPECT_EQ(ds.name, "sift2k");
+}
+
+} // namespace
+} // namespace juno

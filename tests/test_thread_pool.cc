@@ -1,0 +1,84 @@
+/** @file Unit tests for the thread pool. */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace juno {
+namespace {
+
+TEST(ThreadPool, InlineModeRunsJobs)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threadCount(), 1);
+    int counter = 0;
+    pool.submit([&] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter, 1);
+}
+
+TEST(ThreadPool, MultiThreadRunsAllJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(50);
+    pool.parallelFor(50, [&](idx_t i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange)
+{
+    ThreadPool pool(2);
+    bool called = false;
+    pool.parallelFor(0, [&](idx_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForSingleItem)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(1, [&](idx_t i) {
+        EXPECT_EQ(i, 0);
+        calls.fetch_add(1);
+    });
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForComputesSum)
+{
+    ThreadPool pool(0); // auto-sized
+    std::vector<long> values(1000);
+    pool.parallelFor(1000, [&](idx_t i) {
+        values[static_cast<std::size_t>(i)] = static_cast<long>(i) * 2;
+    });
+    const long sum = std::accumulate(values.begin(), values.end(), 0L);
+    EXPECT_EQ(sum, 999L * 1000L);
+}
+
+TEST(ThreadPool, WaitIsIdempotent)
+{
+    ThreadPool pool(2);
+    pool.submit([] {});
+    pool.wait();
+    pool.wait();
+    SUCCEED();
+}
+
+} // namespace
+} // namespace juno

@@ -1,0 +1,97 @@
+/** @file Unit tests for timers and the per-stage ledger. */
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/timer.h"
+
+namespace juno {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime)
+{
+    Timer t;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_GE(t.millis(), 9.0);
+    EXPECT_LT(t.millis(), 500.0);
+}
+
+TEST(Timer, ResetRestartsClock)
+{
+    Timer t;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    t.reset();
+    EXPECT_LT(t.millis(), 5.0);
+}
+
+TEST(Timer, UnitConversions)
+{
+    Timer t;
+    const double s = t.seconds();
+    EXPECT_GE(s, 0.0);
+    EXPECT_GE(t.millis(), 0.0);
+    EXPECT_GE(t.micros(), 0.0);
+}
+
+TEST(StageTimers, AccumulatesPerStage)
+{
+    StageTimers timers;
+    timers.add("lut", 1.0);
+    timers.add("scan", 2.0);
+    timers.add("lut", 0.5);
+    EXPECT_DOUBLE_EQ(timers.seconds("lut"), 1.5);
+    EXPECT_DOUBLE_EQ(timers.seconds("scan"), 2.0);
+    EXPECT_DOUBLE_EQ(timers.totalSeconds(), 3.5);
+}
+
+TEST(StageTimers, UnknownStageIsZero)
+{
+    StageTimers timers;
+    EXPECT_DOUBLE_EQ(timers.seconds("missing"), 0.0);
+}
+
+TEST(StageTimers, NamesPreserveInsertionOrder)
+{
+    StageTimers timers;
+    timers.add("filter", 0.1);
+    timers.add("lut", 0.2);
+    timers.add("scan", 0.3);
+    timers.add("filter", 0.1);
+    ASSERT_EQ(timers.names().size(), 3u);
+    EXPECT_EQ(timers.names()[0], "filter");
+    EXPECT_EQ(timers.names()[1], "lut");
+    EXPECT_EQ(timers.names()[2], "scan");
+}
+
+TEST(StageTimers, ResetClearsEverything)
+{
+    StageTimers timers;
+    timers.add("a", 1.0);
+    timers.reset();
+    EXPECT_TRUE(timers.names().empty());
+    EXPECT_DOUBLE_EQ(timers.totalSeconds(), 0.0);
+}
+
+TEST(StageTimers, MergeSumsStageWise)
+{
+    StageTimers a, b;
+    a.add("x", 1.0);
+    b.add("x", 2.0);
+    b.add("y", 3.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.seconds("x"), 3.0);
+    EXPECT_DOUBLE_EQ(a.seconds("y"), 3.0);
+}
+
+TEST(ScopedStageTimer, AddsOnDestruction)
+{
+    StageTimers timers;
+    {
+        ScopedStageTimer scoped(timers, "scope");
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_GT(timers.seconds("scope"), 0.0);
+}
+
+} // namespace
+} // namespace juno

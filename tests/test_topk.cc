@@ -1,0 +1,149 @@
+/** @file Unit + property tests for bounded top-k selection. */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/topk.h"
+
+namespace juno {
+namespace {
+
+TEST(TopK, RejectsZeroK)
+{
+    EXPECT_THROW(TopK(0, Metric::kL2), ConfigError);
+}
+
+TEST(TopK, KeepsSmallestUnderL2)
+{
+    TopK top(3, Metric::kL2);
+    for (idx_t i = 0; i < 10; ++i)
+        top.push(i, static_cast<float>(10 - i));
+    const auto out = top.take();
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].id, 9);
+    EXPECT_EQ(out[1].id, 8);
+    EXPECT_EQ(out[2].id, 7);
+    EXPECT_FLOAT_EQ(out[0].score, 1.0f);
+}
+
+TEST(TopK, KeepsLargestUnderIp)
+{
+    TopK top(2, Metric::kInnerProduct);
+    top.push(0, 0.5f);
+    top.push(1, 2.5f);
+    top.push(2, 1.5f);
+    top.push(3, -1.0f);
+    const auto out = top.take();
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].id, 1);
+    EXPECT_EQ(out[1].id, 2);
+}
+
+TEST(TopK, WorstAcceptedSentinelWhileNotFull)
+{
+    TopK top(4, Metric::kL2);
+    top.push(0, 1.0f);
+    EXPECT_EQ(top.worstAccepted(), worstScore(Metric::kL2));
+    top.push(1, 2.0f);
+    top.push(2, 3.0f);
+    top.push(3, 4.0f);
+    EXPECT_FLOAT_EQ(top.worstAccepted(), 4.0f);
+}
+
+TEST(TopK, WorstAcceptedTracksEvictions)
+{
+    TopK top(2, Metric::kL2);
+    top.push(0, 5.0f);
+    top.push(1, 3.0f);
+    EXPECT_FLOAT_EQ(top.worstAccepted(), 5.0f);
+    top.push(2, 1.0f); // evicts 5.0
+    EXPECT_FLOAT_EQ(top.worstAccepted(), 3.0f);
+}
+
+TEST(TopK, FewerCandidatesThanK)
+{
+    TopK top(10, Metric::kL2);
+    top.push(4, 0.5f);
+    top.push(2, 0.25f);
+    const auto out = top.take();
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].id, 2);
+}
+
+TEST(TopK, TiesBreakById)
+{
+    TopK top(2, Metric::kL2);
+    top.push(7, 1.0f);
+    top.push(3, 1.0f);
+    top.push(5, 1.0f);
+    const auto out = top.take();
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].id, 3);
+    EXPECT_EQ(out[1].id, 5);
+}
+
+TEST(TopK, ResultsDoesNotConsume)
+{
+    TopK top(2, Metric::kL2);
+    top.push(0, 1.0f);
+    top.push(1, 2.0f);
+    const auto first = top.results();
+    const auto second = top.results();
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(top.size(), 2);
+}
+
+TEST(TopK, SelectTopKDenseRow)
+{
+    const float scores[] = {5.0f, 1.0f, 3.0f, 0.5f, 4.0f};
+    const auto out = selectTopK(Metric::kL2, scores, 5, 2);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].id, 3);
+    EXPECT_EQ(out[1].id, 1);
+}
+
+/** Property sweep: TopK matches full sort for random inputs. */
+class TopKProperty : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(TopKProperty, MatchesFullSort)
+{
+    const int n = std::get<0>(GetParam());
+    const int k = std::get<1>(GetParam());
+    for (Metric metric : {Metric::kL2, Metric::kInnerProduct}) {
+        Rng rng(1000 + static_cast<std::uint64_t>(n * 31 + k));
+        std::vector<float> scores(static_cast<std::size_t>(n));
+        for (auto &s : scores)
+            s = rng.uniform(-10.0f, 10.0f);
+
+        TopK top(k, metric);
+        for (int i = 0; i < n; ++i)
+            top.push(i, scores[static_cast<std::size_t>(i)]);
+        const auto got = top.take();
+
+        std::vector<Neighbor> all;
+        for (int i = 0; i < n; ++i)
+            all.push_back({i, scores[static_cast<std::size_t>(i)]});
+        std::sort(all.begin(), all.end(),
+                  [&](const Neighbor &a, const Neighbor &b) {
+                      if (a.score != b.score)
+                          return isBetter(metric, a.score, b.score);
+                      return a.id < b.id;
+                  });
+        all.resize(std::min<std::size_t>(all.size(),
+                                         static_cast<std::size_t>(k)));
+        EXPECT_EQ(got, all) << "metric " << metricName(metric);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TopKProperty,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(10, 3),
+                      std::make_tuple(100, 10), std::make_tuple(100, 100),
+                      std::make_tuple(1000, 7), std::make_tuple(500, 499),
+                      std::make_tuple(64, 1)));
+
+} // namespace
+} // namespace juno

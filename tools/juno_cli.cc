@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Command-line front end for building, persisting, searching and
+ * evaluating JUNO indexes without writing C++.
+ *
+ * Usage:
+ *   juno_cli build  --out idx.bin [--base b.fvecs | --synthetic deep]
+ *                   [--metric l2|ip] [--n 20000] [--clusters 256]
+ *                   [--entries 128] [--seed 42]
+ *   juno_cli search --index idx.bin [--queries q.fvecs | --synthetic deep]
+ *                   [--k 100] [--nprobs 32] [--mode h|m|l] [--scale 1.0]
+ *   juno_cli eval   [--synthetic deep] [--metric l2|ip] [--n 20000]
+ *                   [--k 100] [--queries-n 64] ... (build + search +
+ *                   ground truth + recall in one shot)
+ */
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/juno_index.h"
+#include "dataset/ground_truth.h"
+#include "dataset/io.h"
+#include "dataset/recall.h"
+#include "dataset/synthetic.h"
+
+using namespace juno;
+
+namespace {
+
+/** Tiny --key value argument map. */
+class Args {
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0)
+                fatal("expected --option, got '" + key + "'");
+            key = key.substr(2);
+            if (i + 1 >= argc)
+                fatal("missing value for --" + key);
+            values_[key] = argv[++i];
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    long
+    getInt(const std::string &key, long fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : std::stol(it->second);
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : std::stod(it->second);
+    }
+
+    bool has(const std::string &key) const { return values_.count(key); }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+Metric
+parseMetric(const std::string &name)
+{
+    if (name == "l2")
+        return Metric::kL2;
+    if (name == "ip")
+        return Metric::kInnerProduct;
+    fatal("unknown metric '" + name + "' (use l2 or ip)");
+}
+
+SearchMode
+parseMode(const std::string &name)
+{
+    if (name == "h")
+        return SearchMode::kExactDistance;
+    if (name == "m")
+        return SearchMode::kRewardPenalty;
+    if (name == "l")
+        return SearchMode::kHitCount;
+    fatal("unknown mode '" + name + "' (use h, m or l)");
+}
+
+DatasetKind
+parseKind(const std::string &name)
+{
+    if (name == "deep")
+        return DatasetKind::kDeepLike;
+    if (name == "sift")
+        return DatasetKind::kSiftLike;
+    if (name == "tti")
+        return DatasetKind::kTtiLike;
+    if (name == "uniform")
+        return DatasetKind::kUniform;
+    fatal("unknown synthetic kind '" + name + "'");
+}
+
+/** Loads base/query vectors from --base/--queries or synthesises. */
+Dataset
+loadData(const Args &args, Metric metric)
+{
+    if (args.has("base")) {
+        Dataset ds;
+        ds.base = readFvecs(args.get("base", ""));
+        if (args.has("queries"))
+            ds.queries = readFvecs(args.get("queries", ""));
+        ds.metric = metric;
+        ds.name = args.get("base", "");
+        return ds;
+    }
+    SyntheticSpec spec;
+    spec.kind = parseKind(args.get("synthetic", "deep"));
+    spec.num_points = args.getInt("n", 20000);
+    spec.num_queries = args.getInt("queries-n", 64);
+    spec.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+    return makeDataset(spec);
+}
+
+JunoParams
+paramsFrom(const Args &args)
+{
+    JunoParams params;
+    params.clusters = static_cast<int>(args.getInt("clusters", 256));
+    params.pq_entries = static_cast<int>(args.getInt("entries", 128));
+    params.nprobs = args.getInt("nprobs", 32);
+    params.mode = parseMode(args.get("mode", "h"));
+    params.threshold_scale = args.getDouble("scale", 1.0);
+    params.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+    params.max_training_points = args.getInt("train-points", 10000);
+    return params;
+}
+
+int
+cmdBuild(const Args &args)
+{
+    const Metric metric = parseMetric(args.get("metric", "l2"));
+    const std::string out = args.get("out", "");
+    JUNO_REQUIRE(!out.empty(), "build requires --out <path>");
+    const auto data = loadData(args, metric);
+    std::printf("building over %lld vectors (D=%lld, %s)...\n",
+                static_cast<long long>(data.base.rows()),
+                static_cast<long long>(data.base.cols()),
+                metricName(metric));
+    Timer timer;
+    JunoIndex index(metric, data.base.view(), paramsFrom(args));
+    std::printf("built %s in %.1fs\n", index.name().c_str(),
+                timer.seconds());
+    index.save(out);
+    std::printf("saved to %s\n", out.c_str());
+    return 0;
+}
+
+int
+cmdSearch(const Args &args)
+{
+    const std::string path = args.get("index", "");
+    JUNO_REQUIRE(!path.empty(), "search requires --index <path>");
+    auto index = JunoIndex::load(path);
+    std::printf("loaded %s (%lld points)\n", index->name().c_str(),
+                static_cast<long long>(index->size()));
+
+    const auto data = loadData(args, index->metric());
+    FloatMatrixView queries =
+        data.queries.rows() > 0 ? data.queries.view() : data.base.view();
+
+    if (args.has("nprobs"))
+        index->setNprobs(args.getInt("nprobs", 32));
+    if (args.has("mode"))
+        index->setSearchMode(parseMode(args.get("mode", "h")));
+    if (args.has("scale"))
+        index->setThresholdScale(args.getDouble("scale", 1.0));
+    const idx_t k = args.getInt("k", 100);
+
+    Timer timer;
+    const auto results = index->search(queries, k);
+    const double secs = timer.seconds();
+    std::printf("searched %lld queries in %.1f ms (%.0f QPS)\n",
+                static_cast<long long>(queries.rows()), secs * 1e3,
+                static_cast<double>(queries.rows()) / secs);
+    const idx_t show = std::min<idx_t>(queries.rows(), 3);
+    for (idx_t q = 0; q < show; ++q) {
+        std::printf("query %lld:", static_cast<long long>(q));
+        for (std::size_t i = 0;
+             i < std::min<std::size_t>(results[static_cast<std::size_t>(q)]
+                                           .size(),
+                                       5);
+             ++i)
+            std::printf(" %lld(%.3f)",
+                        static_cast<long long>(
+                            results[static_cast<std::size_t>(q)][i].id),
+                        results[static_cast<std::size_t>(q)][i].score);
+        std::printf(" ...\n");
+    }
+    return 0;
+}
+
+int
+cmdEval(const Args &args)
+{
+    const Metric metric = parseMetric(args.get("metric", "l2"));
+    const auto data = loadData(args, metric);
+    JUNO_REQUIRE(data.queries.rows() > 0,
+                 "eval needs queries (--queries or --queries-n)");
+    std::printf("dataset %s: %lld points, %lld queries, D=%lld\n",
+                data.name.c_str(),
+                static_cast<long long>(data.base.rows()),
+                static_cast<long long>(data.queries.rows()),
+                static_cast<long long>(data.base.cols()));
+
+    const idx_t k = args.getInt("k", 100);
+    const auto gt = computeGroundTruth(metric, data.base.view(),
+                                       data.queries.view(), k);
+
+    Timer build_timer;
+    JunoIndex index(metric, data.base.view(), paramsFrom(args));
+    std::printf("build: %.1fs (%s)\n", build_timer.seconds(),
+                index.name().c_str());
+
+    Timer timer;
+    const auto results = index.search(data.queries.view(), k);
+    const double secs = timer.seconds();
+    std::printf("QPS: %.0f\n",
+                static_cast<double>(data.queries.rows()) / secs);
+    std::printf("R1@%lld: %.4f\n", static_cast<long long>(k),
+                recall1AtK(gt, results));
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: juno_cli <build|search|eval> [--option value]...\n"
+                 "see the file header of tools/juno_cli.cc for details\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    try {
+        const Args args(argc, argv, 2);
+        const std::string cmd = argv[1];
+        if (cmd == "build")
+            return cmdBuild(args);
+        if (cmd == "search")
+            return cmdSearch(args);
+        if (cmd == "eval")
+            return cmdEval(args);
+        usage();
+        return 2;
+    } catch (const ConfigError &err) {
+        std::fprintf(stderr, "juno_cli: %s\n", err.what());
+        return 1;
+    }
+}
