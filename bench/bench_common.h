@@ -14,8 +14,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "dataset/synthetic.h"
+#include "engine/search_request.h"
 
 namespace juno {
 namespace bench {
@@ -89,6 +91,37 @@ ttiSpec(idx_t n = scale1M())
     spec.noise_scale = 4.0f;
     spec.seed = 20240406;
     return spec;
+}
+
+/**
+ * Worker threads for batched searches (JUNO_BENCH_THREADS override;
+ * default 1 so figures stay comparable to the paper's per-query runs).
+ */
+inline int
+benchThreads()
+{
+    const char *env = std::getenv("JUNO_BENCH_THREADS");
+    if (env == nullptr)
+        return 1;
+    const int v = std::atoi(env);
+    return v > 0 ? v : 1;
+}
+
+/** Default SearchOptions of the QPS benches. */
+inline SearchOptions
+searchOptions(idx_t k)
+{
+    SearchOptions options;
+    options.k = k;
+    options.threads = benchThreads();
+    return options;
+}
+
+/** Worker counts of the thread-scaling tables (effective QPS). */
+inline std::vector<int>
+threadScalingCounts()
+{
+    return {1, 2, 4};
 }
 
 /** IVF cluster count scaled to dataset size (paper: IVF4096 at 1M). */

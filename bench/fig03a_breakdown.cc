@@ -45,7 +45,8 @@ main()
             break;
         index.setNprobs(nprobs);
         index.resetStageTimers();
-        index.search(workload.queries(), 100);
+        index.search(
+            SearchRequest(workload.queries(), bench::searchOptions(100)));
         const auto &timers = index.stageTimers();
         const double filter = timers.seconds("filter") * 1e3 * per_10k;
         const double lut = timers.seconds("lut") * 1e3 * per_10k;

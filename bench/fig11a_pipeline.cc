@@ -40,7 +40,8 @@ main()
     index.setPipelined(false);
     index.resetStageTimers();
     Timer seq_timer;
-    index.search(workload.queries(), 100);
+    index.search(
+        SearchRequest(workload.queries(), bench::searchOptions(100)));
     const double seq_wall = seq_timer.seconds();
     const double lut_busy = index.stageTimers().seconds("rt_lut");
     const double scan_busy = index.stageTimers().seconds("scan");
@@ -50,7 +51,8 @@ main()
     index.setPipelined(true);
     index.resetStageTimers();
     Timer pipe_timer;
-    index.search(workload.queries(), 100);
+    index.search(
+        SearchRequest(workload.queries(), bench::searchOptions(100)));
     const double pipe_wall = pipe_timer.seconds();
 
     TablePrinter table({"configuration", "wall_ms", "normalized"});

@@ -19,7 +19,9 @@
  *    whose shape Fig. 12 describes.
  */
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "baseline/ivfpq_index.h"
@@ -49,6 +51,57 @@ struct NamedPoint {
     double qps_rt = 0.0; ///< RT stage re-priced under the 4090 model
 };
 
+/** Everything one dataset contributes to the JSON snapshot. */
+struct DatasetResult {
+    std::string label;
+    std::vector<NamedPoint> rows;
+    std::vector<EvalPoint> thread_scaling; ///< JUNO-H at 1/2/4 workers
+};
+
+std::vector<DatasetResult> g_snapshot;
+
+/**
+ * Writes the collected operating points as JSON (BENCH_fig12.json):
+ * the perf trajectory future PRs diff against.
+ */
+void
+writeSnapshot(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    out << "{\n  \"bench\": \"fig12_qps_recall\",\n  \"scale\": \""
+        << (bench::largeScale() ? "large" : "default")
+        << "\",\n  \"datasets\": [\n";
+    for (std::size_t d = 0; d < g_snapshot.size(); ++d) {
+        const auto &ds = g_snapshot[d];
+        out << "    {\n      \"label\": \"" << ds.label
+            << "\",\n      \"points\": [\n";
+        for (std::size_t i = 0; i < ds.rows.size(); ++i) {
+            const auto &p = ds.rows[i];
+            out << "        {\"config\": \"" << p.config
+                << "\", \"recall1_at_100\": " << p.recall1
+                << ", \"qps_cpu\": " << p.qps_cpu
+                << ", \"qps_rt4090\": " << p.qps_rt << "}"
+                << (i + 1 < ds.rows.size() ? "," : "") << "\n";
+        }
+        out << "      ],\n      \"thread_scaling\": [\n";
+        for (std::size_t i = 0; i < ds.thread_scaling.size(); ++i) {
+            const auto &p = ds.thread_scaling[i];
+            out << "        {\"threads\": " << p.threads
+                << ", \"qps\": " << p.qps
+                << ", \"recall1_at_100\": " << p.recall1_at_k << "}"
+                << (i + 1 < ds.thread_scaling.size() ? "," : "") << "\n";
+        }
+        out << "      ]\n    }" << (d + 1 < g_snapshot.size() ? "," : "")
+            << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("snapshot written to %s\n", path.c_str());
+}
+
 std::vector<idx_t>
 nprobsSweep(int clusters)
 {
@@ -70,7 +123,8 @@ sweepIndex(Workload &workload, IndexT &index, const std::string &prefix,
     for (idx_t np : nprobsSweep(static_cast<int>(
              index.ivf().numClusters()))) {
         index.setNprobs(np);
-        const auto point = evaluate(workload, index, 100);
+        const auto point =
+            evaluate(workload, index, bench::searchOptions(100));
         NamedPoint named;
         named.config = prefix + ",np=" + std::to_string(np);
         named.recall1 = point.recall1_at_k;
@@ -149,6 +203,18 @@ runDataset(const char *label, const SyntheticSpec &spec, int pq_fine,
                       TablePrinter::num(row.qps_rt)});
     table.print();
 
+    // Batch-parallel serving: effective QPS of the JUNO-H operating
+    // point as the query engine shards the batch over 1/2/4 workers.
+    printBanner(std::string(label) +
+                ": thread scaling (JUNO-H, effective QPS)");
+    index.setSearchMode(SearchMode::kExactDistance);
+    index.setThresholdScale(1.0);
+    index.setNprobs(16);
+    auto scaling = evaluateThreadScaling(workload, index, 100,
+                                         bench::threadScalingCounts());
+    printThreadScaling(scaling);
+    g_snapshot.push_back({label, rows, scaling});
+
     printBanner(std::string(label) + ": aggregated JUNO Pareto frontier "
                 "(QPS_rt4090; the bold grey line)");
     TablePrinter frontier_table({"config", "recall", "QPS_rt4090"});
@@ -188,18 +254,35 @@ runDataset(const char *label, const SyntheticSpec &spec, int pq_fine,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --json <path>: dump the measured operating points (the snapshot
+    // BENCH_fig12.json is produced from). --quick: first dataset only.
+    std::string json_path;
+    bool quick = false;
+    for (int a = 1; a < argc; ++a) {
+        const std::string arg = argv[a];
+        if (arg == "--json" && a + 1 < argc)
+            json_path = argv[++a];
+        else if (arg == "--quick")
+            quick = true;
+    }
+
     runDataset("DEEP1M-class (L2, D=96)", bench::deepSpec(), 48, 24,
                true);
-    runDataset("SIFT1M-class (L2, D=128)", bench::siftSpec(), 64, 32,
-               true);
-    runDataset("TTI1M-class (MIPS, D=200)", bench::ttiSpec(), 100, 50,
-               true);
-    runDataset("DEEP100M-class (L2, D=96)",
-               bench::deepSpec(bench::scale100M()), 48, 24, false);
-    runDataset("SIFT100M-class (L2, D=128)",
-               bench::siftSpec(bench::scale100M()), 64, 32, false);
+    if (!quick) {
+        runDataset("SIFT1M-class (L2, D=128)", bench::siftSpec(), 64, 32,
+                   true);
+        runDataset("TTI1M-class (MIPS, D=200)", bench::ttiSpec(), 100, 50,
+                   true);
+        runDataset("DEEP100M-class (L2, D=96)",
+                   bench::deepSpec(bench::scale100M()), 48, 24, false);
+        runDataset("SIFT100M-class (L2, D=128)",
+                   bench::siftSpec(bench::scale100M()), 64, 32, false);
+    }
+
+    if (!json_path.empty())
+        writeSnapshot(json_path);
 
     std::printf("\npaper: JUNO delivers 2.2x-8.5x higher QPS at low "
                 "quality and ~2.1x at high quality;\nthe advantage "

@@ -51,7 +51,8 @@ collect(Workload &workload, IndexT &index, bool reprice_rt)
         if (np > index.ivf().numClusters())
             break;
         index.setNprobs(np);
-        const auto point = evaluate(workload, index, 100);
+        const auto point =
+            evaluate(workload, index, bench::searchOptions(100));
         double qps = point.qps;
         if (reprice_rt) {
             const double rt = point.timers.seconds("rt_lut");

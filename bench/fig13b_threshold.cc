@@ -50,7 +50,8 @@ main()
                 break;
             index.setNprobs(np);
             index.device().resetStats();
-            const auto point = evaluate(workload, index, 100);
+            const auto point =
+                evaluate(workload, index, bench::searchOptions(100));
             const double hits_per_query =
                 static_cast<double>(index.rtStats().hits) /
                 static_cast<double>(workload.queries().rows());

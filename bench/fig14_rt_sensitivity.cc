@@ -49,7 +49,8 @@ main()
         if (np > clusters)
             break;
         baseline.setNprobs(np);
-        const auto b = evaluate(workload, baseline, 100);
+        const auto b =
+            evaluate(workload, baseline, bench::searchOptions(100));
         table.addRow({"FAISS(+HNSW)", std::to_string(np),
                       TablePrinter::num(b.recall1_at_k),
                       TablePrinter::num(b.qps)});
@@ -63,7 +64,8 @@ main()
                 if (np > clusters)
                     break;
                 index.setNprobs(np);
-                const auto p = evaluate(workload, index, 100);
+                const auto p =
+                    evaluate(workload, index, bench::searchOptions(100));
                 std::string name = std::string(searchModeName(mode)) +
                                    (rt ? "(BVH)" : "(linear fallback)");
                 table.addRow({name, std::to_string(np),
@@ -84,7 +86,7 @@ main()
     index.setNprobs(32);
     index.device().resetStats();
     index.resetStageTimers();
-    evaluate(workload, index, 100);
+    evaluate(workload, index, bench::searchOptions(100));
     const auto stats = index.rtStats();
     const double non_rt_seconds =
         index.stageTimers().seconds("filter") +

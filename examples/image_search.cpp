@@ -59,10 +59,15 @@ main(int argc, char **argv)
     jp.nprobs = 32;
     JunoIndex index(Metric::kL2, base.view(), jp);
 
+    // Batched request shared by every run below (the serving shape:
+    // one request object, many index configurations).
+    SearchRequest request(queries.view(), /*k=*/100);
+    request.options.threads = 2;
+
     auto report = [&](AnnIndex &idx) {
         idx.resetStageTimers();
         Timer timer;
-        const auto results = idx.search(queries.view(), 100);
+        const auto results = idx.search(request);
         const double secs = timer.seconds();
         std::printf("%-16s  QPS=%7.0f  R1@100=%.3f  stages:",
                     idx.name().c_str(),
@@ -82,7 +87,7 @@ main(int argc, char **argv)
     for (double scale : {1.0, 0.8, 0.6, 0.4}) {
         index.setThresholdScale(scale);
         Timer timer;
-        const auto results = index.search(queries.view(), 100);
+        const auto results = index.search(request);
         const double secs = timer.seconds();
         std::printf("scale=%.1f  QPS=%7.0f  R1@100=%.3f\n", scale,
                     static_cast<double>(queries.rows()) / secs,

@@ -56,8 +56,11 @@ main(int argc, char **argv)
 
     const auto gt = computeGroundTruth(data.metric, data.base.view(),
                                        data.queries.view(), 100);
+    // Serving path: batch + thread-parallel search via SearchRequest.
+    SearchRequest request(data.queries.view(), /*k=*/100);
+    request.options.threads = 2;
     Timer search_timer;
-    const auto results = index->search(data.queries.view(), 100);
+    const auto results = index->search(request);
     std::printf("serving: %.0f QPS, R1@100 = %.3f\n",
                 static_cast<double>(data.queries.rows()) /
                     search_timer.seconds(),
@@ -66,7 +69,7 @@ main(int argc, char **argv)
     // Knobs persist too, and remain adjustable after load.
     index->setSearchMode(SearchMode::kHitCount);
     index->setThresholdScale(0.7);
-    const auto fast = index->search(data.queries.view(), 100);
+    const auto fast = index->search(request);
     std::printf("after retune (JUNO-L, scale 0.7): R1@100 = %.3f\n",
                 recall1AtK(gt, fast));
 

@@ -55,8 +55,8 @@ main(int argc, char **argv)
             for (idx_t nprobs : {8, 32, 128}) {
                 index.setNprobs(nprobs);
                 Timer timer;
-                const auto results =
-                    index.search(data.queries.view(), 100);
+                const auto results = index.search(
+                    SearchRequest(data.queries.view(), /*k=*/100));
                 const double secs = timer.seconds();
                 const double recall = recall1AtK(gt, results);
                 const double qps =

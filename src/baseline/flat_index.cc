@@ -22,22 +22,18 @@ FlatIndex::name() const
     return std::string("Flat-") + metricName(metric_);
 }
 
-SearchResults
-FlatIndex::search(FloatMatrixView queries, idx_t k)
+void
+FlatIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
 {
-    JUNO_REQUIRE(queries.cols() == points_.cols(), "dimension mismatch");
-    JUNO_REQUIRE(k > 0, "k must be positive");
-    SearchResults results(static_cast<std::size_t>(queries.rows()));
-    ScopedStageTimer scan_timer(timers_, "scan");
+    ScopedStageTimer scan_timer(ctx.timers(), "scan");
     const idx_t d = points_.cols();
-    for (idx_t qi = 0; qi < queries.rows(); ++qi) {
-        const float *q = queries.row(qi);
-        TopK top(std::min(k, points_.rows()), metric_);
+    for (idx_t qi = chunk.begin; qi < chunk.end; ++qi) {
+        const float *q = chunk.queries.row(qi);
+        TopK top(std::min(chunk.k, points_.rows()), metric_);
         for (idx_t pi = 0; pi < points_.rows(); ++pi)
             top.push(pi, score(metric_, q, points_.row(pi), d));
-        results[static_cast<std::size_t>(qi)] = top.take();
+        (*chunk.results)[static_cast<std::size_t>(qi)] = top.take();
     }
-    return results;
 }
 
 } // namespace juno

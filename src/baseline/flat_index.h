@@ -19,8 +19,10 @@ class FlatIndex : public AnnIndex {
     std::string name() const override;
     Metric metric() const override { return metric_; }
     idx_t size() const override { return points_.rows(); }
+    idx_t dim() const override { return points_.cols(); }
 
-    SearchResults search(FloatMatrixView queries, idx_t k) override;
+  protected:
+    void searchChunk(const SearchChunk &chunk, SearchContext &ctx) override;
 
   private:
     Metric metric_;

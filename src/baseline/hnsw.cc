@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
-#include <unordered_set>
 
 #include "common/distance.h"
 #include "common/logging.h"
 
 namespace juno {
+
+std::string
+Hnsw::name() const
+{
+    return "HNSW(m=" + std::to_string(params_.m) +
+           ",ef=" + std::to_string(ef_search_) + ")";
+}
 
 float
 Hnsw::scoreOf(const float *query, idx_t node) const
@@ -33,6 +39,7 @@ Hnsw::build(Metric metric, FloatMatrixView points, const Params &params)
 
     const idx_t n = points.rows();
     Rng rng(params.seed);
+    VisitedSet visited;
     const double level_mult = 1.0 / std::log(static_cast<double>(params.m));
 
     node_level_.resize(static_cast<std::size_t>(n));
@@ -67,7 +74,8 @@ Hnsw::build(Metric metric, FloatMatrixView points, const Params &params)
         // Beam-search insert on each level from min(level, max) down.
         for (int l = std::min(level, max_level_); l >= 0; --l) {
             auto candidates = searchLayer(points_.row(node), entry,
-                                          params.ef_construction, l);
+                                          params.ef_construction, l,
+                                          visited);
             const int m = l == 0 ? 2 * params.m : params.m;
             connect(node, l, candidates, m);
             if (!candidates.empty())
@@ -103,7 +111,8 @@ Hnsw::greedyDescend(const float *query, idx_t entry, int level) const
 }
 
 std::vector<Neighbor>
-Hnsw::searchLayer(const float *query, idx_t entry, int ef, int level) const
+Hnsw::searchLayer(const float *query, idx_t entry, int ef, int level,
+                  VisitedSet &visited) const
 {
     // Candidate frontier with the *best* candidate at top(): the
     // comparator must order worse elements first.
@@ -113,7 +122,7 @@ Hnsw::searchLayer(const float *query, idx_t entry, int ef, int level) const
     std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(worse)>
         best_frontier(worse);
 
-    std::unordered_set<idx_t> visited;
+    visited.reset(points_.rows());
     const Neighbor start{entry, scoreOf(query, entry)};
     best_frontier.push(start);
     visited.insert(entry);
@@ -132,7 +141,7 @@ Hnsw::searchLayer(const float *query, idx_t entry, int ef, int level) const
         for (idx_t nb :
              layers_[static_cast<std::size_t>(level)]
                     [static_cast<std::size_t>(cand.id)]) {
-            if (!visited.insert(nb).second)
+            if (!visited.insert(nb))
                 continue;
             const float s = scoreOf(query, nb);
             if (!results.full() ||
@@ -217,7 +226,8 @@ Hnsw::connect(idx_t node, int level,
 }
 
 std::vector<Neighbor>
-Hnsw::search(const float *query, idx_t k, int ef) const
+Hnsw::searchImpl(const float *query, idx_t k, int ef,
+                 VisitedSet &visited) const
 {
     JUNO_REQUIRE(built(), "search before build");
     JUNO_REQUIRE(k > 0, "k must be positive");
@@ -226,10 +236,28 @@ Hnsw::search(const float *query, idx_t k, int ef) const
     idx_t entry = entry_point_;
     for (int l = max_level_; l > 0; --l)
         entry = greedyDescend(query, entry, l);
-    auto found = searchLayer(query, entry, ef, 0);
+    auto found = searchLayer(query, entry, ef, 0, visited);
     if (static_cast<idx_t>(found.size()) > k)
         found.resize(static_cast<std::size_t>(k));
     return found;
+}
+
+std::vector<Neighbor>
+Hnsw::search(const float *query, idx_t k, int ef) const
+{
+    // Local scratch: this entry point stays safe to call concurrently
+    // (the IVFPQ router probes from parallel search workers).
+    VisitedSet visited;
+    return searchImpl(query, k, ef, visited);
+}
+
+void
+Hnsw::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
+{
+    ScopedStageTimer t(ctx.timers(), "graph");
+    for (idx_t qi = chunk.begin; qi < chunk.end; ++qi)
+        (*chunk.results)[static_cast<std::size_t>(qi)] = searchImpl(
+            chunk.queries.row(qi), chunk.k, ef_search_, ctx.visited);
 }
 
 const std::vector<idx_t> &

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "baseline/index.h"
 #include "common/matrix.h"
 #include "common/rng.h"
 #include "common/topk.h"
@@ -21,8 +22,12 @@
 
 namespace juno {
 
-/** HNSW graph over a fixed point set. */
-class Hnsw {
+/**
+ * HNSW graph over a fixed point set. Also a full AnnIndex: batched
+ * search beams with width efSearch() and reuses the context's
+ * epoch-stamped visited set instead of allocating one per query.
+ */
+class Hnsw : public AnnIndex {
   public:
     struct Params {
         /** Max out-degree per node on layers > 0 (2M on layer 0). */
@@ -39,25 +44,57 @@ class Hnsw {
     void build(Metric metric, FloatMatrixView points, const Params &params);
 
     bool built() const { return !layers_.empty(); }
-    idx_t size() const { return points_.rows(); }
     int maxLevel() const { return max_level_; }
+
+    std::string name() const override;
+    Metric metric() const override { return metric_; }
+    idx_t size() const override { return points_.rows(); }
+    idx_t dim() const override { return points_.cols(); }
+
+    /** Beam width of the batched AnnIndex search path. */
+    int efSearch() const { return ef_search_; }
+    void setEfSearch(int ef) { ef_search_ = ef; }
+
+    /** Batched search entry points (hidden otherwise by search() below). */
+    using AnnIndex::search;
 
     /**
      * Beam search: returns the best-first top-@p k with beam width
-     * @p ef (clamped up to k).
+     * @p ef (clamped up to k). Thread-safe on a built graph (uses its
+     * own local scratch), so the IVFPQ router can call it from
+     * concurrent search workers.
      */
     std::vector<Neighbor> search(const float *query, idx_t k, int ef) const;
 
+    /**
+     * Allocation-free variant against caller-owned visited scratch
+     * (the IVFPQ router passes its worker context's set, one per
+     * thread, so the batched filter stage never allocates per query).
+     */
+    std::vector<Neighbor>
+    search(const float *query, idx_t k, int ef, VisitedSet &visited) const
+    {
+        return searchImpl(query, k, ef, visited);
+    }
+
     /** Out-neighbours of @p node on @p level (for tests/inspection). */
     const std::vector<idx_t> &neighbors(int level, idx_t node) const;
+
+  protected:
+    void searchChunk(const SearchChunk &chunk, SearchContext &ctx) override;
 
   private:
     /** Greedy descent to the closest node on a single level. */
     idx_t greedyDescend(const float *query, idx_t entry, int level) const;
 
+    /** search() body against caller-owned visited scratch. */
+    std::vector<Neighbor> searchImpl(const float *query, idx_t k, int ef,
+                                     VisitedSet &visited) const;
+
     /** Beam search on one level. */
     std::vector<Neighbor> searchLayer(const float *query, idx_t entry,
-                                      int ef, int level) const;
+                                      int ef, int level,
+                                      VisitedSet &visited) const;
 
     /**
      * Diversity-aware neighbour selection (Algorithm 4 of the HNSW
@@ -77,6 +114,7 @@ class Hnsw {
     Metric metric_ = Metric::kL2;
     FloatMatrix points_;
     Params params_;
+    int ef_search_ = 64;
     /** layers_[l][node] = adjacency list (empty if node absent). */
     std::vector<std::vector<std::vector<idx_t>>> layers_;
     std::vector<int> node_level_;

@@ -1,0 +1,23 @@
+#include "baseline/index.h"
+
+#include "common/logging.h"
+
+namespace juno {
+
+SearchResults
+AnnIndex::search(const SearchRequest &request)
+{
+    JUNO_REQUIRE(request.options.k > 0, "k must be positive");
+    JUNO_REQUIRE(request.queries.cols() == dim(),
+                 "dimension mismatch: queries have "
+                     << request.queries.cols() << " columns, index has "
+                     << dim());
+    return engine_.run(
+        request.queries, request.options,
+        [this](const SearchChunk &chunk, SearchContext &ctx) {
+            searchChunk(chunk, ctx);
+        },
+        timers_);
+}
+
+} // namespace juno

@@ -2,6 +2,13 @@
  * @file
  * Abstract ANN index interface shared by the baselines and JUNO, so the
  * harness can sweep heterogeneous indexes through one code path.
+ *
+ * Searching is batched: the public non-virtual search(SearchRequest)
+ * shards the query batch across a worker pool (engine/query_engine.h)
+ * and delegates each shard to the protected searchChunk() virtual.
+ * Implementations write into SearchContext-owned scratch instead of
+ * allocating per query, and accumulate stage timings into the
+ * context's private ledger (merged thread-safely after the batch).
  */
 #ifndef JUNO_BASELINE_INDEX_H
 #define JUNO_BASELINE_INDEX_H
@@ -13,11 +20,11 @@
 #include "common/timer.h"
 #include "common/topk.h"
 #include "common/types.h"
+#include "engine/query_engine.h"
+#include "engine/search_context.h"
+#include "engine/search_request.h"
 
 namespace juno {
-
-/** Retrieved results: one best-first Neighbor list per query. */
-using SearchResults = std::vector<std::vector<Neighbor>>;
 
 /** Common interface of every searchable index in this repository. */
 class AnnIndex {
@@ -33,19 +40,49 @@ class AnnIndex {
     /** Number of indexed points. */
     virtual idx_t size() const = 0;
 
+    /** Dimensionality of indexed points (queries must match). */
+    virtual idx_t dim() const = 0;
+
     /**
-     * Retrieves the top-@p k neighbours of every row of @p queries.
-     * Implementations accumulate per-stage wall time into stageTimers()
-     * so benches can report breakdowns.
+     * Retrieves the top-k neighbours of every query row of @p request.
+     * The batch is sharded across request.options.threads workers;
+     * results are bitwise identical for every thread count. Per-stage
+     * wall time accumulates into stageTimers() (unless the request
+     * disables stats) so benches can report breakdowns.
+     *
+     * One index instance is searched from one caller thread at a time;
+     * parallelism lives inside the engine.
      */
-    virtual SearchResults search(FloatMatrixView queries, idx_t k) = 0;
+    SearchResults search(const SearchRequest &request);
+
+    /** Convenience: single-threaded batch with default options. */
+    SearchResults
+    search(FloatMatrixView queries, idx_t k)
+    {
+        return search(SearchRequest(queries, k));
+    }
 
     /** Per-stage timing ledger of all searches since the last reset. */
     const StageTimers &stageTimers() const { return timers_; }
     void resetStageTimers() { timers_.reset(); }
 
+    /** Worker count actually used by the most recent search(). */
+    int lastSearchThreads() const { return engine_.lastThreadCount(); }
+
   protected:
+    /**
+     * Answers queries [chunk.begin, chunk.end), writing each result
+     * into (*chunk.results)[qi]. Runs concurrently on distinct chunks
+     * with distinct contexts; must only mutate @p ctx, the owned
+     * result slots, and state guarded by the implementation.
+     */
+    virtual void searchChunk(const SearchChunk &chunk,
+                             SearchContext &ctx) = 0;
+
     StageTimers timers_;
+
+  private:
+    QueryEngine engine_;
 };
 
 } // namespace juno

@@ -28,28 +28,24 @@ IvfFlatIndex::name() const
     return "IVF" + std::to_string(ivf_.numClusters()) + ",Flat";
 }
 
-SearchResults
-IvfFlatIndex::search(FloatMatrixView queries, idx_t k)
+void
+IvfFlatIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
 {
-    JUNO_REQUIRE(queries.cols() == points_.cols(), "dimension mismatch");
-    SearchResults results(static_cast<std::size_t>(queries.rows()));
     const idx_t d = points_.cols();
-    for (idx_t qi = 0; qi < queries.rows(); ++qi) {
-        const float *q = queries.row(qi);
-        std::vector<Neighbor> probes;
+    for (idx_t qi = chunk.begin; qi < chunk.end; ++qi) {
+        const float *q = chunk.queries.row(qi);
         {
-            ScopedStageTimer t(timers_, "filter");
-            probes = ivf_.probe(metric_, q, nprobs_);
+            ScopedStageTimer t(ctx.timers(), "filter");
+            ctx.probes = ivf_.probe(metric_, q, nprobs_);
         }
-        ScopedStageTimer t(timers_, "scan");
-        TopK top(std::min(k, points_.rows()), metric_);
-        for (const auto &probe : probes) {
+        ScopedStageTimer t(ctx.timers(), "scan");
+        TopK top(std::min(chunk.k, points_.rows()), metric_);
+        for (const auto &probe : ctx.probes) {
             for (idx_t pid : ivf_.list(static_cast<cluster_t>(probe.id)))
                 top.push(pid, score(metric_, q, points_.row(pid), d));
         }
-        results[static_cast<std::size_t>(qi)] = top.take();
+        (*chunk.results)[static_cast<std::size_t>(qi)] = top.take();
     }
-    return results;
 }
 
 } // namespace juno

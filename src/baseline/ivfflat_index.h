@@ -26,12 +26,14 @@ class IvfFlatIndex : public AnnIndex {
     std::string name() const override;
     Metric metric() const override { return metric_; }
     idx_t size() const override { return points_.rows(); }
+    idx_t dim() const override { return points_.cols(); }
 
     idx_t nprobs() const { return nprobs_; }
     void setNprobs(idx_t nprobs) { nprobs_ = nprobs; }
     const InvertedFileIndex &ivf() const { return ivf_; }
 
-    SearchResults search(FloatMatrixView queries, idx_t k) override;
+  protected:
+    void searchChunk(const SearchChunk &chunk, SearchContext &ctx) override;
 
   private:
     Metric metric_;

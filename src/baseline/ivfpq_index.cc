@@ -68,13 +68,26 @@ IvfPqIndex::probe(const float *query, idx_t nprobs) const
     return ivf_.probe(metric_, query, nprobs);
 }
 
+std::vector<Neighbor>
+IvfPqIndex::probe(const float *query, idx_t nprobs,
+                  VisitedSet &visited) const
+{
+    if (router_) {
+        return router_->search(query, std::min(nprobs, ivf_.numClusters()),
+                               std::max<int>(hnsw_ef_search_,
+                                             static_cast<int>(nprobs)),
+                               visited);
+    }
+    return ivf_.probe(metric_, query, nprobs);
+}
+
 void
 IvfPqIndex::buildLut(const float *query, cluster_t cluster, FloatMatrix &lut,
-                     float &base) const
+                     float &base, std::vector<float> &residual) const
 {
     if (metric_ == Metric::kL2) {
         // L2 ADC on residuals: dist ~= sum_s L2(residual_s, entry_s).
-        std::vector<float> residual(static_cast<std::size_t>(dim_));
+        residual.resize(static_cast<std::size_t>(dim_));
         ivf_.residual(query, cluster, residual.data());
         pq_.computeLut(Metric::kL2, residual.data(), lut);
         base = 0.0f;
@@ -86,44 +99,37 @@ IvfPqIndex::buildLut(const float *query, cluster_t cluster, FloatMatrix &lut,
     }
 }
 
-SearchResults
-IvfPqIndex::search(FloatMatrixView queries, idx_t k)
+void
+IvfPqIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
 {
-    JUNO_REQUIRE(queries.cols() == dim_, "dimension mismatch");
-    JUNO_REQUIRE(k > 0, "k must be positive");
-    SearchResults results(static_cast<std::size_t>(queries.rows()));
-
     const int subspaces = pq_.numSubspaces();
-    FloatMatrix lut;
-    for (idx_t qi = 0; qi < queries.rows(); ++qi) {
-        const float *q = queries.row(qi);
+    for (idx_t qi = chunk.begin; qi < chunk.end; ++qi) {
+        const float *q = chunk.queries.row(qi);
 
-        std::vector<Neighbor> probes;
         {
-            ScopedStageTimer t(timers_, "filter");
-            probes = probe(q, nprobs_);
+            ScopedStageTimer t(ctx.timers(), "filter");
+            ctx.probes = probe(q, nprobs_, ctx.visited);
         }
 
-        TopK top(std::min(k, num_points_), metric_);
-        for (const auto &pr : probes) {
+        TopK top(std::min(chunk.k, num_points_), metric_);
+        for (const auto &pr : ctx.probes) {
             const cluster_t c = static_cast<cluster_t>(pr.id);
             float base = 0.0f;
             {
-                ScopedStageTimer t(timers_, "lut");
-                buildLut(q, c, lut, base);
+                ScopedStageTimer t(ctx.timers(), "lut");
+                buildLut(q, c, ctx.lut, base, ctx.residual);
             }
-            ScopedStageTimer t(timers_, "scan");
+            ScopedStageTimer t(ctx.timers(), "scan");
             for (idx_t pid : ivf_.list(c)) {
                 const entry_t *pc = codes_.row(pid);
                 float acc = base;
                 for (int s = 0; s < subspaces; ++s)
-                    acc += lut.at(s, pc[s]);
+                    acc += ctx.lut.at(s, pc[s]);
                 top.push(pid, acc);
             }
         }
-        results[static_cast<std::size_t>(qi)] = top.take();
+        (*chunk.results)[static_cast<std::size_t>(qi)] = top.take();
     }
-    return results;
 }
 
 std::vector<Neighbor>
@@ -142,10 +148,11 @@ IvfPqIndex::searchOneRecordingUsage(
     auto probes = probe(query, nprobs_);
     TopK top(std::min(k, num_points_), metric_);
     FloatMatrix lut;
+    std::vector<float> residual;
     for (const auto &pr : probes) {
         const cluster_t c = static_cast<cluster_t>(pr.id);
         float base = 0.0f;
-        buildLut(query, c, lut, base);
+        buildLut(query, c, lut, base, residual);
         for (idx_t pid : ivf_.list(c)) {
             const entry_t *pc = codes_.row(pid);
             float acc = base;

@@ -50,6 +50,7 @@ class IvfPqIndex : public AnnIndex {
     std::string name() const override;
     Metric metric() const override { return metric_; }
     idx_t size() const override { return num_points_; }
+    idx_t dim() const override { return dim_; }
 
     idx_t nprobs() const { return nprobs_; }
     void setNprobs(idx_t nprobs) { nprobs_ = nprobs; }
@@ -59,13 +60,19 @@ class IvfPqIndex : public AnnIndex {
     const PQCodes &codes() const { return codes_; }
     bool hasHnswRouter() const { return router_ != nullptr; }
 
-    SearchResults search(FloatMatrixView queries, idx_t k) override;
-
     /**
      * Filtering stage only (public so JUNO and the motivation benches
      * can reuse the identical stage-A implementation).
      */
     std::vector<Neighbor> probe(const float *query, idx_t nprobs) const;
+
+    /**
+     * Filtering against caller-owned router scratch; the batched path
+     * passes the worker context's visited set to keep the HNSW-routed
+     * stage A allocation-free.
+     */
+    std::vector<Neighbor> probe(const float *query, idx_t nprobs,
+                                VisitedSet &visited) const;
 
     /**
      * Searches a single query and optionally reports which (cluster,
@@ -76,10 +83,17 @@ class IvfPqIndex : public AnnIndex {
         const float *query, idx_t k,
         std::vector<std::vector<std::uint32_t>> *entry_usage) const;
 
+  protected:
+    void searchChunk(const SearchChunk &chunk, SearchContext &ctx) override;
+
   private:
-    /** Computes the per-cluster LUT and base score for one query. */
+    /**
+     * Computes the per-cluster LUT and base score for one query;
+     * @p residual is caller-owned scratch (context buffer on the
+     * batched path) so the hot loop stays allocation-free.
+     */
     void buildLut(const float *query, cluster_t cluster, FloatMatrix &lut,
-                  float &base) const;
+                  float &base, std::vector<float> &residual) const;
 
     Metric metric_;
     idx_t num_points_ = 0;

@@ -83,28 +83,55 @@ ThreadPool::workerLoop()
 }
 
 void
-ThreadPool::parallelFor(idx_t n, const std::function<void(idx_t)> &fn)
+ThreadPool::Batch::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++pending_;
+    }
+    pool_.submit([this, job = std::move(job)] {
+        job();
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_ == 0)
+            cv_.notify_all();
+    });
+}
+
+void
+ThreadPool::Batch::join()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(idx_t n, const std::function<void(idx_t)> &fn,
+                        idx_t min_grain)
 {
     if (n <= 0)
         return;
-    if (thread_count_ == 1) {
+    min_grain = std::max<idx_t>(1, min_grain);
+    // Chunk size derives from n over the worker count, floored at the
+    // grain; degenerate splits (everything would land in one chunk
+    // anyway) run inline on the caller.
+    const idx_t per = std::max(
+        min_grain, (n + thread_count_ - 1) / thread_count_);
+    if (thread_count_ == 1 || per >= n) {
         for (idx_t i = 0; i < n; ++i)
             fn(i);
         return;
     }
-    const idx_t chunks = std::min<idx_t>(n, thread_count_);
-    const idx_t per = (n + chunks - 1) / chunks;
-    for (idx_t c = 0; c < chunks; ++c) {
-        const idx_t begin = c * per;
+    // A private Batch instead of wait(): concurrent parallelFor calls
+    // on one pool each block on their own jobs only.
+    Batch batch(*this);
+    for (idx_t begin = 0; begin < n; begin += per) {
         const idx_t end = std::min(n, begin + per);
-        if (begin >= end)
-            break;
-        submit([begin, end, &fn] {
+        batch.submit([begin, end, &fn] {
             for (idx_t i = begin; i < end; ++i)
                 fn(i);
         });
     }
-    wait();
+    batch.join();
 }
 
 } // namespace juno

@@ -43,11 +43,44 @@ class ThreadPool {
     void wait();
 
     /**
-     * Runs fn(i) for i in [0, n) split into contiguous chunks across the
-     * pool, blocking until done. fn must be safe to call concurrently
-     * for distinct i.
+     * A tracked group of jobs with its own completion counter: join()
+     * (or the destructor) blocks until *this batch's* jobs finish,
+     * without calling ThreadPool::wait(), so independent batches can
+     * share one pool concurrently (the query engine submits one batch
+     * per search while other callers keep using the pool).
      */
-    void parallelFor(idx_t n, const std::function<void(idx_t)> &fn);
+    class Batch {
+      public:
+        explicit Batch(ThreadPool &pool) : pool_(pool) {}
+        ~Batch() { join(); }
+
+        Batch(const Batch &) = delete;
+        Batch &operator=(const Batch &) = delete;
+
+        /** Enqueues a job belonging to this batch. */
+        void submit(std::function<void()> job);
+
+        /** Blocks until every job submitted to this batch finished. */
+        void join();
+
+      private:
+        ThreadPool &pool_;
+        std::mutex mutex_;
+        std::condition_variable cv_;
+        int pending_ = 0;
+    };
+
+    /**
+     * Runs fn(i) for i in [0, n) split into contiguous chunks across
+     * the pool, blocking until done. fn must be safe to call
+     * concurrently for distinct i. The chunk size derives from
+     * n / threads floored at @p min_grain (default 1) so tiny
+     * per-item work does not drown in dispatch overhead (the tail
+     * chunk may be smaller); when the split degenerates to a single
+     * chunk the whole range runs inline on the caller.
+     */
+    void parallelFor(idx_t n, const std::function<void(idx_t)> &fn,
+                     idx_t min_grain = 1);
 
   private:
     void workerLoop();

@@ -269,47 +269,87 @@ JunoIndex::searchOne(const float *query, idx_t k)
                       std::min(k, num_points_));
 }
 
-SearchResults
-JunoIndex::search(FloatMatrixView queries, idx_t k)
-{
-    JUNO_REQUIRE(queries.cols() == dim_, "dimension mismatch");
-    JUNO_REQUIRE(k > 0, "k must be positive");
-    SearchResults results(static_cast<std::size_t>(queries.rows()));
-
-    if (!params_.pipelined) {
-        for (idx_t qi = 0; qi < queries.rows(); ++qi)
-            results[static_cast<std::size_t>(qi)] =
-                searchOne(queries.row(qi), k);
-        return results;
+/**
+ * Per-worker search state: a private RT device (so traversal counters
+ * accumulate without contention), the RT-LUT builder and distance
+ * calculator bound to it, and the reusable sparse-LUT buffers. Lives
+ * in a SearchContext, so it persists across chunks and batches.
+ */
+struct JunoIndex::Worker {
+    explicit Worker(JunoIndex &owner)
+        : device(owner.device_.mode()),
+          builder(owner.scene_, owner.policy_, owner.ivf_, device),
+          calc(owner.ivf_, owner.interest_)
+    {
     }
 
-    // Pipelined mode: stage 1 = filter + RT LUT (the paper's RT-core
-    // side), stage 2 = distance calculation (the Tensor-core side).
-    // Per-query intermediates are buffered; stages touch disjoint
-    // timing accumulators merged afterwards.
-    std::vector<std::vector<Neighbor>> probes_buf(
-        static_cast<std::size_t>(queries.rows()));
-    std::vector<SparseLut> lut_buf(
-        static_cast<std::size_t>(queries.rows()));
+    rt::RtDevice device;
+    SelectiveLutBuilder builder;
+    DistanceCalculator calc;
+    /** Reused per-query sparse LUT. */
+    SparseLut lut;
+    /** Pipelined mode: per-query intermediates of the current chunk. */
+    std::vector<std::vector<Neighbor>> probes_buf;
+    std::vector<SparseLut> lut_buf;
+};
 
-    auto stage1 = [&](idx_t qi) {
-        probes_buf[static_cast<std::size_t>(qi)] = probe(queries.row(qi));
-        lut_buf[static_cast<std::size_t>(qi)] =
-            buildLut(queries.row(qi),
-                     probes_buf[static_cast<std::size_t>(qi)]);
-    };
-    auto stage2 = [&](idx_t qi) {
-        results[static_cast<std::size_t>(qi)] = calc_->run(
-            metric_, params_.mode, probes_buf[static_cast<std::size_t>(qi)],
-            lut_buf[static_cast<std::size_t>(qi)],
-            std::min(k, num_points_));
-    };
-    const auto pipe =
-        runTwoStagePipeline(queries.rows(), stage1, stage2, true);
-    timers_.add("rt_lut", pipe.stage1_seconds);
-    timers_.add("scan", pipe.stage2_seconds);
-    timers_.add("pipeline_wall", pipe.wall_seconds);
-    return results;
+void
+JunoIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
+{
+    auto &w = ctx.scratch<Worker>(
+        [this] { return std::make_unique<Worker>(*this); });
+    // Search-time knobs may have flipped since the worker was created.
+    w.device.setMode(device_.mode());
+    const idx_t k = std::min(chunk.k, num_points_);
+
+    if (!params_.pipelined) {
+        for (idx_t qi = chunk.begin; qi < chunk.end; ++qi) {
+            const float *q = chunk.queries.row(qi);
+            {
+                ScopedStageTimer t(ctx.timers(), "filter");
+                ctx.probes = probe(q);
+            }
+            {
+                ScopedStageTimer t(ctx.timers(), "rt_lut");
+                w.builder.buildInto(q, ctx.probes, lutParams(), w.lut);
+            }
+            ScopedStageTimer t(ctx.timers(), "scan");
+            (*chunk.results)[static_cast<std::size_t>(qi)] =
+                w.calc.run(metric_, params_.mode, ctx.probes, w.lut, k);
+        }
+    } else {
+        // Pipelined mode: stage 1 = filter + RT LUT (the paper's
+        // RT-core side), stage 2 = distance calculation (the
+        // Tensor-core side), overlapped across the queries of this
+        // chunk. Stages touch disjoint worker members.
+        const auto n = static_cast<std::size_t>(chunk.end - chunk.begin);
+        if (w.probes_buf.size() < n) {
+            w.probes_buf.resize(n);
+            w.lut_buf.resize(n);
+        }
+        auto stage1 = [&](idx_t i) {
+            const float *q = chunk.queries.row(chunk.begin + i);
+            auto &probes = w.probes_buf[static_cast<std::size_t>(i)];
+            probes = probe(q);
+            w.builder.buildInto(q, probes, lutParams(),
+                                w.lut_buf[static_cast<std::size_t>(i)]);
+        };
+        auto stage2 = [&](idx_t i) {
+            (*chunk.results)[static_cast<std::size_t>(chunk.begin + i)] =
+                w.calc.run(metric_, params_.mode,
+                           w.probes_buf[static_cast<std::size_t>(i)],
+                           w.lut_buf[static_cast<std::size_t>(i)], k);
+        };
+        const auto pipe = runTwoStagePipeline(
+            chunk.end - chunk.begin, stage1, stage2, true);
+        ctx.timers().add("rt_lut", pipe.stage1_seconds);
+        ctx.timers().add("scan", pipe.stage2_seconds);
+        ctx.timers().add("pipeline_wall", pipe.wall_seconds);
+    }
+
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    device_.mergeStats(w.device.totalStats());
+    w.device.resetStats();
 }
 
 } // namespace juno

@@ -23,6 +23,7 @@
 #define JUNO_CORE_JUNO_INDEX_H
 
 #include <memory>
+#include <mutex>
 
 #include "baseline/index.h"
 #include "core/density_map.h"
@@ -80,10 +81,12 @@ class JunoIndex : public AnnIndex {
     std::string name() const override;
     Metric metric() const override { return metric_; }
     idx_t size() const override { return num_points_; }
+    idx_t dim() const override { return dim_; }
 
-    SearchResults search(FloatMatrixView queries, idx_t k) override;
-
-    /** Single-query search (no pipelining). */
+    /**
+     * Single-query search (no pipelining). Uses the index-owned solo
+     * scratch; call from one thread at a time.
+     */
     std::vector<Neighbor> searchOne(const float *query, idx_t k);
 
     // ---- Search-time knobs (no rebuild required) ----
@@ -118,7 +121,18 @@ class JunoIndex : public AnnIndex {
     /** Scoring stage (stage C); exposed for the analysis benches. */
     DistanceCalculator &calculator() { return *calc_; }
 
+  protected:
+    /**
+     * Batched path: one Worker (RT device + LUT builder + calculator
+     * + sparse-LUT buffers) lives in each SearchContext, so the RT
+     * pass and scoring run concurrently across chunks; traversal
+     * counters merge into the canonical device under a mutex.
+     */
+    void searchChunk(const SearchChunk &chunk, SearchContext &ctx) override;
+
   private:
+    struct Worker;
+
     /** For load(): members are filled by the loader. */
     JunoIndex() : metric_(Metric::kL2) {}
 
@@ -144,6 +158,8 @@ class JunoIndex : public AnnIndex {
     std::unique_ptr<DistanceCalculator> calc_;
     /** Reused per-query sparse LUT (hot-path allocation avoidance). */
     SparseLut lut_scratch_;
+    /** Guards device_ stat merges from parallel search workers. */
+    std::mutex stats_mutex_;
 };
 
 } // namespace juno

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/logging.h"
 
@@ -50,9 +51,15 @@ RtExactIndex::RtExactIndex(FloatMatrixView points)
         }
     }
     scene_.build();
-    acc_.assign(static_cast<std::size_t>(num_points_), 0.0f);
-    seen_.assign(static_cast<std::size_t>(num_points_), 0);
 }
+
+/** Per-worker accumulators; persist across chunks via the context. */
+struct RtExactIndex::Worker {
+    std::vector<rt::Ray> rays;
+    std::vector<float> acc;
+    std::vector<std::int32_t> seen;
+    rt::RtDevice device;
+};
 
 std::string
 RtExactIndex::name() const
@@ -60,20 +67,22 @@ RtExactIndex::name() const
     return "RT-Exact(L2)";
 }
 
-SearchResults
-RtExactIndex::search(FloatMatrixView queries, idx_t k)
+void
+RtExactIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
 {
-    JUNO_REQUIRE(queries.cols() == dim_, "dimension mismatch");
-    JUNO_REQUIRE(k > 0, "k must be positive");
-    SearchResults results(static_cast<std::size_t>(queries.rows()));
+    auto &w = ctx.scratch<Worker>(
+        [] { return std::make_unique<Worker>(); });
+    w.rays.resize(static_cast<std::size_t>(subspaces_));
+    w.acc.resize(static_cast<std::size_t>(num_points_));
+    w.seen.resize(static_cast<std::size_t>(num_points_));
+    w.device.setMode(device_.mode());
 
-    ScopedStageTimer timer(timers_, "rt_exact");
-    std::vector<rt::Ray> rays(static_cast<std::size_t>(subspaces_));
-    for (idx_t qi = 0; qi < queries.rows(); ++qi) {
-        const float *q = queries.row(qi);
+    ScopedStageTimer timer(ctx.timers(), "rt_exact");
+    for (idx_t qi = chunk.begin; qi < chunk.end; ++qi) {
+        const float *q = chunk.queries.row(qi);
         for (int s = 0; s < subspaces_; ++s) {
             const float kappa = coord_scale_[static_cast<std::size_t>(s)];
-            auto &ray = rays[static_cast<std::size_t>(s)];
+            auto &ray = w.rays[static_cast<std::size_t>(s)];
             ray.origin = {q[2 * s] * kappa, q[2 * s + 1] * kappa,
                           kZSpacing * static_cast<float>(s)};
             ray.dir = {0, 0, 1};
@@ -82,34 +91,37 @@ RtExactIndex::search(FloatMatrixView queries, idx_t k)
             ray.payload = static_cast<std::uint64_t>(s);
         }
 
-        std::fill(acc_.begin(), acc_.end(), 0.0f);
-        std::fill(seen_.begin(), seen_.end(), 0);
-        device_.launch(scene_, rays, [&](const rt::Ray &,
-                                         const rt::Hit &hit) {
+        std::fill(w.acc.begin(), w.acc.end(), 0.0f);
+        std::fill(w.seen.begin(), w.seen.end(), 0);
+        w.device.launch(scene_, w.rays, [&](const rt::Ray &,
+                                            const rt::Hit &hit) {
             const int s = static_cast<int>(hit.user_id >> 32);
             const auto p =
                 static_cast<std::uint32_t>(hit.user_id & 0xFFFFFFFFu);
             const float kappa = coord_scale_[static_cast<std::size_t>(s)];
             const float one_minus = 1.0f - hit.thit;
             // Exact subspace distance from the hit time (Fig. 9 left).
-            acc_[p] += (kRadius * kRadius - one_minus * one_minus) /
-                       (kappa * kappa);
-            ++seen_[p];
+            w.acc[p] += (kRadius * kRadius - one_minus * one_minus) /
+                        (kappa * kappa);
+            ++w.seen[p];
             return true;
         });
 
-        TopK top(std::min(k, num_points_), Metric::kL2);
+        TopK top(std::min(chunk.k, num_points_), Metric::kL2);
         for (idx_t p = 0; p < num_points_; ++p) {
             // A query too far outside the data's bounding region can
             // miss points entirely; those cannot be scored exactly and
             // are excluded (the accuracy guarantee covers in-domain
             // queries; see the header).
-            if (seen_[static_cast<std::size_t>(p)] == subspaces_)
-                top.push(p, acc_[static_cast<std::size_t>(p)]);
+            if (w.seen[static_cast<std::size_t>(p)] == subspaces_)
+                top.push(p, w.acc[static_cast<std::size_t>(p)]);
         }
-        results[static_cast<std::size_t>(qi)] = top.take();
+        (*chunk.results)[static_cast<std::size_t>(qi)] = top.take();
     }
-    return results;
+
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    device_.mergeStats(w.device.totalStats());
+    w.device.resetStats();
 }
 
 } // namespace juno

@@ -19,6 +19,7 @@
 #ifndef JUNO_CORE_RT_EXACT_INDEX_H
 #define JUNO_CORE_RT_EXACT_INDEX_H
 
+#include <mutex>
 #include <vector>
 
 #include "baseline/index.h"
@@ -39,12 +40,17 @@ class RtExactIndex : public AnnIndex {
     std::string name() const override;
     Metric metric() const override { return Metric::kL2; }
     idx_t size() const override { return num_points_; }
-
-    SearchResults search(FloatMatrixView queries, idx_t k) override;
+    idx_t dim() const override { return dim_; }
 
     const rt::TraversalStats &rtStats() const { return device_.totalStats(); }
 
+  protected:
+    void searchChunk(const SearchChunk &chunk, SearchContext &ctx) override;
+
   private:
+    /** Per-worker scratch (accumulators sized to the point count). */
+    struct Worker;
+
     static constexpr float kZSpacing = 4.0f;
     static constexpr float kRadius = 1.0f;
 
@@ -54,10 +60,9 @@ class RtExactIndex : public AnnIndex {
     /** Per-subspace coordinate scale keeping all distances under R. */
     std::vector<float> coord_scale_;
     rt::Scene scene_;
+    /** Canonical stats ledger; workers merge their launches into it. */
     rt::RtDevice device_;
-    /** Scratch accumulators (one slot per point). */
-    std::vector<float> acc_;
-    std::vector<std::int32_t> seen_;
+    std::mutex stats_mutex_;
 };
 
 } // namespace juno

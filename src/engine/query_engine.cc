@@ -1,0 +1,104 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace juno {
+
+namespace {
+/** Smallest chunk worth dispatching (amortises the queue hop). */
+constexpr idx_t kMinChunk = 4;
+/** Auto-chunking targets this many chunks per worker (load balance). */
+constexpr idx_t kChunksPerWorker = 4;
+} // namespace
+
+int
+QueryEngine::resolveThreads(int requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+idx_t
+QueryEngine::resolveChunk(idx_t rows, int threads, idx_t requested)
+{
+    if (requested > 0)
+        return requested;
+    const idx_t target = static_cast<idx_t>(threads) * kChunksPerWorker;
+    return std::max(kMinChunk, (rows + target - 1) / target);
+}
+
+SearchResults
+QueryEngine::run(FloatMatrixView queries, const SearchOptions &options,
+                 const SearchChunkFn &fn, StageTimers &stage_sink)
+{
+    JUNO_REQUIRE(options.k > 0, "k must be positive");
+    const idx_t rows = queries.rows();
+    SearchResults results(static_cast<std::size_t>(rows));
+    if (rows == 0)
+        return results;
+
+    int threads = resolveThreads(options.threads);
+    threads = static_cast<int>(
+        std::min<idx_t>(static_cast<idx_t>(threads), rows));
+    const idx_t chunk =
+        resolveChunk(rows, threads, options.batch_size);
+    const idx_t num_chunks = (rows + chunk - 1) / chunk;
+    // Never keep more workers than chunks: the surplus could not
+    // receive work, and lastThreadCount() must report reality.
+    threads = static_cast<int>(
+        std::min<idx_t>(static_cast<idx_t>(threads), num_chunks));
+    last_threads_ = threads;
+
+    while (contexts_.size() < static_cast<std::size_t>(threads))
+        contexts_.push_back(std::make_unique<SearchContext>());
+
+    auto run_chunk = [&](idx_t c, SearchContext &ctx) {
+        SearchChunk sc;
+        sc.queries = queries;
+        sc.begin = c * chunk;
+        sc.end = std::min(rows, sc.begin + chunk);
+        sc.k = options.k;
+        sc.results = &results;
+        fn(sc, ctx);
+    };
+
+    if (threads == 1) {
+        for (idx_t c = 0; c < num_chunks; ++c)
+            run_chunk(c, *contexts_[0]);
+    } else {
+        if (!pool_ || pool_->threadCount() != threads)
+            pool_ = std::make_unique<ThreadPool>(threads);
+        // One task per worker; tasks drain a shared chunk counter so a
+        // slow chunk never strands the rest of the batch behind it.
+        std::atomic<idx_t> next{0};
+        ThreadPool::Batch batch(*pool_);
+        for (int t = 0; t < threads; ++t) {
+            SearchContext *ctx = contexts_[static_cast<std::size_t>(t)].get();
+            batch.submit([&, ctx] {
+                for (idx_t c = next.fetch_add(1); c < num_chunks;
+                     c = next.fetch_add(1))
+                    run_chunk(c, *ctx);
+            });
+        }
+        batch.join();
+    }
+
+    // Merge-on-completion keeps StageTimers lock-free on the hot path:
+    // workers only ever touch their private ledger, and the caller
+    // folds them in deterministic worker order once the batch is done.
+    for (int t = 0; t < threads; ++t) {
+        auto &ctx = *contexts_[static_cast<std::size_t>(t)];
+        if (options.collect_stats)
+            stage_sink.merge(ctx.timers());
+        ctx.timers().reset();
+    }
+    return results;
+}
+
+} // namespace juno

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The batched query engine: shards a SearchRequest across a thread
+ * pool and hands each shard to a per-chunk callback together with a
+ * per-worker SearchContext.
+ *
+ * This is the CPU substitution for the paper's batch dispatcher
+ * (Sec. 5.3): the GPU keeps many queries in flight across RT and
+ * Tensor units; here a worker team drains a chunk queue so QPS scales
+ * with the thread count while per-query results stay bitwise identical
+ * to the serial order (queries are independent and each result slot
+ * has exactly one writer).
+ */
+#ifndef JUNO_ENGINE_QUERY_ENGINE_H
+#define JUNO_ENGINE_QUERY_ENGINE_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "engine/search_context.h"
+#include "engine/search_request.h"
+
+namespace juno {
+
+/** Executes one chunk of queries against a worker's context. */
+using SearchChunkFn =
+    std::function<void(const SearchChunk &, SearchContext &)>;
+
+/**
+ * Owns the worker pool and the per-worker contexts of one index.
+ * Contexts (and their scratch) persist across run() calls; the pool is
+ * rebuilt only when the requested thread count changes.
+ *
+ * run() itself is not re-entrant: an index is searched from one caller
+ * thread at a time (parallelism lives *inside* the engine).
+ */
+class QueryEngine {
+  public:
+    QueryEngine() = default;
+    QueryEngine(const QueryEngine &) = delete;
+    QueryEngine &operator=(const QueryEngine &) = delete;
+
+    /**
+     * Shards @p queries into chunks and runs @p fn over all of them
+     * with @p options.threads workers. Per-context stage timers are
+     * merged into @p stage_sink (in worker order, on the calling
+     * thread) when options.collect_stats is set.
+     */
+    SearchResults run(FloatMatrixView queries, const SearchOptions &options,
+                      const SearchChunkFn &fn, StageTimers &stage_sink);
+
+    /** Workers used by the last run() (for reporting/tests). */
+    int lastThreadCount() const { return last_threads_; }
+
+    /** Resolves options.threads (0 -> hardware concurrency). */
+    static int resolveThreads(int requested);
+
+    /** Chunk size used for @p rows queries on @p threads workers. */
+    static idx_t resolveChunk(idx_t rows, int threads, idx_t requested);
+
+  private:
+    std::unique_ptr<ThreadPool> pool_;
+    std::vector<std::unique_ptr<SearchContext>> contexts_;
+    int last_threads_ = 1;
+};
+
+} // namespace juno
+
+#endif // JUNO_ENGINE_QUERY_ENGINE_H

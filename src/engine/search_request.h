@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Batched search API types: what a caller asks of an index.
+ *
+ * A SearchRequest bundles the query batch with SearchOptions (k, worker
+ * threads, chunk granularity, stats toggle). The query engine shards
+ * the batch into SearchChunk work items, each executed by one worker
+ * against its own SearchContext, so the paper's batch-level parallelism
+ * (Sec. 5.3: many queries in flight across execution units) has a
+ * first-class CPU expression instead of a per-query loop.
+ */
+#ifndef JUNO_ENGINE_SEARCH_REQUEST_H
+#define JUNO_ENGINE_SEARCH_REQUEST_H
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/topk.h"
+#include "common/types.h"
+
+namespace juno {
+
+/** Retrieved results: one best-first Neighbor list per query. */
+using SearchResults = std::vector<std::vector<Neighbor>>;
+
+/** Tunables of one batched search. */
+struct SearchOptions {
+    /** Neighbours returned per query (> 0). */
+    idx_t k = 10;
+    /**
+     * Worker threads sharing the batch. 1 executes on the calling
+     * thread; 0 picks hardware_concurrency(). Results are bitwise
+     * identical for every thread count (queries are independent).
+     */
+    int threads = 1;
+    /**
+     * Queries per work chunk; 0 derives a chunk size from the batch
+     * size and thread count with a minimum grain. Chunking never
+     * affects results, only load balance.
+     */
+    idx_t batch_size = 0;
+    /**
+     * When false the batch does not contribute to the index's
+     * stageTimers() ledger (serving mode: skip the bookkeeping).
+     */
+    bool collect_stats = true;
+};
+
+/** A query batch plus its options; the unit the engine executes. */
+struct SearchRequest {
+    FloatMatrixView queries;
+    SearchOptions options;
+
+    SearchRequest() = default;
+    SearchRequest(FloatMatrixView q, SearchOptions o)
+        : queries(q), options(o)
+    {
+    }
+    /** Convenience: batch with default options except @p k. */
+    SearchRequest(FloatMatrixView q, idx_t k) : queries(q)
+    {
+        options.k = k;
+    }
+};
+
+/**
+ * A contiguous shard of a batched search handed to one worker.
+ * Implementations answer queries [begin, end) of @p queries and write
+ * each result into (*results)[qi]; slots never overlap across chunks.
+ */
+struct SearchChunk {
+    FloatMatrixView queries;
+    idx_t begin = 0;
+    idx_t end = 0;
+    idx_t k = 0;
+    SearchResults *results = nullptr;
+};
+
+} // namespace juno
+
+#endif // JUNO_ENGINE_SEARCH_REQUEST_H

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "harness/workload.h"
 
 namespace juno {
 
@@ -90,6 +91,22 @@ printBanner(const std::string &title)
 {
     std::printf("\n== %s ==\n", title.c_str());
     std::fflush(stdout);
+}
+
+void
+printThreadScaling(const std::vector<EvalPoint> &points)
+{
+    if (points.empty())
+        return;
+    TablePrinter table({"index", "threads", "QPS", "speedup", "R1@k"});
+    const double base_qps = points.front().qps;
+    for (const auto &p : points)
+        table.addRow({p.index_name, std::to_string(p.threads),
+                      TablePrinter::num(p.qps),
+                      TablePrinter::num(base_qps > 0.0 ? p.qps / base_qps
+                                                       : 0.0),
+                      TablePrinter::num(p.recall1_at_k)});
+    table.print();
 }
 
 } // namespace juno

@@ -11,6 +11,8 @@
 
 namespace juno {
 
+struct EvalPoint;
+
 /** Fixed-column text table accumulated row by row. */
 class TablePrinter {
   public:
@@ -38,6 +40,14 @@ class TablePrinter {
 
 /** Prints a section banner ("== Fig. 12: ... ==") to stdout. */
 void printBanner(const std::string &title);
+
+/**
+ * Prints the effective-QPS table of a thread-scaling run (one row per
+ * worker count, speedup relative to the first row). Points come from
+ * evaluateThreadScaling(); recall is printed once per row to confirm
+ * results did not change with the thread count.
+ */
+void printThreadScaling(const std::vector<EvalPoint> &points);
 
 } // namespace juno
 

@@ -5,7 +5,8 @@
 namespace juno {
 
 std::vector<ParetoPoint>
-sweepOperatingPoints(Workload &workload, AnnIndex &index, idx_t k, int steps,
+sweepOperatingPoints(Workload &workload, AnnIndex &index,
+                     const SearchOptions &options, int steps,
                      const std::function<std::string(int)> &configure,
                      idx_t recall_m)
 {
@@ -14,12 +15,23 @@ sweepOperatingPoints(Workload &workload, AnnIndex &index, idx_t k, int steps,
     for (int i = 0; i < steps; ++i) {
         ParetoPoint p;
         p.label = configure(i);
-        const auto eval = evaluate(workload, index, k, recall_m);
+        const auto eval = evaluate(workload, index, options, recall_m);
         p.recall = recall_m > 0 ? eval.recallm_at_k : eval.recall1_at_k;
         p.qps = eval.qps;
         points.push_back(std::move(p));
     }
     return points;
+}
+
+std::vector<ParetoPoint>
+sweepOperatingPoints(Workload &workload, AnnIndex &index, idx_t k, int steps,
+                     const std::function<std::string(int)> &configure,
+                     idx_t recall_m)
+{
+    SearchOptions options;
+    options.k = k;
+    return sweepOperatingPoints(workload, index, options, steps, configure,
+                                recall_m);
 }
 
 std::vector<ParetoPoint>

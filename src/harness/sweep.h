@@ -22,8 +22,15 @@ struct ParetoPoint {
 
 /**
  * Runs @p configure(i) for i in [0, steps), evaluating the index after
- * each configuration, and returns all operating points.
+ * each configuration with @p options (k, threads, batch size), and
+ * returns all operating points.
  */
+std::vector<ParetoPoint> sweepOperatingPoints(
+    Workload &workload, AnnIndex &index, const SearchOptions &options,
+    int steps, const std::function<std::string(int)> &configure,
+    idx_t recall_m = 0);
+
+/** Single-threaded convenience overload. */
 std::vector<ParetoPoint> sweepOperatingPoints(
     Workload &workload, AnnIndex &index, idx_t k, int steps,
     const std::function<std::string(int)> &configure, idx_t recall_m = 0);

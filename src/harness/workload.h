@@ -40,16 +40,33 @@ struct EvalPoint {
     double recall1_at_k = 0.0;  ///< R1@k
     double recallm_at_k = 0.0;  ///< Rm@(10k): only when gt_k >= m
     idx_t k = 0;
+    int threads = 1;            ///< workers used by the batch
     StageTimers timers;
 };
 
 /**
- * Times index.search over the workload queries and scores recall.
- * @param k neighbours retrieved per query (R1@k uses this k);
+ * Times index.search over the workload queries with @p options and
+ * scores recall. QPS is effective batch throughput: query count over
+ * end-to-end wall time, so it reflects the thread count in @p options.
  * @param recall_m when > 0 also computes Rm@k (requires gt_k >= m).
  */
+EvalPoint evaluate(Workload &workload, AnnIndex &index,
+                   const SearchOptions &options, idx_t recall_m = 0);
+
+/** Single-threaded convenience overload (R1@k uses this k). */
 EvalPoint evaluate(Workload &workload, AnnIndex &index, idx_t k,
                    idx_t recall_m = 0);
+
+/**
+ * Measures the same operating point at several worker counts
+ * (default 1/2/4), for the thread-scaling tables the QPS benches
+ * report. Results are bitwise identical across entries by the query
+ * engine's determinism guarantee; only QPS moves.
+ */
+std::vector<EvalPoint> evaluateThreadScaling(
+    Workload &workload, AnnIndex &index, idx_t k,
+    const std::vector<int> &thread_counts = {1, 2, 4},
+    idx_t recall_m = 0);
 
 } // namespace juno
 

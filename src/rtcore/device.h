@@ -84,6 +84,13 @@ class RtDevice {
     void resetStats() { total_.reset(); }
 
     /**
+     * Folds counters from another device into this one. Parallel
+     * search workers launch on private devices and merge here after
+     * their chunk, so totals stay exact without contended atomics.
+     */
+    void mergeStats(const TraversalStats &stats) { total_.merge(stats); }
+
+    /**
      * Traces every ray in @p rays against @p scene, invoking
      * fn(const Ray&, const Hit&) -> bool per intersection (false
      * terminates that ray). Returns per-launch counters and wall time.

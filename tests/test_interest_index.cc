@@ -69,9 +69,11 @@ TEST(InterestIndex, LookupReturnsExactlyMatchingPoints)
                     in_range.insert(*it);
                 }
                 // Everything matching must be in the range.
-                for (std::uint32_t ord = 0; ord < list.size(); ++ord)
-                    if (fx.codes.at(list[ord], s) == e)
+                for (std::uint32_t ord = 0; ord < list.size(); ++ord) {
+                    if (fx.codes.at(list[ord], s) == e) {
                         EXPECT_TRUE(in_range.count(ord));
+                    }
+                }
             }
         }
     }

@@ -145,14 +145,15 @@ TEST(JunoScene, ThitGateEquivalentToDistanceCheckL2)
             const double dist = std::sqrt(dx * dx + dy * dy);
             const bool inside = dist <= thr * (1.0 - 1e-6);
             const bool outside = dist >= thr * (1.0 + 1e-6);
-            if (inside)
+            if (inside) {
                 EXPECT_TRUE(hit_entries.count(e))
                     << "entry " << e << " at dist " << dist
                     << " should be within thr " << thr;
-            else if (outside)
+            } else if (outside) {
                 EXPECT_FALSE(hit_entries.count(e))
                     << "entry " << e << " at dist " << dist
                     << " should be outside thr " << thr;
+            }
         }
     }
 }

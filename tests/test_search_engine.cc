@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests of the batched query engine: parallel-vs-serial determinism
+ * for every index type, chunking invariance, option handling and the
+ * stats toggle.
+ */
+#include <gtest/gtest.h>
+
+#include "baseline/flat_index.h"
+#include "baseline/hnsw.h"
+#include "baseline/ivfflat_index.h"
+#include "baseline/ivfpq_index.h"
+#include "common/logging.h"
+#include "core/juno_index.h"
+#include "core/rt_exact_index.h"
+#include "dataset/synthetic.h"
+#include "engine/query_engine.h"
+
+namespace juno {
+namespace {
+
+Dataset
+smallDataset()
+{
+    SyntheticSpec spec;
+    spec.kind = DatasetKind::kDeepLike;
+    spec.num_points = 600;
+    spec.num_queries = 23; // deliberately not a multiple of any chunk
+    spec.dim = 8;
+    spec.seed = 4242;
+    return makeDataset(spec);
+}
+
+SearchRequest
+request(const Dataset &ds, idx_t k, int threads, idx_t batch_size = 0)
+{
+    SearchRequest req;
+    req.queries = ds.queries.view();
+    req.options.k = k;
+    req.options.threads = threads;
+    req.options.batch_size = batch_size;
+    return req;
+}
+
+/** threads=4 must return bitwise-identical lists to threads=1. */
+void
+expectDeterministic(AnnIndex &index, const Dataset &ds, idx_t k)
+{
+    const auto serial = index.search(request(ds, k, 1));
+    const auto parallel = index.search(request(ds, k, 4));
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t q = 0; q < serial.size(); ++q)
+        EXPECT_EQ(serial[q], parallel[q]) << "query " << q;
+    // Chunking must not change results either.
+    const auto chunked = index.search(request(ds, k, 4, 3));
+    for (std::size_t q = 0; q < serial.size(); ++q)
+        EXPECT_EQ(serial[q], chunked[q]) << "query " << q;
+}
+
+TEST(SearchEngine, FlatDeterministicAcrossThreads)
+{
+    const auto ds = smallDataset();
+    FlatIndex index(ds.metric, ds.base.view());
+    expectDeterministic(index, ds, 10);
+}
+
+TEST(SearchEngine, IvfFlatDeterministicAcrossThreads)
+{
+    const auto ds = smallDataset();
+    IvfFlatIndex::Params params;
+    params.clusters = 16;
+    params.nprobs = 4;
+    IvfFlatIndex index(ds.metric, ds.base.view(), params);
+    expectDeterministic(index, ds, 10);
+}
+
+TEST(SearchEngine, IvfPqDeterministicAcrossThreads)
+{
+    const auto ds = smallDataset();
+    IvfPqIndex::Params params;
+    params.clusters = 16;
+    params.pq_subspaces = 4;
+    params.pq_entries = 16;
+    params.nprobs = 4;
+    IvfPqIndex index(ds.metric, ds.base.view(), params);
+    expectDeterministic(index, ds, 10);
+}
+
+TEST(SearchEngine, IvfPqHnswRouterDeterministicAcrossThreads)
+{
+    const auto ds = smallDataset();
+    IvfPqIndex::Params params;
+    params.clusters = 16;
+    params.pq_subspaces = 4;
+    params.pq_entries = 16;
+    params.nprobs = 4;
+    params.use_hnsw_router = true;
+    IvfPqIndex index(ds.metric, ds.base.view(), params);
+    expectDeterministic(index, ds, 10);
+}
+
+TEST(SearchEngine, HnswDeterministicAcrossThreads)
+{
+    const auto ds = smallDataset();
+    Hnsw index;
+    Hnsw::Params params;
+    params.m = 8;
+    index.build(ds.metric, ds.base.view(), params);
+    index.setEfSearch(64);
+    expectDeterministic(index, ds, 10);
+}
+
+TEST(SearchEngine, JunoDeterministicAcrossThreads)
+{
+    const auto ds = smallDataset();
+    JunoParams params = junoPresetH();
+    params.clusters = 16;
+    params.pq_entries = 16;
+    params.nprobs = 4;
+    params.density_grid = 20;
+    params.policy.train_samples = 40;
+    params.policy.ref_samples = 300;
+    params.policy.contain_topk = 20;
+    JunoIndex index(ds.metric, ds.base.view(), params);
+    expectDeterministic(index, ds, 10);
+}
+
+TEST(SearchEngine, JunoPipelinedDeterministicAcrossThreads)
+{
+    const auto ds = smallDataset();
+    JunoParams params = junoPresetH();
+    params.clusters = 16;
+    params.pq_entries = 16;
+    params.nprobs = 4;
+    params.density_grid = 20;
+    params.policy.train_samples = 40;
+    params.policy.ref_samples = 300;
+    params.policy.contain_topk = 20;
+    params.pipelined = true;
+    JunoIndex index(ds.metric, ds.base.view(), params);
+    expectDeterministic(index, ds, 10);
+}
+
+TEST(SearchEngine, RtExactDeterministicAcrossThreads)
+{
+    const auto ds = smallDataset();
+    RtExactIndex index(ds.base.view());
+    expectDeterministic(index, ds, 5);
+}
+
+TEST(SearchEngine, HnswIndexInterfaceReportsShape)
+{
+    const auto ds = smallDataset();
+    Hnsw index;
+    index.build(ds.metric, ds.base.view(), {});
+    EXPECT_EQ(index.size(), ds.base.rows());
+    EXPECT_EQ(index.dim(), ds.base.cols());
+    EXPECT_NE(index.name().find("HNSW"), std::string::npos);
+    const auto results = index.search(ds.queries.view(), 5);
+    ASSERT_EQ(results.size(), static_cast<std::size_t>(ds.queries.rows()));
+    for (const auto &r : results)
+        EXPECT_EQ(r.size(), 5u);
+}
+
+TEST(SearchEngine, StatsToggleSkipsLedger)
+{
+    const auto ds = smallDataset();
+    FlatIndex index(ds.metric, ds.base.view());
+
+    SearchRequest req = request(ds, 5, 2);
+    req.options.collect_stats = false;
+    index.search(req);
+    EXPECT_EQ(index.stageTimers().totalSeconds(), 0.0);
+
+    req.options.collect_stats = true;
+    index.search(req);
+    EXPECT_GT(index.stageTimers().totalSeconds(), 0.0);
+}
+
+TEST(SearchEngine, StageTimersAccumulateAcrossParallelBatch)
+{
+    const auto ds = smallDataset();
+    IvfFlatIndex::Params params;
+    params.clusters = 16;
+    params.nprobs = 4;
+    IvfFlatIndex index(ds.metric, ds.base.view(), params);
+    index.search(request(ds, 10, 4, 2));
+    // Every worker's filter+scan time must land in the merged ledger.
+    EXPECT_GT(index.stageTimers().seconds("filter"), 0.0);
+    EXPECT_GT(index.stageTimers().seconds("scan"), 0.0);
+}
+
+TEST(SearchEngine, RejectsBadRequests)
+{
+    const auto ds = smallDataset();
+    FlatIndex index(ds.metric, ds.base.view());
+    EXPECT_THROW(index.search(request(ds, 0, 1)), ConfigError);
+    FloatMatrix wrong(3, ds.base.cols() + 2);
+    SearchRequest req;
+    req.queries = wrong.view();
+    req.options.k = 1;
+    EXPECT_THROW(index.search(req), ConfigError);
+}
+
+TEST(SearchEngine, EmptyBatchReturnsEmpty)
+{
+    const auto ds = smallDataset();
+    FlatIndex index(ds.metric, ds.base.view());
+    SearchRequest req;
+    req.queries = FloatMatrixView(nullptr, 0, ds.base.cols());
+    req.options.k = 3;
+    EXPECT_TRUE(index.search(req).empty());
+}
+
+TEST(SearchEngine, ZeroThreadsPicksHardwareConcurrency)
+{
+    const auto ds = smallDataset();
+    FlatIndex index(ds.metric, ds.base.view());
+    const auto serial = index.search(request(ds, 5, 1));
+    const auto auto_threads = index.search(request(ds, 5, 0));
+    EXPECT_GE(index.lastSearchThreads(), 1);
+    for (std::size_t q = 0; q < serial.size(); ++q)
+        EXPECT_EQ(serial[q], auto_threads[q]);
+}
+
+TEST(SearchEngine, ChunkResolutionRespectsRequestAndGrain)
+{
+    EXPECT_EQ(QueryEngine::resolveChunk(100, 4, 7), 7);  // explicit
+    EXPECT_GE(QueryEngine::resolveChunk(100, 4, 0), 4);  // min grain
+    EXPECT_GE(QueryEngine::resolveChunk(3, 8, 0), 3);    // tiny batch
+    EXPECT_EQ(QueryEngine::resolveThreads(3), 3);
+    EXPECT_GE(QueryEngine::resolveThreads(0), 1);
+}
+
+TEST(VisitedSetScratch, InsertAndEpochClear)
+{
+    VisitedSet visited;
+    visited.reset(10);
+    EXPECT_TRUE(visited.insert(3));
+    EXPECT_FALSE(visited.insert(3));
+    EXPECT_TRUE(visited.contains(3));
+    EXPECT_FALSE(visited.contains(4));
+    visited.clear();
+    EXPECT_FALSE(visited.contains(3));
+    EXPECT_TRUE(visited.insert(3));
+}
+
+} // namespace
+} // namespace juno

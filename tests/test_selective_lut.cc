@@ -206,8 +206,9 @@ TEST(SelectiveLut, InnerFlagImpliesTighterDistance)
                     min_outer = std::min(min_outer, h.value);
             }
             // Inner hits are all at most as far as any outer-only hit.
-            if (max_inner >= 0.0f && min_outer < 1e30f)
+            if (max_inner >= 0.0f && min_outer < 1e30f) {
                 EXPECT_LE(max_inner, min_outer + 1e-4f);
+            }
         }
     }
 }

@@ -80,5 +80,62 @@ TEST(ThreadPool, WaitIsIdempotent)
     SUCCEED();
 }
 
+TEST(ThreadPool, ParallelForRespectsMinGrain)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(100);
+    pool.parallelFor(
+        100,
+        [&](idx_t i) { hits[static_cast<std::size_t>(i)].fetch_add(1); },
+        /*min_grain=*/40);
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+    // A grain covering the whole range must still visit everything.
+    std::atomic<int> calls{0};
+    pool.parallelFor(10, [&](idx_t) { calls.fetch_add(1); }, 1000);
+    EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ThreadPool, BatchJoinsItsOwnJobsOnly)
+{
+    ThreadPool pool(3);
+    std::atomic<int> batch_jobs{0};
+    ThreadPool::Batch batch(pool);
+    for (int i = 0; i < 20; ++i)
+        batch.submit([&] { batch_jobs.fetch_add(1); });
+    batch.join();
+    EXPECT_EQ(batch_jobs.load(), 20);
+    batch.join(); // idempotent
+    EXPECT_EQ(batch_jobs.load(), 20);
+}
+
+TEST(ThreadPool, ConcurrentBatchesShareOnePool)
+{
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    // Two batches submitted from two caller threads; each join() must
+    // only wait for its own jobs (no cross-batch wait()).
+    auto run_batch = [&] {
+        ThreadPool::Batch batch(pool);
+        for (int i = 0; i < 50; ++i)
+            batch.submit([&] { total.fetch_add(1); });
+        batch.join();
+    };
+    std::thread a(run_batch), b(run_batch);
+    a.join();
+    b.join();
+    EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, BatchInlineMode)
+{
+    ThreadPool pool(1);
+    int count = 0;
+    ThreadPool::Batch batch(pool);
+    batch.submit([&] { ++count; });
+    batch.join();
+    EXPECT_EQ(count, 1);
+}
+
 } // namespace
 } // namespace juno

@@ -9,9 +9,14 @@
  *                   [--entries 128] [--seed 42]
  *   juno_cli search --index idx.bin [--queries q.fvecs | --synthetic deep]
  *                   [--k 100] [--nprobs 32] [--mode h|m|l] [--scale 1.0]
+ *                   [--threads 1] [--batch 0]
  *   juno_cli eval   [--synthetic deep] [--metric l2|ip] [--n 20000]
- *                   [--k 100] [--queries-n 64] ... (build + search +
- *                   ground truth + recall in one shot)
+ *                   [--k 100] [--queries-n 64] [--threads 1] ...
+ *                   (build + search + ground truth + recall in one shot)
+ *
+ * --threads shards the query batch across worker threads (0 = all
+ * cores); --batch overrides the per-chunk query count. Results are
+ * identical for every thread/batch setting.
  */
 #include <cstdio>
 #include <cstring>
@@ -128,6 +133,17 @@ loadData(const Args &args, Metric metric)
     return makeDataset(spec);
 }
 
+/** Batched-search options from --k/--threads/--batch. */
+SearchOptions
+optionsFrom(const Args &args)
+{
+    SearchOptions options;
+    options.k = args.getInt("k", 100);
+    options.threads = static_cast<int>(args.getInt("threads", 1));
+    options.batch_size = args.getInt("batch", 0);
+    return options;
+}
+
 JunoParams
 paramsFrom(const Args &args)
 {
@@ -181,13 +197,14 @@ cmdSearch(const Args &args)
         index->setSearchMode(parseMode(args.get("mode", "h")));
     if (args.has("scale"))
         index->setThresholdScale(args.getDouble("scale", 1.0));
-    const idx_t k = args.getInt("k", 100);
-
     Timer timer;
-    const auto results = index->search(queries, k);
+    const auto results =
+        index->search(SearchRequest(queries, optionsFrom(args)));
     const double secs = timer.seconds();
-    std::printf("searched %lld queries in %.1f ms (%.0f QPS)\n",
-                static_cast<long long>(queries.rows()), secs * 1e3,
+    std::printf("searched %lld queries on %d threads in %.1f ms "
+                "(%.0f QPS)\n",
+                static_cast<long long>(queries.rows()),
+                index->lastSearchThreads(), secs * 1e3,
                 static_cast<double>(queries.rows()) / secs);
     const idx_t show = std::min<idx_t>(queries.rows(), 3);
     for (idx_t q = 0; q < show; ++q) {
@@ -229,9 +246,10 @@ cmdEval(const Args &args)
                 index.name().c_str());
 
     Timer timer;
-    const auto results = index.search(data.queries.view(), k);
+    const auto results =
+        index.search(SearchRequest(data.queries.view(), optionsFrom(args)));
     const double secs = timer.seconds();
-    std::printf("QPS: %.0f\n",
+    std::printf("QPS (%d threads): %.0f\n", index.lastSearchThreads(),
                 static_cast<double>(data.queries.rows()) / secs);
     std::printf("R1@%lld: %.4f\n", static_cast<long long>(k),
                 recall1AtK(gt, results));
