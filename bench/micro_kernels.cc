@@ -1,81 +1,264 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the hot kernels every figure
- * rests on: distance kernels, top-k selection, BVH traversal and the
- * selective-LUT ray pass. Useful for spotting regressions that would
- * silently distort the figure benches.
+ * Microbenchmarks of the hot kernels every figure rests on, printed
+ * as scalar-vs-dispatched rows so the SIMD layer's speedup is a
+ * number, not a claim:
+ *
+ *   kernel            shape            scalar      dispatched  speedup
+ *   l2Sqr             d=128            x.xx GF/s   y.yy GF/s   z.zzx
+ *   ...
+ *
+ * Self-contained (no google-benchmark): each kernel runs in a
+ * calibrated timing loop against both dispatch tables. Also keeps the
+ * top-k and BVH traversal spot-checks of the original bench.
  */
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include "common/distance.h"
+#include "common/matrix.h"
 #include "common/rng.h"
+#include "common/simd.h"
+#include "common/timer.h"
 #include "common/topk.h"
 #include "rtcore/bvh.h"
 
 namespace juno {
 namespace {
 
-void
-BM_L2Sqr(benchmark::State &state)
+/** Runs @p fn until ~this much wall time accumulates, returns ops/s. */
+constexpr double kMinSeconds = 0.2;
+
+template <typename Fn>
+double
+opsPerSecond(std::size_t ops_per_call, Fn &&fn)
 {
-    const idx_t d = state.range(0);
+    // Warm-up + calibration pass.
+    fn();
+    Timer calibrate;
+    fn();
+    const double once = calibrate.seconds();
+    std::size_t reps = once > 0.0
+        ? static_cast<std::size_t>(kMinSeconds / once) + 1
+        : 1000;
+    Timer timer;
+    for (std::size_t r = 0; r < reps; ++r)
+        fn();
+    const double elapsed = timer.seconds();
+    return static_cast<double>(reps) *
+           static_cast<double>(ops_per_call) / elapsed;
+}
+
+void
+printRow(const std::string &kernel, const std::string &shape,
+         double scalar_ops, double dispatched_ops, const char *unit)
+{
+    std::printf("%-18s %-20s %9.2f %-6s %9.2f %-6s %6.2fx\n",
+                kernel.c_str(), shape.c_str(), scalar_ops * 1e-9, unit,
+                dispatched_ops * 1e-9, unit,
+                dispatched_ops / scalar_ops);
+}
+
+std::vector<float>
+randomVec(Rng &rng, std::size_t n)
+{
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = rng.uniform(-1.0f, 1.0f);
+    return v;
+}
+
+/** Scalar-vs-dispatched rows for the reduction kernels. */
+void
+benchReductions(const simd::Kernels &scalar, const simd::Kernels &best)
+{
     Rng rng(1);
-    std::vector<float> a(static_cast<std::size_t>(d)),
-        b(static_cast<std::size_t>(d));
-    for (idx_t i = 0; i < d; ++i) {
-        a[static_cast<std::size_t>(i)] = rng.uniform(-1.0f, 1.0f);
-        b[static_cast<std::size_t>(i)] = rng.uniform(-1.0f, 1.0f);
+    for (idx_t d : {idx_t(16), idx_t(128), idx_t(200)}) {
+        const auto a = randomVec(rng, static_cast<std::size_t>(d));
+        const auto b = randomVec(rng, static_cast<std::size_t>(d));
+        // 3 flops per element for l2 (sub, mul, add), 2 for ip.
+        const auto flops_l2 = static_cast<std::size_t>(3 * d);
+        const auto flops_ip = static_cast<std::size_t>(2 * d);
+        volatile float sink = 0.0f;
+
+        const double s_l2 = opsPerSecond(flops_l2, [&] {
+            sink = scalar.l2_sqr(a.data(), b.data(), d);
+        });
+        const double v_l2 = opsPerSecond(flops_l2, [&] {
+            sink = best.l2_sqr(a.data(), b.data(), d);
+        });
+        printRow("l2Sqr", "d=" + std::to_string(d), s_l2, v_l2, "GF/s");
+
+        const double s_ip = opsPerSecond(flops_ip, [&] {
+            sink = scalar.inner_product(a.data(), b.data(), d);
+        });
+        const double v_ip = opsPerSecond(flops_ip, [&] {
+            sink = best.inner_product(a.data(), b.data(), d);
+        });
+        printRow("innerProduct", "d=" + std::to_string(d), s_ip, v_ip,
+                 "GF/s");
+        (void)sink;
     }
-    for (auto _ : state)
-        benchmark::DoNotOptimize(l2Sqr(a.data(), b.data(), d));
-    state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_L2Sqr)->Arg(2)->Arg(96)->Arg(128)->Arg(200);
 
 void
-BM_InnerProduct(benchmark::State &state)
+benchBatch(const simd::Kernels &scalar, const simd::Kernels &best)
 {
-    const idx_t d = state.range(0);
     Rng rng(2);
-    std::vector<float> a(static_cast<std::size_t>(d)),
-        b(static_cast<std::size_t>(d));
-    for (idx_t i = 0; i < d; ++i) {
-        a[static_cast<std::size_t>(i)] = rng.uniform(-1.0f, 1.0f);
-        b[static_cast<std::size_t>(i)] = rng.uniform(-1.0f, 1.0f);
+    const idx_t n = 4096;
+    for (idx_t d : {idx_t(2), idx_t(96), idx_t(128)}) {
+        const auto q = randomVec(rng, static_cast<std::size_t>(d));
+        const auto rows = randomVec(
+            rng, static_cast<std::size_t>(n) *
+                     static_cast<std::size_t>(d));
+        std::vector<float> out(static_cast<std::size_t>(n));
+        const auto flops = static_cast<std::size_t>(3 * n * d);
+        const double s = opsPerSecond(flops, [&] {
+            scalar.l2_sqr_batch(q.data(), rows.data(), n, d, out.data());
+        });
+        const double v = opsPerSecond(flops, [&] {
+            best.l2_sqr_batch(q.data(), rows.data(), n, d, out.data());
+        });
+        printRow("l2SqrBatch",
+                 "n=" + std::to_string(n) + ",d=" + std::to_string(d), s,
+                 v, "GF/s");
     }
-    for (auto _ : state)
-        benchmark::DoNotOptimize(innerProduct(a.data(), b.data(), d));
-    state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_InnerProduct)->Arg(96)->Arg(128)->Arg(200);
 
 void
-BM_TopK(benchmark::State &state)
+benchGemm(const simd::Kernels &scalar, const simd::Kernels &best)
 {
-    const idx_t n = state.range(0);
-    const idx_t k = state.range(1);
     Rng rng(3);
+    const idx_t m = 64, k = 128, n = 256;
+    const auto a = randomVec(rng, static_cast<std::size_t>(m * k));
+    const auto b = randomVec(rng, static_cast<std::size_t>(k * n));
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+    const auto flops = static_cast<std::size_t>(2) *
+                       static_cast<std::size_t>(m) *
+                       static_cast<std::size_t>(k) *
+                       static_cast<std::size_t>(n);
+    const double s = opsPerSecond(flops, [&] {
+        scalar.gemm(a.data(), b.data(), c.data(), m, k, n);
+    });
+    const double v = opsPerSecond(flops, [&] {
+        best.gemm(a.data(), b.data(), c.data(), m, k, n);
+    });
+    printRow("gemm",
+             std::to_string(m) + "x" + std::to_string(k) + "x" +
+                 std::to_string(n),
+             s, v, "GF/s");
+}
+
+void
+benchAdcScan(const simd::Kernels &scalar, const simd::Kernels &best)
+{
+    Rng rng(4);
+    const int subspaces = 48;
+    const idx_t entries = 256;
+    const idx_t num_points = 8192;
+    const auto lut_flat = randomVec(
+        rng, static_cast<std::size_t>(subspaces) *
+                 static_cast<std::size_t>(entries));
+    std::vector<entry_t> codes(static_cast<std::size_t>(num_points) *
+                               static_cast<std::size_t>(subspaces));
+    for (auto &c : codes)
+        c = static_cast<entry_t>(rng.uniform() *
+                                 static_cast<double>(entries)) %
+            static_cast<entry_t>(entries);
+    std::vector<idx_t> ids(static_cast<std::size_t>(num_points));
+    for (idx_t i = 0; i < num_points; ++i)
+        ids[static_cast<std::size_t>(i)] = i;
+    std::vector<float> out(static_cast<std::size_t>(num_points));
+    // One gather + add per (point, subspace).
+    const auto ops = static_cast<std::size_t>(num_points) *
+                     static_cast<std::size_t>(subspaces);
+
+    // The scan loop exactly as the index ran it before the SIMD layer:
+    // FloatMatrix::at() per cell (bounds-asserted row indexing) and a
+    // per-point accumulator. This is the baseline the dispatched scan
+    // replaced in ivfpq_index.cc.
+    FloatMatrix lut(subspaces, entries);
+    std::copy(lut_flat.begin(), lut_flat.end(), lut.data());
+    const double seed = opsPerSecond(ops, [&] {
+        for (idx_t i = 0; i < num_points; ++i) {
+            const entry_t *pc =
+                codes.data() + static_cast<std::size_t>(ids[
+                                   static_cast<std::size_t>(i)]) *
+                                   static_cast<std::size_t>(subspaces);
+            float acc = 0.0f;
+            for (int s = 0; s < subspaces; ++s)
+                acc += lut.at(s, pc[s]);
+            out[static_cast<std::size_t>(i)] = acc;
+        }
+    });
+    const double s = opsPerSecond(ops, [&] {
+        scalar.adc_scan(lut_flat.data(), entries, subspaces, codes.data(),
+                        static_cast<std::size_t>(subspaces), ids.data(),
+                        ids.size(), 0.0f, out.data());
+    });
+    const double v = opsPerSecond(ops, [&] {
+        best.adc_scan(lut_flat.data(), entries, subspaces, codes.data(),
+                      static_cast<std::size_t>(subspaces), ids.data(),
+                      ids.size(), 0.0f, out.data());
+    });
+    const std::string shape = "S=" + std::to_string(subspaces) + ",n=" +
+                              std::to_string(num_points);
+    printRow("adcScan", shape, s, v, "Gop/s");
+    printRow("adcScan/seed", shape, seed, v, "Gop/s");
+}
+
+void
+benchCompact(const simd::Kernels &scalar, const simd::Kernels &best)
+{
+    Rng rng(5);
+    const std::size_t n = 8192;
+    std::vector<float> acc(n);
+    std::vector<std::int32_t> hits(n, 0);
+    std::vector<idx_t> list(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        acc[i] = rng.uniform(-1.0f, 1.0f);
+        // ~5% touched: the sparse regime JUNO's selective LUT creates.
+        hits[i] = rng.uniform() < 0.05 ? 1 : 0;
+        list[i] = static_cast<idx_t>(i);
+    }
+    std::vector<Neighbor> out;
+    out.reserve(n);
+    const double s = opsPerSecond(n, [&] {
+        out.clear();
+        scalar.compact_candidates(acc.data(), hits.data(), list.data(), n,
+                                  0.0f, out);
+    });
+    const double v = opsPerSecond(n, [&] {
+        out.clear();
+        best.compact_candidates(acc.data(), hits.data(), list.data(), n,
+                                0.0f, out);
+    });
+    printRow("compactCand", "n=" + std::to_string(n) + ",5%", s, v,
+             "Gop/s");
+}
+
+/** Original spot-checks, kept so regressions here stay visible too. */
+void
+benchTopKAndBvh()
+{
+    Rng rng(6);
+    const idx_t n = 10000, k = 100;
     std::vector<float> scores(static_cast<std::size_t>(n));
     for (auto &s : scores)
         s = rng.uniform(0.0f, 1.0f);
-    for (auto _ : state) {
-        TopK top(k, Metric::kL2);
-        for (idx_t i = 0; i < n; ++i)
-            top.push(i, scores[static_cast<std::size_t>(i)]);
-        benchmark::DoNotOptimize(top.take());
-    }
-    state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_TopK)->Args({1000, 10})->Args({10000, 100})
-    ->Args({10000, 1000});
+    const double topk_ops = opsPerSecond(
+        static_cast<std::size_t>(n), [&] {
+            TopK top(k, Metric::kL2);
+            for (idx_t i = 0; i < n; ++i)
+                top.push(i, scores[static_cast<std::size_t>(i)]);
+            volatile std::size_t sink = top.take().size();
+            (void)sink;
+        });
+    std::printf("%-18s %-20s %9.2f %-6s\n", "topK",
+                "n=10000,k=100", topk_ops * 1e-9, "Gop/s");
 
-void
-BM_BvhTraversal(benchmark::State &state)
-{
-    const std::size_t n = static_cast<std::size_t>(state.range(0));
-    Rng rng(4);
-    std::vector<rt::Sphere> spheres(n);
-    for (std::size_t i = 0; i < n; ++i) {
+    std::vector<rt::Sphere> spheres(4096);
+    for (std::size_t i = 0; i < spheres.size(); ++i) {
         spheres[i].center = {rng.uniform(-1.0f, 1.0f),
                              rng.uniform(-1.0f, 1.0f), 1.0f};
         spheres[i].radius = 1.0f;
@@ -88,48 +271,40 @@ BM_BvhTraversal(benchmark::State &state)
     ray.dir = {0, 0, 1};
     ray.tmax = 0.3f;
     rt::TraversalStats stats;
-    for (auto _ : state) {
+    const double trav_ops = opsPerSecond(1, [&] {
         int hits = 0;
         bvh.traverse(ray, spheres, stats, [&](const rt::Hit &) {
             ++hits;
             return true;
         });
-        benchmark::DoNotOptimize(hits);
-    }
-    state.SetItemsProcessed(state.iterations());
+        volatile int sink = hits;
+        (void)sink;
+    });
+    std::printf("%-18s %-20s %9.2f %-6s\n", "bvhTraverse",
+                "spheres=4096", trav_ops * 1e-6, "Mray/s");
 }
-BENCHMARK(BM_BvhTraversal)->Arg(256)->Arg(4096)->Arg(65536);
-
-void
-BM_LinearTraversal(benchmark::State &state)
-{
-    const std::size_t n = static_cast<std::size_t>(state.range(0));
-    Rng rng(5);
-    std::vector<rt::Sphere> spheres(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        spheres[i].center = {rng.uniform(-1.0f, 1.0f),
-                             rng.uniform(-1.0f, 1.0f), 1.0f};
-        spheres[i].radius = 1.0f;
-        spheres[i].user_id = i;
-    }
-    rt::Ray ray;
-    ray.origin = {0.1f, -0.1f, 0.0f};
-    ray.dir = {0, 0, 1};
-    ray.tmax = 0.3f;
-    rt::TraversalStats stats;
-    for (auto _ : state) {
-        int hits = 0;
-        rt::Bvh::traverseLinear(ray, spheres, stats, [&](const rt::Hit &) {
-            ++hits;
-            return true;
-        });
-        benchmark::DoNotOptimize(hits);
-    }
-    state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_LinearTraversal)->Arg(256)->Arg(4096)->Arg(65536);
 
 } // namespace
 } // namespace juno
 
-BENCHMARK_MAIN();
+int
+main()
+{
+    using namespace juno;
+    const auto &scalar = simd::table(simd::Level::kScalar);
+    const auto &best = simd::table(simd::bestSupported());
+    std::printf("SIMD dispatch: best supported level = %s "
+                "(active = %s)\n\n",
+                simd::levelName(simd::bestSupported()),
+                simd::active().name);
+    std::printf("%-18s %-20s %9s %-6s %9s %-6s %7s\n", "kernel", "shape",
+                "scalar", "", "dispatch", "", "speedup");
+    benchReductions(scalar, best);
+    benchBatch(scalar, best);
+    benchGemm(scalar, best);
+    benchAdcScan(scalar, best);
+    benchCompact(scalar, best);
+    std::printf("\n");
+    benchTopKAndBvh();
+    return 0;
+}

@@ -4,8 +4,14 @@
 
 #include "common/distance.h"
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace juno {
+
+namespace {
+/** Points scored per batched-kernel call; keeps scratch L1-resident. */
+constexpr idx_t kScanBlock = 1024;
+} // namespace
 
 FlatIndex::FlatIndex(Metric metric, FloatMatrixView points)
     : metric_(metric), points_(points.rows(), points.cols())
@@ -27,11 +33,22 @@ FlatIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
 {
     ScopedStageTimer scan_timer(ctx.timers(), "scan");
     const idx_t d = points_.cols();
+    const idx_t n = points_.rows();
+    ctx.scores.resize(
+        static_cast<std::size_t>(std::min(kScanBlock, n)));
     for (idx_t qi = chunk.begin; qi < chunk.end; ++qi) {
         const float *q = chunk.queries.row(qi);
-        TopK top(std::min(chunk.k, points_.rows()), metric_);
-        for (idx_t pi = 0; pi < points_.rows(); ++pi)
-            top.push(pi, score(metric_, q, points_.row(pi), d));
+        TopK top(std::min(chunk.k, n), metric_);
+        // Block the brute-force scan through the dispatched batch
+        // kernel: scores land in context scratch, then feed top-k.
+        for (idx_t base = 0; base < n; base += kScanBlock) {
+            const idx_t count = std::min(kScanBlock, n - base);
+            simd::scoreBatch(metric_, q, points_.row(base), count, d,
+                             ctx.scores.data());
+            for (idx_t i = 0; i < count; ++i)
+                top.push(base + i,
+                         ctx.scores[static_cast<std::size_t>(i)]);
+        }
         (*chunk.results)[static_cast<std::size_t>(qi)] = top.take();
     }
 }

@@ -1,5 +1,7 @@
 #include "baseline/index.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace juno {
@@ -7,13 +9,27 @@ namespace juno {
 SearchResults
 AnnIndex::search(const SearchRequest &request)
 {
-    JUNO_REQUIRE(request.options.k > 0, "k must be positive");
+    JUNO_REQUIRE(request.options.k >= 0, "k must be non-negative");
+    // Degenerate requests resolve here, uniformly for every index
+    // type, so searchChunk() implementations never see them:
+    //  - empty batch -> no results (queries are not even shape-checked;
+    //    an empty view has no meaningful column count);
+    //  - k == 0 -> one empty neighbour list per query;
+    //  - k > numPoints -> k clamps to the index size (results truncate
+    //    instead of reading past list ends).
+    const idx_t rows = request.queries.rows();
+    if (rows == 0)
+        return {};
     JUNO_REQUIRE(request.queries.cols() == dim(),
                  "dimension mismatch: queries have "
                      << request.queries.cols() << " columns, index has "
                      << dim());
+    if (request.options.k == 0 || size() == 0)
+        return SearchResults(static_cast<std::size_t>(rows));
+    SearchOptions options = request.options;
+    options.k = std::min(options.k, size());
     return engine_.run(
-        request.queries, request.options,
+        request.queries, options,
         [this](const SearchChunk &chunk, SearchContext &ctx) {
             searchChunk(chunk, ctx);
         },

@@ -4,6 +4,7 @@
 
 #include "common/distance.h"
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace juno {
 
@@ -40,9 +41,18 @@ IvfFlatIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
         }
         ScopedStageTimer t(ctx.timers(), "scan");
         TopK top(std::min(chunk.k, points_.rows()), metric_);
+        // Inverted lists hold scattered ids, so the contiguous batch
+        // kernel does not apply; the single-row kernel still runs
+        // through the dispatched (AVX2 when available) table.
+        const auto &kernels = simd::active();
         for (const auto &probe : ctx.probes) {
-            for (idx_t pid : ivf_.list(static_cast<cluster_t>(probe.id)))
-                top.push(pid, score(metric_, q, points_.row(pid), d));
+            for (idx_t pid : ivf_.list(static_cast<cluster_t>(probe.id))) {
+                const float s =
+                    metric_ == Metric::kL2
+                        ? kernels.l2_sqr(q, points_.row(pid), d)
+                        : kernels.inner_product(q, points_.row(pid), d);
+                top.push(pid, s);
+            }
         }
         (*chunk.results)[static_cast<std::size_t>(qi)] = top.take();
     }

@@ -4,6 +4,7 @@
 
 #include "common/distance.h"
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace juno {
 
@@ -100,9 +101,25 @@ IvfPqIndex::buildLut(const float *query, cluster_t cluster, FloatMatrix &lut,
 }
 
 void
+IvfPqIndex::scanList(const std::vector<idx_t> &list, const FloatMatrix &lut,
+                     float base, std::vector<float> &scores,
+                     TopK &top) const
+{
+    if (list.empty())
+        return;
+    if (scores.size() < list.size())
+        scores.resize(list.size());
+    simd::adcScan(lut.data(), lut.cols(), pq_.numSubspaces(),
+                  codes_.codes.data(),
+                  static_cast<std::size_t>(codes_.num_subspaces),
+                  list.data(), list.size(), base, scores.data());
+    for (std::size_t i = 0; i < list.size(); ++i)
+        top.push(list[i], scores[i]);
+}
+
+void
 IvfPqIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
 {
-    const int subspaces = pq_.numSubspaces();
     for (idx_t qi = chunk.begin; qi < chunk.end; ++qi) {
         const float *q = chunk.queries.row(qi);
 
@@ -120,13 +137,7 @@ IvfPqIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
                 buildLut(q, c, ctx.lut, base, ctx.residual);
             }
             ScopedStageTimer t(ctx.timers(), "scan");
-            for (idx_t pid : ivf_.list(c)) {
-                const entry_t *pc = codes_.row(pid);
-                float acc = base;
-                for (int s = 0; s < subspaces; ++s)
-                    acc += ctx.lut.at(s, pc[s]);
-                top.push(pid, acc);
-            }
+            scanList(ivf_.list(c), ctx.lut, base, ctx.scores, top);
         }
         (*chunk.results)[static_cast<std::size_t>(qi)] = top.take();
     }
@@ -149,17 +160,12 @@ IvfPqIndex::searchOneRecordingUsage(
     TopK top(std::min(k, num_points_), metric_);
     FloatMatrix lut;
     std::vector<float> residual;
+    std::vector<float> scores;
     for (const auto &pr : probes) {
         const cluster_t c = static_cast<cluster_t>(pr.id);
         float base = 0.0f;
         buildLut(query, c, lut, base, residual);
-        for (idx_t pid : ivf_.list(c)) {
-            const entry_t *pc = codes_.row(pid);
-            float acc = base;
-            for (int s = 0; s < subspaces; ++s)
-                acc += lut.at(s, pc[s]);
-            top.push(pid, acc);
-        }
+        scanList(ivf_.list(c), lut, base, scores, top);
     }
     auto result = top.take();
     if (entry_usage != nullptr) {

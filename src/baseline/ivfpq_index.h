@@ -95,6 +95,16 @@ class IvfPqIndex : public AnnIndex {
     void buildLut(const float *query, cluster_t cluster, FloatMatrix &lut,
                   float &base, std::vector<float> &residual) const;
 
+    /**
+     * ADC-scans one inverted list against a dense LUT (paper stage D)
+     * through the batched SIMD kernel and offers every point to
+     * @p top. @p scores is caller-owned scratch; both the batched
+     * searchChunk() path and the legacy searchOneRecordingUsage()
+     * path funnel through this one helper.
+     */
+    void scanList(const std::vector<idx_t> &list, const FloatMatrix &lut,
+                  float base, std::vector<float> &scores, TopK &top) const;
+
     Metric metric_;
     idx_t num_points_ = 0;
     idx_t dim_ = 0;

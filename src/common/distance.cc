@@ -3,53 +3,30 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace juno {
+
+// The scalar kernels that used to live here are now the scalar
+// reference table of common/simd.cc; these entry points call through
+// the runtime-dispatched table (AVX2+FMA when the host supports it).
 
 float
 l2Sqr(const float *a, const float *b, idx_t d)
 {
-    // Four accumulators give the autovectoriser room without changing
-    // results beyond normal FP reassociation tolerances.
-    float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
-    idx_t i = 0;
-    for (; i + 4 <= d; i += 4) {
-        const float d0 = a[i] - b[i];
-        const float d1 = a[i + 1] - b[i + 1];
-        const float d2 = a[i + 2] - b[i + 2];
-        const float d3 = a[i + 3] - b[i + 3];
-        acc0 += d0 * d0;
-        acc1 += d1 * d1;
-        acc2 += d2 * d2;
-        acc3 += d3 * d3;
-    }
-    for (; i < d; ++i) {
-        const float diff = a[i] - b[i];
-        acc0 += diff * diff;
-    }
-    return (acc0 + acc1) + (acc2 + acc3);
+    return simd::l2Sqr(a, b, d);
 }
 
 float
 innerProduct(const float *a, const float *b, idx_t d)
 {
-    float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
-    idx_t i = 0;
-    for (; i + 4 <= d; i += 4) {
-        acc0 += a[i] * b[i];
-        acc1 += a[i + 1] * b[i + 1];
-        acc2 += a[i + 2] * b[i + 2];
-        acc3 += a[i + 3] * b[i + 3];
-    }
-    for (; i < d; ++i)
-        acc0 += a[i] * b[i];
-    return (acc0 + acc1) + (acc2 + acc3);
+    return simd::innerProduct(a, b, d);
 }
 
 float
 l2NormSqr(const float *a, idx_t d)
 {
-    return innerProduct(a, a, d);
+    return simd::l2NormSqr(a, d);
 }
 
 float
@@ -81,30 +58,37 @@ pairwiseScores(Metric metric, FloatMatrixView queries,
     const idx_t d = queries.cols();
     if (out.rows() != q_count || out.cols() != n)
         out = FloatMatrix(q_count, n);
+    if (n == 0)
+        return;
 
     if (metric == Metric::kInnerProduct) {
-        for (idx_t qi = 0; qi < q_count; ++qi) {
-            const float *q = queries.row(qi);
-            float *dst = out.row(qi);
-            for (idx_t pi = 0; pi < n; ++pi)
-                dst[pi] = innerProduct(q, points.row(pi), d);
-        }
+        for (idx_t qi = 0; qi < q_count; ++qi)
+            simd::active().inner_product_batch(queries.row(qi),
+                                               points.data(), n, d,
+                                               out.row(qi));
         return;
     }
 
-    // L2 via ||x||^2 - 2<x,q> + ||q||^2 (paper Sec. 5.3 filtering).
+    // L2. With precomputed point norms, use the decomposition
+    // ||x||^2 - 2<x,q> + ||q||^2 (paper Sec. 5.3 filtering); without
+    // them, the direct batched kernel is one pass instead of two.
     const bool have_norms =
         point_norms_sqr.size() == static_cast<std::size_t>(n);
+    if (!have_norms) {
+        for (idx_t qi = 0; qi < q_count; ++qi)
+            simd::active().l2_sqr_batch(queries.row(qi), points.data(), n,
+                                        d, out.row(qi));
+        return;
+    }
     for (idx_t qi = 0; qi < q_count; ++qi) {
         const float *q = queries.row(qi);
         const float q_norm = l2NormSqr(q, d);
         float *dst = out.row(qi);
+        simd::active().inner_product_batch(q, points.data(), n, d, dst);
         for (idx_t pi = 0; pi < n; ++pi) {
-            const float *x = points.row(pi);
-            const float x_norm = have_norms
-                ? point_norms_sqr[static_cast<std::size_t>(pi)]
-                : l2NormSqr(x, d);
-            float v = x_norm - 2.0f * innerProduct(q, x, d) + q_norm;
+            const float v =
+                point_norms_sqr[static_cast<std::size_t>(pi)] -
+                2.0f * dst[pi] + q_norm;
             // FP cancellation can produce tiny negatives; clamp.
             dst[pi] = v < 0.0f ? 0.0f : v;
         }
@@ -118,24 +102,7 @@ gemm(FloatMatrixView a, FloatMatrixView b, FloatMatrix &c)
     const idx_t m = a.rows(), k = a.cols(), n = b.cols();
     if (c.rows() != m || c.cols() != n)
         c = FloatMatrix(m, n);
-    else
-        for (idx_t i = 0; i < m; ++i)
-            for (idx_t j = 0; j < n; ++j)
-                c.at(i, j) = 0.0f;
-
-    // i-k-j loop order: streams B rows, accumulates into C rows.
-    for (idx_t i = 0; i < m; ++i) {
-        const float *arow = a.row(i);
-        float *crow = c.row(i);
-        for (idx_t kk = 0; kk < k; ++kk) {
-            const float aik = arow[kk];
-            if (aik == 0.0f)
-                continue;
-            const float *brow = b.row(kk);
-            for (idx_t j = 0; j < n; ++j)
-                crow[j] += aik * brow[j];
-        }
-    }
+    simd::active().gemm(a.data(), b.data(), c.data(), m, k, n);
 }
 
 } // namespace juno

@@ -36,7 +36,9 @@ class FloatMatrixView {
     row(idx_t r) const
     {
         JUNO_ASSERT(r >= 0 && r < rows_, "row " << r << " of " << rows_);
-        return data_ + r * cols_;
+        // Widen before multiplying: r * cols_ stays in std::size_t.
+        return data_ + static_cast<std::size_t>(r) *
+                           static_cast<std::size_t>(cols_);
     }
 
     float
@@ -51,7 +53,9 @@ class FloatMatrixView {
     slice(idx_t begin, idx_t count) const
     {
         JUNO_ASSERT(begin >= 0 && begin + count <= rows_, "bad slice");
-        return FloatMatrixView(data_ + begin * cols_, count, cols_);
+        return FloatMatrixView(data_ + static_cast<std::size_t>(begin) *
+                                           static_cast<std::size_t>(cols_),
+                               count, cols_);
     }
 
   private:
@@ -67,7 +71,9 @@ class FloatMatrix {
 
     FloatMatrix(idx_t rows, idx_t cols, float fill = 0.0f)
         : rows_(rows), cols_(cols),
-          data_(static_cast<std::size_t>(rows * cols), fill)
+          data_(static_cast<std::size_t>(rows < 0 ? 0 : rows) *
+                    static_cast<std::size_t>(cols < 0 ? 0 : cols),
+                fill)
     {
         JUNO_REQUIRE(rows >= 0 && cols >= 0, "negative matrix shape");
     }
@@ -83,14 +89,16 @@ class FloatMatrix {
     row(idx_t r)
     {
         JUNO_ASSERT(r >= 0 && r < rows_, "row " << r << " of " << rows_);
-        return data_.data() + r * cols_;
+        return data_.data() + static_cast<std::size_t>(r) *
+                                  static_cast<std::size_t>(cols_);
     }
 
     const float *
     row(idx_t r) const
     {
         JUNO_ASSERT(r >= 0 && r < rows_, "row " << r << " of " << rows_);
-        return data_.data() + r * cols_;
+        return data_.data() + static_cast<std::size_t>(r) *
+                                  static_cast<std::size_t>(cols_);
     }
 
     float &at(idx_t r, idx_t c) { return row(r)[c]; }

@@ -1,0 +1,940 @@
+#include "common/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define JUNO_SIMD_X86 1
+#include <immintrin.h>
+/** Compiles one function for AVX2+FMA without -mavx2 on the whole TU. */
+#define JUNO_TARGET_AVX2 __attribute__((target("avx2,fma")))
+/** Same for the AVX-512 subset the 16-wide ADC gather needs. */
+#define JUNO_TARGET_AVX512                                                  \
+    __attribute__((target("avx512f,avx512bw,avx512vl,avx2,fma")))
+#else
+#define JUNO_SIMD_X86 0
+#endif
+
+namespace juno {
+namespace simd {
+namespace {
+
+// ====================================================================
+// Scalar reference table. Fixed accumulation order: four independent
+// accumulators over 4-wide strips, combined as (a0+a1)+(a2+a3). This
+// is the bit-exact contract every other table is tested against.
+// ====================================================================
+
+float
+l2SqrScalar(const float *a, const float *b, idx_t d)
+{
+    float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+    idx_t i = 0;
+    for (; i + 4 <= d; i += 4) {
+        const float d0 = a[i] - b[i];
+        const float d1 = a[i + 1] - b[i + 1];
+        const float d2 = a[i + 2] - b[i + 2];
+        const float d3 = a[i + 3] - b[i + 3];
+        acc0 += d0 * d0;
+        acc1 += d1 * d1;
+        acc2 += d2 * d2;
+        acc3 += d3 * d3;
+    }
+    for (; i < d; ++i) {
+        const float diff = a[i] - b[i];
+        acc0 += diff * diff;
+    }
+    return (acc0 + acc1) + (acc2 + acc3);
+}
+
+float
+innerProductScalar(const float *a, const float *b, idx_t d)
+{
+    float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+    idx_t i = 0;
+    for (; i + 4 <= d; i += 4) {
+        acc0 += a[i] * b[i];
+        acc1 += a[i + 1] * b[i + 1];
+        acc2 += a[i + 2] * b[i + 2];
+        acc3 += a[i + 3] * b[i + 3];
+    }
+    for (; i < d; ++i)
+        acc0 += a[i] * b[i];
+    return (acc0 + acc1) + (acc2 + acc3);
+}
+
+float
+l2NormSqrScalar(const float *a, idx_t d)
+{
+    return innerProductScalar(a, a, d);
+}
+
+void
+l2SqrBatchScalar(const float *q, const float *rows, idx_t n, idx_t d,
+                 float *out)
+{
+    for (idx_t i = 0; i < n; ++i)
+        out[i] = l2SqrScalar(q, rows + static_cast<std::size_t>(i) *
+                                        static_cast<std::size_t>(d),
+                             d);
+}
+
+void
+innerProductBatchScalar(const float *q, const float *rows, idx_t n, idx_t d,
+                        float *out)
+{
+    for (idx_t i = 0; i < n; ++i)
+        out[i] = innerProductScalar(
+            q,
+            rows + static_cast<std::size_t>(i) * static_cast<std::size_t>(d),
+            d);
+}
+
+void
+gemmScalar(const float *a, const float *b, float *c, idx_t m, idx_t k,
+           idx_t n)
+{
+    std::memset(c, 0,
+                static_cast<std::size_t>(m) * static_cast<std::size_t>(n) *
+                    sizeof(float));
+    // i-k-j loop order: streams B rows, accumulates into C rows.
+    for (idx_t i = 0; i < m; ++i) {
+        const float *arow = a + static_cast<std::size_t>(i) *
+                                    static_cast<std::size_t>(k);
+        float *crow = c + static_cast<std::size_t>(i) *
+                              static_cast<std::size_t>(n);
+        for (idx_t kk = 0; kk < k; ++kk) {
+            const float aik = arow[kk];
+            if (aik == 0.0f)
+                continue;
+            const float *brow = b + static_cast<std::size_t>(kk) *
+                                        static_cast<std::size_t>(n);
+            for (idx_t j = 0; j < n; ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+}
+
+void
+adcScanScalar(const float *lut, idx_t lut_stride, int subspaces,
+              const entry_t *codes, std::size_t code_stride,
+              const idx_t *ids, std::size_t n, float base, float *out)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const entry_t *pc =
+            codes + static_cast<std::size_t>(ids[i]) * code_stride;
+        float acc = base;
+        for (int s = 0; s < subspaces; ++s)
+            acc += lut[static_cast<std::size_t>(s) *
+                           static_cast<std::size_t>(lut_stride) +
+                       pc[s]];
+        out[i] = acc;
+    }
+}
+
+void
+compactCandidatesScalar(const float *acc, const std::int32_t *hits,
+                        const idx_t *list, std::size_t n, float offset,
+                        std::vector<Neighbor> &out)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        if (hits[i] != 0)
+            out.push_back({list[i], acc[i] + offset});
+    }
+}
+
+const Kernels kScalarTable = {
+    "scalar",
+    &l2SqrScalar,
+    &innerProductScalar,
+    &l2NormSqrScalar,
+    &l2SqrBatchScalar,
+    &innerProductBatchScalar,
+    &gemmScalar,
+    &adcScanScalar,
+    &compactCandidatesScalar,
+};
+
+#if JUNO_SIMD_X86
+// ====================================================================
+// AVX2 + FMA table. Compiled with per-function target attributes so
+// the library still builds and runs on pre-AVX2 hosts; the dispatch
+// below only installs it after a CPUID check.
+// ====================================================================
+
+JUNO_TARGET_AVX2 inline float
+hsum8(__m256 v)
+{
+    __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    lo = _mm_add_ps(lo, hi);
+    __m128 shuf = _mm_movehdup_ps(lo);
+    __m128 sums = _mm_add_ps(lo, shuf);
+    shuf = _mm_movehl_ps(shuf, sums);
+    sums = _mm_add_ss(sums, shuf);
+    return _mm_cvtss_f32(sums);
+}
+
+JUNO_TARGET_AVX2 float
+l2SqrAvx2(const float *a, const float *b, idx_t d)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    idx_t i = 0;
+    for (; i + 16 <= d; i += 16) {
+        const __m256 d0 =
+            _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+        const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(a + i + 8),
+                                        _mm256_loadu_ps(b + i + 8));
+        acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+        acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+    }
+    for (; i + 8 <= d; i += 8) {
+        const __m256 d0 =
+            _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+        acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    }
+    float acc = hsum8(_mm256_add_ps(acc0, acc1));
+    for (; i < d; ++i) {
+        const float diff = a[i] - b[i];
+        acc += diff * diff;
+    }
+    return acc;
+}
+
+JUNO_TARGET_AVX2 float
+innerProductAvx2(const float *a, const float *b, idx_t d)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    idx_t i = 0;
+    for (; i + 16 <= d; i += 16) {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                               _mm256_loadu_ps(b + i), acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                               _mm256_loadu_ps(b + i + 8), acc1);
+    }
+    for (; i + 8 <= d; i += 8)
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                               _mm256_loadu_ps(b + i), acc0);
+    float acc = hsum8(_mm256_add_ps(acc0, acc1));
+    for (; i < d; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+JUNO_TARGET_AVX2 float
+l2NormSqrAvx2(const float *a, idx_t d)
+{
+    return innerProductAvx2(a, a, d);
+}
+
+/**
+ * Batched L2 over contiguous rows. d == 2 (JUNO's mandatory subspace
+ * width) packs four rows per vector; the general path register-blocks
+ * four rows so each query cacheline load is reused fourfold.
+ */
+JUNO_TARGET_AVX2 void
+l2SqrBatchAvx2(const float *q, const float *rows, idx_t n, idx_t d,
+               float *out)
+{
+    idx_t i = 0;
+    if (d == 2) {
+        const __m256 qq = _mm256_setr_ps(q[0], q[1], q[0], q[1], q[0], q[1],
+                                         q[0], q[1]);
+        const __m256i even =
+            _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
+        for (; i + 4 <= n; i += 4) {
+            const __m256 r = _mm256_loadu_ps(rows + 2 * i);
+            const __m256 diff = _mm256_sub_ps(r, qq);
+            const __m256 sq = _mm256_mul_ps(diff, diff);
+            // Pair-sum: add the lane-swapped copy, keep even lanes.
+            const __m256 sum = _mm256_add_ps(
+                sq, _mm256_permute_ps(sq, 0xB1));
+            const __m256 packed = _mm256_permutevar8x32_ps(sum, even);
+            _mm_storeu_ps(out + i, _mm256_castps256_ps128(packed));
+        }
+        for (; i < n; ++i) {
+            const float dx = rows[2 * i] - q[0];
+            const float dy = rows[2 * i + 1] - q[1];
+            out[i] = dx * dx + dy * dy;
+        }
+        return;
+    }
+    // Two-row register blocking; each row runs the *same* strip/tail
+    // accumulation schedule as l2SqrAvx2, so a batch row is bitwise
+    // identical to the single-pair kernel of this table (consumers mix
+    // the two freely: brute-force scans batch, inverted lists do not).
+    for (; i + 2 <= n; i += 2) {
+        const float *r0 = rows + static_cast<std::size_t>(i) *
+                                     static_cast<std::size_t>(d);
+        const float *r1 = r0 + d;
+        __m256 a00 = _mm256_setzero_ps(), a01 = _mm256_setzero_ps();
+        __m256 a10 = _mm256_setzero_ps(), a11 = _mm256_setzero_ps();
+        idx_t j = 0;
+        for (; j + 16 <= d; j += 16) {
+            const __m256 qv0 = _mm256_loadu_ps(q + j);
+            const __m256 qv1 = _mm256_loadu_ps(q + j + 8);
+            const __m256 d00 =
+                _mm256_sub_ps(qv0, _mm256_loadu_ps(r0 + j));
+            const __m256 d01 =
+                _mm256_sub_ps(qv1, _mm256_loadu_ps(r0 + j + 8));
+            const __m256 d10 =
+                _mm256_sub_ps(qv0, _mm256_loadu_ps(r1 + j));
+            const __m256 d11 =
+                _mm256_sub_ps(qv1, _mm256_loadu_ps(r1 + j + 8));
+            a00 = _mm256_fmadd_ps(d00, d00, a00);
+            a01 = _mm256_fmadd_ps(d01, d01, a01);
+            a10 = _mm256_fmadd_ps(d10, d10, a10);
+            a11 = _mm256_fmadd_ps(d11, d11, a11);
+        }
+        for (; j + 8 <= d; j += 8) {
+            const __m256 qv = _mm256_loadu_ps(q + j);
+            const __m256 d00 =
+                _mm256_sub_ps(qv, _mm256_loadu_ps(r0 + j));
+            const __m256 d10 =
+                _mm256_sub_ps(qv, _mm256_loadu_ps(r1 + j));
+            a00 = _mm256_fmadd_ps(d00, d00, a00);
+            a10 = _mm256_fmadd_ps(d10, d10, a10);
+        }
+        float s0 = hsum8(_mm256_add_ps(a00, a01));
+        float s1 = hsum8(_mm256_add_ps(a10, a11));
+        for (; j < d; ++j) {
+            const float d0 = q[j] - r0[j];
+            const float d1 = q[j] - r1[j];
+            s0 += d0 * d0;
+            s1 += d1 * d1;
+        }
+        out[i] = s0;
+        out[i + 1] = s1;
+    }
+    for (; i < n; ++i)
+        out[i] = l2SqrAvx2(q,
+                           rows + static_cast<std::size_t>(i) *
+                                      static_cast<std::size_t>(d),
+                           d);
+}
+
+JUNO_TARGET_AVX2 void
+innerProductBatchAvx2(const float *q, const float *rows, idx_t n, idx_t d,
+                      float *out)
+{
+    idx_t i = 0;
+    if (d == 2) {
+        const __m256 qq = _mm256_setr_ps(q[0], q[1], q[0], q[1], q[0], q[1],
+                                         q[0], q[1]);
+        const __m256i even =
+            _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
+        for (; i + 4 <= n; i += 4) {
+            const __m256 prod =
+                _mm256_mul_ps(_mm256_loadu_ps(rows + 2 * i), qq);
+            const __m256 sum = _mm256_add_ps(
+                prod, _mm256_permute_ps(prod, 0xB1));
+            const __m256 packed = _mm256_permutevar8x32_ps(sum, even);
+            _mm_storeu_ps(out + i, _mm256_castps256_ps128(packed));
+        }
+        for (; i < n; ++i)
+            out[i] = rows[2 * i] * q[0] + rows[2 * i + 1] * q[1];
+        return;
+    }
+    // Mirrors innerProductAvx2's accumulation schedule per row (see
+    // the l2 batch kernel for why bitwise row equality matters).
+    for (; i + 2 <= n; i += 2) {
+        const float *r0 = rows + static_cast<std::size_t>(i) *
+                                     static_cast<std::size_t>(d);
+        const float *r1 = r0 + d;
+        __m256 a00 = _mm256_setzero_ps(), a01 = _mm256_setzero_ps();
+        __m256 a10 = _mm256_setzero_ps(), a11 = _mm256_setzero_ps();
+        idx_t j = 0;
+        for (; j + 16 <= d; j += 16) {
+            const __m256 qv0 = _mm256_loadu_ps(q + j);
+            const __m256 qv1 = _mm256_loadu_ps(q + j + 8);
+            a00 = _mm256_fmadd_ps(qv0, _mm256_loadu_ps(r0 + j), a00);
+            a01 = _mm256_fmadd_ps(qv1, _mm256_loadu_ps(r0 + j + 8), a01);
+            a10 = _mm256_fmadd_ps(qv0, _mm256_loadu_ps(r1 + j), a10);
+            a11 = _mm256_fmadd_ps(qv1, _mm256_loadu_ps(r1 + j + 8), a11);
+        }
+        for (; j + 8 <= d; j += 8) {
+            const __m256 qv = _mm256_loadu_ps(q + j);
+            a00 = _mm256_fmadd_ps(qv, _mm256_loadu_ps(r0 + j), a00);
+            a10 = _mm256_fmadd_ps(qv, _mm256_loadu_ps(r1 + j), a10);
+        }
+        float s0 = hsum8(_mm256_add_ps(a00, a01));
+        float s1 = hsum8(_mm256_add_ps(a10, a11));
+        for (; j < d; ++j) {
+            s0 += q[j] * r0[j];
+            s1 += q[j] * r1[j];
+        }
+        out[i] = s0;
+        out[i + 1] = s1;
+    }
+    for (; i < n; ++i)
+        out[i] = innerProductAvx2(q,
+                                  rows + static_cast<std::size_t>(i) *
+                                             static_cast<std::size_t>(d),
+                                  d);
+}
+
+/** 4x16 register-blocked FMA tile; B rows stream, C stays in registers. */
+JUNO_TARGET_AVX2 void
+gemmAvx2(const float *a, const float *b, float *c, idx_t m, idx_t k,
+         idx_t n)
+{
+    const auto kk_sz = static_cast<std::size_t>(k);
+    const auto n_sz = static_cast<std::size_t>(n);
+    std::memset(c, 0, static_cast<std::size_t>(m) * n_sz * sizeof(float));
+    idx_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+        const float *a0 = a + static_cast<std::size_t>(i) * kk_sz;
+        const float *a1 = a0 + kk_sz;
+        const float *a2 = a1 + kk_sz;
+        const float *a3 = a2 + kk_sz;
+        float *c0 = c + static_cast<std::size_t>(i) * n_sz;
+        float *c1 = c0 + n_sz;
+        float *c2 = c1 + n_sz;
+        float *c3 = c2 + n_sz;
+        idx_t j = 0;
+        for (; j + 16 <= n; j += 16) {
+            __m256 v00 = _mm256_setzero_ps(), v01 = _mm256_setzero_ps();
+            __m256 v10 = _mm256_setzero_ps(), v11 = _mm256_setzero_ps();
+            __m256 v20 = _mm256_setzero_ps(), v21 = _mm256_setzero_ps();
+            __m256 v30 = _mm256_setzero_ps(), v31 = _mm256_setzero_ps();
+            for (idx_t kk = 0; kk < k; ++kk) {
+                const float *brow =
+                    b + static_cast<std::size_t>(kk) * n_sz + j;
+                const __m256 b0 = _mm256_loadu_ps(brow);
+                const __m256 b1 = _mm256_loadu_ps(brow + 8);
+                const __m256 w0 = _mm256_set1_ps(a0[kk]);
+                const __m256 w1 = _mm256_set1_ps(a1[kk]);
+                const __m256 w2 = _mm256_set1_ps(a2[kk]);
+                const __m256 w3 = _mm256_set1_ps(a3[kk]);
+                v00 = _mm256_fmadd_ps(w0, b0, v00);
+                v01 = _mm256_fmadd_ps(w0, b1, v01);
+                v10 = _mm256_fmadd_ps(w1, b0, v10);
+                v11 = _mm256_fmadd_ps(w1, b1, v11);
+                v20 = _mm256_fmadd_ps(w2, b0, v20);
+                v21 = _mm256_fmadd_ps(w2, b1, v21);
+                v30 = _mm256_fmadd_ps(w3, b0, v30);
+                v31 = _mm256_fmadd_ps(w3, b1, v31);
+            }
+            _mm256_storeu_ps(c0 + j, v00);
+            _mm256_storeu_ps(c0 + j + 8, v01);
+            _mm256_storeu_ps(c1 + j, v10);
+            _mm256_storeu_ps(c1 + j + 8, v11);
+            _mm256_storeu_ps(c2 + j, v20);
+            _mm256_storeu_ps(c2 + j + 8, v21);
+            _mm256_storeu_ps(c3 + j, v30);
+            _mm256_storeu_ps(c3 + j + 8, v31);
+        }
+        for (; j < n; ++j) {
+            float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+            for (idx_t kk = 0; kk < k; ++kk) {
+                const float bv = b[static_cast<std::size_t>(kk) * n_sz + j];
+                s0 += a0[kk] * bv;
+                s1 += a1[kk] * bv;
+                s2 += a2[kk] * bv;
+                s3 += a3[kk] * bv;
+            }
+            c0[j] = s0;
+            c1[j] = s1;
+            c2[j] = s2;
+            c3[j] = s3;
+        }
+    }
+    for (; i < m; ++i) {
+        const float *arow = a + static_cast<std::size_t>(i) * kk_sz;
+        float *crow = c + static_cast<std::size_t>(i) * n_sz;
+        for (idx_t kk = 0; kk < k; ++kk) {
+            const __m256 w = _mm256_set1_ps(arow[kk]);
+            const float *brow = b + static_cast<std::size_t>(kk) * n_sz;
+            idx_t j = 0;
+            for (; j + 8 <= n; j += 8)
+                _mm256_storeu_ps(
+                    crow + j,
+                    _mm256_fmadd_ps(w, _mm256_loadu_ps(brow + j),
+                                    _mm256_loadu_ps(crow + j)));
+            for (; j < n; ++j)
+                crow[j] += arow[kk] * brow[j];
+        }
+    }
+}
+
+/**
+ * Transposes one 8-point x 8-subspace uint16 tile (each point's codes
+ * loaded with a single 128-bit load from @p pc at subspace offset
+ * @p s) into t[j] = the 8 points' codes for subspace s + j. Shared by
+ * the AVX2 and AVX-512 ADC scans so the networks cannot drift apart.
+ */
+JUNO_TARGET_AVX2 inline void
+transposeCodes8x8(const entry_t *const *pc, int s, __m128i t[8])
+{
+    const __m128i r0 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(pc[0] + s));
+    const __m128i r1 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(pc[1] + s));
+    const __m128i r2 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(pc[2] + s));
+    const __m128i r3 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(pc[3] + s));
+    const __m128i r4 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(pc[4] + s));
+    const __m128i r5 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(pc[5] + s));
+    const __m128i r6 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(pc[6] + s));
+    const __m128i r7 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(pc[7] + s));
+    const __m128i ab_lo = _mm_unpacklo_epi16(r0, r1);
+    const __m128i ab_hi = _mm_unpackhi_epi16(r0, r1);
+    const __m128i cd_lo = _mm_unpacklo_epi16(r2, r3);
+    const __m128i cd_hi = _mm_unpackhi_epi16(r2, r3);
+    const __m128i ef_lo = _mm_unpacklo_epi16(r4, r5);
+    const __m128i ef_hi = _mm_unpackhi_epi16(r4, r5);
+    const __m128i gh_lo = _mm_unpacklo_epi16(r6, r7);
+    const __m128i gh_hi = _mm_unpackhi_epi16(r6, r7);
+    const __m128i abcd_0 = _mm_unpacklo_epi32(ab_lo, cd_lo);
+    const __m128i abcd_1 = _mm_unpackhi_epi32(ab_lo, cd_lo);
+    const __m128i abcd_2 = _mm_unpacklo_epi32(ab_hi, cd_hi);
+    const __m128i abcd_3 = _mm_unpackhi_epi32(ab_hi, cd_hi);
+    const __m128i efgh_0 = _mm_unpacklo_epi32(ef_lo, gh_lo);
+    const __m128i efgh_1 = _mm_unpackhi_epi32(ef_lo, gh_lo);
+    const __m128i efgh_2 = _mm_unpacklo_epi32(ef_hi, gh_hi);
+    const __m128i efgh_3 = _mm_unpackhi_epi32(ef_hi, gh_hi);
+    t[0] = _mm_unpacklo_epi64(abcd_0, efgh_0);
+    t[1] = _mm_unpackhi_epi64(abcd_0, efgh_0);
+    t[2] = _mm_unpacklo_epi64(abcd_1, efgh_1);
+    t[3] = _mm_unpackhi_epi64(abcd_1, efgh_1);
+    t[4] = _mm_unpacklo_epi64(abcd_2, efgh_2);
+    t[5] = _mm_unpackhi_epi64(abcd_2, efgh_2);
+    t[6] = _mm_unpacklo_epi64(abcd_3, efgh_3);
+    t[7] = _mm_unpackhi_epi64(abcd_3, efgh_3);
+}
+
+/**
+ * One 8-point x 8-subspace ADC tile: transpose the code tile, then
+ * gather one LUT row per subspace. The accumulator receives one add
+ * per subspace in subspace order, so per-point (per-lane) results
+ * stay bitwise identical to the scalar scan.
+ */
+JUNO_TARGET_AVX2 inline __m256
+adcTile8x8(const entry_t *const *pc, int s, const float *lrow,
+           std::size_t stride, __m256 acc)
+{
+    __m128i t[8];
+    transposeCodes8x8(pc, s, t);
+    for (int j = 0; j < 8; ++j, lrow += stride)
+        acc = _mm256_add_ps(
+            acc,
+            _mm256_i32gather_ps(lrow, _mm256_cvtepu16_epi32(t[j]), 4));
+    return acc;
+}
+
+/**
+ * Gathers LUT entries for 8 codes per step (8x8 tiles when at least 8
+ * subspaces remain, per-subspace transposed gathers for the rest).
+ * Per-point accumulation order over subspaces matches scalar exactly
+ * (one add per subspace, in subspace order), so the result is bitwise
+ * identical.
+ */
+JUNO_TARGET_AVX2 void
+adcScanAvx2(const float *lut, idx_t lut_stride, int subspaces,
+            const entry_t *codes, std::size_t code_stride, const idx_t *ids,
+            std::size_t n, float base, float *out)
+{
+    const auto stride = static_cast<std::size_t>(lut_stride);
+    std::size_t i = 0;
+    // Two independent 8-point blocks per step: each block's
+    // accumulator is a serial add chain (the bitwise contract), so a
+    // second in-flight chain is what hides the add+gather latency.
+    for (; i + 16 <= n; i += 16) {
+        const entry_t *pca[8];
+        const entry_t *pcb[8];
+        for (int j = 0; j < 8; ++j) {
+            pca[j] =
+                codes +
+                static_cast<std::size_t>(
+                    ids[i + static_cast<std::size_t>(j)]) *
+                    code_stride;
+            pcb[j] =
+                codes +
+                static_cast<std::size_t>(
+                    ids[i + 8 + static_cast<std::size_t>(j)]) *
+                    code_stride;
+        }
+        __m256 acca = _mm256_set1_ps(base);
+        __m256 accb = _mm256_set1_ps(base);
+        int s = 0;
+        for (; s + 8 <= subspaces; s += 8) {
+            const float *lrow =
+                lut + static_cast<std::size_t>(s) * stride;
+            acca = adcTile8x8(pca, s, lrow, stride, acca);
+            accb = adcTile8x8(pcb, s, lrow, stride, accb);
+        }
+        for (; s < subspaces; ++s) {
+            const float *lrow =
+                lut + static_cast<std::size_t>(s) * stride;
+            const __m256i eva = _mm256_setr_epi32(
+                pca[0][s], pca[1][s], pca[2][s], pca[3][s], pca[4][s],
+                pca[5][s], pca[6][s], pca[7][s]);
+            const __m256i evb = _mm256_setr_epi32(
+                pcb[0][s], pcb[1][s], pcb[2][s], pcb[3][s], pcb[4][s],
+                pcb[5][s], pcb[6][s], pcb[7][s]);
+            acca = _mm256_add_ps(acca,
+                                 _mm256_i32gather_ps(lrow, eva, 4));
+            accb = _mm256_add_ps(accb,
+                                 _mm256_i32gather_ps(lrow, evb, 4));
+        }
+        _mm256_storeu_ps(out + i, acca);
+        _mm256_storeu_ps(out + i + 8, accb);
+    }
+    for (; i + 8 <= n; i += 8) {
+        const entry_t *pc[8];
+        for (int j = 0; j < 8; ++j)
+            pc[j] = codes +
+                    static_cast<std::size_t>(
+                        ids[i + static_cast<std::size_t>(j)]) *
+                        code_stride;
+        __m256 acc = _mm256_set1_ps(base);
+        int s = 0;
+        for (; s + 8 <= subspaces; s += 8)
+            acc = adcTile8x8(pc, s,
+                             lut + static_cast<std::size_t>(s) * stride,
+                             stride, acc);
+        for (; s < subspaces; ++s) {
+            const __m256i ev = _mm256_setr_epi32(
+                pc[0][s], pc[1][s], pc[2][s], pc[3][s], pc[4][s],
+                pc[5][s], pc[6][s], pc[7][s]);
+            acc = _mm256_add_ps(
+                acc, _mm256_i32gather_ps(
+                         lut + static_cast<std::size_t>(s) * stride, ev,
+                         4));
+        }
+        _mm256_storeu_ps(out + i, acc);
+    }
+    if (i < n)
+        adcScanScalar(lut, lut_stride, subspaces, codes, code_stride,
+                      ids + i, n - i, base, out + i);
+}
+
+/** Skips blocks of 8 untouched ordinals with one compare+movemask. */
+JUNO_TARGET_AVX2 void
+compactCandidatesAvx2(const float *acc, const std::int32_t *hits,
+                      const idx_t *list, std::size_t n, float offset,
+                      std::vector<Neighbor> &out)
+{
+    const __m256i zero = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i h = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(hits + i));
+        const int zero_mask = _mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpeq_epi32(h, zero)));
+        unsigned live = static_cast<unsigned>(~zero_mask) & 0xFFu;
+        while (live != 0) {
+            const unsigned lane =
+                static_cast<unsigned>(__builtin_ctz(live));
+            live &= live - 1;
+            out.push_back({list[i + lane], acc[i + lane] + offset});
+        }
+    }
+    for (; i < n; ++i) {
+        if (hits[i] != 0)
+            out.push_back({list[i], acc[i] + offset});
+    }
+}
+
+const Kernels kAvx2Table = {
+    "avx2",
+    &l2SqrAvx2,
+    &innerProductAvx2,
+    &l2NormSqrAvx2,
+    &l2SqrBatchAvx2,
+    &innerProductBatchAvx2,
+    &gemmAvx2,
+    &adcScanAvx2,
+    &compactCandidatesAvx2,
+};
+
+/**
+ * 16 points per step with one 16-wide gather per subspace. Lanes are
+ * points, one add per subspace in subspace order, so per-point
+ * accumulation stays bitwise identical to the scalar scan. The AVX2
+ * path's 8-wide gathers hit their throughput wall right at the scalar
+ * load-port bound; the 512-bit gather doubles the elements per issued
+ * gather, which is what buys the headroom.
+ */
+JUNO_TARGET_AVX512 void
+adcScanAvx512(const float *lut, idx_t lut_stride, int subspaces,
+              const entry_t *codes, std::size_t code_stride,
+              const idx_t *ids, std::size_t n, float base, float *out)
+{
+    const auto stride = static_cast<std::size_t>(lut_stride);
+    std::size_t i = 0;
+    // Two independent 16-point blocks in flight: their gather+add
+    // chains interleave, which keeps the gather ports saturated.
+    for (; i + 32 <= n; i += 32) {
+        const entry_t *pc[4][8];
+        for (int g = 0; g < 4; ++g)
+            for (int j = 0; j < 8; ++j)
+                pc[g][j] =
+                    codes +
+                    static_cast<std::size_t>(
+                        ids[i + static_cast<std::size_t>(8 * g + j)]) *
+                        code_stride;
+        __m512 acc0 = _mm512_set1_ps(base);
+        __m512 acc1 = _mm512_set1_ps(base);
+        int s = 0;
+        for (; s + 8 <= subspaces; s += 8) {
+            __m128i t[4][8];
+            transposeCodes8x8(pc[0], s, t[0]);
+            transposeCodes8x8(pc[1], s, t[1]);
+            transposeCodes8x8(pc[2], s, t[2]);
+            transposeCodes8x8(pc[3], s, t[3]);
+            const float *lrow =
+                lut + static_cast<std::size_t>(s) * stride;
+            for (int j = 0; j < 8; ++j, lrow += stride) {
+                const __m512i ev0 = _mm512_maskz_cvtepu16_epi32(static_cast<__mmask16>(-1), 
+                    _mm256_set_m128i(t[1][j], t[0][j]));
+                const __m512i ev1 = _mm512_maskz_cvtepu16_epi32(static_cast<__mmask16>(-1), 
+                    _mm256_set_m128i(t[3][j], t[2][j]));
+                acc0 = _mm512_add_ps(
+                    acc0, _mm512_mask_i32gather_ps(
+                              _mm512_setzero_ps(), 0xFFFF, ev0, lrow,
+                              4));
+                acc1 = _mm512_add_ps(
+                    acc1, _mm512_mask_i32gather_ps(
+                              _mm512_setzero_ps(), 0xFFFF, ev1, lrow,
+                              4));
+            }
+        }
+        for (; s < subspaces; ++s) {
+            const float *lrow =
+                lut + static_cast<std::size_t>(s) * stride;
+            const __m512i ev0 = _mm512_setr_epi32(
+                pc[0][0][s], pc[0][1][s], pc[0][2][s], pc[0][3][s],
+                pc[0][4][s], pc[0][5][s], pc[0][6][s], pc[0][7][s],
+                pc[1][0][s], pc[1][1][s], pc[1][2][s], pc[1][3][s],
+                pc[1][4][s], pc[1][5][s], pc[1][6][s], pc[1][7][s]);
+            const __m512i ev1 = _mm512_setr_epi32(
+                pc[2][0][s], pc[2][1][s], pc[2][2][s], pc[2][3][s],
+                pc[2][4][s], pc[2][5][s], pc[2][6][s], pc[2][7][s],
+                pc[3][0][s], pc[3][1][s], pc[3][2][s], pc[3][3][s],
+                pc[3][4][s], pc[3][5][s], pc[3][6][s], pc[3][7][s]);
+            acc0 = _mm512_add_ps(
+                acc0, _mm512_mask_i32gather_ps(_mm512_setzero_ps(),
+                                               0xFFFF, ev0, lrow, 4));
+            acc1 = _mm512_add_ps(
+                acc1, _mm512_mask_i32gather_ps(_mm512_setzero_ps(),
+                                               0xFFFF, ev1, lrow, 4));
+        }
+        _mm512_storeu_ps(out + i, acc0);
+        _mm512_storeu_ps(out + i + 16, acc1);
+    }
+    for (; i + 16 <= n; i += 16) {
+        const entry_t *pca[8];
+        const entry_t *pcb[8];
+        for (int j = 0; j < 8; ++j) {
+            pca[j] =
+                codes +
+                static_cast<std::size_t>(
+                    ids[i + static_cast<std::size_t>(j)]) *
+                    code_stride;
+            pcb[j] =
+                codes +
+                static_cast<std::size_t>(
+                    ids[i + 8 + static_cast<std::size_t>(j)]) *
+                    code_stride;
+        }
+        __m512 acc = _mm512_set1_ps(base);
+        int s = 0;
+        for (; s + 8 <= subspaces; s += 8) {
+            __m128i ta[8];
+            __m128i tb[8];
+            transposeCodes8x8(pca, s, ta);
+            transposeCodes8x8(pcb, s, tb);
+            const float *lrow =
+                lut + static_cast<std::size_t>(s) * stride;
+            for (int j = 0; j < 8; ++j, lrow += stride) {
+                const __m512i ev = _mm512_maskz_cvtepu16_epi32(static_cast<__mmask16>(-1), 
+                    _mm256_set_m128i(tb[j], ta[j]));
+                acc = _mm512_add_ps(
+                    acc, _mm512_mask_i32gather_ps(_mm512_setzero_ps(),
+                                                  0xFFFF, ev, lrow, 4));
+            }
+        }
+        for (; s < subspaces; ++s) {
+            const float *lrow =
+                lut + static_cast<std::size_t>(s) * stride;
+            const __m512i ev = _mm512_setr_epi32(
+                pca[0][s], pca[1][s], pca[2][s], pca[3][s], pca[4][s],
+                pca[5][s], pca[6][s], pca[7][s], pcb[0][s], pcb[1][s],
+                pcb[2][s], pcb[3][s], pcb[4][s], pcb[5][s], pcb[6][s],
+                pcb[7][s]);
+            acc = _mm512_add_ps(
+                acc, _mm512_mask_i32gather_ps(_mm512_setzero_ps(),
+                                              0xFFFF, ev, lrow, 4));
+        }
+        _mm512_storeu_ps(out + i, acc);
+    }
+    if (i < n)
+        adcScanAvx2(lut, lut_stride, subspaces, codes, code_stride,
+                    ids + i, n - i, base, out + i);
+}
+
+/** AVX2 table with the wider ADC gather swapped in. */
+const Kernels kAvx512Table = {
+    "avx512",
+    &l2SqrAvx2,
+    &innerProductAvx2,
+    &l2NormSqrAvx2,
+    &l2SqrBatchAvx2,
+    &innerProductBatchAvx2,
+    &gemmAvx2,
+    &adcScanAvx512,
+    &compactCandidatesAvx2,
+};
+#endif // JUNO_SIMD_X86
+
+std::atomic<const Kernels *> g_active{nullptr};
+
+const Kernels *
+selectInitial()
+{
+    const char *env = std::getenv("JUNO_SIMD");
+    return &table(parseLevel(env));
+}
+
+} // namespace
+
+bool
+supported(Level lvl)
+{
+    switch (lvl) {
+      case Level::kScalar:
+        return true;
+      case Level::kAvx2:
+#if JUNO_SIMD_X86
+        return __builtin_cpu_supports("avx2") &&
+               __builtin_cpu_supports("fma");
+#else
+        return false;
+#endif
+      case Level::kAvx512:
+#if JUNO_SIMD_X86
+        return __builtin_cpu_supports("avx2") &&
+               __builtin_cpu_supports("fma") &&
+               __builtin_cpu_supports("avx512f") &&
+               __builtin_cpu_supports("avx512bw") &&
+               __builtin_cpu_supports("avx512vl");
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+Level
+bestSupported()
+{
+    if (supported(Level::kAvx512))
+        return Level::kAvx512;
+    return supported(Level::kAvx2) ? Level::kAvx2 : Level::kScalar;
+}
+
+const Kernels &
+table(Level lvl)
+{
+#if JUNO_SIMD_X86
+    if (lvl == Level::kAvx512 && supported(Level::kAvx512))
+        return kAvx512Table;
+    if (lvl != Level::kScalar && supported(Level::kAvx2))
+        return kAvx2Table;
+#else
+    (void)lvl;
+#endif
+    return kScalarTable;
+}
+
+const Kernels &
+active()
+{
+    const Kernels *t = g_active.load(std::memory_order_acquire);
+    if (t == nullptr) {
+        // First use; a concurrent first use selects the same table, so
+        // the race is benign.
+        t = selectInitial();
+        g_active.store(t, std::memory_order_release);
+    }
+    return *t;
+}
+
+Level
+level()
+{
+    const Kernels *t = &active();
+#if JUNO_SIMD_X86
+    if (t == &kAvx512Table)
+        return Level::kAvx512;
+    if (t == &kAvx2Table)
+        return Level::kAvx2;
+#endif
+    (void)t;
+    return Level::kScalar;
+}
+
+bool
+setLevel(Level lvl)
+{
+    if (!supported(lvl))
+        return false;
+    g_active.store(&table(lvl), std::memory_order_release);
+    return true;
+}
+
+const char *
+levelName(Level lvl)
+{
+    switch (lvl) {
+      case Level::kScalar:
+        return "scalar";
+      case Level::kAvx2:
+        return "avx2";
+      case Level::kAvx512:
+        return "avx512";
+    }
+    return "?";
+}
+
+Level
+parseLevel(const char *spec)
+{
+    if (spec == nullptr || *spec == '\0')
+        return bestSupported();
+    const std::string s(spec);
+    if (s == "auto")
+        return bestSupported();
+    if (s == "scalar")
+        return Level::kScalar;
+    if (s == "avx2" || s == "avx512") {
+        const Level want =
+            s == "avx2" ? Level::kAvx2 : Level::kAvx512;
+        if (supported(want))
+            return want;
+        warn("JUNO_SIMD=" + s +
+             " requested but this host does not support it; using "
+             "best supported level");
+        return std::min(bestSupported(), want);
+    }
+    warn("unknown JUNO_SIMD value '" + s +
+         "' (expected scalar|avx2|avx512|auto); using best supported "
+         "level");
+    return bestSupported();
+}
+
+} // namespace simd
+} // namespace juno

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * SIMD kernel layer with runtime CPU-feature dispatch.
+ *
+ * The paper's filtering and ADC-scoring kernels run on wide
+ * data-parallel GPU hardware; on the CPU substitution they bottom out
+ * here. A dispatch table of function pointers is selected once at
+ * startup from CPUID (AVX2+FMA when available, a scalar reference
+ * otherwise) and every hot kernel — single-pair reductions, batched
+ * row scoring, the register-blocked GEMM tile, the batched ADC scan
+ * and the sparse candidate compaction — calls through it.
+ *
+ * Contracts:
+ *  - The scalar table is the bit-exact reference: its results never
+ *    change across compilers or flags (fixed accumulation order; the
+ *    build pins -ffp-contract=off on simd.cc so -mfma builds cannot
+ *    fuse its mul+add pairs into FMAs).
+ *  - The AVX2 float reductions may differ from scalar within normal
+ *    FP reassociation tolerance (tests allow 1e-4 relative).
+ *  - The ADC scan is bitwise identical across tables: each point's
+ *    accumulation order over subspaces is the same in every path.
+ *  - Candidate compaction emits the same candidates in the same
+ *    (ascending ordinal) order in every path.
+ *
+ * Override for testing: set `JUNO_SIMD=scalar`, `JUNO_SIMD=avx2` or
+ * `JUNO_SIMD=avx512` in the environment before first use, or call
+ * simd::setLevel() at runtime (benches flip levels to print
+ * scalar-vs-dispatched rows).
+ */
+#ifndef JUNO_COMMON_SIMD_H
+#define JUNO_COMMON_SIMD_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/topk.h"
+#include "common/types.h"
+
+namespace juno {
+namespace simd {
+
+/** Instruction-set tier of a dispatch table. */
+enum class Level {
+    kScalar = 0, ///< portable reference, bit-exact contract
+    kAvx2 = 1,   ///< AVX2 + FMA (x86-64)
+    kAvx512 = 2, ///< AVX-512 F/BW/VL: AVX2 table + 16-wide ADC gather
+};
+
+/**
+ * One dispatchable kernel set. All pointers are always non-null; the
+ * AVX2 table falls back to scalar entries on hosts without AVX2.
+ */
+struct Kernels {
+    /** Human-readable tier name ("scalar", "avx2"). */
+    const char *name;
+
+    /** Squared L2 distance between two d-dim vectors. */
+    float (*l2_sqr)(const float *a, const float *b, idx_t d);
+    /** Inner product between two d-dim vectors. */
+    float (*inner_product)(const float *a, const float *b, idx_t d);
+    /** Squared L2 norm of a d-dim vector. */
+    float (*l2_norm_sqr)(const float *a, idx_t d);
+
+    /**
+     * Batched row scoring against one query: out[i] = kernel(q,
+     * rows + i*d) for n contiguous d-dim rows. Register-blocks the
+     * query loads across several rows (the pairwiseScores /
+     * computeLut inner tile).
+     */
+    void (*l2_sqr_batch)(const float *q, const float *rows, idx_t n,
+                         idx_t d, float *out);
+    void (*inner_product_batch)(const float *q, const float *rows, idx_t n,
+                                idx_t d, float *out);
+
+    /**
+     * Row-major GEMM c = a * b with a (m x k), b (k x n), c (m x n),
+     * all dense and non-overlapping; c is fully overwritten. The AVX2
+     * version uses a 4x16 register-blocked FMA tile.
+     */
+    void (*gemm)(const float *a, const float *b, float *c, idx_t m,
+                 idx_t k, idx_t n);
+
+    /**
+     * Batched ADC scan (paper stage D): for each of n point ids,
+     * out[i] = base + sum_s lut[s*lut_stride + code_row(ids[i])[s]],
+     * where code_row(p) = codes + p*code_stride. The AVX2 path
+     * gathers LUT entries for 8 codes at a time; accumulation order
+     * per point is identical to scalar, so results are bitwise equal.
+     */
+    void (*adc_scan)(const float *lut, idx_t lut_stride, int subspaces,
+                     const entry_t *codes, std::size_t code_stride,
+                     const idx_t *ids, std::size_t n, float base,
+                     float *out);
+
+    /**
+     * Sparse candidate compaction (distance-calculation finalise):
+     * appends {list[i], acc[i] + offset} to @p out for every i < n
+     * with hits[i] != 0, in ascending i. The AVX2 path skips
+     * untouched ordinals eight at a time, which is the common case
+     * under JUNO's selective LUT.
+     */
+    void (*compact_candidates)(const float *acc, const std::int32_t *hits,
+                               const idx_t *list, std::size_t n,
+                               float offset, std::vector<Neighbor> &out);
+};
+
+/** True when this host can execute the @p level table natively. */
+bool supported(Level level);
+
+/** Best level this host supports (kAvx512 > kAvx2 > kScalar). */
+Level bestSupported();
+
+/** Table for an explicit level (benches compare tables directly). */
+const Kernels &table(Level level);
+
+/**
+ * The active dispatch table. Selected once on first use: the
+ * JUNO_SIMD environment override if set and supported, otherwise
+ * bestSupported().
+ */
+const Kernels &active();
+
+/** Level of the active table. */
+Level level();
+
+/**
+ * Re-points the active table (tests/benches). Returns false — and
+ * leaves the dispatch unchanged — when the host can't execute
+ * @p level.
+ */
+bool setLevel(Level level);
+
+/** Name of @p level ("scalar"/"avx2"). */
+const char *levelName(Level level);
+
+/**
+ * Parses a JUNO_SIMD-style spec ("scalar", "avx2", "" / "auto" for
+ * best-supported). Returns bestSupported() on unknown spec (with a
+ * warning) so a typo can't silently change results.
+ */
+Level parseLevel(const char *spec);
+
+// ---- Convenience wrappers over the active table ----
+
+inline float
+l2Sqr(const float *a, const float *b, idx_t d)
+{
+    return active().l2_sqr(a, b, d);
+}
+
+inline float
+innerProduct(const float *a, const float *b, idx_t d)
+{
+    return active().inner_product(a, b, d);
+}
+
+inline float
+l2NormSqr(const float *a, idx_t d)
+{
+    return active().l2_norm_sqr(a, d);
+}
+
+/** Dispatched score under @p metric (see common/types.h ordering). */
+inline float
+score(Metric metric, const float *a, const float *b, idx_t d)
+{
+    return metric == Metric::kL2 ? l2Sqr(a, b, d) : innerProduct(a, b, d);
+}
+
+/** Batched dispatched score over n contiguous rows. */
+inline void
+scoreBatch(Metric metric, const float *q, const float *rows, idx_t n,
+           idx_t d, float *out)
+{
+    if (metric == Metric::kL2)
+        active().l2_sqr_batch(q, rows, n, d, out);
+    else
+        active().inner_product_batch(q, rows, n, d, out);
+}
+
+inline void
+adcScan(const float *lut, idx_t lut_stride, int subspaces,
+        const entry_t *codes, std::size_t code_stride, const idx_t *ids,
+        std::size_t n, float base, float *out)
+{
+    active().adc_scan(lut, lut_stride, subspaces, codes, code_stride, ids,
+                      n, base, out);
+}
+
+inline void
+compactCandidates(const float *acc, const std::int32_t *hits,
+                  const idx_t *list, std::size_t n, float offset,
+                  std::vector<Neighbor> &out)
+{
+    active().compact_candidates(acc, hits, list, n, offset, out);
+}
+
+} // namespace simd
+} // namespace juno
+
+#endif // JUNO_COMMON_SIMD_H

@@ -42,10 +42,16 @@ class QuantileSketch {
     void add(double x);
     void add(const std::vector<double> &xs);
 
-    std::size_t count() const { return sorted_ ? data_.size() : data_.size(); }
+    std::size_t count() const { return data_.size(); }
     bool empty() const { return data_.empty(); }
 
-    /** Linear-interpolated quantile, q in [0, 1]. */
+    /**
+     * Linear-interpolated quantile, q in [0, 1]. Lazily sorts the
+     * retained samples on first call after an add(); the mutation is
+     * confined to the mutable sample buffer, so the method stays
+     * logically const — but it is NOT safe to call concurrently with
+     * itself or with add() on the same sketch.
+     */
     double quantile(double q) const;
 
     double median() const { return quantile(0.5); }

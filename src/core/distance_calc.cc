@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace juno {
 
@@ -94,10 +95,11 @@ DistanceCalculator::accumulateCluster(Metric metric, SearchMode mode,
         offset = -static_cast<float>(subspaces);
     }
 
-    for (std::size_t ord = 0; ord < n; ++ord) {
-        if (hit_count_[ord] != 0)
-            out.push_back({list[ord], acc_[ord] + offset});
-    }
+    // Candidate compaction through the dispatch table: the AVX2 path
+    // skips untouched ordinals eight at a time, which dominates under
+    // the selective LUT's sparse hit pattern.
+    simd::compactCandidates(acc_.data(), hit_count_.data(), list.data(), n,
+                            offset, out);
     (void)metric;
 }
 

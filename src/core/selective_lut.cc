@@ -5,6 +5,7 @@
 
 #include "common/distance.h"
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace juno {
 
@@ -118,10 +119,11 @@ SelectiveLutBuilder::buildInto(const float *query,
         }
     }
 
-    // IP base term: score(q, centroid) added per probed cluster.
+    // IP base term: score(q, centroid) added per probed cluster,
+    // computed by the dispatched (AVX2 when available) kernel.
     if (metric == Metric::kInnerProduct) {
         for (std::size_t p = 0; p < nprobs; ++p)
-            lut.base[p] = innerProduct(
+            lut.base[p] = simd::innerProduct(
                 query, ivf_.centroid(static_cast<cluster_t>(probes[p].id)),
                 ivf_.dim());
     }

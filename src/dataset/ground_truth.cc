@@ -2,6 +2,7 @@
 
 #include "common/distance.h"
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace juno {
 
@@ -18,11 +19,19 @@ computeGroundTruth(Metric metric, FloatMatrixView base,
     gt.neighbors.resize(static_cast<std::size_t>(queries.rows()));
 
     const idx_t d = base.cols();
+    const idx_t n = base.rows();
     auto scan_one = [&](idx_t qi) {
         const float *q = queries.row(qi);
+        // Same dispatched batch kernel as FlatIndex, so exact-scan
+        // scores stay bitwise comparable with the brute-force index.
+        // Per-worker scratch, reused across the queries each pool
+        // thread handles.
+        thread_local std::vector<float> scores;
+        scores.resize(static_cast<std::size_t>(n));
+        simd::scoreBatch(metric, q, base.data(), n, d, scores.data());
         TopK top(k, metric);
-        for (idx_t pi = 0; pi < base.rows(); ++pi)
-            top.push(pi, score(metric, q, base.row(pi), d));
+        for (idx_t pi = 0; pi < n; ++pi)
+            top.push(pi, scores[static_cast<std::size_t>(pi)]);
         gt.neighbors[static_cast<std::size_t>(qi)] = top.take();
     };
 

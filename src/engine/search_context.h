@@ -91,6 +91,8 @@ class SearchContext {
     std::vector<Neighbor> probes;
     /** Residual / projection buffer (D floats). */
     std::vector<float> residual;
+    /** Dense per-candidate score buffer for the batched SIMD kernels. */
+    std::vector<float> scores;
     /** Dense LUT scratch (subspaces x entries), reused across probes. */
     FloatMatrix lut;
     /** Graph-traversal visited set (HNSW). */

@@ -6,6 +6,7 @@
 
 #include "common/distance.h"
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace juno {
 
@@ -59,14 +60,26 @@ ProductQuantizer::entry(int s, entry_t e) const
 void
 ProductQuantizer::encodeOne(const float *vec, entry_t *out) const
 {
+    std::vector<float> scores(static_cast<std::size_t>(entries_));
+    encodeOne(vec, out, scores);
+}
+
+void
+ProductQuantizer::encodeOne(const float *vec, entry_t *out,
+                            std::vector<float> &scores) const
+{
     JUNO_ASSERT(trained(), "encode before train");
+    if (scores.size() < static_cast<std::size_t>(entries_))
+        scores.resize(static_cast<std::size_t>(entries_));
     for (int s = 0; s < num_subspaces_; ++s) {
         const float *proj = vec + s * sub_dim_;
         const FloatMatrix &cb = codebooks_[static_cast<std::size_t>(s)];
+        simd::active().l2_sqr_batch(proj, cb.data(), cb.rows(), sub_dim_,
+                                    scores.data());
         float best = std::numeric_limits<float>::max();
         entry_t best_e = 0;
         for (idx_t e = 0; e < cb.rows(); ++e) {
-            const float d2 = l2Sqr(proj, cb.row(e), sub_dim_);
+            const float d2 = scores[static_cast<std::size_t>(e)];
             if (d2 < best) {
                 best = d2;
                 best_e = static_cast<entry_t>(e);
@@ -85,9 +98,13 @@ ProductQuantizer::encode(FloatMatrixView vectors) const
     codes.num_subspaces = num_subspaces_;
     codes.codes.resize(static_cast<std::size_t>(vectors.rows()) *
                        static_cast<std::size_t>(num_subspaces_));
+    std::vector<float> scores(static_cast<std::size_t>(entries_));
     for (idx_t i = 0; i < vectors.rows(); ++i)
         encodeOne(vectors.row(i),
-                  codes.codes.data() + i * num_subspaces_);
+                  codes.codes.data() +
+                      static_cast<std::size_t>(i) *
+                          static_cast<std::size_t>(num_subspaces_),
+                  scores);
     return codes;
 }
 
@@ -107,9 +124,10 @@ ProductQuantizer::reconstructionError(FloatMatrixView vectors) const
 {
     JUNO_REQUIRE(vectors.cols() == dim(), "dimension mismatch");
     std::vector<entry_t> codes(static_cast<std::size_t>(num_subspaces_));
+    std::vector<float> scores(static_cast<std::size_t>(entries_));
     double total = 0.0;
     for (idx_t i = 0; i < vectors.rows(); ++i) {
-        encodeOne(vectors.row(i), codes.data());
+        encodeOne(vectors.row(i), codes.data(), scores);
         const auto rec = decode(codes.data());
         total += static_cast<double>(
             l2Sqr(vectors.row(i), rec.data(), dim()));
@@ -154,12 +172,13 @@ ProductQuantizer::computeLut(Metric metric, const float *vec,
     JUNO_ASSERT(trained(), "computeLut before train");
     if (out.rows() != num_subspaces_ || out.cols() != entries_)
         out = FloatMatrix(num_subspaces_, entries_);
+    // Each codebook is E contiguous subDim-rows: one batched-kernel
+    // call scores the whole subspace (paper stage C, dense LUT).
     for (int s = 0; s < num_subspaces_; ++s) {
         const float *proj = vec + s * sub_dim_;
         const FloatMatrix &cb = codebooks_[static_cast<std::size_t>(s)];
-        float *dst = out.row(s);
-        for (idx_t e = 0; e < cb.rows(); ++e)
-            dst[e] = score(metric, proj, cb.row(e), sub_dim_);
+        simd::scoreBatch(metric, proj, cb.data(), cb.rows(), sub_dim_,
+                         out.row(s));
     }
 }
 

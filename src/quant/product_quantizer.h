@@ -45,7 +45,10 @@ struct PQCodes {
     const entry_t *
     row(idx_t p) const
     {
-        return codes.data() + p * num_subspaces;
+        // Widen both factors before multiplying so the row offset is
+        // computed in std::size_t, never in a narrower signed type.
+        return codes.data() + static_cast<std::size_t>(p) *
+                                  static_cast<std::size_t>(num_subspaces);
     }
 
     entry_t
@@ -85,6 +88,13 @@ class ProductQuantizer {
 
     /** Encodes a single vector into @p out (num_subspaces entries). */
     void encodeOne(const float *vec, entry_t *out) const;
+
+    /**
+     * Same, with caller-owned score scratch (grown to entries()
+     * floats if smaller) so encode loops stay allocation-free.
+     */
+    void encodeOne(const float *vec, entry_t *out,
+                   std::vector<float> &scores) const;
 
     /** Reconstructs a vector from its codes. */
     std::vector<float> decode(const entry_t *codes) const;

@@ -68,9 +68,15 @@ TEST(FlatIndex, RejectsBadInput)
 {
     const auto ds = makeSmall();
     FlatIndex index(Metric::kL2, ds.base.view());
-    EXPECT_THROW(index.search(ds.queries.view(), 0), ConfigError);
+    EXPECT_THROW(index.search(ds.queries.view(), -1), ConfigError);
     FloatMatrix wrong(1, 7);
     EXPECT_THROW(index.search(wrong.view(), 1), ConfigError);
+    // k == 0 is a degenerate request, not an error: empty lists.
+    const auto empty = index.search(ds.queries.view(), 0);
+    ASSERT_EQ(empty.size(),
+              static_cast<std::size_t>(ds.queries.rows()));
+    for (const auto &res : empty)
+        EXPECT_TRUE(res.empty());
 }
 
 TEST(IvfFlat, FullProbeIsExact)

@@ -194,7 +194,7 @@ TEST(SearchEngine, RejectsBadRequests)
 {
     const auto ds = smallDataset();
     FlatIndex index(ds.metric, ds.base.view());
-    EXPECT_THROW(index.search(request(ds, 0, 1)), ConfigError);
+    EXPECT_THROW(index.search(request(ds, -1, 1)), ConfigError);
     FloatMatrix wrong(3, ds.base.cols() + 2);
     SearchRequest req;
     req.queries = wrong.view();
@@ -210,6 +210,92 @@ TEST(SearchEngine, EmptyBatchReturnsEmpty)
     req.queries = FloatMatrixView(nullptr, 0, ds.base.cols());
     req.options.k = 3;
     EXPECT_TRUE(index.search(req).empty());
+}
+
+/**
+ * Degenerate requests must behave identically for every index type:
+ * empty batch -> empty results; k == 0 -> one empty list per query;
+ * k > numPoints -> truncated lists with valid, distinct ids.
+ */
+void
+expectDegenerateContract(AnnIndex &index, const Dataset &ds)
+{
+    // Empty batch: no results, even with a zero-column view.
+    SearchRequest empty;
+    empty.queries = FloatMatrixView(nullptr, 0, 0);
+    empty.options.k = 5;
+    EXPECT_TRUE(index.search(empty).empty()) << index.name();
+
+    // k == 0: one empty neighbour list per query.
+    const auto zero_k = index.search(request(ds, 0, 1));
+    ASSERT_EQ(zero_k.size(),
+              static_cast<std::size_t>(ds.queries.rows()))
+        << index.name();
+    for (const auto &res : zero_k)
+        EXPECT_TRUE(res.empty()) << index.name();
+
+    // k far beyond the index size: truncated, ids valid and distinct.
+    const idx_t n = index.size();
+    const auto huge_k = index.search(request(ds, n + 100, 2));
+    ASSERT_EQ(huge_k.size(),
+              static_cast<std::size_t>(ds.queries.rows()))
+        << index.name();
+    for (const auto &res : huge_k) {
+        EXPECT_LE(static_cast<idx_t>(res.size()), n) << index.name();
+        std::vector<bool> seen(static_cast<std::size_t>(n), false);
+        for (const auto &nb : res) {
+            ASSERT_GE(nb.id, 0) << index.name();
+            ASSERT_LT(nb.id, n) << index.name();
+            EXPECT_FALSE(seen[static_cast<std::size_t>(nb.id)])
+                << index.name() << " duplicate id " << nb.id;
+            seen[static_cast<std::size_t>(nb.id)] = true;
+        }
+    }
+}
+
+TEST(SearchEngine, DegenerateRequestsUniformAcrossIndexTypes)
+{
+    const auto ds = smallDataset();
+
+    FlatIndex flat(ds.metric, ds.base.view());
+    expectDegenerateContract(flat, ds);
+    // The exact scan must return every point when k exceeds N.
+    const auto all = flat.search(request(ds, flat.size() + 7, 1));
+    for (const auto &res : all)
+        EXPECT_EQ(static_cast<idx_t>(res.size()), flat.size());
+
+    IvfFlatIndex::Params ivf_params;
+    ivf_params.clusters = 16;
+    ivf_params.nprobs = 4;
+    IvfFlatIndex ivfflat(ds.metric, ds.base.view(), ivf_params);
+    expectDegenerateContract(ivfflat, ds);
+
+    IvfPqIndex::Params pq_params;
+    pq_params.clusters = 16;
+    pq_params.pq_subspaces = 4;
+    pq_params.nprobs = 4;
+    IvfPqIndex ivfpq(ds.metric, ds.base.view(), pq_params);
+    expectDegenerateContract(ivfpq, ds);
+
+    Hnsw hnsw;
+    Hnsw::Params hnsw_params;
+    hnsw_params.m = 8;
+    hnsw.build(ds.metric, ds.base.view(), hnsw_params);
+    expectDegenerateContract(hnsw, ds);
+
+    JunoParams juno_params = junoPresetH();
+    juno_params.clusters = 16;
+    juno_params.pq_entries = 16;
+    juno_params.nprobs = 4;
+    juno_params.density_grid = 20;
+    juno_params.policy.train_samples = 40;
+    juno_params.policy.ref_samples = 300;
+    juno_params.policy.contain_topk = 20;
+    JunoIndex juno(ds.metric, ds.base.view(), juno_params);
+    expectDegenerateContract(juno, ds);
+
+    RtExactIndex rt(ds.base.view());
+    expectDegenerateContract(rt, ds);
 }
 
 TEST(SearchEngine, ZeroThreadsPicksHardwareConcurrency)
