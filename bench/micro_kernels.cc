@@ -147,6 +147,39 @@ benchGemm(const simd::Kernels &scalar, const simd::Kernels &best)
              std::to_string(m) + "x" + std::to_string(k) + "x" +
                  std::to_string(n),
              s, v, "GF/s");
+
+    // Batch-width sweep: per-row cost of the dispatched GEMM as the
+    // row-block (query-batch) height grows. m = 1 runs the tile
+    // under-occupied — the per-query dispatch regime the serving
+    // layer's micro-batcher exists to avoid; the cross-row
+    // amortisation saturates around the 4-row tile times the
+    // register-block depth (m ~ 16), which is why the serving bench
+    // chunks micro-batches in 16s.
+    const idx_t width_k = 96, width_n = 1024;
+    const auto wa = randomVec(rng, static_cast<std::size_t>(64 * width_k));
+    const auto wb =
+        randomVec(rng, static_cast<std::size_t>(width_k * width_n));
+    std::vector<float> wc(static_cast<std::size_t>(64) *
+                          static_cast<std::size_t>(width_n));
+    for (idx_t rows : {1, 4, 16, 64}) {
+        const auto row_flops = static_cast<std::size_t>(2) *
+                               static_cast<std::size_t>(rows) *
+                               static_cast<std::size_t>(width_k) *
+                               static_cast<std::size_t>(width_n);
+        const double sw = opsPerSecond(row_flops, [&] {
+            scalar.gemm(wa.data(), wb.data(), wc.data(), rows, width_k,
+                        width_n);
+        });
+        const double vw = opsPerSecond(row_flops, [&] {
+            best.gemm(wa.data(), wb.data(), wc.data(), rows, width_k,
+                      width_n);
+        });
+        printRow("gemmBatchWidth",
+                 "m=" + std::to_string(rows) + ",k=" +
+                     std::to_string(width_k) + ",n=" +
+                     std::to_string(width_n),
+                 sw, vw, "GF/s");
+    }
 }
 
 void

@@ -9,6 +9,14 @@ namespace juno {
 SearchResults
 AnnIndex::search(const SearchRequest &request)
 {
+    SearchResults results;
+    search(request, results);
+    return results;
+}
+
+void
+AnnIndex::search(const SearchRequest &request, SearchResults &out)
+{
     JUNO_REQUIRE(request.options.k >= 0, "k must be non-negative");
     // Degenerate requests resolve here, uniformly for every index
     // type, so searchChunk() implementations never see them:
@@ -18,22 +26,29 @@ AnnIndex::search(const SearchRequest &request)
     //  - k > numPoints -> k clamps to the index size (results truncate
     //    instead of reading past list ends).
     const idx_t rows = request.queries.rows();
-    if (rows == 0)
-        return {};
+    if (rows == 0) {
+        out.clear();
+        return;
+    }
     JUNO_REQUIRE(request.queries.cols() == dim(),
                  "dimension mismatch: queries have "
                      << request.queries.cols() << " columns, index has "
                      << dim());
-    if (request.options.k == 0 || size() == 0)
-        return SearchResults(static_cast<std::size_t>(rows));
+    if (request.options.k == 0 || size() == 0) {
+        // @p out may be a reused buffer: stale lists must empty out.
+        out.resize(static_cast<std::size_t>(rows));
+        for (auto &list : out)
+            list.clear();
+        return;
+    }
     SearchOptions options = request.options;
     options.k = std::min(options.k, size());
-    return engine_.run(
+    engine_.run(
         request.queries, options,
         [this](const SearchChunk &chunk, SearchContext &ctx) {
             searchChunk(chunk, ctx);
         },
-        timers_);
+        timers_, out);
 }
 
 } // namespace juno

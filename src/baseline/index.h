@@ -50,10 +50,23 @@ class AnnIndex {
      * wall time accumulates into stageTimers() (unless the request
      * disables stats) so benches can report breakdowns.
      *
-     * One index instance is searched from one caller thread at a time;
-     * parallelism lives inside the engine.
+     * The read path is safe to call from several caller threads at
+     * once (each checks out its own SearchContext; see
+     * engine/query_engine.h): this is the contract the serving layer
+     * and its tests rely on. Multi-threaded requests serialise against
+     * each other on the shared worker pool. Mutating the index (build,
+     * setNprobs, ...) concurrently with searches remains undefined.
      */
     SearchResults search(const SearchRequest &request);
+
+    /**
+     * Batch-submit hook: like search(request) but writes into @p out,
+     * whose storage is reused across calls. The serving layer's
+     * micro-batcher dispatches every assembled batch through this
+     * overload with one long-lived buffer per dispatcher, so
+     * steady-state serving does not reallocate the result table.
+     */
+    void search(const SearchRequest &request, SearchResults &out);
 
     /** Convenience: single-threaded batch with default options. */
     SearchResults

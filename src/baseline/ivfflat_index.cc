@@ -20,7 +20,27 @@ IvfFlatIndex::IvfFlatIndex(Metric metric, FloatMatrixView points,
     InvertedFileIndex::Params ivf_params;
     ivf_params.clusters = params.clusters;
     ivf_params.seed = params.seed;
+    ivf_params.max_iters = params.max_iters;
+    ivf_params.max_training_points = params.max_training_points;
     ivf_.build(points_.view(), ivf_params);
+
+    // GEMM operands of the batched filter: the centroid table
+    // transposed to d x C, plus per-centroid squared norms for the L2
+    // identity |q - c|^2 = |q|^2 + |c|^2 - 2<q, c>.
+    const idx_t C = ivf_.numClusters();
+    const idx_t d = points_.cols();
+    centroids_t_ = FloatMatrix(d, C);
+    for (idx_t c = 0; c < C; ++c) {
+        const float *row = ivf_.centroids().row(c);
+        for (idx_t j = 0; j < d; ++j)
+            centroids_t_.at(j, c) = row[j];
+    }
+    if (metric_ == Metric::kL2) {
+        centroid_norms_.resize(static_cast<std::size_t>(C));
+        for (idx_t c = 0; c < C; ++c)
+            centroid_norms_[static_cast<std::size_t>(c)] =
+                simd::l2NormSqr(ivf_.centroids().row(c), d);
+    }
 }
 
 std::string
@@ -29,32 +49,116 @@ IvfFlatIndex::name() const
     return "IVF" + std::to_string(ivf_.numClusters()) + ",Flat";
 }
 
+namespace {
+/**
+ * Queries scored per GEMM call. The tile's cross-query amortisation
+ * saturates here (bench_micro_kernels gemmBatchWidth), and bounding
+ * the block keeps the score scratch at block x C floats however
+ * large a caller's chunk is (a 100k-query batch must not allocate a
+ * 100k x C matrix per context).
+ */
+constexpr idx_t kFilterBlock = 16;
+} // namespace
+
+void
+IvfFlatIndex::filterBlock(const SearchChunk &chunk, idx_t begin,
+                          idx_t end, SearchContext &ctx)
+{
+    const idx_t d = points_.cols();
+    const idx_t C = ivf_.numClusters();
+    const idx_t m = end - begin;
+
+    // Bitwise chunk-shape invariance: every output element of the
+    // dispatched GEMM is a fixed-order accumulation chain over d that
+    // depends only on its own query row and the table — provided no
+    // kernel falls into a differently-rounded column-tail path, which
+    // the tile guarantees when C is a multiple of the 16-wide tile.
+    // Otherwise pad the query block to the 4-row tile height so every
+    // row takes the full-tile path regardless of m.
+    const float *queries = chunk.queries.row(begin);
+    idx_t rows = m;
+    if (C % 16 != 0 && m % 4 != 0) {
+        rows = (m + 3) / 4 * 4;
+        ctx.residual.resize(static_cast<std::size_t>(rows) *
+                            static_cast<std::size_t>(d));
+        std::copy_n(queries,
+                    static_cast<std::size_t>(m) *
+                        static_cast<std::size_t>(d),
+                    ctx.residual.begin());
+        for (idx_t r = m; r < rows; ++r) // pad rows: repeat query 0
+            std::copy_n(queries, static_cast<std::size_t>(d),
+                        ctx.residual.begin() +
+                            static_cast<std::size_t>(r) *
+                                static_cast<std::size_t>(d));
+        queries = ctx.residual.data();
+    }
+
+    ctx.scores.resize(static_cast<std::size_t>(rows) *
+                      static_cast<std::size_t>(C));
+    simd::active().gemm(queries, centroids_t_.data(), ctx.scores.data(),
+                        rows, d, C);
+
+    if (metric_ == Metric::kL2) {
+        for (idx_t i = 0; i < m; ++i) {
+            const float qn =
+                simd::l2NormSqr(chunk.queries.row(begin + i), d);
+            float *row = ctx.scores.data() +
+                         static_cast<std::size_t>(i) *
+                             static_cast<std::size_t>(C);
+            for (idx_t c = 0; c < C; ++c)
+                row[c] = (qn + centroid_norms_[static_cast<
+                                   std::size_t>(c)]) -
+                         2.0f * row[c];
+        }
+    }
+}
+
 void
 IvfFlatIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
 {
     const idx_t d = points_.cols();
-    for (idx_t qi = chunk.begin; qi < chunk.end; ++qi) {
-        const float *q = chunk.queries.row(qi);
+    const idx_t C = ivf_.numClusters();
+    const auto &kernels = simd::active();
+    for (idx_t block = chunk.begin; block < chunk.end;
+         block += kFilterBlock) {
+        const idx_t block_end =
+            std::min(chunk.end, block + kFilterBlock);
         {
+            // Stage A once per query block: this is where batching
+            // pays — the centroid table streams once per block
+            // instead of once per query.
             ScopedStageTimer t(ctx.timers(), "filter");
-            ctx.probes = ivf_.probe(metric_, q, nprobs_);
+            filterBlock(chunk, block, block_end, ctx);
         }
-        ScopedStageTimer t(ctx.timers(), "scan");
-        TopK top(std::min(chunk.k, points_.rows()), metric_);
-        // Inverted lists hold scattered ids, so the contiguous batch
-        // kernel does not apply; the single-row kernel still runs
-        // through the dispatched (AVX2 when available) table.
-        const auto &kernels = simd::active();
-        for (const auto &probe : ctx.probes) {
-            for (idx_t pid : ivf_.list(static_cast<cluster_t>(probe.id))) {
-                const float s =
-                    metric_ == Metric::kL2
-                        ? kernels.l2_sqr(q, points_.row(pid), d)
-                        : kernels.inner_product(q, points_.row(pid), d);
-                top.push(pid, s);
+        for (idx_t qi = block; qi < block_end; ++qi) {
+            const float *q = chunk.queries.row(qi);
+            {
+                ScopedStageTimer t(ctx.timers(), "filter");
+                const float *scores =
+                    ctx.scores.data() +
+                    static_cast<std::size_t>(qi - block) *
+                        static_cast<std::size_t>(C);
+                ctx.probes = selectTopK(metric_, scores, C,
+                                        std::min(nprobs_, C));
             }
+            ScopedStageTimer t(ctx.timers(), "scan");
+            TopK top(std::min(chunk.k, points_.rows()), metric_);
+            // Inverted lists hold scattered ids, so the contiguous
+            // batch kernel does not apply; the single-row kernel
+            // still runs through the dispatched table.
+            for (const auto &probe : ctx.probes) {
+                for (idx_t pid :
+                     ivf_.list(static_cast<cluster_t>(probe.id))) {
+                    const float s =
+                        metric_ == Metric::kL2
+                            ? kernels.l2_sqr(q, points_.row(pid), d)
+                            : kernels.inner_product(q, points_.row(pid),
+                                                    d);
+                    top.push(pid, s);
+                }
+            }
+            (*chunk.results)[static_cast<std::size_t>(qi)] = top.take();
         }
-        (*chunk.results)[static_cast<std::size_t>(qi)] = top.take();
     }
 }
 

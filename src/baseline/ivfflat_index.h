@@ -3,9 +3,22 @@
  * IVF-Flat: coarse filtering plus exact distances within the probed
  * clusters. Sits between Flat and IVFPQ on the accuracy/speed curve
  * and isolates the effect of quantization error in experiments.
+ *
+ * The filtering stage is batched across the search chunk: one GEMM of
+ * the chunk's queries against the (transposed) centroid table scores
+ * every (query, centroid) pair through the register-blocked tile, so
+ * centroid loads amortise across queries the way the paper's batch
+ * dispatch amortises them across Tensor-core tiles (Sec. 5.3). A
+ * single-query chunk runs the same kernel at tile under-occupancy —
+ * that gap is exactly what the serving layer's micro-batcher exists
+ * to close. L2 probe scores use the norm identity
+ * |q - c|^2 = |q|^2 + |c|^2 - 2<q, c> over the GEMM's inner products
+ * (centroid norms precomputed at build).
  */
 #ifndef JUNO_BASELINE_IVFFLAT_INDEX_H
 #define JUNO_BASELINE_IVFFLAT_INDEX_H
+
+#include <vector>
 
 #include "baseline/index.h"
 #include "ivf/ivf.h"
@@ -19,6 +32,10 @@ class IvfFlatIndex : public AnnIndex {
         int clusters = 256;
         idx_t nprobs = 8;
         std::uint64_t seed = 31;
+        /** k-means iteration cap (see cluster/kmeans.h). */
+        int max_iters = 20;
+        /** Training subsample cap; 0 trains on every point. */
+        idx_t max_training_points = 0;
     };
 
     IvfFlatIndex(Metric metric, FloatMatrixView points, const Params &params);
@@ -36,10 +53,26 @@ class IvfFlatIndex : public AnnIndex {
     void searchChunk(const SearchChunk &chunk, SearchContext &ctx) override;
 
   private:
+    /**
+     * Stage A for the query block [begin, end) of @p chunk: fills
+     * ctx.scores with the block's m x C probe-score matrix
+     * (block-local row qi - begin). Scores are bitwise independent of
+     * the block/chunk shape: every (query, centroid) pair goes
+     * through the same GEMM accumulation chain whatever m is (queries
+     * pad to the 4-row tile when the centroid count is not a multiple
+     * of the tile width).
+     */
+    void filterBlock(const SearchChunk &chunk, idx_t begin, idx_t end,
+                     SearchContext &ctx);
+
     Metric metric_;
     FloatMatrix points_;
     InvertedFileIndex ivf_;
     idx_t nprobs_;
+    /** Centroid table transposed to d x C (the GEMM's B operand). */
+    FloatMatrix centroids_t_;
+    /** |c|^2 per centroid (L2 probe scoring; empty under IP). */
+    std::vector<float> centroid_norms_;
 };
 
 } // namespace juno

@@ -42,6 +42,16 @@ class QuantileSketch {
     void add(double x);
     void add(const std::vector<double> &xs);
 
+    /**
+     * Folds @p other's samples into this sketch. Quantiles of the
+     * merged sketch are exactly those of the union of both sample
+     * streams, so per-thread sketches can accumulate contention-free
+     * and be combined at snapshot time (the serving layer's
+     * ServiceStats does exactly this instead of serialising every
+     * add() behind one mutex).
+     */
+    void merge(const QuantileSketch &other);
+
     std::size_t count() const { return data_.size(); }
     bool empty() const { return data_.empty(); }
 

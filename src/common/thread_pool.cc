@@ -22,13 +22,33 @@ ThreadPool::ThreadPool(int threads)
 
 ThreadPool::~ThreadPool()
 {
+    shutdown();
+}
+
+void
+ThreadPool::shutdown()
+{
+    std::vector<std::thread> to_join;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (stopping_) {
+            // Another caller owns the teardown (or it already ran);
+            // block until the workers are gone so every shutdown()
+            // return carries the same postcondition.
+            cv_shutdown_.wait(lock, [this] { return shutdown_done_; });
+            return;
+        }
         stopping_ = true;
+        to_join.swap(workers_);
     }
     cv_job_.notify_all();
-    for (auto &w : workers_)
+    for (auto &w : to_join)
         w.join();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_done_ = true;
+    }
+    cv_shutdown_.notify_all();
 }
 
 void
@@ -39,7 +59,14 @@ ThreadPool::submit(std::function<void()> job)
         return;
     }
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (stopping_) {
+            // Workers are draining or gone; a queued job could be
+            // stranded, so run it inline (documented degradation).
+            lock.unlock();
+            job();
+            return;
+        }
         queue_.push_back(std::move(job));
         ++in_flight_;
     }

@@ -36,7 +36,22 @@ class ThreadPool {
 
     int threadCount() const { return thread_count_; }
 
-    /** Enqueues a job. */
+    /**
+     * Drains every queued job, then joins the workers. Safe to call
+     * repeatedly and from several threads at once: the first caller
+     * performs the teardown, later callers block until it completes
+     * and then return. The destructor calls shutdown() implicitly.
+     *
+     * After shutdown the pool degrades to inline mode: submit() (and
+     * parallelFor) still execute their jobs, on the calling thread, so
+     * a racing producer can never strand work in a dead queue.
+     */
+    void shutdown();
+
+    /**
+     * Enqueues a job. After shutdown() has begun, the job runs inline
+     * on the caller instead (never silently dropped).
+     */
     void submit(std::function<void()> job);
 
     /** Blocks until every submitted job has finished. */
@@ -93,6 +108,8 @@ class ThreadPool {
     std::condition_variable cv_done_;
     int in_flight_ = 0;
     bool stopping_ = false;
+    bool shutdown_done_ = false;
+    std::condition_variable cv_shutdown_;
 };
 
 } // namespace juno

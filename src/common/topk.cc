@@ -108,6 +108,34 @@ TopK::results() const
 std::vector<Neighbor>
 selectTopK(Metric metric, const float *scores, idx_t n, idx_t k)
 {
+    if (k == 1 && n > 0) {
+        // Dense argbest without the heap: two branch-light passes the
+        // compiler can vectorise. Equivalent to the TopK path for
+        // finite scores — the best score wins and ties go to the
+        // smallest index, which is exactly the first occurrence found
+        // in pass two. Matters because nprobs=1 filtering calls this
+        // once per query over the full centroid row (the serving
+        // layer's hottest selection).
+        float best = scores[0];
+        if (metric == Metric::kL2) {
+            for (idx_t i = 1; i < n; ++i)
+                best = std::min(best, scores[i]);
+        } else {
+            for (idx_t i = 1; i < n; ++i)
+                best = std::max(best, scores[i]);
+        }
+        // A non-NaN fold result is literally one of the elements, so
+        // the scan below must terminate before n. A NaN result (only
+        // possible when scores[0] is NaN) never compares equal to
+        // anything — drop to the heap path instead of scanning off
+        // the end of the row.
+        if (best == best) {
+            idx_t arg = 0;
+            while (scores[arg] != best)
+                ++arg;
+            return {{arg, best}};
+        }
+    }
     TopK top(std::min(k, std::max<idx_t>(n, 1)), metric);
     for (idx_t i = 0; i < n; ++i)
         top.push(i, scores[i]);

@@ -1,7 +1,6 @@
 #include "engine/query_engine.h"
 
 #include <algorithm>
-#include <atomic>
 #include <thread>
 
 #include "common/logging.h"
@@ -33,15 +32,64 @@ QueryEngine::resolveChunk(idx_t rows, int threads, idx_t requested)
     return std::max(kMinChunk, (rows + target - 1) / target);
 }
 
+SearchContext *
+QueryEngine::acquireContext()
+{
+    std::lock_guard<std::mutex> lock(ctx_mutex_);
+    if (!free_.empty()) {
+        SearchContext *ctx = free_.back();
+        free_.pop_back();
+        return ctx;
+    }
+    owned_.push_back(std::make_unique<SearchContext>());
+    return owned_.back().get();
+}
+
+void
+QueryEngine::releaseContext(SearchContext *ctx)
+{
+    std::lock_guard<std::mutex> lock(ctx_mutex_);
+    free_.push_back(ctx);
+}
+
+void
+QueryEngine::mergeAndRelease(std::vector<SearchContext *> &held,
+                             bool collect_stats, StageTimers &stage_sink)
+{
+    // Merge-on-completion keeps StageTimers lock-free on the hot path:
+    // workers only ever touch their private ledger; the sink lock is
+    // taken once per batch, here, never per query.
+    if (collect_stats) {
+        std::lock_guard<std::mutex> lock(sink_mutex_);
+        for (SearchContext *ctx : held)
+            stage_sink.merge(ctx->timers());
+    }
+    for (SearchContext *ctx : held) {
+        ctx->timers().reset();
+        releaseContext(ctx);
+    }
+    held.clear();
+}
+
 SearchResults
 QueryEngine::run(FloatMatrixView queries, const SearchOptions &options,
                  const SearchChunkFn &fn, StageTimers &stage_sink)
 {
+    SearchResults results;
+    run(queries, options, fn, stage_sink, results);
+    return results;
+}
+
+void
+QueryEngine::run(FloatMatrixView queries, const SearchOptions &options,
+                 const SearchChunkFn &fn, StageTimers &stage_sink,
+                 SearchResults &results)
+{
     JUNO_REQUIRE(options.k > 0, "k must be positive");
     const idx_t rows = queries.rows();
-    SearchResults results(static_cast<std::size_t>(rows));
+    results.resize(static_cast<std::size_t>(rows));
     if (rows == 0)
-        return results;
+        return;
 
     int threads = resolveThreads(options.threads);
     threads = static_cast<int>(
@@ -53,10 +101,7 @@ QueryEngine::run(FloatMatrixView queries, const SearchOptions &options,
     // receive work, and lastThreadCount() must report reality.
     threads = static_cast<int>(
         std::min<idx_t>(static_cast<idx_t>(threads), num_chunks));
-    last_threads_ = threads;
-
-    while (contexts_.size() < static_cast<std::size_t>(threads))
-        contexts_.push_back(std::make_unique<SearchContext>());
+    last_threads_.store(threads);
 
     auto run_chunk = [&](idx_t c, SearchContext &ctx) {
         SearchChunk sc;
@@ -68,18 +113,41 @@ QueryEngine::run(FloatMatrixView queries, const SearchOptions &options,
         fn(sc, ctx);
     };
 
+    // Checked-out contexts, returned (and their timers folded into the
+    // sink) even when a chunk throws mid-batch.
+    std::vector<SearchContext *> held;
+    struct Return {
+        QueryEngine *engine;
+        std::vector<SearchContext *> *held;
+        ~Return()
+        {
+            for (SearchContext *ctx : *held) {
+                ctx->timers().reset();
+                engine->releaseContext(ctx);
+            }
+        }
+    } guard{this, &held};
+
     if (threads == 1) {
+        // Inline path: fully re-entrant, any number of concurrent
+        // callers each drive their own checked-out context.
+        held.push_back(acquireContext());
         for (idx_t c = 0; c < num_chunks; ++c)
-            run_chunk(c, *contexts_[0]);
+            run_chunk(c, *held[0]);
     } else {
+        // Multi-threaded runs share one worker pool; serialise them
+        // against each other (inline callers are unaffected).
+        std::lock_guard<std::mutex> pool_lock(pool_mutex_);
         if (!pool_ || pool_->threadCount() != threads)
             pool_ = std::make_unique<ThreadPool>(threads);
+        for (int t = 0; t < threads; ++t)
+            held.push_back(acquireContext());
         // One task per worker; tasks drain a shared chunk counter so a
         // slow chunk never strands the rest of the batch behind it.
         std::atomic<idx_t> next{0};
         ThreadPool::Batch batch(*pool_);
         for (int t = 0; t < threads; ++t) {
-            SearchContext *ctx = contexts_[static_cast<std::size_t>(t)].get();
+            SearchContext *ctx = held[static_cast<std::size_t>(t)];
             batch.submit([&, ctx] {
                 for (idx_t c = next.fetch_add(1); c < num_chunks;
                      c = next.fetch_add(1))
@@ -89,16 +157,7 @@ QueryEngine::run(FloatMatrixView queries, const SearchOptions &options,
         batch.join();
     }
 
-    // Merge-on-completion keeps StageTimers lock-free on the hot path:
-    // workers only ever touch their private ledger, and the caller
-    // folds them in deterministic worker order once the batch is done.
-    for (int t = 0; t < threads; ++t) {
-        auto &ctx = *contexts_[static_cast<std::size_t>(t)];
-        if (options.collect_stats)
-            stage_sink.merge(ctx.timers());
-        ctx.timers().reset();
-    }
-    return results;
+    mergeAndRelease(held, options.collect_stats, stage_sink);
 }
 
 } // namespace juno

@@ -14,8 +14,10 @@
 #ifndef JUNO_ENGINE_QUERY_ENGINE_H
 #define JUNO_ENGINE_QUERY_ENGINE_H
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -31,11 +33,17 @@ using SearchChunkFn =
 
 /**
  * Owns the worker pool and the per-worker contexts of one index.
- * Contexts (and their scratch) persist across run() calls; the pool is
- * rebuilt only when the requested thread count changes.
+ * Contexts (and their scratch) persist across run() calls in a
+ * check-out/check-in pool, so the hot loops never allocate per batch;
+ * the thread pool is rebuilt only when the requested count changes.
  *
- * run() itself is not re-entrant: an index is searched from one caller
- * thread at a time (parallelism lives *inside* the engine).
+ * Concurrency: run() is re-entrant for single-threaded requests
+ * (options.threads == 1, the serving layer's read path) — concurrent
+ * callers each check out their own context and only contend on the
+ * context free-list and the stage-timer sink. Multi-threaded requests
+ * serialise against each other on the shared worker pool (they would
+ * oversubscribe the machine anyway) but still run concurrently with
+ * inline callers.
  */
 class QueryEngine {
   public:
@@ -46,14 +54,25 @@ class QueryEngine {
     /**
      * Shards @p queries into chunks and runs @p fn over all of them
      * with @p options.threads workers. Per-context stage timers are
-     * merged into @p stage_sink (in worker order, on the calling
-     * thread) when options.collect_stats is set.
+     * merged into @p stage_sink (under the engine's sink lock) when
+     * options.collect_stats is set.
      */
     SearchResults run(FloatMatrixView queries, const SearchOptions &options,
                       const SearchChunkFn &fn, StageTimers &stage_sink);
 
+    /**
+     * Batch-submit hook: identical to run() but writes into
+     * @p results, which is resized to the batch and whose storage is
+     * reused across calls — the serving layer's micro-batcher keeps
+     * one results buffer per dispatcher so steady-state dispatch does
+     * not reallocate the outer result table per batch.
+     */
+    void run(FloatMatrixView queries, const SearchOptions &options,
+             const SearchChunkFn &fn, StageTimers &stage_sink,
+             SearchResults &results);
+
     /** Workers used by the last run() (for reporting/tests). */
-    int lastThreadCount() const { return last_threads_; }
+    int lastThreadCount() const { return last_threads_.load(); }
 
     /** Resolves options.threads (0 -> hardware concurrency). */
     static int resolveThreads(int requested);
@@ -62,9 +81,20 @@ class QueryEngine {
     static idx_t resolveChunk(idx_t rows, int threads, idx_t requested);
 
   private:
+    SearchContext *acquireContext();
+    void releaseContext(SearchContext *ctx);
+    void mergeAndRelease(std::vector<SearchContext *> &held,
+                         bool collect_stats, StageTimers &stage_sink);
+
+    std::mutex ctx_mutex_; ///< guards owned_/free_
+    std::vector<std::unique_ptr<SearchContext>> owned_;
+    std::vector<SearchContext *> free_;
+
+    std::mutex pool_mutex_; ///< serialises multi-threaded runs
     std::unique_ptr<ThreadPool> pool_;
-    std::vector<std::unique_ptr<SearchContext>> contexts_;
-    int last_threads_ = 1;
+
+    std::mutex sink_mutex_; ///< guards stage_sink merges
+    std::atomic<int> last_threads_{1};
 };
 
 } // namespace juno

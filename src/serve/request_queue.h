@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Bounded MPMC queue with micro-batch draining: the admission edge of
+ * the serving layer.
+ *
+ * Producers (client threads) never block — a full queue rejects, which
+ * is the service's admission control: under overload the system sheds
+ * work at the door instead of building an unbounded latency backlog
+ * (the queue would otherwise absorb arbitrary wait time and every p99
+ * target with it). Consumers (dispatcher threads) drain in batches
+ * under the paper's dual trigger: a batch closes when it reaches
+ * max_items OR when the linger window expires, whichever comes first,
+ * trading a bounded latency add for the amortisation that large
+ * dispatched batches buy (JUNO Sec. 5.3).
+ */
+#ifndef JUNO_SERVE_REQUEST_QUEUE_H
+#define JUNO_SERVE_REQUEST_QUEUE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace juno {
+
+/** Outcome of a non-blocking push. */
+enum class PushResult {
+    kOk,     ///< accepted
+    kFull,   ///< rejected: queue at capacity (admission control)
+    kClosed, ///< rejected: queue closed (service stopping/stopped)
+};
+
+/**
+ * Mutex-based bounded multi-producer multi-consumer queue whose
+ * consumers pop in micro-batches. T must be movable.
+ */
+template <typename T> class BoundedMpmcQueue {
+  public:
+    explicit BoundedMpmcQueue(std::size_t capacity) : capacity_(capacity)
+    {
+        JUNO_REQUIRE(capacity > 0, "queue capacity must be positive");
+    }
+
+    BoundedMpmcQueue(const BoundedMpmcQueue &) = delete;
+    BoundedMpmcQueue &operator=(const BoundedMpmcQueue &) = delete;
+
+    /** Non-blocking enqueue; never waits for space. */
+    PushResult
+    tryPush(T &&item)
+    {
+        bool wake = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_)
+                return PushResult::kClosed;
+            if (items_.size() >= capacity_)
+                return PushResult::kFull;
+            items_.push_back(std::move(item));
+            // Wake-threshold protocol: notifying on *every* push would
+            // make a lingering consumer eat one futex wake per
+            // request — precisely the per-request cost micro-batching
+            // exists to amortise. Producers only wake the cv when an
+            // idle consumer is parked on an empty queue, or when the
+            // backlog just reached a linger-waiter's batch target
+            // (its timeout covers every case in between).
+            wake = waiting_empty_ > 0 || items_.size() >= armed_batch_;
+        }
+        if (wake)
+            cv_.notify_all();
+        return PushResult::kOk;
+    }
+
+    /**
+     * Drains the next micro-batch into @p out (cleared first).
+     * Blocks until at least one item is available, then waits at most
+     * @p linger for the batch to fill to @p max_items (the dual
+     * trigger; close() also ends the wait). Returns false only when
+     * the queue is closed AND empty — i.e. a draining consumer
+     * processes everything accepted before it sees the shutdown.
+     */
+    bool
+    popBatch(std::vector<T> &out, std::size_t max_items,
+             std::chrono::microseconds linger)
+    {
+        JUNO_REQUIRE(max_items > 0, "batch size must be positive");
+        out.clear();
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            ++waiting_empty_;
+            cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+            --waiting_empty_;
+            if (items_.empty())
+                return false; // closed and fully drained
+            if (linger.count() > 0 && items_.size() < max_items &&
+                !closed_) {
+                // Arm the producers' wake threshold for this linger
+                // wait. With several concurrently-lingering consumers
+                // the smallest target wins; a stale-low threshold
+                // after one leaves only costs spurious wakes, never a
+                // stall (the timeout below always fires).
+                ++armed_waiters_;
+                armed_batch_ = std::min(armed_batch_, max_items);
+                cv_.wait_for(lock, linger, [this, max_items] {
+                    return items_.size() >= max_items || closed_;
+                });
+                if (--armed_waiters_ == 0)
+                    armed_batch_ = kUnarmed;
+            }
+            // The linger wait releases the lock: with several
+            // consumers the queue may be empty again by now.
+            if (!items_.empty())
+                break;
+            if (closed_)
+                return false;
+        }
+        const std::size_t n = std::min(items_.size(), max_items);
+        out.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            out.push_back(std::move(items_.front()));
+            items_.pop_front();
+        }
+        return true;
+    }
+
+    /**
+     * Closes the queue: subsequent pushes are rejected with kClosed;
+     * blocked consumers wake, drain what remains, then get false.
+     * Idempotent.
+     */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    static constexpr std::size_t kUnarmed = static_cast<std::size_t>(-1);
+
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<T> items_;
+    bool closed_ = false;
+    /** Consumers parked on an empty queue (wake on first push). */
+    std::size_t waiting_empty_ = 0;
+    /** Consumers inside a linger wait, and the size that wakes them. */
+    std::size_t armed_waiters_ = 0;
+    std::size_t armed_batch_ = kUnarmed;
+};
+
+} // namespace juno
+
+#endif // JUNO_SERVE_REQUEST_QUEUE_H

@@ -1,0 +1,194 @@
+#include "serve/search_service.h"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+
+#include "common/logging.h"
+
+namespace juno {
+
+namespace {
+
+double
+micros(std::chrono::steady_clock::duration d)
+{
+    return std::chrono::duration<double, std::micro>(d).count();
+}
+
+} // namespace
+
+SearchService::SearchService(AnnIndex &index, ServiceConfig config)
+    : index_(index), config_(config), queue_(config.queue_capacity)
+{
+    JUNO_REQUIRE(config_.max_batch > 0,
+                 "max_batch must be positive (1 = no batching)");
+    JUNO_REQUIRE(config_.linger.count() >= 0, "linger must be >= 0");
+    JUNO_REQUIRE(config_.dispatchers > 0,
+                 "need at least one dispatcher");
+}
+
+SearchService::~SearchService()
+{
+    stop();
+}
+
+void
+SearchService::start()
+{
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    JUNO_REQUIRE(state_ == State::kIdle,
+                 "SearchService is one-shot: start() called on a "
+                 "running or stopped service");
+    state_ = State::kRunning;
+    running_.store(true);
+    dispatchers_.reserve(static_cast<std::size_t>(config_.dispatchers));
+    for (int i = 0; i < config_.dispatchers; ++i)
+        dispatchers_.emplace_back([this] { dispatchLoop(); });
+}
+
+void
+SearchService::stop()
+{
+    // Joining under the lifecycle lock makes concurrent stop() calls
+    // all block until the drain completes (dispatchers never touch
+    // this lock, so no deadlock).
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (state_ == State::kStopped)
+        return;
+    running_.store(false);
+    queue_.close(); // dispatchers drain the backlog, then exit
+    for (auto &d : dispatchers_)
+        d.join();
+    dispatchers_.clear();
+    state_ = State::kStopped;
+}
+
+std::future<ResultList>
+SearchService::submit(const float *query, idx_t k)
+{
+    JUNO_REQUIRE(k >= 0, "k must be non-negative");
+    if (!running_.load()) {
+        stats_.recordRejectedStopped();
+        return {};
+    }
+    Request request;
+    const auto d = static_cast<std::size_t>(index_.dim());
+    request.query.assign(query, query + d);
+    request.k = k;
+    request.t_submit = Clock::now();
+    std::future<ResultList> future = request.promise.get_future();
+    switch (queue_.tryPush(std::move(request))) {
+    case PushResult::kOk:
+        stats_.recordAccepted();
+        return future;
+    case PushResult::kFull:
+        stats_.recordRejectedFull();
+        return {};
+    case PushResult::kClosed:
+        // stop() raced with the running_ check above; the request was
+        // never enqueued, so rejecting is loss-free.
+        stats_.recordRejectedStopped();
+        return {};
+    }
+    return {}; // unreachable
+}
+
+std::future<ResultList>
+SearchService::submit(const std::vector<float> &query, idx_t k)
+{
+    JUNO_REQUIRE(static_cast<idx_t>(query.size()) == index_.dim(),
+                 "query has " << query.size() << " dims, index has "
+                              << index_.dim());
+    return submit(query.data(), k);
+}
+
+void
+SearchService::dispatchLoop()
+{
+    // Per-dispatcher scratch, reused across micro-batches: the query
+    // matrix, the engine's result table (via the batch-submit hook)
+    // and the drained request vector never reallocate in steady
+    // state. Below the hook, the engine's checked-out SearchContexts
+    // persist too, so the whole dispatch path is allocation-quiet.
+    std::vector<Request> batch;
+    std::vector<float> queries;
+    SearchResults results;
+    std::vector<double> lat_queue, lat_batch, lat_search, lat_total;
+    const idx_t dim = index_.dim();
+
+    while (queue_.popBatch(batch, static_cast<std::size_t>(
+                                      config_.max_batch),
+                           config_.linger)) {
+        const auto t_drain = Clock::now();
+        const idx_t n = static_cast<idx_t>(batch.size());
+        queries.resize(static_cast<std::size_t>(n) *
+                       static_cast<std::size_t>(dim));
+        // Requests may ask for different k; the batch dispatches at
+        // the maximum and each result list truncates to its own k
+        // afterwards (top-m is a prefix of top-k for m <= k, results
+        // being best-first).
+        idx_t k_max = 0;
+        for (idx_t i = 0; i < n; ++i) {
+            const auto &r = batch[static_cast<std::size_t>(i)];
+            std::memcpy(queries.data() + static_cast<std::size_t>(i) *
+                                             static_cast<std::size_t>(dim),
+                        r.query.data(),
+                        static_cast<std::size_t>(dim) * sizeof(float));
+            k_max = std::max(k_max, r.k);
+        }
+
+        SearchRequest request(
+            FloatMatrixView(queries.data(), n, dim), SearchOptions{});
+        request.options.k = k_max;
+        request.options.threads = config_.search_threads;
+        request.options.batch_size = config_.engine_chunk;
+        request.options.collect_stats = config_.collect_stage_stats;
+
+        const auto t_ready = Clock::now();
+        bool ok = true;
+        std::exception_ptr error;
+        try {
+            index_.search(request, results);
+        } catch (...) {
+            ok = false;
+            error = std::current_exception();
+        }
+        const auto t_done = Clock::now();
+
+        lat_queue.clear();
+        lat_batch.clear();
+        lat_search.clear();
+        lat_total.clear();
+        for (idx_t i = 0; i < n; ++i) {
+            auto &r = batch[static_cast<std::size_t>(i)];
+            if (!ok) {
+                // Propagate the engine failure to every waiter rather
+                // than abandoning promises (broken_promise hides the
+                // cause).
+                r.promise.set_exception(error);
+                continue;
+            }
+            auto &list = results[static_cast<std::size_t>(i)];
+            if (static_cast<idx_t>(list.size()) > r.k)
+                list.resize(static_cast<std::size_t>(r.k));
+            r.promise.set_value(std::move(list));
+            lat_queue.push_back(micros(t_drain - r.t_submit));
+            lat_batch.push_back(micros(t_ready - t_drain));
+            lat_search.push_back(micros(t_done - t_ready));
+            lat_total.push_back(micros(t_done - r.t_submit));
+        }
+        if (ok) {
+            stats_.recordCompletions(lat_queue, lat_batch, lat_search,
+                                     lat_total);
+            stats_.recordBatch(static_cast<std::size_t>(n));
+        } else {
+            // Exception-fulfilled futures still settle the accepted
+            // requests: without this, submitted == completed + failed
+            // would break forever after one engine failure.
+            stats_.recordFailed(static_cast<std::size_t>(n));
+        }
+    }
+}
+
+} // namespace juno

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The online serving subsystem: turns the batch-oriented index stack
+ * into a service for purely concurrent traffic.
+ *
+ * The whole index stack below this layer is batch-shaped — PR 1's
+ * engine shards a SearchRequest over workers, PR 2's SIMD kernels
+ * score whole candidate blocks — but real traffic arrives as many
+ * independent clients each holding ONE query. SearchService is the
+ * adapter the paper's throughput story presumes (JUNO Sec. 5.3:
+ * per-query cost is amortised across large dispatched batches): a
+ * micro-batcher drains a bounded MPMC queue into engine batches under
+ * a dual trigger (batch full OR linger expired), dispatches them
+ * through AnnIndex::search(SearchRequest), and fulfils one future per
+ * request.
+ *
+ *   clients --submit()--> BoundedMpmcQueue --popBatch()--> dispatcher
+ *       -> assemble FloatMatrix batch -> index.search(request, out)
+ *       -> per-request promise fulfilment + ServiceStats accounting
+ *
+ * Admission control: the queue is bounded and submit() never blocks —
+ * at capacity (or after stop()) it returns an invalid future and
+ * bumps a reject counter, so overload sheds at the door instead of
+ * stretching everyone's p99. Latency SLO accounting: each request's
+ * latency is split into queue / batch-assembly / search components
+ * feeding per-thread QuantileSketch shards (p50/p95/p99 via
+ * ServiceStats::snapshot()).
+ */
+#ifndef JUNO_SERVE_SEARCH_SERVICE_H
+#define JUNO_SERVE_SEARCH_SERVICE_H
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "baseline/index.h"
+#include "serve/request_queue.h"
+#include "serve/service_stats.h"
+
+namespace juno {
+
+/** What one request's future delivers: best-first neighbours. */
+using ResultList = std::vector<Neighbor>;
+
+/** Tunables of one SearchService. */
+struct ServiceConfig {
+    /**
+     * Batch-closing dual trigger: a batch dispatches when it holds
+     * max_batch requests OR when linger has elapsed since the
+     * dispatcher saw its first request, whichever comes first.
+     * max_batch = 1 (or linger = 0 with sparse arrivals) degrades to
+     * per-query dispatch — the no-batching baseline bench_serve
+     * measures against.
+     */
+    idx_t max_batch = 64;
+    std::chrono::microseconds linger{200};
+    /** Admission bound: submit() rejects beyond this backlog. */
+    std::size_t queue_capacity = 4096;
+    /**
+     * Dispatcher (micro-batcher) threads. One preserves strict batch
+     * FIFO; more exploit the engine's concurrent read path when batch
+     * assembly itself becomes the bottleneck.
+     */
+    int dispatchers = 1;
+    /** SearchOptions.threads of every dispatched batch. */
+    int search_threads = 1;
+    /** SearchOptions.batch_size (engine chunk) of dispatched batches. */
+    idx_t engine_chunk = 0;
+    /**
+     * Forwarded to SearchOptions.collect_stats: serving keeps the
+     * index's stage ledger off by default (the service has its own
+     * accounting; see ServiceStats).
+     */
+    bool collect_stage_stats = false;
+};
+
+/**
+ * Owns the dispatcher threads and the request queue in front of one
+ * AnnIndex. Lifecycle: construct -> start() -> submit()... -> stop().
+ * stop() drains: every accepted request is completed before it
+ * returns (no lost or double-completed futures), and later submits
+ * are rejected. One-shot: a stopped service cannot be restarted.
+ */
+class SearchService {
+  public:
+    /** @p index must outlive the service and stay unmodified while
+     * the service runs (the read path is exercised concurrently). */
+    SearchService(AnnIndex &index, ServiceConfig config);
+    ~SearchService();
+
+    SearchService(const SearchService &) = delete;
+    SearchService &operator=(const SearchService &) = delete;
+
+    /** Spawns the dispatcher threads. Must be called exactly once. */
+    void start();
+
+    /**
+     * Drains and joins: closes admission, lets dispatchers finish
+     * everything already accepted, then joins them. Idempotent and
+     * safe to call from several threads (every return implies the
+     * drain completed). The destructor calls stop() implicitly.
+     */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    /**
+     * Submits one query (dim() floats, copied) for its top-@p k
+     * neighbours; k clamps to the index size, k == 0 yields an empty
+     * list. Returns the future delivering the ResultList — identical
+     * to what a direct search(SearchRequest) over the same query
+     * returns. When the service rejects (queue full, or not running)
+     * the returned future is invalid (!future.valid()) and the
+     * matching ServiceStats reject counter is bumped; no future
+     * obligation exists, nothing blocks.
+     */
+    std::future<ResultList> submit(const float *query, idx_t k);
+
+    /** Same, with a size-checked vector. */
+    std::future<ResultList> submit(const std::vector<float> &query,
+                                   idx_t k);
+
+    const ServiceStats &stats() const { return stats_; }
+    ServiceStats::Snapshot snapshot() const { return stats_.snapshot(); }
+
+    AnnIndex &index() { return index_; }
+    const ServiceConfig &config() const { return config_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** One queued query plus its completion obligation. */
+    struct Request {
+        std::vector<float> query;
+        idx_t k = 0;
+        std::promise<ResultList> promise;
+        Clock::time_point t_submit;
+    };
+
+    void dispatchLoop();
+
+    AnnIndex &index_;
+    const ServiceConfig config_;
+    BoundedMpmcQueue<Request> queue_;
+    ServiceStats stats_;
+
+    std::mutex lifecycle_mutex_;
+    enum class State { kIdle, kRunning, kStopped };
+    State state_ = State::kIdle;
+    std::vector<std::thread> dispatchers_;
+    std::atomic<bool> running_{false};
+};
+
+} // namespace juno
+
+#endif // JUNO_SERVE_SEARCH_SERVICE_H

@@ -1,0 +1,107 @@
+#include "serve/service_stats.h"
+
+#include <functional>
+#include <thread>
+
+namespace juno {
+
+namespace {
+
+LatencySummary
+summarise(const QuantileSketch &sketch)
+{
+    LatencySummary s;
+    s.count = sketch.count();
+    if (s.count == 0)
+        return s;
+    s.mean = sketch.mean();
+    s.p50 = sketch.quantile(0.50);
+    s.p95 = sketch.quantile(0.95);
+    s.p99 = sketch.quantile(0.99);
+    s.max = sketch.quantile(1.0);
+    return s;
+}
+
+} // namespace
+
+ServiceStats::Shard &
+ServiceStats::localShard()
+{
+    const std::size_t h =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return shards_[h % kShards];
+}
+
+void
+ServiceStats::recordCompletion(double queue_us, double batch_us,
+                               double search_us, double total_us)
+{
+    Shard &shard = localShard();
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.queue_us.add(queue_us);
+        shard.batch_us.add(batch_us);
+        shard.search_us.add(search_us);
+        shard.total_us.add(total_us);
+    }
+    completed_.fetch_add(1);
+}
+
+void
+ServiceStats::recordCompletions(const std::vector<double> &queue_us,
+                                const std::vector<double> &batch_us,
+                                const std::vector<double> &search_us,
+                                const std::vector<double> &total_us)
+{
+    const std::size_t n = total_us.size();
+    if (n == 0)
+        return;
+    Shard &shard = localShard();
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.queue_us.add(queue_us);
+        shard.batch_us.add(batch_us);
+        shard.search_us.add(search_us);
+        shard.total_us.add(total_us);
+    }
+    completed_.fetch_add(n);
+}
+
+void
+ServiceStats::recordBatch(std::size_t size)
+{
+    batches_.fetch_add(1);
+    batched_requests_.fetch_add(size);
+}
+
+ServiceStats::Snapshot
+ServiceStats::snapshot() const
+{
+    QuantileSketch queue_us, batch_us, search_us, total_us;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        queue_us.merge(shard.queue_us);
+        batch_us.merge(shard.batch_us);
+        search_us.merge(shard.search_us);
+        total_us.merge(shard.total_us);
+    }
+    Snapshot snap;
+    snap.submitted = submitted_.load();
+    snap.completed = completed_.load();
+    snap.failed = failed_.load();
+    snap.rejected_full = rejected_full_.load();
+    snap.rejected_stopped = rejected_stopped_.load();
+    snap.batches = batches_.load();
+    const std::uint64_t batched = batched_requests_.load();
+    snap.mean_batch = snap.batches == 0
+                          ? 0.0
+                          : static_cast<double>(batched) /
+                                static_cast<double>(snap.batches);
+    snap.queue_us = summarise(queue_us);
+    snap.batch_us = summarise(batch_us);
+    snap.search_us = summarise(search_us);
+    snap.total_us = summarise(total_us);
+    return snap;
+}
+
+} // namespace juno

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * SLO accounting for the serving layer: admission counters plus
+ * per-request latency split into its queue / batch-assembly / search
+ * components, each feeding a QuantileSketch so snapshots report the
+ * p50/p95/p99 a latency SLO is written against.
+ *
+ * Recording is sharded: each recording thread hashes to one of a
+ * fixed set of sketch shards and only locks that shard, and
+ * snapshot() combines shards with QuantileSketch::merge() — quantiles
+ * of the merged sketch are exactly those of the union of samples, so
+ * nothing is lost relative to one global sketch while dispatcher
+ * threads never serialise behind each other on the stats path.
+ */
+#ifndef JUNO_SERVE_SERVICE_STATS_H
+#define JUNO_SERVE_SERVICE_STATS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "common/stats.h"
+
+namespace juno {
+
+/** p50/p95/p99 summary of one latency component (microseconds). */
+struct LatencySummary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+/** Counters and latency sketches of one SearchService. */
+class ServiceStats {
+  public:
+    /**
+     * Point-in-time copy of every counter and quantile. Once stop()
+     * has drained, submitted == completed + failed (every accepted
+     * request's future was fulfilled exactly once, with a value or
+     * with the engine's exception).
+     */
+    struct Snapshot {
+        std::uint64_t submitted = 0;  ///< accepted into the queue
+        std::uint64_t completed = 0;  ///< futures fulfilled with a value
+        std::uint64_t failed = 0; ///< futures fulfilled with an
+                                  ///< exception (engine failure)
+        std::uint64_t rejected_full = 0; ///< shed: queue at capacity
+        std::uint64_t rejected_stopped = 0; ///< shed: not running
+        std::uint64_t batches = 0;      ///< dispatched engine batches
+        double mean_batch = 0.0;        ///< completed / batches
+        LatencySummary queue_us;  ///< submit -> batch drain
+        LatencySummary batch_us;  ///< drain -> batch assembled
+        LatencySummary search_us; ///< engine execution
+        LatencySummary total_us;  ///< submit -> future fulfilled
+    };
+
+    void recordAccepted() { submitted_.fetch_add(1); }
+    void recordRejectedFull() { rejected_full_.fetch_add(1); }
+    void recordRejectedStopped() { rejected_stopped_.fetch_add(1); }
+
+    /** One fulfilled request's latency components (microseconds). */
+    void recordCompletion(double queue_us, double batch_us,
+                          double search_us, double total_us);
+
+    /**
+     * Batched variant: all four component vectors must have equal
+     * length n. Takes the recording thread's shard lock once for the
+     * whole batch — the dispatcher's completion loop amortises its
+     * stats cost across the micro-batch like everything else it does.
+     */
+    void recordCompletions(const std::vector<double> &queue_us,
+                           const std::vector<double> &batch_us,
+                           const std::vector<double> &search_us,
+                           const std::vector<double> &total_us);
+
+    /** One dispatched batch of @p size requests. */
+    void recordBatch(std::size_t size);
+
+    /** @p n requests whose futures carry an engine exception. */
+    void recordFailed(std::size_t n) { failed_.fetch_add(n); }
+
+    std::uint64_t submitted() const { return submitted_.load(); }
+    std::uint64_t completed() const { return completed_.load(); }
+    std::uint64_t failed() const { return failed_.load(); }
+    std::uint64_t rejectedFull() const { return rejected_full_.load(); }
+    std::uint64_t
+    rejectedStopped() const
+    {
+        return rejected_stopped_.load();
+    }
+
+    /**
+     * Merges the per-thread shards into one summary per component.
+     * Safe to call concurrently with recording; the snapshot is a
+     * consistent union of everything recorded before the call plus
+     * possibly some records that race with it.
+     */
+    Snapshot snapshot() const;
+
+  private:
+    static constexpr std::size_t kShards = 8;
+
+    /** One recording thread's sketch set (chosen by thread-id hash). */
+    struct alignas(64) Shard {
+        mutable std::mutex mutex;
+        QuantileSketch queue_us;
+        QuantileSketch batch_us;
+        QuantileSketch search_us;
+        QuantileSketch total_us;
+    };
+
+    Shard &localShard();
+
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> failed_{0};
+    std::atomic<std::uint64_t> rejected_full_{0};
+    std::atomic<std::uint64_t> rejected_stopped_{0};
+    std::atomic<std::uint64_t> batches_{0};
+    std::atomic<std::uint64_t> batched_requests_{0};
+    std::array<Shard, kShards> shards_;
+};
+
+} // namespace juno
+
+#endif // JUNO_SERVE_SERVICE_STATS_H

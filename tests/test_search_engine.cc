@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "baseline/flat_index.h"
 #include "baseline/hnsw.h"
 #include "baseline/ivfflat_index.h"
@@ -316,6 +318,116 @@ TEST(SearchEngine, ChunkResolutionRespectsRequestAndGrain)
     EXPECT_GE(QueryEngine::resolveChunk(3, 8, 0), 3);    // tiny batch
     EXPECT_EQ(QueryEngine::resolveThreads(3), 3);
     EXPECT_GE(QueryEngine::resolveThreads(0), 1);
+}
+
+/**
+ * The serving layer's read-path contract: search() may be called from
+ * several caller threads at once on one index, each caller getting
+ * results identical to a serial reference run.
+ */
+void
+expectConcurrentCallersMatchSerial(AnnIndex &index, const Dataset &ds,
+                                   idx_t k, int caller_threads)
+{
+    const auto reference = index.search(request(ds, k, 1));
+    constexpr int kCallers = 4;
+    constexpr int kRepeats = 8;
+    std::vector<int> mismatches(kCallers, 0);
+    std::vector<std::thread> callers;
+    for (int c = 0; c < kCallers; ++c)
+        callers.emplace_back([&, c] {
+            for (int rep = 0; rep < kRepeats; ++rep) {
+                const auto got =
+                    index.search(request(ds, k, caller_threads));
+                if (got != reference)
+                    ++mismatches[static_cast<std::size_t>(c)];
+            }
+        });
+    for (auto &t : callers)
+        t.join();
+    for (int c = 0; c < kCallers; ++c)
+        EXPECT_EQ(mismatches[static_cast<std::size_t>(c)], 0)
+            << index.name() << " caller " << c;
+}
+
+TEST(SearchEngine, ConcurrentCallersFlat)
+{
+    const auto ds = smallDataset();
+    FlatIndex index(ds.metric, ds.base.view());
+    expectConcurrentCallersMatchSerial(index, ds, 10, 1);
+}
+
+TEST(SearchEngine, ConcurrentCallersIvfFlat)
+{
+    const auto ds = smallDataset();
+    IvfFlatIndex::Params params;
+    params.clusters = 16;
+    params.nprobs = 4;
+    IvfFlatIndex index(ds.metric, ds.base.view(), params);
+    expectConcurrentCallersMatchSerial(index, ds, 10, 1);
+}
+
+TEST(SearchEngine, ConcurrentCallersJuno)
+{
+    const auto ds = smallDataset();
+    JunoParams params = junoPresetH();
+    params.clusters = 16;
+    params.pq_entries = 16;
+    params.nprobs = 4;
+    params.density_grid = 20;
+    params.policy.train_samples = 40;
+    params.policy.ref_samples = 300;
+    params.policy.contain_topk = 20;
+    JunoIndex index(ds.metric, ds.base.view(), params);
+    expectConcurrentCallersMatchSerial(index, ds, 10, 1);
+}
+
+TEST(SearchEngine, ConcurrentMultiThreadedCallers)
+{
+    // Multi-threaded requests serialise on the worker pool but must
+    // still interleave correctly with each other and with inline
+    // callers.
+    const auto ds = smallDataset();
+    FlatIndex index(ds.metric, ds.base.view());
+    expectConcurrentCallersMatchSerial(index, ds, 10, 2);
+}
+
+TEST(SearchEngine, ConcurrentCallersAccumulateStats)
+{
+    const auto ds = smallDataset();
+    FlatIndex index(ds.metric, ds.base.view());
+    index.resetStageTimers();
+    constexpr int kCallers = 3;
+    std::vector<std::thread> callers;
+    for (int c = 0; c < kCallers; ++c)
+        callers.emplace_back(
+            [&] { index.search(request(ds, 5, 1)); });
+    for (auto &t : callers)
+        t.join();
+    // All callers' scan time must land in the shared ledger (merged
+    // under the engine's sink lock, not lost to a race).
+    EXPECT_GT(index.stageTimers().seconds("scan"), 0.0);
+}
+
+TEST(SearchEngine, ReusedResultsBufferMatchesFreshOne)
+{
+    const auto ds = smallDataset();
+    FlatIndex index(ds.metric, ds.base.view());
+    const auto fresh = index.search(request(ds, 10, 1));
+
+    SearchResults reused;
+    index.search(request(ds, 10, 1), reused);
+    EXPECT_EQ(reused, fresh);
+    // Second pass through the same buffer (the serving layer's
+    // steady state) must overwrite every slot, not append.
+    index.search(request(ds, 10, 2), reused);
+    EXPECT_EQ(reused, fresh);
+
+    // Degenerate k == 0 through a dirty buffer must clear the lists.
+    index.search(request(ds, 0, 1), reused);
+    ASSERT_EQ(reused.size(), static_cast<std::size_t>(ds.queries.rows()));
+    for (const auto &list : reused)
+        EXPECT_TRUE(list.empty());
 }
 
 TEST(VisitedSetScratch, InsertAndEpochClear)

@@ -1,0 +1,484 @@
+/**
+ * @file
+ * Tests of the serving layer: request queue dual trigger, service
+ * result parity with direct batched search, admission control,
+ * drain-on-stop (no lost or double-completed requests) and the
+ * ServiceStats SLO accounting.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "baseline/flat_index.h"
+#include "common/logging.h"
+#include "dataset/synthetic.h"
+#include "serve/request_queue.h"
+#include "serve/search_service.h"
+#include "serve/service_stats.h"
+
+namespace juno {
+namespace {
+
+using namespace std::chrono_literals;
+
+Dataset
+smallDataset()
+{
+    SyntheticSpec spec;
+    spec.kind = DatasetKind::kDeepLike;
+    spec.num_points = 500;
+    spec.num_queries = 40;
+    spec.dim = 8;
+    spec.seed = 777;
+    return makeDataset(spec);
+}
+
+/** Flat index whose every chunk sleeps, to back-pressure the queue. */
+class SlowFlatIndex : public FlatIndex {
+  public:
+    SlowFlatIndex(Metric metric, FloatMatrixView points,
+                  std::chrono::microseconds delay)
+        : FlatIndex(metric, points), delay_(delay)
+    {
+    }
+
+  protected:
+    void
+    searchChunk(const SearchChunk &chunk, SearchContext &ctx) override
+    {
+        std::this_thread::sleep_for(delay_);
+        FlatIndex::searchChunk(chunk, ctx);
+    }
+
+  private:
+    std::chrono::microseconds delay_;
+};
+
+// ---- BoundedMpmcQueue ----
+
+TEST(RequestQueue, FullQueueRejects)
+{
+    BoundedMpmcQueue<int> queue(2);
+    EXPECT_EQ(queue.tryPush(1), PushResult::kOk);
+    EXPECT_EQ(queue.tryPush(2), PushResult::kOk);
+    EXPECT_EQ(queue.tryPush(3), PushResult::kFull);
+    EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(RequestQueue, ClosedQueueRejectsAndDrains)
+{
+    BoundedMpmcQueue<int> queue(8);
+    queue.tryPush(1);
+    queue.tryPush(2);
+    queue.close();
+    EXPECT_EQ(queue.tryPush(3), PushResult::kClosed);
+    std::vector<int> batch;
+    // Everything accepted before close() is still drained...
+    EXPECT_TRUE(queue.popBatch(batch, 8, 0us));
+    EXPECT_EQ(batch, (std::vector<int>{1, 2}));
+    // ...then consumers get the shutdown signal.
+    EXPECT_FALSE(queue.popBatch(batch, 8, 0us));
+}
+
+TEST(RequestQueue, BatchFullTriggerClosesEarly)
+{
+    BoundedMpmcQueue<int> queue(64);
+    for (int i = 0; i < 10; ++i)
+        queue.tryPush(std::move(i));
+    std::vector<int> batch;
+    // A full batch must not wait out the linger window.
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_TRUE(queue.popBatch(batch, 4, 500ms));
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_EQ(batch.size(), 4u);
+    EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_LT(elapsed, 400ms);
+}
+
+TEST(RequestQueue, LingerTriggerDispatchesPartialBatch)
+{
+    BoundedMpmcQueue<int> queue(64);
+    queue.tryPush(7);
+    std::vector<int> batch;
+    // One item, batch of 64: only the linger timeout can close it.
+    EXPECT_TRUE(queue.popBatch(batch, 64, 1ms));
+    EXPECT_EQ(batch, (std::vector<int>{7}));
+}
+
+TEST(RequestQueue, ConsumerWakesOnLatePush)
+{
+    BoundedMpmcQueue<int> queue(8);
+    std::vector<int> batch;
+    std::thread producer([&] {
+        std::this_thread::sleep_for(10ms);
+        queue.tryPush(42);
+    });
+    EXPECT_TRUE(queue.popBatch(batch, 4, 0us));
+    producer.join();
+    EXPECT_EQ(batch, (std::vector<int>{42}));
+}
+
+// ---- ServiceStats ----
+
+TEST(ServiceStats, CountersAndQuantiles)
+{
+    ServiceStats stats;
+    stats.recordAccepted();
+    stats.recordAccepted();
+    stats.recordRejectedFull();
+    stats.recordRejectedStopped();
+    stats.recordCompletion(10.0, 1.0, 100.0, 111.0);
+    stats.recordCompletion(20.0, 2.0, 200.0, 222.0);
+    stats.recordBatch(2);
+
+    const auto snap = stats.snapshot();
+    EXPECT_EQ(snap.submitted, 2u);
+    EXPECT_EQ(snap.completed, 2u);
+    EXPECT_EQ(snap.rejected_full, 1u);
+    EXPECT_EQ(snap.rejected_stopped, 1u);
+    EXPECT_EQ(snap.batches, 1u);
+    EXPECT_DOUBLE_EQ(snap.mean_batch, 2.0);
+    EXPECT_EQ(snap.total_us.count, 2u);
+    EXPECT_DOUBLE_EQ(snap.queue_us.p50, 15.0);
+    EXPECT_DOUBLE_EQ(snap.total_us.max, 222.0);
+    EXPECT_DOUBLE_EQ(snap.search_us.mean, 150.0);
+}
+
+TEST(ServiceStats, MergesRecordsFromManyThreads)
+{
+    ServiceStats stats;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 50;
+    std::vector<std::thread> recorders;
+    for (int t = 0; t < kThreads; ++t)
+        recorders.emplace_back([&] {
+            for (int i = 0; i < kPerThread; ++i)
+                stats.recordCompletion(1.0, 1.0, 1.0, 3.0);
+        });
+    for (auto &r : recorders)
+        r.join();
+    const auto snap = stats.snapshot();
+    // No record may be lost to sharding.
+    EXPECT_EQ(snap.completed,
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+    EXPECT_EQ(snap.total_us.count,
+              static_cast<std::size_t>(kThreads * kPerThread));
+    EXPECT_DOUBLE_EQ(snap.total_us.p99, 3.0);
+}
+
+// ---- SearchService ----
+
+TEST(SearchService, ResultsMatchDirectBatchSearch)
+{
+    const auto ds = smallDataset();
+    FlatIndex index(ds.metric, ds.base.view());
+    const idx_t k = 10;
+    const auto direct = index.search(ds.queries.view(), k);
+
+    ServiceConfig config;
+    config.max_batch = 8;
+    config.linger = 200us;
+    SearchService service(index, config);
+    service.start();
+
+    std::vector<std::future<ResultList>> futures;
+    for (idx_t q = 0; q < ds.queries.rows(); ++q) {
+        auto f = service.submit(ds.queries.view().row(q), k);
+        ASSERT_TRUE(f.valid()) << "query " << q;
+        futures.push_back(std::move(f));
+    }
+    for (idx_t q = 0; q < ds.queries.rows(); ++q)
+        EXPECT_EQ(futures[static_cast<std::size_t>(q)].get(),
+                  direct[static_cast<std::size_t>(q)])
+            << "query " << q;
+    service.stop();
+
+    const auto snap = service.snapshot();
+    EXPECT_EQ(snap.submitted,
+              static_cast<std::uint64_t>(ds.queries.rows()));
+    EXPECT_EQ(snap.completed, snap.submitted);
+    EXPECT_GE(snap.batches, 1u);
+    EXPECT_EQ(snap.total_us.count,
+              static_cast<std::size_t>(ds.queries.rows()));
+}
+
+TEST(SearchService, ConcurrentClientsGetCorrectResults)
+{
+    const auto ds = smallDataset();
+    FlatIndex index(ds.metric, ds.base.view());
+    const idx_t k = 5;
+    const auto direct = index.search(ds.queries.view(), k);
+
+    ServiceConfig config;
+    config.max_batch = 16;
+    config.linger = 100us;
+    SearchService service(index, config);
+    service.start();
+
+    constexpr int kClients = 4;
+    constexpr int kRounds = 5;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c)
+        clients.emplace_back([&] {
+            for (int round = 0; round < kRounds; ++round)
+                for (idx_t q = 0; q < ds.queries.rows(); ++q) {
+                    auto f =
+                        service.submit(ds.queries.view().row(q), k);
+                    if (!f.valid() ||
+                        f.get() != direct[static_cast<std::size_t>(q)])
+                        mismatches.fetch_add(1);
+                }
+        });
+    for (auto &t : clients)
+        t.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    service.stop();
+    EXPECT_EQ(service.stats().completed(),
+              static_cast<std::uint64_t>(kClients * kRounds) *
+                  static_cast<std::uint64_t>(ds.queries.rows()));
+}
+
+TEST(SearchService, MixedKPerRequestTruncatesCorrectly)
+{
+    const auto ds = smallDataset();
+    FlatIndex index(ds.metric, ds.base.view());
+    const auto direct = index.search(ds.queries.view(), 12);
+
+    ServiceConfig config;
+    config.max_batch = 64;
+    config.linger = 2ms; // queries land in one mixed-k batch
+    SearchService service(index, config);
+    service.start();
+
+    std::vector<std::future<ResultList>> futures;
+    std::vector<idx_t> ks;
+    for (idx_t q = 0; q < ds.queries.rows(); ++q) {
+        const idx_t k = 1 + (q % 12);
+        ks.push_back(k);
+        futures.push_back(service.submit(ds.queries.view().row(q), k));
+    }
+    for (idx_t q = 0; q < ds.queries.rows(); ++q) {
+        const auto got = futures[static_cast<std::size_t>(q)].get();
+        const auto &full = direct[static_cast<std::size_t>(q)];
+        const auto k = ks[static_cast<std::size_t>(q)];
+        ASSERT_EQ(static_cast<idx_t>(got.size()), k) << "query " << q;
+        for (idx_t i = 0; i < k; ++i)
+            EXPECT_EQ(got[static_cast<std::size_t>(i)],
+                      full[static_cast<std::size_t>(i)])
+                << "query " << q << " rank " << i;
+    }
+}
+
+TEST(SearchService, KZeroYieldsEmptyListAndHugeKClamps)
+{
+    const auto ds = smallDataset();
+    FlatIndex index(ds.metric, ds.base.view());
+    SearchService service(index, {});
+    service.start();
+    auto empty = service.submit(ds.queries.view().row(0), 0);
+    auto all = service.submit(ds.queries.view().row(0),
+                              index.size() + 50);
+    EXPECT_TRUE(empty.get().empty());
+    EXPECT_EQ(static_cast<idx_t>(all.get().size()), index.size());
+}
+
+TEST(SearchService, AdmissionControlRejectsWhenFull)
+{
+    const auto ds = smallDataset();
+    // ~5 ms per dispatched chunk: the dispatcher cannot keep up with
+    // a burst, so the 2-deep queue must shed.
+    SlowFlatIndex index(ds.metric, ds.base.view(), 5ms);
+    ServiceConfig config;
+    config.max_batch = 1; // drain one at a time
+    config.linger = 0us;
+    config.queue_capacity = 2;
+    SearchService service(index, config);
+    service.start();
+
+    constexpr int kBurst = 30;
+    std::vector<std::future<ResultList>> accepted;
+    int rejected = 0;
+    for (int i = 0; i < kBurst; ++i) {
+        auto f = service.submit(ds.queries.view().row(0), 3);
+        if (f.valid())
+            accepted.push_back(std::move(f));
+        else
+            ++rejected;
+    }
+    EXPECT_GT(rejected, 0); // the burst must overflow a 2-deep queue
+    for (auto &f : accepted)
+        EXPECT_EQ(f.get().size(), 3u); // accepted work still completes
+    service.stop();
+
+    const auto snap = service.snapshot();
+    EXPECT_EQ(snap.submitted, static_cast<std::uint64_t>(
+                                  accepted.size()));
+    EXPECT_EQ(snap.rejected_full,
+              static_cast<std::uint64_t>(rejected));
+    EXPECT_EQ(snap.completed, snap.submitted);
+    EXPECT_EQ(snap.submitted + snap.rejected_full,
+              static_cast<std::uint64_t>(kBurst));
+}
+
+TEST(SearchService, StopDrainsEveryAcceptedRequest)
+{
+    const auto ds = smallDataset();
+    SlowFlatIndex index(ds.metric, ds.base.view(), 1ms);
+    ServiceConfig config;
+    config.max_batch = 4;
+    config.linger = 50us;
+    config.queue_capacity = 256;
+    SearchService service(index, config);
+    service.start();
+
+    std::vector<std::future<ResultList>> futures;
+    for (int i = 0; i < 64; ++i) {
+        auto f = service.submit(
+            ds.queries.view().row(i % ds.queries.rows()), 5);
+        ASSERT_TRUE(f.valid());
+        futures.push_back(std::move(f));
+    }
+    // Stop immediately: the backlog must be completed, not dropped.
+    service.stop();
+    for (auto &f : futures) {
+        ASSERT_EQ(f.wait_for(0s), std::future_status::ready);
+        EXPECT_EQ(f.get().size(), 5u); // get() would throw on a lost
+                                       // (broken) promise
+    }
+    const auto snap = service.snapshot();
+    EXPECT_EQ(snap.submitted, 64u);
+    EXPECT_EQ(snap.completed, 64u); // each exactly once
+}
+
+/** Flat index whose search always throws (engine-failure path). */
+class FailingIndex : public FlatIndex {
+  public:
+    using FlatIndex::FlatIndex;
+
+  protected:
+    void
+    searchChunk(const SearchChunk &, SearchContext &) override
+    {
+        fatal("injected engine failure");
+    }
+};
+
+TEST(SearchService, EngineFailurePropagatesAndIsAccounted)
+{
+    const auto ds = smallDataset();
+    FailingIndex index(ds.metric, ds.base.view());
+    ServiceConfig config;
+    config.max_batch = 8;
+    SearchService service(index, config);
+    service.start();
+    std::vector<std::future<ResultList>> futures;
+    for (int i = 0; i < 12; ++i)
+        futures.push_back(service.submit(ds.queries.view().row(0), 3));
+    for (auto &f : futures) {
+        ASSERT_TRUE(f.valid());
+        EXPECT_THROW(f.get(), ConfigError); // the engine's error, not
+                                            // broken_promise
+    }
+    service.stop();
+    const auto snap = service.snapshot();
+    // Conservation still closes: every accepted request settled, as a
+    // failure.
+    EXPECT_EQ(snap.submitted, 12u);
+    EXPECT_EQ(snap.failed, 12u);
+    EXPECT_EQ(snap.completed, 0u);
+    EXPECT_EQ(snap.completed + snap.failed, snap.submitted);
+}
+
+TEST(SearchService, SubmitAfterStopIsRejected)
+{
+    const auto ds = smallDataset();
+    FlatIndex index(ds.metric, ds.base.view());
+    SearchService service(index, {});
+    service.start();
+    service.stop();
+    auto f = service.submit(ds.queries.view().row(0), 5);
+    EXPECT_FALSE(f.valid());
+    EXPECT_EQ(service.stats().rejectedStopped(), 1u);
+    service.stop(); // idempotent
+}
+
+TEST(SearchService, ConcurrentStopIsSafe)
+{
+    const auto ds = smallDataset();
+    SlowFlatIndex index(ds.metric, ds.base.view(), 500us);
+    ServiceConfig config;
+    config.max_batch = 4;
+    SearchService service(index, config);
+    service.start();
+    std::vector<std::future<ResultList>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(
+            service.submit(ds.queries.view().row(0), 3));
+    std::vector<std::thread> stoppers;
+    for (int i = 0; i < 3; ++i)
+        stoppers.emplace_back([&] { service.stop(); });
+    for (auto &t : stoppers)
+        t.join();
+    // Every stop() returned => drain finished; all futures ready.
+    for (auto &f : futures) {
+        if (f.valid()) {
+            EXPECT_EQ(f.wait_for(0s), std::future_status::ready);
+        }
+    }
+}
+
+TEST(SearchService, NoBatchingConfigStillServesEverything)
+{
+    // max_batch = 1 is the bench_serve baseline; it must be correct,
+    // just slower.
+    const auto ds = smallDataset();
+    FlatIndex index(ds.metric, ds.base.view());
+    const auto direct = index.search(ds.queries.view(), 7);
+    ServiceConfig config;
+    config.max_batch = 1;
+    config.linger = 0us;
+    SearchService service(index, config);
+    service.start();
+    std::vector<std::future<ResultList>> futures;
+    for (idx_t q = 0; q < ds.queries.rows(); ++q)
+        futures.push_back(service.submit(ds.queries.view().row(q), 7));
+    for (idx_t q = 0; q < ds.queries.rows(); ++q)
+        EXPECT_EQ(futures[static_cast<std::size_t>(q)].get(),
+                  direct[static_cast<std::size_t>(q)]);
+    service.stop();
+    const auto snap = service.snapshot();
+    EXPECT_DOUBLE_EQ(snap.mean_batch, 1.0);
+    EXPECT_EQ(snap.batches,
+              static_cast<std::uint64_t>(ds.queries.rows()));
+}
+
+TEST(SearchService, RejectsBadConfigAndDoubleStart)
+{
+    const auto ds = smallDataset();
+    FlatIndex index(ds.metric, ds.base.view());
+    ServiceConfig bad;
+    bad.max_batch = 0;
+    EXPECT_THROW({ SearchService s(index, bad); }, ConfigError);
+    ServiceConfig bad_q;
+    bad_q.queue_capacity = 0;
+    EXPECT_THROW({ SearchService s(index, bad_q); }, ConfigError);
+
+    SearchService service(index, {});
+    service.start();
+    EXPECT_THROW(service.start(), ConfigError);
+    service.stop();
+    EXPECT_THROW(service.start(), ConfigError);
+
+    std::vector<float> wrong(static_cast<std::size_t>(index.dim()) + 1,
+                             0.0f);
+    SearchService service2(index, {});
+    service2.start();
+    EXPECT_THROW(service2.submit(wrong, 3), ConfigError);
+}
+
+} // namespace
+} // namespace juno

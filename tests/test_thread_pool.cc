@@ -127,6 +127,65 @@ TEST(ThreadPool, ConcurrentBatchesShareOnePool)
     EXPECT_EQ(total.load(), 100);
 }
 
+TEST(ThreadPool, ShutdownDrainsQueuedJobs)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 64; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    pool.shutdown();
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent)
+{
+    ThreadPool pool(3);
+    pool.submit([] {});
+    pool.shutdown();
+    pool.shutdown();
+    pool.shutdown();
+    SUCCEED();
+}
+
+TEST(ThreadPool, ConcurrentShutdownIsSafe)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    std::vector<std::thread> closers;
+    for (int i = 0; i < 4; ++i)
+        closers.emplace_back([&] { pool.shutdown(); });
+    for (auto &c : closers)
+        c.join();
+    // Every shutdown() return implies the workers are joined and the
+    // queue fully drained.
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownRunsInline)
+{
+    ThreadPool pool(2);
+    pool.shutdown();
+    std::thread::id ran_on;
+    pool.submit([&] { ran_on = std::this_thread::get_id(); });
+    EXPECT_EQ(ran_on, std::this_thread::get_id());
+    // parallelFor keeps working too (degraded to the caller).
+    std::atomic<int> hits{0};
+    pool.parallelFor(10, [&](idx_t) { hits.fetch_add(1); });
+    EXPECT_EQ(hits.load(), 10);
+}
+
+TEST(ThreadPool, ShutdownInlinePool)
+{
+    ThreadPool pool(1);
+    pool.shutdown();
+    pool.shutdown();
+    int count = 0;
+    pool.submit([&] { ++count; });
+    EXPECT_EQ(count, 1);
+}
+
 TEST(ThreadPool, BatchInlineMode)
 {
     ThreadPool pool(1);

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.h"
 #include "common/rng.h"
@@ -102,6 +103,38 @@ TEST(TopK, SelectTopKDenseRow)
     ASSERT_EQ(out.size(), 2u);
     EXPECT_EQ(out[0].id, 3);
     EXPECT_EQ(out[1].id, 1);
+}
+
+TEST(TopK, SelectTopKArgbestMatchesHeapPath)
+{
+    // The k == 1 dense fast path must agree with the heap, including
+    // on ties (smallest index wins).
+    const float scores[] = {3.0f, 1.0f, 1.0f, 2.0f};
+    for (Metric metric : {Metric::kL2, Metric::kInnerProduct}) {
+        const auto fast = selectTopK(metric, scores, 4, 1);
+        TopK top(1, metric);
+        for (idx_t i = 0; i < 4; ++i)
+            top.push(i, scores[i]);
+        EXPECT_EQ(fast, top.take());
+    }
+    EXPECT_EQ(selectTopK(Metric::kL2, scores, 4, 1)[0].id, 1);
+    EXPECT_EQ(selectTopK(Metric::kInnerProduct, scores, 4, 1)[0].id, 0);
+}
+
+TEST(TopK, SelectTopKArgbestSurvivesNan)
+{
+    // A NaN in (or leading) the row must not send the fast path's
+    // equality scan off the end of the array.
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    const float leading[] = {nan, 2.0f, 1.0f};
+    const auto from_nan = selectTopK(Metric::kL2, leading, 3, 1);
+    ASSERT_EQ(from_nan.size(), 1u);
+    EXPECT_GE(from_nan[0].id, 0);
+    EXPECT_LT(from_nan[0].id, 3);
+    const float inner[] = {2.0f, nan, 1.0f};
+    const auto skips_nan = selectTopK(Metric::kL2, inner, 3, 1);
+    ASSERT_EQ(skips_nan.size(), 1u);
+    EXPECT_EQ(skips_nan[0].id, 2);
 }
 
 /** Property sweep: TopK matches full sort for random inputs. */

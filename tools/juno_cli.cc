@@ -13,21 +13,38 @@
  *   juno_cli eval   [--synthetic deep] [--metric l2|ip] [--n 20000]
  *                   [--k 100] [--queries-n 64] [--threads 1] ...
  *                   (build + search + ground truth + recall in one shot)
+ *   juno_cli serve  [--index idx.bin | build flags] [--k 10]
+ *                   [--clients 4] [--window 8] [--requests 20000]
+ *                   [--batch-max 32] [--linger-us 200]
+ *                   [--queue-cap 4096] [--threads 1]
+ *                   (drive the micro-batching SearchService with
+ *                   concurrent single-query clients; prints QPS and
+ *                   the queue/batch/search latency split)
  *
  * --threads shards the query batch across worker threads (0 = all
  * cores); --batch overrides the per-chunk query count. Results are
  * identical for every thread/batch setting.
+ *
+ * Exit codes: 0 success, 1 invalid configuration (including malformed
+ * flags) or runtime failure, 2 unknown or missing subcommand.
  */
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
+#include <future>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/juno_index.h"
 #include "dataset/ground_truth.h"
 #include "dataset/io.h"
 #include "dataset/recall.h"
 #include "dataset/synthetic.h"
+#include "serve/search_service.h"
 
 using namespace juno;
 
@@ -60,14 +77,38 @@ class Args {
     getInt(const std::string &key, long fallback) const
     {
         auto it = values_.find(key);
-        return it == values_.end() ? fallback : std::stol(it->second);
+        if (it == values_.end())
+            return fallback;
+        // A typo like `--k ten` must exit with a diagnostic, not
+        // propagate std::invalid_argument into std::terminate.
+        try {
+            std::size_t used = 0;
+            const long v = std::stol(it->second, &used);
+            if (used != it->second.size())
+                throw std::invalid_argument(it->second);
+            return v;
+        } catch (const std::exception &) {
+            fatal("--" + key + " expects an integer, got '" +
+                  it->second + "'");
+        }
     }
 
     double
     getDouble(const std::string &key, double fallback) const
     {
         auto it = values_.find(key);
-        return it == values_.end() ? fallback : std::stod(it->second);
+        if (it == values_.end())
+            return fallback;
+        try {
+            std::size_t used = 0;
+            const double v = std::stod(it->second, &used);
+            if (used != it->second.size())
+                throw std::invalid_argument(it->second);
+            return v;
+        } catch (const std::exception &) {
+            fatal("--" + key + " expects a number, got '" +
+                  it->second + "'");
+        }
     }
 
     bool has(const std::string &key) const { return values_.count(key); }
@@ -256,12 +297,146 @@ cmdEval(const Args &args)
     return 0;
 }
 
+/**
+ * Serves single-query traffic through the micro-batching
+ * SearchService over a built (or loaded) JUNO index: client threads
+ * submit one query at a time, the service assembles engine batches,
+ * and the run ends with the SLO accounting table (queue/batch/search
+ * latency split at p50/p95/p99).
+ */
+int
+cmdServe(const Args &args)
+{
+    std::unique_ptr<JunoIndex> index;
+    Dataset data;
+    if (args.has("index")) {
+        index = JunoIndex::load(args.get("index", ""));
+        data = loadData(args, index->metric());
+    } else {
+        const Metric metric = parseMetric(args.get("metric", "l2"));
+        data = loadData(args, metric);
+        std::printf("building over %lld vectors...\n",
+                    static_cast<long long>(data.base.rows()));
+        index = std::make_unique<JunoIndex>(metric, data.base.view(),
+                                            paramsFrom(args));
+    }
+    FloatMatrixView queries =
+        data.queries.rows() > 0 ? data.queries.view() : data.base.view();
+    JUNO_REQUIRE(queries.rows() > 0, "serve needs queries");
+    // submit(const float*) trusts the caller on length; check here so
+    // a d-mismatched query file cannot make the service read past row
+    // ends.
+    JUNO_REQUIRE(queries.cols() == index->dim(),
+                 "dimension mismatch: queries have "
+                     << queries.cols() << " columns, index has "
+                     << index->dim());
+
+    ServiceConfig config;
+    config.max_batch = args.getInt("batch-max", 32);
+    config.linger =
+        std::chrono::microseconds(args.getInt("linger-us", 200));
+    config.queue_capacity =
+        static_cast<std::size_t>(args.getInt("queue-cap", 4096));
+    config.search_threads =
+        static_cast<int>(args.getInt("threads", 1));
+    const idx_t k = args.getInt("k", 10);
+    const int clients = static_cast<int>(args.getInt("clients", 4));
+    const int window = static_cast<int>(args.getInt("window", 8));
+    const long total = args.getInt("requests", 20000);
+    JUNO_REQUIRE(clients > 0 && window > 0 && total > 0,
+                 "clients, window and requests must be positive");
+
+    std::printf("serving %ld requests from %d clients (window %d), "
+                "batch<=%lld linger=%lldus over %s\n",
+                total, clients, window,
+                static_cast<long long>(config.max_batch),
+                static_cast<long long>(config.linger.count()),
+                index->name().c_str());
+    SearchService service(*index, config);
+    service.start();
+    Timer timer;
+    std::atomic<int> client_failures{0};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c)
+        threads.emplace_back([&, c] {
+            // An engine failure surfaces through future.get(); catch
+            // it here — an exception escaping a std::thread would
+            // std::terminate past main()'s exit-code handling.
+            try {
+                std::deque<std::future<ResultList>> inflight;
+                idx_t qi = static_cast<idx_t>(c) % queries.rows();
+                // Spread the remainder so exactly --requests are
+                // served (integer division alone would drop
+                // total % clients, or everything when
+                // requests < clients).
+                const long mine =
+                    total / clients + (c < total % clients ? 1 : 0);
+                for (long i = 0; i < mine; ++i) {
+                    if (inflight.size() >=
+                        static_cast<std::size_t>(window)) {
+                        inflight.front().get();
+                        inflight.pop_front();
+                    }
+                    auto f = service.submit(queries.row(qi), k);
+                    // Closed-loop backpressure: a full queue means
+                    // the dispatcher is behind — yield and retry so
+                    // exactly --requests get served instead of
+                    // silently shrinking the run.
+                    while (!f.valid() && service.running()) {
+                        std::this_thread::yield();
+                        f = service.submit(queries.row(qi), k);
+                    }
+                    qi = (qi + 1) % queries.rows();
+                    if (f.valid())
+                        inflight.push_back(std::move(f));
+                }
+                while (!inflight.empty()) {
+                    inflight.front().get();
+                    inflight.pop_front();
+                }
+            } catch (const std::exception &err) {
+                std::fprintf(stderr, "juno_cli: client %d: %s\n", c,
+                             err.what());
+                client_failures.fetch_add(1);
+            }
+        });
+    for (auto &t : threads)
+        t.join();
+    const double secs = timer.seconds();
+    service.stop();
+    JUNO_REQUIRE(client_failures.load() == 0,
+                 client_failures.load() << " serving clients failed");
+
+    const auto snap = service.snapshot();
+    std::printf("served %llu requests in %.2fs: %.0f QPS, mean batch "
+                "%.1f, rejected %llu\n",
+                static_cast<unsigned long long>(snap.completed), secs,
+                static_cast<double>(snap.completed) / secs,
+                snap.mean_batch,
+                static_cast<unsigned long long>(snap.rejected_full));
+    const struct {
+        const char *name;
+        const LatencySummary &lat;
+    } rows[] = {{"queue", snap.queue_us},
+                {"batch", snap.batch_us},
+                {"search", snap.search_us},
+                {"total", snap.total_us}};
+    std::printf("%-8s %10s %10s %10s %10s\n", "stage", "mean_us",
+                "p50_us", "p95_us", "p99_us");
+    for (const auto &row : rows)
+        std::printf("%-8s %10.1f %10.1f %10.1f %10.1f\n", row.name,
+                    row.lat.mean, row.lat.p50, row.lat.p95,
+                    row.lat.p99);
+    return 0;
+}
+
 void
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: juno_cli <build|search|eval> [--option value]...\n"
-                 "see the file header of tools/juno_cli.cc for details\n");
+    std::fprintf(
+        stderr,
+        "usage: juno_cli <build|search|eval|serve> [--option value]...\n"
+        "see the file header of tools/juno_cli.cc for details\n");
 }
 
 } // namespace
@@ -282,10 +457,20 @@ main(int argc, char **argv)
             return cmdSearch(args);
         if (cmd == "eval")
             return cmdEval(args);
+        if (cmd == "serve")
+            return cmdServe(args);
+        std::fprintf(stderr, "juno_cli: unknown subcommand '%s'\n",
+                     cmd.c_str());
         usage();
         return 2;
     } catch (const ConfigError &err) {
         std::fprintf(stderr, "juno_cli: %s\n", err.what());
+        return 1;
+    } catch (const std::exception &err) {
+        // Anything else (I/O failure, bad_alloc, ...) still exits
+        // nonzero with a message instead of std::terminate.
+        std::fprintf(stderr, "juno_cli: unexpected error: %s\n",
+                     err.what());
         return 1;
     }
 }
