@@ -13,6 +13,7 @@
  * top-k and BVH traversal spot-checks of the original bench.
  */
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "common/simd.h"
 #include "common/timer.h"
 #include "common/topk.h"
+#include "quant/interleaved_codes.h"
 #include "rtcore/bvh.h"
 
 namespace juno {
@@ -49,6 +51,20 @@ opsPerSecond(std::size_t ops_per_call, Fn &&fn)
            static_cast<double>(ops_per_call) / elapsed;
 }
 
+/** One printed row, also collected for the --json snapshot. */
+struct RowRecord {
+    std::string kernel;
+    std::string shape;
+    double baseline_ops = 0.0;
+    double dispatched_ops = 0.0;
+    std::string unit;
+};
+
+std::vector<RowRecord> g_rows;
+
+/** Dispatched fast-scan vs dispatched legacy gather (CI gate). */
+double g_fastscan_vs_gather = 0.0;
+
 void
 printRow(const std::string &kernel, const std::string &shape,
          double scalar_ops, double dispatched_ops, const char *unit)
@@ -57,6 +73,40 @@ printRow(const std::string &kernel, const std::string &shape,
                 kernel.c_str(), shape.c_str(), scalar_ops * 1e-9, unit,
                 dispatched_ops * 1e-9, unit,
                 dispatched_ops / scalar_ops);
+    g_rows.push_back(
+        {kernel, shape, scalar_ops, dispatched_ops, unit});
+}
+
+/**
+ * Writes the collected rows as JSON (BENCH_adc.json is produced from
+ * this): kernel, shape, baseline and dispatched throughput, speedup.
+ * The baseline column is the scalar table except for the explicit
+ * cross-kernel rows (adcScan/seed, fastscanPq4/gather), whose
+ * baseline is the row's stated reference.
+ */
+void
+writeSnapshot(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    out << "{\n  \"bench\": \"micro_kernels\",\n  \"dispatch\": \""
+        << simd::levelName(simd::bestSupported())
+        << "\",\n  \"kernels\": [\n";
+    for (std::size_t i = 0; i < g_rows.size(); ++i) {
+        const auto &r = g_rows[i];
+        out << "    {\"kernel\": \"" << r.kernel << "\", \"shape\": \""
+            << r.shape << "\", \"baseline_gops\": "
+            << r.baseline_ops * 1e-9 << ", \"dispatched_gops\": "
+            << r.dispatched_ops * 1e-9 << ", \"speedup\": "
+            << r.dispatched_ops / r.baseline_ops << ", \"unit\": \""
+            << r.unit << "\"}" << (i + 1 < g_rows.size() ? "," : "")
+            << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("snapshot written to %s\n", path.c_str());
 }
 
 std::vector<float>
@@ -238,6 +288,96 @@ benchAdcScan(const simd::Kernels &scalar, const simd::Kernels &best)
                               std::to_string(num_points);
     printRow("adcScan", shape, s, v, "Gop/s");
     printRow("adcScan/seed", shape, seed, v, "Gop/s");
+
+    // Interleaved streaming scan on the same codes: one "list"
+    // holding every point, re-materialised in 32-point blocks.
+    PQCodes pq_codes;
+    pq_codes.num_points = num_points;
+    pq_codes.num_subspaces = subspaces;
+    pq_codes.codes = codes;
+    std::vector<std::vector<idx_t>> lists(1);
+    lists[0] = ids;
+    InterleavedLists inter;
+    inter.build(lists, pq_codes, static_cast<int>(entries));
+    const double si = opsPerSecond(ops, [&] {
+        scalar.adc_scan_interleaved(lut_flat.data(), entries, subspaces,
+                                    inter.listBlocks(0), ids.size(),
+                                    0.0f, out.data());
+    });
+    const double vi = opsPerSecond(ops, [&] {
+        best.adc_scan_interleaved(lut_flat.data(), entries, subspaces,
+                                  inter.listBlocks(0), ids.size(), 0.0f,
+                                  out.data());
+    });
+    printRow("adcScanInter", shape, si, vi, "Gop/s");
+    // Layout change alone: dispatched interleaved vs dispatched gather.
+    printRow("adcScanInter/gthr", shape, v, vi, "Gop/s");
+}
+
+/**
+ * The 4-bit fast-scan path against the dispatched legacy gather on
+ * identical lists: same points, same subspaces, PQ4 codes. The
+ * "fastscanPq4/gather" row is the ISSUE's acceptance metric and the
+ * --check-fastscan CI gate.
+ */
+void
+benchFastScan(const simd::Kernels &scalar, const simd::Kernels &best)
+{
+    Rng rng(7);
+    const int subspaces = 48;
+    const idx_t entries = 16;
+    const idx_t num_points = 8192;
+    const auto lut_flat = randomVec(
+        rng, static_cast<std::size_t>(subspaces) *
+                 static_cast<std::size_t>(entries));
+    PQCodes codes;
+    codes.num_points = num_points;
+    codes.num_subspaces = subspaces;
+    codes.codes.resize(static_cast<std::size_t>(num_points) *
+                       static_cast<std::size_t>(subspaces));
+    for (auto &c : codes.codes)
+        c = static_cast<entry_t>(rng.uniform() *
+                                 static_cast<double>(entries)) %
+            static_cast<entry_t>(entries);
+    std::vector<idx_t> ids(static_cast<std::size_t>(num_points));
+    for (idx_t i = 0; i < num_points; ++i)
+        ids[static_cast<std::size_t>(i)] = i;
+    std::vector<std::vector<idx_t>> lists(1);
+    lists[0] = ids;
+    InterleavedLists inter;
+    inter.build(lists, codes, static_cast<int>(entries));
+
+    FloatMatrix lut(subspaces, entries);
+    std::copy(lut_flat.begin(), lut_flat.end(), lut.data());
+    QuantizedLut qlut;
+    quantizeLut(lut, static_cast<int>(entries), qlut);
+
+    std::vector<float> out(static_cast<std::size_t>(num_points));
+    std::vector<std::uint16_t> qsums(
+        static_cast<std::size_t>(num_points));
+    const auto ops = static_cast<std::size_t>(num_points) *
+                     static_cast<std::size_t>(subspaces);
+    const std::string shape = "S=" + std::to_string(subspaces) +
+                              ",E=16,n=" + std::to_string(num_points);
+
+    const double gather = opsPerSecond(ops, [&] {
+        best.adc_scan(lut_flat.data(), entries, subspaces,
+                      codes.codes.data(),
+                      static_cast<std::size_t>(subspaces), ids.data(),
+                      ids.size(), 0.0f, out.data());
+    });
+    const double s = opsPerSecond(ops, [&] {
+        scalar.fastscan_pq4(inter.listPacked(0), subspaces,
+                            qlut.table.data(), ids.size(),
+                            qsums.data());
+    });
+    const double v = opsPerSecond(ops, [&] {
+        best.fastscan_pq4(inter.listPacked(0), subspaces,
+                          qlut.table.data(), ids.size(), qsums.data());
+    });
+    printRow("fastscanPq4", shape, s, v, "Gop/s");
+    printRow("fastscanPq4/gthr", shape, gather, v, "Gop/s");
+    g_fastscan_vs_gather = v / gather;
 }
 
 void
@@ -321,9 +461,22 @@ benchTopKAndBvh()
 } // namespace juno
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace juno;
+    // --json <path>: dump the measured rows (BENCH_adc.json is this
+    // snapshot). --check-fastscan: exit nonzero unless the dispatched
+    // 4-bit fast-scan beats the dispatched legacy gather (CI gate).
+    std::string json_path;
+    bool check_fastscan = false;
+    for (int a = 1; a < argc; ++a) {
+        const std::string arg = argv[a];
+        if (arg == "--json" && a + 1 < argc)
+            json_path = argv[++a];
+        else if (arg == "--check-fastscan")
+            check_fastscan = true;
+    }
+
     const auto &scalar = simd::table(simd::Level::kScalar);
     const auto &best = simd::table(simd::bestSupported());
     std::printf("SIMD dispatch: best supported level = %s "
@@ -336,8 +489,31 @@ main()
     benchBatch(scalar, best);
     benchGemm(scalar, best);
     benchAdcScan(scalar, best);
+    benchFastScan(scalar, best);
     benchCompact(scalar, best);
     std::printf("\n");
     benchTopKAndBvh();
+
+    if (!json_path.empty())
+        writeSnapshot(json_path);
+    if (check_fastscan) {
+        if (simd::bestSupported() == simd::Level::kScalar) {
+            // The scalar fast-scan trades float gathers for integer
+            // table walks — a wash without the in-register shuffles,
+            // and the gate exists to pin the SIMD win.
+            std::printf("fast-scan gate skipped: host has no SIMD "
+                        "tier (scalar dispatch only)\n");
+            return 0;
+        }
+        std::printf("fast-scan vs legacy gather: %.2fx\n",
+                    g_fastscan_vs_gather);
+        if (g_fastscan_vs_gather <= 1.0) {
+            std::fprintf(stderr,
+                         "FAIL: fast-scan (%.2fx) does not beat the "
+                         "legacy gather on the same lists\n",
+                         g_fastscan_vs_gather);
+            return 1;
+        }
+    }
     return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "common/distance.h"
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace juno {
 
@@ -130,6 +131,20 @@ Hnsw::searchLayer(const float *query, idx_t entry, int ef, int level,
     TopK results(ef, metric_);
     results.push(start.id, start.score);
 
+    // Neighbor-expansion scratch: unvisited adjacency rows are
+    // gathered contiguously and scored in one batched kernel call per
+    // expansion instead of one dispatched call per neighbor. The
+    // batch kernel's per-row accumulation is bitwise identical to the
+    // single-pair kernel (the simd layer's documented contract), so
+    // traversal order and results are unchanged. The buffers are
+    // thread-local so this hot path stays allocation-free in steady
+    // state while remaining safe for concurrent callers (the IVFPQ
+    // router probes from parallel search workers).
+    const idx_t d = points_.cols();
+    thread_local std::vector<idx_t> fresh;
+    thread_local std::vector<float> rows;
+    thread_local std::vector<float> scores;
+
     while (!best_frontier.empty()) {
         const Neighbor cand = best_frontier.top();
         best_frontier.pop();
@@ -138,16 +153,38 @@ Hnsw::searchLayer(const float *query, idx_t entry, int ef, int level,
         if (results.full() &&
             !isBetter(metric_, cand.score, results.worstAccepted()))
             break;
+        fresh.clear();
         for (idx_t nb :
              layers_[static_cast<std::size_t>(level)]
                     [static_cast<std::size_t>(cand.id)]) {
-            if (!visited.insert(nb))
-                continue;
-            const float s = scoreOf(query, nb);
+            if (visited.insert(nb))
+                fresh.push_back(nb);
+        }
+        if (fresh.empty())
+            continue;
+        const auto cnt = fresh.size();
+        // Independent guards: the thread-local buffers outlive this
+        // index, so rows may already be large (grown by a wider index
+        // on this thread) while scores still lags cnt.
+        if (rows.size() < cnt * static_cast<std::size_t>(d))
+            rows.resize(cnt * static_cast<std::size_t>(d));
+        if (scores.size() < cnt)
+            scores.resize(cnt);
+        for (std::size_t i = 0; i < cnt; ++i) {
+            const float *src = points_.row(fresh[i]);
+            if (i + 1 < cnt)
+                __builtin_prefetch(points_.row(fresh[i + 1]));
+            std::copy_n(src, static_cast<std::size_t>(d),
+                        rows.data() + i * static_cast<std::size_t>(d));
+        }
+        simd::scoreBatch(metric_, query, rows.data(),
+                         static_cast<idx_t>(cnt), d, scores.data());
+        for (std::size_t i = 0; i < cnt; ++i) {
+            const float s = scores[i];
             if (!results.full() ||
                 isBetter(metric_, s, results.worstAccepted())) {
-                results.push(nb, s);
-                best_frontier.push({nb, s});
+                results.push(fresh[i], s);
+                best_frontier.push({fresh[i], s});
             }
         }
     }

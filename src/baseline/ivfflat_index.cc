@@ -145,10 +145,18 @@ IvfFlatIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
             TopK top(std::min(chunk.k, points_.rows()), metric_);
             // Inverted lists hold scattered ids, so the contiguous
             // batch kernel does not apply; the single-row kernel
-            // still runs through the dispatched table.
+            // still runs through the dispatched table. Each row fetch
+            // is a data-dependent random load — prefetching a couple
+            // of ids ahead overlaps the miss with the current row's
+            // reduction.
             for (const auto &probe : ctx.probes) {
-                for (idx_t pid :
-                     ivf_.list(static_cast<cluster_t>(probe.id))) {
+                const auto &plist =
+                    ivf_.list(static_cast<cluster_t>(probe.id));
+                for (std::size_t pi = 0; pi < plist.size(); ++pi) {
+                    if (pi + 2 < plist.size())
+                        __builtin_prefetch(
+                            points_.row(plist[pi + 2]));
+                    const idx_t pid = plist[pi];
                     const float s =
                         metric_ == Metric::kL2
                             ? kernels.l2_sqr(q, points_.row(pid), d)

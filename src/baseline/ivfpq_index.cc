@@ -1,6 +1,7 @@
 #include "baseline/ivfpq_index.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/distance.h"
 #include "common/logging.h"
@@ -35,8 +36,12 @@ IvfPqIndex::IvfPqIndex(Metric metric, FloatMatrixView points,
     pq_params.max_training_points = params.max_training_points;
     pq_.train(residuals.view(), pq_params);
 
-    // Offline step 4: encode all points.
+    // Offline step 4: encode all points, then re-materialise each
+    // inverted list's codes in the interleaved fast-scan layout so the
+    // online scan streams instead of gathering rows through ids.
     codes_ = pq_.encode(residuals.view());
+    if (params.use_interleaved)
+        interleaved_.build(ivf_.lists(), codes_, pq_.entries());
 
     if (params.use_hnsw_router) {
         router_ = std::make_unique<Hnsw>();
@@ -101,25 +106,87 @@ IvfPqIndex::buildLut(const float *query, cluster_t cluster, FloatMatrix &lut,
 }
 
 void
-IvfPqIndex::scanList(const std::vector<idx_t> &list, const FloatMatrix &lut,
-                     float base, std::vector<float> &scores,
-                     TopK &top) const
+IvfPqIndex::scanList(cluster_t cluster, const FloatMatrix &lut, float base,
+                     ScanScratch &scratch, TopK &top) const
 {
-    if (list.empty())
+    const std::vector<idx_t> &list = ivf_.list(cluster);
+    const std::size_t n = list.size();
+    if (n == 0)
         return;
-    if (scores.size() < list.size())
-        scores.resize(list.size());
-    simd::adcScan(lut.data(), lut.cols(), pq_.numSubspaces(),
-                  codes_.codes.data(),
-                  static_cast<std::size_t>(codes_.num_subspaces),
-                  list.data(), list.size(), base, scores.data());
-    for (std::size_t i = 0; i < list.size(); ++i)
-        top.push(list[i], scores[i]);
+    const int subspaces = pq_.numSubspaces();
+
+    if (interleaved_.built() && interleaved_.packed4() &&
+        simd::level() != simd::Level::kScalar) {
+        // 4-bit fast scan: quantise the float LUT once per (query,
+        // probe), scan the nibble plane with in-register shuffles,
+        // then reconstruct float scores only for blocks whose best
+        // quantised sum can still beat the current heap minimum.
+        quantizeLut(lut, pq_.entries(), scratch.qlut);
+        if (scratch.qsums.size() < n)
+            scratch.qsums.resize(n);
+        simd::fastScanPq4(interleaved_.listPacked(cluster), subspaces,
+                          scratch.qlut.table.data(), n,
+                          scratch.qsums.data());
+        const float scale = scratch.qlut.scale;
+        const float offset = base + scratch.qlut.bias;
+        const std::uint16_t *qs = scratch.qsums.data();
+        const bool lower_better = metric_ == Metric::kL2;
+        for (std::size_t b = 0; b < n; b += 32) {
+            const std::size_t count = std::min<std::size_t>(32, n - b);
+            if (top.full()) {
+                // The reconstruction is monotone in the quantised sum,
+                // so the block's min (L2) / max (IP) sum bounds every
+                // score in it exactly.
+                std::uint16_t best = qs[b];
+                if (lower_better) {
+                    for (std::size_t j = 1; j < count; ++j)
+                        best = std::min(best, qs[b + j]);
+                } else {
+                    for (std::size_t j = 1; j < count; ++j)
+                        best = std::max(best, qs[b + j]);
+                }
+                const float bound =
+                    offset + scale * static_cast<float>(best);
+                // Skip only when strictly worse: a tied bound must
+                // still reach TopK::push, whose id tie-break keeps
+                // results independent of block scan order.
+                if (isBetter(metric_, top.worstAccepted(), bound))
+                    continue;
+            }
+            for (std::size_t j = 0; j < count; ++j)
+                top.push(list[b + j],
+                         offset +
+                             scale * static_cast<float>(qs[b + j]));
+        }
+        return;
+    }
+
+    if (scratch.scores.size() < n)
+        scratch.scores.resize(n);
+    if (interleaved_.built()) {
+        // Streaming float scan over the interleaved blocks; bitwise
+        // identical to the legacy gather (same per-point accumulation
+        // order), minus the per-point random code-row load.
+        simd::adcScanInterleaved(lut.data(), lut.cols(), subspaces,
+                                 interleaved_.listBlocks(cluster), n,
+                                 base, scratch.scores.data());
+    } else {
+        simd::adcScan(lut.data(), lut.cols(), subspaces,
+                      codes_.codes.data(),
+                      static_cast<std::size_t>(codes_.num_subspaces),
+                      list.data(), n, base, scratch.scores.data());
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        top.push(list[i], scratch.scores[i]);
 }
 
 void
 IvfPqIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
 {
+    // Per-worker scan scratch (quantised LUT + qsum buffers) persists
+    // across queries and batches alongside the other context buffers.
+    ScanScratch &scan = ctx.scratch<ScanScratch>(
+        [] { return std::make_unique<ScanScratch>(); });
     for (idx_t qi = chunk.begin; qi < chunk.end; ++qi) {
         const float *q = chunk.queries.row(qi);
 
@@ -137,7 +204,7 @@ IvfPqIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
                 buildLut(q, c, ctx.lut, base, ctx.residual);
             }
             ScopedStageTimer t(ctx.timers(), "scan");
-            scanList(ivf_.list(c), ctx.lut, base, ctx.scores, top);
+            scanList(c, ctx.lut, base, scan, top);
         }
         (*chunk.results)[static_cast<std::size_t>(qi)] = top.take();
     }
@@ -160,12 +227,12 @@ IvfPqIndex::searchOneRecordingUsage(
     TopK top(std::min(k, num_points_), metric_);
     FloatMatrix lut;
     std::vector<float> residual;
-    std::vector<float> scores;
+    ScanScratch scratch;
     for (const auto &pr : probes) {
         const cluster_t c = static_cast<cluster_t>(pr.id);
         float base = 0.0f;
         buildLut(query, c, lut, base, residual);
-        scanList(ivf_.list(c), lut, base, scores, top);
+        scanList(c, lut, base, scratch, top);
     }
     auto result = top.take();
     if (entry_usage != nullptr) {

@@ -25,6 +25,7 @@
 #include "baseline/hnsw.h"
 #include "baseline/index.h"
 #include "ivf/ivf.h"
+#include "quant/interleaved_codes.h"
 #include "quant/product_quantizer.h"
 
 namespace juno {
@@ -42,6 +43,13 @@ class IvfPqIndex : public AnnIndex {
         int hnsw_ef_search = 64;
         std::uint64_t seed = 31;
         idx_t max_training_points = 0;
+        /**
+         * Build the list-resident interleaved code layout (and, for
+         * pq_entries <= 16, the nibble-packed fast-scan plane). Off
+         * reverts the scan stage to the legacy id-gather path — the
+         * bit-exact reference the parity tests compare against.
+         */
+        bool use_interleaved = true;
     };
 
     /** Trains IVF + PQ offline and encodes every point. */
@@ -58,6 +66,7 @@ class IvfPqIndex : public AnnIndex {
     const InvertedFileIndex &ivf() const { return ivf_; }
     const ProductQuantizer &pq() const { return pq_; }
     const PQCodes &codes() const { return codes_; }
+    const InterleavedLists &interleaved() const { return interleaved_; }
     bool hasHnswRouter() const { return router_ != nullptr; }
 
     /**
@@ -95,15 +104,30 @@ class IvfPqIndex : public AnnIndex {
     void buildLut(const float *query, cluster_t cluster, FloatMatrix &lut,
                   float &base, std::vector<float> &residual) const;
 
+    /** Caller-owned scan scratch (per search worker / legacy call). */
+    struct ScanScratch {
+        std::vector<float> scores;
+        QuantizedLut qlut;
+        std::vector<std::uint16_t> qsums;
+    };
+
     /**
      * ADC-scans one inverted list against a dense LUT (paper stage D)
-     * through the batched SIMD kernel and offers every point to
-     * @p top. @p scores is caller-owned scratch; both the batched
-     * searchChunk() path and the legacy searchOneRecordingUsage()
-     * path funnel through this one helper.
+     * and offers every surviving point to @p top. Three tiers, chosen
+     * per list:
+     *  - 4-bit fast scan (interleaved nibble plane + quantised u8 LUT
+     *    + in-register shuffles) when pq_entries <= 16 and a SIMD
+     *    dispatch level is active; a per-32-block bound on the
+     *    quantised sums skips blocks that cannot beat the current
+     *    heap minimum before any float work;
+     *  - streaming float scan over the interleaved blocks (bitwise
+     *    identical to the legacy gather) otherwise;
+     *  - the legacy id-gather kernel when use_interleaved is off.
+     * Both the batched searchChunk() path and the legacy
+     * searchOneRecordingUsage() path funnel through this one helper.
      */
-    void scanList(const std::vector<idx_t> &list, const FloatMatrix &lut,
-                  float base, std::vector<float> &scores, TopK &top) const;
+    void scanList(cluster_t cluster, const FloatMatrix &lut, float base,
+                  ScanScratch &scratch, TopK &top) const;
 
     Metric metric_;
     idx_t num_points_ = 0;
@@ -111,6 +135,8 @@ class IvfPqIndex : public AnnIndex {
     InvertedFileIndex ivf_;
     ProductQuantizer pq_;
     PQCodes codes_;
+    /** List-resident interleaved layout (empty when disabled). */
+    InterleavedLists interleaved_;
     idx_t nprobs_;
     std::unique_ptr<Hnsw> router_;
     int hnsw_ef_search_ = 64;

@@ -126,6 +126,12 @@ adcScanScalar(const float *lut, idx_t lut_stride, int subspaces,
               const idx_t *ids, std::size_t n, float base, float *out)
 {
     for (std::size_t i = 0; i < n; ++i) {
+        // The id gather makes every code row a data-dependent random
+        // load; prefetching a few ids ahead hides most of that miss.
+        if (i + 4 < n)
+            __builtin_prefetch(
+                codes + static_cast<std::size_t>(ids[i + 4]) *
+                            code_stride);
         const entry_t *pc =
             codes + static_cast<std::size_t>(ids[i]) * code_stride;
         float acc = base;
@@ -134,6 +140,49 @@ adcScanScalar(const float *lut, idx_t lut_stride, int subspaces,
                            static_cast<std::size_t>(lut_stride) +
                        pc[s]];
         out[i] = acc;
+    }
+}
+
+void
+adcScanInterleavedScalar(const float *lut, idx_t lut_stride, int subspaces,
+                         const entry_t *blocks, std::size_t n, float base,
+                         float *out)
+{
+    const auto stride = static_cast<std::size_t>(lut_stride);
+    const std::size_t block_stride =
+        32u * static_cast<std::size_t>(subspaces);
+    for (std::size_t i = 0; i < n; ++i) {
+        const entry_t *blk = blocks + (i / 32) * block_stride;
+        const std::size_t j = i % 32;
+        float acc = base;
+        for (int s = 0; s < subspaces; ++s)
+            acc += lut[static_cast<std::size_t>(s) * stride +
+                       blk[static_cast<std::size_t>(s) * 32 + j]];
+        out[i] = acc;
+    }
+}
+
+void
+fastScanPq4Scalar(const std::uint8_t *packed, int subspaces,
+                  const std::uint8_t *lut, std::size_t n,
+                  std::uint16_t *qsums)
+{
+    const std::size_t block_stride =
+        16u * static_cast<std::size_t>(subspaces);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t *blk = packed + (i / 32) * block_stride;
+        const std::size_t lane = i & 15;
+        const bool high = (i % 32) >= 16;
+        std::uint16_t acc = 0;
+        for (int s = 0; s < subspaces; ++s) {
+            const std::uint8_t byte =
+                blk[static_cast<std::size_t>(s) * 16 + lane];
+            const std::uint8_t code =
+                high ? byte >> 4 : byte & 0x0F;
+            acc = static_cast<std::uint16_t>(
+                acc + lut[static_cast<std::size_t>(s) * 16 + code]);
+        }
+        qsums[i] = acc;
     }
 }
 
@@ -157,6 +206,8 @@ const Kernels kScalarTable = {
     &innerProductBatchScalar,
     &gemmScalar,
     &adcScanScalar,
+    &adcScanInterleavedScalar,
+    &fastScanPq4Scalar,
     &compactCandidatesScalar,
 };
 
@@ -566,6 +617,16 @@ adcScanAvx2(const float *lut, idx_t lut_stride, int subspaces,
                     ids[i + 8 + static_cast<std::size_t>(j)]) *
                     code_stride;
         }
+        // Pull the next block's gathered code rows towards the caches
+        // while this block's transposes and LUT gathers execute.
+        if (i + 32 <= n) {
+            for (int j = 0; j < 16; ++j)
+                __builtin_prefetch(
+                    codes +
+                    static_cast<std::size_t>(
+                        ids[i + 16 + static_cast<std::size_t>(j)]) *
+                        code_stride);
+        }
         __m256 acca = _mm256_set1_ps(base);
         __m256 accb = _mm256_set1_ps(base);
         int s = 0;
@@ -621,6 +682,150 @@ adcScanAvx2(const float *lut, idx_t lut_stride, int subspaces,
                       ids + i, n - i, base, out + i);
 }
 
+/**
+ * Interleaved streaming scan: the subspace-major 32-point blocks put
+ * the 8 gather indices of a step in one contiguous 128-bit load, so
+ * the 8x8 transpose network of the id-gather path disappears and the
+ * code stream is a pure sequential read. Four accumulator chains (one
+ * per 8-point group of the block) hide the gather+add latency.
+ * Per-point accumulation order matches scalar exactly.
+ */
+JUNO_TARGET_AVX2 void
+adcScanInterleavedAvx2(const float *lut, idx_t lut_stride, int subspaces,
+                       const entry_t *blocks, std::size_t n, float base,
+                       float *out)
+{
+    const auto stride = static_cast<std::size_t>(lut_stride);
+    const std::size_t block_stride =
+        32u * static_cast<std::size_t>(subspaces);
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const entry_t *blk = blocks + (i / 32) * block_stride;
+        __m256 acc0 = _mm256_set1_ps(base);
+        __m256 acc1 = _mm256_set1_ps(base);
+        __m256 acc2 = _mm256_set1_ps(base);
+        __m256 acc3 = _mm256_set1_ps(base);
+        for (int s = 0; s < subspaces; ++s) {
+            const float *lrow =
+                lut + static_cast<std::size_t>(s) * stride;
+            const entry_t *row = blk + static_cast<std::size_t>(s) * 32;
+            const __m256i e0 = _mm256_cvtepu16_epi32(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(row)));
+            const __m256i e1 = _mm256_cvtepu16_epi32(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(row + 8)));
+            const __m256i e2 = _mm256_cvtepu16_epi32(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(row + 16)));
+            const __m256i e3 = _mm256_cvtepu16_epi32(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(row + 24)));
+            acc0 = _mm256_add_ps(acc0,
+                                 _mm256_i32gather_ps(lrow, e0, 4));
+            acc1 = _mm256_add_ps(acc1,
+                                 _mm256_i32gather_ps(lrow, e1, 4));
+            acc2 = _mm256_add_ps(acc2,
+                                 _mm256_i32gather_ps(lrow, e2, 4));
+            acc3 = _mm256_add_ps(acc3,
+                                 _mm256_i32gather_ps(lrow, e3, 4));
+        }
+        _mm256_storeu_ps(out + i, acc0);
+        _mm256_storeu_ps(out + i + 8, acc1);
+        _mm256_storeu_ps(out + i + 16, acc2);
+        _mm256_storeu_ps(out + i + 24, acc3);
+    }
+    if (i < n) {
+        // Partial tail block: 8-wide groups, then per-point scalar
+        // with the same per-point accumulation order.
+        const entry_t *blk = blocks + (i / 32) * block_stride;
+        const std::size_t rem = n - i;
+        std::size_t j = 0;
+        for (; j + 8 <= rem; j += 8) {
+            __m256 acc = _mm256_set1_ps(base);
+            for (int s = 0; s < subspaces; ++s) {
+                const float *lrow =
+                    lut + static_cast<std::size_t>(s) * stride;
+                const __m256i ev =
+                    _mm256_cvtepu16_epi32(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i *>(
+                            blk + static_cast<std::size_t>(s) * 32 +
+                            j)));
+                acc = _mm256_add_ps(acc,
+                                    _mm256_i32gather_ps(lrow, ev, 4));
+            }
+            _mm256_storeu_ps(out + i + j, acc);
+        }
+        for (; j < rem; ++j) {
+            float acc = base;
+            for (int s = 0; s < subspaces; ++s)
+                acc += lut[static_cast<std::size_t>(s) * stride +
+                           blk[static_cast<std::size_t>(s) * 32 + j]];
+            out[i + j] = acc;
+        }
+    }
+}
+
+/**
+ * 4-bit in-register fast scan: one 16-byte load yields the nibble
+ * codes of all 32 points of a (block, subspace) pair, the u8 LUT row
+ * is broadcast into both ymm lanes, and a single pshufb scores the
+ * whole block. Scores accumulate into u16 even/odd lanes (no
+ * overflow for subspaces <= 256) and are re-interleaved into point
+ * order on store. Integer arithmetic throughout: results are
+ * identical to the scalar reference bit for bit.
+ */
+JUNO_TARGET_AVX2 void
+fastScanPq4Avx2(const std::uint8_t *packed, int subspaces,
+                const std::uint8_t *lut, std::size_t n,
+                std::uint16_t *qsums)
+{
+    const __m128i nib = _mm_set1_epi8(0x0F);
+    const __m256i byte_mask = _mm256_set1_epi16(0x00FF);
+    const std::size_t block_stride =
+        16u * static_cast<std::size_t>(subspaces);
+    for (std::size_t i = 0; i < n; i += 32) {
+        const std::uint8_t *blk = packed + (i / 32) * block_stride;
+        __m256i acc_even = _mm256_setzero_si256();
+        __m256i acc_odd = _mm256_setzero_si256();
+        for (int s = 0; s < subspaces; ++s) {
+            const __m128i raw = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(
+                    blk + static_cast<std::size_t>(s) * 16));
+            const __m256i lutv =
+                _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(
+                        lut + static_cast<std::size_t>(s) * 16)));
+            const __m128i lo = _mm_and_si128(raw, nib);
+            const __m128i hi =
+                _mm_and_si128(_mm_srli_epi16(raw, 4), nib);
+            // Lane 0 indexes points 0-15, lane 1 points 16-31; pshufb
+            // shuffles each lane against the same 16-byte LUT row.
+            const __m256i scores = _mm256_shuffle_epi8(
+                lutv, _mm256_set_m128i(hi, lo));
+            acc_even = _mm256_add_epi16(
+                acc_even, _mm256_and_si256(scores, byte_mask));
+            acc_odd = _mm256_add_epi16(acc_odd,
+                                       _mm256_srli_epi16(scores, 8));
+        }
+        // acc_even u16 lanes hold even-numbered points of each 16-point
+        // half, acc_odd the odd ones; unpack restores point order.
+        const __m256i lo16 = _mm256_unpacklo_epi16(acc_even, acc_odd);
+        const __m256i hi16 = _mm256_unpackhi_epi16(acc_even, acc_odd);
+        const __m256i q0 = _mm256_permute2x128_si256(lo16, hi16, 0x20);
+        const __m256i q1 = _mm256_permute2x128_si256(lo16, hi16, 0x31);
+        if (i + 32 <= n) {
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(qsums + i), q0);
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(qsums + i + 16), q1);
+        } else {
+            alignas(32) std::uint16_t tmp[32];
+            _mm256_store_si256(reinterpret_cast<__m256i *>(tmp), q0);
+            _mm256_store_si256(reinterpret_cast<__m256i *>(tmp + 16),
+                               q1);
+            std::memcpy(qsums + i, tmp,
+                        (n - i) * sizeof(std::uint16_t));
+        }
+    }
+}
+
 /** Skips blocks of 8 untouched ordinals with one compare+movemask. */
 JUNO_TARGET_AVX2 void
 compactCandidatesAvx2(const float *acc, const std::int32_t *hits,
@@ -657,6 +862,8 @@ const Kernels kAvx2Table = {
     &innerProductBatchAvx2,
     &gemmAvx2,
     &adcScanAvx2,
+    &adcScanInterleavedAvx2,
+    &fastScanPq4Avx2,
     &compactCandidatesAvx2,
 };
 
@@ -686,6 +893,16 @@ adcScanAvx512(const float *lut, idx_t lut_stride, int subspaces,
                     static_cast<std::size_t>(
                         ids[i + static_cast<std::size_t>(8 * g + j)]) *
                         code_stride;
+        // Prefetch the next 32 gathered code rows behind this block's
+        // transposes (same rationale as the AVX2 path).
+        if (i + 64 <= n) {
+            for (int j = 0; j < 32; ++j)
+                __builtin_prefetch(
+                    codes +
+                    static_cast<std::size_t>(
+                        ids[i + 32 + static_cast<std::size_t>(j)]) *
+                        code_stride);
+        }
         __m512 acc0 = _mm512_set1_ps(base);
         __m512 acc1 = _mm512_set1_ps(base);
         int s = 0;
@@ -786,7 +1003,119 @@ adcScanAvx512(const float *lut, idx_t lut_stride, int subspaces,
                     ids + i, n - i, base, out + i);
 }
 
-/** AVX2 table with the wider ADC gather swapped in. */
+/**
+ * Interleaved streaming scan, 16 points per gather: the block layout
+ * feeds each 16-wide gather's indices with one 256-bit load, and two
+ * independent chains cover a whole 32-point block per subspace step.
+ */
+JUNO_TARGET_AVX512 void
+adcScanInterleavedAvx512(const float *lut, idx_t lut_stride,
+                         int subspaces, const entry_t *blocks,
+                         std::size_t n, float base, float *out)
+{
+    const auto stride = static_cast<std::size_t>(lut_stride);
+    const std::size_t block_stride =
+        32u * static_cast<std::size_t>(subspaces);
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const entry_t *blk = blocks + (i / 32) * block_stride;
+        __m512 acc0 = _mm512_set1_ps(base);
+        __m512 acc1 = _mm512_set1_ps(base);
+        for (int s = 0; s < subspaces; ++s) {
+            const float *lrow =
+                lut + static_cast<std::size_t>(s) * stride;
+            const entry_t *row = blk + static_cast<std::size_t>(s) * 32;
+            const __m512i e0 = _mm512_maskz_cvtepu16_epi32(
+                static_cast<__mmask16>(-1),
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(row)));
+            const __m512i e1 = _mm512_maskz_cvtepu16_epi32(
+                static_cast<__mmask16>(-1),
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(row + 16)));
+            acc0 = _mm512_add_ps(
+                acc0, _mm512_mask_i32gather_ps(_mm512_setzero_ps(),
+                                               0xFFFF, e0, lrow, 4));
+            acc1 = _mm512_add_ps(
+                acc1, _mm512_mask_i32gather_ps(_mm512_setzero_ps(),
+                                               0xFFFF, e1, lrow, 4));
+        }
+        _mm512_storeu_ps(out + i, acc0);
+        _mm512_storeu_ps(out + i + 16, acc1);
+    }
+    if (i < n)
+        // i is block-aligned, so the AVX2 path sees a fresh block.
+        adcScanInterleavedAvx2(lut, lut_stride, subspaces,
+                               blocks + (i / 32) * block_stride, n - i,
+                               base, out + i);
+}
+
+/**
+ * 4-bit fast scan over two blocks (64 points) per step: the four
+ * 128-bit lanes of the 512-bit shuffle hold both nibble halves of
+ * both blocks against the same broadcast LUT row.
+ */
+JUNO_TARGET_AVX512 void
+fastScanPq4Avx512(const std::uint8_t *packed, int subspaces,
+                  const std::uint8_t *lut, std::size_t n,
+                  std::uint16_t *qsums)
+{
+    const __m128i nib = _mm_set1_epi8(0x0F);
+    const __m512i byte_mask = _mm512_set1_epi16(0x00FF);
+    // Restore point order across the four 128-bit lanes on store.
+    const __m512i perm0 = _mm512_set_epi64(11, 10, 3, 2, 9, 8, 1, 0);
+    const __m512i perm1 = _mm512_set_epi64(15, 14, 7, 6, 13, 12, 5, 4);
+    const std::size_t block_stride =
+        16u * static_cast<std::size_t>(subspaces);
+    std::size_t i = 0;
+    for (; i + 64 <= n; i += 64) {
+        const std::uint8_t *b0 = packed + (i / 32) * block_stride;
+        const std::uint8_t *b1 = b0 + block_stride;
+        __m512i acc_even = _mm512_setzero_si512();
+        __m512i acc_odd = _mm512_setzero_si512();
+        for (int s = 0; s < subspaces; ++s) {
+            const __m128i r0 = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(
+                    b0 + static_cast<std::size_t>(s) * 16));
+            const __m128i r1 = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(
+                    b1 + static_cast<std::size_t>(s) * 16));
+            const __m512i lutv = _mm512_maskz_broadcast_i32x4(
+                static_cast<__mmask16>(-1),
+                _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                    lut + static_cast<std::size_t>(s) * 16)));
+            const __m128i l0 = _mm_and_si128(r0, nib);
+            const __m128i h0 =
+                _mm_and_si128(_mm_srli_epi16(r0, 4), nib);
+            const __m128i l1 = _mm_and_si128(r1, nib);
+            const __m128i h1 =
+                _mm_and_si128(_mm_srli_epi16(r1, 4), nib);
+            const __m512i idx = _mm512_maskz_inserti64x4(
+                static_cast<__mmask8>(-1),
+                _mm512_maskz_inserti64x4(static_cast<__mmask8>(-1),
+                                         _mm512_setzero_si512(),
+                                         _mm256_set_m128i(h0, l0), 0),
+                _mm256_set_m128i(h1, l1), 1);
+            const __m512i scores = _mm512_shuffle_epi8(lutv, idx);
+            acc_even = _mm512_add_epi16(
+                acc_even, _mm512_and_si512(scores, byte_mask));
+            acc_odd = _mm512_add_epi16(acc_odd,
+                                       _mm512_srli_epi16(scores, 8));
+        }
+        const __m512i lo16 = _mm512_unpacklo_epi16(acc_even, acc_odd);
+        const __m512i hi16 = _mm512_unpackhi_epi16(acc_even, acc_odd);
+        _mm512_storeu_si512(
+            qsums + i, _mm512_permutex2var_epi64(lo16, perm0, hi16));
+        _mm512_storeu_si512(
+            qsums + i + 32,
+            _mm512_permutex2var_epi64(lo16, perm1, hi16));
+    }
+    if (i < n)
+        fastScanPq4Avx2(packed + (i / 32) * block_stride, subspaces, lut,
+                        n - i, qsums + i);
+}
+
+/** AVX2 table with the wider ADC gather and scan kernels swapped in. */
 const Kernels kAvx512Table = {
     "avx512",
     &l2SqrAvx2,
@@ -796,6 +1125,8 @@ const Kernels kAvx512Table = {
     &innerProductBatchAvx2,
     &gemmAvx2,
     &adcScanAvx512,
+    &adcScanInterleavedAvx512,
+    &fastScanPq4Avx512,
     &compactCandidatesAvx2,
 };
 #endif // JUNO_SIMD_X86

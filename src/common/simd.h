@@ -93,6 +93,37 @@ struct Kernels {
                      float *out);
 
     /**
+     * Streaming ADC scan over a list-resident interleaved code layout
+     * (quant/interleaved_codes.h): points live in blocks of 32,
+     * subspace-major within a block (blocks[s * 32 + j] is point
+     * block_base + j's subspace-s code), so the scan walks memory
+     * sequentially with no id gather. out[i] = base +
+     * sum_s lut[s * lut_stride + code(i, s)] for i < n; accumulation
+     * order per point is one add per subspace in subspace order, so
+     * results are bitwise identical to adc_scan on the same codes in
+     * every table. Tail blocks are zero-padded by the layout builder.
+     */
+    void (*adc_scan_interleaved)(const float *lut, idx_t lut_stride,
+                                 int subspaces, const entry_t *blocks,
+                                 std::size_t n, float base, float *out);
+
+    /**
+     * 4-bit fast scan (FAISS-style): nibble-packed interleaved codes
+     * (16 bytes per block and subspace; byte j = point j low nibble,
+     * point j+16 high nibble) scored against a u8 quantised LUT
+     * (subspaces x 16), accumulated in u16 lanes:
+     * qsums[i] = sum_s lut[s * 16 + code(i, s)]. Integer arithmetic,
+     * so every table returns identical sums; the AVX2/AVX-512 paths
+     * keep the LUT in registers and scan via byte shuffles. The
+     * caller reconstructs float scores as bias + scale * qsum
+     * (quant/interleaved_codes.h) and owns overflow avoidance
+     * (subspaces <= 256).
+     */
+    void (*fastscan_pq4)(const std::uint8_t *packed, int subspaces,
+                         const std::uint8_t *lut, std::size_t n,
+                         std::uint16_t *qsums);
+
+    /**
      * Sparse candidate compaction (distance-calculation finalise):
      * appends {list[i], acc[i] + offset} to @p out for every i < n
      * with hits[i] != 0, in ascending i. The AVX2 path skips
@@ -185,6 +216,22 @@ adcScan(const float *lut, idx_t lut_stride, int subspaces,
 {
     active().adc_scan(lut, lut_stride, subspaces, codes, code_stride, ids,
                       n, base, out);
+}
+
+inline void
+adcScanInterleaved(const float *lut, idx_t lut_stride, int subspaces,
+                   const entry_t *blocks, std::size_t n, float base,
+                   float *out)
+{
+    active().adc_scan_interleaved(lut, lut_stride, subspaces, blocks, n,
+                                  base, out);
+}
+
+inline void
+fastScanPq4(const std::uint8_t *packed, int subspaces,
+            const std::uint8_t *lut, std::size_t n, std::uint16_t *qsums)
+{
+    active().fastscan_pq4(packed, subspaces, lut, n, qsums);
 }
 
 inline void

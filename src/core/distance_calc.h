@@ -23,6 +23,7 @@
 #include "common/topk.h"
 #include "core/interest_index.h"
 #include "core/selective_lut.h"
+#include "quant/interleaved_codes.h"
 
 namespace juno {
 
@@ -39,9 +40,32 @@ const char *searchModeName(SearchMode mode);
 /** Accumulates sparse-LUT scores into a top-k per query. */
 class DistanceCalculator {
   public:
-    /** @p ivf and @p interest must outlive the calculator. */
+    /**
+     * @p ivf and @p interest must outlive the calculator. When an
+     * @p interleaved layout is supplied (and built), clusters whose
+     * selected-entry fraction exceeds the dense threshold are scored
+     * by streaming the list-resident interleaved codes against a
+     * dense delta LUT expanded from the sparse hits, instead of
+     * walking the interest-index ranges point by scattered point.
+     * Both paths produce bitwise-identical accumulators (one add per
+     * selected subspace, in subspace order; untouched subspaces add
+     * an exact 0.0f in the dense path).
+     */
     DistanceCalculator(const InvertedFileIndex &ivf,
-                       const InterestIndex &interest);
+                       const InterestIndex &interest,
+                       const InterleavedLists *interleaved = nullptr);
+
+    /**
+     * Selected-entry fraction above which a cluster switches to the
+     * dense interleaved scan: the sparse walk touches ~fraction * S
+     * scattered ordinals per point, the dense scan S sequential
+     * lookups. 0 forces dense (tests), > 1 disables it.
+     */
+    void setDenseThreshold(double fraction)
+    {
+        dense_threshold_ = fraction;
+    }
+    double denseThreshold() const { return dense_threshold_; }
 
     /**
      * Scores the points of the probed clusters and returns the best-k.
@@ -73,10 +97,18 @@ class DistanceCalculator {
 
     const InvertedFileIndex &ivf_;
     const InterestIndex &interest_;
+    const InterleavedLists *interleaved_ = nullptr;
+    double dense_threshold_ = 0.5;
 
     // Scratch sized to the largest cluster; densely reset per cluster.
     std::vector<float> acc_;
     std::vector<std::int32_t> hit_count_;
+    // Dense-path scratch: delta/flag LUTs (subspaces x entries) and a
+    // float hit-count buffer (the interleaved kernel accumulates
+    // floats; counts of 0/1 flags are exact).
+    std::vector<float> delta_lut_;
+    std::vector<float> flag_lut_;
+    std::vector<float> flag_acc_;
 };
 
 } // namespace juno

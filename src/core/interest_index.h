@@ -45,6 +45,8 @@ class InterestIndex {
 
     bool built() const { return num_subspaces_ > 0; }
     int numSubspaces() const { return num_subspaces_; }
+    /** Codebook entry count E the index was built with. */
+    int entries() const { return entries_; }
     idx_t numClusters() const { return static_cast<idx_t>(buckets_.size()); }
 
     /** Size of the largest IVF cluster (scratch sizing for the scan). */

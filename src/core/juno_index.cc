@@ -90,12 +90,19 @@ JunoIndex::finishConstruction()
     // scene (Alg. 1, 10-11); both derive deterministically from the
     // trained state, so load() rebuilds them instead of storing them.
     interest_.build(ivf_, codes_, params_.pq_entries);
+    if (params_.use_interleaved) {
+        // Float-scan plane only: JUNO's dense regime never runs the
+        // 4-bit fast scan, so the nibble plane would be dead weight.
+        interleaved_.build(ivf_.lists(), codes_, params_.pq_entries,
+                           /*with_packed4=*/false);
+    }
     scene_.build(metric_, pq_, policy_, params_.scene);
     device_.setMode(params_.use_rt_core ? rt::ExecMode::kRtCore
                                         : rt::ExecMode::kCudaFallback);
     lut_builder_ = std::make_unique<SelectiveLutBuilder>(scene_, policy_,
                                                          ivf_, device_);
-    calc_ = std::make_unique<DistanceCalculator>(ivf_, interest_);
+    calc_ = std::make_unique<DistanceCalculator>(ivf_, interest_,
+                                                 &interleaved_);
 }
 
 namespace {
@@ -279,7 +286,7 @@ struct JunoIndex::Worker {
     explicit Worker(JunoIndex &owner)
         : device(owner.device_.mode()),
           builder(owner.scene_, owner.policy_, owner.ivf_, device),
-          calc(owner.ivf_, owner.interest_)
+          calc(owner.ivf_, owner.interest_, &owner.interleaved_)
     {
     }
 

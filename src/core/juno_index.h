@@ -50,6 +50,12 @@ struct JunoParams {
     double miss_penalty = 1.0;             ///< miss-score multiplier
     bool use_rt_core = true;               ///< false = linear fallback
     bool pipelined = false;                ///< overlap LUT and scan
+    /**
+     * Keep a list-resident interleaved copy of the codes so the
+     * distance calculator can stream dense-regime clusters; costs one
+     * extra codes-sized allocation. Off = always the sparse walk.
+     */
+    bool use_interleaved = true;
     int density_grid = 100;                ///< density map resolution
     ThresholdPolicy::Params policy;        ///< regressor training
     JunoScene::Params scene;               ///< sphere radius / BVH
@@ -149,6 +155,13 @@ class JunoIndex : public AnnIndex {
     InvertedFileIndex ivf_;
     ProductQuantizer pq_;
     PQCodes codes_;
+    /**
+     * List-resident interleaved copy of codes_; the distance
+     * calculator streams it for clusters whose selected-entry
+     * fraction makes the sparse interest-index walk slower than a
+     * dense sequential scan.
+     */
+    InterleavedLists interleaved_;
     InterestIndex interest_;
     DensityMap density_;
     ThresholdPolicy policy_;

@@ -44,6 +44,9 @@ class InvertedFileIndex {
     /** Point ids assigned to cluster @p c. */
     const std::vector<idx_t> &list(cluster_t c) const;
 
+    /** All inverted lists (layout builders consume them wholesale). */
+    const std::vector<std::vector<idx_t>> &lists() const { return lists_; }
+
     /** Cluster label of point @p p (index into the build-time matrix). */
     cluster_t label(idx_t p) const { return labels_.at(static_cast<std::size_t>(p)); }
 

@@ -1,0 +1,137 @@
+#include "quant/interleaved_codes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace juno {
+
+void
+InterleavedLists::build(const std::vector<std::vector<idx_t>> &lists,
+                        const PQCodes &codes, int entries,
+                        bool with_packed4)
+{
+    JUNO_REQUIRE(codes.num_subspaces > 0, "codes not encoded");
+    subspaces_ = codes.num_subspaces;
+    // The u16 fast-scan accumulator holds subspaces * 255 at most.
+    packed4_ = with_packed4 && entries <= 16 && subspaces_ <= 256;
+    lists_.clear();
+    lists_.resize(lists.size());
+    blocks_.clear();
+    packed_.clear();
+
+    const auto sub = static_cast<std::size_t>(subspaces_);
+    std::size_t total_blocks = 0;
+    for (const auto &list : lists)
+        total_blocks += (list.size() +
+                         static_cast<std::size_t>(kBlockPoints) - 1) /
+                        static_cast<std::size_t>(kBlockPoints);
+    blocks_.assign(total_blocks * static_cast<std::size_t>(kBlockPoints) *
+                       sub,
+                   0);
+    if (packed4_)
+        packed_.assign(total_blocks *
+                           static_cast<std::size_t>(kPackedBytes) * sub,
+                       0);
+
+    std::size_t block_off = 0;
+    std::size_t packed_off = 0;
+    for (std::size_t c = 0; c < lists.size(); ++c) {
+        const auto &list = lists[c];
+        ListRef &ref = lists_[c];
+        ref.block = block_off;
+        ref.packed = packed_off;
+        ref.size = static_cast<idx_t>(list.size());
+
+        const std::size_t nblocks =
+            (list.size() + static_cast<std::size_t>(kBlockPoints) - 1) /
+            static_cast<std::size_t>(kBlockPoints);
+        for (std::size_t b = 0; b < nblocks; ++b) {
+            entry_t *blk =
+                blocks_.data() + block_off +
+                b * static_cast<std::size_t>(kBlockPoints) * sub;
+            std::uint8_t *pk =
+                packed4_ ? packed_.data() + packed_off +
+                               b * static_cast<std::size_t>(kPackedBytes) *
+                                   sub
+                         : nullptr;
+            const std::size_t base =
+                b * static_cast<std::size_t>(kBlockPoints);
+            const std::size_t count = std::min(
+                static_cast<std::size_t>(kBlockPoints),
+                list.size() - base);
+            for (std::size_t j = 0; j < count; ++j) {
+                const entry_t *row = codes.row(list[base + j]);
+                for (std::size_t s = 0; s < sub; ++s) {
+                    const entry_t e = row[s];
+                    blk[s * static_cast<std::size_t>(kBlockPoints) + j] =
+                        e;
+                    if (pk != nullptr) {
+                        JUNO_ASSERT(e < 16, "PQ4 code " << e);
+                        std::uint8_t &byte =
+                            pk[s * static_cast<std::size_t>(
+                                       kPackedBytes) +
+                               (j & 15)];
+                        byte = static_cast<std::uint8_t>(
+                            j < 16 ? (byte & 0xF0u) | e
+                                   : (byte & 0x0Fu) |
+                                         static_cast<unsigned>(e) << 4);
+                    }
+                }
+            }
+        }
+        block_off +=
+            nblocks * static_cast<std::size_t>(kBlockPoints) * sub;
+        if (packed4_)
+            packed_off +=
+                nblocks * static_cast<std::size_t>(kPackedBytes) * sub;
+    }
+}
+
+void
+quantizeLut(const FloatMatrix &lut, int entries, QuantizedLut &out)
+{
+    JUNO_REQUIRE(entries > 0 && entries <= 16,
+                 "quantizeLut needs entries <= 16, got " << entries);
+    const int subspaces = static_cast<int>(lut.rows());
+    out.subspaces = subspaces;
+    out.table.assign(static_cast<std::size_t>(subspaces) * 16, 0);
+
+    // One global scale keeps the accumulated sum linear in the raw
+    // scores; per-subspace biases fold into a single additive term.
+    // The minima land in row_min so the quantisation pass below does
+    // not rescan the LUT.
+    out.row_min.resize(static_cast<std::size_t>(subspaces));
+    float bias = 0.0f;
+    float max_range = 0.0f;
+    for (int s = 0; s < subspaces; ++s) {
+        const float *row = lut.row(s);
+        float lo = row[0], hi = row[0];
+        for (int e = 1; e < entries; ++e) {
+            lo = std::min(lo, row[e]);
+            hi = std::max(hi, row[e]);
+        }
+        out.row_min[static_cast<std::size_t>(s)] = lo;
+        bias += lo;
+        max_range = std::max(max_range, hi - lo);
+    }
+    const float scale = max_range > 0.0f ? max_range / 255.0f : 1.0f;
+    const float inv_scale = 1.0f / scale;
+    out.scale = scale;
+    out.bias = bias;
+
+    for (int s = 0; s < subspaces; ++s) {
+        const float *row = lut.row(s);
+        const float lo = out.row_min[static_cast<std::size_t>(s)];
+        std::uint8_t *qrow =
+            out.table.data() + static_cast<std::size_t>(s) * 16;
+        for (int e = 0; e < entries; ++e) {
+            const float q = std::nearbyint((row[e] - lo) * inv_scale);
+            qrow[e] = static_cast<std::uint8_t>(
+                std::min(255.0f, std::max(0.0f, q)));
+        }
+    }
+}
+
+} // namespace juno

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * List-resident interleaved PQ code layout (FAISS "fast scan" style).
+ *
+ * The legacy scan gathers each point's code row through `ids[i]`, so
+ * every scanned point costs a random load of its row plus `subspaces`
+ * dependent LUT lookups. This module re-materialises each inverted
+ * list's codes contiguously in SIMD-friendly blocks of 32 points,
+ * subspace-major within a block:
+ *
+ *   block[s * 32 + j] = code of the list's (block_base + j)-th point
+ *                       in subspace s
+ *
+ * so the scan streams sequentially (`simd::adcScanInterleaved`) and
+ * the 8/16-wide LUT gathers load their indices with one straight
+ * vector load instead of an 8x8 transpose network.
+ *
+ * When the codebook is 4-bit (entries <= 16) a second, nibble-packed
+ * plane is kept alongside: per block and subspace, 16 bytes where byte
+ * j holds point j in the low nibble and point j+16 in the high nibble.
+ * Together with a `QuantizedLut` (u8 entries, one scale + summed bias
+ * per query) this feeds the in-register `pshufb` fast-scan kernel
+ * (`simd::fastScanPq4`), which replaces the gather entirely.
+ *
+ * Tail blocks are zero-padded; consumers only read the first `size`
+ * outputs of a list.
+ */
+#ifndef JUNO_QUANT_INTERLEAVED_CODES_H
+#define JUNO_QUANT_INTERLEAVED_CODES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/types.h"
+#include "quant/product_quantizer.h"
+
+namespace juno {
+
+/** Interleaved, list-resident copy of a PQCodes partitioned by lists. */
+class InterleavedLists {
+  public:
+    /** Points per interleaved block (the fast-scan batch width). */
+    static constexpr idx_t kBlockPoints = 32;
+    /** Bytes per (block, subspace) in the nibble-packed plane. */
+    static constexpr idx_t kPackedBytes = 16;
+
+    /**
+     * Builds the layout from the row-major @p codes and the inverted
+     * @p lists (point ids per cluster). @p entries is the codebook
+     * size E; the nibble plane is kept when E <= 16 (and the subspace
+     * count keeps the u16 fast-scan accumulators overflow-free).
+     * Pass @p with_packed4 = false when the consumer only streams the
+     * float scan (JUNO's dense regime) to skip that plane entirely.
+     */
+    void build(const std::vector<std::vector<idx_t>> &lists,
+               const PQCodes &codes, int entries,
+               bool with_packed4 = true);
+
+    bool built() const { return !lists_.empty(); }
+    int subspaces() const { return subspaces_; }
+    /** True when the 4-bit nibble-packed plane is present. */
+    bool packed4() const { return packed4_; }
+    idx_t numLists() const { return static_cast<idx_t>(lists_.size()); }
+
+    /** Number of points in list @p c. */
+    idx_t listSize(cluster_t c) const
+    {
+        return lists_[static_cast<std::size_t>(c)].size;
+    }
+
+    /** Interleaved entry_t blocks of list @p c (ceil(n/32) blocks). */
+    const entry_t *listBlocks(cluster_t c) const
+    {
+        return blocks_.data() + lists_[static_cast<std::size_t>(c)].block;
+    }
+
+    /** Nibble-packed plane of list @p c; only valid when packed4(). */
+    const std::uint8_t *listPacked(cluster_t c) const
+    {
+        return packed_.data() + lists_[static_cast<std::size_t>(c)].packed;
+    }
+
+  private:
+    struct ListRef {
+        std::size_t block = 0;  ///< offset into blocks_
+        std::size_t packed = 0; ///< offset into packed_
+        idx_t size = 0;         ///< points in this list
+    };
+
+    int subspaces_ = 0;
+    bool packed4_ = false;
+    std::vector<ListRef> lists_;
+    std::vector<entry_t> blocks_;
+    std::vector<std::uint8_t> packed_;
+};
+
+/**
+ * Per-query quantisation of a dense float LUT to u8 entries for the
+ * fast-scan kernel: table[s * 16 + e] = round((lut[s][e] - min_s) /
+ * scale), with one global scale chosen so every subspace row fits in
+ * [0, 255]. A scanned point's quantised sum q reconstructs to
+ *
+ *   score ~= bias + scale * q      (bias = sum_s min_s)
+ *
+ * and the reconstruction is monotone in q, so per-block min/max bounds
+ * on q are exact bounds on the reconstructed scores (the TopK block
+ * pre-filter relies on this). The per-subspace rounding error is at
+ * most scale/2, i.e. |score - float_score| <= subspaces * scale / 2.
+ */
+struct QuantizedLut {
+    /** subspaces x 16 u8 entries (rows padded when entries < 16). */
+    std::vector<std::uint8_t> table;
+    float scale = 1.0f;
+    float bias = 0.0f;
+    int subspaces = 0;
+    /** Per-subspace minima (quantizeLut scratch, reused per query). */
+    std::vector<float> row_min;
+};
+
+/**
+ * Quantises @p lut (subspaces x entries, entries <= 16) into @p out,
+ * reusing its buffer. Degenerate flat rows quantise with scale 1.
+ */
+void quantizeLut(const FloatMatrix &lut, int entries, QuantizedLut &out);
+
+} // namespace juno
+
+#endif // JUNO_QUANT_INTERLEAVED_CODES_H

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/distance.h"
+#include "common/simd.h"
 #include "core/distance_calc.h"
 #include "core/selective_lut.h"
 #include "dataset/synthetic.h"
@@ -21,6 +22,7 @@ struct Fixture {
     DensityMap density;
     ThresholdPolicy policy;
     JunoScene scene;
+    InterleavedLists interleaved;
     rt::RtDevice device;
     std::unique_ptr<SelectiveLutBuilder> builder;
     std::unique_ptr<DistanceCalculator> calc;
@@ -59,7 +61,9 @@ struct Fixture {
         scene.build(Metric::kL2, pq, policy);
         builder = std::make_unique<SelectiveLutBuilder>(scene, policy, ivf,
                                                         device);
-        calc = std::make_unique<DistanceCalculator>(ivf, interest);
+        interleaved.build(ivf.lists(), codes, 16);
+        calc = std::make_unique<DistanceCalculator>(ivf, interest,
+                                                    &interleaved);
     }
 };
 
@@ -202,6 +206,54 @@ TEST(DistanceCalc, ScoreClusterExposesPerClusterScores)
     const cluster_t c = static_cast<cluster_t>(probes[0].id);
     for (const auto &nb : scores)
         EXPECT_EQ(fx.ivf.label(nb.id), c);
+}
+
+TEST(DistanceCalc, DenseInterleavedPathBitwiseEqualsSparseWalk)
+{
+    // The dense path expands the sparse hits into a delta LUT and
+    // streams the interleaved codes; it must reproduce the sparse
+    // interest-index walk bit for bit (same candidates, same scores,
+    // same order) in every mode, at every dispatch level.
+    Fixture fx;
+    struct LevelGuard {
+        simd::Level saved = simd::level();
+        ~LevelGuard() { simd::setLevel(saved); }
+    } guard;
+    std::vector<simd::Level> levels = {simd::Level::kScalar};
+    if (simd::supported(simd::Level::kAvx2))
+        levels.push_back(simd::Level::kAvx2);
+    if (simd::supported(simd::Level::kAvx512))
+        levels.push_back(simd::Level::kAvx512);
+
+    for (idx_t qi = 0; qi < 4; ++qi) {
+        const float *q = fx.ds.queries.row(qi);
+        const auto probes = fx.ivf.probe(Metric::kL2, q, 4);
+        SelectiveLutParams lp;
+        lp.inner_gate = true;
+        const auto lut = fx.builder->build(q, probes, lp);
+        for (SearchMode mode :
+             {SearchMode::kExactDistance, SearchMode::kHitCount,
+              SearchMode::kRewardPenalty}) {
+            fx.calc->setDenseThreshold(2.0); // never dense
+            const auto sparse =
+                fx.calc->run(Metric::kL2, mode, probes, lut, 40);
+            for (simd::Level level : levels) {
+                ASSERT_TRUE(simd::setLevel(level));
+                fx.calc->setDenseThreshold(0.0); // always dense
+                const auto dense =
+                    fx.calc->run(Metric::kL2, mode, probes, lut, 40);
+                ASSERT_EQ(sparse.size(), dense.size())
+                    << "mode=" << searchModeName(mode) << " level="
+                    << simd::levelName(level);
+                for (std::size_t i = 0; i < sparse.size(); ++i)
+                    EXPECT_EQ(sparse[i], dense[i])
+                        << "mode=" << searchModeName(mode)
+                        << " level=" << simd::levelName(level)
+                        << " i=" << i;
+            }
+            fx.calc->setDenseThreshold(0.5);
+        }
+    }
 }
 
 TEST(DistanceCalc, RejectsBadK)

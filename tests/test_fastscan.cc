@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Tests of the list-resident interleaved PQ layout and the 4-bit
+ * fast-scan path:
+ *
+ *  - PQ4 (entries == 16) train/encode/decode round-trip;
+ *  - the interleaved layout reproduces the row-major codes (both
+ *    planes) and the interleaved scan is bitwise equal to the legacy
+ *    id-gather scan in every dispatch table;
+ *  - the fast-scan kernel's quantised sums match a naive nibble
+ *    reference bit for bit in every table, and the reconstructed
+ *    scores respect the documented error bound;
+ *  - an IvfPqIndex with the interleaved layout returns ids bitwise
+ *    identical to the legacy-gather index under JUNO_SIMD=scalar;
+ *  - the quantised-LUT path holds recall parity within +-0.1% of the
+ *    scalar float path at a fig12-style operating point across all
+ *    supported kernel tiers.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baseline/ivfpq_index.h"
+#include "common/distance.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "dataset/ground_truth.h"
+#include "dataset/recall.h"
+#include "dataset/synthetic.h"
+#include "quant/interleaved_codes.h"
+#include "quant/product_quantizer.h"
+
+namespace juno {
+namespace {
+
+/** Restores the active dispatch level when a test scope ends. */
+struct LevelGuard {
+    simd::Level saved = simd::level();
+    ~LevelGuard() { simd::setLevel(saved); }
+};
+
+std::vector<simd::Level>
+supportedLevels()
+{
+    std::vector<simd::Level> levels = {simd::Level::kScalar};
+    if (simd::supported(simd::Level::kAvx2))
+        levels.push_back(simd::Level::kAvx2);
+    if (simd::supported(simd::Level::kAvx512))
+        levels.push_back(simd::Level::kAvx512);
+    return levels;
+}
+
+FloatMatrix
+randomMatrix(Rng &rng, idx_t rows, idx_t cols)
+{
+    FloatMatrix m(rows, cols);
+    for (idx_t i = 0; i < rows; ++i)
+        for (idx_t j = 0; j < cols; ++j)
+            m.at(i, j) = rng.uniform(-1.0f, 1.0f);
+    return m;
+}
+
+TEST(FastScan, Pq4TrainEncodeDecodeRoundTrip)
+{
+    Rng rng(91);
+    const idx_t n = 400, dim = 16;
+    const auto vectors = randomMatrix(rng, n, dim);
+
+    PQParams params;
+    params.num_subspaces = 8;
+    params.entries = 16; // PQ4
+    params.seed = 5;
+    ProductQuantizer pq;
+    pq.train(vectors.view(), params);
+    ASSERT_TRUE(pq.trained());
+    EXPECT_EQ(pq.entries(), 16);
+
+    const PQCodes codes = pq.encode(vectors.view());
+    ASSERT_EQ(codes.num_points, n);
+    for (idx_t p = 0; p < n; ++p)
+        for (int s = 0; s < codes.num_subspaces; ++s)
+            ASSERT_LT(codes.at(p, s), 16) << "PQ4 code out of range";
+
+    // Decode must return each point's nearest codebook entries, so
+    // re-encoding the reconstruction is a fixed point.
+    for (idx_t p = 0; p < std::min<idx_t>(n, 32); ++p) {
+        const auto rec = pq.decode(codes.row(p));
+        ASSERT_EQ(rec.size(), static_cast<std::size_t>(dim));
+        std::vector<entry_t> again(
+            static_cast<std::size_t>(codes.num_subspaces));
+        pq.encodeOne(rec.data(), again.data());
+        for (int s = 0; s < codes.num_subspaces; ++s)
+            EXPECT_EQ(again[static_cast<std::size_t>(s)],
+                      codes.at(p, s));
+    }
+
+    // 4-bit codebooks are coarse but must still beat the zero-vector
+    // predictor on centered data.
+    double base_energy = 0.0;
+    for (idx_t p = 0; p < n; ++p)
+        base_energy += l2NormSqr(vectors.row(p), dim);
+    EXPECT_LT(pq.reconstructionError(vectors.view()),
+              base_energy / static_cast<double>(n));
+}
+
+/** Random codes partitioned into random lists, plus a scan LUT. */
+struct ScanFixture {
+    PQCodes codes;
+    std::vector<std::vector<idx_t>> lists;
+    InterleavedLists interleaved;
+    FloatMatrix lut;
+    int subspaces;
+    int entries;
+
+    ScanFixture(int subspaces_in, int entries_in, idx_t num_points,
+                int num_lists, std::uint64_t seed)
+        : subspaces(subspaces_in), entries(entries_in)
+    {
+        Rng rng(seed);
+        codes.num_points = num_points;
+        codes.num_subspaces = subspaces;
+        codes.codes.resize(static_cast<std::size_t>(num_points) *
+                           static_cast<std::size_t>(subspaces));
+        for (auto &c : codes.codes)
+            c = static_cast<entry_t>(
+                rng.uniform() * static_cast<double>(entries)) %
+                static_cast<entry_t>(entries);
+        lists.resize(static_cast<std::size_t>(num_lists));
+        for (idx_t p = 0; p < num_points; ++p)
+            lists[static_cast<std::size_t>(
+                      rng.uniform() * num_lists) %
+                  static_cast<std::size_t>(num_lists)]
+                .push_back(p);
+        interleaved.build(lists, codes, entries);
+        lut = FloatMatrix(subspaces, entries);
+        for (int s = 0; s < subspaces; ++s)
+            for (int e = 0; e < entries; ++e)
+                lut.at(s, e) = rng.uniform(0.0f, 4.0f);
+    }
+};
+
+TEST(FastScan, InterleavedLayoutMatchesRowMajorCodes)
+{
+    ScanFixture fx(6, 16, 517, 7, 21);
+    ASSERT_TRUE(fx.interleaved.built());
+    ASSERT_TRUE(fx.interleaved.packed4());
+    for (std::size_t c = 0; c < fx.lists.size(); ++c) {
+        const auto &list = fx.lists[c];
+        const auto cl = static_cast<cluster_t>(c);
+        ASSERT_EQ(fx.interleaved.listSize(cl),
+                  static_cast<idx_t>(list.size()));
+        const entry_t *blocks = fx.interleaved.listBlocks(cl);
+        const std::uint8_t *packed = fx.interleaved.listPacked(cl);
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            const entry_t *row = fx.codes.row(list[i]);
+            const std::size_t b = i / 32, j = i % 32;
+            for (int s = 0; s < fx.subspaces; ++s) {
+                const std::size_t ss = static_cast<std::size_t>(s);
+                EXPECT_EQ(
+                    blocks[(b * static_cast<std::size_t>(
+                                    fx.subspaces) +
+                            ss) *
+                               32 +
+                           j],
+                    row[s]);
+                const std::uint8_t byte =
+                    packed[(b * static_cast<std::size_t>(
+                                    fx.subspaces) +
+                            ss) *
+                               16 +
+                           (j & 15)];
+                const entry_t nib =
+                    j < 16 ? byte & 0x0F : byte >> 4;
+                EXPECT_EQ(nib, row[s]);
+            }
+        }
+    }
+}
+
+TEST(FastScan, InterleavedScanBitwiseEqualsLegacyGatherEverywhere)
+{
+    // entries > 16 as well, so the non-packed layout is covered.
+    for (int entries : {16, 64}) {
+        ScanFixture fx(5, entries, 203, 3, 37);
+        const auto &scalar = simd::table(simd::Level::kScalar);
+        const float base = 0.375f;
+        for (std::size_t c = 0; c < fx.lists.size(); ++c) {
+            const auto &list = fx.lists[c];
+            if (list.empty())
+                continue;
+            std::vector<float> ref(list.size());
+            scalar.adc_scan(fx.lut.data(), fx.lut.cols(), fx.subspaces,
+                            fx.codes.codes.data(),
+                            static_cast<std::size_t>(fx.subspaces),
+                            list.data(), list.size(), base, ref.data());
+            for (simd::Level level : supportedLevels()) {
+                std::vector<float> got(list.size(), -1.0f);
+                simd::table(level).adc_scan_interleaved(
+                    fx.lut.data(), fx.lut.cols(), fx.subspaces,
+                    fx.interleaved.listBlocks(
+                        static_cast<cluster_t>(c)),
+                    list.size(), base, got.data());
+                for (std::size_t i = 0; i < list.size(); ++i)
+                    ASSERT_EQ(ref[i], got[i])
+                        << "entries=" << entries << " level="
+                        << simd::levelName(level) << " list=" << c
+                        << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(FastScan, FastScanSumsBitwiseIdenticalAcrossTables)
+{
+    ScanFixture fx(7, 16, 333, 2, 53);
+    QuantizedLut qlut;
+    quantizeLut(fx.lut, fx.entries, qlut);
+    ASSERT_EQ(qlut.subspaces, fx.subspaces);
+
+    for (std::size_t c = 0; c < fx.lists.size(); ++c) {
+        const auto &list = fx.lists[c];
+        if (list.empty())
+            continue;
+        const std::uint8_t *packed =
+            fx.interleaved.listPacked(static_cast<cluster_t>(c));
+
+        // Naive reference straight from the row-major codes.
+        std::vector<std::uint16_t> naive(list.size());
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            const entry_t *row = fx.codes.row(list[i]);
+            std::uint16_t acc = 0;
+            for (int s = 0; s < fx.subspaces; ++s)
+                acc = static_cast<std::uint16_t>(
+                    acc +
+                    qlut.table[static_cast<std::size_t>(s) * 16 +
+                               row[s]]);
+            naive[i] = acc;
+        }
+
+        for (simd::Level level : supportedLevels()) {
+            std::vector<std::uint16_t> got(list.size(), 0xBEEF);
+            simd::table(level).fastscan_pq4(packed, fx.subspaces,
+                                            qlut.table.data(),
+                                            list.size(), got.data());
+            ASSERT_EQ(naive, got)
+                << "level=" << simd::levelName(level) << " list=" << c;
+        }
+
+        // Reconstruction error bound: subspaces * scale / 2 plus FP
+        // slack, against the float LUT scores of the same codes.
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            const entry_t *row = fx.codes.row(list[i]);
+            float exact = 0.0f;
+            for (int s = 0; s < fx.subspaces; ++s)
+                exact += fx.lut.at(s, row[s]);
+            const float approx =
+                qlut.bias +
+                qlut.scale * static_cast<float>(naive[i]);
+            const float bound =
+                0.5f * static_cast<float>(fx.subspaces) * qlut.scale +
+                1e-4f;
+            EXPECT_NEAR(exact, approx, bound);
+        }
+    }
+}
+
+Dataset
+fastScanDataset(idx_t num_points, idx_t num_queries)
+{
+    SyntheticSpec spec;
+    spec.kind = DatasetKind::kDeepLike;
+    spec.num_points = num_points;
+    spec.num_queries = num_queries;
+    spec.dim = 32;
+    spec.seed = 4242;
+    return makeDataset(spec);
+}
+
+std::vector<std::vector<idx_t>>
+idsOf(const SearchResults &results)
+{
+    std::vector<std::vector<idx_t>> ids(results.size());
+    for (std::size_t q = 0; q < results.size(); ++q)
+        for (const auto &nb : results[q])
+            ids[q].push_back(nb.id);
+    return ids;
+}
+
+IvfPqIndex::Params
+pq4Params(bool use_interleaved)
+{
+    IvfPqIndex::Params params;
+    params.clusters = 16;
+    params.pq_subspaces = 16;
+    params.pq_entries = 16; // PQ4: fast-scan eligible
+    params.nprobs = 4;
+    params.use_interleaved = use_interleaved;
+    return params;
+}
+
+TEST(FastScan, InterleavedIndexIdsMatchLegacyGatherUnderScalar)
+{
+    LevelGuard guard;
+    const auto ds = fastScanDataset(600, 20);
+    IvfPqIndex legacy(ds.metric, ds.base.view(), pq4Params(false));
+    IvfPqIndex inter(ds.metric, ds.base.view(), pq4Params(true));
+
+    // Under the scalar table the interleaved index takes the float
+    // streaming scan, which is bitwise identical to the gather path:
+    // same ids, same scores.
+    ASSERT_TRUE(simd::setLevel(simd::Level::kScalar));
+    const auto legacy_res = legacy.search(ds.queries.view(), 10);
+    const auto inter_res = inter.search(ds.queries.view(), 10);
+    ASSERT_EQ(legacy_res.size(), inter_res.size());
+    for (std::size_t q = 0; q < legacy_res.size(); ++q)
+        EXPECT_EQ(legacy_res[q], inter_res[q]) << "query " << q;
+}
+
+TEST(FastScan, QuantizedPathRecallParityAcrossTiers)
+{
+    if (!simd::supported(simd::Level::kAvx2))
+        GTEST_SKIP() << "host has no AVX2; quantised path never taken";
+    LevelGuard guard;
+    // fig12-style operating point, shrunk: PQ4, nprobs covering a
+    // recall plateau, R1@100 on a DEEP-like distribution. 1000
+    // queries give the +-0.1% recall tolerance a 0.1% granularity.
+    const auto ds = fastScanDataset(4000, 1000);
+    const idx_t k = 100;
+    const auto gt =
+        computeGroundTruth(ds.metric, ds.base.view(), ds.queries.view(),
+                           1);
+    IvfPqIndex index(ds.metric, ds.base.view(), pq4Params(true));
+
+    ASSERT_TRUE(simd::setLevel(simd::Level::kScalar));
+    const double recall_float =
+        recall1AtK(gt, index.search(ds.queries.view(), k));
+    for (simd::Level level : supportedLevels()) {
+        if (level == simd::Level::kScalar)
+            continue;
+        ASSERT_TRUE(simd::setLevel(level));
+        const double recall_quant =
+            recall1AtK(gt, index.search(ds.queries.view(), k));
+        EXPECT_NEAR(recall_quant, recall_float, 0.001)
+            << "level=" << simd::levelName(level);
+    }
+}
+
+TEST(FastScan, QuantizedBlockPrefilterKeepsTopKIntact)
+{
+    if (!simd::supported(simd::Level::kAvx2))
+        GTEST_SKIP() << "host has no AVX2; quantised path never taken";
+    LevelGuard guard;
+    // The block pre-filter may only skip blocks that cannot beat the
+    // heap minimum; the returned top-k must equal a full rescoring of
+    // the quantised sums. Verify via self-consistency: k=1 results
+    // must appear in the k=32 results' head.
+    const auto ds = fastScanDataset(1500, 25);
+    IvfPqIndex index(ds.metric, ds.base.view(), pq4Params(true));
+    ASSERT_TRUE(simd::setLevel(simd::bestSupported()));
+    const auto wide = idsOf(index.search(ds.queries.view(), 32));
+    const auto narrow = idsOf(index.search(ds.queries.view(), 1));
+    for (std::size_t q = 0; q < narrow.size(); ++q) {
+        ASSERT_FALSE(narrow[q].empty());
+        EXPECT_EQ(narrow[q][0], wide[q][0]) << "query " << q;
+    }
+}
+
+} // namespace
+} // namespace juno

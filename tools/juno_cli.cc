@@ -335,8 +335,11 @@ cmdServe(const Args &args)
     config.max_batch = args.getInt("batch-max", 32);
     config.linger =
         std::chrono::microseconds(args.getInt("linger-us", 200));
-    config.queue_capacity =
-        static_cast<std::size_t>(args.getInt("queue-cap", 4096));
+    const long queue_cap = args.getInt("queue-cap", 4096);
+    // A negative value would wrap to a near-SIZE_MAX capacity and
+    // silently disable the admission control serve demonstrates.
+    JUNO_REQUIRE(queue_cap > 0, "queue-cap must be positive");
+    config.queue_capacity = static_cast<std::size_t>(queue_cap);
     config.search_threads =
         static_cast<int>(args.getInt("threads", 1));
     const idx_t k = args.getInt("k", 10);
