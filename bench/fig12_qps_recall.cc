@@ -27,6 +27,7 @@
 #include "baseline/ivfpq_index.h"
 #include "bench_common.h"
 #include "core/juno_index.h"
+#include "harness/index_cache.h"
 #include "harness/reporter.h"
 #include "harness/sweep.h"
 #include "harness/workload.h"
@@ -152,37 +153,46 @@ runDataset(const char *label, const SyntheticSpec &spec, int pq_fine,
     std::vector<NamedPoint> rows;
     std::vector<ParetoPoint> juno_points;
 
+    // Index builds go through the snapshot cache: with
+    // JUNO_SNAPSHOT_CACHE set, re-runs (and the sweep's repeated
+    // visits to the same configuration) open the persisted index
+    // instead of re-running k-means/PQ/graph construction.
+    const std::string dataset_key =
+        workload.name() + "|n=" + std::to_string(spec.num_points) +
+        "|q=" + std::to_string(spec.num_queries) +
+        "|seed=" + std::to_string(spec.seed);
+
     // FAISS-style baselines: fine and coarse PQ, plus +HNSW routing.
     for (int pq : {pq_fine, pq_coarse}) {
-        IvfPqIndex::Params bp;
-        bp.clusters = clusters;
-        bp.pq_subspaces = pq;
-        bp.pq_entries = 256;
-        bp.max_training_points = 10000;
-        IvfPqIndex baseline(workload.metric(), workload.base(), bp);
-        sweepIndex(workload, baseline, "PQ" + std::to_string(pq), rows,
+        const std::string bspec =
+            "ivfpq:nlist=" + std::to_string(clusters) +
+            ",m=" + std::to_string(pq) + ",entries=256,train=10000";
+        auto baseline = buildOrOpen(workload.metric(), workload.base(),
+                                    bspec, dataset_key);
+        auto *ivfpq = dynamic_cast<IvfPqIndex *>(baseline.get());
+        sweepIndex(workload, *ivfpq, "PQ" + std::to_string(pq), rows,
                    nullptr);
     }
     {
-        IvfPqIndex::Params bp;
-        bp.clusters = clusters;
-        bp.pq_subspaces = pq_fine;
-        bp.pq_entries = 256;
-        bp.use_hnsw_router = true;
-        bp.max_training_points = 10000;
-        IvfPqIndex hnsw_baseline(workload.metric(), workload.base(), bp);
-        sweepIndex(workload, hnsw_baseline,
+        const std::string bspec =
+            "ivfpq:nlist=" + std::to_string(clusters) +
+            ",m=" + std::to_string(pq_fine) +
+            ",entries=256,train=10000,hnsw=1";
+        auto hnsw_baseline = buildOrOpen(
+            workload.metric(), workload.base(), bspec, dataset_key);
+        auto *ivfpq = dynamic_cast<IvfPqIndex *>(hnsw_baseline.get());
+        sweepIndex(workload, *ivfpq,
                    "PQ" + std::to_string(pq_fine) + "+HNSW", rows,
                    nullptr);
     }
 
     // JUNO: one build, three modes x two scales swept at search time.
-    JunoParams jp;
-    jp.clusters = clusters;
-    jp.pq_entries = 256;
-    jp.max_training_points = 10000;
-    jp.policy.ref_samples = 4000;
-    JunoIndex index(workload.metric(), workload.base(), jp);
+    const std::string jspec = "juno:nlist=" + std::to_string(clusters) +
+                              ",entries=256,train=10000,prefs=4000";
+    auto juno =
+        buildOrOpen(workload.metric(), workload.base(), jspec,
+                    dataset_key);
+    auto &index = dynamic_cast<JunoIndex &>(*juno);
     for (SearchMode mode : {SearchMode::kExactDistance,
                             SearchMode::kRewardPenalty,
                             SearchMode::kHitCount}) {
@@ -228,14 +238,15 @@ runDataset(const char *label, const SyntheticSpec &spec, int pq_fine,
         TablePrinter r100_table({"config", "R100@1000", "QPS_cpu"});
         // Representative configs only (full sweep would double runtime).
         {
-            IvfPqIndex::Params bp;
-            bp.clusters = clusters;
-            bp.pq_subspaces = pq_fine;
-            bp.pq_entries = 256;
-            bp.nprobs = 64;
-            bp.max_training_points = 10000;
-            IvfPqIndex baseline(workload.metric(), workload.base(), bp);
-            const auto point = evaluate(workload, baseline, 1000, 100);
+            const std::string bspec =
+                "ivfpq:nlist=" + std::to_string(clusters) +
+                ",m=" + std::to_string(pq_fine) +
+                ",entries=256,train=10000";
+            auto baseline = buildOrOpen(workload.metric(),
+                                        workload.base(), bspec,
+                                        dataset_key);
+            dynamic_cast<IvfPqIndex *>(baseline.get())->setNprobs(64);
+            const auto point = evaluate(workload, *baseline, 1000, 100);
             r100_table.addRow({"PQ" + std::to_string(pq_fine) + ",np=64",
                                TablePrinter::num(point.recallm_at_k),
                                TablePrinter::num(point.qps)});

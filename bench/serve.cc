@@ -32,9 +32,12 @@
 #include <cstring>
 #include <deque>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/timer.h"
 
 #include "baseline/ivfflat_index.h"
 #include "bench_common.h"
@@ -43,6 +46,7 @@
 #include "dataset/recall.h"
 #include "dataset/synthetic.h"
 #include "harness/reporter.h"
+#include "registry/index_factory.h"
 #include "serve/search_service.h"
 
 using namespace juno;
@@ -61,6 +65,8 @@ struct Options {
     bool smoke = false;
     bool quick = false;
     std::string json_path;
+    /** Snapshot to serve from (skips the in-process build). */
+    std::string load_path;
     idx_t num_points = 8000;
     idx_t dim = 96;
     idx_t num_queries = 256;
@@ -325,6 +331,8 @@ parseArgs(int argc, char **argv)
             opt.quick = true;
         else if (arg == "--json")
             opt.json_path = value("--json");
+        else if (arg == "--load")
+            opt.load_path = value("--load");
         else if (arg == "--n")
             opt.num_points = std::atoll(value("--n").c_str());
         else if (arg == "--dim")
@@ -345,7 +353,8 @@ parseArgs(int argc, char **argv)
         else {
             std::fprintf(stderr,
                          "usage: bench_serve [--smoke] [--quick] "
-                         "[--json path] [--n N] [--dim D] [--k K] "
+                         "[--json path] [--load snapshot.juno] "
+                         "[--n N] [--dim D] [--k K] "
                          "[--clients C] [--requests R]\n");
             std::exit(2);
         }
@@ -449,13 +458,39 @@ main(int argc, char **argv)
     // where the chunk-batched GEMM filter amortises across the
     // micro-batch (nprobs stays small so the scatter-scan does not
     // drown the effect). Cluster quality is irrelevant to a serving
-    // bench, so training is capped hard.
-    IvfFlatIndex::Params params;
-    params.clusters = opt.clusters;
-    params.nprobs = opt.nprobs;
-    params.max_iters = 5;
-    params.max_training_points = std::min<idx_t>(opt.num_points, 4000);
-    IvfFlatIndex index(ds.metric, ds.base.view(), params);
+    // bench, so training is capped hard. With --load the whole build
+    // is skipped: the service starts from a snapshot (the CI
+    // persistence leg produces one with matching flags).
+    std::unique_ptr<AnnIndex> index_holder;
+    if (!opt.load_path.empty()) {
+        Timer load_timer;
+        index_holder = openIndex(opt.load_path);
+        std::printf("loaded %s in %.0f ms (spec %s)\n",
+                    opt.load_path.c_str(), load_timer.millis(),
+                    index_holder->spec().c_str());
+        if (index_holder->dim() != ds.base.cols() ||
+            index_holder->size() != ds.base.rows()) {
+            std::fprintf(stderr,
+                         "bench_serve: snapshot shape (%lld x %lld) "
+                         "does not match the dataset (%lld x %lld); "
+                         "pass the build's --n/--dim\n",
+                         static_cast<long long>(index_holder->size()),
+                         static_cast<long long>(index_holder->dim()),
+                         static_cast<long long>(ds.base.rows()),
+                         static_cast<long long>(ds.base.cols()));
+            return 1;
+        }
+    } else {
+        IvfFlatIndex::Params params;
+        params.clusters = opt.clusters;
+        params.nprobs = opt.nprobs;
+        params.max_iters = 5;
+        params.max_training_points =
+            std::min<idx_t>(opt.num_points, 4000);
+        index_holder = std::make_unique<IvfFlatIndex>(
+            ds.metric, ds.base.view(), params);
+    }
+    AnnIndex &index = *index_holder;
     std::printf("index: %s over %lld points (D=%lld), k=%lld, "
                 "%d clients\n",
                 index.name().c_str(),

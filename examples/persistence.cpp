@@ -1,10 +1,15 @@
 /**
  * @file
- * Index persistence walkthrough: train once, save, reload in a "fresh
- * process" and serve queries — the deployment pattern for JUNO's
- * expensive offline phase (IVF + codebooks + density maps + threshold
- * regressors are all persisted; the RT scene and the entry->points
- * index are rebuilt deterministically on load).
+ * Index lifecycle walkthrough: train once, save a versioned snapshot,
+ * reload in a "fresh process" and serve queries — the deployment
+ * pattern for JUNO's expensive offline phase (IVF + codebooks +
+ * density maps + threshold regressors + the interleaved code plane
+ * are all persisted; the RT scene and the entry->points index are
+ * rebuilt deterministically on load).
+ *
+ * Two reload paths are shown: the typed JunoIndex::load() (knob
+ * access), and the factory openIndex() that re-opens *any* snapshot
+ * by its stored spec string with zero-copy mmap views.
  *
  *   ./build/examples/persistence [index-path]
  */
@@ -15,6 +20,7 @@
 #include "dataset/ground_truth.h"
 #include "dataset/recall.h"
 #include "dataset/synthetic.h"
+#include "registry/index_factory.h"
 
 using namespace juno;
 
@@ -72,6 +78,14 @@ main(int argc, char **argv)
     const auto fast = index->search(request);
     std::printf("after retune (JUNO-L, scale 0.7): R1@100 = %.3f\n",
                 recall1AtK(gt, fast));
+
+    // The factory path: any snapshot re-opens through its stored spec
+    // string, with the large payloads memory-mapped (zero-copy).
+    Timer open_timer;
+    auto generic = openIndex(path);
+    std::printf("openIndex: %s in %.0f ms (spec %s)\n",
+                generic->name().c_str(), open_timer.millis(),
+                generic->spec().c_str());
 
     std::remove(path.c_str());
     return 0;

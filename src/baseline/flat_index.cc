@@ -5,27 +5,69 @@
 #include "common/distance.h"
 #include "common/logging.h"
 #include "common/simd.h"
+#include "registry/snapshot.h"
 
 namespace juno {
 
 namespace {
 /** Points scored per batched-kernel call; keeps scratch L1-resident. */
 constexpr idx_t kScanBlock = 1024;
+/** Snapshot meta-section format of this index type. */
+constexpr std::uint32_t kFormatVersion = 1;
 } // namespace
 
 FlatIndex::FlatIndex(Metric metric, FloatMatrixView points)
-    : metric_(metric), points_(points.rows(), points.cols())
+    : metric_(metric)
 {
     JUNO_REQUIRE(points.rows() > 0, "empty point set");
+    FloatMatrix copy(points.rows(), points.cols());
     std::copy_n(points.data(),
                 static_cast<std::size_t>(points.rows() * points.cols()),
-                points_.data());
+                copy.data());
+    points_ = std::move(copy);
 }
 
 std::string
 FlatIndex::name() const
 {
     return std::string("Flat-") + metricName(metric_);
+}
+
+std::string
+FlatIndex::spec() const
+{
+    return "flat";
+}
+
+void
+FlatIndex::saveSections(SnapshotWriter &writer) const
+{
+    Writer &meta = writer.section("meta");
+    meta.writePod<std::uint32_t>(kFormatVersion);
+    writeMetricTag(meta, metric_);
+    meta.writePod<std::int64_t>(points_.rows());
+    meta.writePod<std::int64_t>(points_.cols());
+    writer.addBlob("points", points_.data(),
+                   static_cast<std::size_t>(points_.rows()) *
+                       static_cast<std::size_t>(points_.cols()) *
+                       sizeof(float));
+}
+
+std::unique_ptr<FlatIndex>
+FlatIndex::open(SnapshotReader &reader)
+{
+    auto meta = reader.stream("meta");
+    checkFormatVersion(meta, kFormatVersion, reader.path() + " [flat]");
+    std::unique_ptr<FlatIndex> index(new FlatIndex());
+    index->metric_ = readMetricTag(meta);
+    const auto rows = meta.readPod<std::int64_t>();
+    const auto cols = meta.readPod<std::int64_t>();
+    JUNO_REQUIRE(rows > 0 && cols > 0,
+                 reader.path() << ": corrupt flat index header");
+    index->points_ =
+        reader.blob("points").matrix(rows, cols,
+                                     reader.path() + " [points]");
+    return index;
 }
 
 void

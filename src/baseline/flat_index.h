@@ -6,9 +6,14 @@
 #ifndef JUNO_BASELINE_FLAT_INDEX_H
 #define JUNO_BASELINE_FLAT_INDEX_H
 
+#include <memory>
+
 #include "baseline/index.h"
+#include "common/mmap_blob.h"
 
 namespace juno {
+
+class SnapshotReader;
 
 /** Linear-scan exact nearest neighbour index. */
 class FlatIndex : public AnnIndex {
@@ -16,17 +21,28 @@ class FlatIndex : public AnnIndex {
     /** Copies @p points (N x D). */
     FlatIndex(Metric metric, FloatMatrixView points);
 
+    /**
+     * Loader for openIndex(): restores a snapshot written by save().
+     * In mmap mode the point matrix views the mapping (zero-copy).
+     */
+    static std::unique_ptr<FlatIndex> open(SnapshotReader &reader);
+
     std::string name() const override;
+    std::string spec() const override;
     Metric metric() const override { return metric_; }
     idx_t size() const override { return points_.rows(); }
     idx_t dim() const override { return points_.cols(); }
 
   protected:
     void searchChunk(const SearchChunk &chunk, SearchContext &ctx) override;
+    void saveSections(SnapshotWriter &writer) const override;
 
   private:
-    Metric metric_;
-    FloatMatrix points_;
+    /** For open(): members are filled by the loader. */
+    FlatIndex() = default;
+
+    Metric metric_ = Metric::kL2;
+    PinnedMatrix points_;
 };
 
 } // namespace juno

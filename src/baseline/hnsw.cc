@@ -7,14 +7,141 @@
 #include "common/distance.h"
 #include "common/logging.h"
 #include "common/simd.h"
+#include "registry/index_spec.h"
+#include "registry/snapshot.h"
 
 namespace juno {
+
+namespace {
+/** Snapshot meta-section format of this index type. */
+constexpr std::uint32_t kFormatVersion = 1;
+} // namespace
 
 std::string
 Hnsw::name() const
 {
     return "HNSW(m=" + std::to_string(params_.m) +
            ",ef=" + std::to_string(ef_search_) + ")";
+}
+
+std::string
+Hnsw::spec() const
+{
+    IndexSpec spec;
+    spec.type = "hnsw";
+    spec.setInt("m", params_.m);
+    spec.setInt("efc", params_.ef_construction);
+    spec.setInt("ef", ef_search_);
+    spec.setInt("seed", static_cast<long>(params_.seed));
+    return spec.toString();
+}
+
+void
+Hnsw::saveGraph(SnapshotWriter &writer, const std::string &prefix) const
+{
+    JUNO_REQUIRE(built(), "save before build");
+    Writer &meta = writer.section(prefix + "meta");
+    meta.writePod<std::uint32_t>(kFormatVersion);
+    writeMetricTag(meta, metric_);
+    meta.writePod<std::int64_t>(points_.rows());
+    meta.writePod<std::int64_t>(points_.cols());
+    meta.writePod<std::int32_t>(params_.m);
+    meta.writePod<std::int32_t>(params_.ef_construction);
+    meta.writePod<std::uint64_t>(params_.seed);
+    meta.writePod<std::int32_t>(ef_search_);
+    meta.writePod<std::int64_t>(entry_point_);
+    meta.writePod<std::int32_t>(max_level_);
+
+    // Adjacency as one CSR per level: offsets (n + 1) then flat ids.
+    Writer &graph = writer.section(prefix + "graph");
+    graph.writePod<std::uint64_t>(layers_.size());
+    graph.writeVector(node_level_);
+    for (const auto &layer : layers_) {
+        std::vector<std::uint64_t> offsets;
+        offsets.reserve(layer.size() + 1);
+        std::vector<idx_t> flat;
+        offsets.push_back(0);
+        for (const auto &neighbors : layer) {
+            flat.insert(flat.end(), neighbors.begin(), neighbors.end());
+            offsets.push_back(flat.size());
+        }
+        graph.writeVector(offsets);
+        graph.writeVector(flat);
+    }
+
+    writer.addBlob(prefix + "points", points_.data(),
+                   static_cast<std::size_t>(points_.rows()) *
+                       static_cast<std::size_t>(points_.cols()) *
+                       sizeof(float));
+}
+
+void
+Hnsw::loadGraph(SnapshotReader &reader, const std::string &prefix)
+{
+    const std::string what = reader.path() + " [" + prefix + "hnsw]";
+    auto meta = reader.stream(prefix + "meta");
+    checkFormatVersion(meta, kFormatVersion, what);
+    metric_ = readMetricTag(meta);
+    const auto rows = meta.readPod<std::int64_t>();
+    const auto cols = meta.readPod<std::int64_t>();
+    params_.m = meta.readPod<std::int32_t>();
+    params_.ef_construction = meta.readPod<std::int32_t>();
+    params_.seed = meta.readPod<std::uint64_t>();
+    ef_search_ = meta.readPod<std::int32_t>();
+    entry_point_ = meta.readPod<std::int64_t>();
+    max_level_ = meta.readPod<std::int32_t>();
+    JUNO_REQUIRE(rows > 0 && cols > 0 && params_.m >= 2 &&
+                     entry_point_ >= 0 && entry_point_ < rows &&
+                     max_level_ >= 0,
+                 what << ": corrupt graph header");
+
+    auto graph = reader.stream(prefix + "graph");
+    const auto levels = graph.readPod<std::uint64_t>();
+    JUNO_REQUIRE(levels > 0 &&
+                     levels == static_cast<std::uint64_t>(max_level_) + 1,
+                 what << ": level count mismatch");
+    node_level_ = graph.readVector<int>();
+    JUNO_REQUIRE(node_level_.size() == static_cast<std::size_t>(rows),
+                 what << ": node level table size mismatch");
+    layers_.assign(static_cast<std::size_t>(levels), {});
+    for (auto &layer : layers_) {
+        const auto offsets = graph.readVector<std::uint64_t>();
+        const auto flat = graph.readVector<idx_t>();
+        JUNO_REQUIRE(offsets.size() ==
+                             static_cast<std::size_t>(rows) + 1 &&
+                         offsets.front() == 0 &&
+                         offsets.back() == flat.size(),
+                     what << ": corrupt adjacency CSR");
+        layer.resize(static_cast<std::size_t>(rows));
+        for (std::size_t node = 0; node < layer.size(); ++node) {
+            JUNO_REQUIRE(offsets[node] <= offsets[node + 1],
+                         what << ": corrupt adjacency CSR");
+            layer[node].assign(flat.begin() + static_cast<std::ptrdiff_t>(
+                                                  offsets[node]),
+                               flat.begin() + static_cast<std::ptrdiff_t>(
+                                                  offsets[node + 1]));
+            for (const idx_t nb : layer[node])
+                JUNO_REQUIRE(nb >= 0 && nb < rows,
+                             what << ": neighbour id out of range");
+        }
+    }
+
+    points_ = reader.blob(prefix + "points")
+                  .matrix(rows, cols, what + " points");
+}
+
+void
+Hnsw::saveSections(SnapshotWriter &writer) const
+{
+    saveGraph(writer, "");
+}
+
+std::unique_ptr<Hnsw>
+Hnsw::open(SnapshotReader &reader)
+{
+    auto index = std::make_unique<Hnsw>();
+    index->loadGraph(reader, "");
+    return index;
 }
 
 float
@@ -33,10 +160,11 @@ Hnsw::build(Metric metric, FloatMatrixView points, const Params &params)
 
     metric_ = metric;
     params_ = params;
-    points_ = FloatMatrix(points.rows(), points.cols());
+    FloatMatrix copy(points.rows(), points.cols());
     std::copy_n(points.data(),
                 static_cast<std::size_t>(points.rows() * points.cols()),
-                points_.data());
+                copy.data());
+    points_ = std::move(copy);
 
     const idx_t n = points.rows();
     Rng rng(params.seed);

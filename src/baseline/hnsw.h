@@ -12,15 +12,20 @@
 #define JUNO_BASELINE_HNSW_H
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "baseline/index.h"
 #include "common/matrix.h"
+#include "common/mmap_blob.h"
 #include "common/rng.h"
 #include "common/topk.h"
 #include "common/types.h"
 
 namespace juno {
+
+class SnapshotReader;
 
 /**
  * HNSW graph over a fixed point set. Also a full AnnIndex: batched
@@ -46,7 +51,23 @@ class Hnsw : public AnnIndex {
     bool built() const { return !layers_.empty(); }
     int maxLevel() const { return max_level_; }
 
+    /** Loader for openIndex(): restores a standalone HNSW snapshot. */
+    static std::unique_ptr<Hnsw> open(SnapshotReader &reader);
+
+    /**
+     * Writes the graph state (points, levels, adjacency) as sections
+     * named @p prefix + {"meta", "graph", "points"}. The standalone
+     * saveSections() uses an empty prefix; IVFPQ persists its centroid
+     * router under "router." so both fit in one snapshot.
+     */
+    void saveGraph(SnapshotWriter &writer,
+                   const std::string &prefix) const;
+
+    /** Restores what saveGraph() wrote (replaces current state). */
+    void loadGraph(SnapshotReader &reader, const std::string &prefix);
+
     std::string name() const override;
+    std::string spec() const override;
     Metric metric() const override { return metric_; }
     idx_t size() const override { return points_.rows(); }
     idx_t dim() const override { return points_.cols(); }
@@ -82,6 +103,7 @@ class Hnsw : public AnnIndex {
 
   protected:
     void searchChunk(const SearchChunk &chunk, SearchContext &ctx) override;
+    void saveSections(SnapshotWriter &writer) const override;
 
   private:
     /** Greedy descent to the closest node on a single level. */
@@ -112,7 +134,7 @@ class Hnsw : public AnnIndex {
     float scoreOf(const float *query, idx_t node) const;
 
     Metric metric_ = Metric::kL2;
-    FloatMatrix points_;
+    PinnedMatrix points_;
     Params params_;
     int ef_search_ = 64;
     /** layers_[l][node] = adjacency list (empty if node absent). */

@@ -3,8 +3,29 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "registry/snapshot.h"
 
 namespace juno {
+
+std::string
+AnnIndex::spec() const
+{
+    fatal("index '" + name() + "' does not describe itself as a spec");
+}
+
+void
+AnnIndex::saveSections(SnapshotWriter &) const
+{
+    fatal("index '" + name() + "' does not support persistence");
+}
+
+void
+AnnIndex::save(const std::string &path) const
+{
+    SnapshotWriter writer(path, spec());
+    saveSections(writer);
+    writer.finish();
+}
 
 SearchResults
 AnnIndex::search(const SearchRequest &request)

@@ -26,6 +26,8 @@
 
 namespace juno {
 
+class SnapshotWriter;
+
 /** Common interface of every searchable index in this repository. */
 class AnnIndex {
   public:
@@ -33,6 +35,24 @@ class AnnIndex {
 
     /** Human-readable configuration name (used in bench tables). */
     virtual std::string name() const = 0;
+
+    /**
+     * Canonical IndexSpec string (registry/index_spec.h) that rebuilds
+     * an equivalent index over the same points:
+     * buildIndex(metric, points, spec()) reproduces this configuration
+     * bit-for-bit. Also the provenance record stored in snapshots.
+     */
+    virtual std::string spec() const;
+
+    /**
+     * Persists the trained index as a versioned snapshot (the one
+     * on-disk container every index type shares; see
+     * registry/snapshot.h). Reload with openIndex(path) — or with
+     * SearchService's warm-start constructor to serve directly from
+     * the file. Non-virtual template method: the container handling is
+     * uniform, only saveSections() differs per type.
+     */
+    void save(const std::string &path) const;
 
     /** Metric the index was built for. */
     virtual Metric metric() const = 0;
@@ -91,6 +111,13 @@ class AnnIndex {
      */
     virtual void searchChunk(const SearchChunk &chunk,
                              SearchContext &ctx) = 0;
+
+    /**
+     * Writes this index's sections into an open snapshot. Every
+     * shipping index type implements this (with spec()); the default
+     * rejects, so ad-hoc test doubles need not.
+     */
+    virtual void saveSections(SnapshotWriter &writer) const;
 
     StageTimers timers_;
 

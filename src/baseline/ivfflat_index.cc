@@ -5,18 +5,26 @@
 #include "common/distance.h"
 #include "common/logging.h"
 #include "common/simd.h"
+#include "registry/index_spec.h"
+#include "registry/snapshot.h"
 
 namespace juno {
 
+namespace {
+/** Snapshot meta-section format of this index type. */
+constexpr std::uint32_t kFormatVersion = 1;
+} // namespace
+
 IvfFlatIndex::IvfFlatIndex(Metric metric, FloatMatrixView points,
                            const Params &params)
-    : metric_(metric), points_(points.rows(), points.cols()),
-      nprobs_(params.nprobs)
+    : metric_(metric), params_(params), nprobs_(params.nprobs)
 {
     JUNO_REQUIRE(params.nprobs > 0, "nprobs must be positive");
+    FloatMatrix copy(points.rows(), points.cols());
     std::copy_n(points.data(),
                 static_cast<std::size_t>(points.rows() * points.cols()),
-                points_.data());
+                copy.data());
+    points_ = std::move(copy);
     InvertedFileIndex::Params ivf_params;
     ivf_params.clusters = params.clusters;
     ivf_params.seed = params.seed;
@@ -24,6 +32,12 @@ IvfFlatIndex::IvfFlatIndex(Metric metric, FloatMatrixView points,
     ivf_params.max_training_points = params.max_training_points;
     ivf_.build(points_.view(), ivf_params);
 
+    buildFilterOperands();
+}
+
+void
+IvfFlatIndex::buildFilterOperands()
+{
     // GEMM operands of the batched filter: the centroid table
     // transposed to d x C, plus per-centroid squared norms for the L2
     // identity |q - c|^2 = |q|^2 + |c|^2 - 2<q, c>.
@@ -47,6 +61,69 @@ std::string
 IvfFlatIndex::name() const
 {
     return "IVF" + std::to_string(ivf_.numClusters()) + ",Flat";
+}
+
+std::string
+IvfFlatIndex::spec() const
+{
+    IndexSpec spec;
+    spec.type = "ivfflat";
+    spec.setInt("nlist", params_.clusters);
+    spec.setInt("nprobe", nprobs_);
+    spec.setInt("seed", static_cast<long>(params_.seed));
+    spec.setInt("iters", params_.max_iters);
+    spec.setInt("train", params_.max_training_points);
+    return spec.toString();
+}
+
+void
+IvfFlatIndex::saveSections(SnapshotWriter &writer) const
+{
+    Writer &meta = writer.section("meta");
+    meta.writePod<std::uint32_t>(kFormatVersion);
+    writeMetricTag(meta, metric_);
+    meta.writePod<std::int64_t>(points_.rows());
+    meta.writePod<std::int64_t>(points_.cols());
+    meta.writePod<std::int64_t>(nprobs_);
+    meta.writePod<std::int32_t>(params_.clusters);
+    meta.writePod<std::uint64_t>(params_.seed);
+    meta.writePod<std::int32_t>(params_.max_iters);
+    meta.writePod<std::int64_t>(params_.max_training_points);
+    ivf_.save(writer.section("ivf"));
+    writer.addBlob("points", points_.data(),
+                   static_cast<std::size_t>(points_.rows()) *
+                       static_cast<std::size_t>(points_.cols()) *
+                       sizeof(float));
+}
+
+std::unique_ptr<IvfFlatIndex>
+IvfFlatIndex::open(SnapshotReader &reader)
+{
+    auto meta = reader.stream("meta");
+    checkFormatVersion(meta, kFormatVersion,
+                       reader.path() + " [ivfflat]");
+    std::unique_ptr<IvfFlatIndex> index(new IvfFlatIndex());
+    index->metric_ = readMetricTag(meta);
+    const auto rows = meta.readPod<std::int64_t>();
+    const auto cols = meta.readPod<std::int64_t>();
+    index->nprobs_ = meta.readPod<std::int64_t>();
+    index->params_.clusters = meta.readPod<std::int32_t>();
+    index->params_.seed = meta.readPod<std::uint64_t>();
+    index->params_.max_iters = meta.readPod<std::int32_t>();
+    index->params_.max_training_points = meta.readPod<std::int64_t>();
+    index->params_.nprobs = index->nprobs_;
+    JUNO_REQUIRE(rows > 0 && cols > 0 && index->nprobs_ > 0,
+                 reader.path() << ": corrupt ivfflat index header");
+
+    auto ivf_stream = reader.stream("ivf");
+    index->ivf_.load(ivf_stream);
+    JUNO_REQUIRE(index->ivf_.dim() == cols,
+                 reader.path() << ": IVF/point dimension mismatch");
+    index->points_ =
+        reader.blob("points").matrix(rows, cols,
+                                     reader.path() + " [points]");
+    index->buildFilterOperands();
+    return index;
 }
 
 namespace {

@@ -18,12 +18,16 @@
 #ifndef JUNO_BASELINE_IVFFLAT_INDEX_H
 #define JUNO_BASELINE_IVFFLAT_INDEX_H
 
+#include <memory>
 #include <vector>
 
 #include "baseline/index.h"
+#include "common/mmap_blob.h"
 #include "ivf/ivf.h"
 
 namespace juno {
+
+class SnapshotReader;
 
 /** IVF with exact in-cluster scan. */
 class IvfFlatIndex : public AnnIndex {
@@ -40,7 +44,16 @@ class IvfFlatIndex : public AnnIndex {
 
     IvfFlatIndex(Metric metric, FloatMatrixView points, const Params &params);
 
+    /**
+     * Loader for openIndex(): the trained IVF is restored (no
+     * k-means re-run); the GEMM operands (transposed centroid table,
+     * centroid norms) re-derive deterministically. In mmap mode the
+     * point matrix views the mapping (zero-copy).
+     */
+    static std::unique_ptr<IvfFlatIndex> open(SnapshotReader &reader);
+
     std::string name() const override;
+    std::string spec() const override;
     Metric metric() const override { return metric_; }
     idx_t size() const override { return points_.rows(); }
     idx_t dim() const override { return points_.cols(); }
@@ -51,8 +64,15 @@ class IvfFlatIndex : public AnnIndex {
 
   protected:
     void searchChunk(const SearchChunk &chunk, SearchContext &ctx) override;
+    void saveSections(SnapshotWriter &writer) const override;
 
   private:
+    /** For open(): members are filled by the loader. */
+    IvfFlatIndex() = default;
+
+    /** Derives the GEMM operands from the trained IVF (build + load). */
+    void buildFilterOperands();
+
     /**
      * Stage A for the query block [begin, end) of @p chunk: fills
      * ctx.scores with the block's m x C probe-score matrix
@@ -65,10 +85,11 @@ class IvfFlatIndex : public AnnIndex {
     void filterBlock(const SearchChunk &chunk, idx_t begin, idx_t end,
                      SearchContext &ctx);
 
-    Metric metric_;
-    FloatMatrix points_;
+    Metric metric_ = Metric::kL2;
+    Params params_;
+    PinnedMatrix points_;
     InvertedFileIndex ivf_;
-    idx_t nprobs_;
+    idx_t nprobs_ = 8;
     /** Centroid table transposed to d x C (the GEMM's B operand). */
     FloatMatrix centroids_t_;
     /** |c|^2 per centroid (L2 probe scoring; empty under IP). */

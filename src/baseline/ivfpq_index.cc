@@ -6,13 +6,20 @@
 #include "common/distance.h"
 #include "common/logging.h"
 #include "common/simd.h"
+#include "registry/index_spec.h"
+#include "registry/snapshot.h"
 
 namespace juno {
+
+namespace {
+/** Snapshot meta-section format of this index type. */
+constexpr std::uint32_t kFormatVersion = 1;
+} // namespace
 
 IvfPqIndex::IvfPqIndex(Metric metric, FloatMatrixView points,
                        const Params &params)
     : metric_(metric), num_points_(points.rows()), dim_(points.cols()),
-      nprobs_(params.nprobs)
+      params_(params), nprobs_(params.nprobs)
 {
     JUNO_REQUIRE(params.nprobs > 0, "nprobs must be positive");
 
@@ -61,6 +68,130 @@ IvfPqIndex::name() const
         n += "_HNSW";
     n += ",PQ" + std::to_string(pq_.numSubspaces());
     return n;
+}
+
+std::string
+IvfPqIndex::spec() const
+{
+    IndexSpec spec;
+    spec.type = "ivfpq";
+    spec.setInt("nlist", params_.clusters);
+    spec.setInt("m", params_.pq_subspaces);
+    spec.setInt("entries", params_.pq_entries);
+    spec.setInt("nprobe", nprobs_);
+    spec.setBool("hnsw", router_ != nullptr);
+    spec.setInt("hnsw_m", params_.hnsw_m);
+    spec.setInt("ef", hnsw_ef_search_);
+    spec.setInt("seed", static_cast<long>(params_.seed));
+    spec.setInt("train", params_.max_training_points);
+    spec.setBool("interleaved", params_.use_interleaved);
+    return spec.toString();
+}
+
+void
+IvfPqIndex::saveSections(SnapshotWriter &writer) const
+{
+    Writer &meta = writer.section("meta");
+    meta.writePod<std::uint32_t>(kFormatVersion);
+    writeMetricTag(meta, metric_);
+    meta.writePod<std::int64_t>(num_points_);
+    meta.writePod<std::int64_t>(dim_);
+    meta.writePod<std::int64_t>(nprobs_);
+    meta.writePod<std::int32_t>(params_.clusters);
+    meta.writePod<std::int32_t>(params_.pq_subspaces);
+    meta.writePod<std::int32_t>(params_.pq_entries);
+    meta.writePod<std::int32_t>(params_.hnsw_m);
+    meta.writePod<std::int32_t>(hnsw_ef_search_);
+    meta.writePod<std::uint64_t>(params_.seed);
+    meta.writePod<std::int64_t>(params_.max_training_points);
+    meta.writePod<std::uint8_t>(router_ != nullptr ? 1 : 0);
+    meta.writePod<std::uint8_t>(interleaved_.built() ? 1 : 0);
+    meta.writePod<std::int64_t>(codes_.num_points);
+    meta.writePod<std::int32_t>(codes_.num_subspaces);
+
+    ivf_.save(writer.section("ivf"));
+    pq_.save(writer.section("pq"));
+    writer.addBlob("codes", codes_.data(),
+                   codes_.count() * sizeof(entry_t));
+    if (interleaved_.built())
+        interleaved_.save(writer, "ileav.");
+    if (router_ != nullptr)
+        router_->saveGraph(writer, "router.");
+}
+
+std::unique_ptr<IvfPqIndex>
+IvfPqIndex::open(SnapshotReader &reader)
+{
+    const std::string what = reader.path() + " [ivfpq]";
+    auto meta = reader.stream("meta");
+    checkFormatVersion(meta, kFormatVersion, what);
+    std::unique_ptr<IvfPqIndex> index(new IvfPqIndex());
+    index->metric_ = readMetricTag(meta);
+    index->num_points_ = meta.readPod<std::int64_t>();
+    index->dim_ = meta.readPod<std::int64_t>();
+    index->nprobs_ = meta.readPod<std::int64_t>();
+    index->params_.clusters = meta.readPod<std::int32_t>();
+    index->params_.pq_subspaces = meta.readPod<std::int32_t>();
+    index->params_.pq_entries = meta.readPod<std::int32_t>();
+    index->params_.hnsw_m = meta.readPod<std::int32_t>();
+    index->hnsw_ef_search_ = meta.readPod<std::int32_t>();
+    index->params_.seed = meta.readPod<std::uint64_t>();
+    index->params_.max_training_points = meta.readPod<std::int64_t>();
+    const bool has_router = meta.readPod<std::uint8_t>() != 0;
+    const bool has_interleaved = meta.readPod<std::uint8_t>() != 0;
+    index->codes_.num_points = meta.readPod<std::int64_t>();
+    index->codes_.num_subspaces = meta.readPod<std::int32_t>();
+    JUNO_REQUIRE(index->num_points_ > 0 && index->dim_ > 0 &&
+                     index->nprobs_ > 0 &&
+                     index->codes_.num_points == index->num_points_ &&
+                     index->codes_.num_subspaces > 0 &&
+                     index->codes_.num_subspaces ==
+                         index->params_.pq_subspaces,
+                 what << ": corrupt index header");
+    // Overflow guard: a forged point count whose code-plane product
+    // wraps to a tiny value must not match a tiny blob below.
+    JUNO_REQUIRE(static_cast<std::uint64_t>(index->codes_.num_points) <=
+                     kMaxSerializedPayloadBytes / sizeof(entry_t) /
+                         static_cast<std::uint64_t>(
+                             index->codes_.num_subspaces),
+                 what << ": implausible code plane (corrupt file)");
+    index->params_.nprobs = index->nprobs_;
+    index->params_.use_hnsw_router = has_router;
+    index->params_.use_interleaved = has_interleaved;
+    index->params_.hnsw_ef_search = index->hnsw_ef_search_;
+
+    auto ivf_stream = reader.stream("ivf");
+    index->ivf_.load(ivf_stream);
+    auto pq_stream = reader.stream("pq");
+    index->pq_.load(pq_stream);
+    JUNO_REQUIRE(index->pq_.dim() == index->dim_ &&
+                     index->pq_.numSubspaces() ==
+                         index->codes_.num_subspaces,
+                 what << ": quantizer/codes shape mismatch");
+
+    const auto codes_blob = reader.blob("codes");
+    const auto codes_count = index->codes_.count();
+    if (codes_blob.bytes != codes_count * sizeof(entry_t))
+        fatal(what + ": PQ code payload size mismatch (corrupt file)");
+    index->codes_.adoptView(
+        reinterpret_cast<const entry_t *>(codes_blob.data),
+        codes_blob.keepalive);
+
+    if (has_interleaved) {
+        index->interleaved_.load(reader, "ileav.");
+        JUNO_REQUIRE(index->interleaved_.numLists() ==
+                             index->ivf_.numClusters() &&
+                         index->interleaved_.subspaces() ==
+                             index->codes_.num_subspaces,
+                     what << ": interleaved layout shape mismatch");
+    }
+    if (has_router) {
+        index->router_ = std::make_unique<Hnsw>();
+        index->router_->loadGraph(reader, "router.");
+        JUNO_REQUIRE(index->router_->size() == index->ivf_.numClusters(),
+                     what << ": router/centroid count mismatch");
+    }
+    return index;
 }
 
 std::vector<Neighbor>
@@ -172,7 +303,7 @@ IvfPqIndex::scanList(cluster_t cluster, const FloatMatrix &lut, float base,
                                  base, scratch.scores.data());
     } else {
         simd::adcScan(lut.data(), lut.cols(), subspaces,
-                      codes_.codes.data(),
+                      codes_.data(),
                       static_cast<std::size_t>(codes_.num_subspaces),
                       list.data(), n, base, scratch.scores.data());
     }

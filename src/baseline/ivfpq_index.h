@@ -55,7 +55,15 @@ class IvfPqIndex : public AnnIndex {
     /** Trains IVF + PQ offline and encodes every point. */
     IvfPqIndex(Metric metric, FloatMatrixView points, const Params &params);
 
+    /**
+     * Loader for openIndex(): restores the trained IVF, codebooks,
+     * codes and the interleaved/fast-scan planes (no re-training, no
+     * re-layout). In mmap mode the code planes view the mapping.
+     */
+    static std::unique_ptr<IvfPqIndex> open(SnapshotReader &reader);
+
     std::string name() const override;
+    std::string spec() const override;
     Metric metric() const override { return metric_; }
     idx_t size() const override { return num_points_; }
     idx_t dim() const override { return dim_; }
@@ -94,8 +102,12 @@ class IvfPqIndex : public AnnIndex {
 
   protected:
     void searchChunk(const SearchChunk &chunk, SearchContext &ctx) override;
+    void saveSections(SnapshotWriter &writer) const override;
 
   private:
+    /** For open(): members are filled by the loader. */
+    IvfPqIndex() = default;
+
     /**
      * Computes the per-cluster LUT and base score for one query;
      * @p residual is caller-owned scratch (context buffer on the
@@ -129,15 +141,16 @@ class IvfPqIndex : public AnnIndex {
     void scanList(cluster_t cluster, const FloatMatrix &lut, float base,
                   ScanScratch &scratch, TopK &top) const;
 
-    Metric metric_;
+    Metric metric_ = Metric::kL2;
     idx_t num_points_ = 0;
     idx_t dim_ = 0;
+    Params params_;
     InvertedFileIndex ivf_;
     ProductQuantizer pq_;
     PQCodes codes_;
     /** List-resident interleaved layout (empty when disabled). */
     InterleavedLists interleaved_;
-    idx_t nprobs_;
+    idx_t nprobs_ = 8;
     std::unique_ptr<Hnsw> router_;
     int hnsw_ef_search_ = 64;
 };

@@ -1,0 +1,48 @@
+#include "common/mmap_blob.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define JUNO_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace juno {
+
+std::shared_ptr<MappedBlob>
+MappedBlob::map(const std::string &path)
+{
+#ifdef JUNO_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return nullptr;
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+        ::close(fd);
+        return nullptr;
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    void *mem = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    // The mapping holds its own reference to the file; the descriptor
+    // is no longer needed either way.
+    ::close(fd);
+    if (mem == MAP_FAILED)
+        return nullptr;
+    return std::shared_ptr<MappedBlob>(new MappedBlob(
+        static_cast<const std::uint8_t *>(mem), size, path));
+#else
+    (void)path;
+    return nullptr;
+#endif
+}
+
+MappedBlob::~MappedBlob()
+{
+#ifdef JUNO_HAVE_MMAP
+    if (data_ != nullptr)
+        ::munmap(const_cast<std::uint8_t *>(data_), size_);
+#endif
+}
+
+} // namespace juno

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Memory-mapped file support for zero-copy snapshot loading.
+ *
+ * A MappedBlob is one read-only mmap of a whole snapshot file, shared
+ * (via shared_ptr) by every structure that views into it: the mapping
+ * is released only when the last viewer is destroyed, so an index can
+ * outlive the SnapshotReader that opened it.
+ *
+ * PinnedArray / PinnedMatrix are the view-or-own containers the index
+ * types hold their large flat payloads in: an index built in memory
+ * adopts owning storage, an index opened from a snapshot in mmap mode
+ * views the mapping directly (cold-start cost is page-in, not parse).
+ * Both present the same read-only accessors, so the hot paths are
+ * unaware which mode they run in.
+ */
+#ifndef JUNO_COMMON_MMAP_BLOB_H
+#define JUNO_COMMON_MMAP_BLOB_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/matrix.h"
+
+namespace juno {
+
+/** One read-only memory-mapped file. */
+class MappedBlob {
+  public:
+    /**
+     * Maps @p path read-only. Returns nullptr when mapping is
+     * unavailable (unsupported platform, empty file, mmap failure);
+     * callers fall back to buffered reads.
+     */
+    static std::shared_ptr<MappedBlob> map(const std::string &path);
+
+    ~MappedBlob();
+
+    MappedBlob(const MappedBlob &) = delete;
+    MappedBlob &operator=(const MappedBlob &) = delete;
+
+    const std::uint8_t *data() const { return data_; }
+    std::size_t size() const { return size_; }
+    const std::string &path() const { return path_; }
+
+  private:
+    MappedBlob(const std::uint8_t *data, std::size_t size,
+               std::string path)
+        : data_(data), size_(size), path_(std::move(path))
+    {
+    }
+
+    const std::uint8_t *data_ = nullptr;
+    std::size_t size_ = 0;
+    std::string path_;
+};
+
+/**
+ * Flat array that either owns a vector or views external memory kept
+ * alive by an arbitrary keepalive handle (typically a MappedBlob).
+ */
+template <typename T>
+class PinnedArray {
+  public:
+    PinnedArray() = default;
+
+    /** Adopts owning storage (the in-memory build path). */
+    PinnedArray(std::vector<T> values) : owned_(std::move(values))
+    {
+        data_ = owned_.data();
+        size_ = owned_.size();
+    }
+
+    PinnedArray &
+    operator=(std::vector<T> values)
+    {
+        return *this = PinnedArray(std::move(values));
+    }
+
+    /** Views @p count elements of external memory (the mmap path). */
+    PinnedArray(const T *data, std::size_t count,
+                std::shared_ptr<const void> keepalive)
+        : data_(data), size_(count), keepalive_(std::move(keepalive))
+    {
+    }
+
+    const T *data() const { return data_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        JUNO_ASSERT(i < size_, "pinned index " << i << " of " << size_);
+        return data_[i];
+    }
+
+  private:
+    std::vector<T> owned_;
+    const T *data_ = nullptr;
+    std::size_t size_ = 0;
+    std::shared_ptr<const void> keepalive_;
+};
+
+/** Row-major float matrix that either owns storage or views a blob. */
+class PinnedMatrix {
+  public:
+    PinnedMatrix() = default;
+
+    PinnedMatrix(FloatMatrix m) : owned_(std::move(m))
+    {
+        view_ = owned_.view();
+    }
+
+    PinnedMatrix &
+    operator=(FloatMatrix m)
+    {
+        return *this = PinnedMatrix(std::move(m));
+    }
+
+    PinnedMatrix(FloatMatrixView view,
+                 std::shared_ptr<const void> keepalive)
+        : view_(view), keepalive_(std::move(keepalive))
+    {
+    }
+
+    idx_t rows() const { return view_.rows(); }
+    idx_t cols() const { return view_.cols(); }
+    bool empty() const { return view_.empty(); }
+    const float *data() const { return view_.data(); }
+    const float *row(idx_t r) const { return view_.row(r); }
+    float at(idx_t r, idx_t c) const { return view_.at(r, c); }
+
+    FloatMatrixView view() const { return view_; }
+    operator FloatMatrixView() const { return view_; }
+
+  private:
+    FloatMatrix owned_;
+    FloatMatrixView view_;
+    std::shared_ptr<const void> keepalive_;
+};
+
+} // namespace juno
+
+#endif // JUNO_COMMON_MMAP_BLOB_H

@@ -3,12 +3,68 @@
 #include <cstring>
 
 namespace juno {
-namespace {
 
-/** Upper bound on any single container payload: 16 GiB. */
-constexpr std::uint64_t kMaxPayloadBytes = 16ull << 30;
+void
+Writer::writeString(const std::string &s)
+{
+    writePod<std::uint64_t>(s.size());
+    if (!s.empty())
+        writeRaw(s.data(), s.size());
+}
 
-} // namespace
+void
+Writer::writeMatrix(FloatMatrixView m)
+{
+    writePod<std::int64_t>(m.rows());
+    writePod<std::int64_t>(m.cols());
+    const std::size_t count = static_cast<std::size_t>(m.rows()) *
+                              static_cast<std::size_t>(m.cols());
+    if (count != 0)
+        writeRaw(m.data(), count * sizeof(float));
+}
+
+void
+Reader::boundCheck(std::uint64_t count, std::uint64_t elem_bytes) const
+{
+    if (elem_bytes == 0 ||
+        count > kMaxSerializedPayloadBytes / elem_bytes)
+        fatal(where() + ": implausible payload size (corrupt file)");
+}
+
+std::string
+Reader::readString()
+{
+    const auto count = readPod<std::uint64_t>();
+    boundCheck(count, 1);
+    std::string s(static_cast<std::size_t>(count), '\0');
+    if (count != 0)
+        readRaw(s.data(), static_cast<std::size_t>(count));
+    return s;
+}
+
+FloatMatrix
+Reader::readMatrix()
+{
+    const auto rows = readPod<std::int64_t>();
+    const auto cols = readPod<std::int64_t>();
+    if (rows < 0 || cols < 0)
+        fatal(where() + ": negative matrix shape (corrupt file)");
+    // Guard the product itself before boundCheck: 2^32 x 2^32 would
+    // wrap to a tiny (even zero) element count and sail through.
+    if (cols != 0 &&
+        static_cast<std::uint64_t>(rows) >
+            kMaxSerializedPayloadBytes / static_cast<std::uint64_t>(cols))
+        fatal(where() + ": implausible matrix shape (corrupt file)");
+    boundCheck(static_cast<std::uint64_t>(rows) *
+                   static_cast<std::uint64_t>(cols),
+               sizeof(float));
+    FloatMatrix m(rows, cols);
+    const std::size_t count = static_cast<std::size_t>(rows) *
+                              static_cast<std::size_t>(cols);
+    if (count != 0)
+        readRaw(m.data(), count * sizeof(float));
+    return m;
+}
 
 BinaryWriter::BinaryWriter(const std::string &path, const char magic[8],
                            std::uint32_t version)
@@ -16,34 +72,19 @@ BinaryWriter::BinaryWriter(const std::string &path, const char magic[8],
 {
     if (!out_)
         fatal("cannot open " + path + " for writing");
-    out_.write(magic, 8);
+    writeRaw(magic, 8);
     writePod(version);
 }
 
 void
-BinaryWriter::check()
+BinaryWriter::writeRaw(const void *data, std::size_t bytes)
 {
+    if (bytes == 0)
+        return;
+    out_.write(static_cast<const char *>(data),
+               static_cast<std::streamsize>(bytes));
     if (!out_)
         fatal("short write to " + path_);
-}
-
-void
-BinaryWriter::writeString(const std::string &s)
-{
-    writePod<std::uint64_t>(s.size());
-    out_.write(s.data(), static_cast<std::streamsize>(s.size()));
-    check();
-}
-
-void
-BinaryWriter::writeMatrix(FloatMatrixView m)
-{
-    writePod<std::int64_t>(m.rows());
-    writePod<std::int64_t>(m.cols());
-    out_.write(reinterpret_cast<const char *>(m.data()),
-               static_cast<std::streamsize>(sizeof(float)) * m.rows() *
-                   m.cols());
-    check();
 }
 
 BinaryReader::BinaryReader(const std::string &path, const char magic[8],
@@ -64,44 +105,48 @@ BinaryReader::BinaryReader(const std::string &path, const char magic[8],
 }
 
 void
-BinaryReader::check()
+BinaryReader::readRaw(void *data, std::size_t bytes)
 {
+    if (bytes == 0)
+        return;
+    in_.read(static_cast<char *>(data),
+             static_cast<std::streamsize>(bytes));
     if (!in_)
         fatal(path_ + ": truncated or corrupt stream");
 }
 
 void
-BinaryReader::boundCheck(std::uint64_t bytes) const
+BufferWriter::writeRaw(const void *data, std::size_t bytes)
 {
-    if (bytes > kMaxPayloadBytes)
-        fatal(path_ + ": implausible payload size (corrupt file)");
+    if (bytes == 0)
+        return;
+    buffer_.append(static_cast<const char *>(data), bytes);
 }
 
-std::string
-BinaryReader::readString()
+BoundedMemReader::BoundedMemReader(const void *data, std::size_t bytes,
+                                   std::string name)
+    : cursor_(static_cast<const std::uint8_t *>(data)),
+      end_(static_cast<const std::uint8_t *>(data) + bytes),
+      name_(std::move(name))
 {
-    const auto count = readPod<std::uint64_t>();
-    boundCheck(count);
-    std::string s(static_cast<std::size_t>(count), '\0');
-    in_.read(s.data(), static_cast<std::streamsize>(count));
-    check();
-    return s;
 }
 
-FloatMatrix
-BinaryReader::readMatrix()
+void
+BoundedMemReader::readRaw(void *data, std::size_t bytes)
 {
-    const auto rows = readPod<std::int64_t>();
-    const auto cols = readPod<std::int64_t>();
-    if (rows < 0 || cols < 0)
-        fatal(path_ + ": negative matrix shape (corrupt file)");
-    boundCheck(static_cast<std::uint64_t>(rows) *
-               static_cast<std::uint64_t>(cols) * sizeof(float));
-    FloatMatrix m(rows, cols);
-    in_.read(reinterpret_cast<char *>(m.data()),
-             static_cast<std::streamsize>(sizeof(float)) * rows * cols);
-    check();
-    return m;
+    if (bytes == 0)
+        return;
+    std::memcpy(data, viewRaw(bytes), bytes);
+}
+
+const void *
+BoundedMemReader::viewRaw(std::size_t bytes)
+{
+    if (bytes > remaining())
+        fatal(name_ + ": truncated or corrupt stream");
+    const void *p = cursor_;
+    cursor_ += bytes;
+    return p;
 }
 
 } // namespace juno

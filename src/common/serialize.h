@@ -2,11 +2,22 @@
  * @file
  * Minimal versioned binary serialization for index persistence.
  *
- * Format: every stream starts with a caller-chosen 8-byte magic and a
- * u32 version; primitives are little-endian PODs, containers are a
- * u64 count followed by elements. Readers validate counts against a
- * sanity bound so corrupt files fail fast with ConfigError instead of
- * attempting gigabyte allocations.
+ * The typed surface (PODs, vectors, strings, matrices) lives in the
+ * abstract Writer/Reader pair; concrete subclasses choose the sink or
+ * source:
+ *  - BinaryWriter / BinaryReader: whole files prefixed by a
+ *    caller-chosen 8-byte magic and a u32 version (the legacy index
+ *    format and standalone artefacts);
+ *  - BufferWriter: an in-memory byte buffer (snapshot sections are
+ *    staged through it before landing in the container);
+ *  - BoundedMemReader: a bounds-checked window over caller memory
+ *    (a buffered section copy or a memory-mapped snapshot region).
+ *
+ * Primitives are little-endian PODs; containers are a u64 count
+ * followed by elements. Readers validate counts against a sanity bound
+ * before allocating, so corrupt files fail fast with ConfigError
+ * instead of attempting gigabyte allocations, and every short read
+ * surfaces as ConfigError rather than silent zero-fill.
  */
 #ifndef JUNO_COMMON_SERIALIZE_H
 #define JUNO_COMMON_SERIALIZE_H
@@ -22,22 +33,20 @@
 
 namespace juno {
 
-/** Streaming binary writer. */
-class BinaryWriter {
-  public:
-    /** Opens @p path and writes the header. Throws on failure. */
-    BinaryWriter(const std::string &path, const char magic[8],
-                 std::uint32_t version);
+/** Upper bound on any single container payload: 16 GiB. */
+constexpr std::uint64_t kMaxSerializedPayloadBytes = 16ull << 30;
 
-    ~BinaryWriter() = default;
+/** Abstract streaming binary writer. */
+class Writer {
+  public:
+    virtual ~Writer() = default;
 
     template <typename T>
     void
     writePod(const T &value)
     {
         static_assert(std::is_trivially_copyable_v<T>);
-        out_.write(reinterpret_cast<const char *>(&value), sizeof(T));
-        check();
+        writeRaw(&value, sizeof(T));
     }
 
     template <typename T>
@@ -45,28 +54,33 @@ class BinaryWriter {
     writeVector(const std::vector<T> &values)
     {
         static_assert(std::is_trivially_copyable_v<T>);
-        writePod<std::uint64_t>(values.size());
-        out_.write(reinterpret_cast<const char *>(values.data()),
-                   static_cast<std::streamsize>(values.size() * sizeof(T)));
-        check();
+        writeArray(values.data(), values.size());
+    }
+
+    /** u64 count followed by @p count raw elements (nullptr-safe at 0). */
+    template <typename T>
+    void
+    writeArray(const T *data, std::size_t count)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        writePod<std::uint64_t>(count);
+        // An empty vector's data() may be null; write(nullptr, 0) is
+        // undefined behaviour for ostreams, so never forward it.
+        if (count != 0)
+            writeRaw(data, count * sizeof(T));
     }
 
     void writeString(const std::string &s);
     void writeMatrix(FloatMatrixView m);
 
-  private:
-    void check();
-
-    std::ofstream out_;
-    std::string path_;
+    /** Appends @p bytes raw bytes; throws ConfigError on failure. */
+    virtual void writeRaw(const void *data, std::size_t bytes) = 0;
 };
 
-/** Streaming binary reader with validation. */
-class BinaryReader {
+/** Abstract streaming binary reader with validation. */
+class Reader {
   public:
-    /** Opens @p path and validates magic + version. */
-    BinaryReader(const std::string &path, const char magic[8],
-                 std::uint32_t expected_version);
+    virtual ~Reader() = default;
 
     template <typename T>
     T
@@ -74,8 +88,7 @@ class BinaryReader {
     {
         static_assert(std::is_trivially_copyable_v<T>);
         T value{};
-        in_.read(reinterpret_cast<char *>(&value), sizeof(T));
-        check();
+        readRaw(&value, sizeof(T));
         return value;
     }
 
@@ -85,23 +98,102 @@ class BinaryReader {
     {
         static_assert(std::is_trivially_copyable_v<T>);
         const auto count = readPod<std::uint64_t>();
-        boundCheck(count * sizeof(T));
+        boundCheck(count, sizeof(T));
         std::vector<T> values(static_cast<std::size_t>(count));
-        in_.read(reinterpret_cast<char *>(values.data()),
-                 static_cast<std::streamsize>(count * sizeof(T)));
-        check();
+        if (count != 0)
+            readRaw(values.data(),
+                    static_cast<std::size_t>(count) * sizeof(T));
         return values;
     }
 
     std::string readString();
     FloatMatrix readMatrix();
 
-  private:
-    void check();
-    void boundCheck(std::uint64_t bytes) const;
+    /** Fills @p bytes raw bytes; throws ConfigError on short reads. */
+    virtual void readRaw(void *data, std::size_t bytes) = 0;
 
+  protected:
+    /**
+     * Rejects implausible element counts before any allocation; the
+     * multiplication is overflow-checked so a forged 2^60 count cannot
+     * wrap into a small byte total.
+     */
+    void boundCheck(std::uint64_t count, std::uint64_t elem_bytes) const;
+
+    /** Human-readable source name for error messages. */
+    virtual std::string where() const = 0;
+};
+
+/** Writer over a file, prefixed by magic + version (legacy format). */
+class BinaryWriter : public Writer {
+  public:
+    /** Opens @p path and writes the header. Throws on failure. */
+    BinaryWriter(const std::string &path, const char magic[8],
+                 std::uint32_t version);
+
+    void writeRaw(const void *data, std::size_t bytes) override;
+
+  private:
+    std::ofstream out_;
+    std::string path_;
+};
+
+/** Reader over a file; validates magic + version up front. */
+class BinaryReader : public Reader {
+  public:
+    BinaryReader(const std::string &path, const char magic[8],
+                 std::uint32_t expected_version);
+
+    void readRaw(void *data, std::size_t bytes) override;
+
+  protected:
+    std::string where() const override { return path_; }
+
+  private:
     std::ifstream in_;
     std::string path_;
+};
+
+/** Writer appending to an in-memory buffer (no magic header). */
+class BufferWriter : public Writer {
+  public:
+    void writeRaw(const void *data, std::size_t bytes) override;
+
+    const std::string &buffer() const { return buffer_; }
+    std::string takeBuffer() { return std::move(buffer_); }
+    void clear() { buffer_.clear(); }
+
+  private:
+    std::string buffer_;
+};
+
+/**
+ * Bounds-checked reader over caller-owned memory. The window must
+ * outlive the reader; reading past the end throws ConfigError (this is
+ * how truncated snapshot sections are detected).
+ */
+class BoundedMemReader : public Reader {
+  public:
+    BoundedMemReader(const void *data, std::size_t bytes,
+                     std::string name);
+
+    void readRaw(void *data, std::size_t bytes) override;
+
+    /**
+     * Zero-copy variant: returns a pointer into the window and
+     * advances the cursor past @p bytes (bounds-checked).
+     */
+    const void *viewRaw(std::size_t bytes);
+
+    std::size_t remaining() const { return end_ - cursor_; }
+
+  protected:
+    std::string where() const override { return name_; }
+
+  private:
+    const std::uint8_t *cursor_ = nullptr;
+    const std::uint8_t *end_ = nullptr;
+    std::string name_;
 };
 
 } // namespace juno

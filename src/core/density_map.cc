@@ -86,7 +86,7 @@ DensityMap::build(FloatMatrixView residuals, int num_subspaces, int grid)
 }
 
 void
-SubspaceDensity::save(BinaryWriter &writer) const
+SubspaceDensity::save(Writer &writer) const
 {
     JUNO_REQUIRE(built(), "save before build");
     writer.writePod<std::int32_t>(grid_);
@@ -99,7 +99,7 @@ SubspaceDensity::save(BinaryWriter &writer) const
 }
 
 void
-SubspaceDensity::load(BinaryReader &reader)
+SubspaceDensity::load(Reader &reader)
 {
     grid_ = reader.readPod<std::int32_t>();
     min_x_ = reader.readPod<float>();
@@ -115,7 +115,7 @@ SubspaceDensity::load(BinaryReader &reader)
 }
 
 void
-DensityMap::save(BinaryWriter &writer) const
+DensityMap::save(Writer &writer) const
 {
     writer.writePod<std::int32_t>(numSubspaces());
     for (const auto &map : maps_)
@@ -123,7 +123,7 @@ DensityMap::save(BinaryWriter &writer) const
 }
 
 void
-DensityMap::load(BinaryReader &reader)
+DensityMap::load(Reader &reader)
 {
     const auto count = reader.readPod<std::int32_t>();
     JUNO_REQUIRE(count > 0, "corrupt density map header");

@@ -44,8 +44,8 @@ class SubspaceDensity {
     float maxY() const { return max_y_; }
     double cellArea() const { return cell_area_; }
 
-    void save(BinaryWriter &writer) const;
-    void load(BinaryReader &reader);
+    void save(Writer &writer) const;
+    void load(Reader &reader);
 
   private:
     int cellIndex(float v, float lo, float hi) const;
@@ -78,8 +78,8 @@ class DensityMap {
         return subspace(s).densityAt(x, y);
     }
 
-    void save(BinaryWriter &writer) const;
-    void load(BinaryReader &reader);
+    void save(Writer &writer) const;
+    void load(Reader &reader);
 
   private:
     std::vector<SubspaceDensity> maps_;

@@ -1,8 +1,12 @@
 #include "core/juno_index.h"
 
 #include <algorithm>
+#include <cstring>
+#include <fstream>
 
 #include "common/logging.h"
+#include "registry/index_spec.h"
+#include "registry/snapshot.h"
 
 namespace juno {
 
@@ -90,9 +94,11 @@ JunoIndex::finishConstruction()
     // scene (Alg. 1, 10-11); both derive deterministically from the
     // trained state, so load() rebuilds them instead of storing them.
     interest_.build(ivf_, codes_, params_.pq_entries);
-    if (params_.use_interleaved) {
+    if (params_.use_interleaved && !interleaved_.built()) {
         // Float-scan plane only: JUNO's dense regime never runs the
         // 4-bit fast scan, so the nibble plane would be dead weight.
+        // A snapshot open() restores the plane instead (fast-scan
+        // state is persisted, not re-laid-out).
         interleaved_.build(ivf_.lists(), codes_, params_.pq_entries,
                            /*with_packed4=*/false);
     }
@@ -106,44 +112,242 @@ JunoIndex::finishConstruction()
 }
 
 namespace {
-constexpr char kIndexMagic[8] = {'J', 'U', 'N', 'O', 'I', 'D', 'X', '1'};
-constexpr std::uint32_t kIndexVersion = 1;
+constexpr char kLegacyMagic[8] = {'J', 'U', 'N', 'O', 'I', 'D', 'X', '1'};
+constexpr std::uint32_t kLegacyVersion = 1;
+/** Snapshot meta-section format of this index type. */
+constexpr std::uint32_t kFormatVersion = 1;
+
+/** Shared by save and spec(): every build/search knob, in order. */
+void
+writeParams(Writer &meta, const JunoParams &params)
+{
+    meta.writePod<std::int32_t>(params.clusters);
+    meta.writePod<std::int32_t>(params.pq_entries);
+    meta.writePod<std::int64_t>(params.nprobs);
+    meta.writePod<std::int32_t>(static_cast<std::int32_t>(params.mode));
+    meta.writePod(params.threshold_scale);
+    meta.writePod<std::int32_t>(
+        static_cast<std::int32_t>(params.threshold_mode));
+    meta.writePod(params.miss_penalty);
+    meta.writePod<std::uint8_t>(params.use_rt_core ? 1 : 0);
+    meta.writePod<std::uint8_t>(params.pipelined ? 1 : 0);
+    meta.writePod<std::uint8_t>(params.use_interleaved ? 1 : 0);
+    meta.writePod<std::int32_t>(params.density_grid);
+    meta.writePod<std::int64_t>(params.policy.train_samples);
+    meta.writePod<std::int64_t>(params.policy.ref_samples);
+    meta.writePod<std::int64_t>(params.policy.contain_topk);
+    meta.writePod<std::int32_t>(params.policy.poly_degree);
+    meta.writePod<std::uint64_t>(params.policy.seed);
+    meta.writePod(params.scene.gate_radius);
+    meta.writePod(params.scene.max_gate_fraction);
+    meta.writePod<std::uint64_t>(params.seed);
+    meta.writePod<std::int64_t>(params.max_training_points);
+}
+
+JunoParams
+readParams(Reader &meta)
+{
+    JunoParams params;
+    params.clusters = meta.readPod<std::int32_t>();
+    params.pq_entries = meta.readPod<std::int32_t>();
+    params.nprobs = meta.readPod<std::int64_t>();
+    const auto mode = meta.readPod<std::int32_t>();
+    JUNO_REQUIRE(mode >= 0 && mode <= 2, "corrupt search mode tag");
+    params.mode = static_cast<SearchMode>(mode);
+    params.threshold_scale = meta.readPod<double>();
+    const auto tmode = meta.readPod<std::int32_t>();
+    JUNO_REQUIRE(tmode >= 0 && tmode <= 2,
+                 "corrupt threshold mode tag");
+    params.threshold_mode = static_cast<ThresholdMode>(tmode);
+    params.miss_penalty = meta.readPod<double>();
+    params.use_rt_core = meta.readPod<std::uint8_t>() != 0;
+    params.pipelined = meta.readPod<std::uint8_t>() != 0;
+    params.use_interleaved = meta.readPod<std::uint8_t>() != 0;
+    params.density_grid = meta.readPod<std::int32_t>();
+    params.policy.train_samples = meta.readPod<std::int64_t>();
+    params.policy.ref_samples = meta.readPod<std::int64_t>();
+    params.policy.contain_topk = meta.readPod<std::int64_t>();
+    params.policy.poly_degree = meta.readPod<std::int32_t>();
+    params.policy.seed = meta.readPod<std::uint64_t>();
+    params.scene.gate_radius = meta.readPod<float>();
+    params.scene.max_gate_fraction = meta.readPod<float>();
+    params.seed = meta.readPod<std::uint64_t>();
+    params.max_training_points = meta.readPod<std::int64_t>();
+    return params;
+}
+
+const char *
+modeKey(SearchMode mode)
+{
+    switch (mode) {
+    case SearchMode::kExactDistance:
+        return "h";
+    case SearchMode::kRewardPenalty:
+        return "m";
+    case SearchMode::kHitCount:
+        return "l";
+    }
+    return "h";
+}
+
+const char *
+thresholdModeKey(ThresholdMode mode)
+{
+    switch (mode) {
+    case ThresholdMode::kDynamic:
+        return "dyn";
+    case ThresholdMode::kStaticSmall:
+        return "small";
+    case ThresholdMode::kStaticLarge:
+        return "large";
+    }
+    return "dyn";
+}
+
 } // namespace
 
-void
-JunoIndex::save(const std::string &path) const
+std::string
+JunoIndex::spec() const
 {
-    BinaryWriter writer(path, kIndexMagic, kIndexVersion);
-    writer.writePod<std::int32_t>(metric_ == Metric::kL2 ? 0 : 1);
-    writer.writePod<std::int64_t>(num_points_);
-    writer.writePod<std::int64_t>(dim_);
+    IndexSpec spec;
+    spec.type = "juno";
+    spec.setInt("nlist", params_.clusters);
+    spec.setInt("entries", params_.pq_entries);
+    spec.setInt("nprobe", params_.nprobs);
+    spec.set("mode", modeKey(params_.mode));
+    spec.setDouble("scale", params_.threshold_scale);
+    spec.set("tmode", thresholdModeKey(params_.threshold_mode));
+    spec.setDouble("penalty", params_.miss_penalty);
+    spec.setBool("rt", params_.use_rt_core);
+    spec.setBool("pipelined", params_.pipelined);
+    spec.setBool("interleaved", params_.use_interleaved);
+    spec.setInt("grid", params_.density_grid);
+    spec.setInt("psamples", params_.policy.train_samples);
+    spec.setInt("prefs", params_.policy.ref_samples);
+    spec.setInt("ptopk", params_.policy.contain_topk);
+    spec.setInt("pdeg", params_.policy.poly_degree);
+    spec.setDouble("radius", params_.scene.gate_radius);
+    spec.setDouble("gatefrac", params_.scene.max_gate_fraction);
+    spec.setInt("seed", static_cast<long>(params_.seed));
+    spec.setInt("train", params_.max_training_points);
+    // policy.seed is intentionally absent: the constructor always
+    // derives it from seed (+2), so it cannot diverge.
+    return spec.toString();
+}
 
-    writer.writePod<std::int32_t>(params_.clusters);
-    writer.writePod<std::int32_t>(params_.pq_entries);
-    writer.writePod<std::int64_t>(params_.nprobs);
-    writer.writePod<std::int32_t>(static_cast<std::int32_t>(params_.mode));
-    writer.writePod(params_.threshold_scale);
-    writer.writePod<std::int32_t>(
-        static_cast<std::int32_t>(params_.threshold_mode));
-    writer.writePod(params_.miss_penalty);
-    writer.writePod<std::uint8_t>(params_.use_rt_core ? 1 : 0);
-    writer.writePod<std::int32_t>(params_.density_grid);
-    writer.writePod(params_.scene.gate_radius);
-    writer.writePod(params_.scene.max_gate_fraction);
+void
+JunoIndex::saveSections(SnapshotWriter &writer) const
+{
+    Writer &meta = writer.section("meta");
+    meta.writePod<std::uint32_t>(kFormatVersion);
+    writeMetricTag(meta, metric_);
+    meta.writePod<std::int64_t>(num_points_);
+    meta.writePod<std::int64_t>(dim_);
+    writeParams(meta, params_);
+    meta.writePod<std::int64_t>(codes_.num_points);
+    meta.writePod<std::int32_t>(codes_.num_subspaces);
+    meta.writePod<std::uint8_t>(interleaved_.built() ? 1 : 0);
 
-    ivf_.save(writer);
-    pq_.save(writer);
-    writer.writePod<std::int64_t>(codes_.num_points);
-    writer.writePod<std::int32_t>(codes_.num_subspaces);
-    writer.writeVector(codes_.codes);
-    density_.save(writer);
-    policy_.save(writer);
+    ivf_.save(writer.section("ivf"));
+    pq_.save(writer.section("pq"));
+    writer.addBlob("codes", codes_.data(),
+                   codes_.count() * sizeof(entry_t));
+    density_.save(writer.section("density"));
+    policy_.save(writer.section("policy"));
+    if (interleaved_.built())
+        interleaved_.save(writer, "ileav.");
+}
+
+std::unique_ptr<JunoIndex>
+JunoIndex::open(SnapshotReader &reader)
+{
+    const std::string what = reader.path() + " [juno]";
+    auto meta = reader.stream("meta");
+    checkFormatVersion(meta, kFormatVersion, what);
+    std::unique_ptr<JunoIndex> index(new JunoIndex());
+    index->metric_ = readMetricTag(meta);
+    index->num_points_ = meta.readPod<std::int64_t>();
+    index->dim_ = meta.readPod<std::int64_t>();
+    JUNO_REQUIRE(index->num_points_ > 0 && index->dim_ > 0 &&
+                     index->dim_ % 2 == 0,
+                 what << ": corrupt index header");
+    index->params_ = readParams(meta);
+    index->codes_.num_points = meta.readPod<std::int64_t>();
+    index->codes_.num_subspaces = meta.readPod<std::int32_t>();
+    const bool has_interleaved = meta.readPod<std::uint8_t>() != 0;
+    JUNO_REQUIRE(index->codes_.num_points == index->num_points_ &&
+                     index->codes_.num_subspaces > 0 &&
+                     index->codes_.num_subspaces ==
+                         static_cast<int>(index->dim_ / 2),
+                 what << ": corrupt PQ codes shape");
+    // Overflow guard: the code-plane product must not wrap before the
+    // blob-size comparison below.
+    JUNO_REQUIRE(static_cast<std::uint64_t>(index->codes_.num_points) <=
+                     kMaxSerializedPayloadBytes / sizeof(entry_t) /
+                         static_cast<std::uint64_t>(
+                             index->codes_.num_subspaces),
+                 what << ": implausible code plane (corrupt file)");
+
+    auto ivf_stream = reader.stream("ivf");
+    index->ivf_.load(ivf_stream);
+    auto pq_stream = reader.stream("pq");
+    index->pq_.load(pq_stream);
+    const auto codes_blob = reader.blob("codes");
+    if (codes_blob.bytes != index->codes_.count() * sizeof(entry_t))
+        fatal(what + ": PQ code payload size mismatch (corrupt file)");
+    index->codes_.adoptView(
+        reinterpret_cast<const entry_t *>(codes_blob.data),
+        codes_blob.keepalive);
+    auto density_stream = reader.stream("density");
+    index->density_.load(density_stream);
+    auto policy_stream = reader.stream("policy");
+    index->policy_.load(policy_stream, index->density_);
+    index->policy_.setMode(index->params_.threshold_mode);
+    if (has_interleaved) {
+        index->interleaved_.load(reader, "ileav.");
+        JUNO_REQUIRE(index->interleaved_.numLists() ==
+                             index->ivf_.numClusters() &&
+                         index->interleaved_.subspaces() ==
+                             index->codes_.num_subspaces,
+                     what << ": interleaved layout shape mismatch");
+    }
+
+    index->finishConstruction();
+    return index;
 }
 
 std::unique_ptr<JunoIndex>
 JunoIndex::load(const std::string &path)
 {
-    BinaryReader reader(path, kIndexMagic, kIndexVersion);
+    // Sniff the magic: the unified snapshot container and the legacy
+    // single-stream format start with different 8-byte tags.
+    char magic[8] = {};
+    {
+        std::ifstream probe(path, std::ios::binary);
+        if (!probe)
+            fatal("cannot open " + path);
+        probe.read(magic, 8);
+        if (!probe)
+            fatal(path + ": not a JUNO index file (too small)");
+    }
+    if (std::memcmp(magic, kLegacyMagic, 8) == 0) {
+        warn(path + ": legacy JUNO index format; re-save to upgrade "
+                    "to the snapshot container (legacy support will "
+                    "be removed)");
+        return loadLegacy(path);
+    }
+    SnapshotReader reader(path);
+    const IndexSpec spec = IndexSpec::parse(reader.spec());
+    JUNO_REQUIRE(spec.type == "juno",
+                 path << " holds a '" << spec.type
+                      << "' index, not a JUNO index (use openIndex)");
+    return open(reader);
+}
+
+std::unique_ptr<JunoIndex>
+JunoIndex::loadLegacy(const std::string &path)
+{
+    BinaryReader reader(path, kLegacyMagic, kLegacyVersion);
     std::unique_ptr<JunoIndex> index(new JunoIndex());
     index->metric_ = reader.readPod<std::int32_t>() == 0
                          ? Metric::kL2

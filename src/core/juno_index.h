@@ -39,6 +39,8 @@
 
 namespace juno {
 
+class SnapshotReader;
+
 /** Build- and search-time configuration of a JunoIndex. */
 struct JunoParams {
     int clusters = 256;                    ///< C coarse clusters
@@ -75,16 +77,23 @@ class JunoIndex : public AnnIndex {
               const JunoParams &params);
 
     /**
-     * Persists the whole trained index (IVF, codebooks, codes, density
-     * maps, regressors and search parameters) to @p path. The RT scene
-     * and interest index are rebuilt deterministically on load().
+     * Restores an index from @p path. Accepts both the unified
+     * snapshot container (AnnIndex::save()/openIndex()) and, as a
+     * deprecated migration shim, the legacy "JUNOIDX1" format earlier
+     * releases wrote (loads with a one-time warning; re-save to
+     * upgrade).
      */
-    void save(const std::string &path) const;
-
-    /** Restores an index previously written by save(). */
     static std::unique_ptr<JunoIndex> load(const std::string &path);
 
+    /**
+     * Loader for openIndex(): restores IVF, codebooks, codes, density
+     * maps, regressors, the interleaved plane and search parameters.
+     * The RT scene and interest index rebuild deterministically.
+     */
+    static std::unique_ptr<JunoIndex> open(SnapshotReader &reader);
+
     std::string name() const override;
+    std::string spec() const override;
     Metric metric() const override { return metric_; }
     idx_t size() const override { return num_points_; }
     idx_t dim() const override { return dim_; }
@@ -135,12 +144,16 @@ class JunoIndex : public AnnIndex {
      * counters merge into the canonical device under a mutex.
      */
     void searchChunk(const SearchChunk &chunk, SearchContext &ctx) override;
+    void saveSections(SnapshotWriter &writer) const override;
 
   private:
     struct Worker;
 
     /** For load(): members are filled by the loader. */
     JunoIndex() : metric_(Metric::kL2) {}
+
+    /** Legacy "JUNOIDX1" single-stream loader (migration shim). */
+    static std::unique_ptr<JunoIndex> loadLegacy(const std::string &path);
 
     /** Rebuilds the derived structures (interest index, scene, ...). */
     void finishConstruction();

@@ -116,7 +116,7 @@ PolyRegressor::predict(double density) const
 }
 
 void
-PolyRegressor::save(BinaryWriter &writer) const
+PolyRegressor::save(Writer &writer) const
 {
     JUNO_REQUIRE(fitted(), "save before fit");
     writer.writeVector(coef_);
@@ -125,7 +125,7 @@ PolyRegressor::save(BinaryWriter &writer) const
 }
 
 void
-PolyRegressor::load(BinaryReader &reader)
+PolyRegressor::load(Reader &reader)
 {
     coef_ = reader.readVector<double>();
     clamp_lo_ = reader.readPod<double>();

@@ -44,10 +44,10 @@ class PolyRegressor {
                const std::vector<double> &thresholds) const;
 
     /** Serializes a fitted regressor. */
-    void save(BinaryWriter &writer) const;
+    void save(Writer &writer) const;
 
     /** Restores a fitted regressor. */
-    void load(BinaryReader &reader);
+    void load(Reader &reader);
 
   private:
     static double transform(double density);

@@ -5,8 +5,14 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "registry/snapshot.h"
 
 namespace juno {
+
+namespace {
+/** Snapshot meta-section format of this index type. */
+constexpr std::uint32_t kFormatVersion = 1;
+} // namespace
 
 RtExactIndex::RtExactIndex(FloatMatrixView points)
     : num_points_(points.rows()), dim_(points.cols())
@@ -14,8 +20,21 @@ RtExactIndex::RtExactIndex(FloatMatrixView points)
     JUNO_REQUIRE(num_points_ > 0, "empty point set");
     JUNO_REQUIRE(dim_ % 2 == 0,
                  "RT exact search requires an even dimension");
+    FloatMatrix copy(points.rows(), points.cols());
+    std::copy_n(points.data(),
+                static_cast<std::size_t>(points.rows() * points.cols()),
+                copy.data());
+    points_ = std::move(copy);
+    buildScene();
+}
+
+void
+RtExactIndex::buildScene()
+{
+    const FloatMatrixView points = points_.view();
     subspaces_ = static_cast<int>(dim_ / 2);
-    coord_scale_.resize(static_cast<std::size_t>(subspaces_));
+    coord_scale_.assign(static_cast<std::size_t>(subspaces_), 0.0f);
+    scene_ = rt::Scene();
 
     for (int s = 0; s < subspaces_; ++s) {
         // Coordinate scale: the subspace bounding-box diameter times a
@@ -65,6 +84,42 @@ std::string
 RtExactIndex::name() const
 {
     return "RT-Exact(L2)";
+}
+
+std::string
+RtExactIndex::spec() const
+{
+    return "rtexact";
+}
+
+void
+RtExactIndex::saveSections(SnapshotWriter &writer) const
+{
+    Writer &meta = writer.section("meta");
+    meta.writePod<std::uint32_t>(kFormatVersion);
+    meta.writePod<std::int64_t>(num_points_);
+    meta.writePod<std::int64_t>(dim_);
+    writer.addBlob("points", points_.data(),
+                   static_cast<std::size_t>(num_points_) *
+                       static_cast<std::size_t>(dim_) * sizeof(float));
+}
+
+std::unique_ptr<RtExactIndex>
+RtExactIndex::open(SnapshotReader &reader)
+{
+    auto meta = reader.stream("meta");
+    checkFormatVersion(meta, kFormatVersion,
+                       reader.path() + " [rtexact]");
+    std::unique_ptr<RtExactIndex> index(new RtExactIndex());
+    index->num_points_ = meta.readPod<std::int64_t>();
+    index->dim_ = meta.readPod<std::int64_t>();
+    JUNO_REQUIRE(index->num_points_ > 0 && index->dim_ > 0 &&
+                     index->dim_ % 2 == 0,
+                 reader.path() << ": corrupt rtexact index header");
+    index->points_ = reader.blob("points").matrix(
+        index->num_points_, index->dim_, reader.path() + " [points]");
+    index->buildScene();
+    return index;
 }
 
 void

@@ -19,13 +19,17 @@
 #ifndef JUNO_CORE_RT_EXACT_INDEX_H
 #define JUNO_CORE_RT_EXACT_INDEX_H
 
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "baseline/index.h"
+#include "common/mmap_blob.h"
 #include "rtcore/device.h"
 
 namespace juno {
+
+class SnapshotReader;
 
 /** Exact L2 search executed entirely on the RT substrate. */
 class RtExactIndex : public AnnIndex {
@@ -37,7 +41,15 @@ class RtExactIndex : public AnnIndex {
      */
     RtExactIndex(FloatMatrixView points);
 
+    /**
+     * Loader for openIndex(): the sphere scene and coordinate scales
+     * re-derive deterministically from the persisted points (which
+     * view the mapping in mmap mode).
+     */
+    static std::unique_ptr<RtExactIndex> open(SnapshotReader &reader);
+
     std::string name() const override;
+    std::string spec() const override;
     Metric metric() const override { return Metric::kL2; }
     idx_t size() const override { return num_points_; }
     idx_t dim() const override { return dim_; }
@@ -46,10 +58,17 @@ class RtExactIndex : public AnnIndex {
 
   protected:
     void searchChunk(const SearchChunk &chunk, SearchContext &ctx) override;
+    void saveSections(SnapshotWriter &writer) const override;
 
   private:
+    /** For open(): members are filled by the loader. */
+    RtExactIndex() = default;
+
     /** Per-worker scratch (accumulators sized to the point count). */
     struct Worker;
+
+    /** Derives coord_scale_ and the sphere scene from points_. */
+    void buildScene();
 
     static constexpr float kZSpacing = 4.0f;
     static constexpr float kRadius = 1.0f;
@@ -57,6 +76,8 @@ class RtExactIndex : public AnnIndex {
     idx_t num_points_ = 0;
     idx_t dim_ = 0;
     int subspaces_ = 0;
+    /** Persisted copy of the indexed points (save/open). */
+    PinnedMatrix points_;
     /** Per-subspace coordinate scale keeping all distances under R. */
     std::vector<float> coord_scale_;
     rt::Scene scene_;

@@ -177,7 +177,7 @@ ThresholdPolicy::regressor(int s) const
 }
 
 void
-ThresholdPolicy::save(BinaryWriter &writer) const
+ThresholdPolicy::save(Writer &writer) const
 {
     JUNO_REQUIRE(trained(), "save before train");
     writer.writePod<std::int32_t>(metric_ == Metric::kL2 ? 0 : 1);
@@ -190,7 +190,7 @@ ThresholdPolicy::save(BinaryWriter &writer) const
 }
 
 void
-ThresholdPolicy::load(BinaryReader &reader, const DensityMap &density)
+ThresholdPolicy::load(Reader &reader, const DensityMap &density)
 {
     metric_ = reader.readPod<std::int32_t>() == 0
                   ? Metric::kL2

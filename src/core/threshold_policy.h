@@ -90,13 +90,13 @@ class ThresholdPolicy {
     const PolyRegressor &regressor(int s) const;
 
     /** Serializes a trained policy (not including the density map). */
-    void save(BinaryWriter &writer) const;
+    void save(Writer &writer) const;
 
     /**
      * Restores a trained policy bound to @p density, which must match
      * the map the policy was trained with and outlive the policy.
      */
-    void load(BinaryReader &reader, const DensityMap &density);
+    void load(Reader &reader, const DensityMap &density);
 
   private:
     void checkSubspace(int s) const;

@@ -1,0 +1,83 @@
+#include "harness/index_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "registry/snapshot.h"
+
+namespace juno {
+namespace {
+
+/** FNV-1a over @p s, hex-encoded (stable across runs and hosts). */
+std::string
+stableHash(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+} // namespace
+
+std::string
+snapshotCacheDir()
+{
+    const char *dir = std::getenv("JUNO_SNAPSHOT_CACHE");
+    return dir != nullptr ? dir : "";
+}
+
+std::string
+snapshotCachePath(const std::string &cache_dir, const std::string &spec,
+                  const std::string &dataset_key)
+{
+    return cache_dir + "/" + stableHash(spec + "|" + dataset_key) +
+           ".juno";
+}
+
+std::unique_ptr<AnnIndex>
+buildOrOpen(Metric metric, FloatMatrixView points,
+            const std::string &spec, const std::string &dataset_key,
+            const std::string &cache_dir)
+{
+    if (cache_dir.empty())
+        return buildIndex(metric, points, spec);
+
+    const std::string path =
+        snapshotCachePath(cache_dir, spec, dataset_key);
+    std::unique_ptr<AnnIndex> cached;
+    try {
+        cached = openIndex(path);
+    } catch (const ConfigError &) {
+        // Missing or unreadable cache entry: build and repopulate.
+    }
+    if (cached != nullptr) {
+        // The key hashes the requested spec, so a cached file should
+        // hold the same index type; a mismatch means a hash collision
+        // or a foreign file — fail loudly (outside the catch above,
+        // so this is never mistaken for a cache miss and silently
+        // overwritten) instead of serving the wrong index.
+        JUNO_REQUIRE(IndexSpec::parse(cached->spec()).type ==
+                         IndexSpec::parse(spec).type,
+                     path << " holds spec '" << cached->spec()
+                          << "', expected '" << spec
+                          << "' (cache key collision?)");
+        return cached;
+    }
+    auto index = buildIndex(metric, points, spec);
+    try {
+        index->save(path);
+    } catch (const ConfigError &err) {
+        warn(std::string("snapshot cache write failed (") + err.what() +
+             "); continuing without cache");
+    }
+    return index;
+}
+
+} // namespace juno

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Snapshot cache for the bench/harness loop: build an index once per
+ * (spec, dataset) pair, persist it, and let every later sweep point —
+ * and every later bench run — open the snapshot instead of re-running
+ * k-means/PQ/graph construction.
+ *
+ * The cache directory comes from the JUNO_SNAPSHOT_CACHE environment
+ * variable (or an explicit argument); when unset, buildOrOpen() just
+ * builds, so benches behave exactly as before unless the user opts
+ * in. Cache keys hash the spec string plus a caller-supplied dataset
+ * identity, so a changed spec, seed or scale never reuses a stale
+ * snapshot.
+ */
+#ifndef JUNO_HARNESS_INDEX_CACHE_H
+#define JUNO_HARNESS_INDEX_CACHE_H
+
+#include <memory>
+#include <string>
+
+#include "baseline/index.h"
+#include "registry/index_factory.h"
+
+namespace juno {
+
+/** JUNO_SNAPSHOT_CACHE value, or "" when caching is off. */
+std::string snapshotCacheDir();
+
+/** Cache file path for (spec, dataset_key) under @p cache_dir. */
+std::string snapshotCachePath(const std::string &cache_dir,
+                              const std::string &spec,
+                              const std::string &dataset_key);
+
+/**
+ * Opens the cached snapshot for (spec, dataset_key) if @p cache_dir
+ * holds one, else builds via the factory and saves it there. An empty
+ * @p cache_dir always builds. A cache file that fails to open (e.g.
+ * truncated by an interrupted run) is rebuilt and overwritten, not
+ * fatal.
+ */
+std::unique_ptr<AnnIndex> buildOrOpen(Metric metric,
+                                      FloatMatrixView points,
+                                      const std::string &spec,
+                                      const std::string &dataset_key,
+                                      const std::string &cache_dir =
+                                          snapshotCacheDir());
+
+} // namespace juno
+
+#endif // JUNO_HARNESS_INDEX_CACHE_H

@@ -57,7 +57,7 @@ InvertedFileIndex::residual(const float *x, cluster_t c, float *out) const
 }
 
 void
-InvertedFileIndex::save(BinaryWriter &writer) const
+InvertedFileIndex::save(Writer &writer) const
 {
     JUNO_REQUIRE(built(), "save before build");
     writer.writeMatrix(centroids_.view());
@@ -68,7 +68,7 @@ InvertedFileIndex::save(BinaryWriter &writer) const
 }
 
 void
-InvertedFileIndex::load(BinaryReader &reader)
+InvertedFileIndex::load(Reader &reader)
 {
     centroids_ = reader.readMatrix();
     labels_ = reader.readVector<cluster_t>();

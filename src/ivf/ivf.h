@@ -68,10 +68,10 @@ class InvertedFileIndex {
     void residual(const float *x, cluster_t c, float *out) const;
 
     /** Serializes the trained index. */
-    void save(BinaryWriter &writer) const;
+    void save(Writer &writer) const;
 
     /** Restores a trained index (replaces current state). */
-    void load(BinaryReader &reader);
+    void load(Reader &reader);
 
   private:
     FloatMatrix centroids_;

@@ -4,8 +4,14 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "registry/snapshot.h"
 
 namespace juno {
+
+namespace {
+/** Snapshot meta-section format of the interleaved layout. */
+constexpr std::uint32_t kFormatVersion = 1;
+} // namespace
 
 void
 InterleavedLists::build(const std::vector<std::vector<idx_t>> &lists,
@@ -18,8 +24,6 @@ InterleavedLists::build(const std::vector<std::vector<idx_t>> &lists,
     packed4_ = with_packed4 && entries <= 16 && subspaces_ <= 256;
     lists_.clear();
     lists_.resize(lists.size());
-    blocks_.clear();
-    packed_.clear();
 
     const auto sub = static_cast<std::size_t>(subspaces_);
     std::size_t total_blocks = 0;
@@ -27,13 +31,15 @@ InterleavedLists::build(const std::vector<std::vector<idx_t>> &lists,
         total_blocks += (list.size() +
                          static_cast<std::size_t>(kBlockPoints) - 1) /
                         static_cast<std::size_t>(kBlockPoints);
-    blocks_.assign(total_blocks * static_cast<std::size_t>(kBlockPoints) *
-                       sub,
-                   0);
-    if (packed4_)
-        packed_.assign(total_blocks *
-                           static_cast<std::size_t>(kPackedBytes) * sub,
-                       0);
+    // Built into owning vectors, then pinned; a snapshot load replaces
+    // them with views into the mapped planes instead.
+    std::vector<entry_t> blocks(
+        total_blocks * static_cast<std::size_t>(kBlockPoints) * sub, 0);
+    std::vector<std::uint8_t> packed(
+        packed4_ ? total_blocks * static_cast<std::size_t>(kPackedBytes) *
+                       sub
+                 : 0,
+        0);
 
     std::size_t block_off = 0;
     std::size_t packed_off = 0;
@@ -49,10 +55,10 @@ InterleavedLists::build(const std::vector<std::vector<idx_t>> &lists,
             static_cast<std::size_t>(kBlockPoints);
         for (std::size_t b = 0; b < nblocks; ++b) {
             entry_t *blk =
-                blocks_.data() + block_off +
+                blocks.data() + block_off +
                 b * static_cast<std::size_t>(kBlockPoints) * sub;
             std::uint8_t *pk =
-                packed4_ ? packed_.data() + packed_off +
+                packed4_ ? packed.data() + packed_off +
                                b * static_cast<std::size_t>(kPackedBytes) *
                                    sub
                          : nullptr;
@@ -87,6 +93,93 @@ InterleavedLists::build(const std::vector<std::vector<idx_t>> &lists,
             packed_off +=
                 nblocks * static_cast<std::size_t>(kPackedBytes) * sub;
     }
+
+    blocks_ = std::move(blocks);
+    packed_ = std::move(packed);
+}
+
+void
+InterleavedLists::save(SnapshotWriter &writer,
+                       const std::string &prefix) const
+{
+    JUNO_REQUIRE(built(), "save before build");
+    Writer &meta = writer.section(prefix + "meta");
+    meta.writePod<std::uint32_t>(kFormatVersion);
+    meta.writePod<std::int32_t>(subspaces_);
+    meta.writePod<std::uint8_t>(packed4_ ? 1 : 0);
+    meta.writePod<std::uint64_t>(lists_.size());
+    for (const auto &ref : lists_) {
+        meta.writePod<std::uint64_t>(ref.block);
+        meta.writePod<std::uint64_t>(ref.packed);
+        meta.writePod<std::int64_t>(ref.size);
+    }
+    meta.writePod<std::uint64_t>(blocks_.size());
+    meta.writePod<std::uint64_t>(packed_.size());
+    writer.addBlob(prefix + "blocks", blocks_.data(),
+                   blocks_.size() * sizeof(entry_t));
+    if (packed4_)
+        writer.addBlob(prefix + "packed", packed_.data(),
+                       packed_.size());
+}
+
+void
+InterleavedLists::load(SnapshotReader &reader, const std::string &prefix)
+{
+    const std::string what =
+        reader.path() + " [" + prefix + "interleaved]";
+    auto meta = reader.stream(prefix + "meta");
+    checkFormatVersion(meta, kFormatVersion, what);
+    subspaces_ = meta.readPod<std::int32_t>();
+    packed4_ = meta.readPod<std::uint8_t>() != 0;
+    const auto count = meta.readPod<std::uint64_t>();
+    // Caps keep every bound below overflow-free in u64: subspaces
+    // fits 17 bits, the plane counts 34 bits, so nblocks * width *
+    // sub stays far under 2^64 (forged sizes cannot wrap the checks).
+    JUNO_REQUIRE(subspaces_ > 0 && subspaces_ <= 65536 && count > 0,
+                 what << ": corrupt layout header");
+    lists_.assign(static_cast<std::size_t>(count), {});
+    const auto sub = static_cast<std::size_t>(subspaces_);
+    for (auto &ref : lists_) {
+        ref.block = meta.readPod<std::uint64_t>();
+        ref.packed = meta.readPod<std::uint64_t>();
+        ref.size = meta.readPod<std::int64_t>();
+        JUNO_REQUIRE(ref.size >= 0, what << ": negative list size");
+    }
+    const auto blocks_count = meta.readPod<std::uint64_t>();
+    const auto packed_count = meta.readPod<std::uint64_t>();
+    JUNO_REQUIRE(blocks_count <=
+                         kMaxSerializedPayloadBytes / sizeof(entry_t) &&
+                     packed_count <= kMaxSerializedPayloadBytes,
+                 what << ": implausible plane size (corrupt file)");
+    for (const auto &ref : lists_) {
+        // Each stored point occupies at least one slot of the blocks
+        // plane, so a plausible size is bounded by the plane itself.
+        JUNO_REQUIRE(static_cast<std::uint64_t>(ref.size) <=
+                         blocks_count,
+                     what << ": list size out of range");
+        const auto nblocks =
+            (static_cast<std::uint64_t>(ref.size) + kBlockPoints - 1) /
+            kBlockPoints;
+        JUNO_REQUIRE(ref.block <= blocks_count &&
+                         nblocks * kBlockPoints * sub <=
+                             blocks_count - ref.block,
+                     what << ": list block offset out of range");
+        JUNO_REQUIRE(!packed4_ ||
+                         (ref.packed <= packed_count &&
+                          nblocks * kPackedBytes * sub <=
+                              packed_count - ref.packed),
+                     what << ": list packed offset out of range");
+    }
+    blocks_ = reader.blob(prefix + "blocks")
+                  .array<entry_t>(static_cast<std::size_t>(blocks_count),
+                                  what + " blocks");
+    if (packed4_)
+        packed_ = reader.blob(prefix + "packed")
+                      .array<std::uint8_t>(
+                          static_cast<std::size_t>(packed_count),
+                          what + " packed");
+    else
+        packed_ = PinnedArray<std::uint8_t>();
 }
 
 void

@@ -29,13 +29,18 @@
 #define JUNO_QUANT_INTERLEAVED_CODES_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/matrix.h"
+#include "common/mmap_blob.h"
 #include "common/types.h"
 #include "quant/product_quantizer.h"
 
 namespace juno {
+
+class SnapshotWriter;
+class SnapshotReader;
 
 /** Interleaved, list-resident copy of a PQCodes partitioned by lists. */
 class InterleavedLists {
@@ -81,6 +86,17 @@ class InterleavedLists {
         return packed_.data() + lists_[static_cast<std::size_t>(c)].packed;
     }
 
+    /**
+     * Persists the built layout as sections @p prefix + {"meta",
+     * "blocks", "packed"} so the fast-scan state is restored rather
+     * than rebuilt on open. The planes are bulk blobs: a snapshot
+     * opened in mmap mode scans them straight out of the mapping.
+     */
+    void save(SnapshotWriter &writer, const std::string &prefix) const;
+
+    /** Restores what save() wrote (replaces current state). */
+    void load(SnapshotReader &reader, const std::string &prefix);
+
   private:
     struct ListRef {
         std::size_t block = 0;  ///< offset into blocks_
@@ -91,8 +107,8 @@ class InterleavedLists {
     int subspaces_ = 0;
     bool packed4_ = false;
     std::vector<ListRef> lists_;
-    std::vector<entry_t> blocks_;
-    std::vector<std::uint8_t> packed_;
+    PinnedArray<entry_t> blocks_;
+    PinnedArray<std::uint8_t> packed_;
 };
 
 /**

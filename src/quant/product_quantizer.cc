@@ -137,7 +137,7 @@ ProductQuantizer::reconstructionError(FloatMatrixView vectors) const
 }
 
 void
-ProductQuantizer::save(BinaryWriter &writer) const
+ProductQuantizer::save(Writer &writer) const
 {
     JUNO_REQUIRE(trained(), "save before train");
     writer.writePod<std::int32_t>(num_subspaces_);
@@ -148,7 +148,7 @@ ProductQuantizer::save(BinaryWriter &writer) const
 }
 
 void
-ProductQuantizer::load(BinaryReader &reader)
+ProductQuantizer::load(Reader &reader)
 {
     num_subspaces_ = reader.readPod<std::int32_t>();
     entries_ = reader.readPod<std::int32_t>();

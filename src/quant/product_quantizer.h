@@ -15,6 +15,7 @@
 #ifndef JUNO_QUANT_PRODUCT_QUANTIZER_H
 #define JUNO_QUANT_PRODUCT_QUANTIZER_H
 
+#include <memory>
 #include <vector>
 
 #include "cluster/kmeans.h"
@@ -36,19 +37,47 @@ struct PQParams {
     idx_t max_training_points = 0;
 };
 
-/** PQ codes of a point set: row-major (N x num_subspaces) entry ids. */
+/**
+ * PQ codes of a point set: row-major (N x num_subspaces) entry ids.
+ * Usually owns its storage (`codes`); a snapshot opened in mmap mode
+ * instead views the mapped code plane directly through adoptView(),
+ * so every read path must go through data()/row(), never `codes`.
+ */
 struct PQCodes {
     idx_t num_points = 0;
     int num_subspaces = 0;
     std::vector<entry_t> codes;
+
+    /** Total entry count (num_points * num_subspaces). */
+    std::size_t
+    count() const
+    {
+        return static_cast<std::size_t>(num_points) *
+               static_cast<std::size_t>(num_subspaces);
+    }
+
+    const entry_t *
+    data() const
+    {
+        return view_ != nullptr ? view_ : codes.data();
+    }
+
+    /** Views an external code plane kept alive by @p keepalive. */
+    void
+    adoptView(const entry_t *data, std::shared_ptr<const void> keepalive)
+    {
+        codes.clear();
+        view_ = data;
+        keepalive_ = std::move(keepalive);
+    }
 
     const entry_t *
     row(idx_t p) const
     {
         // Widen both factors before multiplying so the row offset is
         // computed in std::size_t, never in a narrower signed type.
-        return codes.data() + static_cast<std::size_t>(p) *
-                                  static_cast<std::size_t>(num_subspaces);
+        return data() + static_cast<std::size_t>(p) *
+                            static_cast<std::size_t>(num_subspaces);
     }
 
     entry_t
@@ -56,6 +85,10 @@ struct PQCodes {
     {
         return row(p)[s];
     }
+
+  private:
+    const entry_t *view_ = nullptr;
+    std::shared_ptr<const void> keepalive_;
 };
 
 /** Trained product quantizer. */
@@ -124,10 +157,10 @@ class ProductQuantizer {
     }
 
     /** Serializes a trained quantizer. */
-    void save(BinaryWriter &writer) const;
+    void save(Writer &writer) const;
 
     /** Restores a trained quantizer (replaces current state). */
-    void load(BinaryReader &reader);
+    void load(Reader &reader);
 
   private:
     int num_subspaces_ = 0;

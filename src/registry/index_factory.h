@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The index lifecycle front door: describe -> build -> save -> open.
+ *
+ *   auto index = buildIndex(metric, points, "ivfpq:nlist=256,m=16");
+ *   index->save("idx.juno");
+ *   ...
+ *   auto served = openIndex("idx.juno");   // no re-training
+ *
+ * IndexFactory maps every IndexSpec type to its builder and its
+ * snapshot loader. All six shipping index types register here (flat,
+ * ivfflat, ivfpq, hnsw, juno, rtexact); new types add one
+ * registerType() call. openIndex() dispatches on the spec string
+ * stored in the snapshot, so one code path re-opens any index — this
+ * is what serving warm-start, the bench snapshot cache and the CLI
+ * build on.
+ */
+#ifndef JUNO_REGISTRY_INDEX_FACTORY_H
+#define JUNO_REGISTRY_INDEX_FACTORY_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/index.h"
+#include "registry/index_spec.h"
+#include "registry/snapshot.h"
+
+namespace juno {
+
+/** Registry of index types: spec type -> build / open functions. */
+class IndexFactory {
+  public:
+    using BuildFn = std::function<std::unique_ptr<AnnIndex>(
+        Metric, FloatMatrixView, const IndexSpec &)>;
+    using OpenFn =
+        std::function<std::unique_ptr<AnnIndex>(SnapshotReader &)>;
+
+    /** The process-wide factory (built-in types pre-registered). */
+    static IndexFactory &instance();
+
+    /** Registers (or replaces) a type. */
+    void registerType(const std::string &type, BuildFn build,
+                      OpenFn open);
+
+    /** Trains a new index over @p points as described by @p spec. */
+    std::unique_ptr<AnnIndex> build(Metric metric, FloatMatrixView points,
+                                    const IndexSpec &spec) const;
+
+    /** Restores the index whose spec is stored in @p reader. */
+    std::unique_ptr<AnnIndex> open(SnapshotReader &reader) const;
+
+    /** Registered type names, sorted (CLI help / error messages). */
+    std::vector<std::string> types() const;
+
+  private:
+    IndexFactory();
+
+    struct Entry {
+        std::string type;
+        BuildFn build;
+        OpenFn open;
+    };
+
+    const Entry &find(const std::string &type) const;
+
+    std::vector<Entry> entries_;
+};
+
+/** Convenience: parse @p spec and build through the factory. */
+std::unique_ptr<AnnIndex> buildIndex(Metric metric, FloatMatrixView points,
+                                     const std::string &spec);
+
+/**
+ * Convenience: open the snapshot at @p path (any registered index
+ * type). With options.use_mmap the large payloads are viewed straight
+ * from the mapping, so first-query-ready cost is page-in, not parse.
+ */
+std::unique_ptr<AnnIndex> openIndex(const std::string &path,
+                                    const SnapshotOptions &options = {});
+
+} // namespace juno
+
+#endif // JUNO_REGISTRY_INDEX_FACTORY_H

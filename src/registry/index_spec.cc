@@ -1,0 +1,211 @@
+#include "registry/index_spec.h"
+
+#include <cctype>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace juno {
+namespace {
+
+bool
+validToken(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (const char c : s)
+        if (!(std::islower(static_cast<unsigned char>(c)) ||
+              std::isdigit(static_cast<unsigned char>(c)) || c == '_'))
+            return false;
+    return true;
+}
+
+} // namespace
+
+IndexSpec
+IndexSpec::parse(const std::string &text)
+{
+    IndexSpec spec;
+    const auto colon = text.find(':');
+    spec.type = text.substr(0, colon);
+    JUNO_REQUIRE(validToken(spec.type),
+                 "bad index spec '" << text
+                                    << "': type must be [a-z0-9_]+");
+    if (colon == std::string::npos)
+        return spec;
+
+    const std::string rest = text.substr(colon + 1);
+    JUNO_REQUIRE(!rest.empty(), "bad index spec '"
+                                    << text
+                                    << "': empty parameter list");
+    std::size_t begin = 0;
+    while (begin <= rest.size()) {
+        auto comma = rest.find(',', begin);
+        if (comma == std::string::npos)
+            comma = rest.size();
+        const std::string pair = rest.substr(begin, comma - begin);
+        const auto eq = pair.find('=');
+        JUNO_REQUIRE(eq != std::string::npos && eq + 1 < pair.size(),
+                     "bad index spec '" << text << "': expected "
+                                        << "key=value, got '" << pair
+                                        << "'");
+        const std::string key = pair.substr(0, eq);
+        const std::string value = pair.substr(eq + 1);
+        JUNO_REQUIRE(validToken(key), "bad index spec '"
+                                          << text << "': key '" << key
+                                          << "' must be [a-z0-9_]+");
+        JUNO_REQUIRE(!spec.has(key), "bad index spec '"
+                                         << text << "': duplicate key '"
+                                         << key << "'");
+        spec.params.emplace_back(key, value);
+        begin = comma + 1;
+    }
+    return spec;
+}
+
+std::string
+IndexSpec::toString() const
+{
+    std::string out = type;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        out += i == 0 ? ':' : ',';
+        out += params[i].first;
+        out += '=';
+        out += params[i].second;
+    }
+    return out;
+}
+
+bool
+IndexSpec::has(const std::string &key) const
+{
+    for (const auto &kv : params)
+        if (kv.first == key)
+            return true;
+    return false;
+}
+
+std::string
+IndexSpec::get(const std::string &key, const std::string &fallback) const
+{
+    for (const auto &kv : params)
+        if (kv.first == key)
+            return kv.second;
+    return fallback;
+}
+
+long
+IndexSpec::getInt(const std::string &key, long fallback) const
+{
+    if (!has(key))
+        return fallback;
+    const std::string value = get(key);
+    try {
+        std::size_t used = 0;
+        const long v = std::stol(value, &used);
+        if (used != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        fatal("index spec key '" + key + "' expects an integer, got '" +
+              value + "'");
+    }
+}
+
+double
+IndexSpec::getDouble(const std::string &key, double fallback) const
+{
+    if (!has(key))
+        return fallback;
+    const std::string value = get(key);
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(value, &used);
+        if (used != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        fatal("index spec key '" + key + "' expects a number, got '" +
+              value + "'");
+    }
+}
+
+bool
+IndexSpec::getBool(const std::string &key, bool fallback) const
+{
+    if (!has(key))
+        return fallback;
+    const std::string value = get(key);
+    if (value == "1" || value == "true")
+        return true;
+    if (value == "0" || value == "false")
+        return false;
+    fatal("index spec key '" + key + "' expects 0/1, got '" + value +
+          "'");
+}
+
+void
+IndexSpec::set(const std::string &key, const std::string &value)
+{
+    JUNO_REQUIRE(validToken(key), "bad spec key '" << key << "'");
+    JUNO_REQUIRE(!value.empty() &&
+                     value.find(',') == std::string::npos &&
+                     value.find('=') == std::string::npos,
+                 "bad spec value '" << value << "' for key '" << key
+                                    << "'");
+    for (auto &kv : params)
+        if (kv.first == key) {
+            kv.second = value;
+            return;
+        }
+    params.emplace_back(key, value);
+}
+
+void
+IndexSpec::setInt(const std::string &key, long value)
+{
+    set(key, std::to_string(value));
+}
+
+void
+IndexSpec::setDouble(const std::string &key, double value)
+{
+    std::ostringstream oss;
+    oss.precision(std::numeric_limits<double>::max_digits10);
+    oss << value;
+    set(key, oss.str());
+}
+
+void
+IndexSpec::setBool(const std::string &key, bool value)
+{
+    set(key, value ? "1" : "0");
+}
+
+void
+IndexSpec::requireKnown(std::initializer_list<const char *> known) const
+{
+    for (const auto &kv : params) {
+        bool ok = false;
+        for (const char *k : known)
+            if (kv.first == k) {
+                ok = true;
+                break;
+            }
+        if (!ok) {
+            std::string accepted;
+            for (const char *k : known) {
+                if (!accepted.empty())
+                    accepted += ", ";
+                accepted += k;
+            }
+            fatal("index spec '" + toString() + "': unknown key '" +
+                  kv.first + "' for type '" + type + "' (accepted: " +
+                  accepted + ")");
+        }
+    }
+}
+
+} // namespace juno

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Textual index specification (faiss index_factory-style key strings).
+ *
+ * A spec names an index type and its build parameters in one
+ * round-trippable line:
+ *
+ *   "flat"
+ *   "ivfflat:nlist=256,nprobe=8"
+ *   "ivfpq:nlist=1024,m=16,entries=16,nprobe=8,hnsw=1"
+ *   "hnsw:m=16,efc=100,ef=64"
+ *   "juno:nlist=256,entries=128,nprobe=32,mode=h,scale=1.0"
+ *   "rtexact"
+ *
+ * Grammar: `type[:key=value[,key=value]...]`. Types and keys are
+ * lower-case [a-z0-9_]; values are any non-empty text free of ','.
+ * parse(toString(spec)) == spec — key order is preserved, so every
+ * spec has one canonical text form and text diffs stay readable.
+ *
+ * IndexSpec is the input of IndexFactory::build() and the provenance
+ * record stored in every snapshot's "spec" section; AnnIndex::spec()
+ * emits the canonical string that rebuilds an equivalent index.
+ */
+#ifndef JUNO_REGISTRY_INDEX_SPEC_H
+#define JUNO_REGISTRY_INDEX_SPEC_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace juno {
+
+/** Parsed index spec: a type plus ordered key=value parameters. */
+struct IndexSpec {
+    std::string type;
+    /** Insertion-ordered; keys are unique. */
+    std::vector<std::pair<std::string, std::string>> params;
+
+    /** Parses `type[:k=v,...]`; throws ConfigError on malformed text. */
+    static IndexSpec parse(const std::string &text);
+
+    /** Canonical text form; parse(toString()) reproduces *this. */
+    std::string toString() const;
+
+    bool has(const std::string &key) const;
+    /** Raw value; @p fallback when absent. */
+    std::string get(const std::string &key,
+                    const std::string &fallback = "") const;
+    /** Typed getters; throw ConfigError on unparsable values. */
+    long getInt(const std::string &key, long fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /** Appends a key=value pair (builder-side convenience). */
+    void set(const std::string &key, const std::string &value);
+    void setInt(const std::string &key, long value);
+    /** Round-trip-exact double formatting (max_digits10). */
+    void setDouble(const std::string &key, double value);
+    void setBool(const std::string &key, bool value);
+
+    /**
+     * Rejects any key outside @p known with a ConfigError listing the
+     * accepted keys — a typo in a spec fails loudly instead of
+     * silently building a default-configured index.
+     */
+    void requireKnown(std::initializer_list<const char *> known) const;
+
+    bool operator==(const IndexSpec &other) const
+    {
+        return type == other.type && params == other.params;
+    }
+    bool operator!=(const IndexSpec &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+} // namespace juno
+
+#endif // JUNO_REGISTRY_INDEX_SPEC_H

@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "common/logging.h"
+#include "registry/index_factory.h"
 
 namespace juno {
 
@@ -14,6 +15,13 @@ double
 micros(std::chrono::steady_clock::duration d)
 {
     return std::chrono::duration<double, std::micro>(d).count();
+}
+
+std::unique_ptr<AnnIndex>
+requireIndex(std::unique_ptr<AnnIndex> index)
+{
+    JUNO_REQUIRE(index != nullptr, "warm start needs an index");
+    return index;
 }
 
 } // namespace
@@ -26,6 +34,26 @@ SearchService::SearchService(AnnIndex &index, ServiceConfig config)
     JUNO_REQUIRE(config_.linger.count() >= 0, "linger must be >= 0");
     JUNO_REQUIRE(config_.dispatchers > 0,
                  "need at least one dispatcher");
+}
+
+SearchService::SearchService(std::unique_ptr<AnnIndex> index,
+                             ServiceConfig config)
+    : owned_index_(requireIndex(std::move(index))),
+      index_(*owned_index_), config_(config),
+      queue_(config.queue_capacity)
+{
+    JUNO_REQUIRE(config_.max_batch > 0,
+                 "max_batch must be positive (1 = no batching)");
+    JUNO_REQUIRE(config_.linger.count() >= 0, "linger must be >= 0");
+    JUNO_REQUIRE(config_.dispatchers > 0,
+                 "need at least one dispatcher");
+}
+
+SearchService::SearchService(const std::string &snapshot_path,
+                             ServiceConfig config,
+                             const SnapshotOptions &options)
+    : SearchService(openIndex(snapshot_path, options), config)
+{
 }
 
 SearchService::~SearchService()

@@ -32,11 +32,14 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "baseline/index.h"
+#include "registry/snapshot.h"
 #include "serve/request_queue.h"
 #include "serve/service_stats.h"
 
@@ -89,6 +92,22 @@ class SearchService {
     /** @p index must outlive the service and stay unmodified while
      * the service runs (the read path is exercised concurrently). */
     SearchService(AnnIndex &index, ServiceConfig config);
+
+    /**
+     * Warm start: the service owns an index it opened itself. The
+     * usual source is openIndex(path) with mmap enabled, so a serving
+     * process is first-query-ready after page-in instead of a full
+     * rebuild (juno_cli serve --load).
+     */
+    SearchService(std::unique_ptr<AnnIndex> index, ServiceConfig config);
+
+    /**
+     * Warm start from a snapshot path (registry/index_factory.h);
+     * @p options defaults to zero-copy mmap loading.
+     */
+    SearchService(const std::string &snapshot_path, ServiceConfig config,
+                  const SnapshotOptions &options = {});
+
     ~SearchService();
 
     SearchService(const SearchService &) = delete;
@@ -142,6 +161,8 @@ class SearchService {
 
     void dispatchLoop();
 
+    /** Set by the warm-start constructors; null when borrowing. */
+    std::unique_ptr<AnnIndex> owned_index_;
     AnnIndex &index_;
     const ServiceConfig config_;
     BoundedMpmcQueue<Request> queue_;

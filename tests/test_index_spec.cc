@@ -1,0 +1,90 @@
+/** @file Tests for IndexSpec parsing, printing and validation. */
+#include <gtest/gtest.h>
+
+#include "registry/index_spec.h"
+
+#include "common/logging.h"
+
+namespace juno {
+namespace {
+
+TEST(IndexSpec, ParsesTypeOnly)
+{
+    const auto spec = IndexSpec::parse("flat");
+    EXPECT_EQ(spec.type, "flat");
+    EXPECT_TRUE(spec.params.empty());
+    EXPECT_EQ(spec.toString(), "flat");
+}
+
+TEST(IndexSpec, ParsesKeyValues)
+{
+    const auto spec = IndexSpec::parse("ivfpq:nlist=1024,m=16,bits=4");
+    EXPECT_EQ(spec.type, "ivfpq");
+    ASSERT_EQ(spec.params.size(), 3u);
+    EXPECT_EQ(spec.getInt("nlist", 0), 1024);
+    EXPECT_EQ(spec.getInt("m", 0), 16);
+    EXPECT_EQ(spec.get("bits"), "4");
+    EXPECT_FALSE(spec.has("entries"));
+    EXPECT_EQ(spec.getInt("entries", 7), 7);
+}
+
+TEST(IndexSpec, RoundTripsThroughText)
+{
+    for (const char *text :
+         {"flat", "ivfflat:nlist=256,nprobe=8",
+          "ivfpq:nlist=1024,m=16,entries=16,nprobe=8,hnsw=1",
+          "hnsw:m=16,efc=100,ef=64",
+          "juno:nlist=256,entries=128,nprobe=32,mode=h,scale=1.5",
+          "rtexact"}) {
+        const auto spec = IndexSpec::parse(text);
+        EXPECT_EQ(spec.toString(), text);
+        EXPECT_EQ(IndexSpec::parse(spec.toString()), spec) << text;
+    }
+}
+
+TEST(IndexSpec, SettersRoundTrip)
+{
+    IndexSpec spec;
+    spec.type = "juno";
+    spec.setInt("nlist", 256);
+    spec.setDouble("scale", 0.1); // not exactly representable
+    spec.setBool("rt", true);
+    const auto back = IndexSpec::parse(spec.toString());
+    EXPECT_EQ(back, spec);
+    EXPECT_DOUBLE_EQ(back.getDouble("scale", 0.0), 0.1);
+    EXPECT_TRUE(back.getBool("rt", false));
+    // set() on an existing key replaces instead of duplicating.
+    spec.setInt("nlist", 512);
+    EXPECT_EQ(spec.getInt("nlist", 0), 512);
+    EXPECT_EQ(IndexSpec::parse(spec.toString()), spec);
+}
+
+TEST(IndexSpec, RejectsMalformedText)
+{
+    for (const char *text :
+         {"", ":", "juno:", "juno:nlist", "juno:nlist=", "juno:=4",
+          "JUNO:nlist=4", "juno:nlist=4,nlist=8", "juno:,",
+          "ju no:nlist=4"}) {
+        EXPECT_THROW(IndexSpec::parse(text), ConfigError) << text;
+    }
+}
+
+TEST(IndexSpec, TypedGettersValidate)
+{
+    const auto spec = IndexSpec::parse("t:a=x,b=1.5,c=2");
+    EXPECT_THROW(spec.getInt("a", 0), ConfigError);
+    EXPECT_THROW(spec.getInt("b", 0), ConfigError);
+    EXPECT_THROW(spec.getBool("c", false), ConfigError);
+    EXPECT_DOUBLE_EQ(spec.getDouble("b", 0.0), 1.5);
+}
+
+TEST(IndexSpec, RequireKnownFlagsTypos)
+{
+    const auto spec = IndexSpec::parse("ivfflat:nlists=64");
+    EXPECT_THROW(spec.requireKnown({"nlist", "nprobe"}), ConfigError);
+    const auto good = IndexSpec::parse("ivfflat:nlist=64");
+    EXPECT_NO_THROW(good.requireKnown({"nlist", "nprobe"}));
+}
+
+} // namespace
+} // namespace juno

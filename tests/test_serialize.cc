@@ -7,6 +7,7 @@
 #include "common/serialize.h"
 #include "core/juno_index.h"
 #include "dataset/synthetic.h"
+#include "registry/index_factory.h"
 
 namespace juno {
 namespace {
@@ -94,6 +95,54 @@ TEST(Serialize, MissingFileRejected)
 {
     EXPECT_THROW(BinaryReader("/no/such/file.bin", kMagic, 1),
                  ConfigError);
+}
+
+TEST(Serialize, EmptyContainersRoundTrip)
+{
+    // Empty vectors/strings/matrices must round-trip without ever
+    // handing a null pointer to the underlying stream.
+    BufferWriter writer;
+    writer.writeVector(std::vector<float>{});
+    writer.writeString("");
+    writer.writeMatrix(FloatMatrixView());
+    writer.writeVector(std::vector<int>{5});
+
+    BoundedMemReader reader(writer.buffer().data(),
+                            writer.buffer().size(), "buffer");
+    EXPECT_TRUE(reader.readVector<float>().empty());
+    EXPECT_EQ(reader.readString(), "");
+    const auto m = reader.readMatrix();
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(reader.readVector<int>().at(0), 5);
+    EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(Serialize, ForgedHugeCountsRejectedWithoutAllocating)
+{
+    // A forged 2^61 element count must fail the sanity bound before
+    // any allocation — including when count * sizeof(T) would wrap.
+    for (const std::uint64_t count :
+         {std::uint64_t{1} << 61, ~std::uint64_t{0},
+          (std::uint64_t{16} << 30) + 1}) {
+        BufferWriter writer;
+        writer.writePod<std::uint64_t>(count);
+        BoundedMemReader vec_reader(writer.buffer().data(),
+                                    writer.buffer().size(), "buffer");
+        EXPECT_THROW(vec_reader.readVector<double>(), ConfigError);
+        BoundedMemReader str_reader(writer.buffer().data(),
+                                    writer.buffer().size(), "buffer");
+        EXPECT_THROW(str_reader.readString(), ConfigError);
+    }
+}
+
+TEST(Serialize, TruncatedMemWindowRejected)
+{
+    BufferWriter writer;
+    writer.writeVector(std::vector<double>{1.0, 2.0, 3.0});
+    // Cut the window mid-payload: the reader must throw, not zero-fill.
+    BoundedMemReader reader(writer.buffer().data(),
+                            writer.buffer().size() - 5, "buffer");
+    EXPECT_THROW(reader.readVector<double>(), ConfigError);
 }
 
 class JunoIndexPersistence : public ::testing::Test {
@@ -185,6 +234,54 @@ TEST_F(JunoIndexPersistence, IpIndexRoundTrips)
     EXPECT_EQ(loaded->metric(), Metric::kInnerProduct);
     EXPECT_EQ(original.search(ds.queries.view(), 10),
               loaded->search(ds.queries.view(), 10));
+    std::remove(path.c_str());
+}
+
+TEST_F(JunoIndexPersistence, LegacyFormatLoadsThroughShim)
+{
+    const auto ds = makeData();
+    JunoIndex original(Metric::kL2, ds.base.view(), makeParams());
+    const auto path = tempPath("juno_legacy.bin");
+    // Hand-write the pre-container "JUNOIDX1" stream out of the
+    // index's public components, exactly as the old save() laid it
+    // out, so the migration shim has a real legacy file to chew on.
+    {
+        constexpr char magic[8] = {'J', 'U', 'N', 'O', 'I', 'D', 'X', '1'};
+        BinaryWriter writer(path, magic, 1);
+        const auto &p = original.params();
+        writer.writePod<std::int32_t>(0); // L2
+        writer.writePod<std::int64_t>(original.size());
+        writer.writePod<std::int64_t>(original.dim());
+        writer.writePod<std::int32_t>(p.clusters);
+        writer.writePod<std::int32_t>(p.pq_entries);
+        writer.writePod<std::int64_t>(p.nprobs);
+        writer.writePod<std::int32_t>(
+            static_cast<std::int32_t>(p.mode));
+        writer.writePod(p.threshold_scale);
+        writer.writePod<std::int32_t>(
+            static_cast<std::int32_t>(p.threshold_mode));
+        writer.writePod(p.miss_penalty);
+        writer.writePod<std::uint8_t>(p.use_rt_core ? 1 : 0);
+        writer.writePod<std::int32_t>(p.density_grid);
+        writer.writePod(p.scene.gate_radius);
+        writer.writePod(p.scene.max_gate_fraction);
+        original.ivf().save(writer);
+        original.pq().save(writer);
+        writer.writePod<std::int64_t>(original.codes().num_points);
+        writer.writePod<std::int32_t>(original.codes().num_subspaces);
+        writer.writeArray(original.codes().data(),
+                          original.codes().count());
+        original.densityMap().save(writer);
+        original.thresholdPolicy().save(writer);
+    }
+
+    auto loaded = JunoIndex::load(path);
+    EXPECT_EQ(original.search(ds.queries.view(), 20),
+              loaded->search(ds.queries.view(), 20));
+    // openIndex() routes legacy files through the same shim.
+    auto via_factory = openIndex(path);
+    EXPECT_EQ(original.search(ds.queries.view(), 20),
+              via_factory->search(ds.queries.view(), 20));
     std::remove(path.c_str());
 }
 

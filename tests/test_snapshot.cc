@@ -1,0 +1,222 @@
+/** @file Tests for the versioned snapshot container. */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "registry/snapshot.h"
+
+namespace juno {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<char>
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+}
+
+void
+writeAll(const std::string &path, const std::vector<char> &bytes)
+{
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/** A snapshot with one stream and one blob section. */
+std::string
+writeSample(const std::string &name)
+{
+    const auto path = tempPath(name);
+    SnapshotWriter writer(path, "flat");
+    Writer &meta = writer.section("meta");
+    meta.writePod<std::int32_t>(42);
+    meta.writeString("hello");
+    meta.writeVector(std::vector<float>{1.0f, 2.0f, 3.0f});
+    const std::vector<std::uint16_t> payload = {7, 8, 9, 10};
+    writer.addBlob("codes", payload.data(),
+                   payload.size() * sizeof(std::uint16_t));
+    writer.finish();
+    return path;
+}
+
+void
+expectSampleReads(SnapshotReader &reader)
+{
+    EXPECT_EQ(reader.spec(), "flat");
+    EXPECT_TRUE(reader.has("meta"));
+    EXPECT_TRUE(reader.has("codes"));
+    EXPECT_FALSE(reader.has("nope"));
+    auto meta = reader.stream("meta");
+    EXPECT_EQ(meta.readPod<std::int32_t>(), 42);
+    EXPECT_EQ(meta.readString(), "hello");
+    const auto vec = meta.readVector<float>();
+    ASSERT_EQ(vec.size(), 3u);
+    EXPECT_FLOAT_EQ(vec[2], 3.0f);
+    EXPECT_EQ(meta.remaining(), 0u);
+
+    const auto blob = reader.blob("codes");
+    const auto codes = blob.array<std::uint16_t>(4, "codes");
+    EXPECT_EQ(codes[0], 7);
+    EXPECT_EQ(codes[3], 10);
+    // Section payloads start on 64-byte file offsets, so zero-copy
+    // views out of the (page-aligned) mapping are SIMD/cache-line
+    // aligned. Buffered copies land wherever the heap puts them.
+    if (reader.mapped()) {
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(blob.data) % 64, 0u);
+    }
+}
+
+TEST(Snapshot, RoundTripsBuffered)
+{
+    const auto path = writeSample("snap_buffered.juno");
+    SnapshotOptions options;
+    options.use_mmap = false;
+    SnapshotReader reader(path, options);
+    EXPECT_FALSE(reader.mapped());
+    expectSampleReads(reader);
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, RoundTripsMapped)
+{
+    const auto path = writeSample("snap_mapped.juno");
+    SnapshotReader reader(path); // mmap by default
+    expectSampleReads(reader);
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, BlobOutlivesReader)
+{
+    const auto path = writeSample("snap_keepalive.juno");
+    SnapshotReader::Blob blob;
+    {
+        SnapshotReader reader(path);
+        blob = reader.blob("codes");
+    } // reader gone; the mapping must stay alive through the keepalive
+    const auto codes = blob.array<std::uint16_t>(4, "codes");
+    EXPECT_EQ(codes[1], 8);
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, SizeMismatchedViewsRejected)
+{
+    const auto path = writeSample("snap_misview.juno");
+    SnapshotReader reader(path);
+    const auto blob = reader.blob("codes");
+    EXPECT_THROW(blob.array<std::uint16_t>(5, "codes"), ConfigError);
+    EXPECT_THROW(blob.matrix(2, 3, "codes"), ConfigError);
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, MissingFileAndSectionsRejected)
+{
+    EXPECT_THROW(SnapshotReader("/no/such/snapshot.juno"), ConfigError);
+    const auto path = writeSample("snap_missing.juno");
+    SnapshotReader reader(path);
+    EXPECT_THROW(reader.stream("nope"), ConfigError);
+    EXPECT_THROW(reader.blob("nope"), ConfigError);
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, DuplicateSectionsRejectedAtWrite)
+{
+    const auto path = tempPath("snap_dup.juno");
+    SnapshotWriter writer(path, "flat");
+    writer.section("meta").writePod<int>(1);
+    EXPECT_THROW(writer.section("meta"), ConfigError);
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, ForeignMagicRejected)
+{
+    const auto path = tempPath("snap_magic.juno");
+    std::vector<char> bytes(128, 'x');
+    writeAll(path, bytes);
+    EXPECT_THROW(SnapshotReader{path}, ConfigError);
+    std::remove(path.c_str());
+}
+
+/**
+ * Fuzz-style robustness: every truncation of a valid snapshot must
+ * fail with ConfigError — never a crash, hang or huge allocation.
+ */
+TEST(Snapshot, EveryTruncationRejected)
+{
+    const auto path = writeSample("snap_trunc_src.juno");
+    const auto bytes = readAll(path);
+    ASSERT_GT(bytes.size(), 64u);
+    const auto trunc_path = tempPath("snap_trunc.juno");
+    // Step 7 keeps the loop fast while still covering every region
+    // (header, sections, TOC) plus the exact boundary cases.
+    for (std::size_t len = 0; len < bytes.size();
+         len += (len < 72 || len + 8 > bytes.size() ? 1 : 7)) {
+        writeAll(trunc_path,
+                 std::vector<char>(bytes.begin(),
+                                   bytes.begin() +
+                                       static_cast<std::ptrdiff_t>(len)));
+        for (const bool mmap : {false, true}) {
+            SnapshotOptions options;
+            options.use_mmap = mmap;
+            EXPECT_THROW(SnapshotReader(trunc_path, options),
+                         ConfigError)
+                << "len=" << len << " mmap=" << mmap;
+        }
+    }
+    std::remove(path.c_str());
+    std::remove(trunc_path.c_str());
+}
+
+/**
+ * Bit flips either surface as ConfigError (checksums, bound checks)
+ * or land in padding and change nothing; they must never crash. In
+ * buffered mode a flip inside any section payload is always caught.
+ */
+TEST(Snapshot, ByteFlipsNeverCrash)
+{
+    const auto path = writeSample("snap_flip_src.juno");
+    const auto bytes = readAll(path);
+    const auto flip_path = tempPath("snap_flip.juno");
+    SnapshotOptions buffered;
+    buffered.use_mmap = false;
+    for (std::size_t at = 0; at < bytes.size(); at += 3) {
+        auto corrupt = bytes;
+        corrupt[at] = static_cast<char>(corrupt[at] ^ 0x5A);
+        writeAll(flip_path, corrupt);
+        try {
+            SnapshotReader reader(flip_path, buffered);
+            auto meta = reader.stream("meta");
+            (void)meta.readPod<std::int32_t>();
+            (void)reader.blob("codes");
+        } catch (const ConfigError &) {
+            // expected for most offsets
+        }
+    }
+    // A flip inside the first section's payload (the spec string at
+    // offset 64) must be caught, not silently served.
+    auto corrupt = bytes;
+    corrupt[64] = static_cast<char>(corrupt[64] ^ 0x01);
+    writeAll(flip_path, corrupt);
+    EXPECT_THROW(SnapshotReader(flip_path, buffered), ConfigError);
+    std::remove(path.c_str());
+    std::remove(flip_path.c_str());
+}
+
+TEST(Snapshot, Crc32MatchesKnownVector)
+{
+    // The IEEE 802.3 check value for "123456789".
+    EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+    EXPECT_EQ(crc32("", 0), 0u);
+}
+
+} // namespace
+} // namespace juno

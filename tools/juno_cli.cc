@@ -1,32 +1,45 @@
 /**
  * @file
- * Command-line front end for building, persisting, searching and
- * evaluating JUNO indexes without writing C++.
+ * Command-line front end for the whole index lifecycle — describe,
+ * build, save, open, serve — without writing C++.
  *
  * Usage:
- *   juno_cli build  --out idx.bin [--base b.fvecs | --synthetic deep]
- *                   [--metric l2|ip] [--n 20000] [--clusters 256]
- *                   [--entries 128] [--seed 42]
- *   juno_cli search --index idx.bin [--queries q.fvecs | --synthetic deep]
+ *   juno_cli build  --save idx.juno [--spec "ivfpq:nlist=256,m=16"]
+ *                   [--base b.fvecs | --synthetic deep] [--metric l2|ip]
+ *                   [--n 20000] [--dim 0] [--seed 42]
+ *                   [--clusters 256] [--entries 128] [--nprobs 32]
+ *                   [--mode h|m|l] [--scale 1.0] [--train-points 10000]
+ *                   (without --spec the legacy JUNO flags compose a
+ *                   "juno:..." spec; any factory type works via --spec)
+ *   juno_cli search --load idx.juno [--queries q.fvecs | --synthetic deep]
  *                   [--k 100] [--nprobs 32] [--mode h|m|l] [--scale 1.0]
- *                   [--threads 1] [--batch 0]
- *   juno_cli eval   [--synthetic deep] [--metric l2|ip] [--n 20000]
+ *                   [--threads 1] [--batch 0] [--mmap 1]
+ *   juno_cli eval   [--load idx.juno | --spec ... | build flags]
+ *                   [--synthetic deep] [--metric l2|ip] [--n 20000]
  *                   [--k 100] [--queries-n 64] [--threads 1] ...
- *                   (build + search + ground truth + recall in one shot)
- *   juno_cli serve  [--index idx.bin | build flags] [--k 10]
+ *                   (build-or-load + search + ground truth + recall)
+ *   juno_cli serve  [--load idx.juno | --spec ... | build flags] [--k 10]
  *                   [--clients 4] [--window 8] [--requests 20000]
  *                   [--batch-max 32] [--linger-us 200]
- *                   [--queue-cap 4096] [--threads 1]
- *                   (drive the micro-batching SearchService with
- *                   concurrent single-query clients; prints QPS and
- *                   the queue/batch/search latency split)
+ *                   [--queue-cap 4096] [--threads 1] [--mmap 1]
+ *                   (drive the micro-batching SearchService; --load
+ *                   warm-starts from a snapshot: first-query-ready is
+ *                   page-in time, not a rebuild)
+ *   juno_cli parity --load idx.juno [data flags identical to build]
+ *                   (CI gate: re-opens the snapshot in this fresh
+ *                   process, rebuilds the same spec from scratch over
+ *                   the same dataset, and exits 1 unless results are
+ *                   bitwise identical)
  *
  * --threads shards the query batch across worker threads (0 = all
  * cores); --batch overrides the per-chunk query count. Results are
- * identical for every thread/batch setting.
+ * identical for every thread/batch setting. --mmap 0 disables
+ * zero-copy loading (sections are read and checksum-verified into
+ * owned buffers instead).
  *
  * Exit codes: 0 success, 1 invalid configuration (including malformed
- * flags) or runtime failure, 2 unknown or missing subcommand.
+ * flags and missing/truncated/wrong-magic snapshots) or runtime
+ * failure, 2 unknown or missing subcommand.
  */
 #include <atomic>
 #include <chrono>
@@ -35,15 +48,20 @@
 #include <deque>
 #include <future>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "baseline/hnsw.h"
+#include "baseline/ivfflat_index.h"
+#include "baseline/ivfpq_index.h"
 #include "core/juno_index.h"
 #include "dataset/ground_truth.h"
 #include "dataset/io.h"
 #include "dataset/recall.h"
 #include "dataset/synthetic.h"
+#include "registry/index_factory.h"
 #include "serve/search_service.h"
 
 using namespace juno;
@@ -127,18 +145,6 @@ parseMetric(const std::string &name)
     fatal("unknown metric '" + name + "' (use l2 or ip)");
 }
 
-SearchMode
-parseMode(const std::string &name)
-{
-    if (name == "h")
-        return SearchMode::kExactDistance;
-    if (name == "m")
-        return SearchMode::kRewardPenalty;
-    if (name == "l")
-        return SearchMode::kHitCount;
-    fatal("unknown mode '" + name + "' (use h, m or l)");
-}
-
 DatasetKind
 parseKind(const std::string &name)
 {
@@ -170,6 +176,7 @@ loadData(const Args &args, Metric metric)
     spec.kind = parseKind(args.get("synthetic", "deep"));
     spec.num_points = args.getInt("n", 20000);
     spec.num_queries = args.getInt("queries-n", 64);
+    spec.dim = args.getInt("dim", 0);
     spec.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
     return makeDataset(spec);
 }
@@ -185,59 +192,122 @@ optionsFrom(const Args &args)
     return options;
 }
 
-JunoParams
-paramsFrom(const Args &args)
+/**
+ * The spec to build: --spec verbatim, else the legacy JUNO flags
+ * composed into "juno:..." (the pre-factory behaviour).
+ */
+std::string
+specFrom(const Args &args)
 {
-    JunoParams params;
-    params.clusters = static_cast<int>(args.getInt("clusters", 256));
-    params.pq_entries = static_cast<int>(args.getInt("entries", 128));
-    params.nprobs = args.getInt("nprobs", 32);
-    params.mode = parseMode(args.get("mode", "h"));
-    params.threshold_scale = args.getDouble("scale", 1.0);
-    params.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
-    params.max_training_points = args.getInt("train-points", 10000);
-    return params;
+    if (args.has("spec"))
+        return args.get("spec", "");
+    IndexSpec spec;
+    spec.type = "juno";
+    spec.setInt("nlist", args.getInt("clusters", 256));
+    spec.setInt("entries", args.getInt("entries", 128));
+    spec.setInt("nprobe", args.getInt("nprobs", 32));
+    spec.set("mode", args.get("mode", "h"));
+    spec.setDouble("scale", args.getDouble("scale", 1.0));
+    spec.setInt("seed", args.getInt("seed", 42));
+    spec.setInt("train", args.getInt("train-points", 10000));
+    return spec.toString();
+}
+
+SnapshotOptions
+snapshotOptionsFrom(const Args &args)
+{
+    SnapshotOptions options;
+    options.use_mmap = args.getInt("mmap", 1) != 0;
+    return options;
+}
+
+/** The snapshot path of --load (with --index as the legacy alias). */
+std::string
+loadPath(const Args &args)
+{
+    return args.get("load", args.get("index", ""));
+}
+
+/** Applies search-time knobs to whatever index type was loaded. */
+void
+applyKnobs(AnnIndex &index, const Args &args)
+{
+    if (auto *j = dynamic_cast<JunoIndex *>(&index)) {
+        if (args.has("nprobs"))
+            j->setNprobs(args.getInt("nprobs", 32));
+        if (args.has("mode")) {
+            const std::string m = args.get("mode", "h");
+            if (m == "h")
+                j->setSearchMode(SearchMode::kExactDistance);
+            else if (m == "m")
+                j->setSearchMode(SearchMode::kRewardPenalty);
+            else if (m == "l")
+                j->setSearchMode(SearchMode::kHitCount);
+            else
+                fatal("unknown mode '" + m + "' (use h, m or l)");
+        }
+        if (args.has("scale"))
+            j->setThresholdScale(args.getDouble("scale", 1.0));
+        return;
+    }
+    if (auto *f = dynamic_cast<IvfFlatIndex *>(&index)) {
+        if (args.has("nprobs"))
+            f->setNprobs(args.getInt("nprobs", 8));
+        return;
+    }
+    if (auto *p = dynamic_cast<IvfPqIndex *>(&index)) {
+        if (args.has("nprobs"))
+            p->setNprobs(args.getInt("nprobs", 8));
+        return;
+    }
+    if (auto *h = dynamic_cast<Hnsw *>(&index)) {
+        if (args.has("ef"))
+            h->setEfSearch(static_cast<int>(args.getInt("ef", 64)));
+        return;
+    }
 }
 
 int
 cmdBuild(const Args &args)
 {
     const Metric metric = parseMetric(args.get("metric", "l2"));
-    const std::string out = args.get("out", "");
-    JUNO_REQUIRE(!out.empty(), "build requires --out <path>");
+    const std::string out = args.get("save", args.get("out", ""));
+    JUNO_REQUIRE(!out.empty(), "build requires --save <path>");
     const auto data = loadData(args, metric);
-    std::printf("building over %lld vectors (D=%lld, %s)...\n",
+    const std::string spec = specFrom(args);
+    std::printf("building %s over %lld vectors (D=%lld, %s)...\n",
+                spec.c_str(),
                 static_cast<long long>(data.base.rows()),
                 static_cast<long long>(data.base.cols()),
                 metricName(metric));
     Timer timer;
-    JunoIndex index(metric, data.base.view(), paramsFrom(args));
-    std::printf("built %s in %.1fs\n", index.name().c_str(),
+    auto index = buildIndex(metric, data.base.view(), spec);
+    std::printf("built %s in %.1fs\n", index->name().c_str(),
                 timer.seconds());
-    index.save(out);
-    std::printf("saved to %s\n", out.c_str());
+    Timer save_timer;
+    index->save(out);
+    std::printf("saved snapshot %s in %.0f ms (spec %s)\n", out.c_str(),
+                save_timer.millis(), index->spec().c_str());
     return 0;
 }
 
 int
 cmdSearch(const Args &args)
 {
-    const std::string path = args.get("index", "");
-    JUNO_REQUIRE(!path.empty(), "search requires --index <path>");
-    auto index = JunoIndex::load(path);
-    std::printf("loaded %s (%lld points)\n", index->name().c_str(),
-                static_cast<long long>(index->size()));
+    const std::string path = loadPath(args);
+    JUNO_REQUIRE(!path.empty(), "search requires --load <path>");
+    Timer load_timer;
+    auto index = openIndex(path, snapshotOptionsFrom(args));
+    std::printf("loaded %s in %.0f ms (%lld points, spec %s)\n",
+                index->name().c_str(), load_timer.millis(),
+                static_cast<long long>(index->size()),
+                index->spec().c_str());
 
     const auto data = loadData(args, index->metric());
     FloatMatrixView queries =
         data.queries.rows() > 0 ? data.queries.view() : data.base.view();
 
-    if (args.has("nprobs"))
-        index->setNprobs(args.getInt("nprobs", 32));
-    if (args.has("mode"))
-        index->setSearchMode(parseMode(args.get("mode", "h")));
-    if (args.has("scale"))
-        index->setThresholdScale(args.getDouble("scale", 1.0));
+    applyKnobs(*index, args);
     Timer timer;
     const auto results =
         index->search(SearchRequest(queries, optionsFrom(args)));
@@ -267,8 +337,33 @@ cmdSearch(const Args &args)
 int
 cmdEval(const Args &args)
 {
-    const Metric metric = parseMetric(args.get("metric", "l2"));
-    const auto data = loadData(args, metric);
+    std::unique_ptr<AnnIndex> index;
+    Dataset data;
+    if (!loadPath(args).empty()) {
+        index = openIndex(loadPath(args), snapshotOptionsFrom(args));
+        data = loadData(args, index->metric());
+        // Recall against ground truth over a *different* base set
+        // than the snapshot indexed would be silently meaningless.
+        JUNO_REQUIRE(index->size() == data.base.rows() &&
+                         index->dim() == data.base.cols(),
+                     "snapshot shape (" << index->size() << " x "
+                                        << index->dim()
+                                        << ") does not match the "
+                                           "dataset ("
+                                        << data.base.rows() << " x "
+                                        << data.base.cols()
+                                        << "); pass the build's data "
+                                           "flags");
+        std::printf("loaded %s (spec %s)\n", index->name().c_str(),
+                    index->spec().c_str());
+    } else {
+        const Metric metric = parseMetric(args.get("metric", "l2"));
+        data = loadData(args, metric);
+        Timer build_timer;
+        index = buildIndex(metric, data.base.view(), specFrom(args));
+        std::printf("build: %.1fs (%s)\n", build_timer.seconds(),
+                    index->name().c_str());
+    }
     JUNO_REQUIRE(data.queries.rows() > 0,
                  "eval needs queries (--queries or --queries-n)");
     std::printf("dataset %s: %lld points, %lld queries, D=%lld\n",
@@ -278,19 +373,15 @@ cmdEval(const Args &args)
                 static_cast<long long>(data.base.cols()));
 
     const idx_t k = args.getInt("k", 100);
-    const auto gt = computeGroundTruth(metric, data.base.view(),
+    const auto gt = computeGroundTruth(index->metric(), data.base.view(),
                                        data.queries.view(), k);
-
-    Timer build_timer;
-    JunoIndex index(metric, data.base.view(), paramsFrom(args));
-    std::printf("build: %.1fs (%s)\n", build_timer.seconds(),
-                index.name().c_str());
+    applyKnobs(*index, args);
 
     Timer timer;
     const auto results =
-        index.search(SearchRequest(data.queries.view(), optionsFrom(args)));
+        index->search(SearchRequest(data.queries.view(), optionsFrom(args)));
     const double secs = timer.seconds();
-    std::printf("QPS (%d threads): %.0f\n", index.lastSearchThreads(),
+    std::printf("QPS (%d threads): %.0f\n", index->lastSearchThreads(),
                 static_cast<double>(data.queries.rows()) / secs);
     std::printf("R1@%lld: %.4f\n", static_cast<long long>(k),
                 recall1AtK(gt, results));
@@ -298,39 +389,70 @@ cmdEval(const Args &args)
 }
 
 /**
+ * CI persistence gate: re-open a snapshot in this (fresh) process,
+ * rebuild the identical spec from scratch over the same dataset, and
+ * require bitwise-identical search results from both.
+ */
+int
+cmdParity(const Args &args)
+{
+    const std::string path = loadPath(args);
+    JUNO_REQUIRE(!path.empty(), "parity requires --load <path>");
+    auto loaded = openIndex(path, snapshotOptionsFrom(args));
+    std::printf("loaded %s (spec %s, %s)\n", loaded->name().c_str(),
+                loaded->spec().c_str(),
+                snapshotOptionsFrom(args).use_mmap ? "mmap" : "buffered");
+
+    const auto data = loadData(args, loaded->metric());
+    FloatMatrixView queries =
+        data.queries.rows() > 0 ? data.queries.view() : data.base.view();
+    JUNO_REQUIRE(loaded->size() == data.base.rows() &&
+                     loaded->dim() == data.base.cols(),
+                 "snapshot shape (" << loaded->size() << " x "
+                                    << loaded->dim()
+                                    << ") does not match the dataset ("
+                                    << data.base.rows() << " x "
+                                    << data.base.cols()
+                                    << "); pass the build's data flags");
+
+    std::printf("rebuilding %s from scratch for comparison...\n",
+                loaded->spec().c_str());
+    auto rebuilt =
+        buildIndex(loaded->metric(), data.base.view(), loaded->spec());
+
+    const auto options = optionsFrom(args);
+    const auto from_snapshot =
+        loaded->search(SearchRequest(queries, options));
+    const auto from_scratch =
+        rebuilt->search(SearchRequest(queries, options));
+    std::size_t mismatches = 0;
+    for (std::size_t q = 0; q < from_snapshot.size(); ++q)
+        if (from_snapshot[q] != from_scratch[q])
+            ++mismatches;
+    if (mismatches != 0) {
+        std::fprintf(stderr,
+                     "PARITY FAIL: %zu of %zu queries differ between "
+                     "the re-opened snapshot and the fresh build\n",
+                     mismatches, from_snapshot.size());
+        return 1;
+    }
+    std::printf("PARITY PASS: %zu queries bitwise identical between "
+                "snapshot and fresh build (k=%lld, threads=%d)\n",
+                from_snapshot.size(),
+                static_cast<long long>(options.k), options.threads);
+    return 0;
+}
+
+/**
  * Serves single-query traffic through the micro-batching
- * SearchService over a built (or loaded) JUNO index: client threads
- * submit one query at a time, the service assembles engine batches,
- * and the run ends with the SLO accounting table (queue/batch/search
- * latency split at p50/p95/p99).
+ * SearchService: client threads submit one query at a time, the
+ * service assembles engine batches, and the run ends with the SLO
+ * accounting table (queue/batch/search latency split at p50/p95/p99).
+ * With --load the service warm-starts from a snapshot.
  */
 int
 cmdServe(const Args &args)
 {
-    std::unique_ptr<JunoIndex> index;
-    Dataset data;
-    if (args.has("index")) {
-        index = JunoIndex::load(args.get("index", ""));
-        data = loadData(args, index->metric());
-    } else {
-        const Metric metric = parseMetric(args.get("metric", "l2"));
-        data = loadData(args, metric);
-        std::printf("building over %lld vectors...\n",
-                    static_cast<long long>(data.base.rows()));
-        index = std::make_unique<JunoIndex>(metric, data.base.view(),
-                                            paramsFrom(args));
-    }
-    FloatMatrixView queries =
-        data.queries.rows() > 0 ? data.queries.view() : data.base.view();
-    JUNO_REQUIRE(queries.rows() > 0, "serve needs queries");
-    // submit(const float*) trusts the caller on length; check here so
-    // a d-mismatched query file cannot make the service read past row
-    // ends.
-    JUNO_REQUIRE(queries.cols() == index->dim(),
-                 "dimension mismatch: queries have "
-                     << queries.cols() << " columns, index has "
-                     << index->dim());
-
     ServiceConfig config;
     config.max_batch = args.getInt("batch-max", 32);
     config.linger =
@@ -342,6 +464,46 @@ cmdServe(const Args &args)
     config.queue_capacity = static_cast<std::size_t>(queue_cap);
     config.search_threads =
         static_cast<int>(args.getInt("threads", 1));
+
+    std::unique_ptr<SearchService> service;
+    Dataset data;
+    Timer ready_timer;
+    if (!loadPath(args).empty()) {
+        // Warm start: the service owns the index it opens; with mmap
+        // enabled the large payloads fault in on first use, so
+        // readiness is not gated on a parse of the whole file.
+        service = std::make_unique<SearchService>(
+            loadPath(args), config, snapshotOptionsFrom(args));
+        std::printf("first-query-ready in %.0f ms (%s)\n",
+                    ready_timer.millis(),
+                    service->index().name().c_str());
+        data = loadData(args, service->index().metric());
+    } else {
+        const Metric metric = parseMetric(args.get("metric", "l2"));
+        // One dataset serves both the build and the query traffic —
+        // synthetic generation (or fvecs IO) must not run twice.
+        data = loadData(args, metric);
+        std::printf("building over %lld vectors...\n",
+                    static_cast<long long>(data.base.rows()));
+        service = std::make_unique<SearchService>(
+            buildIndex(metric, data.base.view(), specFrom(args)),
+            config);
+        std::printf("first-query-ready in %.0f ms (%s)\n",
+                    ready_timer.millis(),
+                    service->index().name().c_str());
+    }
+    AnnIndex &index = service->index();
+    FloatMatrixView queries =
+        data.queries.rows() > 0 ? data.queries.view() : data.base.view();
+    JUNO_REQUIRE(queries.rows() > 0, "serve needs queries");
+    // submit(const float*) trusts the caller on length; check here so
+    // a d-mismatched query file cannot make the service read past row
+    // ends.
+    JUNO_REQUIRE(queries.cols() == index.dim(),
+                 "dimension mismatch: queries have "
+                     << queries.cols() << " columns, index has "
+                     << index.dim());
+
     const idx_t k = args.getInt("k", 10);
     const int clients = static_cast<int>(args.getInt("clients", 4));
     const int window = static_cast<int>(args.getInt("window", 8));
@@ -354,9 +516,8 @@ cmdServe(const Args &args)
                 total, clients, window,
                 static_cast<long long>(config.max_batch),
                 static_cast<long long>(config.linger.count()),
-                index->name().c_str());
-    SearchService service(*index, config);
-    service.start();
+                index.name().c_str());
+    service->start();
     Timer timer;
     std::atomic<int> client_failures{0};
     std::vector<std::thread> threads;
@@ -380,14 +541,14 @@ cmdServe(const Args &args)
                         inflight.front().get();
                         inflight.pop_front();
                     }
-                    auto f = service.submit(queries.row(qi), k);
+                    auto f = service->submit(queries.row(qi), k);
                     // Closed-loop backpressure: a full queue means
                     // the dispatcher is behind — yield and retry so
                     // exactly --requests get served instead of
                     // silently shrinking the run.
-                    while (!f.valid() && service.running()) {
+                    while (!f.valid() && service->running()) {
                         std::this_thread::yield();
-                        f = service.submit(queries.row(qi), k);
+                        f = service->submit(queries.row(qi), k);
                     }
                     qi = (qi + 1) % queries.rows();
                     if (f.valid())
@@ -406,11 +567,11 @@ cmdServe(const Args &args)
     for (auto &t : threads)
         t.join();
     const double secs = timer.seconds();
-    service.stop();
+    service->stop();
     JUNO_REQUIRE(client_failures.load() == 0,
                  client_failures.load() << " serving clients failed");
 
-    const auto snap = service.snapshot();
+    const auto snap = service->snapshot();
     std::printf("served %llu requests in %.2fs: %.0f QPS, mean batch "
                 "%.1f, rejected %llu\n",
                 static_cast<unsigned long long>(snap.completed), secs,
@@ -436,10 +597,33 @@ cmdServe(const Args &args)
 void
 usage()
 {
+    std::string types;
+    for (const auto &t : IndexFactory::instance().types()) {
+        if (!types.empty())
+            types += ", ";
+        types += t;
+    }
     std::fprintf(
         stderr,
-        "usage: juno_cli <build|search|eval|serve> [--option value]...\n"
-        "see the file header of tools/juno_cli.cc for details\n");
+        "usage: juno_cli <build|search|eval|serve|parity> "
+        "[--option value]...\n"
+        "\n"
+        "  build   train an index and save a snapshot:\n"
+        "          --save idx.juno [--spec \"type:k=v,...\"] "
+        "[data flags]\n"
+        "  search  open a snapshot and run a query batch:\n"
+        "          --load idx.juno [--k K] [--threads T] [--mmap 0|1]\n"
+        "  eval    build or load, then report QPS and recall\n"
+        "  serve   drive the micro-batching service; --load idx.juno\n"
+        "          warm-starts from a snapshot (build-once/serve-many)\n"
+        "  parity  gate: snapshot results == fresh-build results\n"
+        "\n"
+        "  index types for --spec: %s\n"
+        "  data flags: --base/--queries (fvecs) or --synthetic "
+        "deep|sift|tti|uniform with --n/--dim/--queries-n/--seed\n"
+        "\n"
+        "see the file header of tools/juno_cli.cc for all flags\n",
+        types.c_str());
 }
 
 } // namespace
@@ -462,6 +646,8 @@ main(int argc, char **argv)
             return cmdEval(args);
         if (cmd == "serve")
             return cmdServe(args);
+        if (cmd == "parity")
+            return cmdParity(args);
         std::fprintf(stderr, "juno_cli: unknown subcommand '%s'\n",
                      cmd.c_str());
         usage();
