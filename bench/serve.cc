@@ -47,6 +47,7 @@
 #include "dataset/synthetic.h"
 #include "harness/reporter.h"
 #include "registry/index_factory.h"
+#include "serve/hot_list_cache.h"
 #include "serve/search_service.h"
 
 using namespace juno;
@@ -67,6 +68,8 @@ struct Options {
     std::string json_path;
     /** Snapshot to serve from (skips the in-process build). */
     std::string load_path;
+    /** Hot-list cache budget (bytes, k/m/g suffix); -1 = unset. */
+    std::int64_t mem_budget = -1;
     idx_t num_points = 8000;
     idx_t dim = 96;
     idx_t num_queries = 256;
@@ -92,6 +95,9 @@ struct RunResult {
     ServiceStats::Snapshot snap;
 };
 
+/** Out-of-core budget forwarded to every service in the sweep. */
+std::int64_t g_mem_budget = -1;
+
 ServiceConfig
 serviceConfig(const BatchSetting &setting)
 {
@@ -99,6 +105,7 @@ serviceConfig(const BatchSetting &setting)
     config.max_batch = setting.max_batch;
     config.linger = setting.linger;
     config.queue_capacity = 4096;
+    config.memory_budget_bytes = g_mem_budget;
     return config;
 }
 
@@ -333,6 +340,15 @@ parseArgs(int argc, char **argv)
             opt.json_path = value("--json");
         else if (arg == "--load")
             opt.load_path = value("--load");
+        else if (arg == "--mem-budget") {
+            const std::string text = value("--mem-budget");
+            opt.mem_budget = HotListCache::parseByteSize(text);
+            if (opt.mem_budget < 0) {
+                std::fprintf(stderr, "bad --mem-budget '%s'\n",
+                             text.c_str());
+                std::exit(2);
+            }
+        }
         else if (arg == "--n")
             opt.num_points = std::atoll(value("--n").c_str());
         else if (arg == "--dim")
@@ -354,6 +370,7 @@ parseArgs(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: bench_serve [--smoke] [--quick] "
                          "[--json path] [--load snapshot.juno] "
+                         "[--mem-budget BYTES[k|m|g]] "
                          "[--n N] [--dim D] [--k K] "
                          "[--clients C] [--requests R]\n");
             std::exit(2);
@@ -420,6 +437,16 @@ writeJson(const std::string &path,
             << cap.snap.total_us.p50
             << ", \"p95\": " << cap.snap.total_us.p95
             << ", \"p99\": " << cap.snap.total_us.p99 << "},\n"
+            << "     \"memory\": {\"rss_bytes\": "
+            << cap.snap.usage.rss_bytes
+            << ", \"major_faults\": " << cap.snap.usage.major_faults
+            << ", \"minor_faults\": " << cap.snap.usage.minor_faults
+            << ", \"cache_budget_bytes\": "
+            << cap.snap.cache.budget_bytes
+            << ", \"cache_hits\": " << cap.snap.cache.hits
+            << ", \"cache_misses\": " << cap.snap.cache.misses
+            << ", \"cache_pinned_bytes\": "
+            << cap.snap.cache.pinned_bytes << "},\n"
             << "     \"open_loop\": [\n";
         for (std::size_t p = 0; p < open_loop[s].size(); ++p) {
             const auto &r = open_loop[s][p];
@@ -445,6 +472,7 @@ int
 main(int argc, char **argv)
 {
     const Options opt = parseArgs(argc, argv);
+    g_mem_budget = opt.mem_budget;
 
     SyntheticSpec spec;
     spec.kind = DatasetKind::kDeepLike;
@@ -570,6 +598,24 @@ main(int argc, char **argv)
                 settings[best_setting].label.c_str(),
                 capacity[best_setting].qps /
                     std::max(baseline_qps, 1e-9));
+    const auto &mem = capacity[best_setting].snap;
+    std::printf("memory at %s: rss %.1f MiB, faults major %llu minor "
+                "%llu",
+                settings[best_setting].label.c_str(),
+                static_cast<double>(mem.usage.rss_bytes) /
+                    (1024.0 * 1024.0),
+                static_cast<unsigned long long>(mem.usage.major_faults),
+                static_cast<unsigned long long>(
+                    mem.usage.minor_faults));
+    if (mem.cache.budget_bytes > 0)
+        std::printf(", cache %zu lists / %.1f MiB pinned, %llu hits "
+                    "%llu misses",
+                    mem.cache.resident_lists,
+                    static_cast<double>(mem.cache.pinned_bytes) /
+                        (1024.0 * 1024.0),
+                    static_cast<unsigned long long>(mem.cache.hits),
+                    static_cast<unsigned long long>(mem.cache.misses));
+    std::printf("\n");
 
     // ---- Open-loop QPS vs latency split ----
     printBanner("Open loop (Poisson arrivals): QPS vs latency SLO");

@@ -13,6 +13,8 @@
 #ifndef JUNO_BASELINE_INDEX_H
 #define JUNO_BASELINE_INDEX_H
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +29,7 @@
 namespace juno {
 
 class SnapshotWriter;
+class HotListCache;
 
 /** Common interface of every searchable index in this repository. */
 class AnnIndex {
@@ -102,6 +105,27 @@ class AnnIndex {
     /** Worker count actually used by the most recent search(). */
     int lastSearchThreads() const { return engine_.lastThreadCount(); }
 
+    /**
+     * Attaches (or resizes) a hot-list cache of @p bytes for
+     * out-of-core serving; 0 detaches it. Returns false when this
+     * index type has no IO-aware probe path (the default). Resizing
+     * discards the previous cache's contents and counters. Not safe
+     * concurrently with in-flight searches of the *same* budget
+     * transition, but the SearchOptions funnel only calls it on a
+     * budget change, and in-flight scans keep their shared_ptr.
+     */
+    virtual bool setMemoryBudget(std::int64_t bytes)
+    {
+        (void)bytes;
+        return false;
+    }
+
+    /** The attached hot-list cache (counters), or null when none. */
+    virtual std::shared_ptr<const HotListCache> hotListCache() const
+    {
+        return nullptr;
+    }
+
   protected:
     /**
      * Answers queries [chunk.begin, chunk.end), writing each result
@@ -122,6 +146,9 @@ class AnnIndex {
     StageTimers timers_;
 
   private:
+    /** Applies SearchOptions::memory_budget_bytes (env fallback). */
+    void applyMemoryBudget(std::int64_t requested);
+
     QueryEngine engine_;
 };
 

@@ -126,6 +126,24 @@ IvfFlatIndex::open(SnapshotReader &reader)
     return index;
 }
 
+bool
+IvfFlatIndex::setMemoryBudget(std::int64_t bytes)
+{
+    JUNO_REQUIRE(bytes >= 0, "negative memory budget");
+    std::shared_ptr<HotListCache> next;
+    if (bytes > 0)
+        next = std::make_shared<HotListCache>(
+            static_cast<std::size_t>(bytes), ivf_.numClusters());
+    std::atomic_store(&hot_cache_, next);
+    return true;
+}
+
+std::shared_ptr<const HotListCache>
+IvfFlatIndex::hotListCache() const
+{
+    return std::atomic_load(&hot_cache_);
+}
+
 namespace {
 /**
  * Queries scored per GEMM call. The tile's cross-query amortisation
@@ -135,6 +153,12 @@ namespace {
  * 100k x C matrix per context).
  */
 constexpr idx_t kFilterBlock = 16;
+
+/** Per-worker out-of-core scratch (ctx.scratch slot). */
+struct FlatOocScratch {
+    /** Contiguous re-materialisation of one cold list's rows. */
+    std::vector<float> gather;
+};
 } // namespace
 
 void
@@ -196,6 +220,15 @@ IvfFlatIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
     const idx_t d = points_.cols();
     const idx_t C = ivf_.numClusters();
     const auto &kernels = simd::active();
+    auto cache_sp = std::atomic_load(&hot_cache_);
+    HotListCache *cache =
+        cache_sp != nullptr && cache_sp->enabled() ? cache_sp.get()
+                                                   : nullptr;
+    FlatOocScratch *ooc =
+        cache != nullptr
+            ? &ctx.scratch<FlatOocScratch>(
+                  [] { return std::make_unique<FlatOocScratch>(); })
+            : nullptr;
     for (idx_t block = chunk.begin; block < chunk.end;
          block += kFilterBlock) {
         const idx_t block_end =
@@ -226,11 +259,53 @@ IvfFlatIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
             // is a data-dependent random load — prefetching a couple
             // of ids ahead overlaps the miss with the current row's
             // reduction.
+            //
+            // With a hot-list cache attached, a pinned list scans its
+            // contiguous heap copy (fault-free, streaming); a cold
+            // list gathers its rows once into contiguous scratch,
+            // scans that, and offers it for admission — same bytes
+            // through the same kernel in the same push order, so
+            // results are bitwise identical to the plain path.
             for (const auto &probe : ctx.probes) {
-                const auto &plist =
-                    ivf_.list(static_cast<cluster_t>(probe.id));
-                for (std::size_t pi = 0; pi < plist.size(); ++pi) {
-                    if (pi + 2 < plist.size())
+                const cluster_t c = static_cast<cluster_t>(probe.id);
+                const auto &plist = ivf_.list(c);
+                const std::size_t ln = plist.size();
+                if (cache != nullptr) {
+                    const float *rows = nullptr;
+                    HotListCache::EntryPtr entry = cache->find(c);
+                    if (entry != nullptr) {
+                        rows = entry->primaryAs<float>();
+                    } else {
+                        auto &gather = ooc->gather;
+                        gather.resize(ln * static_cast<std::size_t>(d));
+                        for (std::size_t pi = 0; pi < ln; ++pi) {
+                            if (pi + 2 < ln)
+                                __builtin_prefetch(
+                                    points_.row(plist[pi + 2]));
+                            std::copy_n(
+                                points_.row(plist[pi]),
+                                static_cast<std::size_t>(d),
+                                gather.begin() +
+                                    pi * static_cast<std::size_t>(d));
+                        }
+                        rows = gather.data();
+                        cache->offer(c, gather.data(),
+                                     gather.size() * sizeof(float),
+                                     nullptr, 0);
+                    }
+                    for (std::size_t pi = 0; pi < ln; ++pi) {
+                        const float *row =
+                            rows + pi * static_cast<std::size_t>(d);
+                        const float s =
+                            metric_ == Metric::kL2
+                                ? kernels.l2_sqr(q, row, d)
+                                : kernels.inner_product(q, row, d);
+                        top.push(plist[pi], s);
+                    }
+                    continue;
+                }
+                for (std::size_t pi = 0; pi < ln; ++pi) {
+                    if (pi + 2 < ln)
                         __builtin_prefetch(
                             points_.row(plist[pi + 2]));
                     const idx_t pid = plist[pi];

@@ -24,6 +24,7 @@
 #include "baseline/index.h"
 #include "common/mmap_blob.h"
 #include "ivf/ivf.h"
+#include "serve/hot_list_cache.h"
 
 namespace juno {
 
@@ -62,6 +63,20 @@ class IvfFlatIndex : public AnnIndex {
     void setNprobs(idx_t nprobs) { nprobs_ = nprobs; }
     const InvertedFileIndex &ivf() const { return ivf_; }
 
+    /**
+     * Attaches an admission-controlled HotListCache of @p bytes for
+     * out-of-core serving; 0 detaches it. An inverted list's rows are
+     * scattered through the mapped point matrix, so a per-list
+     * madvise is impractical here — instead a hot list's rows are
+     * re-materialised *contiguously* (in list order) in the pinned
+     * copy, which both survives OS eviction and streams instead of
+     * random-loading. Cold lists keep the legacy gather. Results are
+     * bitwise identical either way (same kernel, same bytes, same
+     * push order).
+     */
+    bool setMemoryBudget(std::int64_t bytes) override;
+    std::shared_ptr<const HotListCache> hotListCache() const override;
+
   protected:
     void searchChunk(const SearchChunk &chunk, SearchContext &ctx) override;
     void saveSections(SnapshotWriter &writer) const override;
@@ -94,6 +109,8 @@ class IvfFlatIndex : public AnnIndex {
     FloatMatrix centroids_t_;
     /** |c|^2 per centroid (L2 probe scoring; empty under IP). */
     std::vector<float> centroid_norms_;
+    /** Out-of-core hot-list cache; null when no budget is set. */
+    std::shared_ptr<HotListCache> hot_cache_;
 };
 
 } // namespace juno

@@ -5,6 +5,7 @@
 
 #include "common/distance.h"
 #include "common/logging.h"
+#include "common/mmap_blob.h"
 #include "common/simd.h"
 #include "registry/index_spec.h"
 #include "registry/snapshot.h"
@@ -194,6 +195,24 @@ IvfPqIndex::open(SnapshotReader &reader)
     return index;
 }
 
+bool
+IvfPqIndex::setMemoryBudget(std::int64_t bytes)
+{
+    JUNO_REQUIRE(bytes >= 0, "negative memory budget");
+    std::shared_ptr<HotListCache> next;
+    if (bytes > 0)
+        next = std::make_shared<HotListCache>(
+            static_cast<std::size_t>(bytes), ivf_.numClusters());
+    std::atomic_store(&hot_cache_, next);
+    return true;
+}
+
+std::shared_ptr<const HotListCache>
+IvfPqIndex::hotListCache() const
+{
+    return std::atomic_load(&hot_cache_);
+}
+
 std::vector<Neighbor>
 IvfPqIndex::probe(const float *query, idx_t nprobs) const
 {
@@ -237,8 +256,56 @@ IvfPqIndex::buildLut(const float *query, cluster_t cluster, FloatMatrix &lut,
 }
 
 void
+IvfPqIndex::orderProbesResidentFirst(const std::vector<Neighbor> &probes,
+                                     HotListCache &cache,
+                                     ScanScratch &scratch) const
+{
+    auto &order = scratch.order;
+    auto &cold = scratch.cold;
+    auto &deferred = scratch.deferred;
+    order.clear();
+    cold.clear();
+    deferred.clear();
+    // Pass 1: pinned lists scan first, straight out of heap copies.
+    for (const auto &pr : probes) {
+        const cluster_t c = static_cast<cluster_t>(pr.id);
+        if (auto entry = cache.find(c))
+            order.push_back({c, std::move(entry)});
+        else
+            cold.push_back(c);
+    }
+    // Pass 2: split the misses. A miss whose pages the OS still holds
+    // scans next (fault-free anyway); a truly cold miss gets its
+    // WILLNEED issued *now* and scans last, so its page-ins proceed
+    // while the resident scans run.
+    const bool mapped = interleaved_.planesMapped();
+    for (const cluster_t c : cold) {
+        // One-page mincore probe: a list's extent pages in and out
+        // together (sequential access), so the first page is a cheap
+        // proxy for the whole extent. Unknown (-1) counts as cold.
+        const bool resident =
+            !mapped ||
+            memResidentFraction(interleaved_.listBlocks(c), 1) >= 1.0;
+        if (resident) {
+            order.push_back({c, nullptr});
+            continue;
+        }
+        memAdvise(interleaved_.listBlocks(c),
+                  interleaved_.listBlocksBytes(c), MemAdvice::kWillNeed);
+        if (interleaved_.packed4())
+            memAdvise(interleaved_.listPacked(c),
+                      interleaved_.listPackedBytes(c),
+                      MemAdvice::kWillNeed);
+        deferred.push_back(c);
+    }
+    for (const cluster_t c : deferred)
+        order.push_back({c, nullptr});
+}
+
+void
 IvfPqIndex::scanList(cluster_t cluster, const FloatMatrix &lut, float base,
-                     ScanScratch &scratch, TopK &top) const
+                     ScanScratch &scratch, TopK &top,
+                     const CachedList *pinned, HotListCache *cache) const
 {
     const std::vector<idx_t> &list = ivf_.list(cluster);
     const std::size_t n = list.size();
@@ -246,18 +313,31 @@ IvfPqIndex::scanList(cluster_t cluster, const FloatMatrix &lut, float base,
         return;
     const int subspaces = pq_.numSubspaces();
 
+    // A cold interleaved scan offers its payload for admission; the
+    // cache copies it out of the mapping only when the list has
+    // earned residency (and the budget can take it).
+    if (cache != nullptr && pinned == nullptr && interleaved_.built())
+        cache->offer(cluster, interleaved_.listBlocks(cluster),
+                     interleaved_.listBlocksBytes(cluster),
+                     interleaved_.packed4()
+                         ? interleaved_.listPacked(cluster)
+                         : nullptr,
+                     interleaved_.listPackedBytes(cluster));
+
     if (interleaved_.built() && interleaved_.packed4() &&
         simd::level() != simd::Level::kScalar) {
         // 4-bit fast scan: quantise the float LUT once per (query,
         // probe), scan the nibble plane with in-register shuffles,
         // then reconstruct float scores only for blocks whose best
         // quantised sum can still beat the current heap minimum.
+        const std::uint8_t *packed =
+            pinned != nullptr ? pinned->secondaryAs<std::uint8_t>()
+                              : interleaved_.listPacked(cluster);
         quantizeLut(lut, pq_.entries(), scratch.qlut);
         if (scratch.qsums.size() < n)
             scratch.qsums.resize(n);
-        simd::fastScanPq4(interleaved_.listPacked(cluster), subspaces,
-                          scratch.qlut.table.data(), n,
-                          scratch.qsums.data());
+        simd::fastScanPq4(packed, subspaces, scratch.qlut.table.data(),
+                          n, scratch.qsums.data());
         const float scale = scratch.qlut.scale;
         const float offset = base + scratch.qlut.bias;
         const std::uint16_t *qs = scratch.qsums.data();
@@ -298,9 +378,12 @@ IvfPqIndex::scanList(cluster_t cluster, const FloatMatrix &lut, float base,
         // Streaming float scan over the interleaved blocks; bitwise
         // identical to the legacy gather (same per-point accumulation
         // order), minus the per-point random code-row load.
+        const entry_t *blocks =
+            pinned != nullptr ? pinned->primaryAs<entry_t>()
+                              : interleaved_.listBlocks(cluster);
         simd::adcScanInterleaved(lut.data(), lut.cols(), subspaces,
-                                 interleaved_.listBlocks(cluster), n,
-                                 base, scratch.scores.data());
+                                 blocks, n, base,
+                                 scratch.scores.data());
     } else {
         simd::adcScan(lut.data(), lut.cols(), subspaces,
                       codes_.data(),
@@ -318,24 +401,41 @@ IvfPqIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
     // across queries and batches alongside the other context buffers.
     ScanScratch &scan = ctx.scratch<ScanScratch>(
         [] { return std::make_unique<ScanScratch>(); });
+    // IO-aware probing engages only with a cache attached and the
+    // interleaved layout built (the legacy gather has no per-list
+    // payload to pin or prefetch). The shared_ptr keeps the cache
+    // alive across the chunk even if the budget changes mid-batch.
+    auto cache_sp = std::atomic_load(&hot_cache_);
+    HotListCache *cache = cache_sp != nullptr && cache_sp->enabled() &&
+                                  interleaved_.built()
+                              ? cache_sp.get()
+                              : nullptr;
     for (idx_t qi = chunk.begin; qi < chunk.end; ++qi) {
         const float *q = chunk.queries.row(qi);
 
         {
             ScopedStageTimer t(ctx.timers(), "filter");
             ctx.probes = probe(q, nprobs_, ctx.visited);
+            if (cache != nullptr) {
+                orderProbesResidentFirst(ctx.probes, *cache, scan);
+            } else {
+                scan.order.clear();
+                for (const auto &pr : ctx.probes)
+                    scan.order.push_back(
+                        {static_cast<cluster_t>(pr.id), nullptr});
+            }
         }
 
         TopK top(std::min(chunk.k, num_points_), metric_);
-        for (const auto &pr : ctx.probes) {
-            const cluster_t c = static_cast<cluster_t>(pr.id);
+        for (const auto &op : scan.order) {
             float base = 0.0f;
             {
                 ScopedStageTimer t(ctx.timers(), "lut");
-                buildLut(q, c, ctx.lut, base, ctx.residual);
+                buildLut(q, op.cluster, ctx.lut, base, ctx.residual);
             }
             ScopedStageTimer t(ctx.timers(), "scan");
-            scanList(c, ctx.lut, base, scan, top);
+            scanList(op.cluster, ctx.lut, base, scan, top,
+                     op.entry.get(), cache);
         }
         (*chunk.results)[static_cast<std::size_t>(qi)] = top.take();
     }

@@ -27,6 +27,7 @@
 #include "ivf/ivf.h"
 #include "quant/interleaved_codes.h"
 #include "quant/product_quantizer.h"
+#include "serve/hot_list_cache.h"
 
 namespace juno {
 
@@ -70,6 +71,18 @@ class IvfPqIndex : public AnnIndex {
 
     idx_t nprobs() const { return nprobs_; }
     void setNprobs(idx_t nprobs) { nprobs_ = nprobs; }
+
+    /**
+     * Attaches an admission-controlled HotListCache of @p bytes and
+     * switches the batched scan loop to IO-aware probing: pinned
+     * lists scan first out of heap copies, cold lists get a WILLNEED
+     * prefetch up front and scan last (resident ones before truly
+     * cold ones, classified with a one-page mincore probe). 0 detaches
+     * the cache and restores the plain probe order. Results are
+     * bitwise identical either way.
+     */
+    bool setMemoryBudget(std::int64_t bytes) override;
+    std::shared_ptr<const HotListCache> hotListCache() const override;
 
     const InvertedFileIndex &ivf() const { return ivf_; }
     const ProductQuantizer &pq() const { return pq_; }
@@ -121,7 +134,29 @@ class IvfPqIndex : public AnnIndex {
         std::vector<float> scores;
         QuantizedLut qlut;
         std::vector<std::uint16_t> qsums;
+        /** One probe in scan order, with its pinned copy when cached. */
+        struct OrderedProbe {
+            cluster_t cluster;
+            HotListCache::EntryPtr entry; ///< null when not pinned
+        };
+        std::vector<OrderedProbe> order;
+        std::vector<cluster_t> cold;     ///< cache misses (reorder pass)
+        std::vector<cluster_t> deferred; ///< truly cold tail
     };
+
+    /**
+     * Reorders @p probes resident-first into scratch.order: cache
+     * hits (pinned heap copies, fault-free), then cache misses whose
+     * first mapped page mincore reports resident, then truly cold
+     * lists — which get their interleaved extents WILLNEED-prefetched
+     * *before* the warm scans run, so page-ins overlap useful work.
+     * Pure reordering: the scanned set is exactly @p probes, and the
+     * top-k is scan-order independent (TopK tie-breaks by id; the
+     * fast-scan block bound skips only strictly-worse blocks).
+     */
+    void orderProbesResidentFirst(const std::vector<Neighbor> &probes,
+                                  HotListCache &cache,
+                                  ScanScratch &scratch) const;
 
     /**
      * ADC-scans one inverted list against a dense LUT (paper stage D)
@@ -138,8 +173,15 @@ class IvfPqIndex : public AnnIndex {
      * Both the batched searchChunk() path and the legacy
      * searchOneRecordingUsage() path funnel through this one helper.
      */
+    /**
+     * @p pinned substitutes the list's cached heap copy for the
+     * mapped planes (bitwise-identical bytes); @p cache, when set,
+     * receives an offer of the payload after a cold interleaved scan.
+     */
     void scanList(cluster_t cluster, const FloatMatrix &lut, float base,
-                  ScanScratch &scratch, TopK &top) const;
+                  ScanScratch &scratch, TopK &top,
+                  const CachedList *pinned = nullptr,
+                  HotListCache *cache = nullptr) const;
 
     Metric metric_ = Metric::kL2;
     idx_t num_points_ = 0;
@@ -153,6 +195,12 @@ class IvfPqIndex : public AnnIndex {
     idx_t nprobs_ = 8;
     std::unique_ptr<Hnsw> router_;
     int hnsw_ef_search_ = 64;
+    /**
+     * Out-of-core hot-list cache; null when no budget is set. Read
+     * with atomic_load so setMemoryBudget() can swap it under
+     * concurrent searches (in-flight scans keep their shared_ptr).
+     */
+    std::shared_ptr<HotListCache> hot_cache_;
 };
 
 } // namespace juno

@@ -1,5 +1,9 @@
 #include "common/mmap_blob.h"
 
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
 #if defined(__unix__) || defined(__APPLE__)
 #define JUNO_HAVE_MMAP 1
 #include <fcntl.h>
@@ -10,15 +14,131 @@
 
 namespace juno {
 
+#ifdef JUNO_HAVE_MMAP
+namespace {
+
+std::size_t
+pageSize()
+{
+    static const std::size_t size = [] {
+        const long page = ::sysconf(_SC_PAGESIZE);
+        return page > 0 ? static_cast<std::size_t>(page)
+                        : static_cast<std::size_t>(4096);
+    }();
+    return size;
+}
+
+/**
+ * Widens [p, p + len) to page boundaries. Returns false for ranges
+ * madvise/mincore cannot take (null or empty).
+ */
+bool
+pageSpan(const void *p, std::size_t len, void *&base, std::size_t &span)
+{
+    if (p == nullptr || len == 0)
+        return false;
+    const std::size_t page = pageSize();
+    const auto addr = reinterpret_cast<std::uintptr_t>(p);
+    const std::uintptr_t start = addr & ~(page - 1);
+    const std::uintptr_t end = addr + len;
+    base = reinterpret_cast<void *>(start);
+    span = ((end - start) + page - 1) / page * page;
+    return true;
+}
+
+} // namespace
+#endif
+
+bool
+memAdvise(const void *p, std::size_t len, MemAdvice advice)
+{
+#ifdef JUNO_HAVE_MMAP
+    void *base = nullptr;
+    std::size_t span = 0;
+    if (!pageSpan(p, len, base, span))
+        return false;
+#if defined(__linux__)
+    // glibc's posix_madvise deliberately ignores POSIX_MADV_DONTNEED;
+    // the eviction hint must go through the raw syscall wrapper. A
+    // read-only file-backed mapping just drops clean pages and
+    // re-faults them from the file on next access.
+    if (advice == MemAdvice::kDontNeed)
+        return ::madvise(base, span, MADV_DONTNEED) == 0;
+#endif
+    int hint = POSIX_MADV_NORMAL;
+    switch (advice) {
+    case MemAdvice::kNormal:
+        hint = POSIX_MADV_NORMAL;
+        break;
+    case MemAdvice::kWillNeed:
+        hint = POSIX_MADV_WILLNEED;
+        break;
+    case MemAdvice::kDontNeed:
+        hint = POSIX_MADV_DONTNEED;
+        break;
+    case MemAdvice::kRandom:
+        hint = POSIX_MADV_RANDOM;
+        break;
+    case MemAdvice::kSequential:
+        hint = POSIX_MADV_SEQUENTIAL;
+        break;
+    }
+    return ::posix_madvise(base, span, hint) == 0;
+#else
+    (void)p;
+    (void)len;
+    (void)advice;
+    return false;
+#endif
+}
+
+double
+memResidentFraction(const void *p, std::size_t len)
+{
+#ifdef JUNO_HAVE_MMAP
+    void *base = nullptr;
+    std::size_t span = 0;
+    if (!pageSpan(p, len, base, span))
+        return -1.0;
+    const std::size_t pages = span / pageSize();
+#if defined(__APPLE__)
+    std::vector<char> vec(pages);
+#else
+    std::vector<unsigned char> vec(pages);
+#endif
+    if (::mincore(base, span, vec.data()) != 0)
+        return -1.0;
+    std::size_t resident = 0;
+    for (std::size_t i = 0; i < pages; ++i)
+        resident += (vec[i] & 1) != 0 ? 1 : 0;
+    return static_cast<double>(resident) / static_cast<double>(pages);
+#else
+    (void)p;
+    (void)len;
+    return -1.0;
+#endif
+}
+
 std::shared_ptr<MappedBlob>
 MappedBlob::map(const std::string &path)
 {
 #ifdef JUNO_HAVE_MMAP
     const int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd < 0)
+    if (fd < 0) {
+        warn("mmap unavailable for " + path + ": open failed: " +
+             std::strerror(errno) + "; falling back to buffered reads");
         return nullptr;
+    }
     struct stat st;
-    if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    if (::fstat(fd, &st) != 0) {
+        warn("mmap unavailable for " + path + ": fstat failed: " +
+             std::strerror(errno) + "; falling back to buffered reads");
+        ::close(fd);
+        return nullptr;
+    }
+    if (st.st_size <= 0) {
+        warn("mmap unavailable for " + path +
+             ": file is empty; falling back to buffered reads");
         ::close(fd);
         return nullptr;
     }
@@ -27,8 +147,11 @@ MappedBlob::map(const std::string &path)
     // The mapping holds its own reference to the file; the descriptor
     // is no longer needed either way.
     ::close(fd);
-    if (mem == MAP_FAILED)
+    if (mem == MAP_FAILED) {
+        warn("mmap failed for " + path + ": " + std::strerror(errno) +
+             "; falling back to buffered reads");
         return nullptr;
+    }
     return std::shared_ptr<MappedBlob>(new MappedBlob(
         static_cast<const std::uint8_t *>(mem), size, path));
 #else
@@ -43,6 +166,25 @@ MappedBlob::~MappedBlob()
     if (data_ != nullptr)
         ::munmap(const_cast<std::uint8_t *>(data_), size_);
 #endif
+}
+
+bool
+MappedBlob::advise(std::size_t offset, std::size_t len,
+                   MemAdvice advice) const
+{
+    if (offset >= size_)
+        return false;
+    len = std::min(len, size_ - offset);
+    return memAdvise(data_ + offset, len, advice);
+}
+
+double
+MappedBlob::residentFraction(std::size_t offset, std::size_t len) const
+{
+    if (offset >= size_)
+        return -1.0;
+    len = std::min(len, size_ - offset);
+    return memResidentFraction(data_ + offset, len);
 }
 
 } // namespace juno

@@ -28,13 +28,41 @@
 
 namespace juno {
 
+/** Access-pattern hints forwarded to posix_madvise / madvise. */
+enum class MemAdvice {
+    kNormal,     ///< reset to the default kernel policy
+    kWillNeed,   ///< prefetch: start paging the range in now
+    kDontNeed,   ///< evict: the range's pages may leave RAM
+    kRandom,     ///< random access expected (disable readahead)
+    kSequential, ///< sequential access expected (aggressive readahead)
+};
+
+/**
+ * Advises the kernel about the expected access pattern of
+ * [p, p + len). The range is widened to page boundaries internally.
+ * Returns false — and does nothing — on platforms without madvise,
+ * for empty ranges, or when the kernel rejects the hint. Advice is
+ * always best-effort; no caller needs to check the result for
+ * correctness.
+ */
+bool memAdvise(const void *p, std::size_t len, MemAdvice advice);
+
+/**
+ * Fraction of [p, p + len) currently resident in RAM, probed with
+ * mincore. Returns -1.0 when residency cannot be probed (unsupported
+ * platform, unmapped range, empty range); a value in [0, 1] otherwise.
+ */
+double memResidentFraction(const void *p, std::size_t len);
+
 /** One read-only memory-mapped file. */
 class MappedBlob {
   public:
     /**
      * Maps @p path read-only. Returns nullptr when mapping is
      * unavailable (unsupported platform, empty file, mmap failure);
-     * callers fall back to buffered reads.
+     * callers fall back to buffered reads. Failures are logged at
+     * warn level with the path and errno so a silent buffered
+     * fallback stays diagnosable.
      */
     static std::shared_ptr<MappedBlob> map(const std::string &path);
 
@@ -46,6 +74,20 @@ class MappedBlob {
     const std::uint8_t *data() const { return data_; }
     std::size_t size() const { return size_; }
     const std::string &path() const { return path_; }
+
+    /**
+     * Advises the kernel about section [offset, offset + len) of the
+     * mapping (out-of-range parts are clamped away). Best-effort;
+     * see memAdvise().
+     */
+    bool advise(std::size_t offset, std::size_t len,
+                MemAdvice advice) const;
+
+    /**
+     * Residency of section [offset, offset + len) of the mapping;
+     * -1.0 when unsupported, else the resident fraction in [0, 1].
+     */
+    double residentFraction(std::size_t offset, std::size_t len) const;
 
   private:
     MappedBlob(const std::uint8_t *data, std::size_t size,
@@ -91,6 +133,8 @@ class PinnedArray {
     const T *data() const { return data_; }
     std::size_t size() const { return size_; }
     bool empty() const { return size_ == 0; }
+    /** True when this array views external (keepalive-held) memory. */
+    bool isView() const { return keepalive_ != nullptr; }
 
     const T &
     operator[](std::size_t i) const

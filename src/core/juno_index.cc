@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/logging.h"
+#include "common/mmap_blob.h"
 #include "registry/index_spec.h"
 #include "registry/snapshot.h"
 
@@ -456,6 +457,22 @@ JunoIndex::probe(const float *query) const
     return ivf_.probe(metric_, query, params_.nprobs);
 }
 
+void
+JunoIndex::prefetchProbedLists(const std::vector<Neighbor> &probes) const
+{
+    if (!interleaved_.built() || !interleaved_.planesMapped())
+        return;
+    for (const auto &pr : probes) {
+        const auto c = static_cast<cluster_t>(pr.id);
+        memAdvise(interleaved_.listBlocks(c),
+                  interleaved_.listBlocksBytes(c), MemAdvice::kWillNeed);
+        if (interleaved_.packed4())
+            memAdvise(interleaved_.listPacked(c),
+                      interleaved_.listPackedBytes(c),
+                      MemAdvice::kWillNeed);
+    }
+}
+
 SparseLut
 JunoIndex::buildLut(const float *query,
                     const std::vector<Neighbor> &probes) const
@@ -470,6 +487,7 @@ JunoIndex::searchOne(const float *query, idx_t k)
     {
         ScopedStageTimer t(timers_, "filter");
         probes = probe(query);
+        prefetchProbedLists(probes);
     }
     {
         ScopedStageTimer t(timers_, "rt_lut");
@@ -519,6 +537,9 @@ JunoIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
             {
                 ScopedStageTimer t(ctx.timers(), "filter");
                 ctx.probes = probe(q);
+                // Cold lists start paging in while the RT-LUT stage
+                // below runs (out-of-core overlap).
+                prefetchProbedLists(ctx.probes);
             }
             {
                 ScopedStageTimer t(ctx.timers(), "rt_lut");
@@ -542,6 +563,7 @@ JunoIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
             const float *q = chunk.queries.row(chunk.begin + i);
             auto &probes = w.probes_buf[static_cast<std::size_t>(i)];
             probes = probe(q);
+            prefetchProbedLists(probes); // page-ins overlap stage 2
             w.builder.buildInto(q, probes, lutParams(),
                                 w.lut_buf[static_cast<std::size_t>(i)]);
         };

@@ -160,6 +160,15 @@ class JunoIndex : public AnnIndex {
 
     SelectiveLutParams lutParams() const;
 
+    /**
+     * Issues WILLNEED madvise hints for the probed clusters'
+     * interleaved extents when they view a memory-mapped snapshot, so
+     * an out-of-core scan's page-ins overlap the RT-LUT stage that
+     * runs between probe and scan. Pure IO hint: no-op on heap-built
+     * planes, never affects results.
+     */
+    void prefetchProbedLists(const std::vector<Neighbor> &probes) const;
+
     Metric metric_;
     idx_t num_points_ = 0;
     idx_t dim_ = 0;

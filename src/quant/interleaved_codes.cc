@@ -96,6 +96,7 @@ InterleavedLists::build(const std::vector<std::vector<idx_t>> &lists,
 
     blocks_ = std::move(blocks);
     packed_ = std::move(packed);
+    planes_mapped_ = false;
 }
 
 void
@@ -180,6 +181,9 @@ InterleavedLists::load(SnapshotReader &reader, const std::string &prefix)
                           what + " packed");
     else
         packed_ = PinnedArray<std::uint8_t>();
+    // IO hints only make sense against a file mapping: a buffered
+    // load already materialised the planes in heap memory.
+    planes_mapped_ = reader.mapped();
 }
 
 void

@@ -86,6 +86,43 @@ class InterleavedLists {
         return packed_.data() + lists_[static_cast<std::size_t>(c)].packed;
     }
 
+    // -- Plane extents (IO-aware probing: madvise prefetch, mincore
+    //    residency, hot-list cache copy-out operate on byte ranges) --
+
+    /** Bytes of list @p c's interleaved block plane (zero-pad incl.). */
+    std::size_t listBlocksBytes(cluster_t c) const
+    {
+        return listNumBlocks(c) *
+               static_cast<std::size_t>(kBlockPoints) *
+               static_cast<std::size_t>(subspaces_) * sizeof(entry_t);
+    }
+
+    /** Bytes of list @p c's nibble plane; 0 when not packed4(). */
+    std::size_t listPackedBytes(cluster_t c) const
+    {
+        if (!packed4_)
+            return 0;
+        return listNumBlocks(c) *
+               static_cast<std::size_t>(kPackedBytes) *
+               static_cast<std::size_t>(subspaces_);
+    }
+
+    /** Whole-plane extents (bench eviction pressure, residency stats). */
+    const entry_t *blocksData() const { return blocks_.data(); }
+    std::size_t blocksBytes() const
+    {
+        return blocks_.size() * sizeof(entry_t);
+    }
+    const std::uint8_t *packedData() const { return packed_.data(); }
+    std::size_t packedBytes() const { return packed_.size(); }
+
+    /**
+     * True when the planes view a memory-mapped snapshot (load() in
+     * mmap mode) rather than owned heap memory: only then do madvise
+     * prefetch and eviction hints have any effect.
+     */
+    bool planesMapped() const { return planes_mapped_; }
+
     /**
      * Persists the built layout as sections @p prefix + {"meta",
      * "blocks", "packed"} so the fast-scan state is restored rather
@@ -104,8 +141,17 @@ class InterleavedLists {
         idx_t size = 0;         ///< points in this list
     };
 
+    std::size_t listNumBlocks(cluster_t c) const
+    {
+        const auto n = static_cast<std::size_t>(
+            lists_[static_cast<std::size_t>(c)].size);
+        return (n + static_cast<std::size_t>(kBlockPoints) - 1) /
+               static_cast<std::size_t>(kBlockPoints);
+    }
+
     int subspaces_ = 0;
     bool packed4_ = false;
+    bool planes_mapped_ = false;
     std::vector<ListRef> lists_;
     PinnedArray<entry_t> blocks_;
     PinnedArray<std::uint8_t> packed_;

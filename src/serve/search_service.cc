@@ -68,11 +68,34 @@ SearchService::start()
     JUNO_REQUIRE(state_ == State::kIdle,
                  "SearchService is one-shot: start() called on a "
                  "running or stopped service");
+    // Resolve the out-of-core budget before any query runs: explicit
+    // config wins, then JUNO_MEM_BUDGET, else the index is left as
+    // configured. setMemoryBudget returning false (index type without
+    // an IO-aware path) just means serving stays pure-mmap.
+    std::int64_t budget = config_.memory_budget_bytes;
+    if (budget < 0)
+        budget = HotListCache::budgetFromEnv();
+    if (budget >= 0)
+        index_.setMemoryBudget(budget);
+    base_usage_ = readResourceUsage();
     state_ = State::kRunning;
     running_.store(true);
     dispatchers_.reserve(static_cast<std::size_t>(config_.dispatchers));
     for (int i = 0; i < config_.dispatchers; ++i)
         dispatchers_.emplace_back([this] { dispatchLoop(); });
+}
+
+ServiceStats::Snapshot
+SearchService::snapshot() const
+{
+    ServiceStats::Snapshot snap = stats_.snapshot();
+    if (const auto cache = index_.hotListCache())
+        snap.cache = cache->counters();
+    const ResourceUsage now = readResourceUsage();
+    snap.usage.rss_bytes = now.rss_bytes;
+    snap.usage.major_faults = now.major_faults - base_usage_.major_faults;
+    snap.usage.minor_faults = now.minor_faults - base_usage_.minor_faults;
+    return snap;
 }
 
 void
@@ -172,6 +195,10 @@ SearchService::dispatchLoop()
         request.options.threads = config_.search_threads;
         request.options.batch_size = config_.engine_chunk;
         request.options.collect_stats = config_.collect_stage_stats;
+        // Explicit service budgets ride along on every batch so a
+        // configured detach (0) stays detached even when the
+        // environment sets JUNO_MEM_BUDGET.
+        request.options.memory_budget_bytes = config_.memory_budget_bytes;
 
         const auto t_ready = Clock::now();
         bool ok = true;

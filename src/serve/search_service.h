@@ -78,6 +78,15 @@ struct ServiceConfig {
      * accounting; see ServiceStats).
      */
     bool collect_stage_stats = false;
+    /**
+     * Out-of-core hot-list cache budget, applied to the index at
+     * start(): > 0 attaches an admission-controlled cache of that
+     * many bytes (serve/hot_list_cache.h), 0 explicitly detaches,
+     * < 0 (default) resolves the JUNO_MEM_BUDGET environment variable
+     * (and leaves the index untouched when that is unset too).
+     * Results are bitwise identical under every budget.
+     */
+    std::int64_t memory_budget_bytes = -1;
 };
 
 /**
@@ -143,7 +152,13 @@ class SearchService {
                                    idx_t k);
 
     const ServiceStats &stats() const { return stats_; }
-    ServiceStats::Snapshot snapshot() const { return stats_.snapshot(); }
+
+    /**
+     * Latency/admission snapshot augmented with the served index's
+     * hot-list cache counters and the process's RSS plus page-fault
+     * deltas since start() (the out-of-core health signals).
+     */
+    ServiceStats::Snapshot snapshot() const;
 
     AnnIndex &index() { return index_; }
     const ServiceConfig &config() const { return config_; }
@@ -173,6 +188,8 @@ class SearchService {
     State state_ = State::kIdle;
     std::vector<std::thread> dispatchers_;
     std::atomic<bool> running_{false};
+    /** Usage at start(); snapshots report fault deltas against it. */
+    ResourceUsage base_usage_;
 };
 
 } // namespace juno

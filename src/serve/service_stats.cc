@@ -1,9 +1,47 @@
 #include "serve/service_stats.h"
 
+#include <cstdio>
 #include <functional>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
 namespace juno {
+
+ResourceUsage
+readResourceUsage()
+{
+    ResourceUsage u;
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru {};
+    if (::getrusage(RUSAGE_SELF, &ru) == 0) {
+        u.major_faults = static_cast<std::uint64_t>(ru.ru_majflt);
+        u.minor_faults = static_cast<std::uint64_t>(ru.ru_minflt);
+        // ru_maxrss is the high-water mark (KiB on Linux, bytes on
+        // macOS) — a fallback if /proc is unavailable below.
+#if defined(__APPLE__)
+        u.rss_bytes = static_cast<std::size_t>(ru.ru_maxrss);
+#else
+        u.rss_bytes = static_cast<std::size_t>(ru.ru_maxrss) * 1024;
+#endif
+    }
+#endif
+#if defined(__linux__)
+    // Current (not peak) RSS: field 2 of /proc/self/statm, in pages.
+    if (std::FILE *f = std::fopen("/proc/self/statm", "r")) {
+        unsigned long long vm_pages = 0, rss_pages = 0;
+        if (std::fscanf(f, "%llu %llu", &vm_pages, &rss_pages) == 2)
+            u.rss_bytes = static_cast<std::size_t>(rss_pages) *
+                          static_cast<std::size_t>(
+                              ::sysconf(_SC_PAGESIZE));
+        std::fclose(f);
+    }
+#endif
+    return u;
+}
 
 namespace {
 

@@ -21,8 +21,30 @@
 #include <mutex>
 
 #include "common/stats.h"
+#include "serve/hot_list_cache.h"
 
 namespace juno {
+
+/**
+ * Process-level memory/paging readings for out-of-core serving
+ * reports: resident set size plus cumulative page-fault counts.
+ * Snapshots report fault *deltas* against the reading taken at
+ * service start, so they attribute faults to serving rather than to
+ * process startup.
+ */
+struct ResourceUsage {
+    std::size_t rss_bytes = 0;      ///< current resident set size
+    std::uint64_t major_faults = 0; ///< faults that required IO
+    std::uint64_t minor_faults = 0; ///< faults served from page cache
+};
+
+/**
+ * Reads the calling process's current usage: RSS from
+ * /proc/self/statm when available (ru_maxrss as a fallback), fault
+ * counters from getrusage(RUSAGE_SELF). Fields read as 0 on platforms
+ * exposing neither.
+ */
+ResourceUsage readResourceUsage();
 
 /** p50/p95/p99 summary of one latency component (microseconds). */
 struct LatencySummary {
@@ -56,6 +78,18 @@ class ServiceStats {
         LatencySummary batch_us;  ///< drain -> batch assembled
         LatencySummary search_us; ///< engine execution
         LatencySummary total_us;  ///< submit -> future fulfilled
+        /**
+         * Hot-list cache counters of the served index (all zero when
+         * no cache is attached). Filled by SearchService::snapshot();
+         * a bare ServiceStats::snapshot() leaves it zeroed.
+         */
+        HotListCache::Counters cache;
+        /**
+         * Current RSS plus page-fault deltas since service start()
+         * (the out-of-core signal: major faults are scans paying real
+         * IO). Filled by SearchService::snapshot().
+         */
+        ResourceUsage usage;
     };
 
     void recordAccepted() { submitted_.fetch_add(1); }

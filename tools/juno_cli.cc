@@ -62,6 +62,7 @@
 #include "dataset/recall.h"
 #include "dataset/synthetic.h"
 #include "registry/index_factory.h"
+#include "serve/hot_list_cache.h"
 #include "serve/search_service.h"
 
 using namespace juno;
@@ -464,6 +465,17 @@ cmdServe(const Args &args)
     config.queue_capacity = static_cast<std::size_t>(queue_cap);
     config.search_threads =
         static_cast<int>(args.getInt("threads", 1));
+    // --mem-budget 64m attaches the out-of-core hot-list cache
+    // (0 forces pure mmap even when JUNO_MEM_BUDGET is set).
+    const std::string mem_budget = args.get("mem-budget", "");
+    if (!mem_budget.empty()) {
+        config.memory_budget_bytes =
+            HotListCache::parseByteSize(mem_budget);
+        JUNO_REQUIRE(config.memory_budget_bytes >= 0,
+                     "bad --mem-budget '"
+                         << mem_budget
+                         << "' (want bytes with optional k/m/g)");
+    }
 
     std::unique_ptr<SearchService> service;
     Dataset data;
@@ -591,6 +603,32 @@ cmdServe(const Args &args)
         std::printf("%-8s %10.1f %10.1f %10.1f %10.1f\n", row.name,
                     row.lat.mean, row.lat.p50, row.lat.p95,
                     row.lat.p99);
+    std::printf("memory: rss %.1f MiB, faults major %llu minor %llu\n",
+                static_cast<double>(snap.usage.rss_bytes) /
+                    (1024.0 * 1024.0),
+                static_cast<unsigned long long>(snap.usage.major_faults),
+                static_cast<unsigned long long>(snap.usage.minor_faults));
+    if (snap.cache.budget_bytes > 0) {
+        const double hit_rate =
+            snap.cache.lookups > 0
+                ? static_cast<double>(snap.cache.hits) /
+                      static_cast<double>(snap.cache.lookups)
+                : 0.0;
+        std::printf("hot-list cache: %zu lists pinned (%.1f/%.1f MiB), "
+                    "hit rate %.1f%%, admitted %llu evicted %llu "
+                    "rejected %llu\n",
+                    snap.cache.resident_lists,
+                    static_cast<double>(snap.cache.pinned_bytes) /
+                        (1024.0 * 1024.0),
+                    static_cast<double>(snap.cache.budget_bytes) /
+                        (1024.0 * 1024.0),
+                    100.0 * hit_rate,
+                    static_cast<unsigned long long>(snap.cache.admitted),
+                    static_cast<unsigned long long>(snap.cache.evicted),
+                    static_cast<unsigned long long>(
+                        snap.cache.rejected_capacity +
+                        snap.cache.rejected_policy));
+    }
     return 0;
 }
 
@@ -615,7 +653,10 @@ usage()
         "          --load idx.juno [--k K] [--threads T] [--mmap 0|1]\n"
         "  eval    build or load, then report QPS and recall\n"
         "  serve   drive the micro-batching service; --load idx.juno\n"
-        "          warm-starts from a snapshot (build-once/serve-many)\n"
+        "          warm-starts from a snapshot (build-once/serve-many);\n"
+        "          --mem-budget 64m pins the hottest inverted lists in\n"
+        "          RAM for out-of-core serving (JUNO_MEM_BUDGET env\n"
+        "          works too; 0 = pure mmap paging)\n"
         "  parity  gate: snapshot results == fresh-build results\n"
         "\n"
         "  index types for --spec: %s\n"
