@@ -62,6 +62,36 @@ std::string checkMessage(const char *cond, const char *file, int line,
         }                                                                   \
     } while (false)
 
+/**
+ * 1 when JUNO_DCHECK performs its check (debug builds, or any build
+ * with JUNO_FORCE_DCHECKS defined), 0 when it compiles out entirely.
+ * Tests gate their death-test expectations on this.
+ */
+#if !defined(NDEBUG) || defined(JUNO_FORCE_DCHECKS)
+#define JUNO_DCHECK_IS_ON 1
+#else
+#define JUNO_DCHECK_IS_ON 0
+#endif
+
+/**
+ * Debug-only invariant: JUNO_ASSERT in debug builds, zero code in
+ * release builds — the accessor bounds checks on the scan hot paths
+ * (Matrix/PQCodes/InterleavedLists) ride on this so release scans pay
+ * nothing (bench_micro_kernels verifies). The condition must be
+ * side-effect free: release builds never evaluate it (it is only
+ * type-checked behind an `if (false)` so the expression cannot rot).
+ */
+#if JUNO_DCHECK_IS_ON
+#define JUNO_DCHECK(cond, msg) JUNO_ASSERT(cond, msg)
+#else
+#define JUNO_DCHECK(cond, msg)                                              \
+    do {                                                                    \
+        if (false) {                                                        \
+            (void)(cond);                                                   \
+        }                                                                   \
+    } while (false)
+#endif
+
 } // namespace juno
 
 #endif // JUNO_COMMON_LOGGING_H

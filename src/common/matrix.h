@@ -31,11 +31,15 @@ class FloatMatrixView {
     bool empty() const { return rows_ == 0 || cols_ == 0; }
     const float *data() const { return data_; }
 
-    /** Pointer to the first element of row @p r. */
+    /**
+     * Pointer to the first element of row @p r. Bounds are a
+     * debug-only invariant (JUNO_DCHECK): this sits on every scan hot
+     * path, so release builds compile the check out entirely.
+     */
     const float *
     row(idx_t r) const
     {
-        JUNO_ASSERT(r >= 0 && r < rows_, "row " << r << " of " << rows_);
+        JUNO_DCHECK(r >= 0 && r < rows_, "row " << r << " of " << rows_);
         // Widen before multiplying: r * cols_ stays in std::size_t.
         return data_ + static_cast<std::size_t>(r) *
                            static_cast<std::size_t>(cols_);
@@ -44,7 +48,7 @@ class FloatMatrixView {
     float
     at(idx_t r, idx_t c) const
     {
-        JUNO_ASSERT(c >= 0 && c < cols_, "col " << c << " of " << cols_);
+        JUNO_DCHECK(c >= 0 && c < cols_, "col " << c << " of " << cols_);
         return row(r)[c];
     }
 
@@ -52,7 +56,7 @@ class FloatMatrixView {
     FloatMatrixView
     slice(idx_t begin, idx_t count) const
     {
-        JUNO_ASSERT(begin >= 0 && begin + count <= rows_, "bad slice");
+        JUNO_DCHECK(begin >= 0 && begin + count <= rows_, "bad slice");
         return FloatMatrixView(data_ + static_cast<std::size_t>(begin) *
                                            static_cast<std::size_t>(cols_),
                                count, cols_);
@@ -88,7 +92,7 @@ class FloatMatrix {
     float *
     row(idx_t r)
     {
-        JUNO_ASSERT(r >= 0 && r < rows_, "row " << r << " of " << rows_);
+        JUNO_DCHECK(r >= 0 && r < rows_, "row " << r << " of " << rows_);
         return data_.data() + static_cast<std::size_t>(r) *
                                   static_cast<std::size_t>(cols_);
     }
@@ -96,7 +100,7 @@ class FloatMatrix {
     const float *
     row(idx_t r) const
     {
-        JUNO_ASSERT(r >= 0 && r < rows_, "row " << r << " of " << rows_);
+        JUNO_DCHECK(r >= 0 && r < rows_, "row " << r << " of " << rows_);
         return data_.data() + static_cast<std::size_t>(r) *
                                   static_cast<std::size_t>(cols_);
     }

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis macros and the annotated mutex wrappers
+ * the concurrent subsystems are written against.
+ *
+ * The serving stack holds its locking discipline in invariants like
+ * "queue_ is only touched under mutex_" and "ageLocked() requires the
+ * cache lock". This header turns those comments into declarations the
+ * compiler enforces: under Clang, `-Wthread-safety` (promoted to an
+ * error by the JUNO_THREAD_SAFETY CMake option) rejects any access to
+ * a JUNO_GUARDED_BY member outside its mutex and any call to a
+ * JUNO_REQUIRES function without the capability held. Under GCC (and
+ * any compiler without the attributes) every macro expands to nothing,
+ * so the annotations are free documentation.
+ *
+ * Because libstdc++'s std::mutex carries no capability attributes, the
+ * analysis needs thin wrappers:
+ *
+ *  - Mutex: std::mutex as a named capability;
+ *  - MutexLock: scoped lock/unlock (std::lock_guard equivalent);
+ *  - CvLock: scoped lock exposing the std::unique_lock a
+ *    condition_variable wait needs via native().
+ *
+ * Condition waits are written as explicit `while (!pred) wait();`
+ * loops rather than the predicate-lambda overloads: the analysis
+ * treats a lambda body as a separate function that does not hold the
+ * capability, so predicates reading guarded state would all need
+ * per-lambda suppressions. The loop form reads guarded state in the
+ * enclosing (capability-holding) scope and is exactly equivalent.
+ *
+ * Sanitizer feature-detection macros (JUNO_TSAN_ENABLED,
+ * JUNO_ASAN_ENABLED) live here too so stress tests can scale their
+ * iteration counts to sanitizer overheads.
+ */
+#ifndef JUNO_COMMON_THREAD_ANNOTATIONS_H
+#define JUNO_COMMON_THREAD_ANNOTATIONS_H
+
+#include <mutex>
+
+#if defined(__clang__)
+#define JUNO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define JUNO_THREAD_ANNOTATION(x) // no-op off Clang
+#endif
+
+/** Declares a type to be a lockable capability (on the class). */
+#define JUNO_CAPABILITY(x) JUNO_THREAD_ANNOTATION(capability(x))
+
+/** Declares an RAII type that acquires in its ctor, releases in dtor. */
+#define JUNO_SCOPED_CAPABILITY JUNO_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only with @p x held. */
+#define JUNO_GUARDED_BY(x) JUNO_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose *pointee* is protected by @p x. */
+#define JUNO_PT_GUARDED_BY(x) JUNO_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function that acquires the capability and returns it held. */
+#define JUNO_ACQUIRE(...)                                                   \
+    JUNO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the capability. */
+#define JUNO_RELEASE(...)                                                   \
+    JUNO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function that acquires the capability when it returns @p true. */
+#define JUNO_TRY_ACQUIRE(...)                                               \
+    JUNO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Function that must be called with the capability already held. */
+#define JUNO_REQUIRES(...)                                                  \
+    JUNO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function that must NOT be called with the capability held
+ * (self-deadlock guard on public entry points that lock internally). */
+#define JUNO_EXCLUDES(...) JUNO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Documents lock-ordering between two mutexes. */
+#define JUNO_ACQUIRED_BEFORE(...)                                           \
+    JUNO_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define JUNO_ACQUIRED_AFTER(...)                                            \
+    JUNO_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/** Function returning a reference to the capability guarding @p x. */
+#define JUNO_RETURN_CAPABILITY(x) JUNO_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: disables the analysis inside one function. */
+#define JUNO_NO_THREAD_SAFETY_ANALYSIS                                      \
+    JUNO_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// ---- Sanitizer feature detection (GCC and Clang spellings) ----
+
+#if defined(__SANITIZE_THREAD__)
+#define JUNO_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define JUNO_TSAN_ENABLED 1
+#endif
+#endif
+#ifndef JUNO_TSAN_ENABLED
+#define JUNO_TSAN_ENABLED 0
+#endif
+
+#if defined(__SANITIZE_ADDRESS__)
+#define JUNO_ASAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define JUNO_ASAN_ENABLED 1
+#endif
+#endif
+#ifndef JUNO_ASAN_ENABLED
+#define JUNO_ASAN_ENABLED 0
+#endif
+
+namespace juno {
+
+/**
+ * std::mutex as a Clang capability. Everything mutex-protected in the
+ * tree locks one of these; the raw std::mutex is reachable only
+ * through CvLock for condition_variable waits.
+ */
+class JUNO_CAPABILITY("mutex") Mutex {
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void
+    lock() JUNO_ACQUIRE()
+    {
+        mutex_.lock();
+    }
+
+    void
+    unlock() JUNO_RELEASE()
+    {
+        mutex_.unlock();
+    }
+
+    bool
+    try_lock() JUNO_TRY_ACQUIRE(true)
+    {
+        return mutex_.try_lock();
+    }
+
+    /**
+     * The wrapped mutex, for condition_variable waits only (the wait
+     * unlocks/relocks outside the analysis; CvLock scopes the
+     * capability around it).
+     */
+    std::mutex &native() { return mutex_; }
+
+  private:
+    std::mutex mutex_;
+};
+
+/** std::lock_guard over a Mutex, visible to the analysis. */
+class JUNO_SCOPED_CAPABILITY MutexLock {
+  public:
+    explicit MutexLock(Mutex &mutex) JUNO_ACQUIRE(mutex) : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~MutexLock() JUNO_RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+/**
+ * std::unique_lock over a Mutex for scopes that wait on a
+ * condition_variable: `cv.wait(lock.native())` inside an explicit
+ * `while (!pred)` loop. The capability is held for the whole scope —
+ * the wait's internal unlock/relock re-establishes it before any
+ * guarded read, which is precisely the invariant the analysis needs.
+ */
+class JUNO_SCOPED_CAPABILITY CvLock {
+  public:
+    explicit CvLock(Mutex &mutex) JUNO_ACQUIRE(mutex)
+        : lock_(mutex.native())
+    {
+    }
+
+    ~CvLock() JUNO_RELEASE() {}
+
+    CvLock(const CvLock &) = delete;
+    CvLock &operator=(const CvLock &) = delete;
+
+    /** The underlying lock a condition_variable wait consumes. */
+    std::unique_lock<std::mutex> &native() { return lock_; }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+} // namespace juno
+
+#endif // JUNO_COMMON_THREAD_ANNOTATIONS_H

@@ -30,12 +30,13 @@ ThreadPool::shutdown()
 {
     std::vector<std::thread> to_join;
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        CvLock lock(mutex_);
         if (stopping_) {
             // Another caller owns the teardown (or it already ran);
             // block until the workers are gone so every shutdown()
             // return carries the same postcondition.
-            cv_shutdown_.wait(lock, [this] { return shutdown_done_; });
+            while (!shutdown_done_)
+                cv_shutdown_.wait(lock.native());
             return;
         }
         stopping_ = true;
@@ -45,7 +46,7 @@ ThreadPool::shutdown()
     for (auto &w : to_join)
         w.join();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         shutdown_done_ = true;
     }
     cv_shutdown_.notify_all();
@@ -58,17 +59,21 @@ ThreadPool::submit(std::function<void()> job)
         job();
         return;
     }
+    bool run_inline = false;
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (stopping_) {
             // Workers are draining or gone; a queued job could be
             // stranded, so run it inline (documented degradation).
-            lock.unlock();
-            job();
-            return;
+            run_inline = true;
+        } else {
+            queue_.push_back(std::move(job));
+            ++in_flight_;
         }
-        queue_.push_back(std::move(job));
-        ++in_flight_;
+    }
+    if (run_inline) {
+        job();
+        return;
     }
     cv_job_.notify_one();
 }
@@ -78,8 +83,9 @@ ThreadPool::wait()
 {
     if (thread_count_ == 1)
         return;
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+    CvLock lock(mutex_);
+    while (in_flight_ != 0)
+        cv_done_.wait(lock.native());
 }
 
 void
@@ -88,9 +94,9 @@ ThreadPool::workerLoop()
     while (true) {
         std::function<void()> job;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_job_.wait(lock,
-                         [this] { return stopping_ || !queue_.empty(); });
+            CvLock lock(mutex_);
+            while (!stopping_ && queue_.empty())
+                cv_job_.wait(lock.native());
             if (queue_.empty()) {
                 if (stopping_)
                     return;
@@ -101,7 +107,7 @@ ThreadPool::workerLoop()
         }
         job();
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             --in_flight_;
             if (in_flight_ == 0)
                 cv_done_.notify_all();
@@ -113,12 +119,12 @@ void
 ThreadPool::Batch::submit(std::function<void()> job)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         ++pending_;
     }
     pool_.submit([this, job = std::move(job)] {
         job();
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (--pending_ == 0)
             cv_.notify_all();
     });
@@ -127,8 +133,9 @@ ThreadPool::Batch::submit(std::function<void()> job)
 void
 ThreadPool::Batch::join()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return pending_ == 0; });
+    CvLock lock(mutex_);
+    while (pending_ != 0)
+        cv_.wait(lock.native());
 }
 
 void

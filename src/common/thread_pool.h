@@ -13,10 +13,10 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace juno {
@@ -46,16 +46,16 @@ class ThreadPool {
      * parallelFor) still execute their jobs, on the calling thread, so
      * a racing producer can never strand work in a dead queue.
      */
-    void shutdown();
+    void shutdown() JUNO_EXCLUDES(mutex_);
 
     /**
      * Enqueues a job. After shutdown() has begun, the job runs inline
      * on the caller instead (never silently dropped).
      */
-    void submit(std::function<void()> job);
+    void submit(std::function<void()> job) JUNO_EXCLUDES(mutex_);
 
     /** Blocks until every submitted job has finished. */
-    void wait();
+    void wait() JUNO_EXCLUDES(mutex_);
 
     /**
      * A tracked group of jobs with its own completion counter: join()
@@ -73,16 +73,16 @@ class ThreadPool {
         Batch &operator=(const Batch &) = delete;
 
         /** Enqueues a job belonging to this batch. */
-        void submit(std::function<void()> job);
+        void submit(std::function<void()> job) JUNO_EXCLUDES(mutex_);
 
         /** Blocks until every job submitted to this batch finished. */
-        void join();
+        void join() JUNO_EXCLUDES(mutex_);
 
       private:
         ThreadPool &pool_;
-        std::mutex mutex_;
+        Mutex mutex_;
         std::condition_variable cv_;
-        int pending_ = 0;
+        int pending_ JUNO_GUARDED_BY(mutex_) = 0;
     };
 
     /**
@@ -98,17 +98,19 @@ class ThreadPool {
                      idx_t min_grain = 1);
 
   private:
-    void workerLoop();
+    void workerLoop() JUNO_EXCLUDES(mutex_);
 
+    /** Immutable after construction (read lock-free everywhere). */
     int thread_count_;
-    std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
+    Mutex mutex_;
+    /** Swapped out under mutex_ by the one shutdown() teardown owner. */
+    std::vector<std::thread> workers_ JUNO_GUARDED_BY(mutex_);
+    std::deque<std::function<void()>> queue_ JUNO_GUARDED_BY(mutex_);
     std::condition_variable cv_job_;
     std::condition_variable cv_done_;
-    int in_flight_ = 0;
-    bool stopping_ = false;
-    bool shutdown_done_ = false;
+    int in_flight_ JUNO_GUARDED_BY(mutex_) = 0;
+    bool stopping_ JUNO_GUARDED_BY(mutex_) = false;
+    bool shutdown_done_ JUNO_GUARDED_BY(mutex_) = false;
     std::condition_variable cv_shutdown_;
 };
 

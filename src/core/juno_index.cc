@@ -580,7 +580,7 @@ JunoIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
         ctx.timers().add("pipeline_wall", pipe.wall_seconds);
     }
 
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     device_.mergeStats(w.device.totalStats());
     w.device.resetStats();
 }

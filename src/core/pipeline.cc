@@ -2,9 +2,9 @@
 
 #include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
 
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 
 namespace juno {
@@ -30,8 +30,11 @@ runTwoStagePipeline(idx_t n, const std::function<void(idx_t)> &stage1,
     }
 
     // Bounded hand-off queue of ready items (depth 2 keeps at most one
-    // batch in flight per stage, like the MPS co-run).
-    std::mutex mutex;
+    // batch in flight per stage, like the MPS co-run). Local state, so
+    // the capability analysis cannot attach guarded_by annotations;
+    // the explicit wait loops still keep every access inside a lock
+    // scope TSan can vouch for.
+    Mutex mutex;
     std::condition_variable cv;
     std::deque<idx_t> ready;
     bool done = false;
@@ -42,8 +45,9 @@ runTwoStagePipeline(idx_t n, const std::function<void(idx_t)> &stage1,
         while (true) {
             idx_t item;
             {
-                std::unique_lock<std::mutex> lock(mutex);
-                cv.wait(lock, [&] { return !ready.empty() || done; });
+                CvLock lock(mutex);
+                while (ready.empty() && !done)
+                    cv.wait(lock.native());
                 if (ready.empty())
                     return;
                 item = ready.front();
@@ -61,14 +65,15 @@ runTwoStagePipeline(idx_t n, const std::function<void(idx_t)> &stage1,
         stage1(i);
         result.stage1_seconds += t1.seconds();
         {
-            std::unique_lock<std::mutex> lock(mutex);
-            cv.wait(lock, [&] { return ready.size() < kDepth; });
+            CvLock lock(mutex);
+            while (ready.size() >= kDepth)
+                cv.wait(lock.native());
             ready.push_back(i);
         }
         cv.notify_all();
     }
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         done = true;
     }
     cv.notify_all();

@@ -174,7 +174,7 @@ RtExactIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
         (*chunk.results)[static_cast<std::size_t>(qi)] = top.take();
     }
 
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     device_.mergeStats(w.device.totalStats());
     w.device.resetStats();
 }

@@ -20,11 +20,11 @@
 #define JUNO_CORE_RT_EXACT_INDEX_H
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "baseline/index.h"
 #include "common/mmap_blob.h"
+#include "common/thread_annotations.h"
 #include "rtcore/device.h"
 
 namespace juno {
@@ -83,7 +83,10 @@ class RtExactIndex : public AnnIndex {
     rt::Scene scene_;
     /** Canonical stats ledger; workers merge their launches into it. */
     rt::RtDevice device_;
-    std::mutex stats_mutex_;
+    /** Guards device_ stat merges from parallel search workers
+     * (device_ unannotated: the build path drives it single-threaded
+     * before the object is shared). */
+    Mutex stats_mutex_;
 };
 
 } // namespace juno

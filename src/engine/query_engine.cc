@@ -35,7 +35,7 @@ QueryEngine::resolveChunk(idx_t rows, int threads, idx_t requested)
 SearchContext *
 QueryEngine::acquireContext()
 {
-    std::lock_guard<std::mutex> lock(ctx_mutex_);
+    MutexLock lock(ctx_mutex_);
     if (!free_.empty()) {
         SearchContext *ctx = free_.back();
         free_.pop_back();
@@ -48,7 +48,7 @@ QueryEngine::acquireContext()
 void
 QueryEngine::releaseContext(SearchContext *ctx)
 {
-    std::lock_guard<std::mutex> lock(ctx_mutex_);
+    MutexLock lock(ctx_mutex_);
     free_.push_back(ctx);
 }
 
@@ -60,7 +60,7 @@ QueryEngine::mergeAndRelease(std::vector<SearchContext *> &held,
     // workers only ever touch their private ledger; the sink lock is
     // taken once per batch, here, never per query.
     if (collect_stats) {
-        std::lock_guard<std::mutex> lock(sink_mutex_);
+        MutexLock lock(sink_mutex_);
         for (SearchContext *ctx : held)
             stage_sink.merge(ctx->timers());
     }
@@ -137,7 +137,7 @@ QueryEngine::run(FloatMatrixView queries, const SearchOptions &options,
     } else {
         // Multi-threaded runs share one worker pool; serialise them
         // against each other (inline callers are unaffected).
-        std::lock_guard<std::mutex> pool_lock(pool_mutex_);
+        MutexLock pool_lock(pool_mutex_);
         if (!pool_ || pool_->threadCount() != threads)
             pool_ = std::make_unique<ThreadPool>(threads);
         for (int t = 0; t < threads; ++t)

@@ -17,9 +17,9 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "engine/search_context.h"
@@ -81,19 +81,24 @@ class QueryEngine {
     static idx_t resolveChunk(idx_t rows, int threads, idx_t requested);
 
   private:
-    SearchContext *acquireContext();
-    void releaseContext(SearchContext *ctx);
+    SearchContext *acquireContext() JUNO_EXCLUDES(ctx_mutex_);
+    void releaseContext(SearchContext *ctx) JUNO_EXCLUDES(ctx_mutex_);
     void mergeAndRelease(std::vector<SearchContext *> &held,
-                         bool collect_stats, StageTimers &stage_sink);
+                         bool collect_stats, StageTimers &stage_sink)
+        JUNO_EXCLUDES(sink_mutex_);
 
-    std::mutex ctx_mutex_; ///< guards owned_/free_
-    std::vector<std::unique_ptr<SearchContext>> owned_;
-    std::vector<SearchContext *> free_;
+    Mutex ctx_mutex_; ///< guards owned_/free_
+    std::vector<std::unique_ptr<SearchContext>> owned_
+        JUNO_GUARDED_BY(ctx_mutex_);
+    std::vector<SearchContext *> free_ JUNO_GUARDED_BY(ctx_mutex_);
 
-    std::mutex pool_mutex_; ///< serialises multi-threaded runs
-    std::unique_ptr<ThreadPool> pool_;
+    Mutex pool_mutex_; ///< serialises multi-threaded runs
+    /** Rebuilt (and dispatched into) only with pool_mutex_ held. */
+    std::unique_ptr<ThreadPool> pool_ JUNO_GUARDED_BY(pool_mutex_);
 
-    std::mutex sink_mutex_; ///< guards stage_sink merges
+    /** Guards the caller-owned stage_sink during merges (the sink
+     * itself is a parameter, so the analysis can only see the lock). */
+    Mutex sink_mutex_;
     std::atomic<int> last_threads_{1};
 };
 

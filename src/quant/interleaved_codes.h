@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/matrix.h"
 #include "common/mmap_blob.h"
 #include "common/types.h"
@@ -71,18 +72,25 @@ class InterleavedLists {
     /** Number of points in list @p c. */
     idx_t listSize(cluster_t c) const
     {
+        JUNO_DCHECK(c >= 0 && c < numLists(),
+                    "list " << c << " of " << numLists());
         return lists_[static_cast<std::size_t>(c)].size;
     }
 
     /** Interleaved entry_t blocks of list @p c (ceil(n/32) blocks). */
     const entry_t *listBlocks(cluster_t c) const
     {
+        JUNO_DCHECK(c >= 0 && c < numLists(),
+                    "list " << c << " of " << numLists());
         return blocks_.data() + lists_[static_cast<std::size_t>(c)].block;
     }
 
     /** Nibble-packed plane of list @p c; only valid when packed4(). */
     const std::uint8_t *listPacked(cluster_t c) const
     {
+        JUNO_DCHECK(c >= 0 && c < numLists(),
+                    "list " << c << " of " << numLists());
+        JUNO_DCHECK(packed4_, "no nibble-packed plane built");
         return packed_.data() + lists_[static_cast<std::size_t>(c)].packed;
     }
 
@@ -143,6 +151,8 @@ class InterleavedLists {
 
     std::size_t listNumBlocks(cluster_t c) const
     {
+        JUNO_DCHECK(c >= 0 && c < numLists(),
+                    "list " << c << " of " << numLists());
         const auto n = static_cast<std::size_t>(
             lists_[static_cast<std::size_t>(c)].size);
         return (n + static_cast<std::size_t>(kBlockPoints) - 1) /

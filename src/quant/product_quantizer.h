@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cluster/kmeans.h"
+#include "common/logging.h"
 #include "common/matrix.h"
 #include "common/serialize.h"
 #include "common/types.h"
@@ -74,6 +75,8 @@ struct PQCodes {
     const entry_t *
     row(idx_t p) const
     {
+        JUNO_DCHECK(p >= 0 && p < num_points,
+                    "point " << p << " of " << num_points);
         // Widen both factors before multiplying so the row offset is
         // computed in std::size_t, never in a narrower signed type.
         return data() + static_cast<std::size_t>(p) *
@@ -83,6 +86,8 @@ struct PQCodes {
     entry_t
     at(idx_t p, int s) const
     {
+        JUNO_DCHECK(s >= 0 && s < num_subspaces,
+                    "subspace " << s << " of " << num_subspaces);
         return row(p)[s];
     }
 

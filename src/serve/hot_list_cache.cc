@@ -1,12 +1,12 @@
 #include "serve/hot_list_cache.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
 
 #include "common/logging.h"
+#include "common/parse.h"
 
 namespace juno {
 
@@ -41,7 +41,7 @@ HotListCache::find(cluster_t list)
 {
     if (!enabled())
         return nullptr;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto idx = static_cast<std::size_t>(list);
     JUNO_ASSERT(idx < freq_.size(), "list " << list << " of "
                                             << freq_.size());
@@ -71,7 +71,7 @@ HotListCache::offer(cluster_t list, const void *primary,
     const std::size_t bytes = primary_bytes + secondary_bytes;
     if (bytes == 0)
         return;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto idx = static_cast<std::size_t>(list);
     JUNO_ASSERT(idx < freq_.size(), "list " << list << " of "
                                             << freq_.size());
@@ -122,7 +122,7 @@ HotListCache::offer(cluster_t list, const void *primary,
 HotListCache::Counters
 HotListCache::counters() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     Counters c = counters_;
     c.pinned_bytes = pinned_bytes_;
     c.resident_lists = entries_.size();
@@ -133,34 +133,11 @@ HotListCache::counters() const
 std::int64_t
 HotListCache::parseByteSize(const std::string &text)
 {
-    if (text.empty())
-        return -1;
-    char *end = nullptr;
-    errno = 0;
-    const long long value = std::strtoll(text.c_str(), &end, 10);
-    if (errno != 0 || end == text.c_str() || value < 0)
-        return -1;
-    std::int64_t scale = 1;
-    if (*end != '\0') {
-        switch (std::tolower(static_cast<unsigned char>(*end))) {
-        case 'k':
-            scale = std::int64_t(1) << 10;
-            break;
-        case 'm':
-            scale = std::int64_t(1) << 20;
-            break;
-        case 'g':
-            scale = std::int64_t(1) << 30;
-            break;
-        default:
-            return -1;
-        }
-        if (end[1] != '\0')
-            return -1;
-    }
-    if (value > std::numeric_limits<std::int64_t>::max() / scale)
-        return -1;
-    return static_cast<std::int64_t>(value) * scale;
+    // The checked parser lives in common/parse.cc so byte-size flags
+    // share one overflow-safe implementation; this wrapper keeps the
+    // legacy -1-on-error contract for existing callers.
+    const auto bytes = juno::parseByteSize(text);
+    return bytes ? *bytes : -1;
 }
 
 std::int64_t

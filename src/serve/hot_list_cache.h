@@ -38,11 +38,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace juno {
@@ -112,7 +112,7 @@ class HotListCache {
      * null when the list is not resident. The returned entry stays
      * valid after eviction (shared ownership).
      */
-    EntryPtr find(cluster_t list);
+    EntryPtr find(cluster_t list) JUNO_EXCLUDES(mutex_);
 
     /**
      * Offers a cold list's payload for admission after its scan. The
@@ -122,9 +122,10 @@ class HotListCache {
      * valid (single-plane owners).
      */
     void offer(cluster_t list, const void *primary, std::size_t primary_bytes,
-               const void *secondary, std::size_t secondary_bytes);
+               const void *secondary, std::size_t secondary_bytes)
+        JUNO_EXCLUDES(mutex_);
 
-    Counters counters() const;
+    Counters counters() const JUNO_EXCLUDES(mutex_);
 
     /**
      * Parses a byte size with an optional k/m/g suffix (binary
@@ -141,17 +142,17 @@ class HotListCache {
 
   private:
     /** Accesses between halvings of every frequency counter. */
-    std::uint64_t ageInterval() const;
-    void ageLocked();
+    std::uint64_t ageInterval() const JUNO_REQUIRES(mutex_);
+    void ageLocked() JUNO_REQUIRES(mutex_);
 
     const std::size_t budget_;
-    mutable std::mutex mutex_;
-    std::vector<std::uint32_t> freq_;
+    mutable Mutex mutex_;
+    std::vector<std::uint32_t> freq_ JUNO_GUARDED_BY(mutex_);
     std::unordered_map<cluster_t, std::shared_ptr<const CachedList>>
-        entries_;
-    std::size_t pinned_bytes_ = 0;
-    std::uint64_t accesses_since_age_ = 0;
-    Counters counters_;
+        entries_ JUNO_GUARDED_BY(mutex_);
+    std::size_t pinned_bytes_ JUNO_GUARDED_BY(mutex_) = 0;
+    std::uint64_t accesses_since_age_ JUNO_GUARDED_BY(mutex_) = 0;
+    Counters counters_ JUNO_GUARDED_BY(mutex_);
 };
 
 } // namespace juno

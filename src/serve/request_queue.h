@@ -19,10 +19,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 
 namespace juno {
 
@@ -49,11 +49,11 @@ template <typename T> class BoundedMpmcQueue {
 
     /** Non-blocking enqueue; never waits for space. */
     PushResult
-    tryPush(T &&item)
+    tryPush(T &&item) JUNO_EXCLUDES(mutex_)
     {
         bool wake = false;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             if (closed_)
                 return PushResult::kClosed;
             if (items_.size() >= capacity_)
@@ -83,14 +83,15 @@ template <typename T> class BoundedMpmcQueue {
      */
     bool
     popBatch(std::vector<T> &out, std::size_t max_items,
-             std::chrono::microseconds linger)
+             std::chrono::microseconds linger) JUNO_EXCLUDES(mutex_)
     {
         JUNO_REQUIRE(max_items > 0, "batch size must be positive");
         out.clear();
-        std::unique_lock<std::mutex> lock(mutex_);
+        CvLock lock(mutex_);
         for (;;) {
             ++waiting_empty_;
-            cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+            while (items_.empty() && !closed_)
+                cv_.wait(lock.native());
             --waiting_empty_;
             if (items_.empty())
                 return false; // closed and fully drained
@@ -103,9 +104,13 @@ template <typename T> class BoundedMpmcQueue {
                 // stall (the timeout below always fires).
                 ++armed_waiters_;
                 armed_batch_ = std::min(armed_batch_, max_items);
-                cv_.wait_for(lock, linger, [this, max_items] {
-                    return items_.size() >= max_items || closed_;
-                });
+                const auto deadline =
+                    std::chrono::steady_clock::now() + linger;
+                while (items_.size() < max_items && !closed_) {
+                    if (cv_.wait_until(lock.native(), deadline) ==
+                        std::cv_status::timeout)
+                        break;
+                }
                 if (--armed_waiters_ == 0)
                     armed_batch_ = kUnarmed;
             }
@@ -131,26 +136,26 @@ template <typename T> class BoundedMpmcQueue {
      * Idempotent.
      */
     void
-    close()
+    close() JUNO_EXCLUDES(mutex_)
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             closed_ = true;
         }
         cv_.notify_all();
     }
 
     bool
-    closed() const
+    closed() const JUNO_EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return closed_;
     }
 
     std::size_t
-    size() const
+    size() const JUNO_EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return items_.size();
     }
 
@@ -160,15 +165,15 @@ template <typename T> class BoundedMpmcQueue {
     static constexpr std::size_t kUnarmed = static_cast<std::size_t>(-1);
 
     const std::size_t capacity_;
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_;
     std::condition_variable cv_;
-    std::deque<T> items_;
-    bool closed_ = false;
+    std::deque<T> items_ JUNO_GUARDED_BY(mutex_);
+    bool closed_ JUNO_GUARDED_BY(mutex_) = false;
     /** Consumers parked on an empty queue (wake on first push). */
-    std::size_t waiting_empty_ = 0;
+    std::size_t waiting_empty_ JUNO_GUARDED_BY(mutex_) = 0;
     /** Consumers inside a linger wait, and the size that wakes them. */
-    std::size_t armed_waiters_ = 0;
-    std::size_t armed_batch_ = kUnarmed;
+    std::size_t armed_waiters_ JUNO_GUARDED_BY(mutex_) = 0;
+    std::size_t armed_batch_ JUNO_GUARDED_BY(mutex_) = kUnarmed;
 };
 
 } // namespace juno

@@ -64,7 +64,7 @@ SearchService::~SearchService()
 void
 SearchService::start()
 {
-    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    MutexLock lock(lifecycle_mutex_);
     JUNO_REQUIRE(state_ == State::kIdle,
                  "SearchService is one-shot: start() called on a "
                  "running or stopped service");
@@ -92,9 +92,16 @@ SearchService::snapshot() const
     if (const auto cache = index_.hotListCache())
         snap.cache = cache->counters();
     const ResourceUsage now = readResourceUsage();
+    // base_usage_ is written by start(); reading it under the
+    // lifecycle lock keeps a snapshot racing with start() coherent.
+    ResourceUsage base;
+    {
+        MutexLock lock(lifecycle_mutex_);
+        base = base_usage_;
+    }
     snap.usage.rss_bytes = now.rss_bytes;
-    snap.usage.major_faults = now.major_faults - base_usage_.major_faults;
-    snap.usage.minor_faults = now.minor_faults - base_usage_.minor_faults;
+    snap.usage.major_faults = now.major_faults - base.major_faults;
+    snap.usage.minor_faults = now.minor_faults - base.minor_faults;
     return snap;
 }
 
@@ -104,7 +111,7 @@ SearchService::stop()
     // Joining under the lifecycle lock makes concurrent stop() calls
     // all block until the drain completes (dispatchers never touch
     // this lock, so no deadlock).
-    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    MutexLock lock(lifecycle_mutex_);
     if (state_ == State::kStopped)
         return;
     running_.store(false);

@@ -33,10 +33,11 @@
 #include <chrono>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 #include "baseline/index.h"
 #include "registry/snapshot.h"
@@ -123,7 +124,7 @@ class SearchService {
     SearchService &operator=(const SearchService &) = delete;
 
     /** Spawns the dispatcher threads. Must be called exactly once. */
-    void start();
+    void start() JUNO_EXCLUDES(lifecycle_mutex_);
 
     /**
      * Drains and joins: closes admission, lets dispatchers finish
@@ -131,7 +132,7 @@ class SearchService {
      * safe to call from several threads (every return implies the
      * drain completed). The destructor calls stop() implicitly.
      */
-    void stop();
+    void stop() JUNO_EXCLUDES(lifecycle_mutex_);
 
     bool running() const { return running_.load(); }
 
@@ -158,7 +159,7 @@ class SearchService {
      * hot-list cache counters and the process's RSS plus page-fault
      * deltas since start() (the out-of-core health signals).
      */
-    ServiceStats::Snapshot snapshot() const;
+    ServiceStats::Snapshot snapshot() const JUNO_EXCLUDES(lifecycle_mutex_);
 
     AnnIndex &index() { return index_; }
     const ServiceConfig &config() const { return config_; }
@@ -183,13 +184,20 @@ class SearchService {
     BoundedMpmcQueue<Request> queue_;
     ServiceStats stats_;
 
-    std::mutex lifecycle_mutex_;
+    /**
+     * Guards the start/stop state machine and base_usage_. Mutable so
+     * snapshot() const can read base_usage_ coherently; dispatchers
+     * never take this lock, so holding it across the stop() join
+     * cannot deadlock (a concurrent snapshot() blocks until the drain
+     * finishes, which is the consistent picture anyway).
+     */
+    mutable Mutex lifecycle_mutex_;
     enum class State { kIdle, kRunning, kStopped };
-    State state_ = State::kIdle;
-    std::vector<std::thread> dispatchers_;
+    State state_ JUNO_GUARDED_BY(lifecycle_mutex_) = State::kIdle;
+    std::vector<std::thread> dispatchers_ JUNO_GUARDED_BY(lifecycle_mutex_);
     std::atomic<bool> running_{false};
     /** Usage at start(); snapshots report fault deltas against it. */
-    ResourceUsage base_usage_;
+    ResourceUsage base_usage_ JUNO_GUARDED_BY(lifecycle_mutex_);
 };
 
 } // namespace juno

@@ -76,7 +76,7 @@ ServiceStats::recordCompletion(double queue_us, double batch_us,
 {
     Shard &shard = localShard();
     {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         shard.queue_us.add(queue_us);
         shard.batch_us.add(batch_us);
         shard.search_us.add(search_us);
@@ -96,7 +96,7 @@ ServiceStats::recordCompletions(const std::vector<double> &queue_us,
         return;
     Shard &shard = localShard();
     {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         shard.queue_us.add(queue_us);
         shard.batch_us.add(batch_us);
         shard.search_us.add(search_us);
@@ -117,7 +117,7 @@ ServiceStats::snapshot() const
 {
     QuantileSketch queue_us, batch_us, search_us, total_us;
     for (const Shard &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         queue_us.merge(shard.queue_us);
         batch_us.merge(shard.batch_us);
         search_us.merge(shard.search_us);

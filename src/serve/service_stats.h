@@ -18,9 +18,9 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 #include "serve/hot_list_cache.h"
 
 namespace juno {
@@ -140,11 +140,11 @@ class ServiceStats {
 
     /** One recording thread's sketch set (chosen by thread-id hash). */
     struct alignas(64) Shard {
-        mutable std::mutex mutex;
-        QuantileSketch queue_us;
-        QuantileSketch batch_us;
-        QuantileSketch search_us;
-        QuantileSketch total_us;
+        mutable Mutex mutex;
+        QuantileSketch queue_us JUNO_GUARDED_BY(mutex);
+        QuantileSketch batch_us JUNO_GUARDED_BY(mutex);
+        QuantileSketch search_us JUNO_GUARDED_BY(mutex);
+        QuantileSketch total_us JUNO_GUARDED_BY(mutex);
     };
 
     Shard &localShard();

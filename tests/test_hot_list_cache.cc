@@ -10,10 +10,13 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baseline/ivfflat_index.h"
@@ -159,6 +162,74 @@ TEST(HotListCache, EvictedEntryStaysValidForInFlightReaders)
 
     // The held shared_ptr still reads the original bytes.
     EXPECT_EQ(held->primary, payload);
+}
+
+// TSan regression stress: readers, writers and the implicit evictions
+// all funnel through one mutex; under budget pressure every offer()
+// can displace what a concurrent find() just handed out. The entry
+// lifetime contract under fire: a held EntryPtr keeps its exact bytes
+// after eviction, budget and counter invariants hold at every
+// concurrent counters() sample.
+TEST(HotListCache, ConcurrentFindOfferEvictChurn)
+{
+    constexpr int kThreads = 4;
+    constexpr int kOpsPer = 800;
+    constexpr std::size_t kListBytes = 64;
+    // Budget fits two lists: constant eviction churn.
+    HotListCache cache(2 * kListBytes, 16);
+
+    // Each list's payload is filled with its own id, so a reader can
+    // verify a handed-out entry end-to-end no matter when the list
+    // was evicted underneath it.
+    auto payloadFor = [](cluster_t list) {
+        return std::vector<std::uint8_t>(
+            kListBytes, static_cast<std::uint8_t>(list));
+    };
+
+    std::atomic<bool> go{false};
+    std::atomic<std::uint64_t> validated{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            while (!go.load())
+                std::this_thread::yield();
+            for (int i = 0; i < kOpsPer; ++i) {
+                // Skewed traffic: low thread ids hammer low lists so
+                // admission has real frequency differences to act on.
+                const auto list =
+                    static_cast<cluster_t>((t + i) % (4 + 3 * t));
+                const auto entry = cache.find(list);
+                if (entry != nullptr) {
+                    // Held entries stay bitwise-intact across any
+                    // concurrent eviction (shared ownership).
+                    ASSERT_EQ(entry->primary, payloadFor(list));
+                    validated.fetch_add(1);
+                } else {
+                    const auto payload = payloadFor(list);
+                    cache.offer(list, payload.data(), payload.size(),
+                                nullptr, 0);
+                }
+                if (i % 64 == 0) {
+                    const auto c = cache.counters();
+                    EXPECT_LE(c.pinned_bytes, 2 * kListBytes);
+                    EXPECT_LE(c.resident_lists, 2u);
+                    EXPECT_EQ(c.hits + c.misses, c.lookups);
+                }
+            }
+        });
+    go.store(true);
+    for (auto &t : threads)
+        t.join();
+
+    const auto c = cache.counters();
+    EXPECT_EQ(c.lookups,
+              static_cast<std::uint64_t>(kThreads) * kOpsPer);
+    EXPECT_EQ(c.hits + c.misses, c.lookups);
+    EXPECT_EQ(c.hits, validated.load());
+    EXPECT_LE(c.pinned_bytes, 2 * kListBytes);
+    // The churn actually exercised the eviction path.
+    EXPECT_GE(c.admitted, 2u);
+    EXPECT_GE(c.evicted + c.rejected_policy, 1u);
 }
 
 TEST(HotListCache, ParseByteSize)

@@ -81,5 +81,29 @@ TEST(FloatMatrixView, ImplicitConversion)
     EXPECT_FLOAT_EQ(v.at(0, 0), 3.0f);
 }
 
+#if JUNO_DCHECK_IS_ON
+// The accessor bounds checks are JUNO_DCHECK — active in Debug and
+// every sanitizer preset (JUNO_FORCE_DCHECKS), compiled out of the
+// Release hot path. These death tests pin the active half of that
+// contract; the compiled-out half is what bench_micro_kernels guards.
+TEST(FloatMatrixDeathTest, OutOfBoundsRowAborts)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    FloatMatrix m(3, 4);
+    EXPECT_DEATH(m.row(3), "row 3 of 3");
+    EXPECT_DEATH(m.row(-1), "row -1 of 3");
+}
+
+TEST(FloatMatrixDeathTest, ViewOutOfBoundsAborts)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    FloatMatrix m(3, 4);
+    const FloatMatrixView v = m;
+    EXPECT_DEATH(v.row(5), "row 5 of 3");
+    EXPECT_DEATH(v.at(0, 4), "col 4 of 4");
+    EXPECT_DEATH(v.slice(2, 2), "bad slice");
+}
+#endif // JUNO_DCHECK_IS_ON
+
 } // namespace
 } // namespace juno

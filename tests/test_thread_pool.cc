@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -194,6 +195,47 @@ TEST(ThreadPool, BatchInlineMode)
     batch.submit([&] { ++count; });
     batch.join();
     EXPECT_EQ(count, 1);
+}
+
+// TSan regression stress: producers hammer submit() while shutdown()
+// tears the pool down. The contract under fire is "never silently
+// dropped" — a job racing the teardown must run queued OR inline,
+// exactly once, and shutdown()'s return must imply the queue drained.
+// (Historically the dangerous window is submit() observing stopping_
+// between the teardown owner swapping the queue and the join.)
+TEST(ThreadPool, ConcurrentShutdownVsSubmit)
+{
+    for (int round = 0; round < 8; ++round) {
+        ThreadPool pool(3);
+        constexpr int kProducers = 4;
+        constexpr int kJobsPer = 200;
+        std::atomic<int> ran{0};
+        std::atomic<bool> go{false};
+        std::vector<std::thread> producers;
+        producers.reserve(kProducers);
+        for (int p = 0; p < kProducers; ++p)
+            producers.emplace_back([&] {
+                while (!go.load())
+                    std::this_thread::yield();
+                for (int j = 0; j < kJobsPer; ++j)
+                    pool.submit([&] { ran.fetch_add(1); });
+            });
+        std::thread closer([&] {
+            while (!go.load())
+                std::this_thread::yield();
+            // Land the teardown mid-burst rather than before or after
+            // the whole storm (a sleep would just serialize the test).
+            while (ran.load() < kProducers * kJobsPer / 4)
+                std::this_thread::yield();
+            pool.shutdown();
+        });
+        go.store(true);
+        for (auto &p : producers)
+            p.join();
+        closer.join();
+        pool.shutdown();
+        EXPECT_EQ(ran.load(), kProducers * kJobsPer) << "round " << round;
+    }
 }
 
 } // namespace

@@ -47,6 +47,7 @@
 #include <cstring>
 #include <deque>
 #include <future>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -56,6 +57,7 @@
 #include "baseline/hnsw.h"
 #include "baseline/ivfflat_index.h"
 #include "baseline/ivfpq_index.h"
+#include "common/parse.h"
 #include "core/juno_index.h"
 #include "dataset/ground_truth.h"
 #include "dataset/io.h"
@@ -92,24 +94,27 @@ class Args {
         return it == values_.end() ? fallback : it->second;
     }
 
+    /**
+     * Integer flag, checked against an inclusive [lo, hi] range. A
+     * typo like `--k ten`, a partial parse (`--k 1x`), overflow
+     * (`--seed 99999999999999999999`) or an out-of-range value must
+     * exit with a diagnostic, not wrap, throw, or reach the engine
+     * (juno::parseInt64InRange rejects all four).
+     */
     long
-    getInt(const std::string &key, long fallback) const
+    getInt(const std::string &key, long fallback,
+           long lo = std::numeric_limits<long>::min(),
+           long hi = std::numeric_limits<long>::max()) const
     {
         auto it = values_.find(key);
         if (it == values_.end())
             return fallback;
-        // A typo like `--k ten` must exit with a diagnostic, not
-        // propagate std::invalid_argument into std::terminate.
-        try {
-            std::size_t used = 0;
-            const long v = std::stol(it->second, &used);
-            if (used != it->second.size())
-                throw std::invalid_argument(it->second);
-            return v;
-        } catch (const std::exception &) {
-            fatal("--" + key + " expects an integer, got '" +
-                  it->second + "'");
-        }
+        const auto v = parseInt64InRange(it->second, lo, hi);
+        if (!v)
+            fatal("--" + key + " expects an integer in [" +
+                  std::to_string(lo) + ", " + std::to_string(hi) +
+                  "], got '" + it->second + "'");
+        return static_cast<long>(*v);
     }
 
     double
@@ -118,16 +123,13 @@ class Args {
         auto it = values_.find(key);
         if (it == values_.end())
             return fallback;
-        try {
-            std::size_t used = 0;
-            const double v = std::stod(it->second, &used);
-            if (used != it->second.size())
-                throw std::invalid_argument(it->second);
-            return v;
-        } catch (const std::exception &) {
-            fatal("--" + key + " expects a number, got '" +
+        // parseFloat64 also rejects inf/nan, which would otherwise
+        // slip through into threshold comparisons.
+        const auto v = parseFloat64(it->second);
+        if (!v)
+            fatal("--" + key + " expects a finite number, got '" +
                   it->second + "'");
-        }
+        return *v;
     }
 
     bool has(const std::string &key) const { return values_.count(key); }
@@ -175,9 +177,9 @@ loadData(const Args &args, Metric metric)
     }
     SyntheticSpec spec;
     spec.kind = parseKind(args.get("synthetic", "deep"));
-    spec.num_points = args.getInt("n", 20000);
-    spec.num_queries = args.getInt("queries-n", 64);
-    spec.dim = args.getInt("dim", 0);
+    spec.num_points = args.getInt("n", 20000, 1, 100000000);
+    spec.num_queries = args.getInt("queries-n", 64, 1, 10000000);
+    spec.dim = args.getInt("dim", 0, 0, 65536);
     spec.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
     return makeDataset(spec);
 }
@@ -187,9 +189,9 @@ SearchOptions
 optionsFrom(const Args &args)
 {
     SearchOptions options;
-    options.k = args.getInt("k", 100);
-    options.threads = static_cast<int>(args.getInt("threads", 1));
-    options.batch_size = args.getInt("batch", 0);
+    options.k = args.getInt("k", 100, 1, 1000000);
+    options.threads = static_cast<int>(args.getInt("threads", 1, 0, 4096));
+    options.batch_size = args.getInt("batch", 0, 0, 100000000);
     return options;
 }
 
@@ -204,13 +206,13 @@ specFrom(const Args &args)
         return args.get("spec", "");
     IndexSpec spec;
     spec.type = "juno";
-    spec.setInt("nlist", args.getInt("clusters", 256));
-    spec.setInt("entries", args.getInt("entries", 128));
-    spec.setInt("nprobe", args.getInt("nprobs", 32));
+    spec.setInt("nlist", args.getInt("clusters", 256, 1, 10000000));
+    spec.setInt("entries", args.getInt("entries", 128, 1, 10000000));
+    spec.setInt("nprobe", args.getInt("nprobs", 32, 1, 10000000));
     spec.set("mode", args.get("mode", "h"));
     spec.setDouble("scale", args.getDouble("scale", 1.0));
     spec.setInt("seed", args.getInt("seed", 42));
-    spec.setInt("train", args.getInt("train-points", 10000));
+    spec.setInt("train", args.getInt("train-points", 10000, 1, 100000000));
     return spec.toString();
 }
 
@@ -218,7 +220,7 @@ SnapshotOptions
 snapshotOptionsFrom(const Args &args)
 {
     SnapshotOptions options;
-    options.use_mmap = args.getInt("mmap", 1) != 0;
+    options.use_mmap = args.getInt("mmap", 1, 0, 1) != 0;
     return options;
 }
 
@@ -235,7 +237,7 @@ applyKnobs(AnnIndex &index, const Args &args)
 {
     if (auto *j = dynamic_cast<JunoIndex *>(&index)) {
         if (args.has("nprobs"))
-            j->setNprobs(args.getInt("nprobs", 32));
+            j->setNprobs(args.getInt("nprobs", 32, 1, 10000000));
         if (args.has("mode")) {
             const std::string m = args.get("mode", "h");
             if (m == "h")
@@ -253,17 +255,17 @@ applyKnobs(AnnIndex &index, const Args &args)
     }
     if (auto *f = dynamic_cast<IvfFlatIndex *>(&index)) {
         if (args.has("nprobs"))
-            f->setNprobs(args.getInt("nprobs", 8));
+            f->setNprobs(args.getInt("nprobs", 8, 1, 10000000));
         return;
     }
     if (auto *p = dynamic_cast<IvfPqIndex *>(&index)) {
         if (args.has("nprobs"))
-            p->setNprobs(args.getInt("nprobs", 8));
+            p->setNprobs(args.getInt("nprobs", 8, 1, 10000000));
         return;
     }
     if (auto *h = dynamic_cast<Hnsw *>(&index)) {
         if (args.has("ef"))
-            h->setEfSearch(static_cast<int>(args.getInt("ef", 64)));
+            h->setEfSearch(static_cast<int>(args.getInt("ef", 64, 1, 10000000)));
         return;
     }
 }
@@ -373,7 +375,7 @@ cmdEval(const Args &args)
                 static_cast<long long>(data.queries.rows()),
                 static_cast<long long>(data.base.cols()));
 
-    const idx_t k = args.getInt("k", 100);
+    const idx_t k = args.getInt("k", 100, 1, 1000000);
     const auto gt = computeGroundTruth(index->metric(), data.base.view(),
                                        data.queries.view(), k);
     applyKnobs(*index, args);
@@ -455,16 +457,16 @@ int
 cmdServe(const Args &args)
 {
     ServiceConfig config;
-    config.max_batch = args.getInt("batch-max", 32);
+    config.max_batch = args.getInt("batch-max", 32, 1, 1000000);
     config.linger =
-        std::chrono::microseconds(args.getInt("linger-us", 200));
-    const long queue_cap = args.getInt("queue-cap", 4096);
+        std::chrono::microseconds(args.getInt("linger-us", 200, 0, 60000000));
+    const long queue_cap = args.getInt("queue-cap", 4096, 1, 100000000);
     // A negative value would wrap to a near-SIZE_MAX capacity and
     // silently disable the admission control serve demonstrates.
     JUNO_REQUIRE(queue_cap > 0, "queue-cap must be positive");
     config.queue_capacity = static_cast<std::size_t>(queue_cap);
     config.search_threads =
-        static_cast<int>(args.getInt("threads", 1));
+        static_cast<int>(args.getInt("threads", 1, 0, 4096));
     // --mem-budget 64m attaches the out-of-core hot-list cache
     // (0 forces pure mmap even when JUNO_MEM_BUDGET is set).
     const std::string mem_budget = args.get("mem-budget", "");
@@ -516,10 +518,10 @@ cmdServe(const Args &args)
                      << queries.cols() << " columns, index has "
                      << index.dim());
 
-    const idx_t k = args.getInt("k", 10);
-    const int clients = static_cast<int>(args.getInt("clients", 4));
-    const int window = static_cast<int>(args.getInt("window", 8));
-    const long total = args.getInt("requests", 20000);
+    const idx_t k = args.getInt("k", 10, 1, 1000000);
+    const int clients = static_cast<int>(args.getInt("clients", 4, 1, 4096));
+    const int window = static_cast<int>(args.getInt("window", 8, 1, 1000000));
+    const long total = args.getInt("requests", 20000, 0, 1000000000);
     JUNO_REQUIRE(clients > 0 && window > 0 && total > 0,
                  "clients, window and requests must be positive");
 
