@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "baseline/ivfpq_index.h"
+#include "common/build_info.h"
 #include "bench_common.h"
 #include "core/juno_index.h"
 #include "harness/index_cache.h"
@@ -73,7 +74,8 @@ writeSnapshot(const std::string &path)
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         return;
     }
-    out << "{\n  \"bench\": \"fig12_qps_recall\",\n  \"scale\": \""
+    out << "{\n  \"bench\": \"fig12_qps_recall\",\n  \"build\": "
+        << buildInfoJson() << ",\n  \"scale\": \""
         << (bench::largeScale() ? "large" : "default")
         << "\",\n  \"datasets\": [\n";
     for (std::size_t d = 0; d < g_snapshot.size(); ++d) {

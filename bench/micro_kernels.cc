@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/build_info.h"
 #include "common/matrix.h"
 #include "common/rng.h"
 #include "common/simd.h"
@@ -92,7 +93,8 @@ writeSnapshot(const std::string &path)
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         return;
     }
-    out << "{\n  \"bench\": \"micro_kernels\",\n  \"dispatch\": \""
+    out << "{\n  \"bench\": \"micro_kernels\",\n  \"build\": "
+        << buildInfoJson() << ",\n  \"dispatch\": \""
         << simd::levelName(simd::bestSupported())
         << "\",\n  \"kernels\": [\n";
     for (std::size_t i = 0; i < g_rows.size(); ++i) {

@@ -38,6 +38,7 @@
 
 #include "baseline/ivfpq_index.h"
 #include "bench_common.h"
+#include "common/build_info.h"
 #include "common/mmap_blob.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -234,7 +235,8 @@ writeJson(const std::string &path, std::size_t index_bytes,
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         return;
     }
-    out << "{\n  \"bench\": \"ooc\",\n  \"scan_plane_bytes\": "
+    out << "{\n  \"bench\": \"ooc\",\n  \"build\": "
+        << buildInfoJson() << ",\n  \"scan_plane_bytes\": "
         << index_bytes << ",\n  \"warm_qps\": " << warm_qps
         << ",\n  \"naive_cold_mmap\": {\"qps\": " << naive.qps
         << ", \"recall1\": " << naive.recall

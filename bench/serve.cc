@@ -41,6 +41,7 @@
 
 #include "baseline/ivfflat_index.h"
 #include "bench_common.h"
+#include "common/build_info.h"
 #include "common/rng.h"
 #include "dataset/ground_truth.h"
 #include "dataset/recall.h"
@@ -117,9 +118,12 @@ serviceConfig(const BatchSetting &setting)
 RunResult
 runClosedLoop(AnnIndex &index, FloatMatrixView queries, idx_t k,
               const BatchSetting &setting, int clients, int window,
-              std::uint64_t total_requests)
+              std::uint64_t total_requests,
+              const ServiceConfig *config_override = nullptr)
 {
-    SearchService service(index, serviceConfig(setting));
+    SearchService service(index, config_override != nullptr
+                                     ? *config_override
+                                     : serviceConfig(setting));
     service.start();
     const std::uint64_t per_client =
         total_requests / static_cast<std::uint64_t>(clients);
@@ -411,19 +415,35 @@ batchSettings(const Options &opt)
     return settings;
 }
 
+/**
+ * The observability-is-free gate: QPS with the whole layer off vs on
+ * (metrics callbacks registered, tracer constructed at sample rate 0,
+ * slow-query detection armed). The claim in DESIGN.md is that the
+ * disabled hot path costs one constant read per request.
+ */
+struct ObsOverhead {
+    double plain_qps = 0.0;
+    double obs_qps = 0.0;
+    double overhead_pct = 0.0;
+};
+
 void
 writeJson(const std::string &path,
           const std::vector<BatchSetting> &settings,
           const std::vector<RunResult> &capacity,
           const std::vector<std::vector<RunResult>> &open_loop,
-          double baseline_qps)
+          double baseline_qps, const ObsOverhead &obs)
 {
     std::ofstream out(path);
     if (!out) {
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         return;
     }
-    out << "{\n  \"bench\": \"serve\",\n  \"settings\": [\n";
+    out << "{\n  \"bench\": \"serve\",\n  \"build\": "
+        << buildInfoJson() << ",\n  \"observability\": {\"plain_qps\": "
+        << obs.plain_qps << ", \"obs_qps\": " << obs.obs_qps
+        << ", \"overhead_pct\": " << obs.overhead_pct
+        << "},\n  \"settings\": [\n";
     for (std::size_t s = 0; s < settings.size(); ++s) {
         const auto &cap = capacity[s];
         out << "    {\"label\": \"" << settings[s].label
@@ -617,6 +637,40 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(mem.cache.misses));
     std::printf("\n");
 
+    // ---- Observability overhead at the best setting ----
+    // The A/B the "free when off" claim is judged by: the same closed
+    // loop with the whole layer off, then on in its always-on serving
+    // shape — metrics callbacks registered, tracer built with sample
+    // rate 0, slow-query detection armed with a threshold nothing
+    // crosses (the compare still runs per request).
+    printBanner("Observability overhead (metrics on, trace rate 0)");
+    ObsOverhead obs;
+    {
+        const BatchSetting &setting = settings[best_setting];
+        ServiceConfig plain_cfg = serviceConfig(setting);
+        plain_cfg.metrics = false;
+        ServiceConfig obs_cfg = serviceConfig(setting);
+        obs_cfg.metrics = true;
+        obs_cfg.trace_sample = 0.0;
+        obs_cfg.slow_trace_us = 1e12;
+        for (int rep = 0; rep < repeats; ++rep) {
+            const auto plain = runClosedLoop(
+                index, ds.queries.view(), opt.k, setting, opt.clients,
+                opt.window, opt.closed_requests, &plain_cfg);
+            const auto traced = runClosedLoop(
+                index, ds.queries.view(), opt.k, setting, opt.clients,
+                opt.window, opt.closed_requests, &obs_cfg);
+            obs.plain_qps = std::max(obs.plain_qps, plain.qps);
+            obs.obs_qps = std::max(obs.obs_qps, traced.qps);
+        }
+        obs.overhead_pct =
+            100.0 * (1.0 - obs.obs_qps / std::max(obs.plain_qps, 1e-9));
+        std::printf("%s: %.0f QPS plain, %.0f QPS with observability "
+                    "-> %.2f%% overhead\n",
+                    setting.label.c_str(), obs.plain_qps, obs.obs_qps,
+                    obs.overhead_pct);
+    }
+
     // ---- Open-loop QPS vs latency split ----
     printBanner("Open loop (Poisson arrivals): QPS vs latency SLO");
     // Offered rates relative to the no-batching capacity: below it
@@ -701,7 +755,7 @@ main(int argc, char **argv)
 
     if (!opt.json_path.empty())
         writeJson(opt.json_path, settings, capacity, open_results,
-                  baseline_qps);
+                  baseline_qps, obs);
 
     if (opt.smoke) {
         if (failures == 0)

@@ -73,7 +73,7 @@ FlatIndex::open(SnapshotReader &reader)
 void
 FlatIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
 {
-    ScopedStageTimer scan_timer(ctx.timers(), "scan");
+    StageScope scan_timer(ctx, Stage::kScan);
     const idx_t d = points_.cols();
     const idx_t n = points_.rows();
     ctx.scores.resize(

@@ -419,7 +419,7 @@ Hnsw::search(const float *query, idx_t k, int ef) const
 void
 Hnsw::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
 {
-    ScopedStageTimer t(ctx.timers(), "graph");
+    StageScope t(ctx, Stage::kGraph);
     for (idx_t qi = chunk.begin; qi < chunk.end; ++qi)
         (*chunk.results)[static_cast<std::size_t>(qi)] = searchImpl(
             chunk.queries.row(qi), chunk.k, ef_search_, ctx.visited);

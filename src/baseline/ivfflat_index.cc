@@ -237,13 +237,13 @@ IvfFlatIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
             // Stage A once per query block: this is where batching
             // pays — the centroid table streams once per block
             // instead of once per query.
-            ScopedStageTimer t(ctx.timers(), "filter");
+            StageScope t(ctx, Stage::kFilter);
             filterBlock(chunk, block, block_end, ctx);
         }
         for (idx_t qi = block; qi < block_end; ++qi) {
             const float *q = chunk.queries.row(qi);
             {
-                ScopedStageTimer t(ctx.timers(), "filter");
+                StageScope t(ctx, Stage::kFilter);
                 const float *scores =
                     ctx.scores.data() +
                     static_cast<std::size_t>(qi - block) *
@@ -251,7 +251,7 @@ IvfFlatIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
                 ctx.probes = selectTopK(metric_, scores, C,
                                         std::min(nprobs_, C));
             }
-            ScopedStageTimer t(ctx.timers(), "scan");
+            StageScope t(ctx, Stage::kScan);
             TopK top(std::min(chunk.k, points_.rows()), metric_);
             // Inverted lists hold scattered ids, so the contiguous
             // batch kernel does not apply; the single-row kernel

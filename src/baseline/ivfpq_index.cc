@@ -414,7 +414,7 @@ IvfPqIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
         const float *q = chunk.queries.row(qi);
 
         {
-            ScopedStageTimer t(ctx.timers(), "filter");
+            StageScope t(ctx, Stage::kFilter);
             ctx.probes = probe(q, nprobs_, ctx.visited);
             if (cache != nullptr) {
                 orderProbesResidentFirst(ctx.probes, *cache, scan);
@@ -426,14 +426,28 @@ IvfPqIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
             }
         }
 
+        // Traced batches record the IO picture of each query's probe
+        // set: pinned-list hits vs misses, and how many misses were
+        // mincore-cold (pages not resident — the WILLNEED-deferred
+        // tail). Off the traced path this is a single pointer test.
+        if (ctx.trace != nullptr && cache != nullptr) {
+            const auto misses = static_cast<double>(scan.cold.size());
+            ctx.trace->instant(
+                "hot_cache", "hits",
+                static_cast<double>(ctx.probes.size()) - misses, "misses",
+                misses);
+            ctx.trace->instant("cold_probes", "mincore_cold",
+                               static_cast<double>(scan.deferred.size()));
+        }
+
         TopK top(std::min(chunk.k, num_points_), metric_);
         for (const auto &op : scan.order) {
             float base = 0.0f;
             {
-                ScopedStageTimer t(ctx.timers(), "lut");
+                StageScope t(ctx, Stage::kLut);
                 buildLut(q, op.cluster, ctx.lut, base, ctx.residual);
             }
-            ScopedStageTimer t(ctx.timers(), "scan");
+            StageScope t(ctx, Stage::kScan);
             scanList(op.cluster, ctx.lut, base, scan, top,
                      op.entry.get(), cache);
         }

@@ -1,0 +1,81 @@
+#include "common/build_info.h"
+
+#include "common/simd.h"
+
+// CMake stamps these as per-file compile definitions (see the
+// build_info block in CMakeLists.txt). The sha is captured at
+// configure time, so it can lag HEAD until the next cmake run — good
+// enough for attributing bench snapshots, not a release fingerprint.
+#ifndef JUNO_GIT_SHA
+#define JUNO_GIT_SHA "unknown"
+#endif
+#ifndef JUNO_BUILD_TYPE
+#define JUNO_BUILD_TYPE "unknown"
+#endif
+
+namespace juno {
+
+namespace {
+
+std::string
+compilerString()
+{
+#if defined(__clang__)
+    return std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+    return std::string("gcc ") + __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+BuildInfo
+buildInfo()
+{
+    BuildInfo info;
+    info.git_sha = JUNO_GIT_SHA;
+    info.compiler = compilerString();
+    info.build_type = JUNO_BUILD_TYPE;
+    info.simd_level = simd::levelName(simd::level());
+    return info;
+}
+
+std::string
+buildInfoJson()
+{
+    const BuildInfo info = buildInfo();
+    std::string out = "{";
+    out += "\"git_sha\": \"" + jsonEscape(info.git_sha) + "\", ";
+    out += "\"compiler\": \"" + jsonEscape(info.compiler) + "\", ";
+    out += "\"build_type\": \"" + jsonEscape(info.build_type) + "\", ";
+    out += "\"simd_level\": \"" + jsonEscape(info.simd_level) + "\"";
+    out += "}";
+    return out;
+}
+
+std::vector<std::pair<std::string, std::string>>
+buildInfoLabels()
+{
+    const BuildInfo info = buildInfo();
+    return {{"git_sha", info.git_sha},
+            {"compiler", info.compiler},
+            {"build_type", info.build_type},
+            {"simd_level", info.simd_level}};
+}
+
+} // namespace juno

@@ -9,46 +9,74 @@ Timer::seconds() const
     return std::chrono::duration<double>(now - start_).count();
 }
 
-void
-StageTimers::add(const std::string &name, double seconds)
+const char *
+stageName(Stage stage)
 {
-    auto it = acc_.find(name);
-    if (it == acc_.end()) {
-        acc_.emplace(name, seconds);
-        order_.push_back(name);
-    } else {
-        it->second += seconds;
+    switch (stage) {
+    case Stage::kFilter:
+        return "filter";
+    case Stage::kLut:
+        return "lut";
+    case Stage::kRtLut:
+        return "rt_lut";
+    case Stage::kScan:
+        return "scan";
+    case Stage::kGraph:
+        return "graph";
+    case Stage::kRtExact:
+        return "rt_exact";
+    case Stage::kPipelineWall:
+        return "pipeline_wall";
+    case Stage::kCount:
+        break;
     }
+    return "unknown";
 }
 
 double
 StageTimers::seconds(const std::string &name) const
 {
-    auto it = acc_.find(name);
-    return it == acc_.end() ? 0.0 : it->second;
+    for (std::size_t i = 0; i < kNumStages; ++i) {
+        if (name == stageName(static_cast<Stage>(i)))
+            return acc_[i];
+    }
+    return 0.0;
 }
 
 double
 StageTimers::totalSeconds() const
 {
     double total = 0.0;
-    for (const auto &[name, secs] : acc_)
+    for (const double secs : acc_)
         total += secs;
     return total;
+}
+
+std::vector<std::string>
+StageTimers::names() const
+{
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < kNumStages; ++i) {
+        if (seen_[i])
+            out.emplace_back(stageName(static_cast<Stage>(i)));
+    }
+    return out;
 }
 
 void
 StageTimers::reset()
 {
-    acc_.clear();
-    order_.clear();
+    acc_.fill(0.0);
+    seen_.fill(false);
 }
 
 void
 StageTimers::merge(const StageTimers &other)
 {
-    for (const auto &name : other.names())
-        add(name, other.seconds(name));
+    for (std::size_t i = 0; i < kNumStages; ++i) {
+        acc_[i] += other.acc_[i];
+        seen_[i] = seen_[i] || other.seen_[i];
+    }
 }
 
 } // namespace juno

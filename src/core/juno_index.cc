@@ -485,15 +485,15 @@ JunoIndex::searchOne(const float *query, idx_t k)
 {
     std::vector<Neighbor> probes;
     {
-        ScopedStageTimer t(timers_, "filter");
+        ScopedStageTimer t(timers_, Stage::kFilter);
         probes = probe(query);
         prefetchProbedLists(probes);
     }
     {
-        ScopedStageTimer t(timers_, "rt_lut");
+        ScopedStageTimer t(timers_, Stage::kRtLut);
         lut_builder_->buildInto(query, probes, lutParams(), lut_scratch_);
     }
-    ScopedStageTimer t(timers_, "scan");
+    ScopedStageTimer t(timers_, Stage::kScan);
     return calc_->run(metric_, params_.mode, probes, lut_scratch_,
                       std::min(k, num_points_));
 }
@@ -535,17 +535,17 @@ JunoIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
         for (idx_t qi = chunk.begin; qi < chunk.end; ++qi) {
             const float *q = chunk.queries.row(qi);
             {
-                ScopedStageTimer t(ctx.timers(), "filter");
+                StageScope t(ctx, Stage::kFilter);
                 ctx.probes = probe(q);
                 // Cold lists start paging in while the RT-LUT stage
                 // below runs (out-of-core overlap).
                 prefetchProbedLists(ctx.probes);
             }
             {
-                ScopedStageTimer t(ctx.timers(), "rt_lut");
+                StageScope t(ctx, Stage::kRtLut);
                 w.builder.buildInto(q, ctx.probes, lutParams(), w.lut);
             }
-            ScopedStageTimer t(ctx.timers(), "scan");
+            StageScope t(ctx, Stage::kScan);
             (*chunk.results)[static_cast<std::size_t>(qi)] =
                 w.calc.run(metric_, params_.mode, ctx.probes, w.lut, k);
         }
@@ -575,9 +575,9 @@ JunoIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
         };
         const auto pipe = runTwoStagePipeline(
             chunk.end - chunk.begin, stage1, stage2, true);
-        ctx.timers().add("rt_lut", pipe.stage1_seconds);
-        ctx.timers().add("scan", pipe.stage2_seconds);
-        ctx.timers().add("pipeline_wall", pipe.wall_seconds);
+        ctx.timers().add(Stage::kRtLut, pipe.stage1_seconds);
+        ctx.timers().add(Stage::kScan, pipe.stage2_seconds);
+        ctx.timers().add(Stage::kPipelineWall, pipe.wall_seconds);
     }
 
     MutexLock lock(stats_mutex_);

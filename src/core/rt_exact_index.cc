@@ -132,7 +132,7 @@ RtExactIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
     w.seen.resize(static_cast<std::size_t>(num_points_));
     w.device.setMode(device_.mode());
 
-    ScopedStageTimer timer(ctx.timers(), "rt_exact");
+    StageScope timer(ctx, Stage::kRtExact);
     for (idx_t qi = chunk.begin; qi < chunk.end; ++qi) {
         const float *q = chunk.queries.row(qi);
         for (int s = 0; s < subspaces_; ++s) {

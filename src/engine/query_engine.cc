@@ -110,7 +110,17 @@ QueryEngine::run(FloatMatrixView queries, const SearchOptions &options,
         sc.end = std::min(rows, sc.begin + chunk);
         sc.k = options.k;
         sc.results = &results;
-        fn(sc, ctx);
+        // Contexts are pooled across batches, so the trace is stamped
+        // per chunk and cleared after — a later untraced batch must
+        // not inherit it.
+        ctx.trace = options.trace;
+        {
+            TraceSpan span(ctx.trace, "chunk");
+            span.arg("begin", static_cast<double>(sc.begin));
+            span.arg("end", static_cast<double>(sc.end));
+            fn(sc, ctx);
+        }
+        ctx.trace = nullptr;
     };
 
     // Checked-out contexts, returned (and their timers folded into the
@@ -127,6 +137,10 @@ QueryEngine::run(FloatMatrixView queries, const SearchOptions &options,
             }
         }
     } guard{this, &held};
+
+    TraceSpan engine_span(options.trace, "engine");
+    engine_span.arg("queries", static_cast<double>(rows));
+    engine_span.arg("threads", static_cast<double>(threads));
 
     if (threads == 1) {
         // Inline path: fully re-entrant, any number of concurrent

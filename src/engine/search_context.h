@@ -23,6 +23,7 @@
 #include "common/timer.h"
 #include "common/topk.h"
 #include "common/types.h"
+#include "obs/trace.h"
 
 namespace juno {
 
@@ -85,6 +86,13 @@ class SearchContext {
     /** Private timing ledger, merged into the index after the batch. */
     StageTimers &timers() { return timers_; }
 
+    /**
+     * Trace of the batch this worker is currently executing, stamped
+     * by the engine around each chunk (null when the batch is not
+     * sampled). Stage instrumentation reads it through StageScope.
+     */
+    Trace *trace = nullptr;
+
     // -- Common scratch buffers shared by several index types --
 
     /** Filtering-stage output (probed clusters). */
@@ -128,6 +136,27 @@ class SearchContext {
     StageTimers timers_;
     std::unordered_map<std::type_index, std::unique_ptr<HolderBase>>
         extras_;
+};
+
+/**
+ * Stage instrumentation in one RAII handle: always accumulates into
+ * the context's StageTimers; additionally emits a trace span when the
+ * batch is sampled. With no trace attached the extra cost over a bare
+ * ScopedStageTimer is one pointer test.
+ */
+class StageScope {
+  public:
+    StageScope(SearchContext &ctx, Stage stage)
+        : span_(ctx.trace, stageName(stage)), timer_(ctx.timers(), stage)
+    {
+    }
+
+    StageScope(const StageScope &) = delete;
+    StageScope &operator=(const StageScope &) = delete;
+
+  private:
+    TraceSpan span_;
+    ScopedStageTimer timer_;
 };
 
 } // namespace juno

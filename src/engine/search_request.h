@@ -21,6 +21,8 @@
 
 namespace juno {
 
+class Trace;
+
 /** Retrieved results: one best-first Neighbor list per query. */
 using SearchResults = std::vector<std::vector<Neighbor>>;
 
@@ -58,6 +60,13 @@ struct SearchOptions {
      * fault counts and speed change.
      */
     std::int64_t memory_budget_bytes = -1;
+    /**
+     * Observability hook: when non-null, the engine and the index's
+     * stage instrumentation append spans for this batch to the trace
+     * (obs/trace.h). Not owned; must outlive the search call. Null
+     * (the default) costs one pointer test per stage.
+     */
+    Trace *trace = nullptr;
 };
 
 /** A query batch plus its options; the unit the engine executes. */

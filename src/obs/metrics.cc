@@ -1,0 +1,461 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace juno {
+
+namespace {
+
+/** Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. */
+bool
+validMetricName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    auto head = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+               c == '_' || c == ':';
+    };
+    if (!head(name[0]))
+        return false;
+    for (const char c : name) {
+        if (!head(c) && !(c >= '0' && c <= '9'))
+            return false;
+    }
+    return true;
+}
+
+/** Escapes HELP text / label values per the text exposition format. */
+std::string
+promEscape(const std::string &s, bool label_value)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else if (label_value && c == '"')
+            out += "\\\"";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"')
+            out += "\\\"";
+        else if (c == '\\')
+            out += "\\\\";
+        else if (static_cast<unsigned char>(c) < 0x20)
+            out += ' ';
+        else
+            out += c;
+    }
+    return out;
+}
+
+/** Prometheus sample value (NaN/Inf render in their text form). */
+std::string
+promNumber(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+/** JSON number (non-finite values are not valid JSON; emit 0). */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+std::string
+summaryJson(const HistogramSummary &s)
+{
+    std::string out = "{\"count\":" + std::to_string(s.count);
+    out += ",\"mean\":" + jsonNumber(s.mean);
+    out += ",\"p50\":" + jsonNumber(s.p50);
+    out += ",\"p95\":" + jsonNumber(s.p95);
+    out += ",\"p99\":" + jsonNumber(s.p99);
+    out += ",\"max\":" + jsonNumber(s.max);
+    out += "}";
+    return out;
+}
+
+} // namespace
+
+void
+HistogramMetric::observe(double v)
+{
+    Shard &shard = localShard();
+    MutexLock lock(shard.mutex);
+    shard.sketch.add(v);
+}
+
+void
+HistogramMetric::observe(const std::vector<double> &vs)
+{
+    if (vs.empty())
+        return;
+    Shard &shard = localShard();
+    MutexLock lock(shard.mutex);
+    shard.sketch.add(vs);
+}
+
+HistogramSummary
+HistogramMetric::summary() const
+{
+    QuantileSketch merged;
+    for (const Shard &shard : shards_) {
+        MutexLock lock(shard.mutex);
+        merged.merge(shard.sketch);
+    }
+    HistogramSummary out;
+    out.count = merged.count();
+    if (merged.empty())
+        return out;
+    out.mean = merged.mean();
+    out.p50 = merged.quantile(0.5);
+    out.p95 = merged.quantile(0.95);
+    out.p99 = merged.quantile(0.99);
+    out.max = merged.quantile(1.0);
+    return out;
+}
+
+HistogramMetric::Shard &
+HistogramMetric::localShard()
+{
+    const std::size_t h =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return shards_[h % kShards];
+}
+
+MetricsRegistry::Registration &
+MetricsRegistry::Registration::operator=(Registration &&other) noexcept
+{
+    if (this != &other) {
+        release();
+        owner_ = other.owner_;
+        name_ = std::move(other.name_);
+        id_ = other.id_;
+        other.owner_ = nullptr;
+        other.id_ = 0;
+    }
+    return *this;
+}
+
+void
+MetricsRegistry::Registration::release()
+{
+    if (owner_ != nullptr) {
+        owner_->unregister(name_, id_);
+        owner_ = nullptr;
+        id_ = 0;
+    }
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    // Leaked on purpose: callbacks unregister through RAII handles at
+    // shutdown, and a destructed registry racing static teardown is a
+    // worse failure mode than a leak the OS reclaims anyway.
+    static MetricsRegistry *instance = new MetricsRegistry();
+    return *instance;
+}
+
+std::shared_ptr<Counter>
+MetricsRegistry::counter(const std::string &name, const std::string &help)
+{
+    JUNO_REQUIRE(validMetricName(name),
+                 "invalid metric name '" << name << "'");
+    MutexLock lock(mutex_);
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+        JUNO_REQUIRE(it->second.kind == Kind::kCounter,
+                     "metric '" << name
+                                << "' already registered with a "
+                                   "different kind");
+        return it->second.counter;
+    }
+    Entry entry;
+    entry.kind = Kind::kCounter;
+    entry.help = help;
+    entry.id = next_id_++;
+    entry.counter = std::make_shared<Counter>();
+    auto ptr = entry.counter;
+    entries_.emplace(name, std::move(entry));
+    return ptr;
+}
+
+std::shared_ptr<Gauge>
+MetricsRegistry::gauge(const std::string &name, const std::string &help)
+{
+    JUNO_REQUIRE(validMetricName(name),
+                 "invalid metric name '" << name << "'");
+    MutexLock lock(mutex_);
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+        JUNO_REQUIRE(it->second.kind == Kind::kGauge,
+                     "metric '" << name
+                                << "' already registered with a "
+                                   "different kind");
+        return it->second.gauge;
+    }
+    Entry entry;
+    entry.kind = Kind::kGauge;
+    entry.help = help;
+    entry.id = next_id_++;
+    entry.gauge = std::make_shared<Gauge>();
+    auto ptr = entry.gauge;
+    entries_.emplace(name, std::move(entry));
+    return ptr;
+}
+
+std::shared_ptr<HistogramMetric>
+MetricsRegistry::histogram(const std::string &name, const std::string &help)
+{
+    JUNO_REQUIRE(validMetricName(name),
+                 "invalid metric name '" << name << "'");
+    MutexLock lock(mutex_);
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+        JUNO_REQUIRE(it->second.kind == Kind::kHistogram,
+                     "metric '" << name
+                                << "' already registered with a "
+                                   "different kind");
+        return it->second.histogram;
+    }
+    Entry entry;
+    entry.kind = Kind::kHistogram;
+    entry.help = help;
+    entry.id = next_id_++;
+    entry.histogram = std::make_shared<HistogramMetric>();
+    auto ptr = entry.histogram;
+    entries_.emplace(name, std::move(entry));
+    return ptr;
+}
+
+MetricsRegistry::Registration
+MetricsRegistry::registerCallback(const std::string &name, Entry entry)
+{
+    JUNO_REQUIRE(validMetricName(name),
+                 "invalid metric name '" << name << "'");
+    MutexLock lock(mutex_);
+    entry.id = next_id_++;
+    const std::uint64_t id = entry.id;
+    entries_[name] = std::move(entry); // replace-on-collision
+    return Registration(this, name, id);
+}
+
+MetricsRegistry::Registration
+MetricsRegistry::counterCallback(const std::string &name,
+                                 const std::string &help,
+                                 std::function<std::uint64_t()> fn)
+{
+    Entry entry;
+    entry.kind = Kind::kCounterFn;
+    entry.help = help;
+    entry.counter_fn = std::move(fn);
+    return registerCallback(name, std::move(entry));
+}
+
+MetricsRegistry::Registration
+MetricsRegistry::gaugeCallback(const std::string &name,
+                               const std::string &help,
+                               std::function<double()> fn)
+{
+    Entry entry;
+    entry.kind = Kind::kGaugeFn;
+    entry.help = help;
+    entry.gauge_fn = std::move(fn);
+    return registerCallback(name, std::move(entry));
+}
+
+MetricsRegistry::Registration
+MetricsRegistry::summaryCallback(const std::string &name,
+                                 const std::string &help,
+                                 std::function<HistogramSummary()> fn)
+{
+    Entry entry;
+    entry.kind = Kind::kSummaryFn;
+    entry.help = help;
+    entry.summary_fn = std::move(fn);
+    return registerCallback(name, std::move(entry));
+}
+
+MetricsRegistry::Registration
+MetricsRegistry::info(const std::string &name, const std::string &help,
+                      std::vector<std::pair<std::string, std::string>> labels)
+{
+    Entry entry;
+    entry.kind = Kind::kInfo;
+    entry.help = help;
+    entry.labels = std::move(labels);
+    return registerCallback(name, std::move(entry));
+}
+
+void
+MetricsRegistry::unregister(const std::string &name, std::uint64_t id)
+{
+    MutexLock lock(mutex_);
+    auto it = entries_.find(name);
+    // Only remove the entry this handle created: a replace-on-collision
+    // bumps the id, so a stale handle's destruction must not tear down
+    // its successor.
+    if (it != entries_.end() && it->second.id == id)
+        entries_.erase(it);
+}
+
+std::vector<std::pair<std::string, MetricsRegistry::Entry>>
+MetricsRegistry::snapshotEntries() const
+{
+    MutexLock lock(mutex_);
+    return {entries_.begin(), entries_.end()};
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    MutexLock lock(mutex_);
+    return entries_.size();
+}
+
+void
+MetricsRegistry::clear()
+{
+    MutexLock lock(mutex_);
+    entries_.clear();
+}
+
+std::string
+MetricsRegistry::renderPrometheus() const
+{
+    // Callbacks run on the copied entries, outside the registry lock.
+    const auto entries = snapshotEntries();
+    std::string out;
+    for (const auto &[name, entry] : entries) {
+        if (!entry.help.empty())
+            out += "# HELP " + name + " " + promEscape(entry.help, false) +
+                   "\n";
+        switch (entry.kind) {
+        case Kind::kCounter:
+            out += "# TYPE " + name + " counter\n";
+            out += name + " " + std::to_string(entry.counter->value()) +
+                   "\n";
+            break;
+        case Kind::kCounterFn:
+            out += "# TYPE " + name + " counter\n";
+            out += name + " " + std::to_string(entry.counter_fn()) + "\n";
+            break;
+        case Kind::kGauge:
+            out += "# TYPE " + name + " gauge\n";
+            out += name + " " + promNumber(entry.gauge->value()) + "\n";
+            break;
+        case Kind::kGaugeFn:
+            out += "# TYPE " + name + " gauge\n";
+            out += name + " " + promNumber(entry.gauge_fn()) + "\n";
+            break;
+        case Kind::kHistogram:
+        case Kind::kSummaryFn: {
+            const HistogramSummary s = entry.kind == Kind::kHistogram
+                                           ? entry.histogram->summary()
+                                           : entry.summary_fn();
+            out += "# TYPE " + name + " summary\n";
+            out += name + "{quantile=\"0.5\"} " + promNumber(s.p50) + "\n";
+            out += name + "{quantile=\"0.95\"} " + promNumber(s.p95) + "\n";
+            out += name + "{quantile=\"0.99\"} " + promNumber(s.p99) + "\n";
+            out += name + "_sum " +
+                   promNumber(s.mean * static_cast<double>(s.count)) + "\n";
+            out += name + "_count " + std::to_string(s.count) + "\n";
+            break;
+        }
+        case Kind::kInfo: {
+            out += "# TYPE " + name + " gauge\n";
+            out += name + "{";
+            bool first = true;
+            for (const auto &[k, v] : entry.labels) {
+                if (!first)
+                    out += ",";
+                first = false;
+                out += k + "=\"" + promEscape(v, true) + "\"";
+            }
+            out += "} 1\n";
+            break;
+        }
+        }
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::renderJson() const
+{
+    const auto entries = snapshotEntries();
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[name, entry] : entries) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(name) + "\":";
+        switch (entry.kind) {
+        case Kind::kCounter:
+            out += std::to_string(entry.counter->value());
+            break;
+        case Kind::kCounterFn:
+            out += std::to_string(entry.counter_fn());
+            break;
+        case Kind::kGauge:
+            out += jsonNumber(entry.gauge->value());
+            break;
+        case Kind::kGaugeFn:
+            out += jsonNumber(entry.gauge_fn());
+            break;
+        case Kind::kHistogram:
+            out += summaryJson(entry.histogram->summary());
+            break;
+        case Kind::kSummaryFn:
+            out += summaryJson(entry.summary_fn());
+            break;
+        case Kind::kInfo: {
+            out += "{";
+            bool first_label = true;
+            for (const auto &[k, v] : entry.labels) {
+                if (!first_label)
+                    out += ",";
+                first_label = false;
+                out += "\"" + jsonEscape(k) + "\":\"" + jsonEscape(v) +
+                       "\"";
+            }
+            out += "}";
+            break;
+        }
+        }
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace juno

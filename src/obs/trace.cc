@@ -1,0 +1,266 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace juno {
+
+std::uint32_t
+traceThreadId()
+{
+    static std::atomic<std::uint32_t> next{1};
+    thread_local const std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+namespace {
+
+/** Escapes a string for inclusion in a JSON string literal. */
+void
+appendJsonEscaped(std::string &out, const std::string &s)
+{
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+/** Formats a double as a JSON number (non-finite values become 0). */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+/** 1-in-N period for a sampling fraction; 0 disables sampling. */
+std::uint64_t
+samplePeriod(double rate)
+{
+    if (rate <= 0.0)
+        return 0;
+    if (rate >= 1.0)
+        return 1;
+    return static_cast<std::uint64_t>(std::llround(1.0 / rate));
+}
+
+} // namespace
+
+void
+Trace::setLabel(std::string label)
+{
+    MutexLock lock(mutex_);
+    label_ = std::move(label);
+}
+
+std::string
+Trace::label() const
+{
+    MutexLock lock(mutex_);
+    return label_;
+}
+
+void
+Trace::instant(const char *name, const char *k1, double v1, const char *k2,
+               double v2)
+{
+    TraceEvent ev;
+    ev.name = name;
+    ev.phase = 'i';
+    ev.tid = traceThreadId();
+    ev.ts_us = toUs(Clock::now());
+    ev.arg_name[0] = k1;
+    ev.arg_value[0] = v1;
+    ev.arg_name[1] = k2;
+    ev.arg_value[1] = v2;
+    MutexLock lock(mutex_);
+    events_.push_back(ev);
+}
+
+std::vector<TraceEvent>
+Trace::events() const
+{
+    MutexLock lock(mutex_);
+    return events_;
+}
+
+void
+Trace::completeArgs(const char *name, Clock::time_point begin,
+                    Clock::time_point end, const char *k1, double v1,
+                    const char *k2, double v2)
+{
+    TraceEvent ev;
+    ev.name = name;
+    ev.phase = 'X';
+    ev.tid = traceThreadId();
+    ev.ts_us = toUs(begin);
+    ev.dur_us = std::max<std::int64_t>(0, toUs(end) - ev.ts_us);
+    ev.arg_name[0] = k1;
+    ev.arg_value[0] = v1;
+    ev.arg_name[1] = k2;
+    ev.arg_value[1] = v2;
+    MutexLock lock(mutex_);
+    events_.push_back(ev);
+}
+
+Tracer::Tracer(TracerConfig config)
+    : config_(config), period_(samplePeriod(config.sample_rate)),
+      epoch_(Trace::Clock::now())
+{
+}
+
+std::shared_ptr<Trace>
+Tracer::makeTrace(std::string label)
+{
+    auto trace = std::make_shared<Trace>(
+        next_id_.fetch_add(1, std::memory_order_relaxed), epoch_);
+    if (!label.empty())
+        trace->setLabel(std::move(label));
+    return trace;
+}
+
+void
+Tracer::collect(std::shared_ptr<Trace> trace)
+{
+    if (trace == nullptr)
+        return;
+    MutexLock lock(mutex_);
+    if (sampled_traces_.size() >= config_.max_sampled) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    sampled_traces_.push_back(std::move(trace));
+    sampled_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Tracer::collectSlow(std::shared_ptr<Trace> trace)
+{
+    if (trace == nullptr)
+        return;
+    MutexLock lock(mutex_);
+    slow_traces_.push_back(std::move(trace));
+    while (slow_traces_.size() > config_.slow_ring)
+        slow_traces_.pop_front();
+    slow_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::shared_ptr<Trace>>
+Tracer::sampledTraces() const
+{
+    MutexLock lock(mutex_);
+    return sampled_traces_;
+}
+
+std::vector<std::shared_ptr<Trace>>
+Tracer::slowTraces() const
+{
+    MutexLock lock(mutex_);
+    return {slow_traces_.begin(), slow_traces_.end()};
+}
+
+namespace {
+
+void
+appendEventJson(std::string &out, const TraceEvent &ev, std::uint64_t pid,
+                bool &first)
+{
+    if (!first)
+        out += ",\n";
+    first = false;
+    out += "  {\"name\":\"";
+    appendJsonEscaped(out, ev.name);
+    out += "\",\"ph\":\"";
+    out += ev.phase;
+    out += "\",\"pid\":" + std::to_string(pid);
+    out += ",\"tid\":" + std::to_string(ev.tid);
+    out += ",\"ts\":" + std::to_string(ev.ts_us);
+    if (ev.phase == 'X')
+        out += ",\"dur\":" + std::to_string(ev.dur_us);
+    if (ev.phase == 'i')
+        out += ",\"s\":\"t\""; // instant scope: thread
+    if (ev.arg_name[0] != nullptr || ev.arg_name[1] != nullptr) {
+        out += ",\"args\":{";
+        bool first_arg = true;
+        for (int a = 0; a < 2; ++a) {
+            if (ev.arg_name[a] == nullptr)
+                continue;
+            if (!first_arg)
+                out += ",";
+            first_arg = false;
+            out += "\"";
+            appendJsonEscaped(out, ev.arg_name[a]);
+            out += "\":" + jsonNumber(ev.arg_value[a]);
+        }
+        out += "}";
+    }
+    out += "}";
+}
+
+void
+appendTraceJson(std::string &out, const Trace &trace, bool &first)
+{
+    const std::uint64_t pid = trace.id();
+    // Process-name metadata record: Perfetto shows each captured
+    // query/batch as its own named track group.
+    std::string label = trace.label();
+    if (label.empty())
+        label = "trace " + std::to_string(pid);
+    if (!first)
+        out += ",\n";
+    first = false;
+    out += "  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pid) + ",\"args\":{\"name\":\"";
+    appendJsonEscaped(out, label);
+    out += "\"}}";
+    for (const TraceEvent &ev : trace.events())
+        appendEventJson(out, ev, pid, first);
+}
+
+} // namespace
+
+std::string
+Tracer::renderJson() const
+{
+    std::vector<std::shared_ptr<Trace>> sampled = sampledTraces();
+    std::vector<std::shared_ptr<Trace>> slow = slowTraces();
+    std::string out = "{\"traceEvents\":[\n";
+    bool first = true;
+    for (const auto &trace : sampled)
+        appendTraceJson(out, *trace, first);
+    for (const auto &trace : slow)
+        appendTraceJson(out, *trace, first);
+    out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+}
+
+} // namespace juno

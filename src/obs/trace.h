@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Sampled per-query tracing: Chrome trace-event output for Perfetto.
+ *
+ * A Trace is one query's (or one dispatched batch's) event ledger:
+ * complete spans ("X" phase) and instant markers ("i" phase) appended
+ * by whichever thread happens to be executing the query at the time.
+ * TraceSpan is the RAII handle code sprinkles around pipeline stages —
+ * it compiles down to a null check when no trace is attached, which is
+ * what makes tracing free when sampling is off.
+ *
+ * The Tracer owns the sampling decision and the retention policy: a
+ * 1-in-N atomic-counter sampler (rate 0 reads one constant and
+ * branches — no atomics touched), a bounded set of sampled traces, and
+ * a ring of the most recent slow-query traces. renderJson() emits the
+ * whole collection as Chrome trace-event JSON; each trace gets its own
+ * pid so Perfetto shows one track group per captured query/batch.
+ */
+#ifndef JUNO_OBS_TRACE_H
+#define JUNO_OBS_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace juno {
+
+/** One Chrome trace event: a complete span or an instant marker. */
+struct TraceEvent {
+    const char *name = "";    ///< static string (stage/phase name)
+    char phase = 'X';         ///< 'X' complete span, 'i' instant
+    std::uint32_t tid = 0;    ///< small per-thread id (traceThreadId)
+    std::int64_t ts_us = 0;   ///< start, microseconds since tracer epoch
+    std::int64_t dur_us = 0;  ///< span duration (0 for instants)
+    /** Up to two numeric args rendered into the event's "args" map. */
+    const char *arg_name[2] = {nullptr, nullptr};
+    double arg_value[2] = {0.0, 0.0};
+};
+
+/** Small dense id for the calling thread (stable for its lifetime). */
+std::uint32_t traceThreadId();
+
+/**
+ * One captured query/batch: an id, a human label, and the events its
+ * execution appended. Thread-safe: worker threads of one engine run
+ * may append concurrently. The mutex only exists on traced requests,
+ * so it costs nothing at sample rate 0.
+ */
+class Trace {
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    Trace(std::uint64_t id, Clock::time_point epoch)
+        : id_(id), epoch_(epoch)
+    {
+    }
+
+    std::uint64_t id() const { return id_; }
+    Clock::time_point epoch() const { return epoch_; }
+
+    /** Sets the label shown as the Perfetto process name. */
+    void setLabel(std::string label) JUNO_EXCLUDES(mutex_);
+    std::string label() const JUNO_EXCLUDES(mutex_);
+
+    /** Appends a complete span [begin, end) on the calling thread. */
+    void complete(const char *name, Clock::time_point begin,
+                  Clock::time_point end) JUNO_EXCLUDES(mutex_)
+    {
+        completeArgs(name, begin, end, nullptr, 0.0, nullptr, 0.0);
+    }
+
+    /** complete() with one numeric arg attached. */
+    void complete1(const char *name, Clock::time_point begin,
+                   Clock::time_point end, const char *k1,
+                   double v1) JUNO_EXCLUDES(mutex_)
+    {
+        completeArgs(name, begin, end, k1, v1, nullptr, 0.0);
+    }
+
+    /** complete() with two numeric args attached. */
+    void complete2(const char *name, Clock::time_point begin,
+                   Clock::time_point end, const char *k1, double v1,
+                   const char *k2, double v2) JUNO_EXCLUDES(mutex_)
+    {
+        completeArgs(name, begin, end, k1, v1, k2, v2);
+    }
+
+    /** Appends an instant marker with up to two numeric args. */
+    void instant(const char *name, const char *k1 = nullptr,
+                 double v1 = 0.0, const char *k2 = nullptr,
+                 double v2 = 0.0) JUNO_EXCLUDES(mutex_);
+
+    /** Snapshot of the events appended so far. */
+    std::vector<TraceEvent> events() const JUNO_EXCLUDES(mutex_);
+
+  private:
+    void completeArgs(const char *name, Clock::time_point begin,
+                      Clock::time_point end, const char *k1, double v1,
+                      const char *k2, double v2) JUNO_EXCLUDES(mutex_);
+
+    std::int64_t toUs(Clock::time_point tp) const
+    {
+        return std::chrono::duration_cast<std::chrono::microseconds>(
+                   tp - epoch_)
+            .count();
+    }
+
+    const std::uint64_t id_;
+    const Clock::time_point epoch_;
+    mutable Mutex mutex_;
+    std::string label_ JUNO_GUARDED_BY(mutex_);
+    std::vector<TraceEvent> events_ JUNO_GUARDED_BY(mutex_);
+};
+
+/**
+ * RAII span: records a complete event on destruction when a trace is
+ * attached; a single pointer test otherwise. Copy it nowhere.
+ */
+class TraceSpan {
+  public:
+    TraceSpan(Trace *trace, const char *name) : trace_(trace), name_(name)
+    {
+        if (trace_ != nullptr)
+            begin_ = Trace::Clock::now();
+    }
+
+    /** Attaches a numeric arg emitted with the span (max two). */
+    void arg(const char *key, double value)
+    {
+        if (trace_ != nullptr && nargs_ < 2) {
+            arg_name_[nargs_] = key;
+            arg_value_[nargs_] = value;
+            ++nargs_;
+        }
+    }
+
+    ~TraceSpan()
+    {
+        if (trace_ != nullptr) {
+            trace_->complete2(name_, begin_, Trace::Clock::now(),
+                              arg_name_[0], arg_value_[0], arg_name_[1],
+                              arg_value_[1]);
+        }
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    Trace *trace_;
+    const char *name_;
+    Trace::Clock::time_point begin_{};
+    const char *arg_name_[2] = {nullptr, nullptr};
+    double arg_value_[2] = {0.0, 0.0};
+    int nargs_ = 0;
+};
+
+/** Tracer retention/sampling policy. */
+struct TracerConfig {
+    /**
+     * Fraction of requests sampled, [0, 1]. Internally 1-in-N with
+     * N = round(1/rate); 0 disables sampling entirely (the hot-path
+     * check is one constant read).
+     */
+    double sample_rate = 0.0;
+    /** Capture any request whose total latency exceeds this (0 = off). */
+    double slow_us = 0.0;
+    /** Max retained sampled traces (further samples are dropped). */
+    std::size_t max_sampled = 64;
+    /** Slow-trace ring size (keeps the most recent). */
+    std::size_t slow_ring = 16;
+};
+
+/**
+ * Owns sampling decisions and captured traces for one service.
+ * All methods are thread-safe.
+ */
+class Tracer {
+  public:
+    explicit Tracer(TracerConfig config = {});
+
+    /** True when sampled tracing is on (sample_rate > 0). */
+    bool samplingEnabled() const { return period_ > 0; }
+
+    /** Slow-query capture threshold in microseconds (0 = off). */
+    double slowThresholdUs() const { return config_.slow_us; }
+
+    /**
+     * The per-request sampling gate: one relaxed fetch_add when
+     * sampling is on, a constant read + branch when off.
+     */
+    bool shouldSample()
+    {
+        if (period_ == 0)
+            return false;
+        return counter_.fetch_add(1, std::memory_order_relaxed) %
+                   period_ ==
+               0;
+    }
+
+    /** Creates a trace stamped with the tracer's shared epoch. */
+    std::shared_ptr<Trace> makeTrace(std::string label = {});
+
+    /** Retains a sampled trace (dropped when max_sampled reached). */
+    void collect(std::shared_ptr<Trace> trace) JUNO_EXCLUDES(mutex_);
+
+    /** Retains a slow-query trace (ring of the most recent). */
+    void collectSlow(std::shared_ptr<Trace> trace) JUNO_EXCLUDES(mutex_);
+
+    std::uint64_t sampledCount() const { return sampled_.load(); }
+    std::uint64_t slowCount() const { return slow_.load(); }
+    std::uint64_t droppedCount() const { return dropped_.load(); }
+
+    /** Snapshot of retained sampled traces. */
+    std::vector<std::shared_ptr<Trace>> sampledTraces() const
+        JUNO_EXCLUDES(mutex_);
+    /** Snapshot of the slow-trace ring (oldest first). */
+    std::vector<std::shared_ptr<Trace>> slowTraces() const
+        JUNO_EXCLUDES(mutex_);
+
+    /**
+     * Renders every retained trace as one Chrome trace-event JSON
+     * document ({"traceEvents": [...]}); load it in Perfetto or
+     * chrome://tracing. Each trace renders under its own pid with a
+     * process_name metadata record carrying its label.
+     */
+    std::string renderJson() const JUNO_EXCLUDES(mutex_);
+
+    Trace::Clock::time_point epoch() const { return epoch_; }
+
+  private:
+    const TracerConfig config_;
+    const std::uint64_t period_; ///< 1-in-N sample period; 0 = off
+    const Trace::Clock::time_point epoch_;
+    std::atomic<std::uint64_t> counter_{0};
+    std::atomic<std::uint64_t> next_id_{1};
+    std::atomic<std::uint64_t> sampled_{0};
+    std::atomic<std::uint64_t> slow_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+    mutable Mutex mutex_;
+    std::vector<std::shared_ptr<Trace>> sampled_traces_
+        JUNO_GUARDED_BY(mutex_);
+    std::deque<std::shared_ptr<Trace>> slow_traces_ JUNO_GUARDED_BY(mutex_);
+};
+
+} // namespace juno
+
+#endif // JUNO_OBS_TRACE_H

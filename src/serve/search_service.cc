@@ -1,9 +1,11 @@
 #include "serve/search_service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <exception>
 
+#include "common/build_info.h"
 #include "common/logging.h"
 #include "registry/index_factory.h"
 
@@ -24,29 +26,59 @@ requireIndex(std::unique_ptr<AnnIndex> index)
     return index;
 }
 
+TracerConfig
+tracerConfig(const ServiceConfig &config)
+{
+    TracerConfig t;
+    t.sample_rate = config.trace_sample;
+    t.slow_us = config.slow_trace_us;
+    return t;
+}
+
+void
+validateConfig(const ServiceConfig &config)
+{
+    JUNO_REQUIRE(config.max_batch > 0,
+                 "max_batch must be positive (1 = no batching)");
+    JUNO_REQUIRE(config.linger.count() >= 0, "linger must be >= 0");
+    JUNO_REQUIRE(config.dispatchers > 0, "need at least one dispatcher");
+    JUNO_REQUIRE(config.trace_sample >= 0.0 && config.trace_sample <= 1.0,
+                 "trace_sample must be in [0, 1]");
+    JUNO_REQUIRE(config.slow_trace_us >= 0.0,
+                 "slow_trace_us must be >= 0");
+    JUNO_REQUIRE(config.stats_every_s >= 0.0,
+                 "stats_every_s must be >= 0");
+}
+
+HistogramSummary
+toHistogramSummary(const LatencySummary &s)
+{
+    HistogramSummary out;
+    out.count = s.count;
+    out.mean = s.mean;
+    out.p50 = s.p50;
+    out.p95 = s.p95;
+    out.p99 = s.p99;
+    out.max = s.max;
+    return out;
+}
+
 } // namespace
 
 SearchService::SearchService(AnnIndex &index, ServiceConfig config)
-    : index_(index), config_(config), queue_(config.queue_capacity)
+    : index_(index), config_(config), queue_(config.queue_capacity),
+      tracer_(tracerConfig(config))
 {
-    JUNO_REQUIRE(config_.max_batch > 0,
-                 "max_batch must be positive (1 = no batching)");
-    JUNO_REQUIRE(config_.linger.count() >= 0, "linger must be >= 0");
-    JUNO_REQUIRE(config_.dispatchers > 0,
-                 "need at least one dispatcher");
+    validateConfig(config_);
 }
 
 SearchService::SearchService(std::unique_ptr<AnnIndex> index,
                              ServiceConfig config)
     : owned_index_(requireIndex(std::move(index))),
       index_(*owned_index_), config_(config),
-      queue_(config.queue_capacity)
+      queue_(config.queue_capacity), tracer_(tracerConfig(config))
 {
-    JUNO_REQUIRE(config_.max_batch > 0,
-                 "max_batch must be positive (1 = no batching)");
-    JUNO_REQUIRE(config_.linger.count() >= 0, "linger must be >= 0");
-    JUNO_REQUIRE(config_.dispatchers > 0,
-                 "need at least one dispatcher");
+    validateConfig(config_);
 }
 
 SearchService::SearchService(const std::string &snapshot_path,
@@ -78,11 +110,19 @@ SearchService::start()
     if (budget >= 0)
         index_.setMemoryBudget(budget);
     base_usage_ = readResourceUsage();
+    start_time_ = Clock::now();
     state_ = State::kRunning;
     running_.store(true);
     dispatchers_.reserve(static_cast<std::size_t>(config_.dispatchers));
     for (int i = 0; i < config_.dispatchers; ++i)
         dispatchers_.emplace_back([this] { dispatchLoop(); });
+    if (config_.metrics)
+        registerMetrics();
+    if (config_.stats_every_s > 0.0) {
+        MutexLock rlock(reporter_mutex_);
+        reporter_stop_ = false;
+        reporter_ = std::thread([this] { reporterLoop(); });
+    }
 }
 
 ServiceStats::Snapshot
@@ -108,18 +148,211 @@ SearchService::snapshot() const
 void
 SearchService::stop()
 {
-    // Joining under the lifecycle lock makes concurrent stop() calls
-    // all block until the drain completes (dispatchers never touch
-    // this lock, so no deadlock).
-    MutexLock lock(lifecycle_mutex_);
-    if (state_ == State::kStopped)
+    bool drained = false;
+    {
+        // Joining under the lifecycle lock makes concurrent stop()
+        // calls all block until the drain completes (dispatchers never
+        // touch this lock, so no deadlock).
+        MutexLock lock(lifecycle_mutex_);
+        if (state_ != State::kStopped) {
+            running_.store(false);
+            queue_.close(); // dispatchers drain the backlog, then exit
+            for (auto &d : dispatchers_)
+                d.join();
+            dispatchers_.clear();
+            state_ = State::kStopped;
+            drained = true;
+        }
+    }
+    // The reporter calls snapshot(), which takes the lifecycle lock —
+    // joining it outside that lock is what makes this deadlock-free.
+    stopReporter();
+    // One final recorder tick after the drain so the last JSONL line
+    // and summary reflect every completed request. Only the stop()
+    // that performed the drain emits it (idempotence for concurrent
+    // stops and the destructor's implicit call).
+    if (drained && config_.stats_every_s > 0.0)
+        recorderTick(true);
+}
+
+void
+SearchService::stopReporter()
+{
+    std::thread reporter;
+    {
+        MutexLock lock(reporter_mutex_);
+        reporter_stop_ = true;
+        reporter = std::move(reporter_);
+    }
+    reporter_cv_.notify_all();
+    if (reporter.joinable())
+        reporter.join();
+}
+
+void
+SearchService::reporterLoop()
+{
+    const auto period = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(config_.stats_every_s));
+    while (true) {
+        {
+            CvLock lock(reporter_mutex_);
+            const auto deadline = Clock::now() + period;
+            while (!reporter_stop_ && Clock::now() < deadline)
+                reporter_cv_.wait_until(lock.native(), deadline);
+            if (reporter_stop_)
+                return; // stop() emits the final tick after the drain
+        }
+        recorderTick(false);
+    }
+}
+
+void
+SearchService::recorderTick(bool final_tick)
+{
+    const ServiceStats::Snapshot snap = snapshot();
+    const double uptime =
+        std::chrono::duration<double>(Clock::now() - start_time_).count();
+    const double hit_pct =
+        snap.cache.lookups == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(snap.cache.hits) /
+                  static_cast<double>(snap.cache.lookups);
+    std::fprintf(
+        stderr,
+        "[juno.serve]%s up=%.1fs completed=%llu failed=%llu "
+        "rejected=%llu batches=%llu mean_batch=%.1f p50=%.0fus "
+        "p99=%.0fus rss=%.1fMiB cache_hit=%.1f%%\n",
+        final_tick ? " final" : "", uptime,
+        static_cast<unsigned long long>(snap.completed),
+        static_cast<unsigned long long>(snap.failed),
+        static_cast<unsigned long long>(snap.rejected_full +
+                                        snap.rejected_stopped),
+        static_cast<unsigned long long>(snap.batches), snap.mean_batch,
+        snap.total_us.p50, snap.total_us.p99,
+        static_cast<double>(snap.usage.rss_bytes) / (1024.0 * 1024.0),
+        hit_pct);
+    if (config_.metrics_jsonl.empty())
         return;
-    running_.store(false);
-    queue_.close(); // dispatchers drain the backlog, then exit
-    for (auto &d : dispatchers_)
-        d.join();
-    dispatchers_.clear();
-    state_ = State::kStopped;
+    std::FILE *f = std::fopen(config_.metrics_jsonl.c_str(), "a");
+    if (f == nullptr) {
+        warn("flight recorder cannot append to " + config_.metrics_jsonl);
+        return;
+    }
+    const auto ts_unix =
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    std::string line = "{\"ts_unix\":" + std::to_string(ts_unix);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ",\"uptime_s\":%.3f", uptime);
+    line += buf;
+    line += final_tick ? ",\"final\":true" : ",\"final\":false";
+    line += ",\"metrics\":" + registry().renderJson() + "}\n";
+    std::fwrite(line.data(), 1, line.size(), f);
+    std::fclose(f);
+}
+
+MetricsRegistry &
+SearchService::registry() const
+{
+    return config_.registry != nullptr ? *config_.registry
+                                       : MetricsRegistry::global();
+}
+
+void
+SearchService::registerMetrics()
+{
+    MetricsRegistry &reg = registry();
+    auto &regs = metric_regs_;
+    regs.push_back(reg.counterCallback(
+        "juno_serve_submitted_total", "Requests accepted into the queue",
+        [this] { return stats_.submitted(); }));
+    regs.push_back(reg.counterCallback(
+        "juno_serve_completed_total", "Futures fulfilled with a value",
+        [this] { return stats_.completed(); }));
+    regs.push_back(reg.counterCallback(
+        "juno_serve_failed_total", "Futures fulfilled with an exception",
+        [this] { return stats_.failed(); }));
+    regs.push_back(reg.counterCallback(
+        "juno_serve_rejected_full_total", "Rejected: queue at capacity",
+        [this] { return stats_.rejectedFull(); }));
+    regs.push_back(reg.counterCallback(
+        "juno_serve_rejected_stopped_total", "Rejected: not running",
+        [this] { return stats_.rejectedStopped(); }));
+    regs.push_back(reg.counterCallback(
+        "juno_serve_batches_total", "Dispatched engine batches",
+        [this] { return stats_.batches(); }));
+    using Component = ServiceStats::Component;
+    const std::pair<const char *, Component> components[] = {
+        {"juno_serve_queue_us", Component::kQueue},
+        {"juno_serve_batch_us", Component::kBatch},
+        {"juno_serve_search_us", Component::kSearch},
+        {"juno_serve_total_us", Component::kTotal},
+    };
+    for (const auto &[name, component] : components) {
+        regs.push_back(reg.summaryCallback(
+            name, "Request latency component (microseconds)",
+            [this, component = component] {
+                return toHistogramSummary(
+                    stats_.componentSummary(component));
+            }));
+    }
+    // Hot-list cache counters re-export through the registry; all
+    // zero when the served index has no cache attached.
+    auto cache_counters = [this]() -> HotListCache::Counters {
+        if (const auto cache = index_.hotListCache())
+            return cache->counters();
+        return {};
+    };
+    regs.push_back(reg.counterCallback(
+        "juno_cache_lookups_total", "Hot-list cache lookups",
+        [cache_counters] { return cache_counters().lookups; }));
+    regs.push_back(reg.counterCallback(
+        "juno_cache_hits_total", "Hot-list cache hits",
+        [cache_counters] { return cache_counters().hits; }));
+    regs.push_back(reg.counterCallback(
+        "juno_cache_misses_total", "Hot-list cache misses",
+        [cache_counters] { return cache_counters().misses; }));
+    regs.push_back(reg.counterCallback(
+        "juno_cache_admitted_total", "Lists admitted to the cache",
+        [cache_counters] { return cache_counters().admitted; }));
+    regs.push_back(reg.counterCallback(
+        "juno_cache_evicted_total", "Lists evicted from the cache",
+        [cache_counters] { return cache_counters().evicted; }));
+    regs.push_back(reg.gaugeCallback(
+        "juno_cache_pinned_bytes", "Bytes pinned by the hot-list cache",
+        [cache_counters] {
+            return static_cast<double>(cache_counters().pinned_bytes);
+        }));
+    regs.push_back(reg.gaugeCallback(
+        "juno_cache_resident_lists", "Lists resident in the cache",
+        [cache_counters] {
+            return static_cast<double>(cache_counters().resident_lists);
+        }));
+    // Process health (absolute readings; Prometheus-side rate() turns
+    // the fault counters into fault rates).
+    regs.push_back(reg.gaugeCallback(
+        "juno_process_rss_bytes", "Current resident set size",
+        [] { return static_cast<double>(readResourceUsage().rss_bytes); }));
+    regs.push_back(reg.counterCallback(
+        "juno_process_major_faults_total", "Major page faults (paid IO)",
+        [] { return readResourceUsage().major_faults; }));
+    regs.push_back(reg.counterCallback(
+        "juno_process_minor_faults_total", "Minor page faults",
+        [] { return readResourceUsage().minor_faults; }));
+    // Tracing health: how many traces were captured/dropped.
+    regs.push_back(reg.counterCallback(
+        "juno_trace_sampled_total", "Sampled traces retained",
+        [this] { return tracer_.sampledCount(); }));
+    regs.push_back(reg.counterCallback(
+        "juno_trace_slow_total", "Slow-query traces captured",
+        [this] { return tracer_.slowCount(); }));
+    regs.push_back(reg.counterCallback(
+        "juno_trace_dropped_total", "Sampled traces dropped (ring full)",
+        [this] { return tracer_.droppedCount(); }));
+    regs.push_back(reg.info("juno_build_info", "Build provenance",
+                            buildInfoLabels()));
 }
 
 std::future<ResultList>
@@ -135,6 +368,10 @@ SearchService::submit(const float *query, idx_t k)
     request.query.assign(query, query + d);
     request.k = k;
     request.t_submit = Clock::now();
+    // The sampling decision happens here, once, so the entire traced
+    // path downstream keys off one bool. At trace_sample = 0 this is
+    // a constant read — the "free when off" guarantee.
+    request.traced = tracer_.shouldSample();
     std::future<ResultList> future = request.promise.get_future();
     switch (queue_.tryPush(std::move(request))) {
     case PushResult::kOk:
@@ -207,6 +444,21 @@ SearchService::dispatchLoop()
         // environment sets JUNO_MEM_BUDGET.
         request.options.memory_budget_bytes = config_.memory_budget_bytes;
 
+        // One sampled request makes the whole dispatched batch traced
+        // (its engine/stage spans are batch-level anyway); untraced
+        // batches skip everything below at the cost of this loop's
+        // flag scan.
+        std::shared_ptr<Trace> trace;
+        for (idx_t i = 0; i < n && trace == nullptr; ++i) {
+            if (batch[static_cast<std::size_t>(i)].traced)
+                trace = tracer_.makeTrace();
+        }
+        if (trace != nullptr) {
+            trace->setLabel("sampled batch " +
+                            std::to_string(trace->id()));
+            request.options.trace = trace.get();
+        }
+
         const auto t_ready = Clock::now();
         bool ok = true;
         std::exception_ptr error;
@@ -249,6 +501,49 @@ SearchService::dispatchLoop()
             // requests: without this, submitted == completed + failed
             // would break forever after one engine failure.
             stats_.recordFailed(static_cast<std::size_t>(n));
+        }
+
+        if (trace != nullptr) {
+            // Service-level spans are appended after fulfilment (the
+            // timestamps were captured live); the engine/stage spans
+            // are already inside from the search call above.
+            for (idx_t i = 0; i < n; ++i) {
+                const auto &r = batch[static_cast<std::size_t>(i)];
+                trace->complete1("queue", r.t_submit, t_drain, "k",
+                                 static_cast<double>(r.k));
+                trace->complete2("request", r.t_submit, t_done, "k",
+                                 static_cast<double>(r.k), "total_us",
+                                 micros(t_done - r.t_submit));
+            }
+            trace->complete1("batch_assemble", t_drain, t_ready, "batch",
+                             static_cast<double>(n));
+            trace->complete("search", t_ready, t_done);
+            tracer_.collect(std::move(trace));
+        }
+
+        // Slow-query capture: independent of sampling, every request
+        // is checked against the threshold (one compare each) and an
+        // outlier gets a synthesized queue/batch/search trace into the
+        // slow ring. Off (threshold 0) this whole block is one branch.
+        if (tracer_.slowThresholdUs() > 0.0 && ok) {
+            for (idx_t i = 0; i < n; ++i) {
+                const auto &r = batch[static_cast<std::size_t>(i)];
+                const double total = micros(t_done - r.t_submit);
+                if (total <= tracer_.slowThresholdUs())
+                    continue;
+                auto slow = tracer_.makeTrace();
+                slow->setLabel("slow query " +
+                               std::to_string(slow->id()));
+                slow->complete1("queue", r.t_submit, t_drain, "k",
+                                static_cast<double>(r.k));
+                slow->complete1("batch_assemble", t_drain, t_ready,
+                                "batch", static_cast<double>(n));
+                slow->complete("search", t_ready, t_done);
+                slow->complete2("request", r.t_submit, t_done,
+                                "total_us", total, "k",
+                                static_cast<double>(r.k));
+                tracer_.collectSlow(std::move(slow));
+            }
         }
     }
 }

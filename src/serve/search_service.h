@@ -31,6 +31,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <future>
 #include <memory>
 #include <string>
@@ -40,6 +41,8 @@
 #include "common/thread_annotations.h"
 
 #include "baseline/index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "registry/snapshot.h"
 #include "serve/request_queue.h"
 #include "serve/service_stats.h"
@@ -88,6 +91,41 @@ struct ServiceConfig {
      * Results are bitwise identical under every budget.
      */
     std::int64_t memory_budget_bytes = -1;
+
+    // ---- Observability (DESIGN.md "Observability") ----
+    /**
+     * Export this service through the metrics registry for its
+     * lifetime: admission counters, per-component latency summaries,
+     * the index's hot-list cache counters, process RSS/faults and
+     * build info all register as pull callbacks — zero hot-path cost,
+     * evaluated only when someone renders the registry.
+     */
+    bool metrics = true;
+    /** Registry to export into; null uses MetricsRegistry::global(). */
+    MetricsRegistry *registry = nullptr;
+    /**
+     * Flight-recorder period in seconds: > 0 runs a background
+     * reporter thread that logs a one-line summary to stderr each
+     * tick and, when metrics_jsonl is set, appends a registry
+     * snapshot as one JSON line. A final tick fires on stop().
+     * 0 (default) disables the recorder.
+     */
+    double stats_every_s = 0.0;
+    /** JSONL path the flight recorder appends to (empty: log only). */
+    std::string metrics_jsonl;
+    /**
+     * Fraction of requests traced end to end (queue -> batch ->
+     * engine -> pipeline stages), in [0, 1]. The decision is one
+     * relaxed atomic at submit; 0 (default) reduces to a constant
+     * read, which is what keeps tracing free when off.
+     */
+    double trace_sample = 0.0;
+    /**
+     * Slow-query capture: a request whose total latency exceeds this
+     * many microseconds gets a synthesized queue/batch/search trace
+     * in the tracer's slow ring, independent of sampling (0 = off).
+     */
+    double slow_trace_us = 0.0;
 };
 
 /**
@@ -164,6 +202,10 @@ class SearchService {
     AnnIndex &index() { return index_; }
     const ServiceConfig &config() const { return config_; }
 
+    /** Captured traces (sampled + slow ring) live here. */
+    Tracer &tracer() { return tracer_; }
+    const Tracer &tracer() const { return tracer_; }
+
   private:
     using Clock = std::chrono::steady_clock;
 
@@ -173,9 +215,22 @@ class SearchService {
         idx_t k = 0;
         std::promise<ResultList> promise;
         Clock::time_point t_submit;
+        /** Sampling decision, made once at submit(). */
+        bool traced = false;
     };
 
     void dispatchLoop();
+
+    /** Registers the pull callbacks (start(), when config_.metrics). */
+    void registerMetrics() JUNO_REQUIRES(lifecycle_mutex_);
+    /** The registry this service exports into. */
+    MetricsRegistry &registry() const;
+    /** Background flight-recorder loop (period config_.stats_every_s). */
+    void reporterLoop() JUNO_EXCLUDES(reporter_mutex_);
+    /** Signals and joins the reporter thread (idempotent). */
+    void stopReporter() JUNO_EXCLUDES(reporter_mutex_);
+    /** One recorder tick: summary line + optional JSONL append. */
+    void recorderTick(bool final_tick) JUNO_EXCLUDES(lifecycle_mutex_);
 
     /** Set by the warm-start constructors; null when borrowing. */
     std::unique_ptr<AnnIndex> owned_index_;
@@ -198,6 +253,30 @@ class SearchService {
     std::atomic<bool> running_{false};
     /** Usage at start(); snapshots report fault deltas against it. */
     ResourceUsage base_usage_ JUNO_GUARDED_BY(lifecycle_mutex_);
+
+    Tracer tracer_;
+    /** Set by start() before any reader thread exists. */
+    Clock::time_point start_time_;
+
+    /**
+     * Reporter thread state. Lock order: never nested with
+     * lifecycle_mutex_ (start() holds lifecycle while spawning, stop()
+     * releases lifecycle before joining here), so there is no
+     * inversion to get wrong.
+     */
+    Mutex reporter_mutex_;
+    std::condition_variable reporter_cv_;
+    bool reporter_stop_ JUNO_GUARDED_BY(reporter_mutex_) = false;
+    std::thread reporter_ JUNO_GUARDED_BY(reporter_mutex_);
+
+    /**
+     * RAII metric registrations. Declared last on purpose: members
+     * destruct in reverse order, so the callbacks (which capture this
+     * service's stats/index/tracer) unregister before anything they
+     * read is torn down.
+     */
+    std::vector<MetricsRegistry::Registration> metric_regs_
+        JUNO_GUARDED_BY(lifecycle_mutex_);
 };
 
 } // namespace juno

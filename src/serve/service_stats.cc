@@ -112,6 +112,30 @@ ServiceStats::recordBatch(std::size_t size)
     batched_requests_.fetch_add(size);
 }
 
+LatencySummary
+ServiceStats::componentSummary(Component component) const
+{
+    QuantileSketch merged;
+    for (const Shard &shard : shards_) {
+        MutexLock lock(shard.mutex);
+        switch (component) {
+        case Component::kQueue:
+            merged.merge(shard.queue_us);
+            break;
+        case Component::kBatch:
+            merged.merge(shard.batch_us);
+            break;
+        case Component::kSearch:
+            merged.merge(shard.search_us);
+            break;
+        case Component::kTotal:
+            merged.merge(shard.total_us);
+            break;
+        }
+    }
+    return summarise(merged);
+}
+
 ServiceStats::Snapshot
 ServiceStats::snapshot() const
 {

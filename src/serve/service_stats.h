@@ -126,6 +126,18 @@ class ServiceStats {
     {
         return rejected_stopped_.load();
     }
+    std::uint64_t batches() const { return batches_.load(); }
+
+    /** One latency component of the split (for single exports). */
+    enum class Component { kQueue, kBatch, kSearch, kTotal };
+
+    /**
+     * Merges the shards of just one component — what the metrics
+     * registry's per-component summary callbacks pull, so exporting
+     * four summaries does not digest the other three streams four
+     * times over.
+     */
+    LatencySummary componentSummary(Component component) const;
 
     /**
      * Merges the per-thread shards into one summary per component.

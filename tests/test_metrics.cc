@@ -1,0 +1,203 @@
+/** @file Unit tests for the metrics registry (obs/metrics.h). */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "obs/metrics.h"
+
+namespace juno {
+namespace {
+
+TEST(MetricsRegistry, CounterGetOrCreateSharesState)
+{
+    MetricsRegistry reg;
+    auto a = reg.counter("juno_test_total", "test counter");
+    auto b = reg.counter("juno_test_total", "test counter");
+    EXPECT_EQ(a.get(), b.get());
+    a->inc();
+    b->inc(2);
+    EXPECT_EQ(a->value(), 3u);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows)
+{
+    MetricsRegistry reg;
+    reg.counter("juno_test_total", "test counter");
+    EXPECT_THROW(reg.gauge("juno_test_total", "now a gauge"),
+                 ConfigError);
+    EXPECT_THROW(reg.histogram("juno_test_total", "now a histogram"),
+                 ConfigError);
+}
+
+TEST(MetricsRegistry, InvalidNameThrows)
+{
+    MetricsRegistry reg;
+    EXPECT_THROW(reg.counter("juno test", "spaces"), ConfigError);
+    EXPECT_THROW(reg.counter("", "empty"), ConfigError);
+    EXPECT_THROW(reg.counter("9starts_with_digit", "digit"),
+                 ConfigError);
+}
+
+TEST(MetricsRegistry, GaugeSetAndAdd)
+{
+    MetricsRegistry reg;
+    auto g = reg.gauge("juno_test_gauge", "test gauge");
+    g->set(2.5);
+    g->add(1.5);
+    EXPECT_DOUBLE_EQ(g->value(), 4.0);
+}
+
+TEST(MetricsRegistry, CallbackRegistrationIsRaii)
+{
+    MetricsRegistry reg;
+    {
+        auto handle = reg.counterCallback("juno_cb_total", "cb",
+                                          [] { return 7u; });
+        EXPECT_EQ(reg.size(), 1u);
+        EXPECT_NE(reg.renderPrometheus().find("juno_cb_total 7"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(MetricsRegistry, ReplacedRegistrationOldHandleNoOps)
+{
+    // Re-registering a name replaces the entry; the superseded
+    // handle's destructor must not tear down the replacement.
+    MetricsRegistry reg;
+    auto first = reg.gaugeCallback("juno_cb_gauge", "cb",
+                                   [] { return 1.0; });
+    auto second = reg.gaugeCallback("juno_cb_gauge", "cb",
+                                    [] { return 2.0; });
+    first.release();
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_NE(reg.renderPrometheus().find("juno_cb_gauge 2"),
+              std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusFormat)
+{
+    MetricsRegistry reg;
+    reg.counter("juno_req_total", "Requests")->inc(5);
+    auto info = reg.info("juno_build_info", "Build",
+                         {{"git_sha", "abc"}, {"compiler", "gcc"}});
+    const std::string text = reg.renderPrometheus();
+    EXPECT_NE(text.find("# HELP juno_req_total Requests\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE juno_req_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("juno_req_total 5\n"), std::string::npos);
+    EXPECT_NE(
+        text.find(
+            "juno_build_info{git_sha=\"abc\",compiler=\"gcc\"} 1\n"),
+        std::string::npos);
+    // Exposition ends with a newline (required by the text format).
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(MetricsRegistry, SummaryCallbackRendersQuantiles)
+{
+    MetricsRegistry reg;
+    auto handle = reg.summaryCallback("juno_lat_us", "Latency", [] {
+        HistogramSummary s;
+        s.count = 10;
+        s.mean = 4.0;
+        s.p50 = 3.0;
+        s.p95 = 9.0;
+        s.p99 = 9.9;
+        s.max = 10.0;
+        return s;
+    });
+    const std::string text = reg.renderPrometheus();
+    EXPECT_NE(text.find("# TYPE juno_lat_us summary"),
+              std::string::npos);
+    EXPECT_NE(text.find("juno_lat_us{quantile=\"0.5\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("juno_lat_us_count 10"), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonExportParsesAsKeyValue)
+{
+    MetricsRegistry reg;
+    reg.counter("juno_a_total", "a")->inc(3);
+    reg.gauge("juno_b", "b")->set(1.5);
+    const std::string json = reg.renderJson();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"juno_a_total\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"juno_b\":1.5"), std::string::npos);
+}
+
+TEST(MetricsRegistry, HistogramQuantilesMatchQuantileSketch)
+{
+    MetricsRegistry reg;
+    auto h = reg.histogram("juno_hist", "hist");
+    QuantileSketch reference;
+    for (int i = 1; i <= 1000; ++i) {
+        h->observe(static_cast<double>(i));
+        reference.add(static_cast<double>(i));
+    }
+    const HistogramSummary s = h->summary();
+    EXPECT_EQ(s.count, 1000u);
+    EXPECT_DOUBLE_EQ(s.mean, reference.mean());
+    EXPECT_DOUBLE_EQ(s.p50, reference.quantile(0.50));
+    EXPECT_DOUBLE_EQ(s.p95, reference.quantile(0.95));
+    EXPECT_DOUBLE_EQ(s.p99, reference.quantile(0.99));
+    EXPECT_DOUBLE_EQ(s.max, reference.quantile(1.0));
+}
+
+TEST(MetricsRegistry, ConcurrentRecordingLosesNothing)
+{
+    // The TSan leg runs this too: concurrent inc/observe against the
+    // sharded histogram and atomic counter must be race-free, and the
+    // merged summary must see every observation.
+    MetricsRegistry reg;
+    auto c = reg.counter("juno_mt_total", "mt");
+    auto h = reg.histogram("juno_mt_hist", "mt");
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 2000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                c->inc();
+                h->observe(static_cast<double>(t * kPerThread + i));
+            }
+            // Export racing with recording must also be clean.
+            if (t == 0)
+                (void)reg.renderPrometheus();
+        });
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(c->value(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(h->summary().count,
+              static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistry, ClearDropsEntriesAndHandlesNoOp)
+{
+    MetricsRegistry reg;
+    auto handle =
+        reg.counterCallback("juno_cb_total", "cb", [] { return 1u; });
+    reg.counter("juno_owned_total", "owned");
+    reg.clear();
+    EXPECT_EQ(reg.size(), 0u);
+    handle.release(); // must not throw or resurrect anything
+    EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(MetricsRegistry, GlobalIsSingleton)
+{
+    EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+} // namespace
+} // namespace juno

@@ -1,0 +1,329 @@
+/** @file Unit tests for sampled tracing (obs/trace.h). */
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace juno {
+namespace {
+
+/**
+ * Minimal recursive-descent JSON syntax checker — enough to prove
+ * renderJson() emits a well-formed document (balanced containers, no
+ * trailing commas, quoted keys, legal numbers), without needing a
+ * JSON library in the test image.
+ */
+class JsonChecker {
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    bool valid()
+    {
+        pos_ = 0;
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool string()
+    {
+        skipWs();
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return false;
+            }
+            ++pos_;
+        }
+        return consumeRaw('"');
+    }
+
+    bool consumeRaw(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool number()
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    bool value()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return false;
+        const char c = text_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return number();
+    }
+
+    bool object()
+    {
+        if (!consume('{'))
+            return false;
+        if (consume('}'))
+            return true;
+        do {
+            if (!string() || !consume(':') || !value())
+                return false;
+        } while (consume(','));
+        return consume('}');
+    }
+
+    bool array()
+    {
+        if (!consume('['))
+            return false;
+        if (consume(']'))
+            return true;
+        do {
+            if (!value())
+                return false;
+        } while (consume(','));
+        return consume(']');
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+TEST(TraceSpan, NullTraceIsANoOp)
+{
+    // The untraced hot path: construction, arg() and destruction must
+    // all reduce to pointer tests.
+    TraceSpan span(nullptr, "stage");
+    span.arg("k", 1.0);
+}
+
+TEST(TraceSpan, RecordsCompleteEventWithArgs)
+{
+    Trace trace(1, Trace::Clock::now());
+    {
+        TraceSpan span(&trace, "scan");
+        span.arg("probes", 32.0);
+        span.arg("rows", 4.0);
+    }
+    const auto events = trace.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_STREQ(events[0].name, "scan");
+    EXPECT_EQ(events[0].phase, 'X');
+    EXPECT_GE(events[0].dur_us, 0);
+    EXPECT_STREQ(events[0].arg_name[0], "probes");
+    EXPECT_DOUBLE_EQ(events[0].arg_value[0], 32.0);
+    EXPECT_STREQ(events[0].arg_name[1], "rows");
+}
+
+TEST(TraceSpan, NestedSpansBothRecorded)
+{
+    Trace trace(1, Trace::Clock::now());
+    {
+        TraceSpan outer(&trace, "engine");
+        {
+            TraceSpan inner(&trace, "chunk");
+        }
+    }
+    const auto events = trace.events();
+    ASSERT_EQ(events.size(), 2u);
+    // Inner scope closes first; the outer span must fully contain it.
+    EXPECT_STREQ(events[0].name, "chunk");
+    EXPECT_STREQ(events[1].name, "engine");
+    EXPECT_LE(events[1].ts_us, events[0].ts_us);
+    EXPECT_GE(events[1].ts_us + events[1].dur_us,
+              events[0].ts_us + events[0].dur_us);
+}
+
+TEST(Trace, InstantMarkers)
+{
+    Trace trace(1, Trace::Clock::now());
+    trace.instant("hot_cache", "hits", 3.0, "misses", 1.0);
+    const auto events = trace.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].phase, 'i');
+    EXPECT_EQ(events[0].dur_us, 0);
+}
+
+TEST(Tracer, RateZeroNeverSamplesAndEmitsNothing)
+{
+    Tracer tracer; // default config: sample_rate 0
+    EXPECT_FALSE(tracer.samplingEnabled());
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_FALSE(tracer.shouldSample());
+    EXPECT_EQ(tracer.sampledCount(), 0u);
+    const std::string json = tracer.renderJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    // An empty tracer renders an empty traceEvents array.
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_TRUE(tracer.sampledTraces().empty());
+    EXPECT_TRUE(tracer.slowTraces().empty());
+}
+
+TEST(Tracer, RateOneSamplesEverything)
+{
+    TracerConfig config;
+    config.sample_rate = 1.0;
+    Tracer tracer(config);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(tracer.shouldSample());
+}
+
+TEST(Tracer, FractionalRateSamplesOneInN)
+{
+    TracerConfig config;
+    config.sample_rate = 0.25;
+    Tracer tracer(config);
+    int sampled = 0;
+    for (int i = 0; i < 1000; ++i)
+        sampled += tracer.shouldSample() ? 1 : 0;
+    EXPECT_EQ(sampled, 250);
+}
+
+TEST(Tracer, SampledRetentionIsBounded)
+{
+    TracerConfig config;
+    config.sample_rate = 1.0;
+    config.max_sampled = 2;
+    Tracer tracer(config);
+    for (int i = 0; i < 5; ++i)
+        tracer.collect(tracer.makeTrace("t" + std::to_string(i)));
+    EXPECT_EQ(tracer.sampledTraces().size(), 2u);
+    EXPECT_EQ(tracer.sampledCount(), 2u);
+    EXPECT_EQ(tracer.droppedCount(), 3u);
+}
+
+TEST(Tracer, SlowRingKeepsMostRecent)
+{
+    TracerConfig config;
+    config.slow_us = 100.0;
+    config.slow_ring = 2;
+    Tracer tracer(config);
+    EXPECT_DOUBLE_EQ(tracer.slowThresholdUs(), 100.0);
+    for (int i = 0; i < 4; ++i)
+        tracer.collectSlow(tracer.makeTrace("slow " + std::to_string(i)));
+    const auto ring = tracer.slowTraces();
+    ASSERT_EQ(ring.size(), 2u);
+    EXPECT_EQ(ring[0]->label(), "slow 2");
+    EXPECT_EQ(ring[1]->label(), "slow 3");
+    EXPECT_EQ(tracer.slowCount(), 4u);
+}
+
+TEST(Tracer, RenderJsonIsValidTraceEventFormat)
+{
+    TracerConfig config;
+    config.sample_rate = 1.0;
+    Tracer tracer(config);
+    auto trace = tracer.makeTrace("query \"7\"\n"); // needs escaping
+    {
+        TraceSpan span(trace.get(), "search");
+        span.arg("k", 10.0);
+        TraceSpan inner(trace.get(), "scan");
+    }
+    trace->instant("hot_cache", "hits", 1.0);
+    tracer.collect(trace);
+    const std::string json = tracer.renderJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    // One complete span, its nested child, the instant and the
+    // process_name metadata record all serialise.
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(json.find("process_name"), std::string::npos);
+    EXPECT_NE(json.find("\"search\""), std::string::npos);
+}
+
+TEST(Tracer, ConcurrentAppendsAreClean)
+{
+    // Worker threads of one engine run append to the same trace; the
+    // TSan leg exercises this for races.
+    TracerConfig config;
+    config.sample_rate = 1.0;
+    Tracer tracer(config);
+    auto trace = tracer.makeTrace("mt");
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&] {
+            for (int i = 0; i < 500; ++i) {
+                TraceSpan span(trace.get(), "chunk");
+                span.arg("i", static_cast<double>(i));
+            }
+        });
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(trace->events().size(), 2000u);
+    tracer.collect(std::move(trace));
+    EXPECT_TRUE(JsonChecker(tracer.renderJson()).valid());
+}
+
+TEST(Trace, ThreadIdsAreDensePerThread)
+{
+    const std::uint32_t here = traceThreadId();
+    EXPECT_EQ(here, traceThreadId()); // stable within a thread
+    std::uint32_t other = here;
+    std::thread([&] { other = traceThreadId(); }).join();
+    EXPECT_NE(here, other);
+}
+
+} // namespace
+} // namespace juno

@@ -22,9 +22,22 @@
  *                   [--clients 4] [--window 8] [--requests 20000]
  *                   [--batch-max 32] [--linger-us 200]
  *                   [--queue-cap 4096] [--threads 1] [--mmap 1]
+ *                   [--stats-every S] [--metrics-out m.prom]
+ *                   [--trace-out t.json] [--trace-sample R]
+ *                   [--trace-slow-us N] [--smoke]
  *                   (drive the micro-batching SearchService; --load
  *                   warm-starts from a snapshot: first-query-ready is
- *                   page-in time, not a rebuild)
+ *                   page-in time, not a rebuild. --stats-every S runs
+ *                   the flight recorder every S seconds; --metrics-out
+ *                   writes the final Prometheus snapshot there and the
+ *                   recorder appends JSONL ticks to <path>.jsonl;
+ *                   --trace-sample R traces ~R of requests end to end
+ *                   and --trace-slow-us always captures outliers, both
+ *                   dumped to --trace-out as Chrome trace-event JSON
+ *                   (open in Perfetto). --smoke shrinks everything for
+ *                   a seconds-long CI run. SIGINT/SIGTERM stop the
+ *                   service cleanly and still dump the final
+ *                   metrics/trace snapshots)
  *   juno_cli parity --load idx.juno [data flags identical to build]
  *                   (CI gate: re-opens the snapshot in this fresh
  *                   process, rebuilds the same spec from scratch over
@@ -43,6 +56,7 @@
  */
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <deque>
@@ -63,6 +77,7 @@
 #include "dataset/io.h"
 #include "dataset/recall.h"
 #include "dataset/synthetic.h"
+#include "obs/metrics.h"
 #include "registry/index_factory.h"
 #include "serve/hot_list_cache.h"
 #include "serve/search_service.h"
@@ -70,6 +85,27 @@
 using namespace juno;
 
 namespace {
+
+/** Valueless flags (presence is the value). */
+bool
+isBareFlag(const std::string &key)
+{
+    return key == "smoke";
+}
+
+/**
+ * Set by SIGINT/SIGTERM during serve. Client loops stop submitting,
+ * the service drains what it already accepted, and the final
+ * metrics/trace snapshots are still written — a clean Ctrl-C instead
+ * of losing the flight-recorder output to a hard kill.
+ */
+std::atomic<bool> g_interrupted{false};
+
+void
+handleStopSignal(int)
+{
+    g_interrupted.store(true);
+}
 
 /** Tiny --key value argument map. */
 class Args {
@@ -81,6 +117,10 @@ class Args {
             if (key.rfind("--", 0) != 0)
                 fatal("expected --option, got '" + key + "'");
             key = key.substr(2);
+            if (isBareFlag(key)) {
+                values_[key] = "1";
+                continue;
+            }
             if (i + 1 >= argc)
                 fatal("missing value for --" + key);
             values_[key] = argv[++i];
@@ -162,9 +202,14 @@ parseKind(const std::string &name)
     fatal("unknown synthetic kind '" + name + "'");
 }
 
-/** Loads base/query vectors from --base/--queries or synthesises. */
+/**
+ * Loads base/query vectors from --base/--queries or synthesises.
+ * The defaults are parameters so serve --smoke can shrink the
+ * synthetic set without overriding an explicit --n.
+ */
 Dataset
-loadData(const Args &args, Metric metric)
+loadData(const Args &args, Metric metric, long default_n = 20000,
+         long default_dim = 0)
 {
     if (args.has("base")) {
         Dataset ds;
@@ -177,9 +222,9 @@ loadData(const Args &args, Metric metric)
     }
     SyntheticSpec spec;
     spec.kind = parseKind(args.get("synthetic", "deep"));
-    spec.num_points = args.getInt("n", 20000, 1, 100000000);
+    spec.num_points = args.getInt("n", default_n, 1, 100000000);
     spec.num_queries = args.getInt("queries-n", 64, 1, 10000000);
-    spec.dim = args.getInt("dim", 0, 0, 65536);
+    spec.dim = args.getInt("dim", default_dim, 0, 65536);
     spec.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
     return makeDataset(spec);
 }
@@ -456,6 +501,11 @@ cmdParity(const Args &args)
 int
 cmdServe(const Args &args)
 {
+    // --smoke: a seconds-long end-to-end run (tiny synthetic set,
+    // fast ivfflat build, few thousand requests) for CI legs that
+    // exercise the full serve path with observability enabled.
+    // Explicit flags still win over every smoke default.
+    const bool smoke = args.has("smoke");
     ServiceConfig config;
     config.max_batch = args.getInt("batch-max", 32, 1, 1000000);
     config.linger =
@@ -479,6 +529,18 @@ cmdServe(const Args &args)
                          << "' (want bytes with optional k/m/g)");
     }
 
+    // Observability: flight recorder + tracing (DESIGN.md
+    // "Observability"). --metrics-out gets the final Prometheus
+    // snapshot; with --stats-every the recorder also appends JSONL
+    // ticks next to it.
+    config.stats_every_s = args.getDouble("stats-every", 0.0);
+    config.trace_sample = args.getDouble("trace-sample", 0.0);
+    config.slow_trace_us = args.getDouble("trace-slow-us", 0.0);
+    const std::string metrics_out = args.get("metrics-out", "");
+    if (!metrics_out.empty() && config.stats_every_s > 0.0)
+        config.metrics_jsonl = metrics_out + ".jsonl";
+    const std::string trace_out = args.get("trace-out", "");
+
     std::unique_ptr<SearchService> service;
     Dataset data;
     Timer ready_timer;
@@ -496,12 +558,16 @@ cmdServe(const Args &args)
         const Metric metric = parseMetric(args.get("metric", "l2"));
         // One dataset serves both the build and the query traffic —
         // synthetic generation (or fvecs IO) must not run twice.
-        data = loadData(args, metric);
+        data = loadData(args, metric, smoke ? 2000 : 20000,
+                        smoke ? 32 : 0);
+        const std::string spec =
+            smoke && !args.has("spec")
+                ? "ivfflat:nlist=32,nprobe=8,iters=4,train=2000"
+                : specFrom(args);
         std::printf("building over %lld vectors...\n",
                     static_cast<long long>(data.base.rows()));
         service = std::make_unique<SearchService>(
-            buildIndex(metric, data.base.view(), specFrom(args)),
-            config);
+            buildIndex(metric, data.base.view(), spec), config);
         std::printf("first-query-ready in %.0f ms (%s)\n",
                     ready_timer.millis(),
                     service->index().name().c_str());
@@ -519,9 +585,11 @@ cmdServe(const Args &args)
                      << index.dim());
 
     const idx_t k = args.getInt("k", 10, 1, 1000000);
-    const int clients = static_cast<int>(args.getInt("clients", 4, 1, 4096));
+    const int clients = static_cast<int>(
+        args.getInt("clients", smoke ? 2 : 4, 1, 4096));
     const int window = static_cast<int>(args.getInt("window", 8, 1, 1000000));
-    const long total = args.getInt("requests", 20000, 0, 1000000000);
+    const long total =
+        args.getInt("requests", smoke ? 3000 : 20000, 0, 1000000000);
     JUNO_REQUIRE(clients > 0 && window > 0 && total > 0,
                  "clients, window and requests must be positive");
 
@@ -531,6 +599,9 @@ cmdServe(const Args &args)
                 static_cast<long long>(config.max_batch),
                 static_cast<long long>(config.linger.count()),
                 index.name().c_str());
+    g_interrupted.store(false);
+    std::signal(SIGINT, handleStopSignal);
+    std::signal(SIGTERM, handleStopSignal);
     service->start();
     Timer timer;
     std::atomic<int> client_failures{0};
@@ -550,6 +621,8 @@ cmdServe(const Args &args)
                 const long mine =
                     total / clients + (c < total % clients ? 1 : 0);
                 for (long i = 0; i < mine; ++i) {
+                    if (g_interrupted.load())
+                        break;
                     if (inflight.size() >=
                         static_cast<std::size_t>(window)) {
                         inflight.front().get();
@@ -560,7 +633,8 @@ cmdServe(const Args &args)
                     // the dispatcher is behind — yield and retry so
                     // exactly --requests get served instead of
                     // silently shrinking the run.
-                    while (!f.valid() && service->running()) {
+                    while (!f.valid() && service->running() &&
+                           !g_interrupted.load()) {
                         std::this_thread::yield();
                         f = service->submit(queries.row(qi), k);
                     }
@@ -581,7 +655,12 @@ cmdServe(const Args &args)
     for (auto &t : threads)
         t.join();
     const double secs = timer.seconds();
+    if (g_interrupted.load())
+        std::printf("interrupted: draining accepted requests, final "
+                    "snapshots still written\n");
     service->stop();
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
     JUNO_REQUIRE(client_failures.load() == 0,
                  client_failures.load() << " serving clients failed");
 
@@ -631,6 +710,46 @@ cmdServe(const Args &args)
                         snap.cache.rejected_capacity +
                         snap.cache.rejected_policy));
     }
+
+    // Final observability dumps: the service is still alive, so its
+    // registry callbacks (and the tracer's captures) are intact.
+    if (!metrics_out.empty()) {
+        MetricsRegistry &reg = config.registry != nullptr
+                                   ? *config.registry
+                                   : MetricsRegistry::global();
+        const std::string text = reg.renderPrometheus();
+        if (std::FILE *f = std::fopen(metrics_out.c_str(), "w")) {
+            std::fwrite(text.data(), 1, text.size(), f);
+            std::fclose(f);
+            std::printf("metrics: wrote %s%s\n", metrics_out.c_str(),
+                        config.metrics_jsonl.empty()
+                            ? ""
+                            : (" (recorder: " + config.metrics_jsonl +
+                               ")")
+                                  .c_str());
+        } else {
+            std::fprintf(stderr, "juno_cli: cannot write %s\n",
+                         metrics_out.c_str());
+        }
+    }
+    if (!trace_out.empty()) {
+        const Tracer &tracer = service->tracer();
+        const std::string text = tracer.renderJson();
+        if (std::FILE *f = std::fopen(trace_out.c_str(), "w")) {
+            std::fwrite(text.data(), 1, text.size(), f);
+            std::fclose(f);
+            std::printf(
+                "traces: %llu sampled (%llu dropped), %llu slow -> "
+                "%s\n",
+                static_cast<unsigned long long>(tracer.sampledCount()),
+                static_cast<unsigned long long>(tracer.droppedCount()),
+                static_cast<unsigned long long>(tracer.slowCount()),
+                trace_out.c_str());
+        } else {
+            std::fprintf(stderr, "juno_cli: cannot write %s\n",
+                         trace_out.c_str());
+        }
+    }
     return 0;
 }
 
@@ -658,7 +777,11 @@ usage()
         "          warm-starts from a snapshot (build-once/serve-many);\n"
         "          --mem-budget 64m pins the hottest inverted lists in\n"
         "          RAM for out-of-core serving (JUNO_MEM_BUDGET env\n"
-        "          works too; 0 = pure mmap paging)\n"
+        "          works too; 0 = pure mmap paging); observability:\n"
+        "          --stats-every S --metrics-out m.prom (+ m.prom.jsonl\n"
+        "          recorder) --trace-out t.json --trace-sample 0.01\n"
+        "          --trace-slow-us 5000 --smoke (tiny CI-sized run);\n"
+        "          SIGINT/SIGTERM drain cleanly and still dump\n"
         "  parity  gate: snapshot results == fresh-build results\n"
         "\n"
         "  index types for --spec: %s\n"
