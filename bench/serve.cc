@@ -19,6 +19,13 @@
  *    capacity so the sweep lands in comparable operating regimes on
  *    any host.
  *
+ * A third leg (skipped under --smoke) offers 2.5x the measured
+ * capacity with the overload machinery off, then on (deadline
+ * propagation + tiered degradation), gating on conservation, on
+ * late-implies-degraded, and on the resilient p99 staying near the
+ * deadline while the baseline's collapses; `--overload-json <path>`
+ * dumps that comparison (BENCH_overload.json).
+ *
  * `--smoke` runs a seconds-scale pass asserting the service invariants
  * (completed == submitted, zero sheds in the closed loop, result and
  * recall parity with direct batch search) and exits nonzero on any
@@ -67,6 +74,8 @@ struct Options {
     bool smoke = false;
     bool quick = false;
     std::string json_path;
+    /** Where the overload-leg snapshot goes (BENCH_overload.json). */
+    std::string overload_json_path;
     /** Snapshot to serve from (skips the in-process build). */
     std::string load_path;
     /** Hot-list cache budget (bytes, k/m/g suffix); -1 = unset. */
@@ -146,12 +155,15 @@ runClosedLoop(AnnIndex &index, FloatMatrixView queries, idx_t k,
                         inflight.front().get();
                         inflight.pop_front();
                     }
-                    auto f = service.submit(queries.row(qi), k);
+                    RejectReason reason = RejectReason::kNone;
+                    auto f =
+                        service.submit(queries.row(qi), k, &reason);
                     qi = (qi + 1) % nq;
-                    if (f.valid())
+                    if (reason == RejectReason::kNone)
                         inflight.push_back(std::move(f));
-                    // else: shed — counted by the service's
-                    // rejected_full, reconciled by the caller's
+                    // else: shed — the dropped future already holds
+                    // its RejectedError; the service's per-reason
+                    // counter is reconciled by the caller's
                     // conservation gate.
                 }
                 while (!inflight.empty()) {
@@ -224,10 +236,12 @@ runOpenLoop(AnnIndex &index, FloatMatrixView queries, idx_t k,
                     if (next >= deadline)
                         break;
                     std::this_thread::sleep_until(next);
-                    auto f = service.submit(queries.row(qi), k);
+                    RejectReason reason = RejectReason::kNone;
+                    auto f =
+                        service.submit(queries.row(qi), k, &reason);
                     qi = (qi + 1) % nq;
                     ++sent;
-                    if (f.valid())
+                    if (reason == RejectReason::kNone)
                         futures.push_back(std::move(f));
                 }
                 attempted.fetch_add(sent);
@@ -253,6 +267,164 @@ runOpenLoop(AnnIndex &index, FloatMatrixView queries, idx_t k,
     return result;
 }
 
+/** One overload-leg run: open loop far past capacity, resilience
+ * mechanisms on or off, with client-side shed/degraded accounting. */
+struct OverloadResult {
+    double offered = 0.0;
+    double qps = 0.0;
+    std::uint64_t attempted = 0;
+    /** submit() refusals, by reason (client view of the door). */
+    std::uint64_t shed_submit_full = 0;
+    std::uint64_t shed_submit_expired = 0;
+    /** Accepted but shed at dequeue: future threw RejectedError. */
+    std::uint64_t shed_queue_expired = 0;
+    std::uint64_t completed_seen = 0;
+    std::uint64_t degraded_seen = 0;
+    /**
+     * Completions observed past their deadline (plus a reap-lag
+     * grace) whose result was NOT flagged degraded. The resilience
+     * contract says this is always zero: a late completion is a
+     * degraded completion.
+     */
+    std::uint64_t late_unmarked = 0;
+    std::uint64_t client_errors = 0;
+    ServiceStats::Snapshot snap;
+};
+
+/**
+ * Open-loop arrivals at @p offered_qps (far past capacity by
+ * construction of the caller) against a service configured with
+ * @p deadline_us (0 = none) and @p degrade. Futures are reaped
+ * promptly — polled as arrivals proceed — so the client can check the
+ * late-implies-degraded contract with a small grace for reap lag.
+ */
+OverloadResult
+runOverloadLoop(AnnIndex &index, FloatMatrixView queries, idx_t k,
+                const BatchSetting &setting, int clients,
+                double offered_qps, double duration_s,
+                double deadline_us, bool degrade)
+{
+    ServiceConfig config = serviceConfig(setting);
+    config.default_deadline_ms = deadline_us / 1000.0;
+    config.degradation.enabled = degrade;
+    // Deadline shedding keeps the standing queue short, so depth alone
+    // would never trip the policy; arm the lagging signal with half
+    // the deadline as the queue-wait budget (waits run right up to the
+    // deadline under sustained overload).
+    if (degrade && deadline_us > 0.0)
+        config.degradation.queue_p95_budget_us = deadline_us / 2.0;
+    SearchService service(index, config);
+    service.start();
+    const double per_client_rate =
+        offered_qps / static_cast<double>(clients);
+    const bool deadlined = deadline_us > 0.0;
+    const auto budget = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::micro>(deadline_us));
+    // Absorbs the gap between the service fulfilling a future and the
+    // client's poll observing it; the service-side marking itself is
+    // exact, so the grace only avoids false positives.
+    constexpr std::chrono::milliseconds kReapGrace{20};
+
+    std::atomic<std::uint64_t> attempted{0}, shed_full{0},
+        shed_submit_expired{0}, shed_queue_expired{0}, completed{0},
+        degraded{0}, late_unmarked{0}, errors{0};
+
+    const auto t0 = Clock::now();
+    const auto t_end =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(duration_s));
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c)
+        threads.emplace_back([&, c] {
+            Rng rng(0xBADCAB1E + static_cast<std::uint64_t>(c));
+            const idx_t nq = queries.rows();
+            idx_t qi = static_cast<idx_t>(c) % nq;
+            struct Pending {
+                std::future<ResultList> f;
+                Clock::time_point deadline;
+            };
+            std::deque<Pending> pending;
+            auto reapOne = [&](Pending &p, Clock::time_point t_ready) {
+                try {
+                    const ResultList r = p.f.get();
+                    completed.fetch_add(1);
+                    if (r.degraded)
+                        degraded.fetch_add(1);
+                    else if (deadlined &&
+                             t_ready > p.deadline + kReapGrace)
+                        late_unmarked.fetch_add(1);
+                } catch (const RejectedError &) {
+                    shed_queue_expired.fetch_add(1);
+                } catch (const std::exception &err) {
+                    std::fprintf(stderr, "client %d: %s\n", c,
+                                 err.what());
+                    errors.fetch_add(1);
+                }
+            };
+            auto next = Clock::now();
+            std::uint64_t sent = 0;
+            while (true) {
+                const double gap_s = -std::log(1.0 - rng.uniform()) /
+                                     per_client_rate;
+                next += std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(gap_s));
+                if (next >= t_end)
+                    break;
+                std::this_thread::sleep_until(next);
+                RejectReason reason = RejectReason::kNone;
+                auto f = service.submit(queries.row(qi), k, &reason);
+                qi = (qi + 1) % nq;
+                ++sent;
+                if (reason == RejectReason::kNone)
+                    pending.push_back(
+                        {std::move(f), Clock::now() + budget});
+                else if (reason == RejectReason::kQueueFull)
+                    shed_full.fetch_add(1);
+                else
+                    shed_submit_expired.fetch_add(1);
+                // Prompt reap: drain whatever already resolved so the
+                // observed completion time tracks the real one.
+                while (!pending.empty() &&
+                       pending.front().f.wait_for(
+                           std::chrono::seconds(0)) ==
+                           std::future_status::ready) {
+                    reapOne(pending.front(), Clock::now());
+                    pending.pop_front();
+                }
+            }
+            attempted.fetch_add(sent);
+            // Final drain: poll at 1ms so even the tail's observed
+            // ready times stay well inside the grace.
+            while (!pending.empty()) {
+                while (pending.front().f.wait_for(
+                           std::chrono::milliseconds(1)) !=
+                       std::future_status::ready) {
+                }
+                reapOne(pending.front(), Clock::now());
+                pending.pop_front();
+            }
+        });
+    for (auto &t : threads)
+        t.join();
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    service.stop();
+
+    OverloadResult result;
+    result.snap = service.snapshot();
+    result.offered = offered_qps;
+    result.qps = static_cast<double>(result.snap.completed) / secs;
+    result.attempted = attempted.load();
+    result.shed_submit_full = shed_full.load();
+    result.shed_submit_expired = shed_submit_expired.load();
+    result.shed_queue_expired = shed_queue_expired.load();
+    result.completed_seen = completed.load();
+    result.degraded_seen = degraded.load();
+    result.late_unmarked = late_unmarked.load();
+    result.client_errors = errors.load();
+    return result;
+}
+
 /**
  * Routes every query through a service once and checks the serving
  * invariants against a direct search(SearchRequest) run: identical
@@ -272,18 +444,29 @@ checkParity(AnnIndex &index, const Dataset &ds, idx_t k,
     for (idx_t q = 0; q < ds.queries.rows(); ++q)
         futures.push_back(service.submit(ds.queries.view().row(q), k));
     SearchResults served;
+    bool any_degraded = false;
     for (auto &f : futures) {
-        if (!f.valid()) {
+        try {
+            ResultList list = f.get();
+            any_degraded = any_degraded || list.degraded;
+            served.push_back(std::move(list));
+        } catch (const RejectedError &err) {
             std::fprintf(stderr,
                          "PARITY FAIL: request rejected under "
-                         "no load\n");
+                         "no load (%s)\n",
+                         rejectReasonName(err.reason()));
             ++failures;
             served.emplace_back();
-            continue;
         }
-        served.push_back(f.get());
     }
     service.stop();
+    // An unloaded service with every overload feature at its default
+    // must never mark a result degraded (the parity promise).
+    if (any_degraded) {
+        std::fprintf(stderr, "PARITY FAIL: degraded result without "
+                             "deadline or degradation armed\n");
+        ++failures;
+    }
 
     for (std::size_t q = 0; q < served.size(); ++q)
         if (served[q] != direct[q]) {
@@ -342,6 +525,8 @@ parseArgs(int argc, char **argv)
             opt.quick = true;
         else if (arg == "--json")
             opt.json_path = value("--json");
+        else if (arg == "--overload-json")
+            opt.overload_json_path = value("--overload-json");
         else if (arg == "--load")
             opt.load_path = value("--load");
         else if (arg == "--mem-budget") {
@@ -373,7 +558,8 @@ parseArgs(int argc, char **argv)
         else {
             std::fprintf(stderr,
                          "usage: bench_serve [--smoke] [--quick] "
-                         "[--json path] [--load snapshot.juno] "
+                         "[--json path] [--overload-json path] "
+                         "[--load snapshot.juno] "
                          "[--mem-budget BYTES[k|m|g]] "
                          "[--n N] [--dim D] [--k K] "
                          "[--clients C] [--requests R]\n");
@@ -486,6 +672,66 @@ writeJson(const std::string &path,
     std::printf("snapshot written to %s\n", path.c_str());
 }
 
+void
+writeOverloadJson(const std::string &path, const BatchSetting &setting,
+                  double capacity_qps, double capacity_p99_us,
+                  double offered, double load_factor,
+                  double deadline_us, const OverloadResult &base,
+                  const OverloadResult &resilient)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    auto run = [&](const char *label, const OverloadResult &r,
+                   double run_deadline_us, bool degrade) {
+        out << "    {\"label\": \"" << label
+            << "\", \"deadline_us\": " << run_deadline_us
+            << ", \"degradation\": " << (degrade ? "true" : "false")
+            << ",\n     \"achieved_qps\": " << r.qps
+            << ", \"attempted\": " << r.attempted
+            << ",\n     \"total_us\": {\"p50\": " << r.snap.total_us.p50
+            << ", \"p95\": " << r.snap.total_us.p95
+            << ", \"p99\": " << r.snap.total_us.p99
+            << "}, \"queue_p99_us\": " << r.snap.queue_us.p99
+            << ",\n     \"submitted\": " << r.snap.submitted
+            << ", \"completed\": " << r.snap.completed
+            << ", \"failed\": " << r.snap.failed
+            << ", \"expired\": " << r.snap.expired
+            << ",\n     \"rejected_full\": " << r.snap.rejected_full
+            << ", \"rejected_expired\": " << r.snap.rejected_expired
+            << ", \"degraded\": " << r.snap.degraded
+            << ", \"degraded_batches\": " << r.snap.degraded_batches
+            << ", \"final_tier\": " << r.snap.degradation_tier
+            << ",\n     \"client\": {\"shed_submit_full\": "
+            << r.shed_submit_full
+            << ", \"shed_submit_expired\": " << r.shed_submit_expired
+            << ", \"shed_queue_expired\": " << r.shed_queue_expired
+            << ", \"degraded_seen\": " << r.degraded_seen
+            << ", \"late_unmarked\": " << r.late_unmarked
+            << ", \"errors\": " << r.client_errors << "}}";
+    };
+    out << "{\n  \"bench\": \"serve_overload\",\n  \"build\": "
+        << buildInfoJson() << ",\n  \"setting\": {\"label\": \""
+        << setting.label << "\", \"max_batch\": " << setting.max_batch
+        << ", \"linger_us\": " << setting.linger.count() << "},\n"
+        << "  \"capacity_qps\": " << capacity_qps
+        << ", \"capacity_p99_us\": " << capacity_p99_us
+        << ",\n  \"offered_qps\": " << offered
+        << ", \"load_factor\": " << load_factor
+        << ", \"deadline_us\": " << deadline_us << ",\n  \"runs\": [\n";
+    run("baseline", base, 0.0, false);
+    out << ",\n";
+    run("deadline+degradation", resilient, deadline_us, true);
+    out << "\n  ],\n  \"p99_collapse_ratio\": "
+        << base.snap.total_us.p99 /
+               std::max(resilient.snap.total_us.p99, 1e-9)
+        << ",\n  \"late_unmarked_completions\": "
+        << resilient.late_unmarked << "\n}\n";
+    std::printf("overload snapshot written to %s\n", path.c_str());
+}
+
 } // namespace
 
 int
@@ -588,9 +834,13 @@ main(int argc, char **argv)
              TablePrinter::num(r.snap.total_us.p99),
              std::to_string(r.snap.completed)});
         // Conservation over all submit attempts: each was either
-        // accepted (and then value- or exception-completed) or shed.
-        // Engine failures and client exceptions fail the gate too.
-        if (r.snap.completed + r.snap.failed + r.snap.rejected_full !=
+        // accepted (and then completed with a value, an engine
+        // exception, or kExpired) or shed at the door for a typed
+        // reason. Engine failures and client exceptions fail the gate
+        // too.
+        if (r.snap.completed + r.snap.failed + r.snap.expired +
+                    r.snap.rejected_full + r.snap.rejected_expired +
+                    r.snap.rejected_stopped !=
                 r.attempted ||
             r.snap.failed != 0 || r.client_errors != 0) {
             std::fprintf(
@@ -710,8 +960,8 @@ main(int argc, char **argv)
                  TablePrinter::num(r.snap.total_us.p50),
                  TablePrinter::num(r.snap.total_us.p99)});
             // Conservation holds under shedding too: accepted ==
-            // completed once stop() has drained.
-            if (r.snap.completed + r.snap.failed !=
+            // completed + failed + expired once stop() has drained.
+            if (r.snap.completed + r.snap.failed + r.snap.expired !=
                     r.snap.submitted ||
                 r.snap.failed != 0 || r.client_errors != 0) {
                 std::fprintf(stderr,
@@ -751,6 +1001,113 @@ main(int argc, char **argv)
                     load_factors.back(), baseline_overload,
                     best_overload_label.c_str(), best_overload,
                     best_overload / std::max(baseline_overload, 1e-9));
+    }
+
+    // ---- Overload leg: resilience on vs off at 2.5x capacity ----
+    // Offered traffic neither configuration can serve; the baseline
+    // queues to capacity and its p99 pins at queue-drain time, while
+    // deadline propagation sheds doomed work and tiered degradation
+    // cheapens what remains, holding the completed requests' p99 near
+    // the deadline. Skipped under --smoke (the gates are timing-based;
+    // the deadline unit tests cover the mechanisms deterministically).
+    if (!opt.smoke) {
+        printBanner("Overload (2.5x capacity): baseline vs "
+                    "deadline + degradation");
+        const BatchSetting &setting = settings[best_setting];
+        const double cap_qps = capacity[best_setting].qps;
+        const double cap_p99 = capacity[best_setting].snap.total_us.p99;
+        const double load_factor = 2.5;
+        const double offered = load_factor * cap_qps;
+        // Generous relative to healthy latency, tiny relative to the
+        // collapse: a shed-or-degrade budget, not a stretch target.
+        const double deadline_us = std::max(5000.0, 4.0 * cap_p99);
+        const auto base = runOverloadLoop(
+            index, ds.queries.view(), opt.k, setting, opt.clients,
+            offered, opt.open_duration_s, 0.0, false);
+        const auto resil = runOverloadLoop(
+            index, ds.queries.view(), opt.k, setting, opt.clients,
+            offered, opt.open_duration_s, deadline_us, true);
+
+        TablePrinter overload_table(
+            {"run", "offered", "achieved", "total_p50_us",
+             "total_p99_us", "shed", "expired", "degraded", "tier"});
+        auto addRow = [&](const char *label, const OverloadResult &r) {
+            overload_table.addRow(
+                {label, TablePrinter::num(r.offered),
+                 TablePrinter::num(r.qps),
+                 TablePrinter::num(r.snap.total_us.p50),
+                 TablePrinter::num(r.snap.total_us.p99),
+                 std::to_string(r.snap.rejected_full +
+                                r.snap.rejected_expired),
+                 std::to_string(r.snap.expired),
+                 std::to_string(r.snap.degraded),
+                 std::to_string(r.snap.degradation_tier)});
+        };
+        addRow("baseline", base);
+        addRow("deadline+degradation", resil);
+        overload_table.print();
+
+        auto conserve = [&](const char *label,
+                            const OverloadResult &r) {
+            if (r.snap.completed + r.snap.failed + r.snap.expired !=
+                    r.snap.submitted ||
+                r.snap.failed != 0 || r.client_errors != 0) {
+                std::fprintf(
+                    stderr,
+                    "OVERLOAD FAIL: %s lost requests (submitted "
+                    "%llu, completed %llu, failed %llu, expired "
+                    "%llu, %llu client errors)\n",
+                    label,
+                    static_cast<unsigned long long>(r.snap.submitted),
+                    static_cast<unsigned long long>(r.snap.completed),
+                    static_cast<unsigned long long>(r.snap.failed),
+                    static_cast<unsigned long long>(r.snap.expired),
+                    static_cast<unsigned long long>(r.client_errors));
+                ++failures;
+            }
+        };
+        conserve("baseline", base);
+        conserve("deadline+degradation", resil);
+        if (resil.late_unmarked != 0) {
+            std::fprintf(stderr,
+                         "OVERLOAD FAIL: %llu completions past their "
+                         "deadline were not flagged degraded\n",
+                         static_cast<unsigned long long>(
+                             resil.late_unmarked));
+            ++failures;
+        }
+        // A completed request can legitimately carry deadline-epsilon
+        // queue wait plus one dispatched batch's worth of search (the
+        // first probe always runs), so p99 lands somewhat past the
+        // deadline; 3x is the "held near the deadline" gate, against a
+        // baseline collapse measured in tens of deadlines.
+        if (resil.snap.total_us.p99 > 3.0 * deadline_us) {
+            std::fprintf(stderr,
+                         "OVERLOAD FAIL: resilient p99 %.0f us "
+                         "exceeds 3x the %.0f us deadline\n",
+                         resil.snap.total_us.p99, deadline_us);
+            ++failures;
+        }
+        std::printf(
+            "\noverload at %.1fx capacity, %.0f us deadline: "
+            "baseline p99 %.0f us vs resilient p99 %.0f us "
+            "(%.1fx collapse avoided); resilient shed %llu at the "
+            "door + %llu in queue, degraded %llu, late-unmarked "
+            "%llu\n",
+            load_factor, deadline_us, base.snap.total_us.p99,
+            resil.snap.total_us.p99,
+            base.snap.total_us.p99 /
+                std::max(resil.snap.total_us.p99, 1e-9),
+            static_cast<unsigned long long>(
+                resil.snap.rejected_expired + resil.snap.rejected_full),
+            static_cast<unsigned long long>(resil.snap.expired),
+            static_cast<unsigned long long>(resil.snap.degraded),
+            static_cast<unsigned long long>(resil.late_unmarked));
+
+        if (!opt.overload_json_path.empty())
+            writeOverloadJson(opt.overload_json_path, setting, cap_qps,
+                              cap_p99, offered, load_factor,
+                              deadline_us, base, resil);
     }
 
     if (!opt.json_path.empty())

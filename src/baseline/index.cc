@@ -48,6 +48,11 @@ AnnIndex::search(const SearchRequest &request, SearchResults &out)
     //  - k > numPoints -> k clamps to the index size (results truncate
     //    instead of reading past list ends).
     const idx_t rows = request.queries.rows();
+    // Degraded flags track rows 1:1; degenerate paths below bypass the
+    // engine, so they size/clear the vector themselves.
+    if (request.options.degraded != nullptr)
+        request.options.degraded->assign(static_cast<std::size_t>(rows),
+                                         0);
     if (rows == 0) {
         out.clear();
         return;

@@ -248,8 +248,11 @@ IvfFlatIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
                     ctx.scores.data() +
                     static_cast<std::size_t>(qi - block) *
                         static_cast<std::size_t>(C);
-                ctx.probes = selectTopK(metric_, scores, C,
-                                        std::min(nprobs_, C));
+                // Degraded batches shrink the probe budget here; at
+                // scale 1.0 this is exactly min(nprobs_, C).
+                ctx.probes = selectTopK(
+                    metric_, scores, C,
+                    std::min(ctx.scaledNprobes(nprobs_), C));
             }
             StageScope t(ctx, Stage::kScan);
             TopK top(std::min(chunk.k, points_.rows()), metric_);
@@ -266,7 +269,17 @@ IvfFlatIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
             // scans that, and offers it for admission — same bytes
             // through the same kernel in the same push order, so
             // results are bitwise identical to the plain path.
-            for (const auto &probe : ctx.probes) {
+            const std::size_t n_probes = ctx.probes.size();
+            for (std::size_t p = 0; p < n_probes; ++p) {
+                // Cooperative deadline: checked between list
+                // iterations (never before the first, so results stay
+                // non-empty). A cut-off scan returns the valid top-k
+                // of the lists completed so far, flagged degraded.
+                if (p > 0 && ctx.pastDeadline()) {
+                    ctx.markDegraded(qi);
+                    break;
+                }
+                const auto &probe = ctx.probes[p];
                 const cluster_t c = static_cast<cluster_t>(probe.id);
                 const auto &plist = ivf_.list(c);
                 const std::size_t ln = plist.size();

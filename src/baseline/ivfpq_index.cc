@@ -1,6 +1,7 @@
 #include "baseline/ivfpq_index.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "common/distance.h"
@@ -305,7 +306,8 @@ IvfPqIndex::orderProbesResidentFirst(const std::vector<Neighbor> &probes,
 void
 IvfPqIndex::scanList(cluster_t cluster, const FloatMatrix &lut, float base,
                      ScanScratch &scratch, TopK &top,
-                     const CachedList *pinned, HotListCache *cache) const
+                     const CachedList *pinned, HotListCache *cache,
+                     float tighten) const
 {
     const std::vector<idx_t> &list = ivf_.list(cluster);
     const std::size_t n = list.size();
@@ -356,8 +358,19 @@ IvfPqIndex::scanList(cluster_t cluster, const FloatMatrix &lut, float base,
                     for (std::size_t j = 1; j < count; ++j)
                         best = std::max(best, qs[b + j]);
                 }
-                const float bound =
+                float bound =
                     offset + scale * static_cast<float>(best);
+                if (tighten > 0.0f) {
+                    // Degraded serving: pretend the block's bound is
+                    // worse by a margin proportional to the heap
+                    // threshold, discarding near-threshold blocks a
+                    // full-quality scan would rescore. tighten == 0
+                    // keeps the exact rule (bitwise parity).
+                    const float margin =
+                        tighten * std::fabs(top.worstAccepted());
+                    bound = lower_better ? bound + margin
+                                         : bound - margin;
+                }
                 // Skip only when strictly worse: a tied bound must
                 // still reach TopK::push, whose id tie-break keeps
                 // results independent of block scan order.
@@ -415,7 +428,10 @@ IvfPqIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
 
         {
             StageScope t(ctx, Stage::kFilter);
-            ctx.probes = probe(q, nprobs_, ctx.visited);
+            // Degraded batches shrink the probe budget at the source;
+            // scale 1.0 probes exactly nprobs_ clusters.
+            ctx.probes =
+                probe(q, ctx.scaledNprobes(nprobs_), ctx.visited);
             if (cache != nullptr) {
                 orderProbesResidentFirst(ctx.probes, *cache, scan);
             } else {
@@ -441,7 +457,17 @@ IvfPqIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
         }
 
         TopK top(std::min(chunk.k, num_points_), metric_);
-        for (const auto &op : scan.order) {
+        const float tighten = static_cast<float>(ctx.scan_tighten);
+        const std::size_t n_order = scan.order.size();
+        for (std::size_t p = 0; p < n_order; ++p) {
+            // Cooperative deadline between probe lists: a cut-off
+            // query keeps the valid top-k of the lists it finished
+            // (the first list always runs) and is flagged degraded.
+            if (p > 0 && ctx.pastDeadline()) {
+                ctx.markDegraded(qi);
+                break;
+            }
+            const auto &op = scan.order[p];
             float base = 0.0f;
             {
                 StageScope t(ctx, Stage::kLut);
@@ -449,7 +475,7 @@ IvfPqIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
             }
             StageScope t(ctx, Stage::kScan);
             scanList(op.cluster, ctx.lut, base, scan, top,
-                     op.entry.get(), cache);
+                     op.entry.get(), cache, tighten);
         }
         (*chunk.results)[static_cast<std::size_t>(qi)] = top.take();
     }

@@ -177,11 +177,15 @@ class IvfPqIndex : public AnnIndex {
      * @p pinned substitutes the list's cached heap copy for the
      * mapped planes (bitwise-identical bytes); @p cache, when set,
      * receives an offer of the payload after a cold interleaved scan.
+     * @p tighten > 0 widens the fast-scan block skip margin by that
+     * fraction of the heap threshold (degraded serving); 0 keeps the
+     * exact skip rule.
      */
     void scanList(cluster_t cluster, const FloatMatrix &lut, float base,
                   ScanScratch &scratch, TopK &top,
                   const CachedList *pinned = nullptr,
-                  HotListCache *cache = nullptr) const;
+                  HotListCache *cache = nullptr,
+                  float tighten = 0.0f) const;
 
     Metric metric_ = Metric::kL2;
     idx_t num_points_ = 0;

@@ -1,0 +1,237 @@
+#include "common/fault_injection.h"
+
+#if defined(JUNO_FAULT_INJECTION)
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace juno {
+namespace fault {
+
+namespace {
+
+/** splitmix64 finalizer: the per-evaluation decision hash. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+struct Site {
+    bool armed = false;
+    double probability = 0.0;
+    std::uint64_t seed = 0;
+    double delay_ms = -1.0; ///< < 0: error mode
+    std::uint64_t evaluations = 0;
+    std::uint64_t delays = 0;
+    std::uint64_t errors = 0;
+};
+
+struct Registry {
+    std::mutex mutex;
+    std::unordered_map<std::string, Site> sites;
+    bool env_loaded = false;
+};
+
+Registry &
+registry()
+{
+    // Leaked on purpose (same rationale as MetricsRegistry::global):
+    // injection sites may evaluate during static teardown.
+    static Registry *instance = new Registry();
+    return *instance;
+}
+
+/**
+ * Parses one `site:prob:seed[:delay_ms]` spec into @p sites. Malformed
+ * specs abort via fatal(): a chaos run silently missing its faults
+ * would report a vacuous pass.
+ */
+void
+parseSpec(const std::string &spec,
+          std::unordered_map<std::string, Site> &sites)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t colon = spec.find(':', start);
+        fields.push_back(spec.substr(start, colon - start));
+        if (colon == std::string::npos)
+            break;
+        start = colon + 1;
+    }
+    JUNO_REQUIRE(fields.size() == 3 || fields.size() == 4,
+                 "JUNO_FAULT spec '"
+                     << spec
+                     << "' is not site:prob:seed[:delay_ms]");
+    Site site;
+    site.armed = true;
+    try {
+        site.probability = std::stod(fields[1]);
+        site.seed = std::stoull(fields[2]);
+        if (fields.size() == 4)
+            site.delay_ms = std::stod(fields[3]);
+    } catch (const std::exception &) {
+        fatal("JUNO_FAULT spec '" + spec + "' has non-numeric fields");
+    }
+    JUNO_REQUIRE(site.probability >= 0.0 && site.probability <= 1.0,
+                 "JUNO_FAULT probability must be in [0, 1], got "
+                     << site.probability);
+    JUNO_REQUIRE(fields.size() == 3 || site.delay_ms >= 0.0,
+                 "JUNO_FAULT delay_ms must be >= 0");
+    sites[fields[0]] = site;
+}
+
+void
+loadEnvLocked(Registry &reg)
+{
+    if (reg.env_loaded)
+        return;
+    reg.env_loaded = true;
+    const char *env = std::getenv("JUNO_FAULT");
+    if (env == nullptr || env[0] == '\0')
+        return;
+    const std::string all(env);
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t comma = all.find(',', start);
+        const std::string spec = all.substr(start, comma - start);
+        if (!spec.empty())
+            parseSpec(spec, reg.sites);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+}
+
+enum class Outcome { kMiss, kDelay, kError };
+
+/** One evaluation: counters bump, the deterministic draw decides. */
+Outcome
+evaluate(const char *name, double &delay_ms)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    loadEnvLocked(reg);
+    const auto it = reg.sites.find(name);
+    if (it == reg.sites.end() || !it->second.armed)
+        return Outcome::kMiss;
+    Site &site = it->second;
+    const std::uint64_t n = site.evaluations++;
+    // Top 53 bits -> uniform double in [0, 1): the draw for this
+    // evaluation is a pure function of (seed, n).
+    const double draw =
+        static_cast<double>(mix64(site.seed ^ (n * 0x2545f4914f6cdd1dULL)) >>
+                            11) *
+        0x1.0p-53;
+    if (draw >= site.probability)
+        return Outcome::kMiss;
+    if (site.delay_ms >= 0.0) {
+        ++site.delays;
+        delay_ms = site.delay_ms;
+        return Outcome::kDelay;
+    }
+    ++site.errors;
+    return Outcome::kError;
+}
+
+} // namespace
+
+void
+inject(const char *site)
+{
+    double delay_ms = 0.0;
+    switch (evaluate(site, delay_ms)) {
+    case Outcome::kMiss:
+        return;
+    case Outcome::kDelay:
+        // Sleep outside the registry lock (evaluate released it).
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay_ms));
+        return;
+    case Outcome::kError:
+        throw FaultInjectedError(site);
+    }
+}
+
+bool
+fired(const char *site)
+{
+    double delay_ms = 0.0;
+    switch (evaluate(site, delay_ms)) {
+    case Outcome::kMiss:
+        return false;
+    case Outcome::kDelay:
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay_ms));
+        return false;
+    case Outcome::kError:
+        return true;
+    }
+    return false; // unreachable
+}
+
+void
+arm(const char *site, double probability, std::uint64_t seed,
+    double delay_ms)
+{
+    JUNO_REQUIRE(probability >= 0.0 && probability <= 1.0,
+                 "fault probability must be in [0, 1]");
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    loadEnvLocked(reg); // settle env state so arm() wins deterministically
+    Site s;
+    s.armed = true;
+    s.probability = probability;
+    s.seed = seed;
+    s.delay_ms = delay_ms;
+    reg.sites[site] = s;
+}
+
+void
+disarm(const char *site)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    loadEnvLocked(reg);
+    reg.sites.erase(site);
+}
+
+void
+resetAll()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.sites.clear();
+    reg.env_loaded = false;
+}
+
+SiteStats
+stats(const char *site)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    const auto it = reg.sites.find(site);
+    SiteStats out;
+    if (it != reg.sites.end()) {
+        out.evaluations = it->second.evaluations;
+        out.delays = it->second.delays;
+        out.errors = it->second.errors;
+    }
+    return out;
+}
+
+} // namespace fault
+} // namespace juno
+
+#endif // JUNO_FAULT_INJECTION

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Deterministic fault-injection harness for chaos testing the serving
+ * stack: seeded, site-named injection points wired into the paths an
+ * overloaded or degraded machine actually breaks first (snapshot IO
+ * reads, cache admission, queue notify, batch dispatch).
+ *
+ * A site is a string literal at the call site — `fault::inject(
+ * "snapshot.read")` — and fires only when armed, either through the
+ * environment (`JUNO_FAULT=site:prob:seed[:delay_ms]`, comma-separated
+ * specs) or programmatically via arm() in tests. An armed site draws a
+ * deterministic pseudo-random decision per evaluation: the n-th
+ * evaluation hashes (seed, n) through a splitmix64 finalizer, so a
+ * given (prob, seed) pair fires on exactly the same evaluations every
+ * run — chaos failures reproduce from their spec string alone.
+ *
+ * Two firing modes per spec:
+ *  - delay (spec carries :delay_ms): inject() sleeps that long — an IO
+ *    stall / scheduler hiccup double;
+ *  - error (no delay field): inject() throws FaultInjectedError, and
+ *    fired() returns true without throwing (for sites whose failure is
+ *    a lost side effect rather than an exception, e.g. a swallowed
+ *    condition-variable notify).
+ *
+ * The whole harness compiles to constant-false no-ops unless the build
+ * sets -DJUNO_FAULT_INJECTION=1 (CMake option JUNO_FAULT_INJECTION=ON),
+ * so production binaries carry zero cost and zero new failure modes.
+ */
+#ifndef JUNO_COMMON_FAULT_INJECTION_H
+#define JUNO_COMMON_FAULT_INJECTION_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace juno {
+
+/** Thrown by an armed error-mode injection site. */
+class FaultInjectedError : public std::runtime_error {
+  public:
+    explicit FaultInjectedError(const std::string &site)
+        : std::runtime_error("injected fault at site '" + site + "'"),
+          site_(site)
+    {
+    }
+
+    const std::string &site() const { return site_; }
+
+  private:
+    std::string site_;
+};
+
+namespace fault {
+
+/** Per-site evaluation counters (what a chaos run reports). */
+struct SiteStats {
+    std::uint64_t evaluations = 0; ///< times the point was reached
+    std::uint64_t delays = 0;      ///< firings that slept
+    std::uint64_t errors = 0;      ///< firings that threw / returned true
+};
+
+#if defined(JUNO_FAULT_INJECTION)
+
+/** True in builds with the harness compiled in. */
+constexpr bool kEnabled = true;
+
+/**
+ * Evaluates @p site: no-op when unarmed or the deterministic draw
+ * misses; sleeps in delay mode; throws FaultInjectedError in error
+ * mode.
+ */
+void inject(const char *site);
+
+/**
+ * Error-mode evaluation without throwing: true when the site fired.
+ * For failures that are lost side effects (a dropped notify) rather
+ * than exceptions. Delay-mode specs still sleep here and return false.
+ */
+bool fired(const char *site);
+
+/** Arms @p site programmatically (tests). @p probability in [0, 1];
+ * @p delay_ms < 0 selects error mode, >= 0 delay mode. */
+void arm(const char *site, double probability, std::uint64_t seed,
+         double delay_ms = -1.0);
+
+/** Disarms one site (its counters reset too). */
+void disarm(const char *site);
+
+/** Disarms every site and re-reads JUNO_FAULT on next evaluation. */
+void resetAll();
+
+/** Counters of @p site (zeroes when never armed). */
+SiteStats stats(const char *site);
+
+#else // !JUNO_FAULT_INJECTION
+
+constexpr bool kEnabled = false;
+
+inline void
+inject(const char *)
+{
+}
+
+inline bool
+fired(const char *)
+{
+    return false;
+}
+
+inline void
+arm(const char *, double, std::uint64_t, double = -1.0)
+{
+}
+
+inline void
+disarm(const char *)
+{
+}
+
+inline void
+resetAll()
+{
+}
+
+inline SiteStats
+stats(const char *)
+{
+    return {};
+}
+
+#endif // JUNO_FAULT_INJECTION
+
+} // namespace fault
+} // namespace juno
+
+#endif // JUNO_COMMON_FAULT_INJECTION_H

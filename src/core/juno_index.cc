@@ -457,6 +457,12 @@ JunoIndex::probe(const float *query) const
     return ivf_.probe(metric_, query, params_.nprobs);
 }
 
+std::vector<Neighbor>
+JunoIndex::probe(const float *query, idx_t nprobs) const
+{
+    return ivf_.probe(metric_, query, nprobs);
+}
+
 void
 JunoIndex::prefetchProbedLists(const std::vector<Neighbor> &probes) const
 {
@@ -536,7 +542,15 @@ JunoIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
             const float *q = chunk.queries.row(qi);
             {
                 StageScope t(ctx, Stage::kFilter);
-                ctx.probes = probe(q);
+                ctx.probes = probe(q, ctx.scaledNprobes(params_.nprobs));
+                // JUNO scores all probed lists in one calculator run,
+                // so the cooperative deadline cuts in before the run:
+                // a query starting past its deadline keeps only the
+                // best cluster — still valid neighbours, just partial.
+                if (ctx.probes.size() > 1 && ctx.pastDeadline()) {
+                    ctx.probes.resize(1);
+                    ctx.markDegraded(qi);
+                }
                 // Cold lists start paging in while the RT-LUT stage
                 // below runs (out-of-core overlap).
                 prefetchProbedLists(ctx.probes);
@@ -562,7 +576,13 @@ JunoIndex::searchChunk(const SearchChunk &chunk, SearchContext &ctx)
         auto stage1 = [&](idx_t i) {
             const float *q = chunk.queries.row(chunk.begin + i);
             auto &probes = w.probes_buf[static_cast<std::size_t>(i)];
-            probes = probe(q);
+            probes = probe(q, ctx.scaledNprobes(params_.nprobs));
+            // Same deadline cut as the unpipelined path; each degraded
+            // slot has this stage as its only writer.
+            if (probes.size() > 1 && ctx.pastDeadline()) {
+                probes.resize(1);
+                ctx.markDegraded(chunk.begin + i);
+            }
             prefetchProbedLists(probes); // page-ins overlap stage 2
             w.builder.buildInto(q, probes, lutParams(),
                                 w.lut_buf[static_cast<std::size_t>(i)]);

@@ -129,6 +129,10 @@ class JunoIndex : public AnnIndex {
     /** Filtering stage (stage A) for one query. */
     std::vector<Neighbor> probe(const float *query) const;
 
+    /** Same with an explicit probe budget (degraded serving scales
+     * the configured nprobs down per batch). */
+    std::vector<Neighbor> probe(const float *query, idx_t nprobs) const;
+
     /** RT pass (stage B) for one query against given probes. */
     SparseLut buildLut(const float *query,
                        const std::vector<Neighbor> &probes) const;

@@ -86,8 +86,18 @@ QueryEngine::run(FloatMatrixView queries, const SearchOptions &options,
                  SearchResults &results)
 {
     JUNO_REQUIRE(options.k > 0, "k must be positive");
+    JUNO_REQUIRE(options.nprobe_scale > 0.0 &&
+                     options.nprobe_scale <= 1.0,
+                 "nprobe_scale must be in (0, 1]");
+    JUNO_REQUIRE(options.scan_tighten >= 0.0 &&
+                     options.scan_tighten < 1.0,
+                 "scan_tighten must be in [0, 1)");
     const idx_t rows = queries.rows();
     results.resize(static_cast<std::size_t>(rows));
+    // Degradation flags start clean for the whole batch; scan loops
+    // only ever set slots, so an untouched batch reads all-zero.
+    if (options.degraded != nullptr)
+        options.degraded->assign(static_cast<std::size_t>(rows), 0);
     if (rows == 0)
         return;
 
@@ -110,10 +120,15 @@ QueryEngine::run(FloatMatrixView queries, const SearchOptions &options,
         sc.end = std::min(rows, sc.begin + chunk);
         sc.k = options.k;
         sc.results = &results;
-        // Contexts are pooled across batches, so the trace is stamped
-        // per chunk and cleared after — a later untraced batch must
-        // not inherit it.
+        // Contexts are pooled across batches, so the trace — and the
+        // overload-resilience state riding with it — is stamped per
+        // chunk and cleared after: a later batch must inherit neither
+        // a stale trace nor a stale deadline/degraded budget.
         ctx.trace = options.trace;
+        ctx.deadline = options.deadline;
+        ctx.nprobe_scale = options.nprobe_scale;
+        ctx.scan_tighten = options.scan_tighten;
+        ctx.degraded = options.degraded;
         {
             TraceSpan span(ctx.trace, "chunk");
             span.arg("begin", static_cast<double>(sc.begin));
@@ -121,6 +136,10 @@ QueryEngine::run(FloatMatrixView queries, const SearchOptions &options,
             fn(sc, ctx);
         }
         ctx.trace = nullptr;
+        ctx.deadline = std::chrono::steady_clock::time_point::max();
+        ctx.nprobe_scale = 1.0;
+        ctx.scan_tighten = 0.0;
+        ctx.degraded = nullptr;
     };
 
     // Checked-out contexts, returned (and their timers folded into the

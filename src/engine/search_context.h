@@ -13,6 +13,8 @@
 #define JUNO_ENGINE_SEARCH_CONTEXT_H
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <typeindex>
@@ -92,6 +94,57 @@ class SearchContext {
      * sampled). Stage instrumentation reads it through StageScope.
      */
     Trace *trace = nullptr;
+
+    // -- Overload-resilience state, stamped by the engine around each
+    // chunk exactly like `trace` (see SearchOptions for semantics) --
+
+    /** Cooperative deadline; time_point::max() = none. */
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+    /** Probe-budget scale in (0, 1]; 1.0 = full budget. */
+    double nprobe_scale = 1.0;
+    /** Fast-scan prefilter tightening in [0, 1); 0 = exact rule. */
+    double scan_tighten = 0.0;
+    /** Per-query degraded flags of the whole batch (null = untracked).
+     * Each slot has one writer (chunks never overlap), so marking
+     * needs no synchronisation. */
+    std::vector<std::uint8_t> *degraded = nullptr;
+
+    bool
+    hasDeadline() const
+    {
+        return deadline !=
+               std::chrono::steady_clock::time_point::max();
+    }
+
+    /** One clock read — callers short-circuit via hasDeadline() so an
+     * undeadlined scan never pays it. */
+    bool
+    pastDeadline() const
+    {
+        return hasDeadline() &&
+               std::chrono::steady_clock::now() >= deadline;
+    }
+
+    /** Effective probe budget under the current scale; scale == 1.0
+     * returns @p nprobs unchanged (the bitwise-parity branch). */
+    idx_t
+    scaledNprobes(idx_t nprobs) const
+    {
+        if (nprobe_scale == 1.0)
+            return nprobs;
+        const auto scaled = static_cast<idx_t>(
+            std::lround(static_cast<double>(nprobs) * nprobe_scale));
+        return std::max<idx_t>(1, scaled);
+    }
+
+    /** Flags query @p qi as degraded (no-op when untracked). */
+    void
+    markDegraded(idx_t qi) const
+    {
+        if (degraded != nullptr)
+            (*degraded)[static_cast<std::size_t>(qi)] = 1;
+    }
 
     // -- Common scratch buffers shared by several index types --
 

@@ -12,6 +12,7 @@
 #ifndef JUNO_ENGINE_SEARCH_REQUEST_H
 #define JUNO_ENGINE_SEARCH_REQUEST_H
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -67,6 +68,43 @@ struct SearchOptions {
      * (the default) costs one pointer test per stage.
      */
     Trace *trace = nullptr;
+
+    // ---- Overload resilience (DESIGN.md "Overload resilience") ----
+
+    /**
+     * Cooperative deadline: IVF-family scan loops check it between
+     * probe-list iterations and cut the remaining probes off once it
+     * passes, returning the partial-but-valid top-k accumulated so far
+     * (every returned neighbour was exactly scored; the list is just
+     * drawn from fewer lists) and flagging the query in @ref degraded.
+     * At least the first probe list is always scanned, so results stay
+     * non-empty. time_point::max() (the default) means no deadline and
+     * costs zero clock reads on the scan path.
+     */
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+    /**
+     * Probe-budget scale in (0, 1]: the effective nprobe becomes
+     * max(1, lround(nprobe * scale)). Exactly 1.0 (the default) leaves
+     * the configured nprobe untouched — bitwise-identical results —
+     * which is what lets a DegradationPolicy step budgets per batch
+     * without a parallel code path.
+     */
+    double nprobe_scale = 1.0;
+    /**
+     * Fast-scan prefilter tightening in [0, 1): widens the 4-bit block
+     * skip margin by this fraction of the current heap threshold, so a
+     * degraded scan discards near-threshold blocks it would otherwise
+     * rescore. 0 (the default) keeps the exact skip rule.
+     */
+    double scan_tighten = 0.0;
+    /**
+     * Per-query degradation flags, sized/zeroed by the engine to the
+     * batch's row count when non-null: scan loops set slot qi when
+     * query qi's scan was cut short by @ref deadline. Not owned; must
+     * outlive the search call.
+     */
+    std::vector<std::uint8_t> *degraded = nullptr;
 };
 
 /** A query batch plus its options; the unit the engine executes. */

@@ -260,7 +260,12 @@ MetricsRegistry::histogram(const std::string &name, const std::string &help)
 MetricsRegistry::Registration
 MetricsRegistry::registerCallback(const std::string &name, Entry entry)
 {
-    JUNO_REQUIRE(validMetricName(name),
+    // Labeled entries are keyed by their full sample string
+    // `base{k="v"}`; only the base must be a valid metric name.
+    const auto brace = name.find('{');
+    const std::string base =
+        brace == std::string::npos ? name : name.substr(0, brace);
+    JUNO_REQUIRE(validMetricName(base),
                  "invalid metric name '" << name << "'");
     MutexLock lock(mutex_);
     entry.id = next_id_++;
@@ -279,6 +284,29 @@ MetricsRegistry::counterCallback(const std::string &name,
     entry.help = help;
     entry.counter_fn = std::move(fn);
     return registerCallback(name, std::move(entry));
+}
+
+MetricsRegistry::Registration
+MetricsRegistry::counterCallback(
+    const std::string &name,
+    std::vector<std::pair<std::string, std::string>> labels,
+    const std::string &help, std::function<std::uint64_t()> fn)
+{
+    std::string key = name + "{";
+    bool first = true;
+    for (const auto &[k, v] : labels) {
+        if (!first)
+            key += ",";
+        first = false;
+        key += k + "=\"" + promEscape(v, true) + "\"";
+    }
+    key += "}";
+    Entry entry;
+    entry.kind = Kind::kCounterFn;
+    entry.help = help;
+    entry.counter_fn = std::move(fn);
+    entry.labels = std::move(labels);
+    return registerCallback(key, std::move(entry));
 }
 
 MetricsRegistry::Registration
@@ -355,26 +383,50 @@ MetricsRegistry::renderPrometheus() const
     // Callbacks run on the copied entries, outside the registry lock.
     const auto entries = snapshotEntries();
     std::string out;
+    // Labeled samples of one family (`base{...}` keys) sort adjacently
+    // in the name-ordered snapshot ('{' follows every identifier
+    // character), so one HELP/TYPE block per base suffices — emitting
+    // it per sample would be an invalid exposition.
+    std::string last_base;
     for (const auto &[name, entry] : entries) {
-        if (!entry.help.empty())
-            out += "# HELP " + name + " " + promEscape(entry.help, false) +
-                   "\n";
+        const auto brace = name.find('{');
+        const std::string base =
+            brace == std::string::npos ? name : name.substr(0, brace);
+        if (base != last_base) {
+            last_base = base;
+            if (!entry.help.empty())
+                out += "# HELP " + base + " " +
+                       promEscape(entry.help, false) + "\n";
+            const char *type = "gauge";
+            switch (entry.kind) {
+            case Kind::kCounter:
+            case Kind::kCounterFn:
+                type = "counter";
+                break;
+            case Kind::kGauge:
+            case Kind::kGaugeFn:
+            case Kind::kInfo:
+                type = "gauge";
+                break;
+            case Kind::kHistogram:
+            case Kind::kSummaryFn:
+                type = "summary";
+                break;
+            }
+            out += "# TYPE " + base + " " + type + "\n";
+        }
         switch (entry.kind) {
         case Kind::kCounter:
-            out += "# TYPE " + name + " counter\n";
             out += name + " " + std::to_string(entry.counter->value()) +
                    "\n";
             break;
         case Kind::kCounterFn:
-            out += "# TYPE " + name + " counter\n";
             out += name + " " + std::to_string(entry.counter_fn()) + "\n";
             break;
         case Kind::kGauge:
-            out += "# TYPE " + name + " gauge\n";
             out += name + " " + promNumber(entry.gauge->value()) + "\n";
             break;
         case Kind::kGaugeFn:
-            out += "# TYPE " + name + " gauge\n";
             out += name + " " + promNumber(entry.gauge_fn()) + "\n";
             break;
         case Kind::kHistogram:
@@ -382,7 +434,6 @@ MetricsRegistry::renderPrometheus() const
             const HistogramSummary s = entry.kind == Kind::kHistogram
                                            ? entry.histogram->summary()
                                            : entry.summary_fn();
-            out += "# TYPE " + name + " summary\n";
             out += name + "{quantile=\"0.5\"} " + promNumber(s.p50) + "\n";
             out += name + "{quantile=\"0.95\"} " + promNumber(s.p95) + "\n";
             out += name + "{quantile=\"0.99\"} " + promNumber(s.p99) + "\n";
@@ -392,7 +443,6 @@ MetricsRegistry::renderPrometheus() const
             break;
         }
         case Kind::kInfo: {
-            out += "# TYPE " + name + " gauge\n";
             out += name + "{";
             bool first = true;
             for (const auto &[k, v] : entry.labels) {

@@ -175,6 +175,20 @@ class MetricsRegistry {
     Registration counterCallback(const std::string &name,
                                  const std::string &help,
                                  std::function<std::uint64_t()> fn);
+
+    /**
+     * Labeled counter callback: registered under the full sample key
+     * `name{k="v",...}`, so one metric family can carry several label
+     * sets (e.g. juno_serve_shed_total{reason="queue_full"}). Entries
+     * of the same family sort adjacently and share one HELP/TYPE block
+     * in the Prometheus exposition.
+     */
+    Registration
+    counterCallback(const std::string &name,
+                    std::vector<std::pair<std::string, std::string>> labels,
+                    const std::string &help,
+                    std::function<std::uint64_t()> fn);
+
     Registration gaugeCallback(const std::string &name,
                                const std::string &help,
                                std::function<double()> fn);

@@ -3,6 +3,8 @@
 #include <array>
 #include <cstring>
 
+#include "common/fault_injection.h"
+
 namespace juno {
 namespace {
 
@@ -305,6 +307,10 @@ SnapshotReader::find(const std::string &name) const
 std::shared_ptr<std::vector<std::uint8_t>>
 SnapshotReader::readCopy(const Entry &e)
 {
+    // Chaos hook: injected delays model slow/contended snapshot IO;
+    // injected errors surface as the same exception path a real read
+    // failure would take.
+    fault::inject("snapshot.read");
     auto buf = std::make_shared<std::vector<std::uint8_t>>(
         static_cast<std::size_t>(e.bytes));
     if (e.bytes != 0) {

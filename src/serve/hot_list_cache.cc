@@ -5,6 +5,7 @@
 #include <cstring>
 #include <limits>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/parse.h"
 
@@ -68,6 +69,14 @@ HotListCache::offer(cluster_t list, const void *primary,
 {
     if (!enabled())
         return;
+    // Chaos hook: an injected admission failure degrades to "don't
+    // cache this list" — the scan that made the offer already has the
+    // data, so a flaky cache must never fail a query.
+    try {
+        fault::inject("cache.admit");
+    } catch (const FaultInjectedError &) {
+        return;
+    }
     const std::size_t bytes = primary_bytes + secondary_bytes;
     if (bytes == 0)
         return;

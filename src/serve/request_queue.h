@@ -12,6 +12,19 @@
  * max_items OR when the linger window expires, whichever comes first,
  * trading a bounded latency add for the amortisation that large
  * dispatched batches buy (JUNO Sec. 5.3).
+ *
+ * Notify-protocol invariant: a producer must call cv_.notify_all()
+ * after (and only after) releasing the mutex whenever its push made
+ * either wake condition true — (a) at least one consumer is parked on
+ * an empty queue (waiting_empty_ > 0), or (b) the backlog reached the
+ * smallest armed linger target (items_.size() >= armed_batch_). Both
+ * flags are read under the same lock that published the push, so a
+ * consumer can never park *after* missing the push that should have
+ * woken it. Every consumer wait is nevertheless time-bounded (the
+ * linger wait by its deadline, the empty wait by kEmptyWaitPoll): a
+ * notify lost to a crash-injected producer — the `queue.notify` fault
+ * site below — or a future protocol bug costs one bounded poll
+ * interval, never a livelock. close() wakes everyone unconditionally.
  */
 #ifndef JUNO_SERVE_REQUEST_QUEUE_H
 #define JUNO_SERVE_REQUEST_QUEUE_H
@@ -21,6 +34,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/thread_annotations.h"
 
@@ -68,6 +82,10 @@ template <typename T> class BoundedMpmcQueue {
             // (its timeout covers every case in between).
             wake = waiting_empty_ > 0 || items_.size() >= armed_batch_;
         }
+        // Chaos hook: models a producer dying between publishing its
+        // item and notifying. The bounded waits below absorb it.
+        if (wake && fault::fired("queue.notify"))
+            wake = false;
         if (wake)
             cv_.notify_all();
         return PushResult::kOk;
@@ -90,8 +108,11 @@ template <typename T> class BoundedMpmcQueue {
         CvLock lock(mutex_);
         for (;;) {
             ++waiting_empty_;
+            // wait_for, not wait: the poll bound turns a lost wake
+            // (see the notify-protocol invariant above) into a short
+            // stall instead of a livelock.
             while (items_.empty() && !closed_)
-                cv_.wait(lock.native());
+                cv_.wait_for(lock.native(), kEmptyWaitPoll);
             --waiting_empty_;
             if (items_.empty())
                 return false; // closed and fully drained
@@ -163,6 +184,8 @@ template <typename T> class BoundedMpmcQueue {
 
   private:
     static constexpr std::size_t kUnarmed = static_cast<std::size_t>(-1);
+    /** Upper bound on an empty-queue park after a lost wake. */
+    static constexpr std::chrono::milliseconds kEmptyWaitPoll{10};
 
     const std::size_t capacity_;
     mutable Mutex mutex_;

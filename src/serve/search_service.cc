@@ -6,12 +6,49 @@
 #include <exception>
 
 #include "common/build_info.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "registry/index_factory.h"
 
 namespace juno {
 
+const char *
+rejectReasonName(RejectReason reason)
+{
+    switch (reason) {
+    case RejectReason::kNone:
+        return "none";
+    case RejectReason::kQueueFull:
+        return "queue_full";
+    case RejectReason::kStopped:
+        return "stopped";
+    case RejectReason::kExpired:
+        return "expired";
+    }
+    return "unknown";
+}
+
+RejectedError::RejectedError(RejectReason reason)
+    : std::runtime_error(std::string("request rejected: ") +
+                         rejectReasonName(reason)),
+      reason_(reason)
+{
+}
+
 namespace {
+
+/** A valid future already holding the typed rejection. */
+std::future<ResultList>
+rejectedFuture(RejectReason reason, RejectReason *out)
+{
+    if (out != nullptr)
+        *out = reason;
+    std::promise<ResultList> promise;
+    std::future<ResultList> future = promise.get_future();
+    promise.set_exception(
+        std::make_exception_ptr(RejectedError(reason)));
+    return future;
+}
 
 double
 micros(std::chrono::steady_clock::duration d)
@@ -48,6 +85,8 @@ validateConfig(const ServiceConfig &config)
                  "slow_trace_us must be >= 0");
     JUNO_REQUIRE(config.stats_every_s >= 0.0,
                  "stats_every_s must be >= 0");
+    JUNO_REQUIRE(config.default_deadline_ms >= 0.0,
+                 "default_deadline_ms must be >= 0 (0 = no deadline)");
 }
 
 HistogramSummary
@@ -70,6 +109,9 @@ SearchService::SearchService(AnnIndex &index, ServiceConfig config)
       tracer_(tracerConfig(config))
 {
     validateConfig(config_);
+    if (config_.degradation.enabled)
+        policy_ =
+            std::make_unique<DegradationPolicy>(config_.degradation);
 }
 
 SearchService::SearchService(std::unique_ptr<AnnIndex> index,
@@ -79,6 +121,9 @@ SearchService::SearchService(std::unique_ptr<AnnIndex> index,
       queue_(config.queue_capacity), tracer_(tracerConfig(config))
 {
     validateConfig(config_);
+    if (config_.degradation.enabled)
+        policy_ =
+            std::make_unique<DegradationPolicy>(config_.degradation);
 }
 
 SearchService::SearchService(const std::string &snapshot_path,
@@ -125,10 +170,28 @@ SearchService::start()
     }
 }
 
+int
+SearchService::degradationTier() const
+{
+    return policy_ != nullptr ? policy_->tier() : 0;
+}
+
+SearchService::Clock::time_point
+SearchService::defaultDeadline() const
+{
+    if (config_.default_deadline_ms <= 0.0)
+        return kNoDeadline;
+    return Clock::now() +
+           std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double, std::milli>(
+                   config_.default_deadline_ms));
+}
+
 ServiceStats::Snapshot
 SearchService::snapshot() const
 {
     ServiceStats::Snapshot snap = stats_.snapshot();
+    snap.degradation_tier = degradationTier();
     if (const auto cache = index_.hotListCache())
         snap.cache = cache->counters();
     const ResourceUsage now = readResourceUsage();
@@ -221,13 +284,18 @@ SearchService::recorderTick(bool final_tick)
     std::fprintf(
         stderr,
         "[juno.serve]%s up=%.1fs completed=%llu failed=%llu "
-        "rejected=%llu batches=%llu mean_batch=%.1f p50=%.0fus "
-        "p99=%.0fus rss=%.1fMiB cache_hit=%.1f%%\n",
+        "rejected=%llu shed=%llu degraded=%llu tier=%d batches=%llu "
+        "mean_batch=%.1f p50=%.0fus p99=%.0fus rss=%.1fMiB "
+        "cache_hit=%.1f%%\n",
         final_tick ? " final" : "", uptime,
         static_cast<unsigned long long>(snap.completed),
         static_cast<unsigned long long>(snap.failed),
         static_cast<unsigned long long>(snap.rejected_full +
                                         snap.rejected_stopped),
+        static_cast<unsigned long long>(snap.rejected_expired +
+                                        snap.expired),
+        static_cast<unsigned long long>(snap.degraded),
+        snap.degradation_tier,
         static_cast<unsigned long long>(snap.batches), snap.mean_batch,
         snap.total_us.p50, snap.total_us.p99,
         static_cast<double>(snap.usage.rss_bytes) / (1024.0 * 1024.0),
@@ -280,6 +348,37 @@ SearchService::registerMetrics()
     regs.push_back(reg.counterCallback(
         "juno_serve_rejected_stopped_total", "Rejected: not running",
         [this] { return stats_.rejectedStopped(); }));
+    // Shed work, one family labeled by reason: the three door
+    // rejections plus doomed work shed at dequeue.
+    const char *shed_help = "Requests shed, by reason";
+    regs.push_back(reg.counterCallback(
+        "juno_serve_shed_total", {{"reason", "queue_full"}}, shed_help,
+        [this] { return stats_.rejectedFull(); }));
+    regs.push_back(reg.counterCallback(
+        "juno_serve_shed_total", {{"reason", "stopped"}}, shed_help,
+        [this] { return stats_.rejectedStopped(); }));
+    regs.push_back(reg.counterCallback(
+        "juno_serve_shed_total", {{"reason", "expired_submit"}}, shed_help,
+        [this] { return stats_.rejectedExpired(); }));
+    regs.push_back(reg.counterCallback(
+        "juno_serve_shed_total", {{"reason", "expired_queue"}}, shed_help,
+        [this] { return stats_.expired(); }));
+    regs.push_back(reg.counterCallback(
+        "juno_serve_expired_total",
+        "Accepted requests shed at dequeue past their deadline",
+        [this] { return stats_.expired(); }));
+    regs.push_back(reg.counterCallback(
+        "juno_serve_degraded_total",
+        "Value-completed requests flagged degraded",
+        [this] { return stats_.degraded(); }));
+    regs.push_back(reg.counterCallback(
+        "juno_serve_degraded_batches",
+        "Batches dispatched under reduced quality",
+        [this] { return stats_.degradedBatches(); }));
+    regs.push_back(reg.gaugeCallback(
+        "juno_serve_degradation_tier",
+        "Current degradation tier (0 = full quality)",
+        [this] { return static_cast<double>(degradationTier()); }));
     regs.push_back(reg.counterCallback(
         "juno_serve_batches_total", "Dispatched engine batches",
         [this] { return stats_.batches(); }));
@@ -356,18 +455,34 @@ SearchService::registerMetrics()
 }
 
 std::future<ResultList>
-SearchService::submit(const float *query, idx_t k)
+SearchService::submit(const float *query, idx_t k,
+                      RejectReason *rejected)
+{
+    return submit(query, k, defaultDeadline(), rejected);
+}
+
+std::future<ResultList>
+SearchService::submit(const float *query, idx_t k,
+                      Clock::time_point deadline, RejectReason *rejected)
 {
     JUNO_REQUIRE(k >= 0, "k must be non-negative");
     if (!running_.load()) {
         stats_.recordRejectedStopped();
-        return {};
+        return rejectedFuture(RejectReason::kStopped, rejected);
     }
     Request request;
+    request.t_submit = Clock::now();
+    // Expired-at-submit: admitting a request that can no longer make
+    // its deadline only manufactures doomed work for the dispatcher to
+    // shed later; reject it at the door instead.
+    if (deadline != kNoDeadline && request.t_submit >= deadline) {
+        stats_.recordRejectedExpired();
+        return rejectedFuture(RejectReason::kExpired, rejected);
+    }
     const auto d = static_cast<std::size_t>(index_.dim());
     request.query.assign(query, query + d);
     request.k = k;
-    request.t_submit = Clock::now();
+    request.deadline = deadline;
     // The sampling decision happens here, once, so the entire traced
     // path downstream keys off one bool. At trace_sample = 0 this is
     // a constant read — the "free when off" guarantee.
@@ -376,26 +491,29 @@ SearchService::submit(const float *query, idx_t k)
     switch (queue_.tryPush(std::move(request))) {
     case PushResult::kOk:
         stats_.recordAccepted();
+        if (rejected != nullptr)
+            *rejected = RejectReason::kNone;
         return future;
     case PushResult::kFull:
         stats_.recordRejectedFull();
-        return {};
+        return rejectedFuture(RejectReason::kQueueFull, rejected);
     case PushResult::kClosed:
         // stop() raced with the running_ check above; the request was
         // never enqueued, so rejecting is loss-free.
         stats_.recordRejectedStopped();
-        return {};
+        return rejectedFuture(RejectReason::kStopped, rejected);
     }
     return {}; // unreachable
 }
 
 std::future<ResultList>
-SearchService::submit(const std::vector<float> &query, idx_t k)
+SearchService::submit(const std::vector<float> &query, idx_t k,
+                      RejectReason *rejected)
 {
     JUNO_REQUIRE(static_cast<idx_t>(query.size()) == index_.dim(),
                  "query has " << query.size() << " dims, index has "
                               << index_.dim());
-    return submit(query.data(), k);
+    return submit(query.data(), k, defaultDeadline(), rejected);
 }
 
 void
@@ -409,6 +527,7 @@ SearchService::dispatchLoop()
     std::vector<Request> batch;
     std::vector<float> queries;
     SearchResults results;
+    std::vector<std::uint8_t> degraded_flags;
     std::vector<double> lat_queue, lat_batch, lat_search, lat_total;
     const idx_t dim = index_.dim();
 
@@ -416,6 +535,39 @@ SearchService::dispatchLoop()
                                       config_.max_batch),
                            config_.linger)) {
         const auto t_drain = Clock::now();
+
+        // Doomed-work elimination: a request that expired while
+        // queued cannot meet its SLO no matter how fast the scan is —
+        // searching it would only push every later request further
+        // past theirs. Its future settles with kExpired here and the
+        // survivors compact to the front.
+        std::size_t live = 0;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            Request &r = batch[i];
+            if (r.deadline != kNoDeadline && t_drain >= r.deadline) {
+                r.promise.set_exception(std::make_exception_ptr(
+                    RejectedError(RejectReason::kExpired)));
+                continue;
+            }
+            if (live != i)
+                batch[live] = std::move(r);
+            ++live;
+        }
+        if (live != batch.size()) {
+            stats_.recordExpired(batch.size() - live);
+            batch.resize(live);
+            if (batch.empty())
+                continue;
+        }
+
+        // Tiered degradation: evaluated once per batch against the
+        // instantaneous backlog; the knobs ride on SearchOptions.
+        DegradationPolicy::Knobs knobs;
+        if (policy_ != nullptr)
+            knobs = policy_->evaluate(queue_.size(), queue_.capacity());
+        const bool tier_degraded =
+            knobs.nprobe_scale != 1.0 || knobs.scan_tighten != 0.0;
+
         const idx_t n = static_cast<idx_t>(batch.size());
         queries.resize(static_cast<std::size_t>(n) *
                        static_cast<std::size_t>(dim));
@@ -424,6 +576,7 @@ SearchService::dispatchLoop()
         // afterwards (top-m is a prefix of top-k for m <= k, results
         // being best-first).
         idx_t k_max = 0;
+        Clock::time_point batch_deadline = kNoDeadline;
         for (idx_t i = 0; i < n; ++i) {
             const auto &r = batch[static_cast<std::size_t>(i)];
             std::memcpy(queries.data() + static_cast<std::size_t>(i) *
@@ -431,6 +584,7 @@ SearchService::dispatchLoop()
                         r.query.data(),
                         static_cast<std::size_t>(dim) * sizeof(float));
             k_max = std::max(k_max, r.k);
+            batch_deadline = std::min(batch_deadline, r.deadline);
         }
 
         SearchRequest request(
@@ -443,6 +597,14 @@ SearchService::dispatchLoop()
         // configured detach (0) stays detached even when the
         // environment sets JUNO_MEM_BUDGET.
         request.options.memory_budget_bytes = config_.memory_budget_bytes;
+        // Overload resilience: the batch cuts off cooperatively at
+        // the earliest member deadline (the scan loops check between
+        // probe lists), and the policy's knobs shrink its probe
+        // budget. The engine zeroes degraded_flags to n slots.
+        request.options.deadline = batch_deadline;
+        request.options.nprobe_scale = knobs.nprobe_scale;
+        request.options.scan_tighten = knobs.scan_tighten;
+        request.options.degraded = &degraded_flags;
 
         // One sampled request makes the whole dispatched batch traced
         // (its engine/stage spans are batch-level anyway); untraced
@@ -463,6 +625,10 @@ SearchService::dispatchLoop()
         bool ok = true;
         std::exception_ptr error;
         try {
+            // Chaos hook: an injected delay here doubles a scheduler
+            // stall ahead of the engine; an injected error exercises
+            // the batch-failure path below end to end.
+            fault::inject("serve.dispatch");
             index_.search(request, results);
         } catch (...) {
             ok = false;
@@ -474,6 +640,7 @@ SearchService::dispatchLoop()
         lat_batch.clear();
         lat_search.clear();
         lat_total.clear();
+        std::size_t n_degraded = 0;
         for (idx_t i = 0; i < n; ++i) {
             auto &r = batch[static_cast<std::size_t>(i)];
             if (!ok) {
@@ -483,9 +650,20 @@ SearchService::dispatchLoop()
                 r.promise.set_exception(error);
                 continue;
             }
-            auto &list = results[static_cast<std::size_t>(i)];
+            ResultList list(
+                std::move(results[static_cast<std::size_t>(i)]));
             if (static_cast<idx_t>(list.size()) > r.k)
                 list.resize(static_cast<std::size_t>(r.k));
+            // A result is degraded when its scan was cut off at the
+            // deadline, when the batch ran above tier 0, or when it
+            // finished after its deadline anyway (late work is never
+            // silently passed off as on-time full quality).
+            list.degraded =
+                degraded_flags[static_cast<std::size_t>(i)] != 0 ||
+                tier_degraded ||
+                (r.deadline != kNoDeadline && t_done > r.deadline);
+            if (list.degraded)
+                ++n_degraded;
             r.promise.set_value(std::move(list));
             lat_queue.push_back(micros(t_drain - r.t_submit));
             lat_batch.push_back(micros(t_ready - t_drain));
@@ -496,10 +674,19 @@ SearchService::dispatchLoop()
             stats_.recordCompletions(lat_queue, lat_batch, lat_search,
                                      lat_total);
             stats_.recordBatch(static_cast<std::size_t>(n));
+            if (n_degraded > 0)
+                stats_.recordDegraded(n_degraded);
+            if (tier_degraded || n_degraded > 0)
+                stats_.recordDegradedBatch();
+            // Measured queue waits feed the policy's p95 window — the
+            // lagging half of its pressure signal.
+            if (policy_ != nullptr)
+                policy_->recordQueueWait(lat_queue);
         } else {
             // Exception-fulfilled futures still settle the accepted
             // requests: without this, submitted == completed + failed
-            // would break forever after one engine failure.
+            // (+ expired) would break forever after one engine
+            // failure.
             stats_.recordFailed(static_cast<std::size_t>(n));
         }
 

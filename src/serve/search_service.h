@@ -19,12 +19,23 @@
  *       -> per-request promise fulfilment + ServiceStats accounting
  *
  * Admission control: the queue is bounded and submit() never blocks —
- * at capacity (or after stop()) it returns an invalid future and
- * bumps a reject counter, so overload sheds at the door instead of
- * stretching everyone's p99. Latency SLO accounting: each request's
- * latency is split into queue / batch-assembly / search components
- * feeding per-thread QuantileSketch shards (p50/p95/p99 via
- * ServiceStats::snapshot()).
+ * at capacity (or after stop(), or with the request already past its
+ * deadline) the returned future carries a RejectedError with a typed
+ * RejectReason and the per-reason ServiceStats counter bumps, so
+ * overload sheds at the door instead of stretching everyone's p99.
+ * Latency SLO accounting: each request's latency is split into queue /
+ * batch-assembly / search components feeding per-thread QuantileSketch
+ * shards (p50/p95/p99 via ServiceStats::snapshot()).
+ *
+ * Overload resilience (DESIGN.md "Overload resilience & fault
+ * injection"): requests carry a deadline stamped at submit(); the
+ * dispatcher sheds already-expired requests at dequeue (doomed work
+ * never reaches the engine) and threads the earliest deadline of each
+ * batch into the scan loops' cooperative cancellation. An optional
+ * DegradationPolicy watches queue depth / queue-wait p95 and steps
+ * probe budgets down per batch under pressure, so sustained overload
+ * costs recall instead of tail latency. Results produced under any of
+ * these mechanisms are flagged ResultList::degraded.
  */
 #ifndef JUNO_SERVE_SEARCH_SERVICE_H
 #define JUNO_SERVE_SEARCH_SERVICE_H
@@ -34,6 +45,7 @@
 #include <condition_variable>
 #include <future>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,13 +56,61 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "registry/snapshot.h"
+#include "serve/degradation_policy.h"
 #include "serve/request_queue.h"
 #include "serve/service_stats.h"
 
 namespace juno {
 
-/** What one request's future delivers: best-first neighbours. */
-using ResultList = std::vector<Neighbor>;
+/**
+ * What one request's future delivers: best-first neighbours, plus the
+ * degradation marker. Derives publicly from the vector so every
+ * existing consumer (range-for, comparisons against plain
+ * vector<Neighbor>, structured truncation) keeps working unchanged.
+ */
+class ResultList : public std::vector<Neighbor> {
+  public:
+    ResultList() = default;
+    ResultList(std::vector<Neighbor> &&v)
+        : std::vector<Neighbor>(std::move(v))
+    {
+    }
+
+    /**
+     * True when this result was produced under reduced quality: the
+     * scan was cut off at the request's deadline (partial-but-valid
+     * top-k), the batch ran at a degradation tier above 0, or the
+     * request completed after its deadline had already passed. False
+     * results are bitwise identical to an unloaded service's.
+     */
+    bool degraded = false;
+};
+
+/** Why submit() refused a request (RejectedError::reason()). */
+enum class RejectReason {
+    kNone,      ///< not rejected (accepted into the queue)
+    kQueueFull, ///< admission control: queue at capacity
+    kStopped,   ///< service not running (before start() / after stop())
+    kExpired,   ///< deadline already passed (at submit or in queue)
+};
+
+/** Human-readable reject reason (metrics labels, logs). */
+const char *rejectReasonName(RejectReason reason);
+
+/**
+ * The exception a rejected (or queue-expired) request's future
+ * carries. Typed so callers can branch on reason() instead of parsing
+ * a message.
+ */
+class RejectedError : public std::runtime_error {
+  public:
+    explicit RejectedError(RejectReason reason);
+
+    RejectReason reason() const { return reason_; }
+
+  private:
+    RejectReason reason_;
+};
 
 /** Tunables of one SearchService. */
 struct ServiceConfig {
@@ -126,6 +186,26 @@ struct ServiceConfig {
      * in the tracer's slow ring, independent of sampling (0 = off).
      */
     double slow_trace_us = 0.0;
+
+    // ---- Overload resilience ----
+    /**
+     * Default per-request deadline in milliseconds, stamped at
+     * submit() (the explicit-deadline overload overrides it). A
+     * request past its deadline is rejected at the door (kExpired),
+     * shed at dequeue before wasting a search, or — once dispatched —
+     * cut off cooperatively in the scan loops with partial-but-valid
+     * results flagged degraded. 0 (the default) means no deadline:
+     * behaviour and results are bitwise identical to a service
+     * without deadline support.
+     */
+    double default_deadline_ms = 0.0;
+    /**
+     * Tiered graceful degradation (serve/degradation_policy.h):
+     * enabled steps probe budgets down per batch under queue
+     * pressure. Disabled (the default) keeps every batch at full
+     * quality — bitwise-identical results.
+     */
+    DegradationConfig degradation;
 };
 
 /**
@@ -174,21 +254,48 @@ class SearchService {
 
     bool running() const { return running_.load(); }
 
+    /** The deadline clock (steady: never jumps with wall time). */
+    using Clock = std::chrono::steady_clock;
+    /** Sentinel for "no deadline". */
+    static constexpr Clock::time_point kNoDeadline =
+        Clock::time_point::max();
+
     /**
      * Submits one query (dim() floats, copied) for its top-@p k
      * neighbours; k clamps to the index size, k == 0 yields an empty
      * list. Returns the future delivering the ResultList — identical
      * to what a direct search(SearchRequest) over the same query
-     * returns. When the service rejects (queue full, or not running)
-     * the returned future is invalid (!future.valid()) and the
-     * matching ServiceStats reject counter is bumped; no future
-     * obligation exists, nothing blocks.
+     * returns (and ResultList::degraded false) unless overload
+     * mechanisms engaged. The request's deadline comes from
+     * config.default_deadline_ms (0 = none).
+     *
+     * Rejection (queue full, not running, or deadline already passed)
+     * never blocks: the returned future is valid but carries a
+     * RejectedError whose reason() is also stored into @p rejected
+     * when non-null — the cheap way for a closed-loop client to
+     * detect shedding without catching. Accepted submits store
+     * RejectReason::kNone. The per-reason ServiceStats counter bumps
+     * either way.
      */
-    std::future<ResultList> submit(const float *query, idx_t k);
+    std::future<ResultList> submit(const float *query, idx_t k,
+                                   RejectReason *rejected = nullptr);
+
+    /**
+     * Same with an explicit per-request deadline (overrides the
+     * configured default; kNoDeadline = none). A deadline in the past
+     * rejects immediately with kExpired.
+     */
+    std::future<ResultList> submit(const float *query, idx_t k,
+                                   Clock::time_point deadline,
+                                   RejectReason *rejected = nullptr);
 
     /** Same, with a size-checked vector. */
     std::future<ResultList> submit(const std::vector<float> &query,
-                                   idx_t k);
+                                   idx_t k,
+                                   RejectReason *rejected = nullptr);
+
+    /** Current degradation tier (0 when the policy is off). */
+    int degradationTier() const;
 
     const ServiceStats &stats() const { return stats_; }
 
@@ -207,19 +314,23 @@ class SearchService {
     const Tracer &tracer() const { return tracer_; }
 
   private:
-    using Clock = std::chrono::steady_clock;
-
     /** One queued query plus its completion obligation. */
     struct Request {
         std::vector<float> query;
         idx_t k = 0;
         std::promise<ResultList> promise;
         Clock::time_point t_submit;
+        /** Shed/cut-off point; kNoDeadline when undeadlined. */
+        Clock::time_point deadline = kNoDeadline;
         /** Sampling decision, made once at submit(). */
         bool traced = false;
     };
 
     void dispatchLoop();
+
+    /** The deadline config.default_deadline_ms implies for a request
+     * submitted now (kNoDeadline when the default is 0). */
+    Clock::time_point defaultDeadline() const;
 
     /** Registers the pull callbacks (start(), when config_.metrics). */
     void registerMetrics() JUNO_REQUIRES(lifecycle_mutex_);
@@ -257,6 +368,10 @@ class SearchService {
     Tracer tracer_;
     /** Set by start() before any reader thread exists. */
     Clock::time_point start_time_;
+
+    /** Null unless config_.degradation.enabled; dispatchers evaluate
+     * it per batch (it is internally synchronised). */
+    std::unique_ptr<DegradationPolicy> policy_;
 
     /**
      * Reporter thread state. Lock order: never nested with

@@ -153,6 +153,10 @@ ServiceStats::snapshot() const
     snap.failed = failed_.load();
     snap.rejected_full = rejected_full_.load();
     snap.rejected_stopped = rejected_stopped_.load();
+    snap.rejected_expired = rejected_expired_.load();
+    snap.expired = expired_.load();
+    snap.degraded = degraded_.load();
+    snap.degraded_batches = degraded_batches_.load();
     snap.batches = batches_.load();
     const std::uint64_t batched = batched_requests_.load();
     snap.mean_batch = snap.batches == 0

@@ -61,9 +61,10 @@ class ServiceStats {
   public:
     /**
      * Point-in-time copy of every counter and quantile. Once stop()
-     * has drained, submitted == completed + failed (every accepted
-     * request's future was fulfilled exactly once, with a value or
-     * with the engine's exception).
+     * has drained, submitted == completed + failed + expired (every
+     * accepted request's future was fulfilled exactly once: with a
+     * value, with the engine's exception, or with kExpired when shed
+     * at dequeue).
      */
     struct Snapshot {
         std::uint64_t submitted = 0;  ///< accepted into the queue
@@ -72,6 +73,19 @@ class ServiceStats {
                                   ///< exception (engine failure)
         std::uint64_t rejected_full = 0; ///< shed: queue at capacity
         std::uint64_t rejected_stopped = 0; ///< shed: not running
+        /** Shed at the door: deadline already past at submit(). */
+        std::uint64_t rejected_expired = 0;
+        /** Accepted, then shed at dequeue past its deadline (doomed
+         * work elimination); the future carries kExpired. */
+        std::uint64_t expired = 0;
+        /** Value-completed requests flagged ResultList::degraded. */
+        std::uint64_t degraded = 0;
+        /** Batches dispatched under reduced quality (tier > 0, or at
+         * least one deadline-cut query). */
+        std::uint64_t degraded_batches = 0;
+        /** Current degradation tier (0 = full quality). Filled by
+         * SearchService::snapshot(); bare snapshots read 0. */
+        int degradation_tier = 0;
         std::uint64_t batches = 0;      ///< dispatched engine batches
         double mean_batch = 0.0;        ///< completed / batches
         LatencySummary queue_us;  ///< submit -> batch drain
@@ -95,6 +109,16 @@ class ServiceStats {
     void recordAccepted() { submitted_.fetch_add(1); }
     void recordRejectedFull() { rejected_full_.fetch_add(1); }
     void recordRejectedStopped() { rejected_stopped_.fetch_add(1); }
+    void recordRejectedExpired() { rejected_expired_.fetch_add(1); }
+
+    /** @p n accepted requests shed at dequeue (futures got kExpired). */
+    void recordExpired(std::size_t n) { expired_.fetch_add(n); }
+
+    /** @p n value-completed requests flagged degraded. */
+    void recordDegraded(std::size_t n) { degraded_.fetch_add(n); }
+
+    /** One batch dispatched under reduced quality. */
+    void recordDegradedBatch() { degraded_batches_.fetch_add(1); }
 
     /** One fulfilled request's latency components (microseconds). */
     void recordCompletion(double queue_us, double batch_us,
@@ -125,6 +149,18 @@ class ServiceStats {
     rejectedStopped() const
     {
         return rejected_stopped_.load();
+    }
+    std::uint64_t
+    rejectedExpired() const
+    {
+        return rejected_expired_.load();
+    }
+    std::uint64_t expired() const { return expired_.load(); }
+    std::uint64_t degraded() const { return degraded_.load(); }
+    std::uint64_t
+    degradedBatches() const
+    {
+        return degraded_batches_.load();
     }
     std::uint64_t batches() const { return batches_.load(); }
 
@@ -166,6 +202,10 @@ class ServiceStats {
     std::atomic<std::uint64_t> failed_{0};
     std::atomic<std::uint64_t> rejected_full_{0};
     std::atomic<std::uint64_t> rejected_stopped_{0};
+    std::atomic<std::uint64_t> rejected_expired_{0};
+    std::atomic<std::uint64_t> expired_{0};
+    std::atomic<std::uint64_t> degraded_{0};
+    std::atomic<std::uint64_t> degraded_batches_{0};
     std::atomic<std::uint64_t> batches_{0};
     std::atomic<std::uint64_t> batched_requests_{0};
     std::array<Shard, kShards> shards_;

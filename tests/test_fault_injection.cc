@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests of the deterministic fault-injection harness. The whole suite
+ * skips in builds without -DJUNO_FAULT_INJECTION=1 (the harness is a
+ * constant-false no-op there — also asserted below), and is exercised
+ * for real by the chaos CI leg, which configures with the option ON.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "serve/request_queue.h"
+
+namespace juno {
+namespace {
+
+using namespace std::chrono_literals;
+
+class FaultInjection : public ::testing::Test {
+  protected:
+    void
+    SetUp() override
+    {
+        if (!fault::kEnabled)
+            GTEST_SKIP()
+                << "fault injection compiled out (JUNO_FAULT_INJECTION)";
+        fault::resetAll();
+    }
+
+    void
+    TearDown() override
+    {
+        fault::resetAll();
+    }
+};
+
+TEST_F(FaultInjection, UnarmedSiteIsInert)
+{
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_NO_THROW(fault::inject("test.unarmed"));
+        EXPECT_FALSE(fault::fired("test.unarmed"));
+    }
+    // Unarmed evaluations do not count (the site has no counters).
+    EXPECT_EQ(fault::stats("test.unarmed").evaluations, 0u);
+}
+
+TEST_F(FaultInjection, ProbabilityOneAlwaysThrows)
+{
+    fault::arm("test.always", 1.0, 7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_THROW(fault::inject("test.always"), FaultInjectedError);
+    const auto s = fault::stats("test.always");
+    EXPECT_EQ(s.evaluations, 10u);
+    EXPECT_EQ(s.errors, 10u);
+    EXPECT_EQ(s.delays, 0u);
+}
+
+TEST_F(FaultInjection, ProbabilityZeroNeverFires)
+{
+    fault::arm("test.never", 0.0, 7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_NO_THROW(fault::inject("test.never"));
+    EXPECT_EQ(fault::stats("test.never").errors, 0u);
+    EXPECT_EQ(fault::stats("test.never").evaluations, 100u);
+}
+
+TEST_F(FaultInjection, SameSeedFiresOnIdenticalEvaluations)
+{
+    auto firePattern = [](std::uint64_t seed) {
+        fault::resetAll();
+        fault::arm("test.det", 0.3, seed);
+        std::vector<bool> pattern;
+        for (int i = 0; i < 200; ++i)
+            pattern.push_back(fault::fired("test.det"));
+        return pattern;
+    };
+    const auto a = firePattern(1234);
+    const auto b = firePattern(1234);
+    const auto c = firePattern(99);
+    EXPECT_EQ(a, b); // same (prob, seed) -> bit-identical schedule
+    EXPECT_NE(a, c); // a different seed is a different schedule
+    // And the rate is in the right ballpark for prob 0.3.
+    const auto fires = static_cast<std::size_t>(
+        std::count(a.begin(), a.end(), true));
+    EXPECT_GT(fires, 30u);
+    EXPECT_LT(fires, 90u);
+}
+
+TEST_F(FaultInjection, DelayModeSleepsInsteadOfThrowing)
+{
+    fault::arm("test.delay", 1.0, 7, 20.0);
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_NO_THROW(fault::inject("test.delay"));
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_GE(elapsed, 15ms);
+    const auto s = fault::stats("test.delay");
+    EXPECT_EQ(s.delays, 1u);
+    EXPECT_EQ(s.errors, 0u);
+    // fired() in delay mode still sleeps but reports no error.
+    EXPECT_FALSE(fault::fired("test.delay"));
+}
+
+TEST_F(FaultInjection, DisarmStopsFiringAndClearsStats)
+{
+    fault::arm("test.disarm", 1.0, 7);
+    EXPECT_THROW(fault::inject("test.disarm"), FaultInjectedError);
+    fault::disarm("test.disarm");
+    EXPECT_NO_THROW(fault::inject("test.disarm"));
+    EXPECT_EQ(fault::stats("test.disarm").evaluations, 0u);
+}
+
+// The queue.notify site: with every producer notify suppressed, the
+// consumer's bounded empty-wait poll must still drain everything —
+// the lost-wake self-healing the notify-protocol invariant promises.
+TEST_F(FaultInjection, QueueDrainsWithAllNotifiesSuppressed)
+{
+    fault::arm("queue.notify", 1.0, 7);
+    BoundedMpmcQueue<int> queue(16);
+    std::vector<int> drained;
+    std::thread consumer([&] {
+        std::vector<int> batch;
+        while (queue.popBatch(batch, 4, 0us))
+            drained.insert(drained.end(), batch.begin(), batch.end());
+    });
+    for (int i = 0; i < 32; ++i) {
+        while (queue.tryPush(int(i)) == PushResult::kFull)
+            std::this_thread::yield();
+    }
+    queue.close(); // close() notifies unconditionally (no fault site)
+    consumer.join();
+    EXPECT_EQ(drained.size(), 32u);
+    EXPECT_GT(fault::stats("queue.notify").errors, 0u);
+}
+
+} // namespace
+} // namespace juno

@@ -199,5 +199,52 @@ TEST(MetricsRegistry, GlobalIsSingleton)
     EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
 }
 
+TEST(MetricsRegistry, LabeledCounterFamilySharesOneHelpTypeBlock)
+{
+    MetricsRegistry reg;
+    std::uint64_t full = 3, expired = 9;
+    auto r1 = reg.counterCallback("juno_shed_total",
+                                  {{"reason", "queue_full"}}, "Shed",
+                                  [&] { return full; });
+    auto r2 = reg.counterCallback("juno_shed_total",
+                                  {{"reason", "expired"}}, "Shed",
+                                  [&] { return expired; });
+    const std::string text = reg.renderPrometheus();
+    // Both samples present, with their label sets...
+    EXPECT_NE(text.find("juno_shed_total{reason=\"queue_full\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("juno_shed_total{reason=\"expired\"} 9"),
+              std::string::npos);
+    // ...under exactly one HELP and one TYPE line for the family (a
+    // repeated TYPE for the same metric is an invalid exposition).
+    auto countOf = [&](const std::string &needle) {
+        std::size_t n = 0, pos = 0;
+        while ((pos = text.find(needle, pos)) != std::string::npos) {
+            ++n;
+            pos += needle.size();
+        }
+        return n;
+    };
+    EXPECT_EQ(countOf("# TYPE juno_shed_total counter"), 1u);
+    EXPECT_EQ(countOf("# HELP juno_shed_total"), 1u);
+    // JSON export keys each sample by its full labeled name.
+    const std::string json = reg.renderJson();
+    EXPECT_NE(json.find("juno_shed_total{reason=\\\"expired\\\"}"),
+              std::string::npos);
+}
+
+TEST(MetricsRegistry, LabeledCounterValidatesBaseNameOnly)
+{
+    MetricsRegistry reg;
+    // The base must still be a legal metric name even though the full
+    // key carries braces and quotes.
+    EXPECT_THROW(reg.counterCallback("bad name", {{"a", "b"}}, "h",
+                                     [] { return std::uint64_t{0}; }),
+                 ConfigError);
+    auto ok = reg.counterCallback("good_name", {{"a", "b"}}, "h",
+                                  [] { return std::uint64_t{1}; });
+    EXPECT_EQ(reg.size(), 1u);
+}
+
 } // namespace
 } // namespace juno

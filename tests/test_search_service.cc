@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "baseline/flat_index.h"
+#include "baseline/ivfflat_index.h"
 #include "common/logging.h"
 #include "dataset/synthetic.h"
 #include "serve/request_queue.h"
@@ -107,6 +108,76 @@ TEST(RequestQueue, LingerTriggerDispatchesPartialBatch)
     // One item, batch of 64: only the linger timeout can close it.
     EXPECT_TRUE(queue.popBatch(batch, 64, 1ms));
     EXPECT_EQ(batch, (std::vector<int>{7}));
+}
+
+TEST(RequestQueue, LingerWaitUntilTimesOutWithoutFill)
+{
+    BoundedMpmcQueue<int> queue(64);
+    queue.tryPush(1);
+    queue.tryPush(2);
+    std::vector<int> batch;
+    // Two items, target 8, no producers: only the wait_until timeout
+    // branch can end the linger wait. The batch must dispatch with
+    // exactly the backlog, after (roughly) the full linger window.
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_TRUE(queue.popBatch(batch, 8, 30ms));
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_EQ(batch, (std::vector<int>{1, 2}));
+    EXPECT_GE(elapsed, 25ms); // timed out, did not return early
+    EXPECT_LT(elapsed, 500ms);
+}
+
+TEST(RequestQueue, DrainUnderChurnLosesNothing)
+{
+    BoundedMpmcQueue<int> queue(32);
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 500;
+    std::atomic<long long> popped_sum{0};
+    std::atomic<int> popped_count{0};
+
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 2; ++c)
+        consumers.emplace_back([&] {
+            std::vector<int> batch;
+            while (queue.popBatch(batch, 7, 100us)) {
+                for (const int v : batch)
+                    popped_sum.fetch_add(v);
+                popped_count.fetch_add(static_cast<int>(batch.size()));
+            }
+        });
+
+    long long pushed_sum = 0;
+    int pushed_count = 0;
+    std::mutex push_mutex;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p)
+        producers.emplace_back([&, p] {
+            long long my_sum = 0;
+            int my_count = 0;
+            for (int i = 0; i < kPerProducer; ++i) {
+                const int v = p * kPerProducer + i;
+                // Spin on kFull: churn means the queue oscillates
+                // between full and drained the whole run.
+                while (queue.tryPush(int(v)) == PushResult::kFull)
+                    std::this_thread::yield();
+                my_sum += v;
+                ++my_count;
+            }
+            std::lock_guard<std::mutex> lock(push_mutex);
+            pushed_sum += my_sum;
+            pushed_count += my_count;
+        });
+    for (auto &t : producers)
+        t.join();
+    queue.close();
+    for (auto &t : consumers)
+        t.join();
+
+    // Conservation through churn: every accepted item popped exactly
+    // once (count and checksum both match).
+    EXPECT_EQ(popped_count.load(), pushed_count);
+    EXPECT_EQ(popped_sum.load(), pushed_sum);
+    EXPECT_EQ(queue.size(), 0u);
 }
 
 TEST(RequestQueue, ConsumerWakesOnLatePush)
@@ -229,9 +300,12 @@ TEST(SearchService, ConcurrentClientsGetCorrectResults)
                 for (idx_t q = 0; q < ds.queries.rows(); ++q) {
                     auto f =
                         service.submit(ds.queries.view().row(q), k);
-                    if (!f.valid() ||
-                        f.get() != direct[static_cast<std::size_t>(q)])
+                    try {
+                        if (f.get() != direct[static_cast<std::size_t>(q)])
+                            mismatches.fetch_add(1);
+                    } catch (const RejectedError &) {
                         mismatches.fetch_add(1);
+                    }
                 }
         });
     for (auto &t : clients)
@@ -304,11 +378,22 @@ TEST(SearchService, AdmissionControlRejectsWhenFull)
     std::vector<std::future<ResultList>> accepted;
     int rejected = 0;
     for (int i = 0; i < kBurst; ++i) {
-        auto f = service.submit(ds.queries.view().row(0), 3);
-        if (f.valid())
+        RejectReason reason = RejectReason::kNone;
+        auto f = service.submit(ds.queries.view().row(0), 3, &reason);
+        ASSERT_TRUE(f.valid()); // rejection returns a throwing future,
+                                // never an invalid one
+        if (reason == RejectReason::kNone) {
             accepted.push_back(std::move(f));
-        else
+        } else {
+            EXPECT_EQ(reason, RejectReason::kQueueFull);
             ++rejected;
+            try {
+                f.get();
+                ADD_FAILURE() << "rejected future must throw";
+            } catch (const RejectedError &e) {
+                EXPECT_EQ(e.reason(), RejectReason::kQueueFull);
+            }
+        }
     }
     EXPECT_GT(rejected, 0); // the burst must overflow a 2-deep queue
     for (auto &f : accepted)
@@ -401,8 +486,16 @@ TEST(SearchService, SubmitAfterStopIsRejected)
     SearchService service(index, {});
     service.start();
     service.stop();
-    auto f = service.submit(ds.queries.view().row(0), 5);
-    EXPECT_FALSE(f.valid());
+    RejectReason reason = RejectReason::kNone;
+    auto f = service.submit(ds.queries.view().row(0), 5, &reason);
+    ASSERT_TRUE(f.valid());
+    EXPECT_EQ(reason, RejectReason::kStopped);
+    try {
+        f.get();
+        ADD_FAILURE() << "post-stop future must throw";
+    } catch (const RejectedError &e) {
+        EXPECT_EQ(e.reason(), RejectReason::kStopped);
+    }
     EXPECT_EQ(service.stats().rejectedStopped(), 1u);
     service.stop(); // idempotent
 }
@@ -511,10 +604,11 @@ TEST(SearchService, ConcurrentSubmitStopSnapshot)
             while (!go.load())
                 std::this_thread::yield();
             for (int i = 0; i < kPerThread; ++i) {
+                RejectReason reason = RejectReason::kNone;
                 auto f = service.submit(
                     ds.queries.view().row((t + i) % ds.queries.rows()),
-                    3);
-                if (f.valid()) {
+                    3, &reason);
+                if (reason == RejectReason::kNone) {
                     std::lock_guard<std::mutex> lock(futures_mutex);
                     futures.push_back(std::move(f));
                 }
@@ -567,6 +661,210 @@ TEST(SearchService, ConcurrentSubmitStopSnapshot)
         static_cast<std::uint64_t>(kSubmitters) * kPerThread;
     EXPECT_EQ(snap.submitted + snap.rejected_full + snap.rejected_stopped,
               total);
+}
+
+// ---- Deadline semantics ----
+
+TEST(SearchServiceDeadline, ExpiredAtSubmitIsRejected)
+{
+    const auto ds = smallDataset();
+    FlatIndex index(ds.metric, ds.base.view());
+    SearchService service(index, {});
+    service.start();
+
+    RejectReason reason = RejectReason::kNone;
+    auto f = service.submit(ds.queries.view().row(0), 5,
+                            SearchService::Clock::now() - 1ms, &reason);
+    ASSERT_TRUE(f.valid());
+    EXPECT_EQ(reason, RejectReason::kExpired);
+    try {
+        f.get();
+        ADD_FAILURE() << "expired-at-submit future must throw";
+    } catch (const RejectedError &e) {
+        EXPECT_EQ(e.reason(), RejectReason::kExpired);
+    }
+    service.stop();
+
+    const auto snap = service.snapshot();
+    EXPECT_EQ(snap.rejected_expired, 1u);
+    EXPECT_EQ(snap.submitted, 0u); // shed at the door, never accepted
+}
+
+TEST(SearchServiceDeadline, ExpiredInQueueIsShedBeforeSearch)
+{
+    const auto ds = smallDataset();
+    // 20 ms per dispatched batch: anything behind the first request
+    // with a ~1 ms deadline is guaranteed stale at dequeue.
+    SlowFlatIndex index(ds.metric, ds.base.view(), 20ms);
+    ServiceConfig config;
+    config.max_batch = 1;
+    config.linger = 0us;
+    config.queue_capacity = 64;
+    SearchService service(index, config);
+    service.start();
+
+    // Occupy the dispatcher, then enqueue doomed work behind it.
+    auto head = service.submit(ds.queries.view().row(0), 3);
+    constexpr int kDoomed = 4;
+    std::vector<std::future<ResultList>> doomed;
+    for (int i = 0; i < kDoomed; ++i)
+        doomed.push_back(
+            service.submit(ds.queries.view().row(0), 3,
+                           SearchService::Clock::now() + 1ms));
+    EXPECT_EQ(head.get().size(), 3u);
+    int expired = 0;
+    for (auto &f : doomed) {
+        try {
+            // A shed request may still complete if it won the race to
+            // the dispatcher; what it may never do is get lost.
+            f.get();
+        } catch (const RejectedError &e) {
+            EXPECT_EQ(e.reason(), RejectReason::kExpired);
+            ++expired;
+        }
+    }
+    service.stop();
+
+    const auto snap = service.snapshot();
+    EXPECT_EQ(snap.expired, static_cast<std::uint64_t>(expired));
+    EXPECT_GT(expired, 0); // the 20 ms head start dooms the backlog
+    // Conservation with the expired leg.
+    EXPECT_EQ(snap.submitted,
+              snap.completed + snap.failed + snap.expired);
+}
+
+TEST(SearchServiceDeadline, MidScanCutoffIsDeterministicFirstProbe)
+{
+    SyntheticSpec spec;
+    spec.kind = DatasetKind::kDeepLike;
+    spec.num_points = 2000;
+    spec.num_queries = 8;
+    spec.dim = 16;
+    spec.seed = 42;
+    const auto ds = makeDataset(spec);
+
+    IvfFlatIndex::Params params;
+    params.clusters = 32;
+    params.nprobs = 8;
+    IvfFlatIndex index(ds.metric, ds.base.view(), params);
+
+    // A deadline already in the past when the scan starts cuts every
+    // query off after its FIRST probe list (the check runs between
+    // lists, never before the first): exactly nprobe=1 results, all
+    // flagged degraded — partial but valid and deterministic.
+    std::vector<std::uint8_t> degraded;
+    SearchRequest request(ds.queries.view(), 10);
+    request.options.deadline = SearchService::Clock::now() - 1s;
+    request.options.degraded = &degraded;
+    const auto cut = index.search(request);
+
+    index.setNprobs(1);
+    const auto one_probe = index.search(ds.queries.view(), 10);
+
+    ASSERT_EQ(degraded.size(),
+              static_cast<std::size_t>(ds.queries.rows()));
+    for (idx_t q = 0; q < ds.queries.rows(); ++q) {
+        EXPECT_EQ(cut[static_cast<std::size_t>(q)],
+                  one_probe[static_cast<std::size_t>(q)])
+            << "query " << q;
+        EXPECT_FALSE(cut[static_cast<std::size_t>(q)].empty());
+        EXPECT_EQ(degraded[static_cast<std::size_t>(q)], 1)
+            << "query " << q;
+    }
+}
+
+TEST(SearchServiceDeadline, DefaultDeadlineZeroMeansNone)
+{
+    const auto ds = smallDataset();
+    FlatIndex index(ds.metric, ds.base.view());
+    const auto direct = index.search(ds.queries.view(), 5);
+    ServiceConfig config;
+    config.default_deadline_ms = 0.0; // explicit: no deadline
+    SearchService service(index, config);
+    service.start();
+    std::vector<std::future<ResultList>> futures;
+    for (idx_t q = 0; q < ds.queries.rows(); ++q)
+        futures.push_back(service.submit(ds.queries.view().row(q), 5));
+    for (idx_t q = 0; q < ds.queries.rows(); ++q) {
+        auto got = futures[static_cast<std::size_t>(q)].get();
+        EXPECT_EQ(got, direct[static_cast<std::size_t>(q)]);
+        EXPECT_FALSE(got.degraded); // parity: nothing engaged
+    }
+    service.stop();
+    const auto snap = service.snapshot();
+    EXPECT_EQ(snap.expired, 0u);
+    EXPECT_EQ(snap.rejected_expired, 0u);
+    EXPECT_EQ(snap.degraded, 0u);
+}
+
+// TSan stress: deadlined submits (a mix of generous, instantly-stale
+// and already-expired) race stop(). Conservation must close with the
+// expired leg and every future must settle exactly once.
+TEST(SearchServiceDeadline, RacingDeadlinesAndStopConserveRequests)
+{
+    const auto ds = smallDataset();
+    SlowFlatIndex index(ds.metric, ds.base.view(), 200us);
+    ServiceConfig config;
+    config.max_batch = 4;
+    config.linger = 50us;
+    config.queue_capacity = 64;
+    SearchService service(index, config);
+    service.start();
+
+    constexpr int kSubmitters = 3;
+    constexpr int kPerThread = 60;
+    std::mutex futures_mutex;
+    std::vector<std::future<ResultList>> futures;
+    std::atomic<bool> go{false};
+
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kSubmitters; ++t)
+        submitters.emplace_back([&, t] {
+            while (!go.load())
+                std::this_thread::yield();
+            for (int i = 0; i < kPerThread; ++i) {
+                const auto now = SearchService::Clock::now();
+                const auto deadline =
+                    i % 3 == 0   ? now - 1ms       // expired at submit
+                    : i % 3 == 1 ? now + 300us     // stale in queue
+                                 : now + 1s;       // comfortably live
+                RejectReason reason = RejectReason::kNone;
+                auto f = service.submit(
+                    ds.queries.view().row((t + i) % ds.queries.rows()),
+                    3, deadline, &reason);
+                if (reason == RejectReason::kNone) {
+                    std::lock_guard<std::mutex> lock(futures_mutex);
+                    futures.push_back(std::move(f));
+                }
+            }
+        });
+    std::thread stopper([&] {
+        while (!go.load())
+            std::this_thread::yield();
+        std::this_thread::sleep_for(2ms);
+        service.stop();
+    });
+
+    go.store(true);
+    for (auto &t : submitters)
+        t.join();
+    stopper.join();
+    service.stop();
+
+    std::size_t settled = 0;
+    for (auto &f : futures) {
+        ASSERT_EQ(f.wait_for(0s), std::future_status::ready);
+        try {
+            f.get();
+        } catch (const std::exception &) {
+            // expired / engine-failed still count as settled
+        }
+        ++settled;
+    }
+    const auto snap = service.snapshot();
+    EXPECT_EQ(snap.submitted, settled);
+    EXPECT_EQ(snap.submitted,
+              snap.completed + snap.failed + snap.expired);
 }
 
 } // namespace

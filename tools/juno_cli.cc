@@ -24,7 +24,8 @@
  *                   [--queue-cap 4096] [--threads 1] [--mmap 1]
  *                   [--stats-every S] [--metrics-out m.prom]
  *                   [--trace-out t.json] [--trace-sample R]
- *                   [--trace-slow-us N] [--smoke]
+ *                   [--trace-slow-us N] [--deadline-ms D]
+ *                   [--degrade 0|1] [--smoke]
  *                   (drive the micro-batching SearchService; --load
  *                   warm-starts from a snapshot: first-query-ready is
  *                   page-in time, not a rebuild. --stats-every S runs
@@ -517,6 +518,13 @@ cmdServe(const Args &args)
     config.queue_capacity = static_cast<std::size_t>(queue_cap);
     config.search_threads =
         static_cast<int>(args.getInt("threads", 1, 0, 4096));
+    // Overload resilience: --deadline-ms stamps a default per-request
+    // deadline (0 = none), --degrade 1 arms the tiered degradation
+    // policy. Both off is bitwise-identical to a service without them.
+    config.default_deadline_ms = args.getDouble("deadline-ms", 0.0);
+    JUNO_REQUIRE(config.default_deadline_ms >= 0.0,
+                 "--deadline-ms must be >= 0");
+    config.degradation.enabled = args.getInt("degrade", 0, 0, 1) != 0;
     // --mem-budget 64m attaches the out-of-core hot-list cache
     // (0 forces pure mmap even when JUNO_MEM_BUDGET is set).
     const std::string mem_budget = args.get("mem-budget", "");
@@ -605,6 +613,8 @@ cmdServe(const Args &args)
     service->start();
     Timer timer;
     std::atomic<int> client_failures{0};
+    std::atomic<long long> client_shed{0};
+    std::atomic<long long> client_degraded{0};
     std::vector<std::thread> threads;
     for (int c = 0; c < clients; ++c)
         threads.emplace_back([&, c] {
@@ -613,6 +623,17 @@ cmdServe(const Args &args)
             // std::terminate past main()'s exit-code handling.
             try {
                 std::deque<std::future<ResultList>> inflight;
+                // Typed shedding (expired in queue, stopped during an
+                // interrupt drain) is overload behaving as designed,
+                // not a client failure.
+                auto reap = [&](std::future<ResultList> &f) {
+                    try {
+                        if (f.get().degraded)
+                            client_degraded.fetch_add(1);
+                    } catch (const RejectedError &) {
+                        client_shed.fetch_add(1);
+                    }
+                };
                 idx_t qi = static_cast<idx_t>(c) % queries.rows();
                 // Spread the remainder so exactly --requests are
                 // served (integer division alone would drop
@@ -625,25 +646,31 @@ cmdServe(const Args &args)
                         break;
                     if (inflight.size() >=
                         static_cast<std::size_t>(window)) {
-                        inflight.front().get();
+                        reap(inflight.front());
                         inflight.pop_front();
                     }
-                    auto f = service->submit(queries.row(qi), k);
+                    RejectReason reason = RejectReason::kNone;
+                    auto f = service->submit(queries.row(qi), k,
+                                             &reason);
                     // Closed-loop backpressure: a full queue means
                     // the dispatcher is behind — yield and retry so
                     // exactly --requests get served instead of
-                    // silently shrinking the run.
-                    while (!f.valid() && service->running() &&
+                    // silently shrinking the run. Other reject
+                    // reasons (stopped, expired) are terminal for
+                    // this request; its future carries the typed
+                    // error and reap() accounts it.
+                    while (reason == RejectReason::kQueueFull &&
+                           service->running() &&
                            !g_interrupted.load()) {
                         std::this_thread::yield();
-                        f = service->submit(queries.row(qi), k);
+                        f = service->submit(queries.row(qi), k,
+                                            &reason);
                     }
                     qi = (qi + 1) % queries.rows();
-                    if (f.valid())
-                        inflight.push_back(std::move(f));
+                    inflight.push_back(std::move(f));
                 }
                 while (!inflight.empty()) {
-                    inflight.front().get();
+                    reap(inflight.front());
                     inflight.pop_front();
                 }
             } catch (const std::exception &err) {
@@ -671,6 +698,30 @@ cmdServe(const Args &args)
                 static_cast<double>(snap.completed) / secs,
                 snap.mean_batch,
                 static_cast<unsigned long long>(snap.rejected_full));
+    std::printf("overload: shed %lld (client view), degraded %llu "
+                "(%lld seen), degraded batches %llu, tier %d\n",
+                client_shed.load(),
+                static_cast<unsigned long long>(snap.degraded),
+                client_degraded.load(),
+                static_cast<unsigned long long>(snap.degraded_batches),
+                snap.degradation_tier);
+    // Conservation gate: every accepted request settled exactly once —
+    // completed with a value, failed with the engine's exception, or
+    // expired at dequeue. A violation is a lost or double-counted
+    // future; the chaos CI leg greps for the trailing OK.
+    const bool conserved =
+        snap.submitted == snap.completed + snap.failed + snap.expired;
+    std::printf("conservation: submitted=%llu completed=%llu "
+                "failed=%llu expired=%llu rejected_full=%llu "
+                "rejected_expired=%llu rejected_stopped=%llu %s\n",
+                static_cast<unsigned long long>(snap.submitted),
+                static_cast<unsigned long long>(snap.completed),
+                static_cast<unsigned long long>(snap.failed),
+                static_cast<unsigned long long>(snap.expired),
+                static_cast<unsigned long long>(snap.rejected_full),
+                static_cast<unsigned long long>(snap.rejected_expired),
+                static_cast<unsigned long long>(snap.rejected_stopped),
+                conserved ? "OK" : "VIOLATION");
     const struct {
         const char *name;
         const LatencySummary &lat;
@@ -750,7 +801,7 @@ cmdServe(const Args &args)
                          trace_out.c_str());
         }
     }
-    return 0;
+    return conserved ? 0 : 1;
 }
 
 void
@@ -781,6 +832,11 @@ usage()
         "          --stats-every S --metrics-out m.prom (+ m.prom.jsonl\n"
         "          recorder) --trace-out t.json --trace-sample 0.01\n"
         "          --trace-slow-us 5000 --smoke (tiny CI-sized run);\n"
+        "          overload: --deadline-ms D stamps per-request\n"
+        "          deadlines (expired work is shed, not served) and\n"
+        "          --degrade 1 arms tiered probe-budget degradation;\n"
+        "          chaos: JUNO_FAULT=site:prob:seed[:delay_ms] (needs\n"
+        "          a -DJUNO_FAULT_INJECTION=ON build);\n"
         "          SIGINT/SIGTERM drain cleanly and still dump\n"
         "  parity  gate: snapshot results == fresh-build results\n"
         "\n"
