@@ -1065,6 +1065,26 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(r.client_errors));
                 ++failures;
             }
+            // Client-side reconciliation: every value-completed future
+            // is reaped exactly once, so the counters the clients
+            // observed must equal the service's. The degraded half is
+            // what catches a degraded flag dropped anywhere between
+            // the engine's per-query marking and the fulfilled future
+            // (e.g. a top-k merge that rebuilds the ResultList).
+            if (r.snap.completed != r.completed_seen ||
+                r.snap.degraded != r.degraded_seen) {
+                std::fprintf(
+                    stderr,
+                    "OVERLOAD FAIL: %s service/client mismatch "
+                    "(completed %llu vs seen %llu, degraded %llu vs "
+                    "seen %llu)\n",
+                    label,
+                    static_cast<unsigned long long>(r.snap.completed),
+                    static_cast<unsigned long long>(r.completed_seen),
+                    static_cast<unsigned long long>(r.snap.degraded),
+                    static_cast<unsigned long long>(r.degraded_seen));
+                ++failures;
+            }
         };
         conserve("baseline", base);
         conserve("deadline+degradation", resil);

@@ -35,6 +35,28 @@ IvfFlatIndex::IvfFlatIndex(Metric metric, FloatMatrixView points,
     buildFilterOperands();
 }
 
+IvfFlatIndex::IvfFlatIndex(Metric metric, FloatMatrixView points,
+                           const Params &params,
+                           const FloatMatrix &centroids)
+    : metric_(metric), params_(params), nprobs_(params.nprobs)
+{
+    JUNO_REQUIRE(params.nprobs > 0, "nprobs must be positive");
+    JUNO_REQUIRE(centroids.rows() == params.clusters,
+                 "centroid count does not match params.clusters");
+    FloatMatrix copy(points.rows(), points.cols());
+    std::copy_n(points.data(),
+                static_cast<std::size_t>(points.rows() * points.cols()),
+                copy.data());
+    points_ = std::move(copy);
+    FloatMatrix ctr(centroids.rows(), centroids.cols());
+    std::copy_n(centroids.data(),
+                static_cast<std::size_t>(centroids.rows() *
+                                         centroids.cols()),
+                ctr.data());
+    ivf_.assign(points_.view(), std::move(ctr));
+    buildFilterOperands();
+}
+
 void
 IvfFlatIndex::buildFilterOperands()
 {

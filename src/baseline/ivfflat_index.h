@@ -46,6 +46,17 @@ class IvfFlatIndex : public AnnIndex {
     IvfFlatIndex(Metric metric, FloatMatrixView points, const Params &params);
 
     /**
+     * Incremental-merge constructor: reuses pre-trained @p centroids
+     * (typically the previous generation's) and only re-assigns
+     * @p points to inverted lists — no k-means. The coarse
+     * quantisation is approximate w.r.t. a fresh training run over
+     * the same points (recall parity, not bitwise parity), but the
+     * merge skips the dominant training cost.
+     */
+    IvfFlatIndex(Metric metric, FloatMatrixView points, const Params &params,
+                 const FloatMatrix &centroids);
+
+    /**
      * Loader for openIndex(): the trained IVF is restored (no
      * k-means re-run); the GEMM operands (transposed centroid table,
      * centroid norms) re-derive deterministically. In mmap mode the

@@ -36,6 +36,7 @@
 #define JUNO_COMMON_THREAD_ANNOTATIONS_H
 
 #include <mutex>
+#include <shared_mutex>
 
 #if defined(__clang__)
 #define JUNO_THREAD_ANNOTATION(x) __attribute__((x))
@@ -59,9 +60,17 @@
 #define JUNO_ACQUIRE(...)                                                   \
     JUNO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
 
+/** Function that acquires the capability in shared (reader) mode. */
+#define JUNO_ACQUIRE_SHARED(...)                                            \
+    JUNO_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
 /** Function that releases the capability. */
 #define JUNO_RELEASE(...)                                                   \
     JUNO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function that releases a shared (reader) hold of the capability. */
+#define JUNO_RELEASE_SHARED(...)                                            \
+    JUNO_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
 
 /** Function that acquires the capability when it returns @p true. */
 #define JUNO_TRY_ACQUIRE(...)                                               \
@@ -70,6 +79,10 @@
 /** Function that must be called with the capability already held. */
 #define JUNO_REQUIRES(...)                                                  \
     JUNO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function that must be called with at least a shared hold. */
+#define JUNO_REQUIRES_SHARED(...)                                           \
+    JUNO_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
 
 /** Function that must NOT be called with the capability held
  * (self-deadlock guard on public entry points that lock internally). */
@@ -169,6 +182,82 @@ class JUNO_SCOPED_CAPABILITY MutexLock {
 
   private:
     Mutex &mutex_;
+};
+
+/**
+ * std::shared_mutex as a Clang capability: exclusive mode for writers,
+ * shared mode for readers. The live-index layer holds a reader lock
+ * for the whole of a search chunk (one coherent generation view) while
+ * mutations and generation publishes take brief exclusive holds.
+ */
+class JUNO_CAPABILITY("mutex") SharedMutex {
+  public:
+    SharedMutex() = default;
+    SharedMutex(const SharedMutex &) = delete;
+    SharedMutex &operator=(const SharedMutex &) = delete;
+
+    void
+    lock() JUNO_ACQUIRE()
+    {
+        mutex_.lock();
+    }
+
+    void
+    unlock() JUNO_RELEASE()
+    {
+        mutex_.unlock();
+    }
+
+    void
+    lock_shared() JUNO_ACQUIRE_SHARED()
+    {
+        mutex_.lock_shared();
+    }
+
+    void
+    unlock_shared() JUNO_RELEASE_SHARED()
+    {
+        mutex_.unlock_shared();
+    }
+
+  private:
+    std::shared_mutex mutex_;
+};
+
+/** Scoped exclusive (writer) lock over a SharedMutex. */
+class JUNO_SCOPED_CAPABILITY WriterLock {
+  public:
+    explicit WriterLock(SharedMutex &mutex) JUNO_ACQUIRE(mutex)
+        : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~WriterLock() JUNO_RELEASE() { mutex_.unlock(); }
+
+    WriterLock(const WriterLock &) = delete;
+    WriterLock &operator=(const WriterLock &) = delete;
+
+  private:
+    SharedMutex &mutex_;
+};
+
+/** Scoped shared (reader) lock over a SharedMutex. */
+class JUNO_SCOPED_CAPABILITY ReaderLock {
+  public:
+    explicit ReaderLock(SharedMutex &mutex) JUNO_ACQUIRE_SHARED(mutex)
+        : mutex_(mutex)
+    {
+        mutex_.lock_shared();
+    }
+
+    ~ReaderLock() JUNO_RELEASE() { mutex_.unlock_shared(); }
+
+    ReaderLock(const ReaderLock &) = delete;
+    ReaderLock &operator=(const ReaderLock &) = delete;
+
+  private:
+    SharedMutex &mutex_;
 };
 
 /**

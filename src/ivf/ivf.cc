@@ -27,6 +27,33 @@ InvertedFileIndex::build(FloatMatrixView points, const Params &params)
             .push_back(p);
 }
 
+void
+InvertedFileIndex::assign(FloatMatrixView points, FloatMatrix centroids)
+{
+    JUNO_REQUIRE(centroids.rows() > 0, "assign needs centroids");
+    JUNO_REQUIRE(points.cols() == centroids.cols(),
+                 "point/centroid dimension mismatch");
+    centroids_ = std::move(centroids);
+    const idx_t C = centroids_.rows();
+    const idx_t d = centroids_.cols();
+    labels_.assign(static_cast<std::size_t>(points.rows()), 0);
+    lists_.assign(static_cast<std::size_t>(C), {});
+    for (idx_t p = 0; p < points.rows(); ++p) {
+        const float *x = points.row(p);
+        cluster_t best = 0;
+        float best_d = l2Sqr(x, centroids_.row(0), d);
+        for (idx_t c = 1; c < C; ++c) {
+            const float dist = l2Sqr(x, centroids_.row(c), d);
+            if (dist < best_d) {
+                best_d = dist;
+                best = static_cast<cluster_t>(c);
+            }
+        }
+        labels_[static_cast<std::size_t>(p)] = best;
+        lists_[static_cast<std::size_t>(best)].push_back(p);
+    }
+}
+
 const std::vector<idx_t> &
 InvertedFileIndex::list(cluster_t c) const
 {

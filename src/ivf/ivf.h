@@ -34,6 +34,16 @@ class InvertedFileIndex {
     /** Trains centroids and populates the inverted lists. */
     void build(FloatMatrixView points, const Params &params);
 
+    /**
+     * Populates the index from pre-trained @p centroids without
+     * re-running k-means: every point is assigned to its nearest
+     * centroid under L2 (the k-means assignment rule). This is the
+     * live-merge incremental path — folding fresh points into an
+     * existing coarse quantisation pays only the O(n * C) assignment,
+     * not the training. Replaces current state.
+     */
+    void assign(FloatMatrixView points, FloatMatrix centroids);
+
     bool built() const { return centroids_.rows() > 0; }
     idx_t numClusters() const { return centroids_.rows(); }
     idx_t dim() const { return centroids_.cols(); }

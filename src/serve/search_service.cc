@@ -112,6 +112,9 @@ SearchService::SearchService(AnnIndex &index, ServiceConfig config)
     if (config_.degradation.enabled)
         policy_ =
             std::make_unique<DegradationPolicy>(config_.degradation);
+    live_ = dynamic_cast<LiveIndex *>(&index_);
+    if (live_ != nullptr && live_->liveConfig().tracer == nullptr)
+        live_->setTracer(&tracer_);
 }
 
 SearchService::SearchService(std::unique_ptr<AnnIndex> index,
@@ -124,6 +127,9 @@ SearchService::SearchService(std::unique_ptr<AnnIndex> index,
     if (config_.degradation.enabled)
         policy_ =
             std::make_unique<DegradationPolicy>(config_.degradation);
+    live_ = dynamic_cast<LiveIndex *>(&index_);
+    if (live_ != nullptr && live_->liveConfig().tracer == nullptr)
+        live_->setTracer(&tracer_);
 }
 
 SearchService::SearchService(const std::string &snapshot_path,
@@ -176,6 +182,54 @@ SearchService::degradationTier() const
     return policy_ != nullptr ? policy_->tier() : 0;
 }
 
+MutateStatus
+SearchService::insert(const float *vec, idx_t id)
+{
+    MutateStatus status;
+    if (!running_.load())
+        status = MutateStatus::kStopped;
+    else if (live_ == nullptr)
+        status = MutateStatus::kUnsupported;
+    else
+        status = live_->insert(vec, id);
+    stats_.recordLiveOp(LiveOp::kInsert, status == MutateStatus::kOk);
+    return status;
+}
+
+MutateStatus
+SearchService::remove(idx_t id)
+{
+    MutateStatus status;
+    if (!running_.load())
+        status = MutateStatus::kStopped;
+    else if (live_ == nullptr)
+        status = MutateStatus::kUnsupported;
+    else
+        status = live_->remove(id);
+    stats_.recordLiveOp(LiveOp::kRemove, status == MutateStatus::kOk);
+    return status;
+}
+
+MutateStatus
+SearchService::upsert(const float *vec, idx_t id)
+{
+    MutateStatus status;
+    if (!running_.load())
+        status = MutateStatus::kStopped;
+    else if (live_ == nullptr)
+        status = MutateStatus::kUnsupported;
+    else
+        status = live_->upsert(vec, id);
+    stats_.recordLiveOp(LiveOp::kUpsert, status == MutateStatus::kOk);
+    return status;
+}
+
+LiveStats
+SearchService::liveStats() const
+{
+    return live_ != nullptr ? live_->liveStats() : LiveStats{};
+}
+
 SearchService::Clock::time_point
 SearchService::defaultDeadline() const
 {
@@ -205,6 +259,10 @@ SearchService::snapshot() const
     snap.usage.rss_bytes = now.rss_bytes;
     snap.usage.major_faults = now.major_faults - base.major_faults;
     snap.usage.minor_faults = now.minor_faults - base.minor_faults;
+    if (live_ != nullptr) {
+        snap.live_enabled = true;
+        snap.live = live_->liveStats();
+    }
     return snap;
 }
 
@@ -450,6 +508,47 @@ SearchService::registerMetrics()
     regs.push_back(reg.counterCallback(
         "juno_trace_dropped_total", "Sampled traces dropped (ring full)",
         [this] { return tracer_.droppedCount(); }));
+    // Live-mutation metrics: only registered when the served index is
+    // a LiveIndex, so an immutable service's exposition is unchanged.
+    if (live_ != nullptr) {
+        const char *ops_help = "Applied live mutations, by op";
+        regs.push_back(reg.counterCallback(
+            "juno_live_ops_total", {{"op", "insert"}}, ops_help,
+            [this] { return stats_.liveInserts(); }));
+        regs.push_back(reg.counterCallback(
+            "juno_live_ops_total", {{"op", "remove"}}, ops_help,
+            [this] { return stats_.liveRemoves(); }));
+        regs.push_back(reg.counterCallback(
+            "juno_live_ops_total", {{"op", "upsert"}}, ops_help,
+            [this] { return stats_.liveUpserts(); }));
+        regs.push_back(reg.counterCallback(
+            "juno_live_rejected_total", "Refused live mutations",
+            [this] { return stats_.liveRejected(); }));
+        regs.push_back(reg.gaugeCallback(
+            "juno_live_fresh_rows",
+            "Live rows buffered and awaiting merge", [this] {
+                return static_cast<double>(
+                    live_->liveStats().fresh_rows);
+            }));
+        regs.push_back(reg.gaugeCallback(
+            "juno_live_tombstones",
+            "Dead rows awaiting compaction", [this] {
+                return static_cast<double>(
+                    live_->liveStats().tombstones);
+            }));
+        regs.push_back(reg.gaugeCallback(
+            "juno_live_generation", "Current snapshot generation",
+            [this] {
+                return static_cast<double>(live_->generation());
+            }));
+        regs.push_back(reg.counterCallback(
+            "juno_live_generations_published_total",
+            "Merged generations swapped in for readers",
+            [this] { return live_->liveStats().generations_published; }));
+        regs.push_back(reg.counterCallback(
+            "juno_live_merges_total", "Completed merge cycles",
+            [this] { return live_->liveStats().merges; }));
+    }
     regs.push_back(reg.info("juno_build_info", "Build provenance",
                             buildInfoLabels()));
 }

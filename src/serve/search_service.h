@@ -53,6 +53,7 @@
 #include "common/thread_annotations.h"
 
 #include "baseline/index.h"
+#include "live/live_index.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "registry/snapshot.h"
@@ -294,6 +295,33 @@ class SearchService {
                                    idx_t k,
                                    RejectReason *rejected = nullptr);
 
+    // ---- Live mutation (DESIGN.md "Live mutability") ----
+
+    /**
+     * True when the served index is a LiveIndex: the mutation methods
+     * below can apply. Decided once at construction (dynamic type of
+     * the index never changes while the service runs).
+     */
+    bool liveEnabled() const { return live_ != nullptr; }
+
+    /**
+     * Applies one live mutation with typed admission like submit():
+     * never blocks in-flight searches (the index's writer lock is held
+     * for an O(1) buffer append) and never throws for expectable
+     * conditions. Returns kStopped before start()/after stop(),
+     * kUnsupported when the served index is immutable, else the
+     * index's own status. Every call bumps the service's per-op
+     * counters (ServiceStats::Snapshot live_* fields, juno_live_*
+     * metrics).
+     */
+    MutateStatus insert(const float *vec, idx_t id);
+    MutateStatus remove(idx_t id);
+    MutateStatus upsert(const float *vec, idx_t id);
+
+    /** The served LiveIndex's freshness/merge statistics (a
+     * default-constructed LiveStats when !liveEnabled()). */
+    LiveStats liveStats() const;
+
     /** Current degradation tier (0 when the policy is off). */
     int degradationTier() const;
 
@@ -346,6 +374,8 @@ class SearchService {
     /** Set by the warm-start constructors; null when borrowing. */
     std::unique_ptr<AnnIndex> owned_index_;
     AnnIndex &index_;
+    /** The live-mutation view of index_; null when immutable. */
+    LiveIndex *live_ = nullptr;
     const ServiceConfig config_;
     BoundedMpmcQueue<Request> queue_;
     ServiceStats stats_;

@@ -167,6 +167,10 @@ ServiceStats::snapshot() const
     snap.batch_us = summarise(batch_us);
     snap.search_us = summarise(search_us);
     snap.total_us = summarise(total_us);
+    snap.live_inserts = live_inserts_.load();
+    snap.live_removes = live_removes_.load();
+    snap.live_upserts = live_upserts_.load();
+    snap.live_rejected = live_rejected_.load();
     return snap;
 }
 

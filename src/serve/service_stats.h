@@ -21,6 +21,7 @@
 
 #include "common/stats.h"
 #include "common/thread_annotations.h"
+#include "live/live_index.h"
 #include "serve/hot_list_cache.h"
 
 namespace juno {
@@ -104,6 +105,23 @@ class ServiceStats {
          * IO). Filled by SearchService::snapshot().
          */
         ResourceUsage usage;
+        /**
+         * Service-level live-mutation admission counters (zero when
+         * the served index is immutable): ops *applied* through the
+         * service plus ops it refused (and why, coarsely).
+         */
+        std::uint64_t live_inserts = 0;
+        std::uint64_t live_removes = 0;
+        std::uint64_t live_upserts = 0;
+        std::uint64_t live_rejected = 0;
+        /**
+         * The served LiveIndex's freshness/merge statistics. Filled by
+         * SearchService::snapshot() when live_enabled; zeroed (and
+         * meaningless) otherwise.
+         */
+        LiveStats live;
+        /** True when the served index supports live mutation. */
+        bool live_enabled = false;
     };
 
     void recordAccepted() { submitted_.fetch_add(1); }
@@ -141,6 +159,28 @@ class ServiceStats {
     /** @p n requests whose futures carry an engine exception. */
     void recordFailed(std::size_t n) { failed_.fetch_add(n); }
 
+    /** One live mutation admitted through the service: bumps the
+     * per-op applied counter, or the rejected counter on refusal. */
+    void
+    recordLiveOp(LiveOp op, bool applied)
+    {
+        if (!applied) {
+            live_rejected_.fetch_add(1);
+            return;
+        }
+        switch (op) {
+        case LiveOp::kInsert:
+            live_inserts_.fetch_add(1);
+            break;
+        case LiveOp::kRemove:
+            live_removes_.fetch_add(1);
+            break;
+        case LiveOp::kUpsert:
+            live_upserts_.fetch_add(1);
+            break;
+        }
+    }
+
     std::uint64_t submitted() const { return submitted_.load(); }
     std::uint64_t completed() const { return completed_.load(); }
     std::uint64_t failed() const { return failed_.load(); }
@@ -163,6 +203,14 @@ class ServiceStats {
         return degraded_batches_.load();
     }
     std::uint64_t batches() const { return batches_.load(); }
+    std::uint64_t liveInserts() const { return live_inserts_.load(); }
+    std::uint64_t liveRemoves() const { return live_removes_.load(); }
+    std::uint64_t liveUpserts() const { return live_upserts_.load(); }
+    std::uint64_t
+    liveRejected() const
+    {
+        return live_rejected_.load();
+    }
 
     /** One latency component of the split (for single exports). */
     enum class Component { kQueue, kBatch, kSearch, kTotal };
@@ -208,6 +256,10 @@ class ServiceStats {
     std::atomic<std::uint64_t> degraded_batches_{0};
     std::atomic<std::uint64_t> batches_{0};
     std::atomic<std::uint64_t> batched_requests_{0};
+    std::atomic<std::uint64_t> live_inserts_{0};
+    std::atomic<std::uint64_t> live_removes_{0};
+    std::atomic<std::uint64_t> live_upserts_{0};
+    std::atomic<std::uint64_t> live_rejected_{0};
     std::array<Shard, kShards> shards_;
 };
 

@@ -26,6 +26,8 @@
  *                   [--trace-out t.json] [--trace-sample R]
  *                   [--trace-slow-us N] [--deadline-ms D]
  *                   [--degrade 0|1] [--smoke]
+ *                   [--live 0|1] [--insert-rate R] [--delete-rate R]
+ *                   [--fresh-cap N] [--merge-threshold N]
  *                   (drive the micro-batching SearchService; --load
  *                   warm-starts from a snapshot: first-query-ready is
  *                   page-in time, not a rebuild. --stats-every S runs
@@ -38,7 +40,16 @@
  *                   (open in Perfetto). --smoke shrinks everything for
  *                   a seconds-long CI run. SIGINT/SIGTERM stop the
  *                   service cleanly and still dump the final
- *                   metrics/trace snapshots)
+ *                   metrics/trace snapshots. --live 1 (implied by a
+ *                   nonzero write rate) serves a LiveIndex built from
+ *                   the dataset; --insert-rate/--delete-rate drive a
+ *                   synthetic writer at that many ops/sec alongside
+ *                   the reading clients, the stats dump gains a live
+ *                   line (fresh rows, tombstones, generations), and
+ *                   the run ends with a freshness gate — an inserted
+ *                   vector must be seen by the next query and a
+ *                   deleted one never again, across a merge publish —
+ *                   whose "freshness: OK" the CI leg greps)
  *   juno_cli parity --load idx.juno [data flags identical to build]
  *                   (CI gate: re-opens the snapshot in this fresh
  *                   process, rebuilds the same spec from scratch over
@@ -79,6 +90,7 @@
 #include "dataset/recall.h"
 #include "dataset/synthetic.h"
 #include "obs/metrics.h"
+#include "live/live_index.h"
 #include "registry/index_factory.h"
 #include "serve/hot_list_cache.h"
 #include "serve/search_service.h"
@@ -549,10 +561,27 @@ cmdServe(const Args &args)
         config.metrics_jsonl = metrics_out + ".jsonl";
     const std::string trace_out = args.get("trace-out", "");
 
+    // Live mutability (DESIGN.md "Live mutability"): a nonzero write
+    // rate (or an explicit --live 1) serves a LiveIndex so inserts and
+    // deletes land on the running service. The writer below paces the
+    // synthetic traffic; the freshness gate at the end is the CI
+    // contract.
+    const double insert_rate = args.getDouble("insert-rate", 0.0);
+    const double delete_rate = args.getDouble("delete-rate", 0.0);
+    JUNO_REQUIRE(insert_rate >= 0.0 && delete_rate >= 0.0,
+                 "--insert-rate/--delete-rate must be >= 0");
+    const bool live_mode = args.getInt("live", 0, 0, 1) != 0 ||
+                           insert_rate > 0.0 || delete_rate > 0.0;
+
     std::unique_ptr<SearchService> service;
     Dataset data;
     Timer ready_timer;
     if (!loadPath(args).empty()) {
+        // A snapshot holds only the built index, not the raw vectors a
+        // LiveIndex needs to seed generation 0 and re-merge from.
+        JUNO_REQUIRE(!live_mode,
+                     "--live/--insert-rate/--delete-rate need a built "
+                     "index (drop --load)");
         // Warm start: the service owns the index it opens; with mmap
         // enabled the large payloads fault in on first use, so
         // readiness is not gated on a parse of the whole file.
@@ -574,8 +603,23 @@ cmdServe(const Args &args)
                 : specFrom(args);
         std::printf("building over %lld vectors...\n",
                     static_cast<long long>(data.base.rows()));
-        service = std::make_unique<SearchService>(
-            buildIndex(metric, data.base.view(), spec), config);
+        if (live_mode) {
+            LiveConfig lcfg;
+            lcfg.fresh_capacity = static_cast<idx_t>(
+                args.getInt("fresh-cap", 4096, 1, 100000000));
+            // Smoke runs last seconds; a low threshold makes the
+            // background merge publish generations inside the run so
+            // the CI leg actually exercises a reader swap.
+            lcfg.merge_threshold = static_cast<idx_t>(args.getInt(
+                "merge-threshold", smoke ? 128 : 1024, 1, 100000000));
+            service = std::make_unique<SearchService>(
+                std::make_unique<LiveIndex>(metric, data.base.view(),
+                                            spec, std::move(lcfg)),
+                config);
+        } else {
+            service = std::make_unique<SearchService>(
+                buildIndex(metric, data.base.view(), spec), config);
+        }
         std::printf("first-query-ready in %.0f ms (%s)\n",
                     ready_timer.millis(),
                     service->index().name().c_str());
@@ -612,6 +656,60 @@ cmdServe(const Args &args)
     std::signal(SIGTERM, handleStopSignal);
     service->start();
     Timer timer;
+    // Synthetic write traffic: one writer paces inserts and deletes
+    // at the requested rates, recycling base vectors under fresh ids.
+    // It only ever deletes ids it inserted itself, so the readers'
+    // ground set never shrinks and every removed id is known-dead.
+    // kBufferFull is backpressure by design (a merge is behind), so
+    // it is counted, not fatal.
+    std::atomic<bool> writer_stop{false};
+    std::atomic<long long> writer_inserts{0};
+    std::atomic<long long> writer_removes{0};
+    std::atomic<long long> writer_rejected{0};
+    std::thread writer;
+    if (insert_rate > 0.0 || delete_rate > 0.0)
+        writer = std::thread([&] {
+            std::deque<idx_t> mine;
+            idx_t next_id = data.base.rows() + 1000000;
+            using Clock = std::chrono::steady_clock;
+            const auto start = Clock::now();
+            double ins_due = 0.0, del_due = 0.0;
+            while (!writer_stop.load()) {
+                const double t =
+                    std::chrono::duration<double>(Clock::now() - start)
+                        .count();
+                bool worked = false;
+                if (insert_rate > 0.0 && t >= ins_due) {
+                    const float *src = data.base.row(
+                        next_id % data.base.rows());
+                    if (service->insert(src, next_id) ==
+                        MutateStatus::kOk) {
+                        mine.push_back(next_id);
+                        writer_inserts.fetch_add(1);
+                    } else {
+                        writer_rejected.fetch_add(1);
+                    }
+                    ++next_id;
+                    ins_due += 1.0 / insert_rate;
+                    worked = true;
+                }
+                if (delete_rate > 0.0 && t >= del_due) {
+                    if (!mine.empty()) {
+                        if (service->remove(mine.front()) ==
+                            MutateStatus::kOk)
+                            writer_removes.fetch_add(1);
+                        mine.pop_front();
+                        worked = true;
+                    }
+                    // An empty backlog still consumes the tick, or a
+                    // delete burst would fire the moment inserts land.
+                    del_due += 1.0 / delete_rate;
+                }
+                if (!worked)
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(200));
+            }
+        });
     std::atomic<int> client_failures{0};
     std::atomic<long long> client_shed{0};
     std::atomic<long long> client_degraded{0};
@@ -682,9 +780,67 @@ cmdServe(const Args &args)
     for (auto &t : threads)
         t.join();
     const double secs = timer.seconds();
+    writer_stop.store(true);
+    if (writer.joinable())
+        writer.join();
     if (g_interrupted.load())
         std::printf("interrupted: draining accepted requests, final "
                     "snapshots still written\n");
+
+    // Freshness gate (the CI leg greps "freshness: OK"): against the
+    // still-running service, an inserted vector must be returned by
+    // the very next query, and a deleted one must stay gone — both
+    // immediately and across the next merge publish (the window where
+    // a lost tombstone would resurrect it).
+    bool freshness_ok = true;
+    if (live_mode && !g_interrupted.load()) {
+        auto *live = dynamic_cast<LiveIndex *>(&index);
+        JUNO_REQUIRE(live != nullptr, "live mode without a LiveIndex");
+        const idx_t probe_id = data.base.rows() + 500000000;
+        // A copy of the query is the guaranteed nearest neighbour
+        // under L2 (distance 0); under inner product rank follows
+        // norm, so scale the copy until it dominates.
+        std::vector<float> probe_vec(queries.row(0),
+                                     queries.row(0) + index.dim());
+        if (index.metric() == Metric::kInnerProduct)
+            for (float &v : probe_vec)
+                v *= 16.0f;
+        const float *probe = probe_vec.data();
+        MutateStatus st = service->insert(probe, probe_id);
+        if (st == MutateStatus::kBufferFull) {
+            // The writer may have left a full buffer behind; fold it
+            // so the probe gets the admission a caught-up merge gives.
+            live->mergeNow();
+            st = service->insert(probe, probe_id);
+        }
+        auto sees = [&](idx_t id) {
+            const ResultList r = service->submit(probe, 10).get();
+            for (const Neighbor &n : r)
+                if (n.id == id)
+                    return true;
+            return false;
+        };
+        const bool insert_seen = st == MutateStatus::kOk &&
+                                 sees(probe_id);
+        const bool remove_applied =
+            service->remove(probe_id) == MutateStatus::kOk;
+        const bool gone_now = !sees(probe_id);
+        live->mergeNow();
+        const bool gone_after_merge = !sees(probe_id);
+        freshness_ok = insert_seen && remove_applied && gone_now &&
+                       gone_after_merge;
+        if (freshness_ok)
+            std::printf("freshness: OK\n");
+        else
+            std::printf("freshness: VIOLATION (insert %s seen=%d, "
+                        "remove applied=%d gone=%d gone-after-merge="
+                        "%d)\n",
+                        mutateStatusName(st),
+                        static_cast<int>(insert_seen),
+                        static_cast<int>(remove_applied),
+                        static_cast<int>(gone_now),
+                        static_cast<int>(gone_after_merge));
+    }
     service->stop();
     std::signal(SIGINT, SIG_DFL);
     std::signal(SIGTERM, SIG_DFL);
@@ -761,6 +917,27 @@ cmdServe(const Args &args)
                         snap.cache.rejected_capacity +
                         snap.cache.rejected_policy));
     }
+    if (snap.live_enabled) {
+        std::printf(
+            "live: generation %llu (%llu published, %llu merges), "
+            "fresh rows %lld, tombstones %lld, live %lld\n",
+            static_cast<unsigned long long>(snap.live.generation),
+            static_cast<unsigned long long>(
+                snap.live.generations_published),
+            static_cast<unsigned long long>(snap.live.merges),
+            static_cast<long long>(snap.live.fresh_rows),
+            static_cast<long long>(snap.live.tombstones),
+            static_cast<long long>(snap.live.live_count));
+        std::printf(
+            "live ops: inserts %llu removes %llu upserts %llu "
+            "rejected %llu (writer: +%lld -%lld, %lld refused)\n",
+            static_cast<unsigned long long>(snap.live_inserts),
+            static_cast<unsigned long long>(snap.live_removes),
+            static_cast<unsigned long long>(snap.live_upserts),
+            static_cast<unsigned long long>(snap.live_rejected),
+            writer_inserts.load(), writer_removes.load(),
+            writer_rejected.load());
+    }
 
     // Final observability dumps: the service is still alive, so its
     // registry callbacks (and the tracer's captures) are intact.
@@ -801,7 +978,7 @@ cmdServe(const Args &args)
                          trace_out.c_str());
         }
     }
-    return conserved ? 0 : 1;
+    return conserved && freshness_ok ? 0 : 1;
 }
 
 void
@@ -837,6 +1014,10 @@ usage()
         "          --degrade 1 arms tiered probe-budget degradation;\n"
         "          chaos: JUNO_FAULT=site:prob:seed[:delay_ms] (needs\n"
         "          a -DJUNO_FAULT_INJECTION=ON build);\n"
+        "          live writes: --insert-rate/--delete-rate ops/sec\n"
+        "          (or --live 1) serve a mutable LiveIndex, print a\n"
+        "          live stats line and end with a freshness gate\n"
+        "          (grep \"freshness: OK\");\n"
         "          SIGINT/SIGTERM drain cleanly and still dump\n"
         "  parity  gate: snapshot results == fresh-build results\n"
         "\n"
